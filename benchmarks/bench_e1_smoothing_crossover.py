@@ -1,0 +1,104 @@
+"""E1 — the §4 smoothing analysis: column vs. 2-D block distribution.
+
+Paper claim: column distribution costs 2 messages of size N per
+processor per step; 2-D blocks cost 4 messages of size N/p; "the ratio
+N/p will determine the most appropriate distribution".
+
+This bench regenerates the series: per grid size N and machine, the
+predicted and measured per-step cost of each distribution and the
+winner, showing the crossover.  Absolute times are modeled (alpha +
+beta*n); the *shape* — blocks win at large N, columns at small N, and
+the crossover N* grows with the machine's alpha/beta ratio — is
+asserted.
+"""
+
+import pytest
+
+from conftest import emit_table
+from repro.apps.smoothing import (
+    best_distribution,
+    predicted_step_cost,
+    run_smoothing,
+)
+from repro.machine.cost_model import IPSC860, MODERN_CLUSTER, PARAGON
+
+SIZES = [8, 16, 32, 64, 128, 256, 512]
+P = 16  # p^2 processor array with p = 4
+
+
+def crossover_n(model) -> float:
+    """Analytic crossover: columns cheaper below this N."""
+    side = 4
+    return model.alpha / (model.beta * 8 * (1 - 2 / side))
+
+
+def test_e1_crossover_table():
+    rows = []
+    for model in (IPSC860, PARAGON, MODERN_CLUSTER):
+        for n in SIZES:
+            c = predicted_step_cost(n, P, "columns", model)
+            b = predicted_step_cost(n, P, "blocks2d", model)
+            rows.append(
+                [
+                    model.name,
+                    n,
+                    c * 1e6,
+                    b * 1e6,
+                    best_distribution(n, P, model),
+                ]
+            )
+    emit_table(
+        "E1: smoothing cost per step (us), columns vs 2-D blocks, p=16",
+        ["machine", "N", "cols_us", "blk_us", "winner"],
+        rows,
+    )
+    # shape assertions: each machine flips from columns to blocks as N
+    # grows, and the crossover point is ordered by alpha/beta
+    for model in (IPSC860, PARAGON, MODERN_CLUSTER):
+        winners = [best_distribution(n, P, model) for n in SIZES + [10**6]]
+        assert winners[0] == "columns"
+        assert winners[-1] == "blocks2d"
+        flips = sum(1 for a, b in zip(winners, winners[1:]) if a != b)
+        assert flips == 1, "exactly one crossover"
+    assert (
+        crossover_n(IPSC860)
+        < crossover_n(PARAGON)
+        < crossover_n(MODERN_CLUSTER)
+    )
+
+
+def test_e1_measured_agrees_with_model():
+    """Measured halo-exchange traffic follows the closed forms."""
+    rows = []
+    for n in (32, 64, 128):
+        r_col = run_smoothing(n, 2, "columns", P, IPSC860, seed=0)
+        r_blk = run_smoothing(n, 2, "blocks2d", P, IPSC860, seed=0)
+        rows.append(
+            [
+                n,
+                r_col.messages // 2,
+                r_col.bytes // (2 * 8),
+                r_blk.messages // 2,
+                r_blk.bytes // (2 * 8),
+            ]
+        )
+        # column messages carry N elements each
+        assert r_col.bytes == r_col.messages * n * 8
+        # block messages carry N/4 elements each
+        assert r_blk.bytes == r_blk.messages * (n // 4) * 8
+        # interior message counts: 15 boundaries x2 vs 24 boundaries x2
+        assert r_col.messages == 2 * 15 * 2
+        assert r_blk.messages == 2 * 24 * 2
+    emit_table(
+        "E1: measured per-step traffic (msgs, elements) on iPSC/860",
+        ["N", "col_msgs", "col_elems", "blk_msgs", "blk_elems"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("distribution", ["columns", "blocks2d"])
+def test_e1_step_benchmark(benchmark, distribution):
+    """Wall-clock cost of one simulated smoothing step."""
+    benchmark(
+        run_smoothing, 64, 1, distribution, P, IPSC860, seed=0
+    )

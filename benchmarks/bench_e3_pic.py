@@ -1,0 +1,97 @@
+"""E3 — Figure 2: PIC load balancing via B_BLOCK redistribution.
+
+Paper claim: "the motion of particles during the simulation may lead
+to a severe load imbalance"; periodic rebalancing with
+``balance`` + ``DISTRIBUTE FIELD :: B_BLOCK(BOUNDS)`` maintains the
+balance, which neither array assignment nor procedure boundaries can
+express (§4's closing argument).
+
+Regenerated series: the per-step imbalance trajectory under static
+BLOCK vs. rebalanced B_BLOCK, plus the rebalance-period ablation
+DESIGN.md calls out.
+"""
+
+import pytest
+
+from conftest import emit_table
+from repro.apps.pic import PICConfig, run_pic
+from repro.machine import Machine, PARAGON, ProcessorArray
+
+BASE = dict(ncell=128, npart=3000, max_time=50, nprocs=4, drift=0.006, seed=5)
+
+
+def machine():
+    return Machine(ProcessorArray("P", (4,)), cost_model=PARAGON)
+
+
+def test_e3_imbalance_trajectory():
+    r_static = run_pic(machine(), PICConfig(strategy="static", **BASE))
+    r_bblock = run_pic(machine(), PICConfig(strategy="bblock", **BASE))
+    rows = []
+    for ss, sb in zip(r_static.steps, r_bblock.steps):
+        if ss.step % 5 == 0:
+            rows.append(
+                [ss.step, ss.imbalance, sb.imbalance,
+                 "yes" if sb.redistributed else ""]
+            )
+    emit_table(
+        "E3: PIC per-step load imbalance (max/mean particles per proc)",
+        ["step", "static", "bblock", "rebalanced"],
+        rows,
+    )
+    assert r_bblock.mean_imbalance < r_static.mean_imbalance
+    assert r_bblock.max_imbalance < r_static.max_imbalance
+    assert r_bblock.total_time < r_static.total_time
+    assert r_bblock.redistributions >= 1
+
+
+def test_e3_rebalance_period_ablation():
+    """DESIGN.md ablation: how the rebalance period trades imbalance
+    against redistribution traffic."""
+    rows = []
+    prev_imb = None
+    for period in (5, 10, 20, 50):
+        cfg = PICConfig(strategy="bblock", rebalance_every=period, **BASE)
+        r = run_pic(machine(), cfg)
+        rows.append(
+            [
+                period,
+                r.mean_imbalance,
+                r.redistributions,
+                r.redistribution_bytes_total,
+                r.total_time * 1e3,
+            ]
+        )
+    emit_table(
+        "E3 ablation: rebalance period vs imbalance and redistribution cost",
+        ["period", "mean_imb", "redists", "redist_bytes", "ms"],
+        rows,
+    )
+    # more frequent rebalancing -> at least as good balance
+    imbs = [row[1] for row in rows]
+    assert imbs[0] <= imbs[-1] + 0.05
+    # and at least as many redistributions
+    redists = [row[2] for row in rows]
+    assert redists[0] >= redists[-1]
+
+
+def test_e3_threshold_ablation():
+    rows = []
+    for thr in (1.05, 1.25, 2.0, float("inf")):
+        cfg = PICConfig(strategy="bblock", imbalance_threshold=thr, **BASE)
+        r = run_pic(machine(), cfg)
+        rows.append([thr, r.mean_imbalance, r.redistributions])
+    emit_table(
+        "E3 ablation: rebalance() threshold",
+        ["threshold", "mean_imb", "redists"],
+        rows,
+    )
+    assert rows[-1][2] == 0  # infinite threshold never rebalances
+
+
+@pytest.mark.parametrize("strategy", ["static", "bblock"])
+def test_e3_pic_benchmark(benchmark, strategy):
+    cfg = PICConfig(
+        strategy=strategy, ncell=64, npart=1000, max_time=10, nprocs=4, seed=1
+    )
+    benchmark(run_pic, machine(), cfg)

@@ -1,0 +1,40 @@
+"""Shared helpers for the experiment benches (DESIGN.md E1-E8).
+
+Each bench regenerates one of the paper's evaluation artifacts: it
+prints the rows/series of the corresponding figure/analysis (visible
+with ``pytest benchmarks/ --benchmark-only -s``), asserts the *shape*
+of the paper's claim, and times the underlying operation with
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print a bench table (works under pytest capture via -s)."""
+    out = sys.stdout
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    print(f"\n== {title} ==", file=out)
+    print(
+        "  ".join(str(h).rjust(w) for h, w in zip(header, widths)), file=out
+    )
+    for row in rows:
+        print(
+            "  ".join(_fmt(v).rjust(w) for v, w in zip(row, widths)),
+            file=out,
+        )
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) < 1e-2 or abs(v) >= 1e5:
+            return f"{v:.3e}"
+        return f"{v:.3f}"
+    return str(v)

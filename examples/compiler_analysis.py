@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The compiler side of the paper (section 3.1), demonstrated.
+
+Builds the ADI program in the mini-IR, runs the reaching-distributions
+analysis, shows the *plausible distribution sets* at each sweep, and
+partially evaluates a DCASE: arms that no plausible distribution can
+match are pruned at compile time.
+
+Run:  python examples/compiler_analysis.py
+"""
+
+from repro.compiler import (
+    AccessKind,
+    ALWAYS,
+    ArrayRef,
+    Assign,
+    Block,
+    DCaseStmt,
+    DistributeStmt,
+    IRProgram,
+    Loop,
+    NEVER,
+    ProcDef,
+    analyze,
+    decide_querylist,
+    estimate_memory,
+    estimate_ref,
+)
+from repro.core.query import QueryList, TypePattern
+
+# --- the ADI program with an outer loop, in IR form ---------------------
+prog = IRProgram()
+prog.declare("V", initial=(":", "BLOCK"), range_=[(":", "BLOCK"), ("BLOCK", ":")])
+
+x_sweep = Assign(
+    ArrayRef("V"), (ArrayRef("V", AccessKind.ROW_SWEEP, dim=0),), "x-sweep"
+)
+y_sweep = Assign(
+    ArrayRef("V"), (ArrayRef("V", AccessKind.ROW_SWEEP, dim=1),), "y-sweep"
+)
+loop = Loop(Block([
+    DistributeStmt("V", TypePattern((":", "BLOCK"))),
+    x_sweep,
+    DistributeStmt("V", TypePattern(("BLOCK", ":"))),
+    y_sweep,
+]))
+prog.add_proc(ProcDef("main", (), Block([loop])))
+
+result = analyze(prog)
+
+print("reaching-distribution analysis of the ADI loop:")
+for stmt, label in ((x_sweep, "x-sweep"), (y_sweep, "y-sweep")):
+    ps = result.plausible(stmt.sid, "V")
+    print(f"  plausible distributions of V before the {label}: {ps}")
+
+# --- communication analysis under each plausible type -----------------------
+print("\ncommunication analysis (100 x 100 grid, 4 processors):")
+for label, stmt, ref in (
+    ("x-sweep", x_sweep, x_sweep.reads[0]),
+    ("y-sweep", y_sweep, y_sweep.reads[0]),
+):
+    ps = result.plausible(stmt.sid, "V")
+    for pattern in sorted(ps.patterns, key=repr):
+        est = estimate_ref(ref, pattern, (100, 100), (4,))
+        mem = estimate_memory(pattern, (100, 100), (4,))
+        print(f"  {label} under {pattern!r:14}: {est.messages:5d} msgs, "
+              f"{est.volume:6d} elems; {mem.elements_per_proc} elems/proc")
+
+# --- partial evaluation of a DCASE ----------------------------------------
+print("\npartial evaluation of a DCASE at the y-sweep point:")
+state = {"V": result.plausible(y_sweep.sid, "V")}
+arms = [
+    ("(BLOCK, :)  arm", QueryList([("BLOCK", ":")])),
+    ("(:, BLOCK)  arm", QueryList([(":", "BLOCK")])),
+    ("(CYCLIC, :) arm", QueryList([("CYCLIC", ":")])),
+]
+for label, ql in arms:
+    verdict = decide_querylist(state, ("V",), ql)
+    note = {
+        ALWAYS: "compiler specializes: no run-time test needed",
+        NEVER: "dead arm: pruned at compile time",
+    }.get(verdict, "kept: run-time dispatch required")
+    print(f"  {label}: {verdict.upper():6s} — {note}")

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The section 4 smoothing example: choosing the distribution at run time.
+
+"A column distribution of the N x N grid will give rise to 2 messages
+per processor, each of size N, per computation step.  On the other
+hand, if the grid is distributed by blocks in two dimensions across a
+p^2 processor array, then each computation step requires 4 messages of
+size N/p each. ... the ratio N/p will determine the most appropriate
+distribution."
+
+This example plays the role of the portable Vienna Fortran program the
+paper describes: at "run time" it reads N, queries $NP, evaluates the
+machine cost model, picks the winning distribution, and *dynamically
+distributes* the grid accordingly — then verifies the choice by
+measuring both.
+
+Run:  python examples/grid_smoothing.py [N] [p] [machine]
+      machine in {iPSC/860, Paragon, modern}
+"""
+
+import sys
+
+from repro.apps.smoothing import (
+    best_distribution,
+    predicted_step_cost,
+    run_smoothing,
+)
+from repro.machine.cost_model import PRESETS
+
+N = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+P = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+MODEL = PRESETS[sys.argv[3]] if len(sys.argv) > 3 else PRESETS["iPSC/860"]
+STEPS = 5
+
+print(f"smoothing an {N} x {N} grid on {P} processors of {MODEL.name}")
+print(f"machine half-performance message length n_1/2 = "
+      f"{MODEL.bytes_equivalent_of_latency():.0f} bytes\n")
+
+for dist in ("columns", "blocks2d"):
+    try:
+        pred = predicted_step_cost(N, P, dist, MODEL)
+        r = run_smoothing(N, STEPS, dist, P, MODEL, seed=0)
+        print(f"{dist:9s}: predicted {pred*1e6:9.1f} us/step   "
+              f"measured {r.time/STEPS*1e6:9.1f} us/step   "
+              f"({r.messages} msgs, {r.bytes} bytes total)")
+    except ValueError as e:
+        print(f"{dist:9s}: {e}")
+
+choice = best_distribution(N, P, MODEL)
+print(f"\n=> the program would execute  DISTRIBUTE U :: "
+      f"{'(:, BLOCK)' if choice == 'columns' else '(BLOCK, BLOCK)'}"
+      f"   [{choice}]")

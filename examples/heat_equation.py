@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""A full Peaceman-Rachford ADI heat-equation solver on the VFE.
+
+Where `adi_solver.py` reproduces Figure 1's *structure*, this example
+shows the machinery solving a real PDE end to end: the 2-D heat
+equation u_t = u_xx + u_yy with homogeneous Dirichlet boundaries,
+advanced by Peaceman-Rachford splitting:
+
+    (I - r/2 Lx) u*    = (I + r/2 Ly) u^n      [x-implicit, y-explicit]
+    (I - r/2 Ly) u^n+1 = (I + r/2 Lx) u*       [y-implicit, x-explicit]
+
+Each half step has an explicit stencil part (halo exchange along one
+dimension) and an implicit tridiagonal solve along the other.  The
+array is kept DYNAMIC and redistributed between half steps so that the
+*implicit* direction is always processor-local — the Figure 1 idea
+inside a real solver.  The result is verified against the analytic
+decay rate of the fundamental sine mode.
+
+Run:  python examples/heat_equation.py [n] [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.tridiag import thomas_const
+from repro.compiler.codegen import LineSweepKernel
+from repro.core.distribution import dist_type
+from repro.machine import Machine, PARAGON, ProcessorArray
+from repro.runtime.engine import Engine
+from repro.runtime.overlap import OverlapManager
+
+N = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+STEPS = int(sys.argv[2]) if len(sys.argv) > 2 else 40
+P = 4
+H = 1.0 / (N + 1)
+DT = 0.25 * H * H     # modest time step
+R_COEF = DT / (H * H)  # r = dt / h^2
+
+
+def explicit_along(arr, dim, engine):
+    """(I + r/2 L_dim) applied with one halo exchange along `dim`."""
+    widths = tuple(1 if d == dim else 0 for d in range(2))
+    ov = OverlapManager(arr, widths, boundary=0.0)
+    ov.load_interior()
+    ov.exchange()
+    for rank in arr.owning_ranks():
+        pad = ov.padded(rank)
+        out = ov.interior(rank)
+        lo = np.take(pad, range(0, out.shape[dim]), axis=dim)
+        hi = np.take(pad, range(2, 2 + out.shape[dim]), axis=dim)
+        mid_idx = tuple(
+            slice(w, pad.shape[d] - w) for d, w in enumerate(widths)
+        )
+        mid = pad[mid_idx]
+        out[...] = mid + 0.5 * R_COEF * (lo - 2 * mid + hi)
+    ov.store_interior()
+
+
+def implicit_along(arr, dim):
+    """(I - r/2 L_dim)^{-1} via communication-free line solves."""
+    kernel = LineSweepKernel(
+        arr, dim, lambda rhs: thomas_const(rhs, -0.5 * R_COEF, 1 + R_COEF)
+    )
+    stats = kernel.sweep()
+    assert stats["remote_lines"] == 0, "redistribution made lines local"
+
+
+def main():
+    machine = Machine(ProcessorArray("R", (P,)), cost_model=PARAGON)
+    engine = Engine(machine)
+    u = engine.declare(
+        "U", (N, N), dist=dist_type("BLOCK", ":"), dynamic=True
+    )
+    # fundamental mode sin(pi x) sin(pi y): eigenvalue is known exactly
+    x = np.pi * H * np.arange(1, N + 1)
+    u0 = np.outer(np.sin(x), np.sin(x))
+    u.from_global(u0)
+
+    for _ in range(STEPS):
+        # half step 1: x implicit (rows must be local along dim 0)
+        explicit_along(u, 1, engine)         # y-explicit on (BLOCK, :)? no:
+        # dim 1 is the undistributed dim under (BLOCK, :): halo-free,
+        # but we keep the general path; now make dim 0 local to solve
+        engine.distribute("U", dist_type(":", "BLOCK"))
+        implicit_along(u, 0)
+        # half step 2: y implicit
+        explicit_along(u, 0, engine)
+        engine.distribute("U", dist_type("BLOCK", ":"))
+        implicit_along(u, 1)
+
+    # analytic decay of the fundamental mode under Peaceman-Rachford:
+    # per full step factor ((1 - r/2 l)/(1 + r/2 l))^2 with
+    # l = 4 sin^2(pi h / 2) / h^2 * h^2 -> use the discrete eigenvalue
+    lam = 4 * np.sin(np.pi * H / 2) ** 2  # of -h^2 * Lx for the mode
+    g = ((1 - 0.5 * R_COEF * lam) / (1 + 0.5 * R_COEF * lam)) ** 2
+    expected = u0 * g**STEPS
+    measured = u.to_global()
+    err = np.abs(measured - expected).max() / np.abs(expected).max()
+
+    stats = machine.stats()
+    print(f"Peaceman-Rachford heat equation, {N}x{N} grid, {STEPS} steps")
+    print(f"  relative error vs analytic mode decay: {err:.2e}")
+    print(f"  total messages: {stats.messages}  bytes: {stats.bytes}")
+    print(f"  redistributions: {len(engine.reports)}  "
+          f"plan-cache hits: {engine.plan_cache.hits}")
+    print(f"  modeled time: {machine.time * 1e3:.2f} ms on "
+          f"{machine.cost_model.name}")
+    assert err < 1e-10, "solver must match the analytic decay exactly"
+    print("  PASSED: matches analytic solution")
+
+
+if __name__ == "__main__":
+    main()

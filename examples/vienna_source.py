@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Feed the paper's Figure 1 *source text* to the compiler.
+
+parse_program turns (lightly normalized) Vienna Fortran into the mini
+IR; the reaching-distribution analysis then proves both TRIDIAG sweeps
+communication-free, and the optimizer prunes a DCASE the way section
+3.1 describes ("partial evaluation of distribution queries").
+
+Run:  python examples/vienna_source.py
+"""
+
+from repro.compiler.comm_analysis import estimate_ref
+from repro.compiler.ir import Assign, If, Loop
+from repro.compiler.optimize import optimize
+from repro.compiler.reaching import analyze
+from repro.lang.frontend import parse_program
+
+FIGURE1 = """
+      PROGRAM ADI
+      REAL U(NX, NY) DIST (:, BLOCK)
+      REAL F(NX, NY) DIST (:, BLOCK)
+      REAL V(NX, NY) DYNAMIC, RANGE( (:, BLOCK), ( BLOCK, :)),
+     &     DIST (:, BLOCK)
+      CALL RESID( V, U, F, NX, NY)
+C Sweep over x-lines
+      DO J = 1, NY
+        CALL TRIDIAG( V(:, J), NX)
+      ENDDO
+      DISTRIBUTE V :: ( BLOCK, : )
+C Sweep over y-lines
+      DO I = 1, NX
+        CALL TRIDIAG( V(I, :), NY)
+      ENDDO
+      END
+"""
+
+PORTABLE = """
+PROGRAM SMOOTH
+REAL U(N, N) DYNAMIC, RANGE ((:, BLOCK), (BLOCK, BLOCK)), DIST (:, BLOCK)
+SELECT DCASE (U)
+CASE (CYCLIC, CYCLIC)
+U(I, J) = U(I, J)
+CASE (:, BLOCK)
+U(I, J) = 0.25 * (U(I-1, J) + U(I+1, J) + U(I, J-1) + U(I, J+1))
+CASE DEFAULT
+U(I, J) = U(I, J)
+END SELECT
+END
+"""
+
+
+def walk(block):
+    for s in block:
+        yield s
+        if isinstance(s, Loop):
+            yield from walk(s.body)
+        elif isinstance(s, If):
+            yield from walk(s.then)
+            yield from walk(s.orelse)
+
+
+def main() -> None:
+    env = {"NX": 100, "NY": 100, "N": 100}
+    print("--- Figure 1, as source text ---")
+    prog = parse_program(FIGURE1, env)
+    res = analyze(prog)
+    for stmt in walk(prog.proc("adi").body):
+        if isinstance(stmt, Assign) and "TRIDIAG" in stmt.label.upper():
+            ps = res.plausible(stmt.sid, "V")
+            (pattern,) = ps.patterns
+            est = estimate_ref(stmt.reads[0], pattern, (100, 100), (4,))
+            print(
+                f"  sweep along dim {stmt.reads[0].dim}: plausible {ps}, "
+                f"estimated communication: {est.messages} messages"
+            )
+    print("  -> the compiler proves both sweeps local, as the paper claims\n")
+
+    print("--- a portable DCASE program, partially evaluated ---")
+    prog2 = parse_program(PORTABLE, env)
+    new, stats = optimize(prog2)
+    print(f"  arms pruned as dead:  {stats.dead_arms}")
+    print(f"  constructs specialized: {stats.specialized_dcases}")
+    for line in stats.details:
+        print(f"    - {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The evaluation environment has no network and no `wheel` package, so
+PEP 517 editable builds (`pip install -e .`) cannot build an editable
+wheel.  This shim lets `pip install -e .` fall back to the legacy
+`setup.py develop` path; all real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

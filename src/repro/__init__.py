@@ -1,0 +1,47 @@
+"""repro — a reproduction of *Dynamic Data Distributions in Vienna
+Fortran* (Chapman, Mehrotra, Moritsch, Zima; Supercomputing '93).
+
+Layers (bottom-up):
+
+- :mod:`repro.machine` — simulated distributed-memory multicomputer
+  (processor grids, local memories, alpha+beta*n message cost model);
+- :mod:`repro.core` — the distribution model: BLOCK / CYCLIC(k) /
+  B_BLOCK / S_BLOCK / ``:`` intrinsics, alignments and CONSTRUCT,
+  DYNAMIC arrays with connect classes, RANGE / IDT / DCASE queries;
+- :mod:`repro.runtime` — the Vienna Fortran Engine: distributed
+  arrays, access functions, translation tables, overlap areas, the
+  DISTRIBUTE algorithm, and a PARTI-style inspector/executor;
+- :mod:`repro.lang` — Vienna Fortran-flavoured surface syntax
+  (distribution-expression parser, declarations, program scopes,
+  procedure-boundary redistribution);
+- :mod:`repro.compiler` — reaching-distribution analysis over a mini
+  IR, partial evaluation of queries, communication analysis, SPMD
+  lowering;
+- :mod:`repro.apps` — the paper's §4 workloads: ADI (Figure 1),
+  particle-in-cell with B_BLOCK load balancing (Figure 2), and the
+  grid-smoothing distribution-choice example.
+
+Quickstart::
+
+    from repro import *
+
+    R = ProcessorArray("R", (4,))
+    machine = Machine(R, cost_model=PARAGON)
+    vfe = Engine(machine)
+    V = vfe.declare("V", (100, 100), dist=dist_type(":", "BLOCK"),
+                    dynamic=DynamicAttr())
+    # ... x-sweep (columns local) ...
+    vfe.distribute("V", dist_type("BLOCK", ":"))
+    # ... y-sweep (rows local) ...
+"""
+
+from .core import *  # noqa: F401,F403
+from .core import __all__ as _core_all
+from .machine import *  # noqa: F401,F403
+from .machine import __all__ as _machine_all
+from .runtime import *  # noqa: F401,F403
+from .runtime import __all__ as _runtime_all
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__", *_core_all, *_machine_all, *_runtime_all]

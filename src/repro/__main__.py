@@ -1,0 +1,57 @@
+"""``python -m repro`` — a one-screen tour of the reproduction.
+
+Runs a miniature version of each paper artifact (Figure 1 ADI,
+Figure 2 PIC, the §4 smoothing choice) and prints the headline
+comparisons.  The full tables live in ``benchmarks/`` (run
+``pytest benchmarks/ --benchmark-disable -s``).
+"""
+
+from __future__ import annotations
+
+
+def main() -> None:
+    import numpy as np
+
+    from .apps.adi import run_adi
+    from .apps.pic import PICConfig, run_pic
+    from .apps.smoothing import best_distribution
+    from .machine import IPSC860, Machine, MODERN_CLUSTER, PARAGON, ProcessorArray
+
+    print("repro — Dynamic Data Distributions in Vienna Fortran (SC'93)\n")
+
+    print("Figure 1 (ADI, 64x64, 4 procs, Paragon model):")
+    for strategy in ("dynamic", "static_cols"):
+        m = Machine(ProcessorArray("R", (4,)), cost_model=PARAGON)
+        r = run_adi(m, 64, 64, 2, strategy, seed=0)
+        print(
+            f"  {strategy:12s} sweep msgs={r.sweep_messages:4d}  "
+            f"redist msgs={r.redistribution.messages:3d}  "
+            f"time={r.total_time * 1e3:7.2f} ms"
+        )
+
+    print("\nFigure 2 (PIC, 3000 particles drifting, 50 steps):")
+    for strategy in ("static", "bblock"):
+        m = Machine(ProcessorArray("P", (4,)), cost_model=PARAGON)
+        r = run_pic(
+            m,
+            PICConfig(
+                strategy=strategy, ncell=128, npart=3000, max_time=50,
+                nprocs=4, drift=0.006, seed=5,
+            ),
+        )
+        print(
+            f"  {strategy:8s} mean imbalance={r.mean_imbalance:5.2f}  "
+            f"max={r.max_imbalance:5.2f}  redistributions={r.redistributions}"
+        )
+
+    print("\nSection 4 smoothing choice (N=128, p=16):")
+    for model in (IPSC860, PARAGON, MODERN_CLUSTER):
+        print(f"  on {model.name:9s}: DISTRIBUTE U :: "
+              f"{best_distribution(128, 16, model)}")
+
+    print("\nSee examples/ and benchmarks/ for the full reproduction.")
+    del np
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,243 @@
+"""Particle-in-cell simulation — paper Figure 2, §4.
+
+"Consider a simulation code based on the particle-in-cell method ...
+The computation at each time step can be divided into two phases.  In
+the first phase, a global force field is computed using the current
+position of particles.  In the second phase, given the new global
+force field, new positions of the particles are computed. ...  The
+main goal here is to distribute the cells across the processors such
+that the work per processor is approximately equal."
+
+The reproduction keeps Figure 2's structure:
+
+- cells are the first dimension of a dynamic ``FIELD`` array,
+  initially ``(BLOCK, :)``;
+- ``initpos`` places particles (a configurable clustered profile so
+  that drift creates the load imbalance the paper worries about);
+- ``balance`` computes contiguous block sizes from per-cell particle
+  counts; ``DISTRIBUTE FIELD :: B_BLOCK(BOUNDS)`` applies them;
+- each step runs ``update_field`` (owner-computes work proportional
+  to local particle count), ``update_part`` (drift + diffusion;
+  particles crossing to a cell on another processor cost aggregated
+  reassignment messages via the inspector/executor pattern);
+- every ``rebalance_every``-th step, if the imbalance exceeds a
+  threshold, ``balance`` + redistribute (Figure 2's
+  ``IF (MOD(k,10).EQ.0 .AND. rebalance())`` test).
+
+:func:`run_pic` records, per step, the load imbalance, the messages
+spent on particle motion, field work time, and redistribution cost —
+the trajectories experiment E3 plots against the static-BLOCK
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.dimdist import Block, GenBlock, NoDist
+from ..core.distribution import DistributionType
+from ..machine.machine import Machine
+from ..runtime.engine import Engine
+from .load_balance import balance_greedy
+
+__all__ = ["PICConfig", "StepRecord", "PICResult", "run_pic", "initpos"]
+
+
+@dataclass
+class PICConfig:
+    """Parameters of the PIC run (paper names where they exist)."""
+
+    ncell: int = 128            # NCELL
+    npart: int = 4096           # total particles (paper bounds per cell)
+    max_time: int = 50          # MAX_TIME
+    nprocs: int = 4
+    rebalance_every: int = 10   # "every 10th iteration"
+    imbalance_threshold: float = 1.25  # rebalance() trigger
+    drift: float = 0.004        # mean particle velocity (domain units/step)
+    diffusion: float = 0.002    # random-walk scale
+    cluster_width: float = 0.08  # initpos cluster stddev
+    flops_per_particle: float = 20.0  # update_field work per particle
+    particle_bytes: int = 32    # payload per reassigned particle
+    strategy: str = "bblock"    # "bblock" (Figure 2) | "static" baseline
+    seed: int = 0
+
+
+@dataclass
+class StepRecord:
+    """Per-step measurements."""
+
+    step: int
+    imbalance: float       # max/mean particles per processor
+    max_load: int          # particles on the busiest processor
+    motion_messages: int   # particle-reassignment messages
+    motion_bytes: int
+    redistributed: bool
+    redistribution_bytes: int
+    time: float            # machine clock at end of step
+
+
+@dataclass
+class PICResult:
+    config: PICConfig
+    steps: list[StepRecord] = field(default_factory=list)
+    redistributions: int = 0
+    total_time: float = 0.0
+
+    @property
+    def mean_imbalance(self) -> float:
+        return float(np.mean([s.imbalance for s in self.steps]))
+
+    @property
+    def max_imbalance(self) -> float:
+        return float(max(s.imbalance for s in self.steps))
+
+    @property
+    def motion_bytes_total(self) -> int:
+        return sum(s.motion_bytes for s in self.steps)
+
+    @property
+    def redistribution_bytes_total(self) -> int:
+        return sum(s.redistribution_bytes for s in self.steps)
+
+
+def initpos(config: PICConfig, rng: np.random.Generator) -> np.ndarray:
+    """Initial particle positions: a Gaussian cluster near x = 0.2.
+
+    A clustered profile makes the static BLOCK distribution imbalanced
+    from the start and lets drift move the hot spot across processor
+    boundaries — the scenario §4 gives for needing B_BLOCK rebalancing.
+    """
+    pos = rng.normal(0.2, config.cluster_width, size=config.npart)
+    return np.clip(pos, 0.0, np.nextafter(1.0, 0.0))
+
+
+def _cell_of(pos: np.ndarray, ncell: int) -> np.ndarray:
+    return np.minimum((pos * ncell).astype(np.int64), ncell - 1)
+
+
+def _field_dist(sizes: list[int] | None, ncell: int, nprocs: int) -> DistributionType:
+    if sizes is None:
+        return DistributionType((Block(), NoDist()))
+    return DistributionType((GenBlock(sizes), NoDist()))
+
+
+def run_pic(machine: Machine, config: PICConfig) -> PICResult:
+    """Run the Figure 2 PIC loop; see the module docstring."""
+    if machine.nprocs != config.nprocs:
+        raise ValueError(
+            f"machine has {machine.nprocs} processors, config says {config.nprocs}"
+        )
+    if config.strategy not in ("bblock", "static"):
+        raise ValueError("strategy must be 'bblock' or 'static'")
+    rng = np.random.default_rng(config.seed)
+    engine = Engine(machine)
+    machine.reset_network()
+
+    ncell, nprocs = config.ncell, config.nprocs
+    # FIELD(NCELL, NFIELD): per-cell field values (second dim holds a
+    # small record per cell, standing in for the paper's NPART slots).
+    nfield = 4
+    fld = engine.declare(
+        "FIELD",
+        (ncell, nfield),
+        dist=_field_dist(None, ncell, nprocs),
+        dynamic=True,
+    )
+
+    # C Compute initial position of particles
+    pos = initpos(config, rng)
+    vel = np.full(config.npart, config.drift)
+
+    def counts() -> np.ndarray:
+        return np.bincount(_cell_of(pos, ncell), minlength=ncell)
+
+    def cell_owner_map() -> np.ndarray:
+        """Owner rank of each cell under FIELD's current distribution."""
+        return np.asarray(fld.dist.rank_map())[:, 0]
+
+    # C Compute initial partition of cells + DISTRIBUTE FIELD :: B_BLOCK(BOUNDS)
+    if config.strategy == "bblock":
+        bounds = balance_greedy(counts(), nprocs)
+        engine.distribute("FIELD", _field_dist(bounds, ncell, nprocs))
+
+    result = PICResult(config)
+    for k in range(1, config.max_time + 1):
+        owners = cell_owner_map()
+        w = counts()
+
+        # C Compute new field: owner-computes, work ~ local particles
+        loads = np.bincount(owners, weights=w, minlength=nprocs)
+        for rank in range(nprocs):
+            machine.network.compute(
+                rank, config.flops_per_particle * float(loads[rank])
+            )
+        machine.network.synchronize()
+
+        # C Compute new particle positions and reassign them
+        old_cells = _cell_of(pos, ncell)
+        pos = pos + vel + rng.normal(0.0, config.diffusion, size=config.npart)
+        # reflecting walls keep the cluster inside the domain
+        pos = np.abs(pos)
+        over = pos >= 1.0
+        pos[over] = 2.0 - pos[over]
+        pos = np.clip(pos, 0.0, np.nextafter(1.0, 0.0))
+        vel[over] = -vel[over]
+        new_cells = _cell_of(pos, ncell)
+
+        moved = old_cells != new_cells
+        src = owners[old_cells[moved]]
+        dst = owners[new_cells[moved]]
+        cross = src != dst
+        m0 = machine.stats()
+        if cross.any():
+            pair = src[cross] * nprocs + dst[cross]
+            cnt = np.bincount(pair, minlength=nprocs * nprocs).reshape(
+                nprocs, nprocs
+            )
+            machine.network.exchange(
+                [
+                    (int(s), int(d), int(cnt[s, d]) * config.particle_bytes,
+                     "pic:reassign")
+                    for s, d in zip(*np.nonzero(cnt))
+                ]
+            )
+            machine.network.synchronize()
+        m1 = machine.stats()
+
+        # C Rebalance every rebalance_every-th iteration if necessary
+        redistributed = False
+        redist_bytes = 0
+        w = counts()
+        loads = np.bincount(owners, weights=w, minlength=nprocs)
+        imb = float(loads.max() / max(loads.mean(), 1e-12))
+        if (
+            config.strategy == "bblock"
+            and k % config.rebalance_every == 0
+            and imb > config.imbalance_threshold
+        ):
+            bounds = balance_greedy(w, nprocs)
+            r0 = machine.stats()
+            engine.distribute("FIELD", _field_dist(bounds, ncell, nprocs))
+            redist_bytes = machine.stats().bytes - r0.bytes
+            redistributed = True
+            result.redistributions += 1
+            owners = cell_owner_map()
+            loads = np.bincount(owners, weights=w, minlength=nprocs)
+            imb = float(loads.max() / max(loads.mean(), 1e-12))
+
+        result.steps.append(
+            StepRecord(
+                step=k,
+                imbalance=imb,
+                max_load=int(loads.max()),
+                motion_messages=m1.messages - m0.messages,
+                motion_bytes=m1.bytes - m0.bytes,
+                redistributed=redistributed,
+                redistribution_bytes=redist_bytes,
+                time=machine.time,
+            )
+        )
+    result.total_time = machine.time
+    return result

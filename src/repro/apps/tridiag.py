@@ -1,0 +1,98 @@
+"""Tridiagonal solvers — the paper's ``TRIDIAG`` routine (Figure 1).
+
+"The tridiagonal solves are performed by a sequential routine TRIDIAG
+(not shown here) which is given a right hand side and overwrites it
+with the solution of a constant coefficient tridiagonal system."
+
+:func:`thomas_const` is exactly that routine: the Thomas algorithm
+specialized to a constant-coefficient system (sub/sup-diagonal ``a``,
+diagonal ``b``).  :func:`thomas` solves the general variable
+coefficient case; both are plain sequential kernels — parallelism in
+ADI comes from solving *many independent lines*, not from inside one
+solve, which is the whole point of the paper's example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["thomas", "thomas_const", "tridiag_matvec"]
+
+
+def thomas(
+    lower: np.ndarray, diag: np.ndarray, upper: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Solve a general tridiagonal system by the Thomas algorithm.
+
+    ``lower`` has length n-1 (subdiagonal), ``diag`` length n,
+    ``upper`` length n-1 (superdiagonal).  Returns the solution (the
+    inputs are not modified).  The algorithm is the standard O(n)
+    forward elimination / back substitution; it is stable for the
+    diagonally dominant systems ADI produces.
+    """
+    diag = np.asarray(diag, dtype=np.float64)
+    rhs = np.asarray(rhs, dtype=np.float64)
+    lower = np.asarray(lower, dtype=np.float64)
+    upper = np.asarray(upper, dtype=np.float64)
+    n = len(diag)
+    if len(rhs) != n or len(lower) != n - 1 or len(upper) != n - 1:
+        raise ValueError("inconsistent tridiagonal system sizes")
+    if n == 0:
+        return rhs.copy()
+    cp = np.empty(n, dtype=np.float64)
+    dp = np.empty(n, dtype=np.float64)
+    if diag[0] == 0:
+        raise ZeroDivisionError("zero pivot in Thomas algorithm")
+    cp[0] = upper[0] / diag[0] if n > 1 else 0.0
+    dp[0] = rhs[0] / diag[0]
+    for i in range(1, n):
+        denom = diag[i] - lower[i - 1] * cp[i - 1]
+        if denom == 0:
+            raise ZeroDivisionError("zero pivot in Thomas algorithm")
+        cp[i] = upper[i] / denom if i < n - 1 else 0.0
+        dp[i] = (rhs[i] - lower[i - 1] * dp[i - 1]) / denom
+    x = np.empty(n, dtype=np.float64)
+    x[-1] = dp[-1]
+    for i in range(n - 2, -1, -1):
+        x[i] = dp[i] - cp[i] * x[i + 1]
+    return x
+
+
+def thomas_const(rhs: np.ndarray, a: float, b: float) -> np.ndarray:
+    """The paper's TRIDIAG: solve ``T x = rhs`` with constant
+    coefficients — diagonal ``b``, sub- and super-diagonal ``a``.
+
+    Returns the solution; callers overwrite their right-hand side with
+    it exactly as Figure 1 describes.
+    """
+    rhs = np.asarray(rhs, dtype=np.float64)
+    n = len(rhs)
+    if n == 0:
+        return rhs.copy()
+    cp = np.empty(n, dtype=np.float64)
+    dp = np.empty(n, dtype=np.float64)
+    if b == 0:
+        raise ZeroDivisionError("zero pivot in Thomas algorithm")
+    cp[0] = a / b if n > 1 else 0.0
+    dp[0] = rhs[0] / b
+    for i in range(1, n):
+        denom = b - a * cp[i - 1]
+        if denom == 0:
+            raise ZeroDivisionError("zero pivot in Thomas algorithm")
+        cp[i] = a / denom if i < n - 1 else 0.0
+        dp[i] = (rhs[i] - a * dp[i - 1]) / denom
+    x = np.empty(n, dtype=np.float64)
+    x[-1] = dp[-1]
+    for i in range(n - 2, -1, -1):
+        x[i] = dp[i] - cp[i] * x[i + 1]
+    return x
+
+
+def tridiag_matvec(x: np.ndarray, a: float, b: float) -> np.ndarray:
+    """``T x`` for the constant-coefficient tridiagonal ``T`` —
+    the verification counterpart of :func:`thomas_const`."""
+    x = np.asarray(x, dtype=np.float64)
+    y = b * x
+    y[1:] += a * x[:-1]
+    y[:-1] += a * x[1:]
+    return y

@@ -1,0 +1,93 @@
+"""Compile-time support (paper §3.1).
+
+A mini-IR for Vienna Fortran-shaped programs, CFG construction, the
+reaching-distributions dataflow analysis (plausible-distribution
+sets), partial evaluation of IDT/DCASE queries, per-reference
+communication and memory estimates, and SPMD lowering of the paper's
+access patterns into executable kernels.
+"""
+
+from .cfg import CFG, CFGEdge, CFGNode, build_cfg
+from .codegen import LineSweepKernel, StencilKernel, lower_line_sweep, lower_stencil
+from .comm_analysis import (
+    CommEstimate,
+    MemoryEstimate,
+    estimate_memory,
+    estimate_ref,
+    infer_overlap,
+)
+from .optimize import OptimizeStats, optimize
+from .ir import (
+    AccessKind,
+    ArrayRef,
+    Assign,
+    Block,
+    Call,
+    DCaseStmt,
+    DistributeStmt,
+    If,
+    IRProgram,
+    Loop,
+    ProcDef,
+    Stmt,
+)
+from .partial_eval import (
+    ALWAYS,
+    MAYBE,
+    NEVER,
+    TOP,
+    PlausibleSet,
+    decide_pattern,
+    decide_querylist,
+    dim_implies,
+    dim_overlaps,
+    pattern_implies,
+    pattern_overlaps,
+    refine_pattern,
+)
+from .reaching import AnalysisResult, ReachingDistributions, analyze
+
+__all__ = [
+    "AccessKind",
+    "ArrayRef",
+    "Assign",
+    "Block",
+    "Call",
+    "DCaseStmt",
+    "DistributeStmt",
+    "If",
+    "IRProgram",
+    "Loop",
+    "ProcDef",
+    "Stmt",
+    "CFG",
+    "CFGEdge",
+    "CFGNode",
+    "build_cfg",
+    "ALWAYS",
+    "MAYBE",
+    "NEVER",
+    "TOP",
+    "PlausibleSet",
+    "decide_pattern",
+    "decide_querylist",
+    "dim_implies",
+    "dim_overlaps",
+    "pattern_implies",
+    "pattern_overlaps",
+    "refine_pattern",
+    "AnalysisResult",
+    "ReachingDistributions",
+    "analyze",
+    "CommEstimate",
+    "MemoryEstimate",
+    "estimate_ref",
+    "estimate_memory",
+    "infer_overlap",
+    "OptimizeStats",
+    "optimize",
+    "StencilKernel",
+    "LineSweepKernel",
+    "lower_stencil",
+    "lower_line_sweep",
+]

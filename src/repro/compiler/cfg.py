@@ -1,0 +1,156 @@
+"""Control-flow graphs over the mini-IR.
+
+The reaching-distribution analysis (§3.1) is a forward dataflow
+problem; this module linearizes the structured IR into basic blocks
+and edges.  Edges may carry *refinements* — (array, pattern) pairs
+asserting that along this edge the array's distribution matched the
+pattern.  DCASE arms and IDT-conditioned branches produce refined
+edges, which is how the analysis narrows plausible sets inside guarded
+blocks (the basis of the compiler's partial evaluation of queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.query import QueryList, TypePattern
+from .ir import Assign, Block, Call, DCaseStmt, DistributeStmt, If, Loop, Stmt
+
+__all__ = ["CFGNode", "CFGEdge", "CFG", "build_cfg"]
+
+
+@dataclass
+class CFGEdge:
+    """A directed edge, optionally refining arrays' plausible sets."""
+
+    src: int
+    dst: int
+    refinements: tuple[tuple[str, TypePattern], ...] = ()
+
+
+@dataclass
+class CFGNode:
+    """A basic block of straight-line statements.
+
+    ``branch_stmt`` is set on nodes whose outgoing edges realize a
+    control statement (If/Loop/DCase); the dataflow records the state
+    at the end of such a node as the state *before* that statement,
+    which is what query partial evaluation needs.
+    """
+
+    id: int
+    stmts: list[Stmt] = field(default_factory=list)
+    succs: list[CFGEdge] = field(default_factory=list)
+    preds: list[CFGEdge] = field(default_factory=list)
+    branch_stmt: Stmt | None = None
+
+
+class CFG:
+    """A control-flow graph with unique entry and exit nodes."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[int, CFGNode] = {}
+        self._next = 0
+        self.entry = self.new_node().id
+        self.exit = self.new_node().id
+
+    def new_node(self) -> CFGNode:
+        node = CFGNode(self._next)
+        self.nodes[self._next] = node
+        self._next += 1
+        return node
+
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        refinements: tuple[tuple[str, TypePattern], ...] = (),
+    ) -> None:
+        edge = CFGEdge(src, dst, refinements)
+        self.nodes[src].succs.append(edge)
+        self.nodes[dst].preds.append(edge)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def _refinements_of_querylist(
+    selectors: tuple[str, ...], ql: QueryList
+) -> tuple[tuple[str, TypePattern], ...]:
+    """The (array, pattern) assertions a matched query list implies."""
+    out: list[tuple[str, TypePattern]] = []
+    if ql.tagged is not None:
+        for name, pat in ql.tagged.items():
+            out.append((name, pat))
+    else:
+        for name, pat in zip(selectors, ql.positional or ()):
+            out.append((name, pat))
+    return tuple(out)
+
+
+def build_cfg(block: Block) -> CFG:
+    """Build the CFG of one procedure body."""
+    cfg = CFG()
+    first = cfg.new_node()
+    cfg.add_edge(cfg.entry, first.id)
+    last = _build_block(cfg, block, first)
+    cfg.add_edge(last.id, cfg.exit)
+    return cfg
+
+
+def _build_block(cfg: CFG, block: Block, current: CFGNode) -> CFGNode:
+    """Append ``block`` starting at ``current``; return the final node."""
+    for stmt in block:
+        if isinstance(stmt, (Assign, DistributeStmt, Call)):
+            current.stmts.append(stmt)
+        elif isinstance(stmt, If):
+            current.branch_stmt = stmt
+            then_entry = cfg.new_node()
+            else_entry = cfg.new_node()
+            join = cfg.new_node()
+            then_ref: tuple[tuple[str, TypePattern], ...] = ()
+            if stmt.idt_cond is not None:
+                then_ref = (stmt.idt_cond,)
+            cfg.add_edge(current.id, then_entry.id, then_ref)
+            cfg.add_edge(current.id, else_entry.id)
+            then_exit = _build_block(cfg, stmt.then, then_entry)
+            else_exit = _build_block(cfg, stmt.orelse, else_entry)
+            cfg.add_edge(then_exit.id, join.id)
+            cfg.add_edge(else_exit.id, join.id)
+            current = join
+        elif isinstance(stmt, Loop):
+            current.branch_stmt = stmt
+            head = cfg.new_node()
+            body_entry = cfg.new_node()
+            follow = cfg.new_node()
+            cfg.add_edge(current.id, head.id)
+            cfg.add_edge(head.id, body_entry.id)
+            cfg.add_edge(head.id, follow.id)  # zero-trip exit
+            body_exit = _build_block(cfg, stmt.body, body_entry)
+            cfg.add_edge(body_exit.id, head.id)  # back edge
+            current = follow
+        elif isinstance(stmt, DCaseStmt):
+            current.branch_stmt = stmt
+            join = cfg.new_node()
+            has_default = False
+            for ql, arm in stmt.arms:
+                arm_entry = cfg.new_node()
+                if ql is None:  # DEFAULT
+                    has_default = True
+                    cfg.add_edge(current.id, arm_entry.id)
+                else:
+                    cfg.add_edge(
+                        current.id,
+                        arm_entry.id,
+                        _refinements_of_querylist(stmt.selectors, ql),
+                    )
+                arm_exit = _build_block(cfg, arm, arm_entry)
+                cfg.add_edge(arm_exit.id, join.id)
+            if not has_default:
+                # "If no match occurs, the execution of the construct is
+                # completed without executing an action" (§2.5.1).
+                cfg.add_edge(current.id, join.id)
+            current = join
+        else:
+            raise TypeError(f"unknown IR statement {stmt!r}")
+    return current

@@ -1,0 +1,243 @@
+"""Communication analysis (§3.1).
+
+"An extensive communication analysis provides not only information on
+the communication associated with each plausible distribution for an
+array, but also the memory requirements of the array under that
+distribution."
+
+Given the reaching-distribution results, this module estimates — per
+array reference and per plausible distribution type — the messages and
+data volume an owner-computes lowering would generate, plus the
+per-processor memory the array needs under that type.  The estimates
+are the closed-form expressions of the paper's §4 analysis (e.g. a
+shift reference under a 1-D BLOCK distribution costs 2 messages of one
+boundary slab per processor per sweep; under CYCLIC it costs the whole
+local segment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dimdist import Block, Cyclic, GenBlock, NoDist, SBlock
+from ..core.query import ANY, TypePattern, Wild
+from .ir import AccessKind, ArrayRef
+
+__all__ = [
+    "CommEstimate",
+    "MemoryEstimate",
+    "estimate_ref",
+    "estimate_memory",
+    "infer_overlap",
+]
+
+
+@dataclass(frozen=True)
+class CommEstimate:
+    """Estimated traffic of one reference under one distribution type,
+    for a single execution of the enclosing statement."""
+
+    messages: int          # total messages across all processors
+    volume: int            # total elements transferred
+    irregular: bool = False  # needs the inspector/executor path
+    note: str = ""
+
+    def __add__(self, other: "CommEstimate") -> "CommEstimate":
+        return CommEstimate(
+            self.messages + other.messages,
+            self.volume + other.volume,
+            self.irregular or other.irregular,
+            "; ".join(n for n in (self.note, other.note) if n),
+        )
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Per-processor elements an array needs under a distribution type."""
+
+    elements_per_proc: int
+    replicated: bool = False
+
+
+ZERO = CommEstimate(0, 0)
+
+
+def _dims_of_pattern(pattern: TypePattern, ndim: int) -> list[object]:
+    if pattern.dims is None:
+        return [ANY] * ndim
+    return list(pattern.dims)
+
+
+def _proc_count_along(dim_index: int, distributed_dims: list[int], proc_shape: tuple[int, ...]) -> int:
+    """Processor slots along array dim ``dim_index`` (1 if undistributed)."""
+    if dim_index not in distributed_dims:
+        return 1
+    k = distributed_dims.index(dim_index)
+    if k >= len(proc_shape):
+        return proc_shape[-1] if proc_shape else 1
+    return proc_shape[k]
+
+
+def _is_blockish(dp: object) -> bool:
+    if isinstance(dp, (Block, GenBlock, SBlock)):
+        return True
+    if isinstance(dp, Wild):
+        return issubclass(dp.cls, (Block, GenBlock, SBlock))
+    return False
+
+
+def _is_cyclicish(dp: object) -> bool:
+    if isinstance(dp, Cyclic):
+        return True
+    if isinstance(dp, Wild):
+        return issubclass(dp.cls, Cyclic)
+    return False
+
+
+def _is_distributed(dp: object) -> bool:
+    """Conservatively: could this dim pattern place data off-processor?"""
+    if isinstance(dp, NoDist):
+        return False
+    return True  # ANY / Wild / any concrete distributing intrinsic
+
+
+def estimate_ref(
+    ref: ArrayRef,
+    pattern: TypePattern,
+    shape: tuple[int, ...],
+    proc_shape: tuple[int, ...],
+) -> CommEstimate:
+    """Traffic estimate of one read reference under one plausible type.
+
+    ``shape`` is the referenced array's index-domain shape and
+    ``proc_shape`` the processor-grid extents assigned (in order) to
+    the distributed dimensions of ``pattern``.
+    """
+    ndim = len(shape)
+    dims = _dims_of_pattern(pattern, ndim)
+    if len(dims) != ndim:
+        raise ValueError(
+            f"pattern {pattern!r} rank {len(dims)} != array rank {ndim}"
+        )
+    ddims = [d for d, dp in enumerate(dims) if _is_distributed(dp)]
+    nprocs = 1
+    for d in ddims:
+        nprocs *= _proc_count_along(d, ddims, proc_shape)
+
+    if ref.kind == AccessKind.IDENTITY:
+        # aligned with the owner-computes iteration: local
+        return ZERO
+
+    if ref.kind == AccessKind.SHIFT:
+        total = CommEstimate(0, 0)
+        offsets = ref.offsets + (0,) * (ndim - len(ref.offsets))
+        for d, off in enumerate(offsets):
+            if off == 0 or not _is_distributed(dims[d]):
+                continue
+            p_d = _proc_count_along(d, ddims, proc_shape)
+            if p_d <= 1:
+                continue
+            slab = 1
+            for e in range(ndim):
+                if e == d:
+                    continue
+                p_e = _proc_count_along(e, ddims, proc_shape)
+                slab *= -(-shape[e] // p_e)
+            if _is_blockish(dims[d]) or dims[d] is ANY:
+                # one boundary message per processor per shifted dim,
+                # in the offset's direction; |off| deep
+                msgs = nprocs
+                vol = nprocs * slab * abs(off)
+                note = f"boundary exchange dim {d}"
+            elif _is_cyclicish(dims[d]):
+                # a shift under CYCLIC moves (nearly) every element
+                local = -(-shape[d] // p_d)
+                msgs = nprocs
+                vol = nprocs * slab * local
+                note = f"cyclic shift dim {d} (full segment)"
+            else:
+                msgs = nprocs
+                vol = nprocs * slab * abs(off)
+                note = f"shift dim {d}"
+            total = total + CommEstimate(msgs, vol, note=note)
+        return total
+
+    if ref.kind == AccessKind.ROW_SWEEP:
+        d = ref.dim
+        assert d is not None
+        if not _is_distributed(dims[d]):
+            return ZERO  # every line is local: the ADI good case
+        p_d = _proc_count_along(d, ddims, proc_shape)
+        if p_d <= 1:
+            return ZERO
+        nlines = 1
+        for e in range(ndim):
+            if e != d:
+                nlines *= shape[e]
+        # each line crosses p_d processors: gather + scatter pipeline
+        msgs = nlines * 2 * (p_d - 1)
+        vol = nlines * 2 * (shape[d] - -(-shape[d] // p_d))
+        return CommEstimate(msgs, vol, note=f"line sweep across dim {d}")
+
+    if ref.kind == AccessKind.INDIRECT:
+        # worst case: every element referenced once, all off-processor;
+        # PARTI aggregates to one message per processor pair
+        n = 1
+        for s in shape:
+            n *= s
+        return CommEstimate(
+            nprocs * max(nprocs - 1, 0),
+            n,
+            irregular=True,
+            note="inspector/executor",
+        )
+
+    if ref.kind == AccessKind.WHOLE:
+        n = 1
+        for s in shape:
+            n *= s
+        return CommEstimate(max(nprocs - 1, 0), n, note="gather/broadcast")
+
+    raise ValueError(f"unknown access kind {ref.kind!r}")
+
+
+def infer_overlap(refs, ndim: int) -> dict[str, tuple[int, ...]]:
+    """Overlap (ghost) widths the compiler would allocate per array.
+
+    §3.1: the compiler "generates code to create and maintain data
+    structures describing ... the associated overlap areas".  The halo
+    an array needs along each dimension is the maximum |offset| over
+    all SHIFT references to it; arrays referenced only by identity (or
+    by sweeps, which gather whole lines instead) need none.
+
+    Returns ``{array_name: per-dimension widths}`` for every array
+    that needs a halo.
+    """
+    out: dict[str, list[int]] = {}
+    for ref in refs:
+        if ref.kind != AccessKind.SHIFT:
+            continue
+        widths = out.setdefault(ref.array, [0] * ndim)
+        for d, off in enumerate(ref.offsets[:ndim]):
+            widths[d] = max(widths[d], abs(int(off)))
+    return {name: tuple(w) for name, w in out.items() if any(w)}
+
+
+def estimate_memory(
+    pattern: TypePattern, shape: tuple[int, ...], proc_shape: tuple[int, ...]
+) -> MemoryEstimate:
+    """Per-processor memory need of an array under one plausible type."""
+    ndim = len(shape)
+    dims = _dims_of_pattern(pattern, ndim)
+    from ..core.dimdist import Replicated
+
+    replicated = any(isinstance(dp, Replicated) for dp in dims)
+    ddims = [d for d, dp in enumerate(dims) if _is_distributed(dp)]
+    per_proc = 1
+    for d in range(ndim):
+        if d in ddims and not isinstance(dims[d], Replicated):
+            p_d = _proc_count_along(d, ddims, proc_shape)
+            per_proc *= -(-shape[d] // p_d)
+        else:
+            per_proc *= shape[d]
+    return MemoryEstimate(per_proc, replicated)

@@ -1,0 +1,232 @@
+"""Mini intermediate representation for the compiler analyses (§3.1).
+
+The VFCS analysis phase solves the *reaching distribution problem*:
+"the compiler must determine the range of distribution types which may
+reach a specific array access in the code, by intra- and
+inter-procedural analysis."  To reproduce the analysis we need programs
+to analyse; this IR models the statements that matter to it:
+
+- :class:`ArrayRef` — one array access with an access-pattern summary
+  (enough for the communication analysis);
+- :class:`Assign` — a computation reading/writing arrays;
+- :class:`DistributeStmt` — an executable DISTRIBUTE; the new type may
+  be *symbolic* (e.g. ``B_BLOCK(BOUNDS)`` with run-time bounds), which
+  the analysis represents as a wildcard pattern;
+- :class:`If` / :class:`Loop` — structured control flow, with optional
+  IDT conditions the partial evaluator understands;
+- :class:`DCaseStmt` — the DCASE construct as IR;
+- :class:`Call` — procedure call with formal/actual binding (the
+  inter-procedural part).
+
+Programs are structured (no goto), matching Vienna Fortran's
+block-oriented constructs; the CFG builder linearizes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.query import QueryList, TypePattern, as_pattern
+
+__all__ = [
+    "AccessKind",
+    "ArrayRef",
+    "Stmt",
+    "Assign",
+    "DistributeStmt",
+    "If",
+    "Loop",
+    "DCaseStmt",
+    "Call",
+    "Block",
+    "ProcDef",
+    "IRProgram",
+]
+
+
+class AccessKind:
+    """Access-pattern summaries used by the communication analysis."""
+
+    IDENTITY = "identity"  # A(i, j)        — aligned with the lhs iteration
+    SHIFT = "shift"        # A(i-1, j+1)    — constant offsets
+    ROW_SWEEP = "row"      # A(i, :)        — full line along given dim
+    INDIRECT = "indirect"  # A(ix(i))       — irregular (inspector/executor)
+    WHOLE = "whole"        # A              — the entire array
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """One array access: name + access-pattern summary.
+
+    ``offsets`` is used with ``SHIFT`` (per-dimension constant offsets)
+    and ``dim`` with ``ROW_SWEEP`` (the swept dimension).
+    """
+
+    array: str
+    kind: str = AccessKind.IDENTITY
+    offsets: tuple[int, ...] = ()
+    dim: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (
+            AccessKind.IDENTITY,
+            AccessKind.SHIFT,
+            AccessKind.ROW_SWEEP,
+            AccessKind.INDIRECT,
+            AccessKind.WHOLE,
+        ):
+            raise ValueError(f"unknown access kind {self.kind!r}")
+        if self.kind == AccessKind.SHIFT and not self.offsets:
+            raise ValueError("SHIFT access needs offsets")
+        if self.kind == AccessKind.ROW_SWEEP and self.dim is None:
+            raise ValueError("ROW_SWEEP access needs the swept dim")
+
+
+class Stmt:
+    """Base class of IR statements."""
+
+    #: unique id assigned by the program builder (for analysis keys)
+    sid: int = -1
+
+
+@dataclass
+class Assign(Stmt):
+    """``lhs(...) = f(reads...)`` — the owner-computes unit."""
+
+    lhs: ArrayRef
+    reads: tuple[ArrayRef, ...] = ()
+    label: str = ""
+
+
+@dataclass
+class DistributeStmt(Stmt):
+    """``DISTRIBUTE array :: pattern``.
+
+    ``pattern`` is a :class:`~repro.core.query.TypePattern`; a concrete
+    pattern models a statically known distribute, a wildcarded one a
+    run-time-valued distribute (``CYCLIC(K)``, ``B_BLOCK(BOUNDS)``).
+    ``connected`` lists secondary arrays redistributed with it.
+    """
+
+    array: str
+    pattern: TypePattern
+    connected: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.pattern = as_pattern(self.pattern)
+
+
+@dataclass
+class If(Stmt):
+    """Two-way branch.  ``idt_cond`` optionally names an IDT test
+    ``(array, pattern)`` that the partial evaluator can decide."""
+
+    then: "Block"
+    orelse: "Block"
+    idt_cond: tuple[str, TypePattern] | None = None
+
+    def __post_init__(self) -> None:
+        if self.idt_cond is not None:
+            arr, pat = self.idt_cond
+            self.idt_cond = (arr, as_pattern(pat))
+
+
+@dataclass
+class Loop(Stmt):
+    """A loop with statically unknown trip count (>= 0 iterations)."""
+
+    body: "Block"
+
+
+@dataclass
+class DCaseStmt(Stmt):
+    """The DCASE construct in IR form."""
+
+    selectors: tuple[str, ...]
+    arms: tuple[tuple[QueryList | None, "Block"], ...]  # None = DEFAULT
+
+
+@dataclass
+class Call(Stmt):
+    """Procedure call: ``callee(actual_for_formal...)``."""
+
+    callee: str
+    bindings: dict[str, str] = field(default_factory=dict)  # formal -> actual
+
+
+class Block:
+    """A statement sequence."""
+
+    def __init__(self, stmts: Sequence[Stmt] = ()):
+        self.stmts: list[Stmt] = list(stmts)
+
+    def __iter__(self):
+        return iter(self.stmts)
+
+    def __len__(self) -> int:
+        return len(self.stmts)
+
+
+@dataclass
+class ProcDef:
+    """One procedure: formals (names only; distributions arrive through
+    call bindings) and a body block."""
+
+    name: str
+    formals: tuple[str, ...]
+    body: Block
+    #: declared formal distributions (formal -> TypePattern), for the
+    #: implicit-redistribution-at-boundary semantics
+    formal_dists: dict[str, TypePattern] = field(default_factory=dict)
+
+
+class IRProgram:
+    """A whole program: procedures plus entry declarations.
+
+    ``declared[name]`` gives each array's declaration-time information
+    for the analysis: an initial :class:`TypePattern` (or None) and a
+    RANGE (list of patterns, or None = unrestricted).
+    """
+
+    def __init__(self, entry: str = "main"):
+        self.entry = entry
+        self.procs: dict[str, ProcDef] = {}
+        self.declared: dict[str, tuple[TypePattern | None, list[TypePattern] | None]] = {}
+        self._next_sid = 0
+
+    def add_proc(self, proc: ProcDef) -> ProcDef:
+        if proc.name in self.procs:
+            raise ValueError(f"procedure {proc.name!r} already defined")
+        self.procs[proc.name] = proc
+        self._number(proc.body)
+        return proc
+
+    def declare(
+        self,
+        name: str,
+        initial: object | None = None,
+        range_: Sequence[object] | None = None,
+    ) -> None:
+        init_pat = as_pattern(initial) if initial is not None else None
+        range_pats = [as_pattern(r) for r in range_] if range_ is not None else None
+        self.declared[name] = (init_pat, range_pats)
+
+    def _number(self, block: Block) -> None:
+        for stmt in block:
+            stmt.sid = self._next_sid
+            self._next_sid += 1
+            if isinstance(stmt, If):
+                self._number(stmt.then)
+                self._number(stmt.orelse)
+            elif isinstance(stmt, Loop):
+                self._number(stmt.body)
+            elif isinstance(stmt, DCaseStmt):
+                for _, arm in stmt.arms:
+                    self._number(arm)
+
+    def proc(self, name: str) -> ProcDef:
+        try:
+            return self.procs[name]
+        except KeyError:
+            raise KeyError(f"no procedure named {name!r}") from None

@@ -1,0 +1,229 @@
+"""Partial evaluation of distribution queries (§3.1).
+
+"The compiler also performs a partial evaluation of distribution
+queries (both IDT and the dcase construct), by checking whether there
+is a plausible distribution which will match."
+
+The analysis represents each array's plausible distributions as a
+:class:`PlausibleSet` — either TOP (statically unknown / any type the
+RANGE admits) or a finite set of :class:`~repro.core.query.TypePattern`
+elements (concrete types or wildcarded families, e.g. ``B_BLOCK(*)``
+for a distribute with run-time bounds).
+
+Pattern relations:
+
+- ``dim_implies(a, b)`` — every concrete distribution matching ``a``
+  also matches ``b``;
+- ``dim_overlaps(a, b)`` — some concrete distribution matches both.
+
+From these, :func:`decide_pattern` classifies a query against a
+plausible set as ``ALWAYS`` / ``NEVER`` / ``MAYBE``; ``NEVER`` arms of
+a DCASE are dead code (pruned in E6), ``ALWAYS`` arms let the compiler
+specialize without a run-time test.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.dimdist import DimDist
+from ..core.query import ANY, QueryList, TypePattern, Wild
+
+__all__ = [
+    "ALWAYS",
+    "NEVER",
+    "MAYBE",
+    "PlausibleSet",
+    "TOP",
+    "dim_implies",
+    "dim_overlaps",
+    "pattern_implies",
+    "pattern_overlaps",
+    "refine_pattern",
+    "decide_pattern",
+    "decide_querylist",
+]
+
+ALWAYS = "always"
+NEVER = "never"
+MAYBE = "maybe"
+
+
+# -- dimension-pattern relations ------------------------------------------
+
+def dim_implies(a: object, b: object) -> bool:
+    """Every concrete dim-dist matching ``a`` also matches ``b``."""
+    if b is ANY:
+        return True
+    if a is ANY:
+        return False
+    if isinstance(b, Wild):
+        if isinstance(a, Wild):
+            return issubclass(a.cls, b.cls)
+        return isinstance(a, b.cls)
+    # b concrete
+    if isinstance(a, Wild):
+        return False
+    return a == b
+
+
+def dim_overlaps(a: object, b: object) -> bool:
+    """Some concrete dim-dist matches both ``a`` and ``b``."""
+    if a is ANY or b is ANY:
+        return True
+    if isinstance(a, Wild) and isinstance(b, Wild):
+        return issubclass(a.cls, b.cls) or issubclass(b.cls, a.cls)
+    if isinstance(a, Wild):
+        return isinstance(b, DimDist) and isinstance(b, a.cls)
+    if isinstance(b, Wild):
+        return isinstance(a, DimDist) and isinstance(a, b.cls)
+    return a == b
+
+
+def _dim_refine(a: object, b: object) -> object | None:
+    """The most specific of two overlapping dim patterns (None = empty)."""
+    if not dim_overlaps(a, b):
+        return None
+    if dim_implies(a, b):
+        return a
+    if dim_implies(b, a):
+        return b
+    # two overlapping wildcard families: keep the narrower class
+    if isinstance(a, Wild) and isinstance(b, Wild):
+        return a if issubclass(a.cls, b.cls) else b
+    return a
+
+
+# -- type-pattern relations ---------------------------------------------------
+
+def pattern_implies(a: TypePattern, b: TypePattern) -> bool:
+    if b.dims is None:
+        return True
+    if a.dims is None:
+        return False
+    if len(a.dims) != len(b.dims):
+        return False
+    return all(dim_implies(x, y) for x, y in zip(a.dims, b.dims))
+
+
+def pattern_overlaps(a: TypePattern, b: TypePattern) -> bool:
+    if a.dims is None or b.dims is None:
+        return True
+    if len(a.dims) != len(b.dims):
+        return False
+    return all(dim_overlaps(x, y) for x, y in zip(a.dims, b.dims))
+
+
+def refine_pattern(a: TypePattern, b: TypePattern) -> TypePattern | None:
+    """Intersection of two patterns (None when disjoint)."""
+    if not pattern_overlaps(a, b):
+        return None
+    if a.dims is None:
+        return b
+    if b.dims is None:
+        return a
+    dims = []
+    for x, y in zip(a.dims, b.dims):
+        r = _dim_refine(x, y)
+        if r is None:
+            return None
+        dims.append(r)
+    return TypePattern(dims)
+
+
+# -- plausible sets ------------------------------------------------------------
+
+class PlausibleSet:
+    """The set of plausible distributions of one array at one point.
+
+    ``TOP`` (``patterns is None``) means statically unknown — "if the
+    full code is not available, the compiler will have to ... make
+    worst case assumptions".  Otherwise a finite set of patterns.
+    """
+
+    __slots__ = ("patterns",)
+
+    def __init__(self, patterns: Iterable[TypePattern] | None):
+        if patterns is None:
+            self.patterns: frozenset[TypePattern] | None = None
+        else:
+            self.patterns = frozenset(patterns)
+
+    @property
+    def is_top(self) -> bool:
+        return self.patterns is None
+
+    @property
+    def is_empty(self) -> bool:
+        return self.patterns is not None and not self.patterns
+
+    def union(self, other: "PlausibleSet") -> "PlausibleSet":
+        if self.is_top or other.is_top:
+            return TOP
+        return PlausibleSet(self.patterns | other.patterns)  # type: ignore[operator]
+
+    def refine(self, pattern: TypePattern) -> "PlausibleSet":
+        """Keep only the part of the set compatible with ``pattern``."""
+        if self.is_top:
+            return PlausibleSet([pattern])
+        out = []
+        for p in self.patterns:  # type: ignore[union-attr]
+            r = refine_pattern(p, pattern)
+            if r is not None:
+                out.append(r)
+        return PlausibleSet(out)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PlausibleSet) and self.patterns == other.patterns
+
+    def __hash__(self) -> int:
+        return hash(self.patterns)
+
+    def __repr__(self) -> str:
+        if self.is_top:
+            return "{TOP}"
+        return "{" + ", ".join(sorted(repr(p) for p in self.patterns)) + "}"  # type: ignore[union-attr]
+
+
+TOP = PlausibleSet(None)
+
+
+# -- decisions --------------------------------------------------------------------
+
+def decide_pattern(plausible: PlausibleSet, pattern: TypePattern) -> str:
+    """Classify ``IDT(A, pattern)`` given A's plausible set."""
+    if plausible.is_top:
+        return MAYBE
+    if plausible.is_empty:
+        return NEVER
+    assert plausible.patterns is not None
+    if all(pattern_implies(p, pattern) for p in plausible.patterns):
+        return ALWAYS
+    if not any(pattern_overlaps(p, pattern) for p in plausible.patterns):
+        return NEVER
+    return MAYBE
+
+
+def decide_querylist(
+    state: dict[str, PlausibleSet],
+    selectors: tuple[str, ...],
+    ql: QueryList,
+) -> str:
+    """Classify one DCASE condition against the current analysis state.
+
+    ``ALWAYS`` iff every per-selector query is ALWAYS; ``NEVER`` iff
+    some query is NEVER; otherwise ``MAYBE``.
+    """
+    pairs: list[tuple[str, TypePattern]] = []
+    if ql.tagged is not None:
+        pairs = list(ql.tagged.items())
+    else:
+        pairs = list(zip(selectors, ql.positional or ()))
+    verdicts = [
+        decide_pattern(state.get(name, TOP), pat) for name, pat in pairs
+    ]
+    if any(v == NEVER for v in verdicts):
+        return NEVER
+    if all(v == ALWAYS for v in verdicts):
+        return ALWAYS
+    return MAYBE

@@ -1,0 +1,66 @@
+"""The paper's distribution model — Vienna Fortran's primary contribution.
+
+Index domains, per-dimension distribution intrinsics, distribution
+types and bound distributions (Definition 1), alignments and the
+CONSTRUCT composition (Definition 2), dynamic arrays with the connect
+relation (§2.3), run-time descriptors (§3.2.1), and the query
+machinery behind RANGE / IDT / DCASE (§2.5).
+"""
+
+from .alignment import Alignment, AxisMap, construct
+from .descriptor import ArrayDescriptor, DistributionUndefinedError
+from .dimdist import (
+    Block,
+    Cyclic,
+    DimDist,
+    GenBlock,
+    Indirect,
+    NoDist,
+    Replicated,
+    SBlock,
+)
+from .distribution import Distribution, DistributionType, dist_type
+from .dynamic import Aligned, ConnectClass, Connection, DynamicAttr, Extraction
+from .generators import (
+    DistributionGenerator,
+    get_generator,
+    register_generator,
+)
+from .index_domain import IndexDomain
+from .query import ANY, DCase, DEFAULT, QueryList, Range, TypePattern, Wild, idt
+
+__all__ = [
+    "IndexDomain",
+    "DimDist",
+    "Block",
+    "Cyclic",
+    "GenBlock",
+    "SBlock",
+    "NoDist",
+    "Replicated",
+    "Indirect",
+    "DistributionType",
+    "Distribution",
+    "dist_type",
+    "Alignment",
+    "AxisMap",
+    "construct",
+    "DynamicAttr",
+    "ConnectClass",
+    "Connection",
+    "Extraction",
+    "Aligned",
+    "ArrayDescriptor",
+    "DistributionUndefinedError",
+    "DistributionGenerator",
+    "register_generator",
+    "get_generator",
+    "ANY",
+    "DEFAULT",
+    "Wild",
+    "TypePattern",
+    "Range",
+    "idt",
+    "DCase",
+    "QueryList",
+]

@@ -1,0 +1,114 @@
+"""Run-time array descriptors (paper §3.2.1).
+
+"Some of the relevant components of the information related to an
+array stored locally in each processor" — the paper lists, per array
+``A`` and processor ``p``:
+
+- ``index_dom(A)`` — the index domain;
+- ``dist(A)`` — distribution type + target processors (+ translation
+  table pointer for complex distributions);
+- ``connect_class(A)`` — the secondaries connected to a primary;
+- ``alignment(C)`` — each member's alignment w.r.t. the primary;
+- ``loc_map_p`` — offset of each locally owned element;
+- ``segment`` — local lower/upper bounds per dimension, for regular
+  and irregular BLOCK distributions.
+
+:class:`ArrayDescriptor` bundles exactly these.  The runtime keeps one
+logical descriptor per array (our simulator does not replicate it per
+processor — the information is identical on all of them) and mutates it
+on DISTRIBUTE ("this information may be modified when the distribution
+is changed, or on entry to a subroutine").
+"""
+
+from __future__ import annotations
+
+from .distribution import Distribution, DistributionType
+from .dynamic import ConnectClass, DynamicAttr
+from .index_domain import IndexDomain
+
+__all__ = ["ArrayDescriptor", "DistributionUndefinedError"]
+
+
+class DistributionUndefinedError(RuntimeError):
+    """Access to a dynamic array before any distribution was associated
+    (illegal per §2.3: no initial distribution and no distribute yet)."""
+
+
+class ArrayDescriptor:
+    """Descriptor for one (possibly dynamically) distributed array."""
+
+    def __init__(
+        self,
+        name: str,
+        index_dom: IndexDomain,
+        dynamic: DynamicAttr | None = None,
+        connect_class: ConnectClass | None = None,
+    ):
+        self.name = str(name)
+        self.index_dom = index_dom
+        #: None for a dynamic array not yet associated with a distribution
+        self._dist: Distribution | None = None
+        #: DYNAMIC attribute; None means statically distributed
+        self.dynamic = dynamic
+        #: the connect class this array belongs to (None if unconnected)
+        self.connect_class = connect_class
+        #: redistribution counter (how many times dist changed)
+        self.version = 0
+
+    # -- dist access -------------------------------------------------------
+    @property
+    def is_dynamic(self) -> bool:
+        return self.dynamic is not None
+
+    @property
+    def is_distributed(self) -> bool:
+        return self._dist is not None
+
+    @property
+    def dist(self) -> Distribution:
+        """Current distribution; raises if not yet associated."""
+        if self._dist is None:
+            raise DistributionUndefinedError(
+                f"array {self.name!r} has no distribution yet: it was declared "
+                f"DYNAMIC without an initial distribution and no DISTRIBUTE "
+                f"statement or procedure call has associated one (paper §2.3)"
+            )
+        return self._dist
+
+    @property
+    def dist_type(self) -> DistributionType:
+        return self.dist.dtype
+
+    def set_dist(self, dist: Distribution) -> None:
+        """Install a new distribution, enforcing RANGE and staticness."""
+        if dist.domain != self.index_dom:
+            raise ValueError(
+                f"distribution domain {dist.domain!r} does not match array "
+                f"{self.name!r} domain {self.index_dom!r}"
+            )
+        if self._dist is not None and not self.is_dynamic:
+            raise ValueError(
+                f"array {self.name!r} is statically distributed; its "
+                f"association is invariant in this scope (§2.3)"
+            )
+        if self.dynamic is not None:
+            self.dynamic.range.check(dist.dtype, self.name)
+        self._dist = dist
+        self.version += 1
+
+    # -- §3.2.1 access functions -------------------------------------------
+    def loc_map(self, rank: int, index) -> tuple[int, ...]:
+        """``loc_map_p(i)``: local offset of global ``i`` on processor ``rank``."""
+        return self.dist.global_to_local(rank, index)
+
+    def segment(self, rank: int):
+        """Per-dimension local (lo, hi) bounds, when contiguous."""
+        return self.dist.segment(rank)
+
+    def owner(self, index) -> int:
+        return self.dist.owner(index)
+
+    def __repr__(self) -> str:
+        d = repr(self._dist.dtype) if self._dist is not None else "<undistributed>"
+        dyn = " DYNAMIC" if self.is_dynamic else ""
+        return f"ArrayDescriptor({self.name!r}{dyn}, {self.index_dom!r}, dist={d})"

@@ -1,0 +1,491 @@
+"""Per-dimension distribution intrinsics (paper §2.2).
+
+Vienna Fortran's *simple distribution expressions* map one array
+dimension onto one processor dimension:
+
+- ``BLOCK``      — evenly sized contiguous segments;
+- ``CYCLIC(k)``  — round-robin in chunks of ``k`` (``CYCLIC`` = ``CYCLIC(1)``);
+- ``B_BLOCK(sizes)`` — *general block*: contiguous irregular blocks
+  given by their lengths (the paper's PIC code passes the ``BOUNDS``
+  array computed by ``balance``);
+- ``S_BLOCK(starts)`` — general block given by block *start* indices;
+- ``:``          — elision: the dimension is not distributed;
+- ``REPLICATED`` — every processor along the target dimension owns a
+  copy (this realizes the powerset codomain of Definition 1).
+
+Wildcards used in ``RANGE`` attributes and ``DCASE`` query lists
+(``*``, ``CYCLIC(*)``) live in :mod:`repro.core.query`; this module only
+defines *concrete* distributions.
+
+Every class implements the same vectorized protocol over an extent
+``n`` (array dimension length) and ``p`` (processor slots along the
+target dimension):
+
+``owners_vec(n, p)``
+    length-``n`` int array: the slot owning each index (primary slot
+    for ``REPLICATED``).
+``indices_of(slot, n, p)``
+    sorted global indices owned by ``slot``.
+``local_count(slot, n, p)``, ``global_to_local`` / ``local_to_global``
+    the per-dimension pieces of the paper's ``loc_map`` access function.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "DimDist",
+    "Block",
+    "Cyclic",
+    "GenBlock",
+    "SBlock",
+    "NoDist",
+    "Replicated",
+    "Indirect",
+]
+
+
+class DimDist:
+    """Base class for one-dimensional distribution intrinsics."""
+
+    #: whether this dimension maps onto a processor-grid dimension
+    consumes_proc_dim: bool = True
+    #: whether each index has exactly one owner along this dimension
+    exclusive: bool = True
+    #: keyword used in Vienna Fortran source / query syntax
+    keyword: str = "?"
+
+    # -- protocol -------------------------------------------------------
+    def validate(self, n: int, p: int) -> None:
+        """Raise if this distribution cannot map ``n`` indices to ``p`` slots."""
+        if n < 1:
+            raise ValueError(f"dimension extent must be >= 1, got {n}")
+        if p < 1:
+            raise ValueError(f"processor slots must be >= 1, got {p}")
+
+    def owners_vec(self, n: int, p: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def owner_of(self, idx: int, n: int, p: int) -> int:
+        """Slot owning ``idx`` (primary slot if replicated)."""
+        idx = int(idx)
+        if not 0 <= idx < n:
+            raise IndexError(f"index {idx} out of range [0, {n})")
+        return int(self.owners_vec(n, p)[idx])
+
+    def all_owners_of(self, idx: int, n: int, p: int) -> tuple[int, ...]:
+        """All slots owning ``idx`` (more than one only for REPLICATED)."""
+        return (self.owner_of(idx, n, p),)
+
+    def indices_of(self, slot: int, n: int, p: int) -> np.ndarray:
+        """Sorted global indices owned by ``slot``."""
+        self._check_slot(slot, p)
+        return np.nonzero(self.owners_vec(n, p) == slot)[0]
+
+    def local_count(self, slot: int, n: int, p: int) -> int:
+        return len(self.indices_of(slot, n, p))
+
+    def global_to_local(self, slot: int, idx: int, n: int, p: int) -> int:
+        """Position of global ``idx`` within ``slot``'s sorted owned list."""
+        owned = self.indices_of(slot, n, p)
+        pos = int(np.searchsorted(owned, idx))
+        if pos >= len(owned) or owned[pos] != idx:
+            raise IndexError(f"index {idx} not owned by slot {slot}")
+        return pos
+
+    def local_to_global(self, slot: int, lidx: int, n: int, p: int) -> int:
+        owned = self.indices_of(slot, n, p)
+        if not 0 <= lidx < len(owned):
+            raise IndexError(f"local index {lidx} out of range [0, {len(owned)})")
+        return int(owned[lidx])
+
+    def _check_slot(self, slot: int, p: int) -> None:
+        if not 0 <= slot < p:
+            raise IndexError(f"slot {slot} out of range [0, {p})")
+
+    # -- structural -------------------------------------------------------
+    def params(self) -> tuple:
+        """Hashable parameter tuple; defines equality within a class."""
+        return ()
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.params() == other.params()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.params()))
+
+    def __repr__(self) -> str:
+        return self.keyword
+
+
+class Block(DimDist):
+    """``BLOCK`` / ``BLOCK(m)``: contiguous, evenly sized segments.
+
+    Plain ``BLOCK`` uses block length ``ceil(n / p)``; trailing slots
+    may own fewer (or zero) indices, the usual Fortran-world
+    convention.  ``BLOCK(m)`` (Vienna Fortran's parameterized form)
+    fixes the block length to ``m``, which must be large enough that
+    ``p`` blocks cover the dimension.
+    """
+
+    keyword = "BLOCK"
+
+    def __init__(self, m: int | None = None):
+        if m is not None:
+            m = int(m)
+            if m < 1:
+                raise ValueError(f"BLOCK size must be >= 1, got {m}")
+        self.m = m
+
+    def params(self) -> tuple:
+        return (self.m,)
+
+    def validate(self, n: int, p: int) -> None:
+        super().validate(n, p)
+        if self.m is not None and self.m * p < n:
+            raise ValueError(
+                f"BLOCK({self.m}) covers only {self.m * p} of {n} indices "
+                f"on {p} slots"
+            )
+
+    def block_len(self, n: int, p: int) -> int:
+        if self.m is not None:
+            return self.m
+        return -(-n // p)  # ceil division
+
+    def owners_vec(self, n: int, p: int) -> np.ndarray:
+        self.validate(n, p)
+        return np.arange(n, dtype=np.int64) // self.block_len(n, p)
+
+    def indices_of(self, slot: int, n: int, p: int) -> np.ndarray:
+        self.validate(n, p)
+        self._check_slot(slot, p)
+        b = self.block_len(n, p)
+        lo = min(slot * b, n)
+        hi = min(lo + b, n)
+        return np.arange(lo, hi, dtype=np.int64)
+
+    def local_count(self, slot: int, n: int, p: int) -> int:
+        self.validate(n, p)
+        self._check_slot(slot, p)
+        b = self.block_len(n, p)
+        return max(0, min((slot + 1) * b, n) - slot * b)
+
+    def global_to_local(self, slot: int, idx: int, n: int, p: int) -> int:
+        b = self.block_len(n, p)
+        lo = slot * b
+        if not lo <= idx < min(lo + b, n):
+            raise IndexError(f"index {idx} not owned by slot {slot}")
+        return idx - lo
+
+    def local_to_global(self, slot: int, lidx: int, n: int, p: int) -> int:
+        b = self.block_len(n, p)
+        if not 0 <= lidx < self.local_count(slot, n, p):
+            raise IndexError(f"local index {lidx} out of range")
+        return slot * b + lidx
+
+    def __repr__(self) -> str:
+        return "BLOCK" if self.m is None else f"BLOCK({self.m})"
+
+
+class Cyclic(DimDist):
+    """``CYCLIC(k)``: chunks of ``k`` dealt round-robin to the slots.
+
+    ``Cyclic(1)`` (the plain ``CYCLIC`` of the paper) deals single
+    elements.  The paper's ADI example uses ``CYCLIC(K)`` with a
+    run-time value ``K``.
+    """
+
+    keyword = "CYCLIC"
+
+    def __init__(self, k: int = 1):
+        k = int(k)
+        if k < 1:
+            raise ValueError(f"CYCLIC block size must be >= 1, got {k}")
+        self.k = k
+
+    def params(self) -> tuple:
+        return (self.k,)
+
+    def owners_vec(self, n: int, p: int) -> np.ndarray:
+        self.validate(n, p)
+        return (np.arange(n, dtype=np.int64) // self.k) % p
+
+    def local_count(self, slot: int, n: int, p: int) -> int:
+        self.validate(n, p)
+        self._check_slot(slot, p)
+        full_cycles, rem = divmod(n, self.k * p)
+        count = full_cycles * self.k
+        # remainder: chunk `slot` of the last partial cycle
+        lo = slot * self.k
+        count += max(0, min(rem - lo, self.k))
+        return count
+
+    def global_to_local(self, slot: int, idx: int, n: int, p: int) -> int:
+        chunk, offset = divmod(idx, self.k)
+        if chunk % p != slot:
+            raise IndexError(f"index {idx} not owned by slot {slot}")
+        return (chunk // p) * self.k + offset
+
+    def local_to_global(self, slot: int, lidx: int, n: int, p: int) -> int:
+        cycle, offset = divmod(lidx, self.k)
+        idx = (cycle * p + slot) * self.k + offset
+        if not 0 <= idx < n:
+            raise IndexError(f"local index {lidx} out of range for slot {slot}")
+        return idx
+
+    def __repr__(self) -> str:
+        return f"CYCLIC({self.k})" if self.k != 1 else "CYCLIC"
+
+
+class GenBlock(DimDist):
+    """``B_BLOCK(sizes)``: general block distribution by block lengths.
+
+    ``sizes[s]`` is the number of contiguous indices owned by slot
+    ``s``; the sizes must be non-negative and sum to the dimension
+    extent.  This is the distribution the paper's PIC code builds from
+    per-cell particle counts (Figure 2).
+    """
+
+    keyword = "B_BLOCK"
+
+    def __init__(self, sizes: Sequence[int]):
+        self.sizes = tuple(int(s) for s in sizes)
+        if not self.sizes:
+            raise ValueError("B_BLOCK needs at least one block size")
+        if any(s < 0 for s in self.sizes):
+            raise ValueError(f"B_BLOCK sizes must be non-negative, got {self.sizes}")
+        self._bounds = np.concatenate(
+            [[0], np.cumsum(np.asarray(self.sizes, dtype=np.int64))]
+        )
+
+    def params(self) -> tuple:
+        return (self.sizes,)
+
+    def validate(self, n: int, p: int) -> None:
+        super().validate(n, p)
+        if len(self.sizes) != p:
+            raise ValueError(
+                f"B_BLOCK has {len(self.sizes)} sizes but target has {p} slots"
+            )
+        if self._bounds[-1] != n:
+            raise ValueError(
+                f"B_BLOCK sizes sum to {self._bounds[-1]}, dimension extent is {n}"
+            )
+
+    def owners_vec(self, n: int, p: int) -> np.ndarray:
+        self.validate(n, p)
+        return (
+            np.searchsorted(self._bounds, np.arange(n, dtype=np.int64), side="right")
+            - 1
+        ).astype(np.int64)
+
+    def indices_of(self, slot: int, n: int, p: int) -> np.ndarray:
+        self.validate(n, p)
+        self._check_slot(slot, p)
+        return np.arange(self._bounds[slot], self._bounds[slot + 1], dtype=np.int64)
+
+    def local_count(self, slot: int, n: int, p: int) -> int:
+        self.validate(n, p)
+        self._check_slot(slot, p)
+        return self.sizes[slot]
+
+    def global_to_local(self, slot: int, idx: int, n: int, p: int) -> int:
+        lo, hi = self._bounds[slot], self._bounds[slot + 1]
+        if not lo <= idx < hi:
+            raise IndexError(f"index {idx} not owned by slot {slot}")
+        return int(idx - lo)
+
+    def local_to_global(self, slot: int, lidx: int, n: int, p: int) -> int:
+        if not 0 <= lidx < self.sizes[slot]:
+            raise IndexError(f"local index {lidx} out of range")
+        return int(self._bounds[slot] + lidx)
+
+    def __repr__(self) -> str:
+        return f"B_BLOCK({', '.join(str(s) for s in self.sizes)})"
+
+
+class SBlock(DimDist):
+    """``S_BLOCK(starts)``: general block distribution by block starts.
+
+    ``starts[s]`` is the first global index of slot ``s``'s block;
+    the list must be non-decreasing and start at 0.  ``S_BLOCK`` and
+    ``B_BLOCK`` describe the same family of general block
+    distributions (paper §2.2); they differ only in parameterization,
+    and :meth:`to_genblock` converts.
+    """
+
+    keyword = "S_BLOCK"
+
+    def __init__(self, starts: Sequence[int]):
+        self.starts = tuple(int(s) for s in starts)
+        if not self.starts:
+            raise ValueError("S_BLOCK needs at least one block start")
+        if self.starts[0] != 0:
+            raise ValueError(f"S_BLOCK starts must begin at 0, got {self.starts}")
+        if any(b < a for a, b in zip(self.starts, self.starts[1:])):
+            raise ValueError(f"S_BLOCK starts must be non-decreasing, got {self.starts}")
+
+    def params(self) -> tuple:
+        return (self.starts,)
+
+    def to_genblock(self, n: int) -> GenBlock:
+        """Equivalent ``B_BLOCK`` over a dimension of extent ``n``."""
+        bounds = list(self.starts) + [int(n)]
+        if bounds[-1] < bounds[-2]:
+            raise ValueError(
+                f"S_BLOCK last start {bounds[-2]} exceeds dimension extent {n}"
+            )
+        return GenBlock([b - a for a, b in zip(bounds, bounds[1:])])
+
+    def validate(self, n: int, p: int) -> None:
+        DimDist.validate(self, n, p)
+        if len(self.starts) != p:
+            raise ValueError(
+                f"S_BLOCK has {len(self.starts)} starts but target has {p} slots"
+            )
+        self.to_genblock(n)  # validates monotonicity against n
+
+    def owners_vec(self, n: int, p: int) -> np.ndarray:
+        self.validate(n, p)
+        return self.to_genblock(n).owners_vec(n, p)
+
+    def indices_of(self, slot: int, n: int, p: int) -> np.ndarray:
+        self.validate(n, p)
+        return self.to_genblock(n).indices_of(slot, n, p)
+
+    def local_count(self, slot: int, n: int, p: int) -> int:
+        self.validate(n, p)
+        return self.to_genblock(n).local_count(slot, n, p)
+
+    def global_to_local(self, slot: int, idx: int, n: int, p: int) -> int:
+        return self.to_genblock(n).global_to_local(slot, idx, n, p)
+
+    def local_to_global(self, slot: int, lidx: int, n: int, p: int) -> int:
+        return self.to_genblock(n).local_to_global(slot, lidx, n, p)
+
+    def __repr__(self) -> str:
+        return f"S_BLOCK({', '.join(str(s) for s in self.starts)})"
+
+
+class Indirect(DimDist):
+    """Indirect (mapping-array) distribution along one dimension.
+
+    ``owners[i]`` gives the slot owning index ``i``.  This is the
+    translation-table-backed irregular distribution of §3.2.1 ("for
+    certain complex distributions, a pointer to a translation table is
+    required"); it also serves as the closure of the intrinsic family
+    under alignment composition (CONSTRUCT can always express the
+    induced distribution of an affinely aligned dimension as an
+    ``Indirect``).
+    """
+
+    keyword = "INDIRECT"
+
+    def __init__(self, owners: Sequence[int]):
+        arr = np.asarray(owners, dtype=np.int64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("INDIRECT needs a non-empty 1-D owner array")
+        if arr.min() < 0:
+            raise ValueError("INDIRECT owner entries must be non-negative")
+        self.owners = arr
+        self.owners.setflags(write=False)
+
+    def params(self) -> tuple:
+        return (self.owners.tobytes(), len(self.owners))
+
+    def validate(self, n: int, p: int) -> None:
+        super().validate(n, p)
+        if len(self.owners) != n:
+            raise ValueError(
+                f"INDIRECT owner array has length {len(self.owners)}, "
+                f"dimension extent is {n}"
+            )
+        if int(self.owners.max()) >= p:
+            raise ValueError(
+                f"INDIRECT owner entry {int(self.owners.max())} out of range "
+                f"for {p} slots"
+            )
+
+    def owners_vec(self, n: int, p: int) -> np.ndarray:
+        self.validate(n, p)
+        return self.owners
+
+    def __repr__(self) -> str:
+        if len(self.owners) <= 16:
+            return f"INDIRECT({', '.join(str(int(o)) for o in self.owners)})"
+        return f"INDIRECT(<{len(self.owners)} entries>)"
+
+
+class NoDist(DimDist):
+    """``:`` — the elision symbol: this array dimension is not
+    distributed; it does not consume a processor dimension, and every
+    index along it stays with whatever processor the *other* dimensions
+    select (paper Example 1)."""
+
+    consumes_proc_dim = False
+    keyword = ":"
+
+    def owners_vec(self, n: int, p: int) -> np.ndarray:
+        # All indices live on "slot 0" of a virtual single-slot dimension.
+        self.validate(n, 1)
+        return np.zeros(n, dtype=np.int64)
+
+    def indices_of(self, slot: int, n: int, p: int) -> np.ndarray:
+        return np.arange(n, dtype=np.int64)
+
+    def local_count(self, slot: int, n: int, p: int) -> int:
+        return n
+
+    def global_to_local(self, slot: int, idx: int, n: int, p: int) -> int:
+        if not 0 <= idx < n:
+            raise IndexError(f"index {idx} out of range [0, {n})")
+        return idx
+
+    def local_to_global(self, slot: int, lidx: int, n: int, p: int) -> int:
+        if not 0 <= lidx < n:
+            raise IndexError(f"local index {lidx} out of range [0, {n})")
+        return lidx
+
+
+class Replicated(DimDist):
+    """``REPLICATED``: every slot along the target processor dimension
+    owns a full copy of this array dimension.
+
+    This realizes Definition 1's powerset codomain (an element may have
+    several owners).  The primary owner — used for tie-breaking in
+    owner-computes lowering — is slot 0.
+    """
+
+    exclusive = False
+    keyword = "REPLICATED"
+
+    def owners_vec(self, n: int, p: int) -> np.ndarray:
+        self.validate(n, p)
+        return np.zeros(n, dtype=np.int64)  # primary owners
+
+    def all_owners_of(self, idx: int, n: int, p: int) -> tuple[int, ...]:
+        if not 0 <= idx < n:
+            raise IndexError(f"index {idx} out of range [0, {n})")
+        return tuple(range(p))
+
+    def indices_of(self, slot: int, n: int, p: int) -> np.ndarray:
+        self._check_slot(slot, p)
+        return np.arange(n, dtype=np.int64)
+
+    def local_count(self, slot: int, n: int, p: int) -> int:
+        self._check_slot(slot, p)
+        return n
+
+    def global_to_local(self, slot: int, idx: int, n: int, p: int) -> int:
+        if not 0 <= idx < n:
+            raise IndexError(f"index {idx} out of range [0, {n})")
+        return idx
+
+    def local_to_global(self, slot: int, lidx: int, n: int, p: int) -> int:
+        if not 0 <= lidx < n:
+            raise IndexError(f"local index {lidx} out of range [0, {n})")
+        return lidx

@@ -1,0 +1,416 @@
+"""Distribution types and distributions (paper §2.1–2.2, Definition 1).
+
+A *distribution expression* such as ``(BLOCK, CYCLIC(3), :)`` denotes a
+:class:`DistributionType` — a tuple of per-dimension intrinsics.  The
+paper: "The application of a distribution type to a (data) array and a
+processor section yields a distribution."  Correspondingly,
+:meth:`DistributionType.apply` binds a type to an index domain and a
+:class:`~repro.machine.topology.ProcessorSection`, producing a
+:class:`Distribution` — the index mapping
+``delta_A : I^A -> P(I^R) - {emptyset}`` of Definition 1, with
+vectorized owner maps, per-processor local index sets, and the
+``loc_map`` / ``segment`` access functions of §3.2.1.
+
+Array dimensions that *consume* a processor dimension (everything but
+the elision ``:``) are matched to the section's dimensions in order:
+the ``i``-th distributed array dimension maps to section dimension
+``i``; their counts must agree.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from ..machine.topology import ProcessorArray, ProcessorSection
+from .dimdist import Block, Cyclic, DimDist, NoDist, Replicated
+from .index_domain import IndexDomain
+
+__all__ = ["DistributionType", "Distribution", "dist_type"]
+
+
+def _as_dimdist(spec: object) -> DimDist:
+    """Coerce user-friendly specs to :class:`DimDist` instances.
+
+    Accepted shorthands: an existing ``DimDist``; the string ``":"``;
+    the strings ``"BLOCK"``, ``"CYCLIC"``, ``"REPLICATED"``.
+    """
+    if isinstance(spec, DimDist):
+        return spec
+    if isinstance(spec, str):
+        key = spec.strip().upper()
+        if key == ":":
+            return NoDist()
+        if key == "BLOCK":
+            return Block()
+        if key == "CYCLIC":
+            return Cyclic(1)
+        if key == "REPLICATED":
+            return Replicated()
+    raise TypeError(f"cannot interpret {spec!r} as a dimension distribution")
+
+
+def dist_type(*specs: object) -> "DistributionType":
+    """Convenience constructor: ``dist_type("BLOCK", Cyclic(3), ":")``."""
+    return DistributionType(specs)
+
+
+class DistributionType:
+    """A distribution expression, e.g. ``(BLOCK, CYCLIC(K))`` (§2.2).
+
+    Determines a *class* of distributions; binding it to an array and a
+    processor section (:meth:`apply`) yields a :class:`Distribution`.
+    """
+
+    def __init__(self, dims: Sequence[object]):
+        self.dims: tuple[DimDist, ...] = tuple(_as_dimdist(d) for d in dims)
+        if not self.dims:
+            raise ValueError("distribution type needs at least one dimension")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    @property
+    def distributed_dims(self) -> tuple[int, ...]:
+        """Array dimensions that consume a processor dimension."""
+        return tuple(
+            d for d, dd in enumerate(self.dims) if dd.consumes_proc_dim
+        )
+
+    def apply(
+        self,
+        domain: IndexDomain | Sequence[int],
+        target: ProcessorSection | ProcessorArray,
+        dim_map: Sequence[int] | None = None,
+    ) -> "Distribution":
+        """Bind this type to an index domain and a processor section."""
+        return Distribution(self, domain, target, dim_map=dim_map)
+
+    # -- structural -------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DistributionType) and self.dims == other.dims
+
+    def __hash__(self) -> int:
+        return hash(self.dims)
+
+    def __repr__(self) -> str:
+        return "(" + ", ".join(repr(d) for d in self.dims) + ")"
+
+
+class Distribution:
+    """A bound distribution: Definition 1's ``delta_A``.
+
+    Parameters
+    ----------
+    dtype:
+        The :class:`DistributionType`.
+    domain:
+        The array's index domain (or a shape tuple).
+    target:
+        Processor section (a full :class:`ProcessorArray` is promoted
+        to its full section).  The section must have exactly as many
+        dimensions as the type has distributed (non-``:``) dimensions.
+    dim_map:
+        Section dimension assigned to the ``j``-th distributed array
+        dimension.  Defaults to the identity (the declaration-order
+        matching of Vienna Fortran); a transposing alignment such as
+        the paper's ``ALIGN D(I,J,K) WITH C(J,I,K)`` induces a
+        non-identity map via CONSTRUCT.
+    """
+
+    def __init__(
+        self,
+        dtype: DistributionType,
+        domain: IndexDomain | Sequence[int],
+        target: ProcessorSection | ProcessorArray,
+        dim_map: Sequence[int] | None = None,
+    ):
+        if not isinstance(domain, IndexDomain):
+            domain = IndexDomain(domain)
+        if isinstance(target, ProcessorArray):
+            target = target.full_section()
+        if dtype.ndim != domain.ndim:
+            raise ValueError(
+                f"distribution type {dtype!r} has {dtype.ndim} dimensions, "
+                f"array domain has {domain.ndim}"
+            )
+        ddims = dtype.distributed_dims
+        if len(ddims) != target.ndim:
+            raise ValueError(
+                f"type {dtype!r} distributes {len(ddims)} dimensions but the "
+                f"processor section {target!r} has {target.ndim}"
+            )
+        if dim_map is None:
+            dim_map = tuple(range(len(ddims)))
+        else:
+            dim_map = tuple(int(k) for k in dim_map)
+            if sorted(dim_map) != list(range(target.ndim)):
+                raise ValueError(
+                    f"dim_map {dim_map} is not a permutation of section dims "
+                    f"0..{target.ndim - 1}"
+                )
+        self.dim_map = dim_map
+        self.dtype = dtype
+        self.domain = domain
+        self.target = target
+        # section dimension assigned to each array dimension (or None)
+        self._secdim_of: list[int | None] = []
+        j = 0
+        for dd in dtype.dims:
+            if dd.consumes_proc_dim:
+                self._secdim_of.append(dim_map[j])
+                j += 1
+            else:
+                self._secdim_of.append(None)
+        # validate each dim eagerly so bad B_BLOCK sizes fail at bind time
+        for d, dd in enumerate(dtype.dims):
+            dd.validate(domain.shape[d], self._slots(d))
+        self._rank_array = target.rank_array()
+        self._rank_map_cache: np.ndarray | None = None
+
+    # -- geometry helpers --------------------------------------------------
+    def _slots(self, dim: int) -> int:
+        """Processor slots along array dimension ``dim`` (1 for ``:``)."""
+        k = self._secdim_of[dim]
+        return 1 if k is None else self.target.shape[k]
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.domain.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.domain.ndim
+
+    @property
+    def nprocs(self) -> int:
+        """Processors in the target section."""
+        return self.target.size
+
+    def ranks(self) -> list[int]:
+        """Parent ranks of the target section, section-rank order."""
+        return self.target.ranks()
+
+    # -- slot/coordinate mapping -------------------------------------------
+    def _proc_coord_of_slots(self, slots: Sequence[int]) -> tuple[int, ...]:
+        """Section coordinate from per-array-dim slots (distributed dims)."""
+        coord = [0] * self.target.ndim
+        for d, dd in enumerate(self.dtype.dims):
+            if dd.consumes_proc_dim:
+                coord[self._secdim_of[d]] = int(slots[d])
+        return tuple(coord)
+
+    def _slots_of_proc(self, rank: int) -> tuple[int, ...] | None:
+        """Per-array-dim slot for parent ``rank``; None if outside section."""
+        try:
+            pos = self.ranks().index(int(rank))
+        except ValueError:
+            return None
+        flat = pos
+        sec_coord = []
+        for s in reversed(self.target.shape):
+            sec_coord.append(flat % s)
+            flat //= s
+        sec_coord = tuple(reversed(sec_coord))
+        slots: list[int] = []
+        for d, dd in enumerate(self.dtype.dims):
+            if dd.consumes_proc_dim:
+                slots.append(sec_coord[self._secdim_of[d]])
+            else:
+                slots.append(0)
+        return tuple(slots)
+
+    # -- Definition 1: delta ----------------------------------------------
+    def owners(self, index: Sequence[int] | int) -> tuple[int, ...]:
+        """All parent ranks owning ``index`` (non-empty, per Definition 1)."""
+        index = self.domain.check(index)
+        per_dim: list[tuple[int, ...]] = []
+        for d, dd in enumerate(self.dtype.dims):
+            per_dim.append(
+                dd.all_owners_of(index[d], self.shape[d], self._slots(d))
+                if dd.consumes_proc_dim
+                else (0,)
+            )
+        out: list[int] = []
+        for combo in itertools.product(*per_dim):
+            coord = self._proc_coord_of_slots(combo)
+            out.append(
+                int(self._rank_array[coord])
+                if self.target.shape
+                else int(self._rank_array.reshape(-1)[0])
+            )
+        return tuple(dict.fromkeys(out))  # dedupe, keep order
+
+    def owner(self, index: Sequence[int] | int) -> int:
+        """Primary owner (first owner) of ``index``."""
+        return self.owners(index)[0]
+
+    def is_local(self, rank: int, index: Sequence[int] | int) -> bool:
+        return int(rank) in self.owners(index)
+
+    def is_replicated(self) -> bool:
+        return any(not dd.exclusive for dd in self.dtype.dims)
+
+    # -- vectorized owner map -----------------------------------------------
+    def owner_maps(self) -> list[np.ndarray]:
+        """Per-dimension primary-slot arrays (length ``shape[d]`` each)."""
+        return [
+            dd.owners_vec(self.shape[d], self._slots(d))
+            for d, dd in enumerate(self.dtype.dims)
+        ]
+
+    def rank_map(self) -> np.ndarray:
+        """``shape``-shaped array of each element's primary-owner rank.
+
+        The workhorse of the vectorized redistribution algorithm
+        (experiment E4's "vectorized transfer sets" design choice).
+        """
+        if self._rank_map_cache is not None:
+            return self._rank_map_cache
+        maps = self.owner_maps()
+        index_arrays: list[np.ndarray | None] = [None] * self.target.ndim
+        for d, dd in enumerate(self.dtype.dims):
+            if not dd.consumes_proc_dim:
+                continue
+            shape = [1] * self.ndim
+            shape[d] = self.shape[d]
+            index_arrays[self._secdim_of[d]] = maps[d].reshape(shape)
+        if any(a is not None for a in index_arrays):
+            rm = self._rank_array[tuple(index_arrays)]
+        else:  # fully undistributed: single processor owns everything
+            rm = np.full((1,) * self.ndim, int(self._rank_array.reshape(-1)[0]))
+        rm = np.broadcast_to(rm, self.shape)
+        self._rank_map_cache = rm
+        return rm
+
+    def owner_rank_maps(self):
+        """Yield rank maps covering *all* owners of every element.
+
+        For exclusive distributions this yields :meth:`rank_map` once.
+        When some dimension is REPLICATED, one map is yielded per
+        combination of replica slots along the replicated dimensions,
+        so that a consumer (e.g. the redistribution engine) can account
+        a transfer to every owner.  The first map yielded is always the
+        primary-owner map.
+        """
+        rep_dims = [
+            d
+            for d, dd in enumerate(self.dtype.dims)
+            if dd.consumes_proc_dim and not dd.exclusive
+        ]
+        if not rep_dims:
+            yield self.rank_map()
+            return
+        base_maps = self.owner_maps()
+        for combo in itertools.product(
+            *(range(self._slots(d)) for d in rep_dims)
+        ):
+            index_arrays: list[np.ndarray | None] = [None] * self.target.ndim
+            for d, dd in enumerate(self.dtype.dims):
+                if not dd.consumes_proc_dim:
+                    continue
+                shape = [1] * self.ndim
+                shape[d] = self.shape[d]
+                vec = base_maps[d]
+                if d in rep_dims:
+                    vec = np.full_like(vec, combo[rep_dims.index(d)])
+                index_arrays[self._secdim_of[d]] = vec.reshape(shape)
+            rm = self._rank_array[tuple(index_arrays)]
+            yield np.broadcast_to(rm, self.shape)
+
+    # -- per-processor views (segment / loc_map of §3.2.1) ------------------
+    def local_index_arrays(self, rank: int) -> tuple[np.ndarray, ...] | None:
+        """Per-dimension sorted global indices owned by ``rank``.
+
+        The Cartesian product of these arrays is ``rank``'s owned set;
+        this factorization is exact because every intrinsic distributes
+        dimensions independently.  Returns ``None`` when ``rank`` is not
+        in the target section.
+        """
+        slots = self._slots_of_proc(rank)
+        if slots is None:
+            return None
+        return tuple(
+            dd.indices_of(slots[d], self.shape[d], self._slots(d))
+            for d, dd in enumerate(self.dtype.dims)
+        )
+
+    def local_shape(self, rank: int) -> tuple[int, ...]:
+        """Shape of ``rank``'s local segment (all zeros if not in section)."""
+        slots = self._slots_of_proc(rank)
+        if slots is None:
+            return (0,) * self.ndim
+        return tuple(
+            dd.local_count(slots[d], self.shape[d], self._slots(d))
+            for d, dd in enumerate(self.dtype.dims)
+        )
+
+    def local_size(self, rank: int) -> int:
+        n = 1
+        for s in self.local_shape(rank):
+            n *= s
+        return n
+
+    def global_to_local(self, rank: int, index: Sequence[int] | int) -> tuple[int, ...]:
+        """The paper's ``loc_map_p``: local offset of a global index."""
+        index = self.domain.check(index)
+        slots = self._slots_of_proc(rank)
+        if slots is None:
+            raise IndexError(f"processor {rank} is not in section {self.target!r}")
+        return tuple(
+            dd.global_to_local(slots[d], index[d], self.shape[d], self._slots(d))
+            for d, dd in enumerate(self.dtype.dims)
+        )
+
+    def local_to_global(self, rank: int, lindex: Sequence[int] | int) -> tuple[int, ...]:
+        if isinstance(lindex, int):
+            lindex = (lindex,)
+        slots = self._slots_of_proc(rank)
+        if slots is None:
+            raise IndexError(f"processor {rank} is not in section {self.target!r}")
+        return tuple(
+            dd.local_to_global(slots[d], int(lindex[d]), self.shape[d], self._slots(d))
+            for d, dd in enumerate(self.dtype.dims)
+        )
+
+    def segment(self, rank: int) -> tuple[tuple[int, int], ...] | None:
+        """Per-dimension (lo, hi) bounds for contiguous distributions.
+
+        This is the ``segment`` descriptor component of §3.2.1, defined
+        "for regular and irregular BLOCK distributions".  Returns
+        ``None`` if any dimension is non-contiguous (e.g. CYCLIC with
+        more than one cycle).
+        """
+        arrays = self.local_index_arrays(rank)
+        if arrays is None:
+            return None
+        out: list[tuple[int, int]] = []
+        for idx in arrays:
+            if len(idx) == 0:
+                out.append((0, 0))
+                continue
+            lo, hi = int(idx[0]), int(idx[-1]) + 1
+            if hi - lo != len(idx):
+                return None  # non-contiguous
+            out.append((lo, hi))
+        return tuple(out)
+
+    # -- structural --------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Distribution)
+            and self.dtype == other.dtype
+            and self.domain == other.domain
+            and self.target == other.target
+            and self.dim_map == other.dim_map
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.dtype, self.domain, self.target, self.dim_map))
+
+    def __repr__(self) -> str:
+        extra = "" if self.dim_map == tuple(range(self.target.ndim)) else f", dim_map={self.dim_map}"
+        return f"Distribution({self.dtype!r} of {self.domain!r} TO {self.target!r}{extra})"

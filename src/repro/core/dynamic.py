@@ -1,0 +1,191 @@
+"""Dynamically distributed arrays and the *connect* relation (paper §2.3).
+
+A ``DYNAMIC`` declaration makes the association between an array and
+its distribution changeable at run time.  Within a scope, dynamically
+distributed arrays form equivalence classes under **connect**:
+
+1. each class has one *primary* array ``B`` and zero or more
+   *secondary* arrays; the class is written ``C(B)``;
+2. a secondary's distribution is defined by referring to the primary,
+   via *distribution extraction* (``CONNECT (=B)``) or an *alignment*
+   specification (``CONNECT A(I,J) WITH B(I,J)``);
+3. distribute statements apply to primaries only and redistribute the
+   whole class so the connection is maintained;
+4. distributions of different classes are independent;
+5. connect does not extend across procedure boundaries (enforced by
+   :mod:`repro.lang.program` scoping).
+
+This module is the pure-model part: classes, connections, and the rule
+for deriving a secondary's distribution from the primary's.  The data
+motion lives in :mod:`repro.runtime.redistribute`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .alignment import Alignment, construct
+from .distribution import Distribution, DistributionType
+from .index_domain import IndexDomain
+from .query import Range
+
+__all__ = ["Connection", "Extraction", "Aligned", "DynamicAttr", "ConnectClass"]
+
+
+class Connection:
+    """How a secondary array is connected to its primary (§2.3 item 2)."""
+
+    def derive(
+        self, primary_dist: Distribution, secondary_domain: IndexDomain
+    ) -> Distribution:
+        raise NotImplementedError
+
+
+class Extraction(Connection):
+    """Distribution extraction, ``CONNECT (=B)``: the secondary always
+    has the *same distribution type* as the primary, applied to its own
+    index domain (paper Example 2, array ``A1``)."""
+
+    def derive(
+        self, primary_dist: Distribution, secondary_domain: IndexDomain
+    ) -> Distribution:
+        if secondary_domain.ndim != primary_dist.ndim:
+            raise ValueError(
+                f"distribution extraction needs equal rank: secondary has "
+                f"{secondary_domain.ndim}, primary has {primary_dist.ndim}"
+            )
+        return Distribution(
+            primary_dist.dtype,
+            secondary_domain,
+            primary_dist.target,
+            dim_map=primary_dist.dim_map,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Extraction)
+
+    def __hash__(self) -> int:
+        return hash("Extraction")
+
+    def __repr__(self) -> str:
+        return "CONNECT (=B)"
+
+
+class Aligned(Connection):
+    """Alignment connection, ``CONNECT A(I,J) WITH B(...)`` — the
+    secondary's distribution is CONSTRUCT(alignment, delta_B)."""
+
+    def __init__(self, alignment: Alignment):
+        self.alignment = alignment
+
+    def derive(
+        self, primary_dist: Distribution, secondary_domain: IndexDomain
+    ) -> Distribution:
+        return construct(self.alignment, primary_dist, secondary_domain)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Aligned) and self.alignment == other.alignment
+
+    def __hash__(self) -> int:
+        return hash(("Aligned", self.alignment))
+
+    def __repr__(self) -> str:
+        return f"CONNECT {self.alignment!r}"
+
+
+class DynamicAttr:
+    """The ``DYNAMIC`` annotation of a primary array (§2.3).
+
+    Parameters
+    ----------
+    range_:
+        Optional :class:`~repro.core.query.Range` (or the pattern list
+        for one).  ``None`` = no restriction.
+    initial:
+        Optional initial :class:`DistributionType`; "an array for which
+        an initial distribution has not been specified cannot be legally
+        accessed before it has been explicitly associated with a
+        distribution".
+    """
+
+    def __init__(
+        self,
+        range_: Range | Sequence[object] | None = None,
+        initial: DistributionType | None = None,
+    ):
+        if range_ is None or isinstance(range_, Range):
+            self.range = range_ if range_ is not None else Range(None)
+        else:
+            self.range = Range(range_)
+        if initial is not None:
+            self.range.check(initial, "<initial distribution>")
+        self.initial = initial
+
+    def __repr__(self) -> str:
+        parts = ["DYNAMIC"]
+        if not self.range.unrestricted:
+            parts.append(repr(self.range))
+        if self.initial is not None:
+            parts.append(f"DIST {self.initial!r}")
+        return ", ".join(parts)
+
+
+class ConnectClass:
+    """One equivalence class ``C(B)`` of the connect relation.
+
+    Holds the primary's name and, for each secondary, its name, index
+    domain and :class:`Connection`.  :meth:`derive_all` computes every
+    member's distribution from a (new) primary distribution — the
+    "Step 2" of the DISTRIBUTE implementation (§3.2.2).
+    """
+
+    def __init__(self, primary: str, primary_domain: IndexDomain):
+        self.primary = str(primary)
+        self.primary_domain = primary_domain
+        self._secondaries: dict[str, tuple[IndexDomain, Connection]] = {}
+
+    def add_secondary(
+        self, name: str, domain: IndexDomain, connection: Connection
+    ) -> None:
+        name = str(name)
+        if name == self.primary:
+            raise ValueError(f"{name!r} is the primary of this class")
+        if name in self._secondaries:
+            raise ValueError(f"{name!r} is already a secondary in C({self.primary})")
+        # validate rank compatibility eagerly for extraction
+        if isinstance(connection, Extraction) and domain.ndim != self.primary_domain.ndim:
+            raise ValueError(
+                f"extraction-connected secondary {name!r} has rank "
+                f"{domain.ndim}, primary has {self.primary_domain.ndim}"
+            )
+        self._secondaries[name] = (domain, connection)
+
+    @property
+    def secondaries(self) -> list[str]:
+        return list(self._secondaries)
+
+    @property
+    def members(self) -> list[str]:
+        """Primary first, then secondaries (C(B) = {B, A1, A2, ...})."""
+        return [self.primary, *self._secondaries]
+
+    def connection_of(self, name: str) -> Connection:
+        return self._secondaries[str(name)][1]
+
+    def derive(self, name: str, primary_dist: Distribution) -> Distribution:
+        """delta_A for one secondary, per its connection."""
+        domain, conn = self._secondaries[str(name)]
+        return conn.derive(primary_dist, domain)
+
+    def derive_all(self, primary_dist: Distribution) -> dict[str, Distribution]:
+        """Distributions of every member under a new primary distribution."""
+        out = {self.primary: primary_dist}
+        for name in self._secondaries:
+            out[name] = self.derive(name, primary_dist)
+        return out
+
+    def __contains__(self, name: str) -> bool:
+        return name == self.primary or name in self._secondaries
+
+    def __repr__(self) -> str:
+        return f"C({self.primary}) = {{{', '.join(self.members)}}}"

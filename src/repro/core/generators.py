@@ -1,0 +1,139 @@
+"""External distribution generators (paper §3.2, data organization
+item 2: "an interface for external distribution generators and
+specifiers").
+
+Kali — the acknowledged ancestor of Vienna Fortran's dynamic features
+(§5) — let users supply *distribution functions* that compute a
+mapping from run-time values.  This module provides that interface:
+
+- a :class:`DistributionGenerator` wraps a callable
+  ``f(extent, slots, **params) -> owner array`` and produces an
+  :class:`~repro.core.dimdist.Indirect` (or any other
+  :class:`~repro.core.dimdist.DimDist`) when invoked;
+- a process-wide :data:`registry` maps generator names to generators,
+  so surface syntax and tools can refer to them symbolically;
+- built-in generators reproduce the classic examples: a weighted
+  general-block generator (the PIC ``balance`` as a generator) and a
+  space-filling block-cyclic hybrid.
+
+Generators run at DISTRIBUTE time — their inputs are run-time values,
+which is precisely the capability the paper's dynamic distributions
+exist to support.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .dimdist import DimDist, GenBlock, Indirect
+
+__all__ = [
+    "DistributionGenerator",
+    "register_generator",
+    "get_generator",
+    "registry",
+]
+
+
+class DistributionGenerator:
+    """A named, user-supplied per-dimension distribution generator.
+
+    Parameters
+    ----------
+    name:
+        Symbolic name (used by the registry and surface syntax).
+    func:
+        ``func(extent, slots, **params)`` returning either a
+        :class:`DimDist` or an integer owner array of length
+        ``extent`` with values in ``[0, slots)`` (wrapped in
+        :class:`Indirect` automatically).
+    """
+
+    def __init__(self, name: str, func: Callable[..., object]):
+        self.name = str(name)
+        self.func = func
+
+    def __call__(self, extent: int, slots: int, **params) -> DimDist:
+        result = self.func(int(extent), int(slots), **params)
+        if isinstance(result, DimDist):
+            dd = result
+        else:
+            owners = np.asarray(result, dtype=np.int64)
+            if owners.shape != (extent,):
+                raise ValueError(
+                    f"generator {self.name!r} returned shape {owners.shape}, "
+                    f"expected ({extent},)"
+                )
+            dd = Indirect(owners)
+        dd.validate(extent, slots)
+        return dd
+
+    def __repr__(self) -> str:
+        return f"DistributionGenerator({self.name!r})"
+
+
+registry: dict[str, DistributionGenerator] = {}
+
+
+def register_generator(
+    name: str, func: Callable[..., object] | None = None
+):
+    """Register a generator (usable as a decorator)."""
+    if func is None:
+        def deco(f):
+            register_generator(name, f)
+            return f
+
+        return deco
+    gen = DistributionGenerator(name, func)
+    registry[gen.name] = gen
+    return gen
+
+
+def get_generator(name: str) -> DistributionGenerator:
+    try:
+        return registry[name]
+    except KeyError:
+        raise KeyError(
+            f"no distribution generator named {name!r} "
+            f"(registered: {sorted(registry)})"
+        ) from None
+
+
+# -- built-ins ---------------------------------------------------------------
+
+@register_generator("weighted_block")
+def _weighted_block(extent: int, slots: int, weights: Sequence[float] = ()):
+    """General block distribution balancing the given per-index weights
+    — the PIC ``balance`` routine packaged as a generator."""
+    from ..apps.load_balance import balance_greedy
+
+    w = np.asarray(weights if len(weights) else np.ones(extent), dtype=float)
+    if len(w) != extent:
+        raise ValueError(f"need {extent} weights, got {len(w)}")
+    return GenBlock(balance_greedy(w, slots))
+
+
+@register_generator("block_cyclic_hybrid")
+def _block_cyclic_hybrid(extent: int, slots: int, chunk: int = 4):
+    """Chunked round-robin whose trailing remainder is assigned
+    block-wise — a simple example of a generator no intrinsic covers."""
+    chunk = max(1, int(chunk))
+    owners = (np.arange(extent) // chunk) % slots
+    rem = extent % (chunk * slots)
+    if rem:
+        tail = extent - rem
+        owners[tail:] = np.minimum(
+            (np.arange(rem) * slots) // max(rem, 1), slots - 1
+        )
+    return Indirect(owners)
+
+
+@register_generator("random_owner")
+def _random_owner(extent: int, slots: int, seed: int = 0):
+    """Uniformly random owners — the stress-test generator used by the
+    redistribution property tests."""
+    rng = np.random.default_rng(seed)
+    return Indirect(rng.integers(0, slots, size=extent))

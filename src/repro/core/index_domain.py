@@ -1,0 +1,71 @@
+"""Index domains (paper §2.1).
+
+Each array ``A`` is associated with an index domain ``I^A``.  The paper
+models distributions and alignments as index mappings between such
+domains, so the domain itself is a first-class object here: a Cartesian
+product of integer ranges, 0-based internally (the ``repro.lang`` layer
+translates Fortran's default 1-based declarations).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+__all__ = ["IndexDomain"]
+
+
+class IndexDomain:
+    """The Cartesian index domain of an array.
+
+    ``IndexDomain((10, 10, 10))`` is ``I^C`` for the paper's
+    ``REAL C(10,10,10)``.
+    """
+
+    def __init__(self, shape: Sequence[int] | int):
+        if isinstance(shape, int):
+            shape = (shape,)
+        self.shape = tuple(int(s) for s in shape)
+        if not self.shape:
+            raise ValueError("index domain needs at least one dimension")
+        for s in self.shape:
+            if s < 1:
+                raise ValueError(f"extents must be >= 1, got {self.shape}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def __contains__(self, index: Sequence[int]) -> bool:
+        index = tuple(index) if not isinstance(index, int) else (index,)
+        if len(index) != self.ndim:
+            return False
+        return all(0 <= i < s for i, s in zip(index, self.shape))
+
+    def check(self, index: Sequence[int] | int) -> tuple[int, ...]:
+        """Validate and normalize an index to a tuple."""
+        if isinstance(index, int):
+            index = (index,)
+        index = tuple(int(i) for i in index)
+        if index not in self:
+            raise IndexError(f"index {index} not in domain of shape {self.shape}")
+        return index
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return itertools.product(*(range(s) for s in self.shape))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IndexDomain) and self.shape == other.shape
+
+    def __hash__(self) -> int:
+        return hash(self.shape)
+
+    def __repr__(self) -> str:
+        return f"IndexDomain{self.shape}"

@@ -1,0 +1,363 @@
+"""Distribution queries: wildcards, RANGE, IDT, and DCASE (paper §2.3, §2.5).
+
+Vienna Fortran lets programs *test* distributions at run time:
+
+- the ``RANGE`` attribute of a ``DYNAMIC`` declaration restricts the
+  distribution types an array may assume, using ``*`` as a "don't
+  care" symbol (§2.3);
+- the ``DCASE`` construct selects one of several condition/action
+  pairs by matching selector arrays' distribution types against
+  *query lists* — positional or name-tagged, with ``*`` wildcards and
+  a ``DEFAULT`` arm (§2.5.1, Example 4);
+- the ``IDT`` intrinsic tests one array's distribution type (and
+  optionally its target processor section) inside a general logical
+  expression (§2.5.2).
+
+Patterns
+--------
+A *dimension pattern* is one of:
+
+- a concrete :class:`~repro.core.dimdist.DimDist` — exact match;
+- :data:`ANY` (``"*"``) — matches any dimension distribution;
+- ``Wild(Cyclic)`` — matches any instance of a class, e.g. the paper's
+  ``CYCLIC(*)``.
+
+A *type pattern* is a tuple of dimension patterns (or :data:`ANY`,
+matching every type).  Matching requires equal rank.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..machine.topology import ProcessorArray, ProcessorSection
+from .dimdist import DimDist
+from .distribution import Distribution, DistributionType, _as_dimdist
+
+__all__ = [
+    "ANY",
+    "DEFAULT",
+    "Wild",
+    "TypePattern",
+    "as_pattern",
+    "Range",
+    "idt",
+    "DCase",
+    "QueryList",
+]
+
+
+class _AnyMarker:
+    """The ``*`` wildcard (singleton :data:`ANY`)."""
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+ANY = _AnyMarker()
+
+
+class _DefaultMarker:
+    """The ``DEFAULT`` condition of DCASE (singleton :data:`DEFAULT`)."""
+
+    def __repr__(self) -> str:
+        return "DEFAULT"
+
+
+DEFAULT = _DefaultMarker()
+
+
+class Wild:
+    """Class wildcard: ``Wild(Cyclic)`` is the paper's ``CYCLIC(*)`` —
+    any distribution of that intrinsic family, with any parameters."""
+
+    def __init__(self, cls: type[DimDist]):
+        if not (isinstance(cls, type) and issubclass(cls, DimDist)):
+            raise TypeError(f"Wild expects a DimDist subclass, got {cls!r}")
+        self.cls = cls
+
+    def matches(self, dd: DimDist) -> bool:
+        return isinstance(dd, self.cls)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Wild) and self.cls is other.cls
+
+    def __hash__(self) -> int:
+        return hash(("Wild", self.cls))
+
+    def __repr__(self) -> str:
+        return f"{self.cls.keyword}(*)"
+
+
+def _dim_matches(pattern: object, dd: DimDist) -> bool:
+    if pattern is ANY or (isinstance(pattern, str) and pattern.strip() == "*"):
+        return True
+    if isinstance(pattern, Wild):
+        return pattern.matches(dd)
+    return _as_dimdist(pattern) == dd
+
+
+class TypePattern:
+    """A distribution-type pattern, e.g. ``(BLOCK, CYCLIC(*))``."""
+
+    def __init__(self, dims: Sequence[object] | _AnyMarker):
+        if dims is ANY:
+            self.dims: tuple[object, ...] | None = None
+        else:
+            norm: list[object] = []
+            for d in dims:  # type: ignore[union-attr]
+                if d is ANY or isinstance(d, Wild):
+                    norm.append(d)
+                elif isinstance(d, str) and d.strip() == "*":
+                    norm.append(ANY)
+                else:
+                    norm.append(_as_dimdist(d))
+            self.dims = tuple(norm)
+            if not self.dims:
+                raise ValueError("type pattern needs at least one dimension")
+
+    def matches(self, dtype: DistributionType) -> bool:
+        if self.dims is None:
+            return True
+        if len(self.dims) != dtype.ndim:
+            return False
+        return all(_dim_matches(p, dd) for p, dd in zip(self.dims, dtype.dims))
+
+    def is_concrete(self) -> bool:
+        """True when the pattern contains no wildcards (it *is* a type)."""
+        return self.dims is not None and all(
+            isinstance(d, DimDist) for d in self.dims
+        )
+
+    def to_type(self) -> DistributionType:
+        if not self.is_concrete():
+            raise ValueError(f"pattern {self!r} contains wildcards")
+        return DistributionType(self.dims)  # type: ignore[arg-type]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TypePattern) and self.dims == other.dims
+
+    def __hash__(self) -> int:
+        return hash(self.dims)
+
+    def __repr__(self) -> str:
+        if self.dims is None:
+            return "*"
+        return "(" + ", ".join(repr(d) for d in self.dims) + ")"
+
+
+def as_pattern(spec: object) -> TypePattern:
+    """Coerce a user spec to a :class:`TypePattern`."""
+    if isinstance(spec, TypePattern):
+        return spec
+    if spec is ANY or (isinstance(spec, str) and spec.strip() == "*"):
+        return TypePattern(ANY)
+    if isinstance(spec, DistributionType):
+        return TypePattern(spec.dims)
+    if isinstance(spec, (tuple, list)):
+        return TypePattern(spec)
+    # single-dimension shorthand: "(BLOCK)"
+    return TypePattern((spec,))
+
+
+class Range:
+    """The ``RANGE`` attribute of a ``DYNAMIC`` declaration (§2.3).
+
+    "A distribution range determines the set of all distribution types
+    (or a superset thereof) which can be associated with the arrays
+    during the execution of the procedure."  ``Range(None)`` means no
+    restriction (no RANGE clause given).
+    """
+
+    def __init__(self, patterns: Sequence[object] | None):
+        if patterns is None:
+            self.patterns: tuple[TypePattern, ...] | None = None
+        else:
+            self.patterns = tuple(as_pattern(p) for p in patterns)
+            if not self.patterns:
+                raise ValueError("RANGE needs at least one distribution expression")
+
+    @property
+    def unrestricted(self) -> bool:
+        return self.patterns is None
+
+    def admits(self, dtype: DistributionType) -> bool:
+        if self.patterns is None:
+            return True
+        return any(p.matches(dtype) for p in self.patterns)
+
+    def check(self, dtype: DistributionType, array_name: str = "?") -> None:
+        """Raise if a distribute statement would violate this range."""
+        if not self.admits(dtype):
+            raise ValueError(
+                f"distribution type {dtype!r} violates the RANGE of array "
+                f"{array_name!r}: {self!r}"
+            )
+
+    def concrete_types(self) -> list[DistributionType] | None:
+        """All wildcard-free member types, or None if unbounded.
+
+        Used by the compiler's reaching-distribution analysis as the
+        user-provided plausible set when full code is unavailable
+        (§3.1: "the compiler will have to rely on range specifications
+        provided by the user").
+        """
+        if self.patterns is None:
+            return None
+        out = []
+        for p in self.patterns:
+            if not p.is_concrete():
+                return None
+            out.append(p.to_type())
+        return out
+
+    def __repr__(self) -> str:
+        if self.patterns is None:
+            return "RANGE(<unrestricted>)"
+        return "RANGE(" + ", ".join(repr(p) for p in self.patterns) + ")"
+
+
+def idt(
+    dist: Distribution | DistributionType,
+    pattern: object,
+    section: ProcessorSection | ProcessorArray | None = None,
+) -> bool:
+    """The ``IDT`` intrinsic (§2.5.2).
+
+    Tests the distribution type of its argument against ``pattern``
+    and, optionally, the processor section the argument is distributed
+    to.  Returns a logical value, composable inside ordinary Python
+    boolean expressions just as IDT composes inside Fortran logical
+    expressions.
+    """
+    pat = as_pattern(pattern)
+    if isinstance(dist, Distribution):
+        if section is not None:
+            if isinstance(section, ProcessorArray):
+                section = section.full_section()
+            if dist.target != section:
+                return False
+        return pat.matches(dist.dtype)
+    if section is not None:
+        raise ValueError("section test requires a bound Distribution argument")
+    return pat.matches(dist)
+
+
+class QueryList:
+    """One DCASE condition: positional or name-tagged (§2.5.1).
+
+    Positional: ``QueryList(["(BLOCK)", "(BLOCK)", (Cyclic(2), Cyclic(1))])``
+    — queries pair with selectors in order; trailing selectors get an
+    implicit ``*``.
+
+    Name-tagged: ``QueryList({"B1": "(CYCLIC)", "B3": ("BLOCK", "*")})``
+    — order is irrelevant; unmentioned selectors get an implicit ``*``.
+    """
+
+    def __init__(self, queries: Sequence[object] | dict[str, object]):
+        if isinstance(queries, dict):
+            self.tagged: dict[str, TypePattern] | None = {
+                str(k): as_pattern(v) for k, v in queries.items()
+            }
+            self.positional: tuple[TypePattern, ...] | None = None
+        else:
+            self.tagged = None
+            self.positional = tuple(as_pattern(q) for q in queries)
+
+    def matches(
+        self,
+        selector_names: Sequence[str],
+        selector_types: Sequence[DistributionType],
+    ) -> bool:
+        if self.tagged is not None:
+            unknown = set(self.tagged) - set(selector_names)
+            if unknown:
+                raise KeyError(
+                    f"name-tagged query references non-selector arrays: "
+                    f"{sorted(unknown)}"
+                )
+            for name, dtype in zip(selector_names, selector_types):
+                pat = self.tagged.get(name)
+                if pat is not None and not pat.matches(dtype):
+                    return False
+            return True
+        assert self.positional is not None
+        if len(self.positional) > len(selector_types):
+            raise ValueError(
+                f"positional query list has {len(self.positional)} queries "
+                f"but only {len(selector_types)} selectors"
+            )
+        # implicit '*' for unrepresented selectors
+        return all(
+            pat.matches(dtype)
+            for pat, dtype in zip(self.positional, selector_types)
+        )
+
+    def __repr__(self) -> str:
+        if self.tagged is not None:
+            inner = ", ".join(f"{k}: {v!r}" for k, v in self.tagged.items())
+        else:
+            inner = ", ".join(repr(p) for p in self.positional or ())
+        return f"CASE {inner}"
+
+
+class DCase:
+    """The DCASE construct (§2.5.1).
+
+    Build with selector (name, distribution-or-type) pairs, add
+    condition/action arms with :meth:`case` and :meth:`default`, then
+    :meth:`execute`.  "The dcase construct selects at most one of its
+    constituent blocks for execution": conditions are evaluated in
+    order; the first match runs; no match runs nothing.
+
+    ``execute`` returns the action's return value (or ``None`` when no
+    arm matched), plus the index of the matched arm via
+    :attr:`last_matched`.
+    """
+
+    def __init__(self, selectors: Sequence[tuple[str, Distribution | DistributionType]]):
+        if not selectors:
+            raise ValueError("DCASE needs at least one selector (r >= 1)")
+        self.selector_names = [str(n) for n, _ in selectors]
+        self.selector_types = [
+            d.dtype if isinstance(d, Distribution) else d for _, d in selectors
+        ]
+        for d in self.selector_types:
+            if not isinstance(d, DistributionType):
+                raise TypeError(
+                    "each selector must be associated with a well-defined "
+                    f"distribution; got {d!r}"
+                )
+        self.arms: list[tuple[QueryList | _DefaultMarker, Callable[[], object]]] = []
+        self.last_matched: int | None = None
+
+    def case(
+        self,
+        queries: Sequence[object] | dict[str, object] | _DefaultMarker,
+        action: Callable[[], object],
+    ) -> "DCase":
+        """Append one condition/action pair; returns self for chaining."""
+        if queries is DEFAULT:
+            self.arms.append((DEFAULT, action))
+        else:
+            self.arms.append((QueryList(queries), action))
+        return self
+
+    def default(self, action: Callable[[], object]) -> "DCase":
+        return self.case(DEFAULT, action)
+
+    def execute(self) -> object:
+        self.last_matched = None
+        for j, (cond, action) in enumerate(self.arms):
+            if cond is DEFAULT or cond.matches(
+                self.selector_names, self.selector_types
+            ):
+                self.last_matched = j
+                return action()
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"SELECT DCASE ({', '.join(self.selector_names)}) "
+            f"with {len(self.arms)} arms"
+        )

@@ -1,0 +1,36 @@
+"""Vienna Fortran surface-syntax layer.
+
+A parser for distribution expressions / patterns / alignments /
+processor declarations, declaration-statement parsing, program scopes
+(connect classes do not cross procedure boundaries), and procedure
+calls with implicit argument redistribution.
+"""
+
+from .declarations import Declaration, parse_declaration
+from .frontend import parse_program
+from .parser import (
+    VFSyntaxError,
+    parse_alignment,
+    parse_dist_expr,
+    parse_pattern,
+    parse_processors,
+    parse_section,
+)
+from .procedures import FormalArg, Procedure
+from .program import Scope, VFProgram
+
+__all__ = [
+    "VFSyntaxError",
+    "parse_dist_expr",
+    "parse_pattern",
+    "parse_alignment",
+    "parse_processors",
+    "parse_section",
+    "parse_program",
+    "Declaration",
+    "parse_declaration",
+    "VFProgram",
+    "Scope",
+    "Procedure",
+    "FormalArg",
+]

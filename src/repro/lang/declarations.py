@@ -1,0 +1,181 @@
+"""Declaration-statement parsing.
+
+Turns (slightly normalized) Vienna Fortran declaration lines into
+structured :class:`Declaration` records, so the paper's examples can be
+transcribed almost verbatim::
+
+    REAL B2(N) DYNAMIC, DIST (BLOCK)
+    REAL B3(N,N) DYNAMIC, RANGE ((BLOCK, BLOCK),(*,CYCLIC)), DIST (BLOCK, CYCLIC)
+    REAL A1(N,N) DYNAMIC, CONNECT (=B4)
+    REAL A2(N,N) DYNAMIC, CONNECT A2(I,J) WITH B4(I,J)
+    REAL U(NX, NY) DIST (:, BLOCK)
+
+Multiple array names per statement are supported (``REAL B3(N,N),
+B4(N,N) DYNAMIC, ...``).  Shapes may use names bound in ``env``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..core.alignment import Alignment
+from ..core.distribution import DistributionType
+from ..core.query import TypePattern
+from .parser import VFSyntaxError, parse_alignment, parse_dist_expr, parse_pattern
+
+__all__ = ["Declaration", "parse_declaration"]
+
+
+@dataclass
+class Declaration:
+    """One parsed declaration statement (possibly several arrays)."""
+
+    type_name: str  # REAL | INTEGER
+    names: list[str] = field(default_factory=list)
+    shapes: list[tuple[int, ...]] = field(default_factory=list)
+    dynamic: bool = False
+    range_: list[TypePattern] | None = None
+    dist: DistributionType | None = None
+    to: str | None = None  # processor section text (resolved by the program)
+    connect_extraction: str | None = None  # primary name for CONNECT (=B)
+    connect_alignment: tuple[str, Alignment] | None = None  # (primary, alignment)
+
+
+_HEAD_RE = re.compile(
+    r"^\s*(REAL|INTEGER|DOUBLE\s+PRECISION|LOGICAL)\s+", re.IGNORECASE
+)
+
+
+def _split_top_commas(text: str) -> list[str]:
+    """Split on commas not nested inside parentheses."""
+    parts, depth, cur = [], 0, []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise VFSyntaxError("unbalanced ')'", text, 0)
+        if ch == "," and depth == 0:
+            parts.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    if depth != 0:
+        raise VFSyntaxError("unbalanced '('", text, 0)
+    tail = "".join(cur).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _eval_extent(token: str, env: dict) -> int:
+    token = token.strip()
+    if re.fullmatch(r"\d+", token):
+        return int(token)
+    if token in env:
+        return int(env[token])
+    raise VFSyntaxError(f"unbound extent {token!r}", token, 0)
+
+
+def _parse_array_spec(spec: str, env: dict) -> tuple[str, tuple[int, ...]]:
+    m = re.fullmatch(r"\s*([A-Za-z_][A-Za-z_0-9]*)\s*\(([^)]*)\)\s*", spec)
+    if m is None:
+        raise VFSyntaxError(f"bad array spec {spec!r}", spec, 0)
+    name = m.group(1)
+    extents = tuple(
+        _eval_extent(t, env) for t in m.group(2).split(",") if t.strip()
+    )
+    if not extents:
+        raise VFSyntaxError(f"array {name!r} has no dimensions", spec, 0)
+    return name, extents
+
+
+def parse_declaration(line: str, env: dict | None = None) -> Declaration:
+    """Parse one declaration statement (continuation ``&`` stripped)."""
+    env = env or {}
+    line = " ".join(seg.strip().lstrip("&").strip() for seg in line.splitlines())
+    m = _HEAD_RE.match(line)
+    if m is None:
+        raise VFSyntaxError("declaration must start with a type keyword", line, 0)
+    decl = Declaration(type_name=m.group(1).upper())
+    rest = line[m.end():]
+
+    # The paper writes "REAL C(10,10,10) DIST (...)" with no comma
+    # between the last array spec and the first keyword: split at the
+    # first top-level keyword occurrence.
+    keyword_re = re.compile(
+        r"^\s*(DYNAMIC|RANGE|DIST|CONNECT|ALIGN)\b", re.IGNORECASE
+    )
+    split_at = len(rest)
+    depth = 0
+    kw_find = re.compile(r"\b(DYNAMIC|RANGE|DIST|CONNECT|ALIGN)\b", re.IGNORECASE)
+    for mm in kw_find.finditer(rest):
+        depth = rest[: mm.start()].count("(") - rest[: mm.start()].count(")")
+        if depth == 0:
+            split_at = mm.start()
+            break
+    array_part = rest[:split_at].rstrip().rstrip(",")
+    clause_part = rest[split_at:].strip()
+
+    for spec in _split_top_commas(array_part):
+        name, shape = _parse_array_spec(spec, env)
+        decl.names.append(name)
+        decl.shapes.append(shape)
+    if not decl.names:
+        raise VFSyntaxError("no arrays declared", line, 0)
+
+    clauses = _split_top_commas(clause_part) if clause_part else []
+    for clause in clauses:
+        kw_match = keyword_re.match(clause)
+        if kw_match is None:
+            raise VFSyntaxError(f"unexpected clause {clause!r}", line, 0)
+        kw = kw_match.group(1).upper()
+        body = clause[kw_match.end():].strip()
+        if kw == "DYNAMIC":
+            if body:
+                raise VFSyntaxError("DYNAMIC takes no arguments", clause, 0)
+            decl.dynamic = True
+        elif kw == "RANGE":
+            if not (body.startswith("(") and body.endswith(")")):
+                raise VFSyntaxError("RANGE needs a parenthesized list", clause, 0)
+            inner = body[1:-1]
+            decl.range_ = [
+                parse_pattern(p, env) for p in _split_top_commas(inner)
+            ]
+        elif kw == "DIST":
+            # optional "TO section" suffix
+            to_match = re.search(r"\bTO\b", body, re.IGNORECASE)
+            if to_match:
+                decl.to = body[to_match.end():].strip()
+                body = body[: to_match.start()].strip()
+            decl.dist = parse_dist_expr(body, env)
+        elif kw in ("CONNECT", "ALIGN"):
+            body_stripped = body.strip()
+            ext = re.fullmatch(r"\(\s*=\s*([A-Za-z_][A-Za-z_0-9]*)\s*\)", body_stripped)
+            if ext:
+                decl.connect_extraction = ext.group(1)
+            else:
+                if kw == "ALIGN":
+                    # ALIGN D(I,J,K) WITH C(J,I,K): source given explicitly
+                    src, tgt, alignment = parse_alignment(body_stripped, env)
+                    if src not in decl.names:
+                        raise VFSyntaxError(
+                            f"ALIGN source {src!r} is not a declared array",
+                            clause,
+                            0,
+                        )
+                else:
+                    src, tgt, alignment = parse_alignment(body_stripped, env)
+                    if src not in decl.names:
+                        raise VFSyntaxError(
+                            f"CONNECT source {src!r} is not a declared array",
+                            clause,
+                            0,
+                        )
+                decl.connect_alignment = (tgt, alignment)
+    if decl.connect_extraction or decl.connect_alignment:
+        if not decl.dynamic and decl.connect_extraction:
+            raise VFSyntaxError("CONNECT requires DYNAMIC", line, 0)
+    return decl

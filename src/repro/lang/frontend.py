@@ -1,0 +1,464 @@
+"""A Vienna Fortran program-text frontend for the compiler analyses.
+
+The VFCS consumes whole Vienna Fortran programs; our compiler analyses
+(:mod:`repro.compiler`) consume the mini-IR.  This module bridges
+them: :func:`parse_program` turns (slightly normalized) Vienna Fortran
+source into an :class:`~repro.compiler.ir.IRProgram`, so the paper's
+code figures can be fed to the reaching-distribution analysis, the
+partial evaluator and the optimizer as *text*.
+
+Supported statement forms (line-oriented, ``&`` continuations folded,
+``C``/``!`` comments stripped, keywords case-insensitive)::
+
+    PROGRAM name ... END
+    SUBROUTINE name(a, b) ... END
+    REAL V(NX, NY) DYNAMIC, RANGE ((:, BLOCK), (BLOCK, :)), DIST (:, BLOCK)
+    DISTRIBUTE V :: (BLOCK, :)
+    DO [I = 1, N] ... ENDDO
+    IF (IDT(V, (BLOCK, :))) THEN ... [ELSE ...] ENDIF
+    IF (<anything else>) THEN ... [ELSE ...] ENDIF      ! opaque branch
+    SELECT DCASE (B1, B2) / CASE (...),(...) / CASE B1: (...) /
+        CASE DEFAULT / END SELECT
+    CALL sub(V, U)                 ! whole-array actuals, defined callee
+    CALL TRIDIAG(V(:, J), NX)      ! section actual -> ROW_SWEEP access
+    U(I, J) = 0.25 * (U(I-1, J) + U(I+1, J) + ...)      ! assignment
+
+Assignment right-hand sides are scanned for array references, which
+are classified against the left-hand side's subscript variables:
+identical subscripts -> IDENTITY; constant offsets -> SHIFT; ``:`` ->
+ROW_SWEEP along that dimension; a nested array reference (``X(IX(I))``)
+or any unrecognized subscript -> INDIRECT.  Scalars (names never
+declared as arrays) are ignored.
+
+The goal is analysis fidelity, not full Fortran: expressions are not
+evaluated, only their array references matter (exactly the abstraction
+the reaching-distribution problem needs).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..compiler.ir import (
+    AccessKind,
+    ArrayRef,
+    Assign,
+    Block,
+    Call,
+    DCaseStmt,
+    DistributeStmt,
+    If,
+    IRProgram,
+    Loop,
+    ProcDef,
+)
+from ..core.query import QueryList, TypePattern
+from .declarations import _split_top_commas, parse_declaration
+from .parser import VFSyntaxError, parse_pattern
+
+__all__ = ["parse_program"]
+
+
+_COMMENT_RE = re.compile(r"^(C\s|C$|!|\*)", re.IGNORECASE)
+
+
+def _normalize_lines(text: str) -> list[str]:
+    """Strip comments, fold `&` continuations, drop blanks."""
+    raw = text.splitlines()
+    lines: list[str] = []
+    for line in raw:
+        stripped = line.strip()
+        if not stripped or _COMMENT_RE.match(stripped):
+            continue
+        bang = _find_trailing_comment(stripped)
+        if bang is not None:
+            stripped = stripped[:bang].rstrip()
+            if not stripped:
+                continue
+        if stripped.startswith("&") and lines:
+            lines[-1] += " " + stripped.lstrip("&").strip()
+        else:
+            lines.append(stripped)
+    return lines
+
+
+def _find_trailing_comment(line: str) -> int | None:
+    depth = 0
+    for i, ch in enumerate(line):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "!" and depth == 0:
+            return i
+    return None
+
+
+_NAME = r"[A-Za-z_][A-Za-z_0-9]*"
+_PROGRAM_RE = re.compile(rf"^PROGRAM\s+({_NAME})\s*$", re.IGNORECASE)
+_SUBROUTINE_RE = re.compile(
+    rf"^SUBROUTINE\s+({_NAME})\s*\(([^)]*)\)\s*$", re.IGNORECASE
+)
+_END_RE = re.compile(r"^END(\s+(PROGRAM|SUBROUTINE).*)?$", re.IGNORECASE)
+_DECL_RE = re.compile(
+    r"^(REAL|INTEGER|DOUBLE\s+PRECISION|LOGICAL)\b", re.IGNORECASE
+)
+_DISTRIBUTE_RE = re.compile(
+    rf"^DISTRIBUTE\s+({_NAME}(?:\s*,\s*{_NAME})*)\s*::\s*(.+?)"
+    r"(\s+NOTRANSFER\s*\((?P<nt>[^)]*)\))?$",
+    re.IGNORECASE,
+)
+_DO_RE = re.compile(r"^DO\b(\s+.+)?$", re.IGNORECASE)
+_ENDDO_RE = re.compile(r"^END\s*DO$", re.IGNORECASE)
+_IF_RE = re.compile(r"^IF\s*\((?P<cond>.*)\)\s*THEN$", re.IGNORECASE)
+_ELSE_RE = re.compile(r"^ELSE$", re.IGNORECASE)
+_ENDIF_RE = re.compile(r"^END\s*IF$", re.IGNORECASE)
+_SELECT_RE = re.compile(
+    rf"^SELECT\s+DCASE\s*\(\s*({_NAME}(?:\s*,\s*{_NAME})*)\s*\)$",
+    re.IGNORECASE,
+)
+_CASE_RE = re.compile(r"^CASE\s+(.*)$", re.IGNORECASE)
+_ENDSELECT_RE = re.compile(r"^END\s*SELECT$", re.IGNORECASE)
+_CALL_RE = re.compile(rf"^CALL\s+({_NAME})\s*\((.*)\)\s*$", re.IGNORECASE)
+_ASSIGN_RE = re.compile(
+    rf"^({_NAME})\s*(\(([^=]*)\))?\s*=\s*(.+)$"
+)
+_IDT_RE = re.compile(
+    rf"^\s*IDT\s*\(\s*({_NAME})\s*,\s*(.+)\)\s*$", re.IGNORECASE
+)
+_ARRAY_REF_RE = re.compile(rf"({_NAME})\s*\(")
+
+
+class _Frontend:
+    def __init__(self, text: str, env: dict | None = None):
+        self.lines = _normalize_lines(text)
+        self.env = dict(env or {})
+        self.pos = 0
+        self.program = IRProgram()
+        self.array_dims: dict[str, int] = {}  # known arrays -> rank
+        self.loop_vars: list[str] = []
+
+    # -- cursor ---------------------------------------------------------
+    def peek(self) -> str | None:
+        return self.lines[self.pos] if self.pos < len(self.lines) else None
+
+    def next(self) -> str:
+        line = self.peek()
+        if line is None:
+            raise VFSyntaxError("unexpected end of program", "", 0)
+        self.pos += 1
+        return line
+
+    # -- top level ----------------------------------------------------------
+    def parse(self) -> IRProgram:
+        saw_unit = False
+        while self.peek() is not None:
+            line = self.next()
+            m = _PROGRAM_RE.match(line)
+            if m:
+                body = self._parse_body()
+                self.program.add_proc(ProcDef(m.group(1).lower(), (), body))
+                if self.program.entry not in self.program.procs:
+                    self.program.entry = m.group(1).lower()
+                saw_unit = True
+                continue
+            m = _SUBROUTINE_RE.match(line)
+            if m:
+                formals = tuple(
+                    a.strip() for a in m.group(2).split(",") if a.strip()
+                )
+                for f in formals:
+                    self.array_dims.setdefault(f, 2)  # assume array formal
+                body = self._parse_body()
+                self.program.add_proc(ProcDef(m.group(1), formals, body))
+                saw_unit = True
+                continue
+            raise VFSyntaxError(
+                f"expected PROGRAM or SUBROUTINE, got {line!r}", line, 0
+            )
+        if not saw_unit:
+            raise VFSyntaxError("empty program", "", 0)
+        return self.program
+
+    # -- statement blocks -------------------------------------------------------
+    def _parse_body(self, terminators=(_END_RE,)) -> Block:
+        stmts = []
+        while True:
+            line = self.peek()
+            if line is None:
+                raise VFSyntaxError("missing END", "", 0)
+            if any(t.match(line) for t in terminators):
+                self.next()
+                return Block(stmts)
+            stmt = self._parse_statement()
+            if isinstance(stmt, _Compound):
+                stmts.extend(stmt.stmts)
+            elif stmt is not None:
+                stmts.append(stmt)
+
+    def _parse_block_until(self, *terminators) -> tuple[Block, str]:
+        """Parse statements until one of the terminator regexes matches;
+        returns (block, matched line) with the terminator consumed."""
+        stmts = []
+        while True:
+            line = self.peek()
+            if line is None:
+                raise VFSyntaxError("unterminated block", "", 0)
+            for t in terminators:
+                if t.match(line):
+                    self.next()
+                    return Block(stmts), line
+            stmt = self._parse_statement()
+            if isinstance(stmt, _Compound):
+                stmts.extend(stmt.stmts)
+            elif stmt is not None:
+                stmts.append(stmt)
+
+    # -- single statements --------------------------------------------------------
+    def _parse_statement(self):
+        line = self.next()
+
+        if _DECL_RE.match(line):
+            decl = parse_declaration(line, self.env)
+            for name, shape in zip(decl.names, decl.shapes):
+                self.array_dims[name] = len(shape)
+                initial = (
+                    TypePattern(decl.dist.dims) if decl.dist is not None else None
+                )
+                range_ = decl.range_
+                self.program.declare(name, initial=initial, range_=range_)
+            return None
+
+        m = _DISTRIBUTE_RE.match(line)
+        if m:
+            names = [n.strip() for n in m.group(1).split(",")]
+            expr = m.group(2).strip()
+            pattern = parse_pattern(expr, self.env)
+            stmts = [DistributeStmt(n, pattern) for n in names]
+            if len(stmts) == 1:
+                return stmts[0]
+            # several primaries: wrap in an inline block-equivalent by
+            # queueing the extras (simplest: nest into a Block via If
+            # with empty else is wrong; instead push back onto lines)
+            # -> emit a synthetic compound using Loop-free chaining:
+            return _Compound(stmts)
+
+        if _DO_RE.match(line) and not _ENDDO_RE.match(line):
+            header = line.split("=", 1)
+            var = None
+            if len(header) == 2:
+                mvar = re.match(
+                    rf"^DO\s+({_NAME})\s*$", header[0].strip(), re.IGNORECASE
+                )
+                if mvar:
+                    var = mvar.group(1)
+            if var:
+                self.loop_vars.append(var)
+            body, _ = self._parse_block_until(_ENDDO_RE)
+            if var:
+                self.loop_vars.pop()
+            return Loop(body)
+
+        m = _IF_RE.match(line)
+        if m:
+            cond = m.group("cond").strip()
+            idt_cond = None
+            midt = _IDT_RE.match(cond)
+            if midt:
+                idt_cond = (
+                    midt.group(1),
+                    parse_pattern(midt.group(2).strip(), self.env),
+                )
+            then, terminator = self._parse_block_until(_ELSE_RE, _ENDIF_RE)
+            if _ELSE_RE.match(terminator):
+                orelse, _ = self._parse_block_until(_ENDIF_RE)
+            else:
+                orelse = Block([])
+            return If(then, orelse, idt_cond=idt_cond)
+
+        m = _SELECT_RE.match(line)
+        if m:
+            selectors = tuple(s.strip() for s in m.group(1).split(","))
+            return self._parse_dcase(selectors)
+
+        m = _CALL_RE.match(line)
+        if m:
+            return self._parse_call(m.group(1), m.group(2))
+
+        m = _ASSIGN_RE.match(line)
+        if m and m.group(1) in self.array_dims:
+            return self._parse_assignment(m)
+
+        # unknown statements (scalar assignments, PARAMETER, etc.) are
+        # irrelevant to the analysis and skipped
+        return None
+
+    # -- DCASE ---------------------------------------------------------------------
+    def _parse_dcase(self, selectors) -> DCaseStmt:
+        arms = []
+        # first CASE line
+        while True:
+            line = self.peek()
+            if line is None:
+                raise VFSyntaxError("unterminated SELECT DCASE", "", 0)
+            if _ENDSELECT_RE.match(line):
+                self.next()
+                return DCaseStmt(selectors, tuple(arms))
+            mcase = _CASE_RE.match(self.next())
+            if not mcase:
+                raise VFSyntaxError(f"expected CASE, got {line!r}", line, 0)
+            cond_text = mcase.group(1).strip()
+            body, terminator = self._parse_block_until_case()
+            if cond_text.upper() == "DEFAULT":
+                arms.append((None, body))
+            else:
+                arms.append((self._parse_querylist(cond_text, selectors), body))
+            if terminator is not None and _ENDSELECT_RE.match(terminator):
+                return DCaseStmt(selectors, tuple(arms))
+
+    def _parse_block_until_case(self):
+        """Statements up to the next CASE (not consumed) or END SELECT
+        (consumed; returned)."""
+        stmts = []
+        while True:
+            line = self.peek()
+            if line is None:
+                raise VFSyntaxError("unterminated CASE block", "", 0)
+            if _CASE_RE.match(line):
+                return Block(stmts), None
+            if _ENDSELECT_RE.match(line):
+                self.next()
+                return Block(stmts), line
+            stmt = self._parse_statement()
+            if isinstance(stmt, _Compound):
+                stmts.extend(stmt.stmts)
+            elif stmt is not None:
+                stmts.append(stmt)
+
+    def _parse_querylist(self, text: str, selectors) -> QueryList:
+        # name-tagged if it contains "NAME:" prefixes
+        if re.match(rf"^\s*{_NAME}\s*:", text):
+            tagged: dict[str, object] = {}
+            for part in _split_top_commas(text):
+                mm = re.match(rf"^\s*({_NAME})\s*:\s*(.+)$", part)
+                if not mm:
+                    raise VFSyntaxError(f"bad tagged query {part!r}", text, 0)
+                tagged[mm.group(1)] = parse_pattern(mm.group(2).strip(), self.env)
+            return QueryList(tagged)
+        queries = [
+            parse_pattern(p, self.env) for p in _split_top_commas(text)
+        ]
+        return QueryList(queries)
+
+    # -- CALL ------------------------------------------------------------------------
+    def _parse_call(self, callee: str, argtext: str):
+        args = [a.strip() for a in _split_top_commas(argtext) if a.strip()]
+        bindings: dict[str, str] = {}
+        section_refs: list[ArrayRef] = []
+        whole_arrays: list[str] = []
+        for arg in args:
+            mref = re.match(rf"^({_NAME})\s*\((.*)\)$", arg)
+            if mref and mref.group(1) in self.array_dims:
+                # section actual like V(:, J): classify the sweep dim
+                name = mref.group(1)
+                subs = [s.strip() for s in _split_top_commas(mref.group(2))]
+                sweep_dims = [d for d, s in enumerate(subs) if s == ":"]
+                if sweep_dims:
+                    section_refs.append(
+                        ArrayRef(name, AccessKind.ROW_SWEEP, dim=sweep_dims[0])
+                    )
+                else:
+                    section_refs.append(ArrayRef(name))
+            elif arg in self.array_dims:
+                whole_arrays.append(arg)
+            # scalar arguments ignored
+        if callee in self.program.procs and not section_refs:
+            formals = self.program.procs[callee].formals
+            for formal, actual in zip(formals, whole_arrays):
+                bindings[formal] = actual
+            return Call(callee, bindings)
+        if section_refs or whole_arrays:
+            # external routine: model as an assignment touching the refs
+            refs = tuple(
+                section_refs + [ArrayRef(a) for a in whole_arrays]
+            )
+            return Assign(refs[0], refs, label=f"call {callee}")
+        return None
+
+    # -- assignments --------------------------------------------------------------------
+    def _parse_assignment(self, m: re.Match) -> Assign:
+        lhs_name = m.group(1)
+        lhs_subs_text = m.group(3) or ""
+        rhs = m.group(4)
+        lhs_subs = [
+            s.strip() for s in _split_top_commas(lhs_subs_text) if s.strip()
+        ]
+        lhs_ref = ArrayRef(lhs_name)
+        reads = self._extract_refs(rhs, lhs_subs)
+        return Assign(lhs_ref, tuple(reads))
+
+    def _extract_refs(self, expr: str, lhs_subs: list[str]) -> list[ArrayRef]:
+        refs: list[ArrayRef] = []
+        for m in _ARRAY_REF_RE.finditer(expr):
+            name = m.group(1)
+            if name not in self.array_dims:
+                continue  # intrinsic function or scalar
+            # find the balanced subscript text
+            depth = 0
+            start = m.end() - 1
+            end = start
+            for i in range(start, len(expr)):
+                if expr[i] == "(":
+                    depth += 1
+                elif expr[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        end = i
+                        break
+            subs = [
+                s.strip()
+                for s in _split_top_commas(expr[start + 1 : end])
+                if s.strip()
+            ]
+            refs.append(self._classify_ref(name, subs, lhs_subs))
+        return refs
+
+    def _classify_ref(
+        self, name: str, subs: list[str], lhs_subs: list[str]
+    ) -> ArrayRef:
+        sweep_dims = [d for d, s in enumerate(subs) if s == ":"]
+        if sweep_dims:
+            return ArrayRef(name, AccessKind.ROW_SWEEP, dim=sweep_dims[0])
+        offsets: list[int] = []
+        for d, s in enumerate(subs):
+            base = lhs_subs[d] if d < len(lhs_subs) else None
+            off = self._offset_of(s, base)
+            if off is None:
+                return ArrayRef(name, AccessKind.INDIRECT)
+            offsets.append(off)
+        if any(offsets):
+            return ArrayRef(name, AccessKind.SHIFT, offsets=tuple(offsets))
+        return ArrayRef(name)
+
+    def _offset_of(self, sub: str, base: str | None) -> int | None:
+        """Constant offset of ``sub`` relative to the lhs subscript
+        variable ``base``; None when not an affine-by-1 form."""
+        sub = sub.replace(" ", "")
+        if base is None:
+            return None
+        base = base.replace(" ", "")
+        if sub == base:
+            return 0
+        m = re.match(rf"^{re.escape(base)}([+-]\d+)$", sub)
+        if m:
+            return int(m.group(1))
+        return None
+
+
+class _Compound(Block):
+    """Internal marker: several statements from one source line."""
+
+
+def parse_program(text: str, env: dict | None = None) -> IRProgram:
+    """Parse Vienna Fortran program text into an IRProgram."""
+    return _Frontend(text, env).parse()

@@ -1,0 +1,459 @@
+"""Parser for Vienna Fortran distribution and alignment syntax.
+
+The engine's Python API takes structured objects; this module accepts
+the paper's *surface syntax* so examples can be written nearly verbatim:
+
+- distribution expressions (§2.2)::
+
+      parse_dist_expr("(BLOCK, CYCLIC(3), :)")
+      parse_dist_expr("B_BLOCK(BOUNDS)", env={"BOUNDS": [3, 5, 2]})
+      parse_dist_expr("(CYCLIC(K))", env={"K": 4})
+
+- distribution *patterns* with wildcards, for RANGE / DCASE / IDT::
+
+      parse_pattern("(BLOCK, *)")
+      parse_pattern("(CYCLIC(*), CYCLIC)")
+      parse_pattern("*")
+
+- alignment specifications (§2.2, Example 1)::
+
+      parse_alignment("D(I,J,K) WITH C(J,I,K)")
+      parse_alignment("A(I) WITH B(2*I+1)")
+
+- processor declarations::
+
+      parse_processors("R(1:4, 1:4)")   # PROCESSORS R(1:4,1:4)
+
+The parser is a hand-written tokenizer + recursive descent; it is
+deliberately small and raises :class:`VFSyntaxError` with positions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from ..core.alignment import Alignment, AxisMap
+from ..core.dimdist import Block, Cyclic, GenBlock, NoDist, Replicated, SBlock
+from ..core.distribution import DistributionType
+from ..core.query import ANY, TypePattern, Wild
+from ..machine.topology import ProcessorArray
+
+__all__ = [
+    "VFSyntaxError",
+    "parse_dist_expr",
+    "parse_pattern",
+    "parse_alignment",
+    "parse_processors",
+    "parse_section",
+]
+
+
+class VFSyntaxError(ValueError):
+    """A syntax error in Vienna Fortran surface text."""
+
+    def __init__(self, message: str, text: str, pos: int):
+        super().__init__(f"{message} at position {pos}: {text!r}")
+        self.text = text
+        self.pos = pos
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<sym>[(),:*+\-=/]))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str, int]]:
+    tokens: list[tuple[str, str, int]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            if text[pos:].strip() == "":
+                break
+            raise VFSyntaxError("unexpected character", text, pos)
+        if m.group("num"):
+            tokens.append(("num", m.group("num"), m.start()))
+        elif m.group("name"):
+            tokens.append(("name", m.group("name"), m.start()))
+        else:
+            tokens.append(("sym", m.group("sym"), m.start()))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str, env: dict | None = None):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.i = 0
+        self.env = env or {}
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self) -> tuple[str, str, int] | None:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str, int]:
+        tok = self.peek()
+        if tok is None:
+            raise VFSyntaxError("unexpected end of input", self.text, len(self.text))
+        self.i += 1
+        return tok
+
+    def expect(self, value: str) -> None:
+        tok = self.next()
+        if tok[1] != value:
+            raise VFSyntaxError(f"expected {value!r}, got {tok[1]!r}", self.text, tok[2])
+
+    def at_end(self) -> bool:
+        return self.i >= len(self.tokens)
+
+    def require_end(self) -> None:
+        tok = self.peek()
+        if tok is not None:
+            raise VFSyntaxError(f"trailing input {tok[1]!r}", self.text, tok[2])
+
+    # -- scalar / array values from env ------------------------------------
+    def _int_value(self) -> int:
+        tok = self.next()
+        if tok[0] == "num":
+            return int(tok[1])
+        if tok[0] == "name":
+            if tok[1] not in self.env:
+                raise VFSyntaxError(f"unbound name {tok[1]!r}", self.text, tok[2])
+            return int(self.env[tok[1]])
+        raise VFSyntaxError(f"expected an integer, got {tok[1]!r}", self.text, tok[2])
+
+    def _array_value(self) -> Sequence[int]:
+        """An array argument: a bound name or a literal integer list
+        (``B_BLOCK(3, 5, 2)`` — what ``repr`` of a GenBlock prints)."""
+        tok = self.peek()
+        if tok is not None and tok[0] == "num":
+            values = [self._int_value()]
+            while self.peek() is not None and self.peek()[1] == ",":  # type: ignore[index]
+                self.next()
+                values.append(self._int_value())
+            return values
+        tok = self.next()
+        if tok[0] == "name":
+            if tok[1] not in self.env:
+                raise VFSyntaxError(f"unbound name {tok[1]!r}", self.text, tok[2])
+            return self.env[tok[1]]
+        raise VFSyntaxError(
+            f"expected an array-valued name or literal list, got {tok[1]!r}",
+            self.text,
+            tok[2],
+        )
+
+    # -- dimension distributions ---------------------------------------------
+    def dim_spec(self, allow_wild: bool):
+        tok = self.next()
+        if tok[1] == ":":
+            return NoDist()
+        if tok[1] == "*":
+            if not allow_wild:
+                raise VFSyntaxError(
+                    "'*' wildcard not allowed in a concrete distribution",
+                    self.text,
+                    tok[2],
+                )
+            return ANY
+        if tok[0] != "name":
+            raise VFSyntaxError(
+                f"expected a distribution keyword, got {tok[1]!r}", self.text, tok[2]
+            )
+        kw = tok[1].upper()
+        if kw == "BLOCK":
+            nxt = self.peek()
+            if nxt is not None and nxt[1] == "(":
+                self.expect("(")
+                inner = self.peek()
+                if inner is not None and inner[1] == "*":
+                    if not allow_wild:
+                        raise VFSyntaxError(
+                            "BLOCK(*) only allowed in patterns", self.text, inner[2]
+                        )
+                    self.next()
+                    self.expect(")")
+                    return Wild(Block)
+                m = self._int_value()
+                self.expect(")")
+                return Block(m)
+            return Block()
+        if kw == "REPLICATED":
+            return Replicated()
+        if kw == "CYCLIC":
+            nxt = self.peek()
+            if nxt is not None and nxt[1] == "(":
+                self.expect("(")
+                inner = self.peek()
+                if inner is not None and inner[1] == "*":
+                    if not allow_wild:
+                        raise VFSyntaxError(
+                            "CYCLIC(*) only allowed in patterns", self.text, inner[2]
+                        )
+                    self.next()
+                    self.expect(")")
+                    return Wild(Cyclic)
+                k = self._int_value()
+                self.expect(")")
+                return Cyclic(k)
+            return Cyclic(1)
+        if kw == "B_BLOCK":
+            self.expect("(")
+            sizes = self._array_value()
+            self.expect(")")
+            return GenBlock(sizes)
+        if kw == "S_BLOCK":
+            self.expect("(")
+            starts = self._array_value()
+            self.expect(")")
+            return SBlock(starts)
+        if kw == "INDIRECT":
+            self.expect("(")
+            owners = self._array_value()
+            self.expect(")")
+            from ..core.dimdist import Indirect
+
+            return Indirect(owners)
+        raise VFSyntaxError(f"unknown distribution {kw!r}", self.text, tok[2])
+
+    def dist_list(self, allow_wild: bool) -> list:
+        dims = [self.dim_spec(allow_wild)]
+        while not self.at_end() and self.peek()[1] == ",":  # type: ignore[index]
+            self.next()
+            dims.append(self.dim_spec(allow_wild))
+        return dims
+
+    # -- alignment ---------------------------------------------------------------
+    def subscript_names(self) -> list[str]:
+        """Parse ``(I, J, K)`` — the source subscript list."""
+        self.expect("(")
+        names = []
+        while True:
+            tok = self.next()
+            if tok[0] != "name":
+                raise VFSyntaxError(
+                    f"expected a subscript variable, got {tok[1]!r}",
+                    self.text,
+                    tok[2],
+                )
+            names.append(tok[1])
+            tok = self.next()
+            if tok[1] == ")":
+                break
+            if tok[1] != ",":
+                raise VFSyntaxError(
+                    f"expected ',' or ')', got {tok[1]!r}", self.text, tok[2]
+                )
+        if len(set(names)) != len(names):
+            raise VFSyntaxError(
+                "duplicate subscript variable in alignment source",
+                self.text,
+                0,
+            )
+        return names
+
+    def axis_expr(self, var_dims: dict[str, int]) -> AxisMap:
+        """Parse one target subscript: ``J``, ``2*I``, ``I+1``, ``3``, ``-I+N``."""
+        sign = 1
+        tok = self.peek()
+        if tok is not None and tok[1] == "-":
+            self.next()
+            sign = -1
+        tok = self.next()
+        stride = 1
+        dim: int | None = None
+        offset = 0
+        if tok[0] == "num":
+            value = int(tok[1])
+            nxt = self.peek()
+            if nxt is not None and nxt[1] == "*":
+                self.next()
+                stride = sign * value
+                vtok = self.next()
+                if vtok[0] != "name" or vtok[1] not in var_dims:
+                    raise VFSyntaxError(
+                        "expected a subscript variable after '*'",
+                        self.text,
+                        vtok[2],
+                    )
+                dim = var_dims[vtok[1]]
+            else:
+                return AxisMap(None, offset=sign * value)
+        elif tok[0] == "name":
+            if tok[1] in var_dims:
+                dim = var_dims[tok[1]]
+                stride = sign
+            elif tok[1] in self.env:
+                return AxisMap(None, offset=sign * int(self.env[tok[1]]))
+            else:
+                raise VFSyntaxError(f"unbound name {tok[1]!r}", self.text, tok[2])
+        else:
+            raise VFSyntaxError(
+                f"expected a subscript expression, got {tok[1]!r}", self.text, tok[2]
+            )
+        nxt = self.peek()
+        if nxt is not None and nxt[1] in "+-":
+            op = self.next()[1]
+            val = self._int_value()
+            offset = val if op == "+" else -val
+        return AxisMap(dim, stride, offset)
+
+
+def parse_dist_expr(text: str, env: dict | None = None) -> DistributionType:
+    """Parse a concrete distribution expression to a :class:`DistributionType`."""
+    p = _Parser(text, env)
+    tok = p.peek()
+    if tok is None:
+        raise VFSyntaxError("empty distribution expression", text, 0)
+    if tok[1] == "(":
+        p.next()
+        dims = p.dist_list(allow_wild=False)
+        p.expect(")")
+    else:
+        dims = p.dist_list(allow_wild=False)
+    p.require_end()
+    return DistributionType(dims)
+
+
+def parse_pattern(text: str, env: dict | None = None) -> TypePattern:
+    """Parse a distribution pattern (wildcards allowed) to a
+    :class:`~repro.core.query.TypePattern`."""
+    p = _Parser(text, env)
+    tok = p.peek()
+    if tok is None:
+        raise VFSyntaxError("empty pattern", text, 0)
+    if tok[1] == "*":
+        p.next()
+        p.require_end()
+        return TypePattern(ANY)
+    if tok[1] == "(":
+        p.next()
+        dims = p.dist_list(allow_wild=True)
+        p.expect(")")
+    else:
+        dims = p.dist_list(allow_wild=True)
+    p.require_end()
+    return TypePattern(dims)
+
+
+def parse_alignment(text: str, env: dict | None = None) -> tuple[str, str, Alignment]:
+    """Parse ``A(I,J) WITH B(J,I+1)``.
+
+    Returns ``(source_name, target_name, alignment)``.
+    """
+    p = _Parser(text, env)
+    src_tok = p.next()
+    if src_tok[0] != "name":
+        raise VFSyntaxError("expected source array name", text, src_tok[2])
+    source_name = src_tok[1]
+    names = p.subscript_names()
+    var_dims = {n: d for d, n in enumerate(names)}
+    with_tok = p.next()
+    if with_tok[0] != "name" or with_tok[1].upper() != "WITH":
+        raise VFSyntaxError("expected WITH", text, with_tok[2])
+    tgt_tok = p.next()
+    if tgt_tok[0] != "name":
+        raise VFSyntaxError("expected target array name", text, tgt_tok[2])
+    target_name = tgt_tok[1]
+    p.expect("(")
+    maps = [p.axis_expr(var_dims)]
+    while True:
+        tok = p.next()
+        if tok[1] == ")":
+            break
+        if tok[1] != ",":
+            raise VFSyntaxError(f"expected ',' or ')', got {tok[1]!r}", text, tok[2])
+        maps.append(p.axis_expr(var_dims))
+    p.require_end()
+    return source_name, target_name, Alignment(len(names), maps)
+
+
+def parse_section(text: str, processors: ProcessorArray, env: dict | None = None):
+    """Parse a processor-section reference like ``R(1:2, :)`` or
+    ``R(2, 1:4:2)`` against a declared processor array.
+
+    Fortran-style 1-based inclusive bounds; ``:`` selects the whole
+    dimension; an integer subscript collapses it.  Returns a
+    :class:`~repro.machine.topology.ProcessorSection`.  The bare name
+    ``R`` denotes the full section.
+    """
+    p = _Parser(text, env)
+    name_tok = p.next()
+    if name_tok[0] != "name":
+        raise VFSyntaxError("expected processor array name", text, name_tok[2])
+    if name_tok[1] != processors.name:
+        raise VFSyntaxError(
+            f"unknown processor array {name_tok[1]!r} "
+            f"(declared: {processors.name!r})",
+            text,
+            name_tok[2],
+        )
+    if p.at_end():
+        return processors.full_section()
+    p.expect("(")
+    subs: list[slice | int] = []
+    dim = 0
+    while True:
+        if dim >= processors.ndim:
+            raise VFSyntaxError(
+                f"too many subscripts for {processors!r}", text, 0
+            )
+        tok = p.peek()
+        if tok is not None and tok[1] == ":":
+            p.next()
+            subs.append(slice(None))
+        else:
+            lo = p._int_value()
+            tok = p.peek()
+            if tok is not None and tok[1] == ":":
+                p.next()
+                hi = p._int_value()
+                step = 1
+                tok = p.peek()
+                if tok is not None and tok[1] == ":":
+                    p.next()
+                    step = p._int_value()
+                # 1-based inclusive -> 0-based half-open
+                subs.append(slice(lo - 1, hi, step))
+            else:
+                subs.append(lo - 1)  # collapsing subscript
+        dim += 1
+        tok = p.next()
+        if tok[1] == ")":
+            break
+        if tok[1] != ",":
+            raise VFSyntaxError(f"expected ',' or ')', got {tok[1]!r}", text, tok[2])
+    if dim != processors.ndim:
+        raise VFSyntaxError(
+            f"section needs {processors.ndim} subscripts, got {dim}", text, 0
+        )
+    p.require_end()
+    return processors.section(*subs)
+
+
+def parse_processors(text: str, env: dict | None = None) -> ProcessorArray:
+    """Parse ``R(1:M, 1:M)`` (Fortran 1-based bounds) to a
+    :class:`~repro.machine.topology.ProcessorArray`."""
+    p = _Parser(text, env)
+    name_tok = p.next()
+    if name_tok[0] != "name":
+        raise VFSyntaxError("expected processor array name", text, name_tok[2])
+    p.expect("(")
+    shape = []
+    while True:
+        lo = p._int_value()
+        p.expect(":")
+        hi = p._int_value()
+        if hi < lo:
+            raise VFSyntaxError(f"empty bound {lo}:{hi}", text, 0)
+        shape.append(hi - lo + 1)
+        tok = p.next()
+        if tok[1] == ")":
+            break
+        if tok[1] != ",":
+            raise VFSyntaxError(f"expected ',' or ')', got {tok[1]!r}", text, tok[2])
+    p.require_end()
+    return ProcessorArray(name_tok[1], tuple(shape))

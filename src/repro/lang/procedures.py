@@ -1,0 +1,166 @@
+"""Procedure-boundary distribution semantics (paper §4, §5).
+
+Vienna Fortran "allows procedure arguments to be declared with a
+specific distribution.  When the procedure is called, it is the
+compiler's responsibility to redistribute the actual argument to match
+the specified distribution."  This module implements that *implicit
+redistribution* path, which §4 discusses as the alternative to the
+explicit DISTRIBUTE statement (benchmarked against it in E7):
+
+- a formal argument may carry a declared distribution type; on entry,
+  if the actual's current type differs, the actual is redistributed
+  (a real COMMUNICATE with message accounting);
+- a formal without a declared distribution *inherits* the actual's
+  distribution (the paper: several arrays with distinct distributions
+  may be bound to the same formal — the reaching-distribution analysis
+  must cope);
+- on return, Vienna Fortran lets a new distribution propagate back to
+  the caller; HPF does not ("HPF does not permit the new distribution
+  to be returned to the calling procedure", §5).  ``restore="vf"``
+  (default) keeps the callee's final distribution; ``restore="hpf"``
+  redistributes back to the entry distribution on exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.distribution import DistributionType
+from ..runtime.engine import Engine
+from .parser import parse_dist_expr
+
+__all__ = ["FormalArg", "Procedure"]
+
+
+@dataclass
+class FormalArg:
+    """One formal (dummy) argument of a procedure.
+
+    ``dist`` is the declared distribution expression text (or a
+    :class:`DistributionType`), or ``None`` to inherit the actual's.
+    """
+
+    name: str
+    dist: DistributionType | str | None = None
+
+    def resolved(self, env: dict) -> DistributionType | None:
+        if self.dist is None or isinstance(self.dist, DistributionType):
+            return self.dist
+        return parse_dist_expr(self.dist, env)
+
+
+class Procedure:
+    """A callable with Vienna Fortran argument-distribution semantics.
+
+    Parameters
+    ----------
+    name:
+        Procedure name (reporting only).
+    formals:
+        The dummy-argument declarations.
+    body:
+        ``body(engine, **arrays)`` — receives the engine and the actual
+        :class:`~repro.runtime.darray.DistributedArray` objects, keyed
+        by formal name.
+    restore:
+        ``"vf"``: a redistribution performed inside the body (or by
+        entry matching) survives the call — Vienna Fortran semantics.
+        ``"hpf"``: the entry distribution of each actual is restored on
+        exit (one more redistribution if the body changed it).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        formals: Sequence[FormalArg],
+        body: Callable[..., object],
+        restore: str = "vf",
+    ):
+        if restore not in ("vf", "hpf"):
+            raise ValueError("restore must be 'vf' or 'hpf'")
+        self.name = str(name)
+        self.formals = list(formals)
+        self.body = body
+        self.restore = restore
+
+    def __call__(self, engine: Engine, env: dict | None = None, **actuals):
+        """Call with actual arrays keyed by formal name."""
+        env = env or {}
+        expected = {f.name for f in self.formals}
+        if set(actuals) != expected:
+            raise TypeError(
+                f"procedure {self.name!r} expects arguments {sorted(expected)}, "
+                f"got {sorted(actuals)}"
+            )
+        entry_dists = {}
+        # entry: redistribute actuals to declared formal distributions
+        for f in self.formals:
+            arr = actuals[f.name]
+            entry_dists[f.name] = arr.dist
+            want = f.resolved(env)
+            if want is not None and arr.dist.dtype != want:
+                engine.distribute(
+                    arr.name, want, to=arr.dist.target
+                ) if arr.descriptor.is_dynamic else self._redistribute_static(
+                    engine, arr, want
+                )
+        try:
+            result = self.body(engine, **actuals)
+        finally:
+            if self.restore == "hpf":
+                for f in self.formals:
+                    arr = actuals[f.name]
+                    entry = entry_dists[f.name]
+                    if arr.dist != entry:
+                        if arr.descriptor.is_dynamic:
+                            engine.distribute(arr.name, entry)
+                        else:
+                            self._redistribute_static(engine, arr, entry.dtype)
+        return result
+
+    @staticmethod
+    def _redistribute_static(engine: Engine, arr, want) -> None:
+        """Implicit redistribution of a *static* actual at a boundary.
+
+        The invariant-association rule of §2.3 applies to user-level
+        DISTRIBUTE statements; the compiler may still move a static
+        actual to match a formal's declared distribution (and back).
+        We therefore bypass the descriptor's staticness check.
+        """
+        from ..core.distribution import Distribution, DistributionType
+        from ..runtime.redistribute import communicate
+
+        if isinstance(want, DistributionType):
+            new = Distribution(want, arr.descriptor.index_dom, arr.dist.target)
+        else:
+            new = want
+        dyn, arr.descriptor.dynamic = arr.descriptor.dynamic, _ALWAYS_DYNAMIC
+        try:
+            communicate(arr, new, transfer=True)
+        finally:
+            arr.descriptor.dynamic = dyn
+
+    def __repr__(self) -> str:
+        args = ", ".join(
+            f.name + (f" DIST {f.dist}" if f.dist is not None else "")
+            for f in self.formals
+        )
+        return f"Procedure {self.name}({args}) [restore={self.restore}]"
+
+
+class _AlwaysDynamic:
+    """Internal stand-in DynamicAttr for compiler-driven redistribution."""
+
+    class _AnyRange:
+        @staticmethod
+        def check(dtype, name="?"):
+            return None
+
+        unrestricted = True
+
+    range = _AnyRange()
+    initial = None
+
+
+_ALWAYS_DYNAMIC = _AlwaysDynamic()

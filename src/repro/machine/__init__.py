@@ -1,0 +1,37 @@
+"""Simulated distributed-memory machine substrate.
+
+This subpackage stands in for the hardware the paper targets (Intel
+iPSC-class multicomputers): a Cartesian grid of processors, each with a
+private local memory, connected by a message-passing network modeled by
+a linear ``alpha + beta * bytes`` cost function.  Everything above it —
+the distribution model, the Vienna Fortran Engine, the compiler — is
+machine-independent, exactly as the paper argues.
+"""
+
+from .cost_model import CostModel, IPSC860, MODERN_CLUSTER, PARAGON, PRESETS, ZERO_COST
+from .machine import Machine
+from .memory import AllocationRecord, LocalMemory, MemoryError_
+from .network import MessageRecord, Network, NetworkStats
+from .report import link_matrix, per_processor_table, summary
+from .topology import ProcessorArray, ProcessorSection
+
+__all__ = [
+    "CostModel",
+    "IPSC860",
+    "PARAGON",
+    "MODERN_CLUSTER",
+    "ZERO_COST",
+    "PRESETS",
+    "Machine",
+    "LocalMemory",
+    "MemoryError_",
+    "AllocationRecord",
+    "Network",
+    "NetworkStats",
+    "MessageRecord",
+    "ProcessorArray",
+    "ProcessorSection",
+    "per_processor_table",
+    "link_matrix",
+    "summary",
+]

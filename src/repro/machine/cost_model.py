@@ -1,0 +1,89 @@
+"""Message- and computation-cost models for the simulated machine.
+
+The paper's §4 analysis ("given the startup overhead and cost per byte
+of each message of the target machine, the ratio N/p will determine the
+most appropriate distribution") is parameterized by exactly two network
+constants: the per-message startup latency *alpha* and the per-byte
+transfer cost *beta*.  We add a computation rate so simulated clocks can
+weigh local work against communication.
+
+Presets approximate the machines contemporary with the paper (Intel
+iPSC/860, Intel Paragon) and one modern-cluster point, so crossover
+benches (experiment E1) can show how the best distribution shifts with
+the machine's alpha/beta ratio.  The numbers are order-of-magnitude
+figures from the published literature, not calibrated measurements; the
+benches report *shape*, not absolute times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "IPSC860", "PARAGON", "MODERN_CLUSTER", "ZERO_COST", "PRESETS"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Linear (postal) cost model: a message of ``n`` bytes costs
+    ``alpha + beta * n`` seconds; ``f`` flops cost ``f / flop_rate``.
+
+    Attributes
+    ----------
+    alpha:
+        Message startup latency in seconds.
+    beta:
+        Per-byte transfer time in seconds (inverse bandwidth).
+    flop_rate:
+        Floating-point operations per second of one processor.
+    name:
+        Human-readable label used in bench output.
+    """
+
+    alpha: float
+    beta: float
+    flop_rate: float
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+        if self.flop_rate <= 0:
+            raise ValueError("flop_rate must be positive")
+
+    def message_time(self, nbytes: int) -> float:
+        """Time to deliver one message of ``nbytes`` bytes."""
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        return self.alpha + self.beta * nbytes
+
+    def compute_time(self, flops: float) -> float:
+        """Time to execute ``flops`` floating point operations locally."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops / self.flop_rate
+
+    def bytes_equivalent_of_latency(self) -> float:
+        """Message size at which transfer time equals startup time.
+
+        This is the machine's half-performance message length
+        (n_1/2 in Hockney's model); it controls where few-large-message
+        strategies beat many-small-message strategies.
+        """
+        if self.beta == 0:
+            return float("inf")
+        return self.alpha / self.beta
+
+
+# Intel iPSC/860 (ca. 1991): ~75 us latency, ~2.8 MB/s, ~10 MFLOPS/node.
+IPSC860 = CostModel(alpha=75e-6, beta=1 / 2.8e6, flop_rate=10e6, name="iPSC/860")
+
+# Intel Paragon (ca. 1993): ~30 us latency, ~90 MB/s, ~50 MFLOPS/node.
+PARAGON = CostModel(alpha=30e-6, beta=1 / 90e6, flop_rate=50e6, name="Paragon")
+
+# A modern commodity cluster point: ~2 us latency, ~10 GB/s, ~10 GFLOPS.
+MODERN_CLUSTER = CostModel(alpha=2e-6, beta=1 / 10e9, flop_rate=10e9, name="modern")
+
+# Free communication: useful for tests that only check message *counts*.
+ZERO_COST = CostModel(alpha=0.0, beta=0.0, flop_rate=1.0, name="zero")
+
+PRESETS = {m.name: m for m in (IPSC860, PARAGON, MODERN_CLUSTER, ZERO_COST)}

@@ -1,0 +1,124 @@
+"""Per-processor local memories.
+
+On the machines the paper targets, a processor stores exactly the array
+elements distributed to it ("a processor owns the data which is
+distributed to it, and stores it in its local memory", §1), plus any
+overlap (ghost) areas and communication buffers.  We model each local
+memory as a dictionary of named numpy blocks with byte accounting, so
+that the storage-waste argument of §4 (two static arrays vs. one
+dynamic array) is measurable (experiment E7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LocalMemory", "MemoryError_", "AllocationRecord"]
+
+
+class MemoryError_(RuntimeError):
+    """Raised when an allocation would exceed the configured capacity."""
+
+
+class AllocationRecord:
+    """Bookkeeping for one named allocation in a local memory."""
+
+    __slots__ = ("name", "nbytes", "kind")
+
+    def __init__(self, name: str, nbytes: int, kind: str):
+        self.name = name
+        self.nbytes = nbytes
+        self.kind = kind  # "data" | "overlap" | "buffer" | "table"
+
+    def __repr__(self) -> str:
+        return f"AllocationRecord({self.name!r}, {self.nbytes}B, {self.kind})"
+
+
+class LocalMemory:
+    """The local memory of one simulated processor.
+
+    Parameters
+    ----------
+    rank:
+        Owning processor's rank (for error messages).
+    capacity:
+        Optional byte limit; ``None`` means unbounded.
+    """
+
+    def __init__(self, rank: int, capacity: int | None = None):
+        self.rank = int(rank)
+        self.capacity = capacity
+        self._blocks: dict[str, np.ndarray] = {}
+        self._records: dict[str, AllocationRecord] = {}
+        self.high_water = 0
+
+    # -- allocation ------------------------------------------------------
+    def allocate(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.float64,
+        kind: str = "data",
+        fill: float | None = None,
+    ) -> np.ndarray:
+        """Allocate a named block; re-allocating a name frees the old block."""
+        if name in self._blocks:
+            self.free(name)
+        arr = np.empty(shape, dtype=dtype)
+        if fill is not None:
+            arr.fill(fill)
+        nbytes = arr.nbytes
+        if self.capacity is not None and self.used + nbytes > self.capacity:
+            raise MemoryError_(
+                f"processor {self.rank}: allocating {nbytes}B for {name!r} "
+                f"exceeds capacity {self.capacity}B (used {self.used}B)"
+            )
+        self._blocks[name] = arr
+        self._records[name] = AllocationRecord(name, nbytes, kind)
+        self.high_water = max(self.high_water, self.used)
+        return arr
+
+    def adopt(self, name: str, arr: np.ndarray, kind: str = "data") -> np.ndarray:
+        """Register an externally-built array as a named block."""
+        if name in self._blocks:
+            self.free(name)
+        if self.capacity is not None and self.used + arr.nbytes > self.capacity:
+            raise MemoryError_(
+                f"processor {self.rank}: adopting {arr.nbytes}B for {name!r} "
+                f"exceeds capacity {self.capacity}B"
+            )
+        self._blocks[name] = arr
+        self._records[name] = AllocationRecord(name, arr.nbytes, kind)
+        self.high_water = max(self.high_water, self.used)
+        return arr
+
+    def free(self, name: str) -> None:
+        if name not in self._blocks:
+            raise KeyError(f"processor {self.rank}: no block named {name!r}")
+        del self._blocks[name]
+        del self._records[name]
+
+    # -- access ------------------------------------------------------------
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._blocks[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._blocks
+
+    def block_names(self) -> list[str]:
+        return list(self._blocks)
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def used(self) -> int:
+        """Currently allocated bytes."""
+        return sum(r.nbytes for r in self._records.values())
+
+    def used_by_kind(self, kind: str) -> int:
+        return sum(r.nbytes for r in self._records.values() if r.kind == kind)
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalMemory(rank={self.rank}, blocks={len(self._blocks)}, "
+            f"used={self.used}B, high_water={self.high_water}B)"
+        )

@@ -1,0 +1,221 @@
+"""Simulated interconnect with full cost accounting.
+
+The network does not move real bytes (the runtime layer moves numpy
+data directly); it *accounts* for every message the runtime would have
+sent on a distributed-memory machine: count, volume, and modeled time,
+both in aggregate and per processor / per directed link.
+
+Timing follows a BSP-like superstep discipline: each processor has its
+own clock; :meth:`Network.send` charges the sender and the receiver;
+:meth:`Network.synchronize` advances every clock to the global maximum
+(used at collective points such as the end of a DISTRIBUTE).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .cost_model import CostModel, ZERO_COST
+
+__all__ = ["MessageRecord", "NetworkStats", "Network"]
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One point-to-point message, as recorded by the tracer."""
+
+    src: int
+    dst: int
+    nbytes: int
+    tag: str = ""
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate communication statistics (snapshot-able and diffable)."""
+
+    messages: int = 0
+    bytes: int = 0
+    time: float = 0.0
+    per_proc_messages: dict[int, int] = field(default_factory=dict)
+    per_proc_bytes: dict[int, int] = field(default_factory=dict)
+
+    def copy(self) -> "NetworkStats":
+        return NetworkStats(
+            messages=self.messages,
+            bytes=self.bytes,
+            time=self.time,
+            per_proc_messages=dict(self.per_proc_messages),
+            per_proc_bytes=dict(self.per_proc_bytes),
+        )
+
+    def __sub__(self, other: "NetworkStats") -> "NetworkStats":
+        diff_msgs = defaultdict(int, self.per_proc_messages)
+        diff_bytes = defaultdict(int, self.per_proc_bytes)
+        for p, v in other.per_proc_messages.items():
+            diff_msgs[p] -= v
+        for p, v in other.per_proc_bytes.items():
+            diff_bytes[p] -= v
+        return NetworkStats(
+            messages=self.messages - other.messages,
+            bytes=self.bytes - other.bytes,
+            time=self.time - other.time,
+            per_proc_messages={p: v for p, v in diff_msgs.items() if v},
+            per_proc_bytes={p: v for p, v in diff_bytes.items() if v},
+        )
+
+
+class Network:
+    """Cost-accounting interconnect between ``nprocs`` processors.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of processor endpoints.
+    cost_model:
+        The latency/bandwidth model used to charge clocks.
+    trace:
+        If true, keep a :class:`MessageRecord` log of every message
+        (useful in tests and for the transfer-set benches).
+    """
+
+    def __init__(self, nprocs: int, cost_model: CostModel = ZERO_COST, trace: bool = False):
+        if nprocs < 1:
+            raise ValueError("need at least one processor")
+        self.nprocs = int(nprocs)
+        self.cost_model = cost_model
+        self.trace_enabled = bool(trace)
+        self.clocks = [0.0] * self.nprocs
+        self._messages = 0
+        self._bytes = 0
+        self._per_proc_messages: defaultdict[int, int] = defaultdict(int)
+        self._per_proc_bytes: defaultdict[int, int] = defaultdict(int)
+        self._per_link: defaultdict[tuple[int, int], int] = defaultdict(int)
+        self.trace: list[MessageRecord] = []
+
+    # -- validation ------------------------------------------------------
+    def _check_rank(self, rank: int) -> int:
+        rank = int(rank)
+        if not 0 <= rank < self.nprocs:
+            raise IndexError(f"processor rank {rank} out of range [0, {self.nprocs})")
+        return rank
+
+    # -- traffic ---------------------------------------------------------
+    def send(self, src: int, dst: int, nbytes: int, tag: str = "") -> float:
+        """Record one message from ``src`` to ``dst`` and return its cost.
+
+        A self-message (``src == dst``) is free and not counted: on a
+        real machine local data needs no network transfer.  Both
+        endpoints are *occupied* for the message's duration (so a
+        processor receiving P-1 messages serializes them — this is what
+        makes tree reductions beat flat ones in modeled time), and the
+        receive cannot complete before the send does.
+        """
+        src = self._check_rank(src)
+        dst = self._check_rank(dst)
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        if src == dst:
+            return 0.0
+        cost = self.cost_model.message_time(nbytes)
+        self._messages += 1
+        self._bytes += nbytes
+        self._per_proc_messages[src] += 1
+        self._per_proc_messages[dst] += 1
+        self._per_proc_bytes[src] += nbytes
+        self._per_proc_bytes[dst] += nbytes
+        self._per_link[(src, dst)] += nbytes
+        self.clocks[src] += cost
+        self.clocks[dst] = max(self.clocks[dst] + cost, self.clocks[src])
+        if self.trace_enabled:
+            self.trace.append(MessageRecord(src, dst, nbytes, tag))
+        return cost
+
+    def exchange(
+        self, messages: list[tuple[int, int, int]] | list[tuple[int, int, int, str]]
+    ) -> float:
+        """Record one *exchange phase*: all messages post concurrently.
+
+        Unlike sequential :meth:`send` calls — where each message
+        starts after the sender's previous one finished, modeling
+        store-and-forward chains — an exchange phase models the
+        simultaneous neighbour exchanges of a stencil step or the
+        all-to-all of a redistribution: every processor is busy for the
+        *sum of its own* message costs (it still serializes its own
+        endpoints), but different processors' transfers overlap.  This
+        is exactly the granularity of the paper's "2 messages per
+        processor, each of size N, per computation step" accounting.
+
+        Each entry is ``(src, dst, nbytes[, tag])``.  Self-messages are
+        free and skipped.  Returns the phase duration (max busy time).
+        """
+        busy = defaultdict(float)
+        for msg in messages:
+            src, dst, nbytes = msg[0], msg[1], msg[2]
+            tag = msg[3] if len(msg) > 3 else ""
+            src = self._check_rank(src)
+            dst = self._check_rank(dst)
+            nbytes = int(nbytes)
+            if nbytes < 0:
+                raise ValueError("message size must be non-negative")
+            if src == dst:
+                continue
+            cost = self.cost_model.message_time(nbytes)
+            self._messages += 1
+            self._bytes += nbytes
+            self._per_proc_messages[src] += 1
+            self._per_proc_messages[dst] += 1
+            self._per_proc_bytes[src] += nbytes
+            self._per_proc_bytes[dst] += nbytes
+            self._per_link[(src, dst)] += nbytes
+            busy[src] += cost
+            busy[dst] += cost
+            if self.trace_enabled:
+                self.trace.append(MessageRecord(src, dst, nbytes, tag))
+        for rank, t in busy.items():
+            self.clocks[rank] += t
+        return max(busy.values(), default=0.0)
+
+    def compute(self, rank: int, flops: float) -> float:
+        """Charge ``flops`` of local computation to ``rank``'s clock."""
+        rank = self._check_rank(rank)
+        cost = self.cost_model.compute_time(flops)
+        self.clocks[rank] += cost
+        return cost
+
+    def synchronize(self) -> float:
+        """Barrier: advance every clock to the maximum; return that time."""
+        t = max(self.clocks)
+        self.clocks = [t] * self.nprocs
+        return t
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def time(self) -> float:
+        """Current makespan (maximum processor clock)."""
+        return max(self.clocks)
+
+    def stats(self) -> NetworkStats:
+        return NetworkStats(
+            messages=self._messages,
+            bytes=self._bytes,
+            time=self.time,
+            per_proc_messages=dict(self._per_proc_messages),
+            per_proc_bytes=dict(self._per_proc_bytes),
+        )
+
+    def link_bytes(self) -> dict[tuple[int, int], int]:
+        """Bytes sent over each directed (src, dst) link."""
+        return dict(self._per_link)
+
+    def reset(self) -> None:
+        """Zero all counters, clocks and the trace."""
+        self.clocks = [0.0] * self.nprocs
+        self._messages = 0
+        self._bytes = 0
+        self._per_proc_messages.clear()
+        self._per_proc_bytes.clear()
+        self._per_link.clear()
+        self.trace.clear()

@@ -1,0 +1,183 @@
+"""Bulk communication primitives of the VFE run-time library (§3.2).
+
+"A run time library of communication routines for transferring single
+array elements and array sections, including specialized routines for
+handling reductions."  Single-element transfers live on
+:class:`~repro.runtime.darray.DistributedArray` itself; this module
+provides the section-level routines the application kernels use:
+
+- :func:`shift_exchange` — nearest-neighbour boundary exchange along
+  one dimension (the smoothing example's per-step messages);
+- :func:`gather_to` / :func:`broadcast_from` — collect a distributed
+  array on (or spread it from) one processor;
+- :func:`reduce_scalar` — global reduction of per-processor partial
+  values, with flat or binary-tree message schedules.
+
+Every routine moves the actual numpy data *and* records the messages a
+distributed-memory machine would send, so the cost model sees exactly
+the traffic the paper reasons about.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .darray import DistributedArray
+
+__all__ = [
+    "shift_exchange",
+    "gather_to",
+    "broadcast_from",
+    "reduce_scalar",
+]
+
+
+def _contiguous_segment(array: DistributedArray, rank: int) -> tuple[tuple[int, int], ...]:
+    seg = array.dist.segment(rank)
+    if seg is None:
+        raise ValueError(
+            f"{array.name!r} is not contiguously distributed on processor "
+            f"{rank}; shift_exchange requires BLOCK-family distributions"
+        )
+    return seg
+
+
+def shift_exchange(array: DistributedArray, dim: int, width: int = 1) -> dict[int, dict[str, np.ndarray]]:
+    """Exchange ``width``-deep boundary slabs with neighbours along ``dim``.
+
+    For every pair of processors owning adjacent index ranges along
+    array dimension ``dim``, the boundary slab of each is sent to the
+    other (two messages per interior boundary).  Returns, per rank, the
+    received slabs under keys ``"lo"`` (from the lower neighbour) and
+    ``"hi"`` (from the upper neighbour) — the ghost values a stencil
+    sweep needs.
+
+    This is exactly the traffic of the paper's smoothing analysis: a
+    column distribution of an N x N grid exchanges 2 messages of N
+    elements per processor per step; a 2-D block distribution exchanges
+    4 messages of N/p elements (two per distributed dimension).
+    """
+    if width < 1:
+        raise ValueError("exchange width must be >= 1")
+    machine = array.machine
+    # Owners sorted by their segment start along `dim`.
+    owners: list[tuple[int, tuple[int, int]]] = []
+    segs: dict[int, tuple[tuple[int, int], ...]] = {}
+    for rank in array.owning_ranks():
+        seg = _contiguous_segment(array, rank)
+        segs[rank] = seg
+        owners.append((rank, seg[dim]))
+
+    received: dict[int, dict[str, np.ndarray]] = {r: {} for r, _ in owners}
+    phase: list[tuple[int, int, int, str]] = []
+    for rank, (lo, hi) in owners:
+        if hi - lo <= 0:
+            continue
+        for other, (olo, ohi) in owners:
+            if other == rank or ohi - olo <= 0:
+                continue
+            # `other` is the upper neighbour if it starts where we end
+            # *and* the two segments coincide in every other dimension.
+            same_elsewhere = all(
+                segs[rank][d] == segs[other][d]
+                for d in range(array.ndim)
+                if d != dim
+            )
+            if not same_elsewhere:
+                continue
+            local = array.local(rank)
+            if ohi == lo:  # other is the lower neighbour: send our low slab
+                slab = np.take(local, range(0, min(width, hi - lo)), axis=dim).copy()
+                phase.append(
+                    (rank, other, slab.nbytes, f"shift:{array.name}:d{dim}")
+                )
+                received[other]["hi"] = slab
+            elif olo == hi:  # other is the upper neighbour: send our high slab
+                n = local.shape[dim]
+                slab = np.take(
+                    local, range(max(0, n - width), n), axis=dim
+                ).copy()
+                phase.append(
+                    (rank, other, slab.nbytes, f"shift:{array.name}:d{dim}")
+                )
+                received[other]["lo"] = slab
+    # all boundary transfers of one sweep post concurrently
+    machine.network.exchange(phase)
+    machine.network.synchronize()
+    return received
+
+
+def gather_to(array: DistributedArray, root: int = 0) -> np.ndarray:
+    """Collect the whole array on ``root`` (one message per other owner)."""
+    machine = array.machine
+    machine.network.exchange(
+        [
+            (rank, root, array.dist.local_size(rank) * array.itemsize,
+             f"gather:{array.name}")
+            for rank in array.owning_ranks()
+            if rank != root
+        ]
+    )
+    machine.network.synchronize()
+    return array.to_global()
+
+
+def broadcast_from(array: DistributedArray, values: np.ndarray, root: int = 0) -> None:
+    """Scatter ``values`` from ``root`` into the distributed segments."""
+    machine = array.machine
+    machine.network.exchange(
+        [
+            (root, rank, array.dist.local_size(rank) * array.itemsize,
+             f"scatter:{array.name}")
+            for rank in array.owning_ranks()
+            if rank != root
+        ]
+    )
+    machine.network.synchronize()
+    array.from_global(values)
+
+
+def reduce_scalar(
+    machine,
+    partials: dict[int, float],
+    op: Callable[[float, float], float] = lambda a, b: a + b,
+    root: int = 0,
+    tree: bool = True,
+    nbytes: int = 8,
+) -> float:
+    """Reduce per-processor partial values to ``root``.
+
+    ``tree=True`` uses the binary-combining schedule (ceil(log2 P)
+    rounds, P-1 messages); ``tree=False`` sends every partial straight
+    to the root (also P-1 messages but serialized at the root — the
+    latency difference shows up in the modeled time).
+    """
+    ranks = sorted(partials)
+    if root not in partials:
+        raise ValueError(f"root {root} contributed no partial value")
+    vals = dict(partials)
+    if not tree:
+        acc = vals[root]
+        for r in ranks:
+            if r == root:
+                continue
+            machine.network.send(r, root, nbytes, tag="reduce")
+            acc = op(acc, vals[r])
+        machine.network.synchronize()
+        return acc
+    # binary tree: pair up, halve the active set each round
+    active = [r for r in ranks if r != root]
+    active = [root] + active
+    while len(active) > 1:
+        nxt = []
+        for i in range(0, len(active), 2):
+            if i + 1 < len(active):
+                src, dst = active[i + 1], active[i]
+                machine.network.send(src, dst, nbytes, tag="reduce")
+                vals[dst] = op(vals[dst], vals[src])
+            nxt.append(active[i])
+        active = nxt
+    machine.network.synchronize()
+    return vals[root]

@@ -1,0 +1,113 @@
+"""Tests for the balance routine (Figure 2's load balancer)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.load_balance import (
+    balance_greedy,
+    balance_optimal,
+    block_loads,
+    imbalance,
+)
+
+
+class TestBalanceGreedy:
+    def test_uniform_weights_even_split(self):
+        sizes = balance_greedy(np.ones(16), 4)
+        assert sizes == [4, 4, 4, 4]
+
+    def test_sizes_sum_to_cells(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n = int(rng.integers(4, 100))
+            p = int(rng.integers(1, 8))
+            w = rng.uniform(0, 10, n)
+            sizes = balance_greedy(w, p)
+            assert sum(sizes) == n
+            assert len(sizes) == p
+
+    def test_every_block_nonempty_when_enough_cells(self):
+        rng = np.random.default_rng(1)
+        w = rng.uniform(0, 1, 40)
+        sizes = balance_greedy(w, 8)
+        assert all(s >= 1 for s in sizes)
+
+    def test_skewed_weights_shrink_hot_blocks(self):
+        w = np.ones(16)
+        w[:4] = 100.0  # hot region at the left
+        sizes = balance_greedy(w, 4)
+        # the hot cells get split across processors: first block small
+        assert sizes[0] < 4
+        assert imbalance(w, sizes) < imbalance(w, [4, 4, 4, 4])
+
+    def test_cluster_balanced_better_than_block(self):
+        """The PIC scenario: a particle cluster in few cells."""
+        cells = np.zeros(64)
+        cells[10:16] = 500  # clustered particles
+        cells += 1
+        greedy = balance_greedy(cells, 4)
+        uniform = [16] * 4
+        assert imbalance(cells, greedy) < imbalance(cells, uniform)
+
+    def test_more_procs_than_cells(self):
+        sizes = balance_greedy(np.ones(3), 5)
+        assert sizes == [1, 1, 1, 0, 0]
+
+    def test_zero_weights_ok(self):
+        sizes = balance_greedy(np.zeros(8), 4)
+        assert sum(sizes) == 8
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            balance_greedy(np.array([1.0, -1.0]), 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            balance_greedy(np.array([]), 2)
+        with pytest.raises(ValueError):
+            balance_greedy(np.ones(4), 0)
+        with pytest.raises(ValueError):
+            balance_greedy(np.ones((2, 2)), 2)
+
+
+class TestBalanceOptimal:
+    def test_never_worse_than_greedy(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            w = rng.uniform(0, 10, 50)
+            p = 4
+            g = balance_greedy(w, p)
+            o = balance_optimal(w, p)
+            assert sum(o) == 50
+            assert block_loads(w, o).max() <= block_loads(w, g).max() + 1e-9
+
+    def test_exact_on_known_case(self):
+        w = np.array([10.0, 1.0, 1.0, 1.0, 1.0, 10.0])
+        o = balance_optimal(w, 2)
+        # optimal bottleneck is 13 ([10,1,1,1] | [1,10]) or symmetric
+        assert block_loads(w, o).max() <= 13.0 + 1e-9
+
+    def test_uniform(self):
+        o = balance_optimal(np.ones(12), 3)
+        assert block_loads(np.ones(12), o).max() == 4
+
+
+class TestHelpers:
+    def test_block_loads(self):
+        w = np.arange(6, dtype=float)
+        assert list(block_loads(w, [2, 4])) == [1.0, 14.0]
+
+    def test_block_loads_size_mismatch(self):
+        with pytest.raises(ValueError):
+            block_loads(np.ones(5), [2, 2])
+
+    def test_imbalance_perfect(self):
+        assert imbalance(np.ones(8), [4, 4]) == 1.0
+
+    def test_imbalance_worst(self):
+        w = np.zeros(8)
+        w[0] = 8.0
+        assert imbalance(w, [4, 4]) == 2.0
+
+    def test_imbalance_zero_weights(self):
+        assert imbalance(np.zeros(4), [2, 2]) == 1.0

@@ -1,0 +1,77 @@
+"""Tests for the Thomas solvers (TRIDIAG of Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.tridiag import thomas, thomas_const, tridiag_matvec
+
+
+class TestThomasConst:
+    def test_solves_system(self):
+        rng = np.random.default_rng(0)
+        rhs = rng.standard_normal(50)
+        x = thomas_const(rhs, a=-1.0, b=4.0)
+        assert np.allclose(tridiag_matvec(x, -1.0, 4.0), rhs)
+
+    def test_identity_system(self):
+        rhs = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(thomas_const(rhs, a=0.0, b=1.0), rhs)
+
+    def test_scalar_system(self):
+        assert np.allclose(thomas_const(np.array([6.0]), a=-1.0, b=2.0), [3.0])
+
+    def test_empty(self):
+        assert len(thomas_const(np.array([]), a=-1.0, b=4.0)) == 0
+
+    def test_zero_diagonal_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            thomas_const(np.ones(4), a=1.0, b=0.0)
+
+    def test_input_not_modified(self):
+        rhs = np.ones(10)
+        thomas_const(rhs, a=-1.0, b=4.0)
+        assert (rhs == 1.0).all()
+
+    def test_diagonal_dominance_stability(self):
+        # large system stays accurate when diagonally dominant
+        rng = np.random.default_rng(1)
+        rhs = rng.standard_normal(2000)
+        x = thomas_const(rhs, a=-1.0, b=2.5)
+        assert np.allclose(tridiag_matvec(x, -1.0, 2.5), rhs, atol=1e-10)
+
+
+class TestThomasGeneral:
+    def test_matches_dense_solve(self):
+        rng = np.random.default_rng(2)
+        n = 30
+        lower = rng.uniform(-1, 0, n - 1)
+        upper = rng.uniform(-1, 0, n - 1)
+        diag = 4.0 + rng.uniform(0, 1, n)
+        rhs = rng.standard_normal(n)
+        x = thomas(lower, diag, upper, rhs)
+        A = np.diag(diag) + np.diag(lower, -1) + np.diag(upper, 1)
+        assert np.allclose(A @ x, rhs)
+
+    def test_agrees_with_const_variant(self):
+        rhs = np.random.default_rng(3).standard_normal(20)
+        x1 = thomas_const(rhs, a=-1.0, b=4.0)
+        x2 = thomas(
+            np.full(19, -1.0), np.full(20, 4.0), np.full(19, -1.0), rhs
+        )
+        assert np.allclose(x1, x2)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            thomas(np.ones(3), np.ones(3), np.ones(2), np.ones(3))
+
+    def test_zero_pivot_detected(self):
+        with pytest.raises(ZeroDivisionError):
+            thomas(np.array([1.0]), np.array([1.0, 1.0]), np.array([1.0]),
+                   np.array([1.0, 1.0]))
+
+
+class TestMatvec:
+    def test_tridiagonal_structure(self):
+        x = np.array([1.0, 0.0, 0.0, 0.0])
+        y = tridiag_matvec(x, a=2.0, b=3.0)
+        assert list(y) == [3.0, 2.0, 0.0, 0.0]

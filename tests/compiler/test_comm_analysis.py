@@ -1,0 +1,127 @@
+"""Tests for the communication and memory analysis (§3.1)."""
+
+import pytest
+
+from repro.compiler.comm_analysis import (
+    CommEstimate,
+    estimate_memory,
+    estimate_ref,
+)
+from repro.compiler.ir import AccessKind, ArrayRef
+from repro.core.dimdist import Cyclic, Replicated
+from repro.core.query import ANY, TypePattern, Wild
+
+
+def pat(*dims):
+    return TypePattern(dims)
+
+
+class TestIdentity:
+    def test_aligned_access_free(self):
+        est = estimate_ref(ArrayRef("A"), pat("BLOCK", ":"), (64, 64), (4,))
+        assert est.messages == 0 and est.volume == 0
+
+
+class TestShift:
+    def test_block_boundary_exchange(self):
+        ref = ArrayRef("A", AccessKind.SHIFT, offsets=(1, 0))
+        est = estimate_ref(ref, pat("BLOCK", ":"), (64, 64), (4,))
+        assert est.messages == 4          # one per processor
+        assert est.volume == 4 * 64       # one boundary row each
+
+    def test_shift_along_undistributed_dim_free(self):
+        ref = ArrayRef("A", AccessKind.SHIFT, offsets=(0, 1))
+        est = estimate_ref(ref, pat("BLOCK", ":"), (64, 64), (4,))
+        assert est.messages == 0
+
+    def test_cyclic_shift_moves_full_segments(self):
+        ref = ArrayRef("A", AccessKind.SHIFT, offsets=(1,))
+        block = estimate_ref(ref, pat("BLOCK"), (64,), (4,))
+        cyclic = estimate_ref(ref, pat(Cyclic(1)), (64,), (4,))
+        assert cyclic.volume > block.volume
+
+    def test_2d_block_four_slabs(self):
+        """The §4 smoothing analysis: 4 messages of N/p per processor."""
+        ref = ArrayRef("A", AccessKind.SHIFT, offsets=(1, 1))
+        est = estimate_ref(ref, pat("BLOCK", "BLOCK"), (64, 64), (2, 2))
+        assert est.messages == 2 * 4      # 2 dims x nprocs
+        assert est.volume == 2 * 4 * 32   # slab = 64/2
+
+    def test_deeper_shift_scales_volume(self):
+        ref1 = ArrayRef("A", AccessKind.SHIFT, offsets=(1,))
+        ref2 = ArrayRef("A", AccessKind.SHIFT, offsets=(2,))
+        e1 = estimate_ref(ref1, pat("BLOCK"), (64,), (4,))
+        e2 = estimate_ref(ref2, pat("BLOCK"), (64,), (4,))
+        assert e2.volume == 2 * e1.volume
+
+    def test_single_slot_free(self):
+        ref = ArrayRef("A", AccessKind.SHIFT, offsets=(1,))
+        est = estimate_ref(ref, pat("BLOCK"), (64,), (1,))
+        assert est.messages == 0
+
+
+class TestRowSweep:
+    def test_local_lines_free(self):
+        """ADI good case: swept dim undistributed."""
+        ref = ArrayRef("V", AccessKind.ROW_SWEEP, dim=0)
+        est = estimate_ref(ref, pat(":", "BLOCK"), (100, 100), (4,))
+        assert est.messages == 0
+
+    def test_distributed_lines_cost_per_line(self):
+        """ADI bad case: lines cross processors."""
+        ref = ArrayRef("V", AccessKind.ROW_SWEEP, dim=0)
+        est = estimate_ref(ref, pat("BLOCK", ":"), (100, 100), (4,))
+        assert est.messages == 100 * 2 * 3  # lines x (gather+scatter) x (p-1)
+        assert est.volume > 0
+
+    def test_wildcard_dim_conservative(self):
+        ref = ArrayRef("V", AccessKind.ROW_SWEEP, dim=0)
+        est = estimate_ref(ref, pat(ANY, ":"), (100, 100), (4,))
+        assert est.messages > 0  # ANY might be distributed: assume cost
+
+
+class TestIndirectAndWhole:
+    def test_indirect_flagged_irregular(self):
+        ref = ArrayRef("F", AccessKind.INDIRECT)
+        est = estimate_ref(ref, pat("BLOCK", ":"), (64, 4), (4,))
+        assert est.irregular
+        assert est.messages == 4 * 3
+
+    def test_whole_array_gather(self):
+        ref = ArrayRef("F", AccessKind.WHOLE)
+        est = estimate_ref(ref, pat("BLOCK"), (64,), (4,))
+        assert est.messages == 3
+        assert est.volume == 64
+
+
+class TestEstimateAddition:
+    def test_add_combines(self):
+        a = CommEstimate(1, 10, note="x")
+        b = CommEstimate(2, 20, irregular=True, note="y")
+        c = a + b
+        assert c.messages == 3 and c.volume == 30
+        assert c.irregular
+        assert "x" in c.note and "y" in c.note
+
+
+class TestMemory:
+    def test_block_divides(self):
+        m = estimate_memory(pat("BLOCK", ":"), (64, 64), (4,))
+        assert m.elements_per_proc == 16 * 64
+
+    def test_two_d_blocks(self):
+        m = estimate_memory(pat("BLOCK", "BLOCK"), (64, 64), (2, 2))
+        assert m.elements_per_proc == 32 * 32
+
+    def test_replicated_full_copy(self):
+        m = estimate_memory(pat(Replicated(), ":"), (64, 64), (4,))
+        assert m.elements_per_proc == 64 * 64
+        assert m.replicated
+
+    def test_wild_cyclic_divides(self):
+        m = estimate_memory(pat(Wild(Cyclic)), (64,), (4,))
+        assert m.elements_per_proc == 16
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_ref(ArrayRef("A"), pat("BLOCK"), (4, 4), (2,))

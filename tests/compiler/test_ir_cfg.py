@@ -1,0 +1,164 @@
+"""Tests for the mini-IR and CFG construction."""
+
+import pytest
+
+from repro.compiler.cfg import build_cfg
+from repro.compiler.ir import (
+    AccessKind,
+    ArrayRef,
+    Assign,
+    Block,
+    Call,
+    DCaseStmt,
+    DistributeStmt,
+    If,
+    IRProgram,
+    Loop,
+    ProcDef,
+)
+from repro.core.query import QueryList, TypePattern
+
+
+class TestArrayRef:
+    def test_kinds_validated(self):
+        with pytest.raises(ValueError):
+            ArrayRef("A", "weird")
+
+    def test_shift_needs_offsets(self):
+        with pytest.raises(ValueError):
+            ArrayRef("A", AccessKind.SHIFT)
+        ArrayRef("A", AccessKind.SHIFT, offsets=(1, 0))
+
+    def test_row_sweep_needs_dim(self):
+        with pytest.raises(ValueError):
+            ArrayRef("A", AccessKind.ROW_SWEEP)
+        ArrayRef("A", AccessKind.ROW_SWEEP, dim=1)
+
+    def test_frozen(self):
+        r = ArrayRef("A")
+        with pytest.raises(Exception):
+            r.array = "B"  # type: ignore[misc]
+
+
+class TestIRProgram:
+    def test_statements_numbered_uniquely(self):
+        prog = IRProgram()
+        s1 = Assign(ArrayRef("A"))
+        s2 = Assign(ArrayRef("A"))
+        inner = Assign(ArrayRef("B"))
+        loop = Loop(Block([inner]))
+        prog.add_proc(ProcDef("main", (), Block([s1, loop, s2])))
+        sids = {s1.sid, s2.sid, loop.sid, inner.sid}
+        assert len(sids) == 4
+        assert all(s >= 0 for s in sids)
+
+    def test_duplicate_proc_rejected(self):
+        prog = IRProgram()
+        prog.add_proc(ProcDef("main", (), Block([])))
+        with pytest.raises(ValueError):
+            prog.add_proc(ProcDef("main", (), Block([])))
+
+    def test_unknown_proc(self):
+        prog = IRProgram()
+        with pytest.raises(KeyError):
+            prog.proc("nope")
+
+    def test_declare_patterns_coerced(self):
+        prog = IRProgram()
+        prog.declare("V", initial=("BLOCK", ":"), range_=[("BLOCK", ":")])
+        init, range_ = prog.declared["V"]
+        assert isinstance(init, TypePattern)
+        assert isinstance(range_[0], TypePattern)
+
+    def test_distribute_stmt_pattern_coerced(self):
+        s = DistributeStmt("V", ("BLOCK",))
+        assert isinstance(s.pattern, TypePattern)
+
+
+class TestCFG:
+    def _reachable(self, cfg):
+        seen = set()
+        stack = [cfg.entry]
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            for e in cfg.nodes[n].succs:
+                stack.append(e.dst)
+        return seen
+
+    def test_straight_line_single_path(self):
+        cfg = build_cfg(Block([Assign(ArrayRef("A")), Assign(ArrayRef("A"))]))
+        assert cfg.exit in self._reachable(cfg)
+
+    def test_if_has_two_paths_to_join(self):
+        branch = If(Block([Assign(ArrayRef("A"))]), Block([]))
+        cfg = build_cfg(Block([branch]))
+        reach = self._reachable(cfg)
+        assert cfg.exit in reach
+
+    def test_if_idt_cond_refines_then_edge(self):
+        branch = If(
+            Block([]), Block([]), idt_cond=("V", TypePattern(("BLOCK",)))
+        )
+        cfg = build_cfg(Block([branch]))
+        refined = [
+            e
+            for node in cfg.nodes.values()
+            for e in node.succs
+            if e.refinements
+        ]
+        assert len(refined) == 1
+        assert refined[0].refinements[0][0] == "V"
+
+    def test_loop_has_back_edge(self):
+        loop = Loop(Block([Assign(ArrayRef("A"))]))
+        cfg = build_cfg(Block([loop]))
+        # a back edge exists: some node reachable from head points back
+        has_cycle = False
+        for node in cfg.nodes.values():
+            for e in node.succs:
+                if e.dst <= e.src and e.dst != cfg.exit:
+                    has_cycle = True
+        assert has_cycle
+
+    def test_dcase_arm_edges_carry_refinements(self):
+        stmt = DCaseStmt(
+            selectors=("V", "W"),
+            arms=(
+                (QueryList([("BLOCK",)]), Block([])),
+                (None, Block([])),  # DEFAULT
+            ),
+        )
+        cfg = build_cfg(Block([stmt]))
+        refined = [
+            e
+            for node in cfg.nodes.values()
+            for e in node.succs
+            if e.refinements
+        ]
+        assert len(refined) == 1
+        (name, pattern), = refined[0].refinements
+        assert name == "V"
+
+    def test_dcase_without_default_has_fallthrough(self):
+        stmt = DCaseStmt(
+            selectors=("V",),
+            arms=((QueryList([("BLOCK",)]), Block([Assign(ArrayRef("A"))])),),
+        )
+        cfg = build_cfg(Block([stmt]))
+        assert cfg.exit in self._reachable(cfg)
+
+    def test_call_in_basic_block(self):
+        cfg = build_cfg(Block([Call("f", {"X": "V"})]))
+        stmts = [s for n in cfg.nodes.values() for s in n.stmts]
+        assert len(stmts) == 1
+        assert isinstance(stmts[0], Call)
+
+    def test_unknown_stmt_type_rejected(self):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError):
+            build_cfg(Block([Weird()]))  # type: ignore[list-item]

@@ -1,0 +1,215 @@
+"""Tests for partial-evaluation-driven IR optimization."""
+
+import pytest
+
+from repro.compiler.comm_analysis import infer_overlap
+from repro.compiler.ir import (
+    AccessKind,
+    ArrayRef,
+    Assign,
+    Block,
+    DCaseStmt,
+    DistributeStmt,
+    If,
+    IRProgram,
+    Loop,
+    ProcDef,
+)
+from repro.compiler.optimize import optimize
+from repro.core.dimdist import Cyclic
+from repro.core.query import QueryList, TypePattern
+
+
+def pat(*dims):
+    return TypePattern(dims)
+
+
+def use(array="V", label=""):
+    return Assign(ArrayRef(array), (ArrayRef(array),), label)
+
+
+def prog_with(stmts, **declares):
+    prog = IRProgram()
+    for name, kw in declares.items():
+        prog.declare(name, **kw)
+    prog.add_proc(ProcDef("main", (), Block(stmts)))
+    return prog
+
+
+class TestDeadArmElimination:
+    def test_never_arm_pruned(self):
+        stmt = DCaseStmt(
+            selectors=("V",),
+            arms=(
+                (QueryList([("CYCLIC",)]), Block([use(label="dead")])),
+                (QueryList([("BLOCK",)]), Block([use(label="live")])),
+            ),
+        )
+        prog = prog_with([stmt], V={"initial": ("BLOCK",)})
+        new, stats = optimize(prog)
+        assert stats.dead_arms == 1
+        # the remaining construct specializes to the live arm
+        body = list(new.proc("main").body)
+        assert len(body) == 1
+        assert isinstance(body[0], Assign) and body[0].label == "live"
+
+    def test_unmatchable_dcase_removed_entirely(self):
+        stmt = DCaseStmt(
+            selectors=("V",),
+            arms=((QueryList([(Cyclic(7), ":")]), Block([use()])),),
+        )
+        prog = prog_with([stmt], V={"initial": ("BLOCK", ":")})
+        new, stats = optimize(prog)
+        assert stats.dead_arms == 1
+        assert len(new.proc("main").body) == 0
+
+
+class TestSpecialization:
+    def test_always_first_arm_inlined(self):
+        stmt = DCaseStmt(
+            selectors=("V",),
+            arms=(
+                (QueryList([("BLOCK",)]), Block([use(label="taken")])),
+                (QueryList([("CYCLIC",)]), Block([use(label="other")])),
+            ),
+        )
+        prog = prog_with([stmt], V={"initial": ("BLOCK",)})
+        new, stats = optimize(prog)
+        assert stats.specialized_dcases == 1
+        body = list(new.proc("main").body)
+        assert len(body) == 1 and body[0].label == "taken"
+
+    def test_maybe_arms_kept(self):
+        branch = If(
+            then=Block([DistributeStmt("V", pat("CYCLIC"))]),
+            orelse=Block([]),
+        )
+        stmt = DCaseStmt(
+            selectors=("V",),
+            arms=(
+                (QueryList([("BLOCK",)]), Block([use()])),
+                (QueryList([("CYCLIC",)]), Block([use()])),
+            ),
+        )
+        prog = prog_with([branch, stmt], V={"initial": ("BLOCK",)})
+        new, stats = optimize(prog)
+        body = list(new.proc("main").body)
+        assert isinstance(body[-1], DCaseStmt)
+        assert len(body[-1].arms) == 2
+        assert stats.dead_arms == 0
+
+    def test_always_arm_truncates_tail(self):
+        """Arms after an ALWAYS arm can never be reached."""
+        branch = If(
+            then=Block([DistributeStmt("V", pat("CYCLIC"))]),
+            orelse=Block([DistributeStmt("V", pat("BLOCK"))]),
+        )
+        stmt = DCaseStmt(
+            selectors=("V",),
+            arms=(
+                (QueryList([("CYCLIC",)]), Block([use()])),  # maybe
+                (None, Block([use()])),                       # DEFAULT: always
+                (QueryList([("BLOCK",)]), Block([use()])),    # unreachable
+            ),
+        )
+        prog = prog_with([branch, stmt], V={"initial": ("BLOCK",)})
+        new, _ = optimize(prog)
+        dcase = list(new.proc("main").body)[-1]
+        assert isinstance(dcase, DCaseStmt)
+        assert len(dcase.arms) == 2  # trailing arm dropped
+
+
+class TestIfCollapse:
+    def test_always_then(self):
+        branch = If(
+            then=Block([use(label="t")]),
+            orelse=Block([use(label="e")]),
+            idt_cond=("V", pat("BLOCK")),
+        )
+        prog = prog_with([branch], V={"initial": ("BLOCK",)})
+        new, stats = optimize(prog)
+        assert stats.collapsed_ifs == 1
+        body = list(new.proc("main").body)
+        assert len(body) == 1 and body[0].label == "t"
+
+    def test_never_takes_else(self):
+        branch = If(
+            then=Block([use(label="t")]),
+            orelse=Block([use(label="e")]),
+            idt_cond=("V", pat("CYCLIC")),
+        )
+        prog = prog_with([branch], V={"initial": ("BLOCK",)})
+        new, stats = optimize(prog)
+        body = list(new.proc("main").body)
+        assert len(body) == 1 and body[0].label == "e"
+
+    def test_maybe_kept(self):
+        prog = prog_with(
+            [
+                If(
+                    then=Block([use()]),
+                    orelse=Block([]),
+                    idt_cond=("V", pat("BLOCK")),
+                )
+            ],
+            V={"range_": [("BLOCK",), ("CYCLIC",)]},
+        )
+        new, stats = optimize(prog)
+        assert stats.collapsed_ifs == 0
+        assert isinstance(list(new.proc("main").body)[0], If)
+
+
+class TestRedundantDistribute:
+    def test_noop_distribute_removed(self):
+        stmts = [
+            DistributeStmt("V", pat("BLOCK")),  # V already (BLOCK)
+            use(),
+        ]
+        prog = prog_with(stmts, V={"initial": ("BLOCK",)})
+        new, stats = optimize(prog)
+        assert stats.removed_distributes == 1
+        assert all(
+            not isinstance(s, DistributeStmt) for s in new.proc("main").body
+        )
+
+    def test_real_distribute_kept(self):
+        stmts = [DistributeStmt("V", pat("CYCLIC")), use()]
+        prog = prog_with(stmts, V={"initial": ("BLOCK",)})
+        new, stats = optimize(prog)
+        assert stats.removed_distributes == 0
+
+    def test_loop_flip_distributes_kept(self):
+        """In the ADI loop both distributes are load-bearing."""
+        loop = Loop(
+            Block(
+                [
+                    DistributeStmt("V", pat(":", "BLOCK")),
+                    use(),
+                    DistributeStmt("V", pat("BLOCK", ":")),
+                    use(),
+                ]
+            )
+        )
+        prog = prog_with([loop], V={"initial": (":", "BLOCK")})
+        new, stats = optimize(prog)
+        # the first distribute is a no-op only on iteration 1; because
+        # (BLOCK,:) also reaches it around the back edge it must stay
+        assert stats.removed_distributes == 0
+
+
+class TestInferOverlap:
+    def test_widths_from_shift_refs(self):
+        refs = [
+            ArrayRef("U", AccessKind.SHIFT, offsets=(1, 0)),
+            ArrayRef("U", AccessKind.SHIFT, offsets=(-2, 1)),
+            ArrayRef("W", AccessKind.IDENTITY),
+        ]
+        out = infer_overlap(refs, 2)
+        assert out == {"U": (2, 1)}
+
+    def test_identity_only_needs_none(self):
+        assert infer_overlap([ArrayRef("A")], 2) == {}
+
+    def test_sweep_refs_ignored(self):
+        refs = [ArrayRef("V", AccessKind.ROW_SWEEP, dim=0)]
+        assert infer_overlap(refs, 2) == {}

@@ -1,0 +1,181 @@
+"""Tests for pattern relations and query partial evaluation (§3.1)."""
+
+import pytest
+
+from repro.compiler.partial_eval import (
+    ALWAYS,
+    MAYBE,
+    NEVER,
+    TOP,
+    PlausibleSet,
+    decide_pattern,
+    decide_querylist,
+    dim_implies,
+    dim_overlaps,
+    pattern_implies,
+    pattern_overlaps,
+    refine_pattern,
+)
+from repro.core.dimdist import Block, Cyclic, GenBlock
+from repro.core.query import ANY, QueryList, TypePattern, Wild
+
+
+class TestDimRelations:
+    def test_concrete_implies_self(self):
+        assert dim_implies(Block(), Block())
+        assert not dim_implies(Block(), Cyclic(1))
+
+    def test_everything_implies_any(self):
+        assert dim_implies(Block(), ANY)
+        assert dim_implies(Wild(Cyclic), ANY)
+        assert dim_implies(ANY, ANY)
+
+    def test_any_implies_nothing_concrete(self):
+        assert not dim_implies(ANY, Block())
+        assert not dim_implies(ANY, Wild(Cyclic))
+
+    def test_concrete_implies_wild_family(self):
+        assert dim_implies(Cyclic(3), Wild(Cyclic))
+        assert not dim_implies(Block(), Wild(Cyclic))
+
+    def test_wild_never_implies_concrete(self):
+        assert not dim_implies(Wild(Cyclic), Cyclic(1))
+
+    def test_overlap_symmetric_cases(self):
+        assert dim_overlaps(ANY, Block())
+        assert dim_overlaps(Block(), ANY)
+        assert dim_overlaps(Cyclic(2), Wild(Cyclic))
+        assert dim_overlaps(Wild(Cyclic), Cyclic(2))
+        assert not dim_overlaps(Block(), Wild(Cyclic))
+        assert not dim_overlaps(Block(), Cyclic(1))
+
+    def test_wild_wild_overlap(self):
+        assert dim_overlaps(Wild(Cyclic), Wild(Cyclic))
+
+
+class TestPatternRelations:
+    def test_implies(self):
+        a = TypePattern((Block(), Cyclic(2)))
+        b = TypePattern((Block(), ANY))
+        assert pattern_implies(a, b)
+        assert not pattern_implies(b, a)
+
+    def test_rank_mismatch(self):
+        a = TypePattern((Block(),))
+        b = TypePattern((Block(), ANY))
+        assert not pattern_implies(a, b)
+        assert not pattern_overlaps(a, b)
+
+    def test_any_type(self):
+        t = TypePattern(ANY)
+        assert pattern_implies(TypePattern((Block(),)), t)
+        assert pattern_overlaps(t, TypePattern((Cyclic(1),)))
+
+    def test_refine_narrows(self):
+        a = TypePattern((ANY, Cyclic(2)))
+        b = TypePattern((Block(), ANY))
+        r = refine_pattern(a, b)
+        assert r == TypePattern((Block(), Cyclic(2)))
+
+    def test_refine_disjoint_none(self):
+        a = TypePattern((Block(),))
+        b = TypePattern((Cyclic(1),))
+        assert refine_pattern(a, b) is None
+
+    def test_refine_with_any_type(self):
+        a = TypePattern(ANY)
+        b = TypePattern((Block(),))
+        assert refine_pattern(a, b) == b
+        assert refine_pattern(b, a) == b
+
+    def test_refine_wild_with_concrete(self):
+        a = TypePattern((Wild(Cyclic),))
+        b = TypePattern((Cyclic(4),))
+        assert refine_pattern(a, b) == b
+
+
+class TestPlausibleSet:
+    def test_top(self):
+        assert TOP.is_top
+        assert not TOP.is_empty
+
+    def test_union(self):
+        a = PlausibleSet([TypePattern((Block(),))])
+        b = PlausibleSet([TypePattern((Cyclic(1),))])
+        u = a.union(b)
+        assert len(u.patterns) == 2
+
+    def test_union_with_top(self):
+        a = PlausibleSet([TypePattern((Block(),))])
+        assert a.union(TOP).is_top
+        assert TOP.union(a).is_top
+
+    def test_refine_drops_incompatible(self):
+        s = PlausibleSet(
+            [TypePattern((Block(),)), TypePattern((Cyclic(1),))]
+        )
+        r = s.refine(TypePattern((Wild(Cyclic),)))
+        assert r.patterns == frozenset([TypePattern((Cyclic(1),))])
+
+    def test_refine_top_gives_pattern(self):
+        r = TOP.refine(TypePattern((Block(),)))
+        assert r.patterns == frozenset([TypePattern((Block(),))])
+
+    def test_empty(self):
+        s = PlausibleSet([TypePattern((Block(),))])
+        assert s.refine(TypePattern((Cyclic(1),))).is_empty
+
+
+class TestDecidePattern:
+    def test_always(self):
+        s = PlausibleSet([TypePattern((Block(), Cyclic(2)))])
+        assert decide_pattern(s, TypePattern((Block(), ANY))) == ALWAYS
+
+    def test_never(self):
+        s = PlausibleSet([TypePattern((Block(), ANY))])
+        assert decide_pattern(s, TypePattern((Cyclic(1), ANY))) == NEVER
+
+    def test_maybe_mixed_set(self):
+        s = PlausibleSet(
+            [TypePattern((Block(),)), TypePattern((Cyclic(1),))]
+        )
+        assert decide_pattern(s, TypePattern((Block(),))) == MAYBE
+
+    def test_maybe_top(self):
+        assert decide_pattern(TOP, TypePattern((Block(),))) == MAYBE
+
+    def test_never_empty_set(self):
+        s = PlausibleSet([])
+        assert decide_pattern(s, TypePattern(ANY)) == NEVER
+
+    def test_maybe_wild_in_set_vs_concrete(self):
+        # plausible CYCLIC(*) vs query CYCLIC(2): some instances match
+        s = PlausibleSet([TypePattern((Wild(Cyclic),))])
+        assert decide_pattern(s, TypePattern((Cyclic(2),))) == MAYBE
+
+
+class TestDecideQuerylist:
+    def test_positional_always(self):
+        st = {
+            "B1": PlausibleSet([TypePattern((Block(),))]),
+            "B2": PlausibleSet([TypePattern((Cyclic(2),))]),
+        }
+        ql = QueryList([("BLOCK",), (Wild(Cyclic),)])
+        assert decide_querylist(st, ("B1", "B2"), ql) == ALWAYS
+
+    def test_never_dominates(self):
+        st = {
+            "B1": PlausibleSet([TypePattern((Block(),))]),
+            "B2": PlausibleSet([TypePattern((Block(),))]),
+        }
+        ql = QueryList([("BLOCK",), ("CYCLIC",)])
+        assert decide_querylist(st, ("B1", "B2"), ql) == NEVER
+
+    def test_tagged(self):
+        st = {"B3": PlausibleSet([TypePattern((Block(), Cyclic(1)))])}
+        ql = QueryList({"B3": ("BLOCK", ANY)})
+        assert decide_querylist(st, ("B1", "B2", "B3"), ql) == ALWAYS
+
+    def test_untracked_selector_is_maybe(self):
+        ql = QueryList([("BLOCK",)])
+        assert decide_querylist({}, ("B1",), ql) == MAYBE

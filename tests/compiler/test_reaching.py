@@ -1,0 +1,297 @@
+"""Tests for the reaching-distributions analysis (§3.1)."""
+
+from repro.compiler.ir import (
+    AccessKind,
+    ArrayRef,
+    Assign,
+    Block,
+    Call,
+    DCaseStmt,
+    DistributeStmt,
+    If,
+    IRProgram,
+    Loop,
+    ProcDef,
+)
+from repro.compiler.partial_eval import TOP, PlausibleSet
+from repro.compiler.reaching import analyze
+from repro.core.query import ANY, QueryList, TypePattern
+
+
+def pat(*dims):
+    return TypePattern(dims)
+
+
+def use(array="V"):
+    return Assign(ArrayRef(array), (ArrayRef(array),))
+
+
+class TestStraightLine:
+    def test_initial_declaration_reaches(self):
+        prog = IRProgram()
+        prog.declare("V", initial=(":", "BLOCK"))
+        s = use()
+        prog.add_proc(ProcDef("main", (), Block([s])))
+        res = analyze(prog)
+        assert res.plausible(s.sid, "V").patterns == frozenset(
+            [pat(":", "BLOCK")]
+        )
+
+    def test_distribute_kills_and_gens(self):
+        prog = IRProgram()
+        prog.declare("V", initial=(":", "BLOCK"))
+        s1, s2 = use(), use()
+        prog.add_proc(
+            ProcDef(
+                "main",
+                (),
+                Block([s1, DistributeStmt("V", pat("BLOCK", ":")), s2]),
+            )
+        )
+        res = analyze(prog)
+        assert res.plausible(s1.sid, "V").patterns == frozenset(
+            [pat(":", "BLOCK")]
+        )
+        assert res.plausible(s2.sid, "V").patterns == frozenset(
+            [pat("BLOCK", ":")]
+        )
+
+    def test_undeclared_array_is_top(self):
+        prog = IRProgram()
+        s = use("W")
+        prog.add_proc(ProcDef("main", (), Block([s])))
+        res = analyze(prog)
+        assert res.plausible(s.sid, "W").is_top
+
+    def test_range_used_when_no_initial(self):
+        prog = IRProgram()
+        prog.declare("V", range_=[(":", "BLOCK"), ("BLOCK", ":")])
+        s = use()
+        prog.add_proc(ProcDef("main", (), Block([s])))
+        res = analyze(prog)
+        assert res.plausible(s.sid, "V").patterns == frozenset(
+            [pat(":", "BLOCK"), pat("BLOCK", ":")]
+        )
+
+    def test_connected_arrays_share_type(self):
+        prog = IRProgram()
+        prog.declare("B", initial=("BLOCK",))
+        prog.declare("A", initial=("BLOCK",))
+        s = use("A")
+        prog.add_proc(
+            ProcDef(
+                "main",
+                (),
+                Block(
+                    [DistributeStmt("B", pat("CYCLIC"), connected=("A",)), s]
+                ),
+            )
+        )
+        res = analyze(prog)
+        assert res.plausible(s.sid, "A").patterns == frozenset([pat("CYCLIC")])
+
+
+class TestBranches:
+    def test_join_unions_both_paths(self):
+        """'several data distributions may reach some statements'."""
+        prog = IRProgram()
+        prog.declare("V", initial=("BLOCK",))
+        after = use()
+        branch = If(
+            then=Block([DistributeStmt("V", pat("CYCLIC"))]),
+            orelse=Block([]),
+        )
+        prog.add_proc(ProcDef("main", (), Block([branch, after])))
+        res = analyze(prog)
+        assert res.plausible(after.sid, "V").patterns == frozenset(
+            [pat("BLOCK"), pat("CYCLIC")]
+        )
+
+    def test_idt_condition_refines_then_branch(self):
+        prog = IRProgram()
+        prog.declare("V", range_=[("BLOCK",), ("CYCLIC",)])
+        inside = use()
+        branch = If(
+            then=Block([inside]),
+            orelse=Block([]),
+            idt_cond=("V", pat("BLOCK")),
+        )
+        prog.add_proc(ProcDef("main", (), Block([branch])))
+        res = analyze(prog)
+        assert res.plausible(inside.sid, "V").patterns == frozenset(
+            [pat("BLOCK")]
+        )
+
+    def test_dcase_arm_refinement(self):
+        prog = IRProgram()
+        prog.declare("V", range_=[("BLOCK",), ("CYCLIC",)])
+        in_block = use()
+        in_cyclic = use()
+        stmt = DCaseStmt(
+            selectors=("V",),
+            arms=(
+                (QueryList([("BLOCK",)]), Block([in_block])),
+                (QueryList([("CYCLIC",)]), Block([in_cyclic])),
+            ),
+        )
+        prog.add_proc(ProcDef("main", (), Block([stmt])))
+        res = analyze(prog)
+        assert res.plausible(in_block.sid, "V").patterns == frozenset(
+            [pat("BLOCK")]
+        )
+        assert res.plausible(in_cyclic.sid, "V").patterns == frozenset(
+            [pat("CYCLIC")]
+        )
+
+    def test_dcase_join_includes_no_match_path(self):
+        prog = IRProgram()
+        prog.declare("V", initial=("BLOCK",))
+        after = use()
+        stmt = DCaseStmt(
+            selectors=("V",),
+            arms=(
+                (
+                    QueryList([("BLOCK",)]),
+                    Block([DistributeStmt("V", pat("CYCLIC"))]),
+                ),
+            ),
+        )
+        prog.add_proc(ProcDef("main", (), Block([stmt, after])))
+        res = analyze(prog)
+        # both the redistributed arm and the fall-through reach `after`
+        assert res.plausible(after.sid, "V").patterns == frozenset(
+            [pat("BLOCK"), pat("CYCLIC")]
+        )
+
+
+class TestLoops:
+    def test_loop_fixpoint_adi_pattern(self):
+        """The Figure 1 + outer loop shape: inside the loop the x-sweep
+        may see both distributions (first iteration vs. wraparound)."""
+        prog = IRProgram()
+        prog.declare("V", initial=(":", "BLOCK"))
+        x_sweep = Assign(
+            ArrayRef("V"), (ArrayRef("V", AccessKind.ROW_SWEEP, dim=0),)
+        )
+        y_sweep = Assign(
+            ArrayRef("V"), (ArrayRef("V", AccessKind.ROW_SWEEP, dim=1),)
+        )
+        loop = Loop(
+            Block(
+                [
+                    x_sweep,
+                    DistributeStmt("V", pat("BLOCK", ":")),
+                    y_sweep,
+                ]
+            )
+        )
+        prog.add_proc(ProcDef("main", (), Block([loop])))
+        res = analyze(prog)
+        # x-sweep: initial (:,BLOCK) on iteration 1, (BLOCK,:) after wrap
+        assert res.plausible(x_sweep.sid, "V").patterns == frozenset(
+            [pat(":", "BLOCK"), pat("BLOCK", ":")]
+        )
+        # y-sweep: always after the distribute
+        assert res.plausible(y_sweep.sid, "V").patterns == frozenset(
+            [pat("BLOCK", ":")]
+        )
+
+    def test_loop_with_flip_back_is_precise(self):
+        """Redistributing back at the loop top makes the x-sweep precise."""
+        prog = IRProgram()
+        prog.declare("V", initial=(":", "BLOCK"))
+        x_sweep = use()
+        loop = Loop(
+            Block(
+                [
+                    DistributeStmt("V", pat(":", "BLOCK")),
+                    x_sweep,
+                    DistributeStmt("V", pat("BLOCK", ":")),
+                ]
+            )
+        )
+        prog.add_proc(ProcDef("main", (), Block([loop])))
+        res = analyze(prog)
+        assert res.plausible(x_sweep.sid, "V").patterns == frozenset(
+            [pat(":", "BLOCK")]
+        )
+
+
+class TestInterprocedural:
+    def test_formal_inherits_actual(self):
+        prog = IRProgram()
+        prog.declare("V", initial=(":", "BLOCK"))
+        inner_use = use("X")
+        prog.add_proc(ProcDef("tridiag", ("X",), Block([inner_use])))
+        prog.add_proc(
+            ProcDef(
+                "main", (), Block([Call("tridiag", {"X": "V"})])
+            )
+        )
+        res = analyze(prog)
+        assert res.plausible(inner_use.sid, "X").patterns == frozenset(
+            [pat(":", "BLOCK")]
+        )
+
+    def test_declared_formal_forces_redistribution(self):
+        prog = IRProgram()
+        prog.declare("V", initial=(":", "BLOCK"))
+        inner_use = use("X")
+        prog.add_proc(
+            ProcDef(
+                "sweep",
+                ("X",),
+                Block([inner_use]),
+                formal_dists={"X": pat("BLOCK", ":")},
+            )
+        )
+        after = use("V")
+        prog.add_proc(
+            ProcDef("main", (), Block([Call("sweep", {"X": "V"}), after]))
+        )
+        res = analyze(prog)
+        assert res.plausible(inner_use.sid, "X").patterns == frozenset(
+            [pat("BLOCK", ":")]
+        )
+        # VF semantics: the new distribution returns to the caller
+        assert res.plausible(after.sid, "V").patterns == frozenset(
+            [pat("BLOCK", ":")]
+        )
+
+    def test_callee_distribute_flows_back(self):
+        prog = IRProgram()
+        prog.declare("V", initial=("BLOCK",))
+        prog.add_proc(
+            ProcDef(
+                "redist", ("X",), Block([DistributeStmt("X", pat("CYCLIC"))])
+            )
+        )
+        after = use("V")
+        prog.add_proc(
+            ProcDef("main", (), Block([Call("redist", {"X": "V"}), after]))
+        )
+        res = analyze(prog)
+        assert res.plausible(after.sid, "V").patterns == frozenset(
+            [pat("CYCLIC")]
+        )
+
+    def test_recursion_falls_to_worst_case(self):
+        prog = IRProgram()
+        prog.declare("V", range_=[("BLOCK",), ("CYCLIC",)])
+        after = use("V")
+        prog.add_proc(
+            ProcDef(
+                "rec",
+                (),
+                Block(
+                    [DistributeStmt("V", pat("BLOCK")), Call("rec", {})]
+                ),
+            )
+        )
+        prog.add_proc(
+            ProcDef("main", (), Block([Call("rec", {}), after]))
+        )
+        res = analyze(prog)
+        ps = res.plausible(after.sid, "V")
+        # worst case: back to the RANGE (or TOP), not the precise {BLOCK}
+        assert ps.is_top or len(ps.patterns) >= 1

@@ -1,0 +1,194 @@
+"""Tests for alignments and CONSTRUCT (Definitions 1-2, Example 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.alignment import Alignment, AxisMap, construct
+from repro.core.dimdist import Cyclic, Indirect, NoDist
+from repro.core.distribution import dist_type
+from repro.core.index_domain import IndexDomain
+from repro.machine.topology import ProcessorArray
+
+
+class TestAxisMap:
+    def test_affine_eval(self):
+        m = AxisMap(dim=0, stride=2, offset=1)
+        assert m.eval_scalar((3,)) == 7
+
+    def test_constant(self):
+        m = AxisMap(dim=None, offset=4)
+        assert m.eval_scalar((0, 0)) == 4
+
+    def test_vec(self):
+        m = AxisMap(dim=0, stride=3, offset=1)
+        assert list(m.eval_vec(3)) == [1, 4, 7]
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ValueError):
+            AxisMap(dim=0, stride=0)
+
+    def test_constant_has_no_vec(self):
+        with pytest.raises(ValueError):
+            AxisMap(dim=None, offset=2).eval_vec(3)
+
+    def test_is_identity(self):
+        assert AxisMap(0).is_identity()
+        assert not AxisMap(0, 2).is_identity()
+        assert not AxisMap(0, 1, 1).is_identity()
+        assert not AxisMap(None, offset=0).is_identity()
+
+
+class TestAlignmentConstruction:
+    def test_identity(self):
+        a = Alignment.identity(3)
+        assert a.map_index((1, 2, 3)) == (1, 2, 3)
+
+    def test_permutation_paper_example1(self):
+        # ALIGN D(I,J,K) WITH C(J,I,K): (i,j,k) -> (j,i,k)
+        a = Alignment.permutation((1, 0, 2))
+        assert a.map_index((1, 2, 3)) == (2, 1, 3)
+
+    def test_shift(self):
+        a = Alignment.shift(2, (1, -1))
+        assert a.map_index((5, 5)) == (6, 4)
+
+    def test_bad_permutation(self):
+        with pytest.raises(ValueError):
+            Alignment.permutation((0, 0))
+
+    def test_source_dim_used_twice_rejected(self):
+        with pytest.raises(ValueError):
+            Alignment(1, [AxisMap(0), AxisMap(0)])
+
+    def test_source_dim_out_of_range(self):
+        with pytest.raises(ValueError):
+            Alignment(1, [AxisMap(2)])
+
+    def test_wrong_arity_index(self):
+        a = Alignment.identity(2)
+        with pytest.raises(ValueError):
+            a.map_index((1,))
+
+    def test_check_domains_rejects_out_of_range(self):
+        a = Alignment.shift(1, (5,))
+        with pytest.raises(ValueError):
+            a.check_domains(IndexDomain((10,)), IndexDomain((10,)))
+
+    def test_check_domains_accepts_fit(self):
+        a = Alignment.shift(1, (5,))
+        a.check_domains(IndexDomain((5,)), IndexDomain((10,)))
+
+
+class TestConstruct:
+    """delta_A(i) = U_{j in alpha(i)} delta_B(j)."""
+
+    def test_identity_preserves_type_and_owners(self):
+        R = ProcessorArray("R", (4,))
+        db = dist_type("BLOCK", ":").apply((8, 8), R)
+        da = construct(Alignment.identity(2), db, (8, 8))
+        assert da.dtype == db.dtype
+        for i in range(8):
+            for j in range(8):
+                assert da.owner((i, j)) == db.owner((i, j))
+
+    def test_paper_example1_transpose(self):
+        # REAL C(10,10,10) DIST(BLOCK,BLOCK,:); D ALIGN D(I,J,K) WITH C(J,I,K)
+        R = ProcessorArray("R", (2, 2))
+        dc = dist_type("BLOCK", "BLOCK", ":").apply((10, 10, 10), R)
+        alignment = Alignment.permutation((1, 0, 2))
+        dd = construct(alignment, dc, (10, 10, 10))
+        # aligned elements co-located: D(i,j,k) with C(j,i,k)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            i, j, k = rng.integers(0, 10, 3)
+            assert dd.owner((i, j, k)) == dc.owner((j, i, k))
+
+    def test_transpose_2d_full_check(self):
+        R = ProcessorArray("R", (2, 3))
+        db = dist_type("BLOCK", "CYCLIC").apply((6, 6), R)
+        da = construct(Alignment.permutation((1, 0)), db, (6, 6))
+        for i in range(6):
+            for j in range(6):
+                assert da.owner((i, j)) == db.owner((j, i))
+
+    def test_shift_alignment_colocates(self):
+        R = ProcessorArray("R", (4,))
+        db = dist_type("BLOCK").apply((12,), R)
+        da = construct(Alignment.shift(1, (2,)), db, (10,))
+        for i in range(10):
+            assert da.owner((i,)) == db.owner((i + 2,))
+
+    def test_shift_produces_indirect(self):
+        R = ProcessorArray("R", (4,))
+        db = dist_type("BLOCK").apply((12,), R)
+        da = construct(Alignment.shift(1, (2,)), db, (10,))
+        assert isinstance(da.dtype.dims[0], Indirect)
+
+    def test_stride_alignment(self):
+        R = ProcessorArray("R", (2,))
+        db = dist_type("BLOCK").apply((10,), R)
+        a = Alignment(1, [AxisMap(0, 2, 0)])  # A(i) with B(2i)
+        da = construct(a, db, (5,))
+        for i in range(5):
+            assert da.owner((i,)) == db.owner((2 * i,))
+
+    def test_constant_embedding_pins_processor_dim(self):
+        R = ProcessorArray("R", (2, 2))
+        db = dist_type("BLOCK", "BLOCK").apply((8, 8), R)
+        # A(i) WITH B(i, 6): column 6 lives on slot 1 of section dim 1
+        a = Alignment(1, [AxisMap(0), AxisMap(None, offset=6)])
+        da = construct(a, db, (8,))
+        for i in range(8):
+            assert da.owner((i,)) == db.owner((i, 6))
+
+    def test_unmentioned_source_dim_undistributed(self):
+        R = ProcessorArray("R", (2,))
+        db = dist_type("BLOCK").apply((8,), R)
+        # A(i, j) WITH B(i): j rides along
+        a = Alignment(2, [AxisMap(0)])
+        da = construct(a, db, (8, 4))
+        assert isinstance(da.dtype.dims[1], NoDist)
+        for i in range(8):
+            for j in range(4):
+                assert da.owner((i, j)) == db.owner((i,))
+
+    def test_target_undistributed_dim_gives_nodist(self):
+        R = ProcessorArray("R", (2,))
+        db = dist_type("BLOCK", ":").apply((8, 8), R)
+        da = construct(Alignment.identity(2), db, (8, 8))
+        assert isinstance(da.dtype.dims[1], NoDist)
+
+    def test_smaller_source_identity_extent_mismatch(self):
+        # A(6) WITH B(10) under identity: falls back to Indirect but
+        # still co-locates.
+        R = ProcessorArray("R", (2,))
+        db = dist_type("BLOCK").apply((10,), R)
+        da = construct(Alignment.identity(1), db, (6,))
+        for i in range(6):
+            assert da.owner((i,)) == db.owner((i,))
+
+    def test_misfit_alignment_rejected(self):
+        R = ProcessorArray("R", (2,))
+        db = dist_type("BLOCK").apply((8,), R)
+        with pytest.raises(ValueError):
+            construct(Alignment.shift(1, (4,)), db, (8,))  # maps past 8
+
+    def test_cyclic_target_transpose(self):
+        R = ProcessorArray("R", (3, 2))
+        db = dist_type(Cyclic(2), "BLOCK").apply((6, 6), R)
+        da = construct(Alignment.permutation((1, 0)), db, (6, 6))
+        for i in range(6):
+            for j in range(6):
+                assert da.owner((i, j)) == db.owner((j, i))
+
+
+class TestAlignmentEquality:
+    def test_eq_hash(self):
+        a = Alignment.permutation((1, 0))
+        b = Alignment.permutation((1, 0))
+        assert a == b and hash(a) == hash(b)
+        assert a != Alignment.identity(2)
+
+    def test_repr_readable(self):
+        a = Alignment.permutation((1, 0, 2))
+        assert "WITH" in repr(a)

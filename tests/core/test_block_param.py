@@ -1,0 +1,85 @@
+"""Tests for the parameterized BLOCK(m) form and the BLOCK(*) wildcard
+(used verbatim in the paper's §2.5.2: ``IDT(B3,(BLOCK(*)))``)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dimdist import Block
+from repro.core.distribution import dist_type
+from repro.core.query import Wild, idt
+from repro.lang.parser import VFSyntaxError, parse_dist_expr, parse_pattern
+from repro.machine.topology import ProcessorArray
+
+
+class TestBlockM:
+    def test_fixed_block_length(self):
+        dd = Block(3)
+        assert list(dd.owners_vec(10, 4)) == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]
+
+    def test_plain_block_unchanged(self):
+        assert list(Block().owners_vec(8, 4)) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_must_cover_dimension(self):
+        with pytest.raises(ValueError, match="covers only"):
+            Block(2).validate(10, 4)
+
+    def test_m_positive(self):
+        with pytest.raises(ValueError):
+            Block(0)
+
+    def test_equality_includes_m(self):
+        assert Block(3) == Block(3)
+        assert Block(3) != Block()
+        assert Block(3) != Block(4)
+
+    def test_partition_invariants(self):
+        dd = Block(4)
+        seen = np.zeros(10, dtype=int)
+        for s in range(4):
+            seen[dd.indices_of(s, 10, 4)] += 1
+        assert (seen == 1).all()
+        for s in range(4):
+            for li, gi in enumerate(dd.indices_of(s, 10, 4)):
+                assert dd.global_to_local(s, int(gi), 10, 4) == li
+                assert dd.local_to_global(s, li, 10, 4) == gi
+
+    def test_repr(self):
+        assert repr(Block(3)) == "BLOCK(3)"
+        assert repr(Block()) == "BLOCK"
+
+    def test_bound_distribution(self):
+        R = ProcessorArray("R", (4,))
+        d = dist_type(Block(3)).apply((10,), R)
+        assert d.local_shape(0) == (3,)
+        assert d.local_shape(3) == (1,)
+
+
+class TestBlockSyntax:
+    def test_parse_block_m(self):
+        t = parse_dist_expr("(BLOCK(5), :)")
+        assert t.dims[0] == Block(5)
+
+    def test_parse_block_m_env(self):
+        t = parse_dist_expr("(BLOCK(M))", env={"M": 7})
+        assert t.dims[0] == Block(7)
+
+    def test_parse_block_star_pattern(self):
+        p = parse_pattern("(BLOCK(*), CYCLIC)")
+        assert p.dims[0] == Wild(Block)
+
+    def test_block_star_rejected_in_concrete(self):
+        with pytest.raises(VFSyntaxError):
+            parse_dist_expr("(BLOCK(*))")
+
+    def test_paper_252_idt_with_block_star(self):
+        """IF (IDT(B3,(BLOCK(*)))) — Example 4's second clause."""
+        t3 = dist_type(Block(5), "CYCLIC")
+        assert idt(t3, parse_pattern("(BLOCK(*), *)"))
+        assert idt(dist_type("BLOCK", "CYCLIC"), parse_pattern("(BLOCK(*), *)"))
+        assert not idt(dist_type("CYCLIC", "CYCLIC"), parse_pattern("(BLOCK(*), *)"))
+
+    def test_block_m_matches_block_star_not_plain(self):
+        p_star = parse_pattern("(BLOCK(*))")
+        p_plain = parse_pattern("(BLOCK)")
+        assert p_star.matches(dist_type(Block(3)))
+        assert not p_plain.matches(dist_type(Block(3)))

@@ -1,0 +1,84 @@
+"""Tests for run-time array descriptors (paper §3.2.1)."""
+
+import pytest
+
+from repro.core.descriptor import ArrayDescriptor, DistributionUndefinedError
+from repro.core.distribution import dist_type
+from repro.core.dynamic import DynamicAttr
+from repro.core.index_domain import IndexDomain
+from repro.machine.topology import ProcessorArray
+
+R = ProcessorArray("R", (4,))
+
+
+def make_static():
+    d = ArrayDescriptor("A", IndexDomain((8, 8)))
+    d.set_dist(dist_type("BLOCK", ":").apply((8, 8), R))
+    return d
+
+
+class TestStaticDescriptor:
+    def test_static_association_invariant(self):
+        """§2.3: a static array's distribution association is invariant."""
+        d = make_static()
+        with pytest.raises(ValueError, match="static"):
+            d.set_dist(dist_type(":", "BLOCK").apply((8, 8), R))
+
+    def test_dist_type_accessor(self):
+        assert make_static().dist_type == dist_type("BLOCK", ":")
+
+    def test_version_counts(self):
+        d = make_static()
+        assert d.version == 1
+
+    def test_is_flags(self):
+        d = make_static()
+        assert d.is_distributed and not d.is_dynamic
+
+
+class TestDynamicDescriptor:
+    def test_access_before_distribution_illegal(self):
+        """§2.3: no initial distribution + no DISTRIBUTE = illegal access."""
+        d = ArrayDescriptor("B1", IndexDomain((8,)), dynamic=DynamicAttr())
+        assert not d.is_distributed
+        with pytest.raises(DistributionUndefinedError):
+            _ = d.dist
+
+    def test_redistribution_allowed(self):
+        d = ArrayDescriptor("V", IndexDomain((8, 8)), dynamic=DynamicAttr())
+        d.set_dist(dist_type(":", "BLOCK").apply((8, 8), R))
+        d.set_dist(dist_type("BLOCK", ":").apply((8, 8), R))
+        assert d.version == 2
+
+    def test_range_enforced_on_set(self):
+        d = ArrayDescriptor(
+            "V",
+            IndexDomain((8, 8)),
+            dynamic=DynamicAttr(range_=[(":", "BLOCK"), ("BLOCK", ":")]),
+        )
+        d.set_dist(dist_type(":", "BLOCK").apply((8, 8), R))
+        with pytest.raises(ValueError, match="RANGE"):
+            d.set_dist(dist_type("CYCLIC", ":").apply((8, 8), R))
+
+    def test_domain_mismatch_rejected(self):
+        d = ArrayDescriptor("V", IndexDomain((8, 8)), dynamic=DynamicAttr())
+        with pytest.raises(ValueError):
+            d.set_dist(dist_type(":", "BLOCK").apply((8, 9), R))
+
+
+class TestAccessFunctions:
+    def test_loc_map(self):
+        d = make_static()
+        # element (3, 5) lives on rank 1 (block length 2), offset (1, 5)
+        assert d.owner((3, 5)) == 1
+        assert d.loc_map(1, (3, 5)) == (1, 5)
+
+    def test_segment(self):
+        d = make_static()
+        assert d.segment(0) == ((0, 2), (0, 8))
+
+    def test_repr_states(self):
+        d = ArrayDescriptor("X", IndexDomain((4,)), dynamic=DynamicAttr())
+        assert "undistributed" in repr(d)
+        d.set_dist(dist_type("BLOCK").apply((4,), R))
+        assert "BLOCK" in repr(d)

@@ -1,0 +1,254 @@
+"""Tests for per-dimension distribution intrinsics (paper §2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dimdist import (
+    Block,
+    Cyclic,
+    GenBlock,
+    Indirect,
+    NoDist,
+    Replicated,
+    SBlock,
+)
+
+ALL_EXCLUSIVE = [
+    (Block(), 10, 4),
+    (Block(), 7, 3),
+    (Block(), 4, 8),      # more slots than elements
+    (Cyclic(1), 10, 4),
+    (Cyclic(3), 17, 4),
+    (Cyclic(5), 10, 3),   # chunk larger than n/p
+    (GenBlock([3, 0, 5, 2]), 10, 4),
+    (SBlock([0, 3, 3, 8]), 10, 4),
+    (Indirect([0, 2, 1, 1, 0, 2, 3, 3, 0, 1]), 10, 4),
+]
+
+
+@pytest.mark.parametrize("dd,n,p", ALL_EXCLUSIVE)
+class TestPartitionInvariants:
+    """Every exclusive distribution partitions the index range."""
+
+    def test_every_index_owned_exactly_once(self, dd, n, p):
+        seen = np.zeros(n, dtype=int)
+        for s in range(p):
+            seen[dd.indices_of(s, n, p)] += 1
+        assert (seen == 1).all()
+
+    def test_owners_vec_consistent_with_indices_of(self, dd, n, p):
+        vec = dd.owners_vec(n, p)
+        for s in range(p):
+            idx = dd.indices_of(s, n, p)
+            assert (vec[idx] == s).all()
+
+    def test_local_count_matches(self, dd, n, p):
+        for s in range(p):
+            assert dd.local_count(s, n, p) == len(dd.indices_of(s, n, p))
+
+    def test_counts_sum_to_extent(self, dd, n, p):
+        assert sum(dd.local_count(s, n, p) for s in range(p)) == n
+
+    def test_global_local_roundtrip(self, dd, n, p):
+        for s in range(p):
+            for li, gi in enumerate(dd.indices_of(s, n, p)):
+                assert dd.global_to_local(s, int(gi), n, p) == li
+                assert dd.local_to_global(s, li, n, p) == gi
+
+    def test_global_to_local_rejects_foreign_index(self, dd, n, p):
+        vec = dd.owners_vec(n, p)
+        for s in range(p):
+            foreign = np.nonzero(vec != s)[0]
+            if len(foreign):
+                with pytest.raises(IndexError):
+                    dd.global_to_local(s, int(foreign[0]), n, p)
+
+    def test_indices_sorted(self, dd, n, p):
+        for s in range(p):
+            idx = dd.indices_of(s, n, p)
+            assert (np.diff(idx) > 0).all() if len(idx) > 1 else True
+
+    def test_owner_of_bounds(self, dd, n, p):
+        with pytest.raises(IndexError):
+            dd.owner_of(n, n, p)
+        with pytest.raises(IndexError):
+            dd.owner_of(-1, n, p)
+
+
+class TestBlock:
+    def test_even_split(self):
+        assert list(Block().owners_vec(8, 4)) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_ceil_block_length(self):
+        # 10 over 4 -> blocks of 3: [3, 3, 3, 1]
+        counts = [Block().local_count(s, 10, 4) for s in range(4)]
+        assert counts == [3, 3, 3, 1]
+
+    def test_empty_trailing_blocks(self):
+        # 4 over 8 -> block length 1: slots 4..7 own nothing
+        counts = [Block().local_count(s, 4, 8) for s in range(8)]
+        assert counts == [1, 1, 1, 1, 0, 0, 0, 0]
+
+    def test_contiguity(self):
+        idx = Block().indices_of(1, 10, 4)
+        assert list(idx) == [3, 4, 5]
+
+    def test_paper_example1(self):
+        # delta_C(i,j,k) = R(ceil(i/5), ceil(j/5)): 10 elements on 2 slots
+        vec = Block().owners_vec(10, 2)
+        assert list(vec) == [0] * 5 + [1] * 5
+
+
+class TestCyclic:
+    def test_round_robin(self):
+        assert list(Cyclic(1).owners_vec(6, 3)) == [0, 1, 2, 0, 1, 2]
+
+    def test_chunked(self):
+        assert list(Cyclic(2).owners_vec(8, 2)) == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Cyclic(0)
+
+    def test_equality_by_k(self):
+        assert Cyclic(2) == Cyclic(2)
+        assert Cyclic(2) != Cyclic(3)
+
+    def test_local_count_closed_form_matches_enumeration(self):
+        for n in (1, 7, 12, 30):
+            for p in (1, 2, 5):
+                for k in (1, 2, 4):
+                    dd = Cyclic(k)
+                    for s in range(p):
+                        assert dd.local_count(s, n, p) == len(
+                            dd.indices_of(s, n, p)
+                        )
+
+    def test_repr(self):
+        assert repr(Cyclic(1)) == "CYCLIC"
+        assert repr(Cyclic(3)) == "CYCLIC(3)"
+
+
+class TestGenBlock:
+    def test_sizes_must_match_slots(self):
+        with pytest.raises(ValueError):
+            GenBlock([5, 5]).validate(10, 3)
+
+    def test_sizes_must_sum_to_extent(self):
+        with pytest.raises(ValueError):
+            GenBlock([5, 4]).validate(10, 2)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            GenBlock([5, -1, 6])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GenBlock([])
+
+    def test_zero_size_block_owns_nothing(self):
+        dd = GenBlock([3, 0, 7])
+        assert dd.local_count(1, 10, 3) == 0
+        assert len(dd.indices_of(1, 10, 3)) == 0
+
+    def test_irregular_blocks(self):
+        dd = GenBlock([1, 5, 4])
+        assert list(dd.indices_of(0, 10, 3)) == [0]
+        assert list(dd.indices_of(1, 10, 3)) == [1, 2, 3, 4, 5]
+        assert list(dd.indices_of(2, 10, 3)) == [6, 7, 8, 9]
+
+    def test_equality_by_sizes(self):
+        assert GenBlock([2, 3]) == GenBlock([2, 3])
+        assert GenBlock([2, 3]) != GenBlock([3, 2])
+
+
+class TestSBlock:
+    def test_equivalent_to_genblock(self):
+        s = SBlock([0, 3, 3, 8])
+        g = GenBlock([3, 0, 5, 2])
+        assert (s.owners_vec(10, 4) == g.owners_vec(10, 4)).all()
+
+    def test_starts_must_begin_at_zero(self):
+        with pytest.raises(ValueError):
+            SBlock([1, 5])
+
+    def test_starts_must_be_monotone(self):
+        with pytest.raises(ValueError):
+            SBlock([0, 5, 3])
+
+    def test_start_past_extent_rejected(self):
+        with pytest.raises(ValueError):
+            SBlock([0, 12]).validate(10, 2)
+
+    def test_to_genblock(self):
+        assert SBlock([0, 4]).to_genblock(10) == GenBlock([4, 6])
+
+
+class TestIndirect:
+    def test_arbitrary_mapping(self):
+        dd = Indirect([2, 0, 2, 1])
+        assert list(dd.owners_vec(4, 3)) == [2, 0, 2, 1]
+        assert list(dd.indices_of(2, 4, 3)) == [0, 2]
+
+    def test_length_must_match_extent(self):
+        with pytest.raises(ValueError):
+            Indirect([0, 1]).validate(3, 2)
+
+    def test_owner_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Indirect([0, 5]).validate(2, 2)
+
+    def test_negative_owner_rejected(self):
+        with pytest.raises(ValueError):
+            Indirect([0, -1])
+
+    def test_owner_array_immutable(self):
+        dd = Indirect([0, 1])
+        with pytest.raises(ValueError):
+            dd.owners[0] = 1
+
+    def test_equality_by_contents(self):
+        assert Indirect([0, 1, 0]) == Indirect([0, 1, 0])
+        assert Indirect([0, 1, 0]) != Indirect([0, 1, 1])
+
+
+class TestNoDist:
+    def test_does_not_consume_proc_dim(self):
+        assert not NoDist().consumes_proc_dim
+        assert Block().consumes_proc_dim
+
+    def test_all_indices_local(self):
+        dd = NoDist()
+        assert list(dd.indices_of(0, 5, 1)) == [0, 1, 2, 3, 4]
+        assert dd.local_count(0, 5, 1) == 5
+
+    def test_identity_local_map(self):
+        dd = NoDist()
+        assert dd.global_to_local(0, 3, 5, 1) == 3
+        assert dd.local_to_global(0, 3, 5, 1) == 3
+
+
+class TestReplicated:
+    def test_not_exclusive(self):
+        assert not Replicated().exclusive
+        assert Block().exclusive
+
+    def test_all_slots_own_everything(self):
+        dd = Replicated()
+        assert dd.all_owners_of(2, 5, 3) == (0, 1, 2)
+        for s in range(3):
+            assert dd.local_count(s, 5, 3) == 5
+
+    def test_primary_owner_is_slot_zero(self):
+        assert Replicated().owner_of(4, 5, 3) == 0
+
+
+class TestEqualityAcrossClasses:
+    def test_different_classes_never_equal(self):
+        assert Block() != Cyclic(1)
+        assert NoDist() != Replicated()
+        assert Block() != NoDist()
+
+    def test_hashable(self):
+        s = {Block(), Cyclic(1), Cyclic(2), NoDist(), Replicated()}
+        assert len(s) == 5

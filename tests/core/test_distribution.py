@@ -1,0 +1,237 @@
+"""Tests for bound distributions (Definition 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dimdist import Block, Cyclic, GenBlock, NoDist, Replicated
+from repro.core.distribution import Distribution, DistributionType, dist_type
+from repro.core.index_domain import IndexDomain
+from repro.machine.topology import ProcessorArray
+
+
+class TestDistributionType:
+    def test_string_coercion(self):
+        t = dist_type("BLOCK", "CYCLIC", ":")
+        assert t.dims == (Block(), Cyclic(1), NoDist())
+
+    def test_distributed_dims(self):
+        t = dist_type(":", "BLOCK", ":", Cyclic(2))
+        assert t.distributed_dims == (1, 3)
+
+    def test_equality(self):
+        assert dist_type("BLOCK", ":") == dist_type("BLOCK", ":")
+        assert dist_type("BLOCK", ":") != dist_type(":", "BLOCK")
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(TypeError):
+            dist_type("WAT")
+        with pytest.raises(ValueError):
+            DistributionType(())
+
+    def test_repr(self):
+        assert repr(dist_type("BLOCK", ":")) == "(BLOCK, :)"
+
+
+class TestBindingValidation:
+    def test_rank_mismatch_with_domain(self):
+        R = ProcessorArray("R", (4,))
+        with pytest.raises(ValueError):
+            dist_type("BLOCK").apply((10, 10), R)
+
+    def test_distributed_dims_must_match_section_rank(self):
+        R = ProcessorArray("R", (2, 2))
+        with pytest.raises(ValueError):
+            dist_type("BLOCK", ":").apply((10, 10), R)
+
+    def test_bad_genblock_fails_at_bind(self):
+        R = ProcessorArray("R", (4,))
+        with pytest.raises(ValueError):
+            dist_type(GenBlock([5, 5, 5, 5])).apply((10,), R)
+
+    def test_bad_dim_map_rejected(self):
+        R = ProcessorArray("R", (2, 2))
+        with pytest.raises(ValueError):
+            dist_type("BLOCK", "BLOCK").apply((4, 4), R, dim_map=(0, 0))
+
+
+class TestOwnership2D:
+    """The paper's Example 1: (BLOCK, BLOCK, :) on R(2, 2)."""
+
+    @pytest.fixture
+    def dist(self):
+        R = ProcessorArray("R", (2, 2))
+        return dist_type("BLOCK", "BLOCK", ":").apply((10, 10, 10), R)
+
+    def test_example1_owner(self, dist):
+        # delta_C(i,j,k) = {R(ceil(i/5), ceil(j/5))} for all k (0-based)
+        R = ProcessorArray("R", (2, 2))
+        for i, j, k in [(0, 0, 0), (4, 9, 3), (7, 2, 9), (9, 9, 9)]:
+            expect = R.rank_of((i // 5, j // 5))
+            assert dist.owner((i, j, k)) == expect
+
+    def test_third_dim_irrelevant(self, dist):
+        owners = {dist.owner((3, 7, k)) for k in range(10)}
+        assert len(owners) == 1
+
+    def test_every_element_owned(self, dist):
+        rm = dist.rank_map()
+        assert rm.shape == (10, 10, 10)
+        assert rm.min() >= 0 and rm.max() < 4
+
+    def test_rank_map_matches_owner(self, dist):
+        rm = dist.rank_map()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            idx = tuple(rng.integers(0, 10, 3))
+            assert rm[idx] == dist.owner(idx)
+
+    def test_local_shape(self, dist):
+        for rank in range(4):
+            assert dist.local_shape(rank) == (5, 5, 10)
+
+    def test_local_sizes_sum_to_domain(self, dist):
+        assert sum(dist.local_size(r) for r in range(4)) == 1000
+
+    def test_global_to_local_roundtrip(self, dist):
+        for rank in range(4):
+            idx = dist.local_index_arrays(rank)
+            gidx = (int(idx[0][2]), int(idx[1][4]), int(idx[2][7]))
+            lidx = dist.global_to_local(rank, gidx)
+            assert dist.local_to_global(rank, lidx) == gidx
+
+    def test_segment_contiguous(self, dist):
+        seg = dist.segment(0)
+        assert seg == ((0, 5), (0, 5), (0, 10))
+
+
+class TestCyclicDistribution:
+    def test_cyclic_not_contiguous_segment(self):
+        R = ProcessorArray("R", (2,))
+        d = dist_type(Cyclic(1)).apply((8,), R)
+        assert d.segment(0) is None
+
+    def test_cyclic_ownership(self):
+        R = ProcessorArray("R", (3,))
+        d = dist_type(Cyclic(2)).apply((12,), R)
+        assert d.owner((0,)) == 0
+        assert d.owner((2,)) == 1
+        assert d.owner((4,)) == 2
+        assert d.owner((6,)) == 0
+
+    def test_cyclic_local_indices(self):
+        R = ProcessorArray("R", (2,))
+        d = dist_type(Cyclic(1)).apply((6,), R)
+        assert list(d.local_index_arrays(0)[0]) == [0, 2, 4]
+        assert list(d.local_index_arrays(1)[0]) == [1, 3, 5]
+
+
+class TestSectionTargets:
+    def test_distribution_to_subsection(self):
+        R = ProcessorArray("R", (4,))
+        sec = R.section(slice(1, 3))  # ranks 1 and 2 only
+        d = dist_type("BLOCK").apply((10,), sec)
+        assert set(np.unique(d.rank_map())) == {1, 2}
+        assert d.local_shape(0) == (0,)
+        assert d.local_index_arrays(0) is None
+
+    def test_strided_section(self):
+        R = ProcessorArray("R", (4,))
+        sec = R.section(slice(0, 4, 2))  # ranks 0, 2
+        d = dist_type("BLOCK").apply((4,), sec)
+        assert d.owner((0,)) == 0
+        assert d.owner((3,)) == 2
+
+    def test_fully_undistributed_on_collapsed_section(self):
+        R = ProcessorArray("R", (2, 2))
+        sec = R.section(1, 0)  # the single processor (1, 0) = rank 2
+        d = dist_type(":", ":").apply((3, 3), sec)
+        assert d.owner((1, 2)) == 2
+        assert (np.asarray(d.rank_map()) == 2).all()
+        assert d.local_shape(2) == (3, 3)
+
+
+class TestDimMap:
+    def test_transposed_dim_map(self):
+        R = ProcessorArray("R", (2, 3))
+        # first distributed dim -> section dim 1, second -> section dim 0
+        d = dist_type("BLOCK", "BLOCK").apply((6, 4), R, dim_map=(1, 0))
+        # array dim 0 (extent 6) -> section dim 1 (3 slots, block len 2);
+        # array dim 1 (extent 4) -> section dim 0 (2 slots, block len 2)
+        assert d.owner((0, 0)) == R.rank_of((0, 0))
+        assert d.owner((5, 0)) == R.rank_of((0, 2))
+        assert d.owner((0, 3)) == R.rank_of((1, 0))
+        assert d.owner((3, 2)) == R.rank_of((1, 1))
+
+    def test_dim_map_roundtrip_local(self):
+        R = ProcessorArray("R", (2, 3))
+        d = dist_type("BLOCK", "BLOCK").apply((6, 6), R, dim_map=(1, 0))
+        total = sum(d.local_size(r) for r in range(6))
+        assert total == 36
+        for rank in range(6):
+            arrs = d.local_index_arrays(rank)
+            for i in arrs[0]:
+                for j in arrs[1]:
+                    assert d.owner((int(i), int(j))) == rank
+
+
+class TestReplication:
+    def test_owners_multiple(self):
+        R = ProcessorArray("R", (3,))
+        d = dist_type(Replicated()).apply((5,), R)
+        assert d.owners((2,)) == (0, 1, 2)
+        assert d.is_replicated()
+
+    def test_mixed_replicated_block(self):
+        R = ProcessorArray("R", (2, 2))
+        d = dist_type("BLOCK", Replicated()).apply((4, 4), R)
+        owners = d.owners((0, 0))
+        assert len(owners) == 2
+        assert d.owner((0, 0)) == owners[0]
+
+    def test_owner_rank_maps_cover_all_owners(self):
+        R = ProcessorArray("R", (2, 2))
+        d = dist_type("BLOCK", Replicated()).apply((4, 4), R)
+        maps = list(d.owner_rank_maps())
+        assert len(maps) == 2
+        for idx in ((0, 0), (3, 3), (1, 2)):
+            from_maps = {int(m[idx]) for m in maps}
+            assert from_maps == set(d.owners(idx))
+
+    def test_exclusive_yields_single_map(self):
+        R = ProcessorArray("R", (4,))
+        d = dist_type("BLOCK").apply((8,), R)
+        assert len(list(d.owner_rank_maps())) == 1
+
+
+class TestEquality:
+    def test_equal_distributions(self):
+        R = ProcessorArray("R", (4,))
+        a = dist_type("BLOCK", ":").apply((8, 8), R)
+        b = dist_type("BLOCK", ":").apply((8, 8), R)
+        assert a == b and hash(a) == hash(b)
+
+    def test_different_targets_unequal(self):
+        a = dist_type("BLOCK").apply((8,), ProcessorArray("R", (4,)))
+        b = dist_type("BLOCK").apply((8,), ProcessorArray("Q", (4,)))
+        assert a != b
+
+    def test_different_domains_unequal(self):
+        R = ProcessorArray("R", (4,))
+        assert dist_type("BLOCK").apply((8,), R) != dist_type("BLOCK").apply(
+            (9,), R
+        )
+
+
+class TestErrorPaths:
+    def test_owner_checks_domain(self):
+        R = ProcessorArray("R", (4,))
+        d = dist_type("BLOCK").apply((8,), R)
+        with pytest.raises(IndexError):
+            d.owner((8,))
+
+    def test_global_to_local_outside_section(self):
+        R = ProcessorArray("R", (4,))
+        sec = R.section(slice(0, 2))
+        d = dist_type("BLOCK").apply((8,), sec)
+        with pytest.raises(IndexError):
+            d.global_to_local(3, (0,))

@@ -1,0 +1,130 @@
+"""Tests for DYNAMIC arrays and the connect relation (paper §2.3)."""
+
+import pytest
+
+from repro.core.alignment import Alignment
+from repro.core.distribution import dist_type
+from repro.core.dynamic import Aligned, ConnectClass, DynamicAttr, Extraction
+from repro.core.index_domain import IndexDomain
+from repro.machine.topology import ProcessorArray
+
+
+class TestDynamicAttr:
+    def test_bare_dynamic_unrestricted(self):
+        d = DynamicAttr()
+        assert d.range.unrestricted
+        assert d.initial is None
+
+    def test_range_list_coerced(self):
+        d = DynamicAttr(range_=[("BLOCK",)])
+        assert not d.range.unrestricted
+
+    def test_initial_must_satisfy_range(self):
+        with pytest.raises(ValueError):
+            DynamicAttr(range_=[("BLOCK",)], initial=dist_type("CYCLIC"))
+
+    def test_initial_ok(self):
+        d = DynamicAttr(range_=[("BLOCK", "*")], initial=dist_type("BLOCK", ":"))
+        assert d.initial == dist_type("BLOCK", ":")
+
+    def test_repr_mentions_parts(self):
+        d = DynamicAttr(range_=[("BLOCK",)], initial=dist_type("BLOCK"))
+        assert "DYNAMIC" in repr(d) and "RANGE" in repr(d)
+
+
+class TestExtraction:
+    def test_same_type_same_target(self):
+        R = ProcessorArray("R", (4,))
+        db = dist_type("BLOCK", ":").apply((8, 8), R)
+        da = Extraction().derive(db, IndexDomain((12, 4)))
+        assert da.dtype == db.dtype
+        assert da.target == db.target
+        assert da.domain == IndexDomain((12, 4))
+
+    def test_rank_mismatch_rejected(self):
+        R = ProcessorArray("R", (4,))
+        db = dist_type("BLOCK").apply((8,), R)
+        with pytest.raises(ValueError):
+            Extraction().derive(db, IndexDomain((8, 8)))
+
+    def test_equality(self):
+        assert Extraction() == Extraction()
+
+
+class TestAligned:
+    def test_identity_alignment_connection(self):
+        R = ProcessorArray("R", (2,))
+        db = dist_type("BLOCK", ":").apply((8, 8), R)
+        conn = Aligned(Alignment.identity(2))
+        da = conn.derive(db, IndexDomain((8, 8)))
+        assert da.dtype == db.dtype
+
+    def test_equality_by_alignment(self):
+        assert Aligned(Alignment.identity(2)) == Aligned(Alignment.identity(2))
+        assert Aligned(Alignment.identity(2)) != Aligned(
+            Alignment.permutation((1, 0))
+        )
+
+
+class TestConnectClass:
+    def make_class(self):
+        cls = ConnectClass("B4", IndexDomain((8, 8)))
+        cls.add_secondary("A1", IndexDomain((8, 8)), Extraction())
+        cls.add_secondary(
+            "A2", IndexDomain((8, 8)), Aligned(Alignment.identity(2))
+        )
+        return cls
+
+    def test_members_primary_first(self):
+        cls = self.make_class()
+        assert cls.members == ["B4", "A1", "A2"]
+        assert cls.secondaries == ["A1", "A2"]
+
+    def test_contains(self):
+        cls = self.make_class()
+        assert "B4" in cls and "A1" in cls and "X" not in cls
+
+    def test_primary_cannot_be_secondary(self):
+        cls = self.make_class()
+        with pytest.raises(ValueError):
+            cls.add_secondary("B4", IndexDomain((8, 8)), Extraction())
+
+    def test_duplicate_secondary_rejected(self):
+        cls = self.make_class()
+        with pytest.raises(ValueError):
+            cls.add_secondary("A1", IndexDomain((8, 8)), Extraction())
+
+    def test_extraction_rank_checked_eagerly(self):
+        cls = ConnectClass("B", IndexDomain((8,)))
+        with pytest.raises(ValueError):
+            cls.add_secondary("A", IndexDomain((8, 8)), Extraction())
+
+    def test_derive_all_maintains_connection(self):
+        """Paper: 'the connections specified ensure that the distribution
+        type of A1 and A2 will always be the same as that of B4'."""
+        cls = self.make_class()
+        R = ProcessorArray("R", (2, 2))
+        for t in (
+            dist_type("BLOCK", "BLOCK"),
+            dist_type("CYCLIC", "CYCLIC"),
+        ):
+            db = t.apply((8, 8), R)
+            dists = cls.derive_all(db)
+            assert set(dists) == {"B4", "A1", "A2"}
+            assert dists["A1"].dtype == t
+            assert dists["A2"].dtype == t
+
+    def test_derive_single(self):
+        cls = self.make_class()
+        R = ProcessorArray("R", (2, 2))
+        db = dist_type("BLOCK", "CYCLIC").apply((8, 8), R)
+        da = cls.derive("A1", db)
+        assert da.dtype == db.dtype
+
+    def test_connection_of(self):
+        cls = self.make_class()
+        assert isinstance(cls.connection_of("A1"), Extraction)
+        assert isinstance(cls.connection_of("A2"), Aligned)
+
+    def test_repr(self):
+        assert "C(B4)" in repr(self.make_class())

@@ -1,0 +1,109 @@
+"""Tests for external distribution generators (§3.2 interface)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dimdist import GenBlock, Indirect
+from repro.core.distribution import DistributionType, NoDist
+from repro.core.generators import (
+    DistributionGenerator,
+    get_generator,
+    register_generator,
+    registry,
+)
+from repro.machine import Machine, ProcessorArray
+from repro.runtime.engine import Engine
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert "weighted_block" in registry
+        assert "block_cyclic_hybrid" in registry
+        assert "random_owner" in registry
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError, match="no distribution generator"):
+            get_generator("nope")
+
+    def test_register_decorator(self):
+        @register_generator("test_everything_to_zero")
+        def gen(extent, slots):
+            return np.zeros(extent, dtype=int)
+
+        try:
+            dd = get_generator("test_everything_to_zero")(6, 3)
+            assert isinstance(dd, Indirect)
+            assert (dd.owners == 0).all()
+        finally:
+            del registry["test_everything_to_zero"]
+
+
+class TestGeneratorInvocation:
+    def test_owner_array_wrapped(self):
+        gen = DistributionGenerator("g", lambda n, p: [i % p for i in range(n)])
+        dd = gen(6, 3)
+        assert isinstance(dd, Indirect)
+        assert list(dd.owners) == [0, 1, 2, 0, 1, 2]
+
+    def test_dimdist_passthrough(self):
+        gen = DistributionGenerator("g", lambda n, p: GenBlock([n - p + 1] + [1] * (p - 1)))
+        dd = gen(10, 4)
+        assert isinstance(dd, GenBlock)
+
+    def test_invalid_shape_rejected(self):
+        gen = DistributionGenerator("g", lambda n, p: [0, 1])
+        with pytest.raises(ValueError, match="shape"):
+            gen(5, 2)
+
+    def test_out_of_range_owner_rejected(self):
+        gen = DistributionGenerator("g", lambda n, p: [p] * n)
+        with pytest.raises(ValueError):
+            gen(4, 2)
+
+
+class TestBuiltins:
+    def test_weighted_block_balances(self):
+        w = np.ones(16)
+        w[:4] = 50.0
+        dd = get_generator("weighted_block")(16, 4, weights=w)
+        assert isinstance(dd, GenBlock)
+        # the heavy prefix is split, so the first block is small
+        assert dd.sizes[0] < 4
+
+    def test_weighted_block_default_uniform(self):
+        dd = get_generator("weighted_block")(16, 4)
+        assert dd.sizes == (4, 4, 4, 4)
+
+    def test_weighted_block_length_checked(self):
+        with pytest.raises(ValueError):
+            get_generator("weighted_block")(16, 4, weights=[1.0, 2.0])
+
+    def test_block_cyclic_hybrid_valid(self):
+        dd = get_generator("block_cyclic_hybrid")(22, 4, chunk=3)
+        dd.validate(22, 4)
+        # every slot owns something for this size
+        for s in range(4):
+            assert dd.local_count(s, 22, 4) > 0
+
+    def test_random_owner_deterministic(self):
+        d1 = get_generator("random_owner")(20, 4, seed=7)
+        d2 = get_generator("random_owner")(20, 4, seed=7)
+        assert (d1.owners == d2.owners).all()
+
+
+class TestGeneratorWithEngine:
+    def test_distribute_with_generated_distribution(self):
+        """The full loop: run-time weights -> generator -> DISTRIBUTE."""
+        machine = Machine(ProcessorArray("R", (4,)))
+        engine = Engine(machine)
+        arr = engine.declare(
+            "F", (16, 2), dist=DistributionType(("BLOCK", ":")), dynamic=True
+        )
+        arr.from_global(np.arange(32.0).reshape(16, 2))
+        weights = np.ones(16)
+        weights[12:] = 30.0
+        dd = get_generator("weighted_block")(16, 4, weights=weights)
+        engine.distribute("F", DistributionType((dd, NoDist())))
+        assert np.array_equal(arr.to_global(), np.arange(32.0).reshape(16, 2))
+        # heavy tail got its own small blocks
+        assert arr.dist.local_shape(3)[0] <= 2

@@ -1,0 +1,54 @@
+"""Tests for index domains (paper §2.1)."""
+
+import pytest
+
+from repro.core.index_domain import IndexDomain
+
+
+class TestIndexDomain:
+    def test_basic(self):
+        d = IndexDomain((10, 10, 10))
+        assert d.ndim == 3
+        assert d.size == 1000
+
+    def test_int_promoted(self):
+        d = IndexDomain(5)
+        assert d.shape == (5,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IndexDomain(())
+
+    def test_nonpositive_extent_rejected(self):
+        with pytest.raises(ValueError):
+            IndexDomain((3, 0))
+
+    def test_contains(self):
+        d = IndexDomain((2, 3))
+        assert (0, 0) in d
+        assert (1, 2) in d
+        assert (2, 0) not in d
+        assert (0, -1) not in d
+        assert (0,) not in d  # wrong arity
+
+    def test_check_normalizes_int(self):
+        d = IndexDomain((5,))
+        assert d.check(3) == (3,)
+
+    def test_check_raises(self):
+        d = IndexDomain((5,))
+        with pytest.raises(IndexError):
+            d.check(5)
+
+    def test_iteration_row_major(self):
+        d = IndexDomain((2, 2))
+        assert list(d) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_iteration_count(self):
+        d = IndexDomain((3, 4))
+        assert len(list(d)) == 12
+
+    def test_equality_hash(self):
+        assert IndexDomain((2, 3)) == IndexDomain((2, 3))
+        assert IndexDomain((2, 3)) != IndexDomain((3, 2))
+        assert hash(IndexDomain((2, 3))) == hash(IndexDomain((2, 3)))

@@ -1,0 +1,275 @@
+"""Tests for wildcards, RANGE, IDT and DCASE (paper §2.3, §2.5)."""
+
+import pytest
+
+from repro.core.dimdist import Block, Cyclic, GenBlock
+from repro.core.distribution import dist_type
+from repro.core.query import (
+    ANY,
+    DCase,
+    DEFAULT,
+    QueryList,
+    Range,
+    TypePattern,
+    Wild,
+    idt,
+)
+from repro.machine.topology import ProcessorArray
+
+
+class TestTypePattern:
+    def test_exact_match(self):
+        p = TypePattern(("BLOCK", Cyclic(2)))
+        assert p.matches(dist_type("BLOCK", Cyclic(2)))
+        assert not p.matches(dist_type("BLOCK", Cyclic(3)))
+
+    def test_star_dim(self):
+        p = TypePattern(("BLOCK", ANY))
+        assert p.matches(dist_type("BLOCK", "CYCLIC"))
+        assert p.matches(dist_type("BLOCK", ":"))
+        assert not p.matches(dist_type("CYCLIC", "CYCLIC"))
+
+    def test_star_string_accepted(self):
+        p = TypePattern(("BLOCK", "*"))
+        assert p.matches(dist_type("BLOCK", "BLOCK"))
+
+    def test_any_type(self):
+        p = TypePattern(ANY)
+        assert p.matches(dist_type("BLOCK"))
+        assert p.matches(dist_type(":", Cyclic(7), "BLOCK"))
+
+    def test_wild_family(self):
+        p = TypePattern((Wild(Cyclic),))
+        assert p.matches(dist_type(Cyclic(1)))
+        assert p.matches(dist_type(Cyclic(99)))
+        assert not p.matches(dist_type("BLOCK"))
+
+    def test_rank_mismatch_never_matches(self):
+        p = TypePattern(("BLOCK",))
+        assert not p.matches(dist_type("BLOCK", "BLOCK"))
+
+    def test_is_concrete_and_to_type(self):
+        p = TypePattern((Block(), Cyclic(2)))
+        assert p.is_concrete()
+        assert p.to_type() == dist_type("BLOCK", Cyclic(2))
+
+    def test_to_type_rejects_wildcards(self):
+        p = TypePattern((Block(), ANY))
+        assert not p.is_concrete()
+        with pytest.raises(ValueError):
+            p.to_type()
+
+    def test_wild_requires_dimdist_class(self):
+        with pytest.raises(TypeError):
+            Wild(int)  # type: ignore[arg-type]
+
+    def test_equality(self):
+        assert TypePattern(("BLOCK", ANY)) == TypePattern(("BLOCK", "*"))
+        assert TypePattern(ANY) == TypePattern(ANY)
+
+
+class TestRange:
+    def test_unrestricted(self):
+        r = Range(None)
+        assert r.unrestricted
+        assert r.admits(dist_type("BLOCK"))
+
+    def test_admits_member(self):
+        r = Range([("BLOCK", "BLOCK"), (ANY, "CYCLIC")])
+        assert r.admits(dist_type("BLOCK", "BLOCK"))
+        assert r.admits(dist_type(Cyclic(4), "CYCLIC"))
+        assert not r.admits(dist_type("BLOCK", Cyclic(2)))
+
+    def test_check_raises_with_array_name(self):
+        r = Range([("BLOCK",)])
+        with pytest.raises(ValueError, match="B3"):
+            r.check(dist_type("CYCLIC"), "B3")
+
+    def test_concrete_types(self):
+        r = Range([("BLOCK", "BLOCK"), ("BLOCK", Cyclic(2))])
+        types = r.concrete_types()
+        assert types is not None and len(types) == 2
+
+    def test_concrete_types_none_when_wild(self):
+        r = Range([("BLOCK", ANY)])
+        assert r.concrete_types() is None
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            Range([])
+
+
+class TestIDT:
+    """The IDT intrinsic (§2.5.2)."""
+
+    def test_type_only(self):
+        assert idt(dist_type("CYCLIC"), ("CYCLIC",))
+        assert not idt(dist_type("CYCLIC"), ("BLOCK",))
+
+    def test_bound_distribution(self):
+        R = ProcessorArray("R", (4,))
+        d = dist_type("BLOCK").apply((8,), R)
+        assert idt(d, ("BLOCK",))
+        assert idt(d, (ANY,))
+
+    def test_section_test(self):
+        R = ProcessorArray("R", (4,))
+        d = dist_type("BLOCK").apply((8,), R)
+        assert idt(d, ("BLOCK",), R)
+        other = ProcessorArray("Q", (4,))
+        assert not idt(d, ("BLOCK",), other)
+
+    def test_section_subsection_mismatch(self):
+        R = ProcessorArray("R", (4,))
+        sub = R.section(slice(0, 2))
+        d = dist_type("BLOCK").apply((8,), sub)
+        assert idt(d, ("BLOCK",), sub)
+        assert not idt(d, ("BLOCK",), R)
+
+    def test_section_with_unbound_type_rejected(self):
+        with pytest.raises(ValueError):
+            idt(dist_type("BLOCK"), ("BLOCK",), ProcessorArray("R", (2,)))
+
+    def test_composable_in_boolean_expressions(self):
+        # paper: IF (IDT(B1,(CYCLIC))) .AND. (IDT(B3,(BLOCK(*)))) THEN
+        t1 = dist_type("CYCLIC")
+        t3 = dist_type("BLOCK", "CYCLIC")
+        assert idt(t1, ("CYCLIC",)) and idt(t3, ("BLOCK", ANY))
+
+
+class TestQueryList:
+    def test_positional(self):
+        ql = QueryList([("BLOCK",), ("BLOCK",)])
+        assert ql.matches(
+            ["B1", "B2"], [dist_type("BLOCK"), dist_type("BLOCK")]
+        )
+        assert not ql.matches(
+            ["B1", "B2"], [dist_type("BLOCK"), dist_type("CYCLIC")]
+        )
+
+    def test_positional_implicit_star_for_trailing(self):
+        ql = QueryList([("BLOCK",)])
+        assert ql.matches(
+            ["B1", "B2"], [dist_type("BLOCK"), dist_type("CYCLIC")]
+        )
+
+    def test_positional_too_many_queries(self):
+        ql = QueryList([("BLOCK",), ("BLOCK",)])
+        with pytest.raises(ValueError):
+            ql.matches(["B1"], [dist_type("BLOCK")])
+
+    def test_name_tagged_order_irrelevant(self):
+        ql = QueryList({"B3": ("BLOCK", ANY), "B1": ("CYCLIC",)})
+        names = ["B1", "B2", "B3"]
+        types = [
+            dist_type("CYCLIC"),
+            dist_type(Cyclic(5)),  # unmentioned: implicit '*'
+            dist_type("BLOCK", Cyclic(7)),
+        ]
+        assert ql.matches(names, types)
+
+    def test_name_tagged_unknown_selector(self):
+        ql = QueryList({"NOPE": ("BLOCK",)})
+        with pytest.raises(KeyError):
+            ql.matches(["B1"], [dist_type("BLOCK")])
+
+
+class TestDCase:
+    """The DCASE construct (§2.5.1, Example 4)."""
+
+    def _types(self):
+        # paper Example 4 configuration
+        t1 = dist_type("BLOCK")
+        t2 = dist_type("BLOCK")
+        t3 = dist_type(Cyclic(2), "CYCLIC")
+        return t1, t2, t3
+
+    def test_first_matching_arm_runs(self):
+        t1, t2, t3 = self._types()
+        log = []
+        dc = DCase([("B1", t1), ("B2", t2), ("B3", t3)])
+        dc.case(
+            [("BLOCK",), ("BLOCK",), (Cyclic(2), "CYCLIC")],
+            lambda: log.append("a1") or "a1",
+        )
+        dc.case({"B1": ("CYCLIC",), "B3": ("BLOCK", ANY)}, lambda: "a2")
+        result = dc.execute()
+        assert result == "a1"
+        assert dc.last_matched == 0
+        assert log == ["a1"]
+
+    def test_name_tagged_arm(self):
+        dc = DCase(
+            [
+                ("B1", dist_type("CYCLIC")),
+                ("B2", dist_type("BLOCK")),
+                ("B3", dist_type("BLOCK", Cyclic(9))),
+            ]
+        )
+        dc.case([("BLOCK",)], lambda: "a1")
+        dc.case({"B1": ("CYCLIC",), "B3": ("BLOCK", ANY)}, lambda: "a2")
+        assert dc.execute() == "a2"
+        assert dc.last_matched == 1
+
+    def test_default_always_matches(self):
+        dc = DCase([("B1", dist_type("BLOCK"))])
+        dc.case([(Cyclic(1),)], lambda: "no")
+        dc.default(lambda: "default")
+        assert dc.execute() == "default"
+
+    def test_no_match_runs_nothing(self):
+        dc = DCase([("B1", dist_type("BLOCK"))])
+        dc.case([("CYCLIC",)], lambda: "no")
+        assert dc.execute() is None
+        assert dc.last_matched is None
+
+    def test_at_most_one_arm(self):
+        runs = []
+        dc = DCase([("B1", dist_type("BLOCK"))])
+        dc.case([("BLOCK",)], lambda: runs.append(1))
+        dc.case([("BLOCK",)], lambda: runs.append(2))
+        dc.case(DEFAULT, lambda: runs.append(3))
+        dc.execute()
+        assert runs == [1]
+
+    def test_needs_selectors(self):
+        with pytest.raises(ValueError):
+            DCase([])
+
+    def test_selector_needs_distribution(self):
+        with pytest.raises(TypeError):
+            DCase([("B1", "not-a-type")])  # type: ignore[list-item]
+
+    def test_bound_distribution_selectors(self):
+        R = ProcessorArray("R", (2,))
+        d = dist_type("BLOCK").apply((8,), R)
+        dc = DCase([("B1", d)])
+        dc.case([("BLOCK",)], lambda: True)
+        assert dc.execute() is True
+
+    def test_paper_example4_full(self):
+        """All four arms of Example 4, against three configurations."""
+        def build(t1, t2, t3):
+            dc = DCase([("B1", t1), ("B2", t2), ("B3", t3)])
+            dc.case([("BLOCK",), ("BLOCK",), (Cyclic(2), "CYCLIC")], lambda: "a1")
+            dc.case({"B1": ("CYCLIC",), "B3": ("BLOCK", ANY)}, lambda: "a2")
+            dc.case({"B3": ("BLOCK", "CYCLIC")}, lambda: "a3")
+            dc.case(DEFAULT, lambda: "a4")
+            return dc.execute()
+
+        # matches arm 1
+        assert build(
+            dist_type("BLOCK"), dist_type("BLOCK"), dist_type(Cyclic(2), "CYCLIC")
+        ) == "a1"
+        # matches arm 2 (t2 arbitrary, t3=(BLOCK, t'))
+        assert build(
+            dist_type("CYCLIC"), dist_type(Cyclic(3)), dist_type("BLOCK", GenBlock([4, 4]))
+        ) == "a2"
+        # matches arm 3 (t1, t2 irrelevant)
+        assert build(
+            dist_type("BLOCK"), dist_type("BLOCK"), dist_type("BLOCK", "CYCLIC")
+        ) == "a3"
+        # falls through to DEFAULT
+        assert build(
+            dist_type("BLOCK"), dist_type("BLOCK"), dist_type("CYCLIC", "CYCLIC")
+        ) == "a4"

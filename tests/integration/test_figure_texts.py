@@ -1,0 +1,132 @@
+"""Both code figures of the paper, parsed as text and analyzed."""
+
+import numpy as np
+
+from repro.compiler.ir import Assign, DistributeStmt, If, Loop
+from repro.compiler.optimize import optimize
+from repro.compiler.reaching import analyze
+from repro.core.dimdist import Block, GenBlock, NoDist
+from repro.core.query import TypePattern, Wild
+from repro.lang.frontend import parse_program
+
+ENV = {
+    "NX": 64,
+    "NY": 64,
+    "NCELL": 32,
+    "NPART": 8,
+    "MAX_TIME": 10,
+    "NP": 4,
+    "BOUNDS": [8, 8, 8, 8],
+}
+
+
+def walk(block):
+    for s in block:
+        yield s
+        if isinstance(s, Loop):
+            yield from walk(s.body)
+        elif isinstance(s, If):
+            yield from walk(s.then)
+            yield from walk(s.orelse)
+
+
+FIGURE2 = """
+      PROGRAM PIC
+      INTEGER BOUNDS(NP)
+      REAL FIELD(NCELL, NPART) DYNAMIC, DIST( BLOCK, :)
+C Compute initial position of particles
+      CALL initpos(FIELD, NCELL, NPART)
+C Compute initial partition of cells
+      CALL balance(BOUNDS, FIELD, NCELL, NPART)
+      DISTRIBUTE FIELD :: B_BLOCK (BOUNDS), :
+      DO k = 1, MAX_TIME
+C Compute new field
+        CALL update_field(FIELD, NCELL, NPART)
+C Compute new particle positions and reassign them
+        CALL update_part(FIELD, NCELL, NPART)
+C Rebalance every 10th iteration if necessary
+        IF (MOD(k,10) .EQ. 0 .AND. rebalance()) THEN
+          CALL balance(BOUNDS, FIELD, NCELL, NPART)
+          DISTRIBUTE FIELD :: B_BLOCK (BOUNDS), :
+        ENDIF
+      ENDDO
+      END
+"""
+
+
+class TestFigure2Text:
+    def test_parses(self):
+        prog = parse_program(FIGURE2, ENV)
+        body = prog.proc("pic").body
+        distributes = [s for s in walk(body) if isinstance(s, DistributeStmt)]
+        assert len(distributes) == 2
+        assert distributes[0].pattern == TypePattern(
+            (GenBlock([8, 8, 8, 8]), NoDist())
+        )
+
+    def test_field_plausible_sets_inside_loop(self):
+        """Inside the time loop FIELD may carry the initial BLOCK or
+        any B_BLOCK the rebalancing produced — the imprecision that
+        motivates RANGE declarations."""
+        prog = parse_program(FIGURE2, ENV)
+        res = analyze(prog)
+        updates = [
+            s
+            for s in walk(prog.proc("pic").body)
+            if isinstance(s, Assign) and "update_field" in s.label
+        ]
+        assert updates
+        ps = res.plausible(updates[0].sid, "FIELD")
+        assert not ps.is_top
+        # both the bound B_BLOCK and nothing else (the two distribute
+        # statements install the same BOUNDS here)
+        assert TypePattern((GenBlock([8, 8, 8, 8]), NoDist())) in ps.patterns
+
+    def test_initial_distribution_reaches_initpos(self):
+        prog = parse_program(FIGURE2, ENV)
+        res = analyze(prog)
+        initpos_calls = [
+            s
+            for s in walk(prog.proc("pic").body)
+            if isinstance(s, Assign) and "initpos" in s.label
+        ]
+        ps = res.plausible(initpos_calls[0].sid, "FIELD")
+        assert ps.patterns == frozenset(
+            [TypePattern((Block(), NoDist()))]
+        )
+
+
+class TestOptimizerOnProgramText:
+    def test_dead_arm_pruned_from_text(self):
+        text = """
+PROGRAM T
+REAL V(NX, NX) DYNAMIC, RANGE ((:, BLOCK), (BLOCK, :)), DIST (:, BLOCK)
+SELECT DCASE (V)
+CASE (CYCLIC, CYCLIC)
+V(I, J) = V(I, J)
+CASE (:, BLOCK)
+V(I, J) = V(I, J)
+END SELECT
+END
+"""
+        prog = parse_program(text, ENV)
+        new, stats = optimize(prog)
+        assert stats.dead_arms == 1       # (CYCLIC, CYCLIC) impossible
+        assert stats.specialized_dcases == 1  # (:, BLOCK) is certain
+
+    def test_redundant_distribute_from_text(self):
+        text = """
+PROGRAM T
+REAL V(NX) DYNAMIC, DIST (BLOCK)
+DISTRIBUTE V :: (BLOCK)
+DISTRIBUTE V :: (CYCLIC)
+END
+"""
+        prog = parse_program(text, ENV)
+        new, stats = optimize(prog)
+        assert stats.removed_distributes == 1
+        remaining = [
+            s for s in new.proc("t").body if isinstance(s, DistributeStmt)
+        ]
+        assert len(remaining) == 1
+        assert remaining[0].pattern.dims[0].keyword == "CYCLIC"

@@ -1,0 +1,119 @@
+"""Tests for declaration-statement parsing (paper Examples 1-2)."""
+
+import pytest
+
+from repro.core.dimdist import Block, Cyclic, NoDist
+from repro.lang.declarations import parse_declaration
+from repro.lang.parser import VFSyntaxError
+
+ENV = {"M": 2, "N": 8, "NX": 100, "NY": 100, "NCELL": 64, "NPART": 32}
+
+
+class TestStaticDeclarations:
+    def test_paper_example1_c(self):
+        d = parse_declaration("REAL C(10,10,10) DIST (BLOCK, BLOCK, :)", ENV)
+        assert d.names == ["C"]
+        assert d.shapes == [(10, 10, 10)]
+        assert not d.dynamic
+        assert d.dist.dims == (Block(), Block(), NoDist())
+
+    def test_paper_example1_d_alignment(self):
+        d = parse_declaration(
+            "REAL D(10,10,10) ALIGN D(I,J,K) WITH C(J,I,K)", ENV
+        )
+        tgt, alignment = d.connect_alignment
+        assert tgt == "C"
+        assert alignment.map_index((1, 2, 3)) == (2, 1, 3)
+
+    def test_figure1_u_f(self):
+        d = parse_declaration("REAL U(NX, NY) DIST (:, BLOCK)", ENV)
+        assert d.shapes == [(100, 100)]
+        assert d.dist.dims == (NoDist(), Block())
+
+    def test_integer_declaration(self):
+        d = parse_declaration("INTEGER BOUNDS(NP) DIST (BLOCK)", {"NP": 4})
+        assert d.type_name == "INTEGER"
+
+
+class TestDynamicDeclarations:
+    def test_bare_dynamic(self):
+        d = parse_declaration("REAL B1(M) DYNAMIC", ENV)
+        assert d.dynamic
+        assert d.dist is None and d.range_ is None
+
+    def test_example2_b2(self):
+        d = parse_declaration("REAL B2(N) DYNAMIC, DIST (BLOCK)", ENV)
+        assert d.dynamic
+        assert d.dist.dims == (Block(),)
+
+    def test_example2_b3_b4(self):
+        d = parse_declaration(
+            "REAL B3(N,N), B4(N,N) DYNAMIC, "
+            "RANGE ((BLOCK, BLOCK),(*,CYCLIC)), DIST (BLOCK, CYCLIC)",
+            ENV,
+        )
+        assert d.names == ["B3", "B4"]
+        assert len(d.range_) == 2
+        assert d.dist.dims == (Block(), Cyclic(1))
+
+    def test_example2_a1_extraction(self):
+        d = parse_declaration("REAL A1(N,N) DYNAMIC, CONNECT (=B4)", ENV)
+        assert d.connect_extraction == "B4"
+
+    def test_example2_a2_alignment(self):
+        d = parse_declaration(
+            "REAL A2(N,N) DYNAMIC, CONNECT A2(I,J) WITH B4(I,J)", ENV
+        )
+        tgt, alignment = d.connect_alignment
+        assert tgt == "B4"
+        assert alignment.map_index((3, 4)) == (3, 4)
+
+    def test_figure1_v(self):
+        d = parse_declaration(
+            "REAL V(NX, NY) DYNAMIC, RANGE ((:, BLOCK), (BLOCK, :)), "
+            "DIST (:, BLOCK)",
+            ENV,
+        )
+        assert d.dynamic
+        assert len(d.range_) == 2
+        assert d.dist.dims == (NoDist(), Block())
+
+    def test_figure2_field(self):
+        d = parse_declaration(
+            "REAL FIELD(NCELL, NPART) DYNAMIC, DIST (BLOCK, :)", ENV
+        )
+        assert d.shapes == [(64, 32)]
+
+    def test_continuation_ampersand_stripped(self):
+        d = parse_declaration(
+            "REAL B3(N,N) DYNAMIC, RANGE ((BLOCK, BLOCK),(*,CYCLIC)),\n"
+            "     & DIST (BLOCK, CYCLIC)",
+            ENV,
+        )
+        assert d.dist is not None
+
+
+class TestErrors:
+    def test_must_start_with_type(self):
+        with pytest.raises(VFSyntaxError):
+            parse_declaration("V(10) DIST (BLOCK)", ENV)
+
+    def test_no_arrays(self):
+        with pytest.raises(VFSyntaxError):
+            parse_declaration("REAL DIST (BLOCK)", ENV)
+
+    def test_unbound_extent(self):
+        with pytest.raises(VFSyntaxError, match="unbound"):
+            parse_declaration("REAL V(QQ) DIST (BLOCK)", {})
+
+    def test_scalar_declaration_rejected(self):
+        with pytest.raises(VFSyntaxError):
+            parse_declaration("REAL X() DIST (BLOCK)", ENV)
+
+    def test_unexpected_clause(self):
+        with pytest.raises(VFSyntaxError):
+            parse_declaration("REAL V(4), WAT", ENV)
+
+    def test_dynamic_takes_no_args(self):
+        with pytest.raises(VFSyntaxError):
+            parse_declaration("REAL V(4) DYNAMIC (X)", ENV)

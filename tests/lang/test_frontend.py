@@ -1,0 +1,258 @@
+"""Tests for the Vienna Fortran program-text frontend."""
+
+import pytest
+
+from repro.compiler.ir import (
+    AccessKind,
+    Assign,
+    Call,
+    DCaseStmt,
+    DistributeStmt,
+    If,
+    Loop,
+)
+from repro.compiler.reaching import analyze
+from repro.core.dimdist import Block, Cyclic, NoDist
+from repro.core.query import TypePattern
+from repro.lang.frontend import parse_program
+from repro.lang.parser import VFSyntaxError
+
+ENV = {"NX": 100, "NY": 100, "N": 8, "K": 2}
+
+
+def walk(block):
+    for s in block:
+        yield s
+        if isinstance(s, Loop):
+            yield from walk(s.body)
+        elif isinstance(s, If):
+            yield from walk(s.then)
+            yield from walk(s.orelse)
+        elif isinstance(s, DCaseStmt):
+            for _, arm in s.arms:
+                yield from walk(arm)
+
+
+class TestBasics:
+    def test_program_unit(self):
+        prog = parse_program("PROGRAM MAIN\nEND", ENV)
+        assert "main" in prog.procs
+        assert prog.entry == "main"
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(VFSyntaxError):
+            parse_program("", ENV)
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(VFSyntaxError):
+            parse_program("PROGRAM MAIN\nREAL V(N) DIST (BLOCK)", ENV)
+
+    def test_comments_and_continuations(self):
+        prog = parse_program(
+            "      PROGRAM T\n"
+            "C     a classic Fortran comment\n"
+            "! modern comment\n"
+            "      REAL V(N) DYNAMIC,\n"
+            "     &     DIST (BLOCK)\n"
+            "      END\n",
+            ENV,
+        )
+        initial, _ = prog.declared["V"]
+        assert initial == TypePattern((Block(),))
+
+    def test_declarations_registered(self):
+        prog = parse_program(
+            "PROGRAM T\n"
+            "REAL V(N, N) DYNAMIC, RANGE ((:, BLOCK), (BLOCK, :)), "
+            "DIST (:, BLOCK)\n"
+            "END",
+            ENV,
+        )
+        initial, range_ = prog.declared["V"]
+        assert initial == TypePattern((NoDist(), Block()))
+        assert len(range_) == 2
+
+
+class TestStatements:
+    def test_distribute(self):
+        prog = parse_program(
+            "PROGRAM T\nREAL V(N) DYNAMIC\nDISTRIBUTE V :: (CYCLIC(K))\nEND",
+            ENV,
+        )
+        stmts = [s for s in walk(prog.proc("t").body)]
+        assert isinstance(stmts[0], DistributeStmt)
+        assert stmts[0].pattern == TypePattern((Cyclic(2),))
+
+    def test_multi_primary_distribute(self):
+        prog = parse_program(
+            "PROGRAM T\nREAL B1(N), B2(N) DYNAMIC\n"
+            "DISTRIBUTE B1, B2 :: (BLOCK)\nEND",
+            ENV,
+        )
+        ds = [s for s in walk(prog.proc("t").body) if isinstance(s, DistributeStmt)]
+        assert [d.array for d in ds] == ["B1", "B2"]
+
+    def test_do_loop(self):
+        prog = parse_program(
+            "PROGRAM T\nREAL V(N) DYNAMIC, DIST (BLOCK)\n"
+            "DO K = 1, 10\nDISTRIBUTE V :: (CYCLIC)\nENDDO\nEND",
+            ENV,
+        )
+        body = list(prog.proc("t").body)
+        assert isinstance(body[0], Loop)
+
+    def test_if_with_idt(self):
+        prog = parse_program(
+            "PROGRAM T\nREAL V(N) DYNAMIC, DIST (BLOCK)\n"
+            "IF (IDT(V, (BLOCK))) THEN\n"
+            "DISTRIBUTE V :: (CYCLIC)\n"
+            "ELSE\n"
+            "DISTRIBUTE V :: (BLOCK)\n"
+            "ENDIF\nEND",
+            ENV,
+        )
+        branch = list(prog.proc("t").body)[0]
+        assert isinstance(branch, If)
+        assert branch.idt_cond is not None
+        assert branch.idt_cond[0] == "V"
+        assert len(branch.then) == 1 and len(branch.orelse) == 1
+
+    def test_opaque_if(self):
+        prog = parse_program(
+            "PROGRAM T\nREAL V(N) DYNAMIC, DIST (BLOCK)\n"
+            "IF (MOD(I,10) .EQ. 0) THEN\nDISTRIBUTE V :: (CYCLIC)\nENDIF\nEND",
+            ENV,
+        )
+        branch = list(prog.proc("t").body)[0]
+        assert isinstance(branch, If)
+        assert branch.idt_cond is None
+
+    def test_dcase(self):
+        prog = parse_program(
+            "PROGRAM T\n"
+            "REAL B1(N), B3(N, N) DYNAMIC, DIST (BLOCK)\n"
+            "SELECT DCASE (B1, B3)\n"
+            "CASE (BLOCK), (BLOCK, *)\n"
+            "DISTRIBUTE B1 :: (CYCLIC)\n"
+            "CASE B3: (CYCLIC, CYCLIC)\n"
+            "DISTRIBUTE B1 :: (BLOCK)\n"
+            "CASE DEFAULT\n"
+            "DISTRIBUTE B1 :: (BLOCK)\n"
+            "END SELECT\n"
+            "END",
+            ENV,
+        )
+        dc = list(prog.proc("t").body)[0]
+        assert isinstance(dc, DCaseStmt)
+        assert dc.selectors == ("B1", "B3")
+        assert len(dc.arms) == 3
+        assert dc.arms[0][0].positional is not None
+        assert dc.arms[1][0].tagged is not None
+        assert dc.arms[2][0] is None  # DEFAULT
+
+    def test_assignment_classification(self):
+        prog = parse_program(
+            "PROGRAM T\n"
+            "REAL U(N, N) DIST (BLOCK, :)\n"
+            "REAL W(N, N) DIST (BLOCK, :)\n"
+            "REAL IX(N, N) DIST (BLOCK, :)\n"
+            "U(I, J) = 0.25 * (W(I-1, J) + W(I+1, J) + W(I, J) + W(IX(I, J), J))\n"
+            "END",
+            ENV,
+        )
+        assign = [s for s in walk(prog.proc("t").body) if isinstance(s, Assign)][0]
+        kinds = sorted(r.kind for r in assign.reads if r.array == "W")
+        assert kinds == ["identity", "indirect", "shift", "shift"]
+        shift = [r for r in assign.reads if r.kind == AccessKind.SHIFT][0]
+        assert shift.offsets in ((-1, 0), (1, 0))
+
+    def test_call_defined_subroutine_binds(self):
+        prog = parse_program(
+            "SUBROUTINE WORK(X)\n"
+            "DISTRIBUTE X :: (CYCLIC)\n"
+            "END\n"
+            "PROGRAM T\n"
+            "REAL V(N) DYNAMIC, DIST (BLOCK)\n"
+            "CALL WORK(V)\n"
+            "END",
+            ENV,
+        )
+        call = [s for s in walk(prog.proc("t").body) if isinstance(s, Call)][0]
+        assert call.callee == "WORK"
+        assert call.bindings == {"X": "V"}
+
+    def test_call_external_with_section_becomes_sweep(self):
+        prog = parse_program(
+            "PROGRAM T\n"
+            "REAL V(N, N) DYNAMIC, DIST (:, BLOCK)\n"
+            "CALL TRIDIAG(V(:, J), N)\n"
+            "END",
+            ENV,
+        )
+        assign = [s for s in walk(prog.proc("t").body) if isinstance(s, Assign)][0]
+        assert assign.reads[0].kind == AccessKind.ROW_SWEEP
+        assert assign.reads[0].dim == 0
+
+    def test_scalar_statements_skipped(self):
+        prog = parse_program(
+            "PROGRAM T\nREAL V(N) DIST (BLOCK)\nK = K + 1\nEND", ENV
+        )
+        assert len(prog.proc("t").body) == 0
+
+
+class TestFigure1EndToEnd:
+    FIGURE1 = """
+      PROGRAM ADI
+      REAL U(NX, NY) DIST (:, BLOCK)
+      REAL F(NX, NY) DIST (:, BLOCK)
+      REAL V(NX, NY) DYNAMIC, RANGE( (:, BLOCK), ( BLOCK, :)),
+     &     DIST (:, BLOCK)
+      CALL RESID( V, U, F, NX, NY)
+C Sweep over x-lines
+      DO J = 1, NY
+        CALL TRIDIAG( V(:, J), NX)
+      ENDDO
+      DISTRIBUTE V :: ( BLOCK, : )
+C Sweep over y-lines
+      DO I = 1, NX
+        CALL TRIDIAG( V(I, :), NY)
+      ENDDO
+      END
+"""
+
+    def test_figure1_analysis(self):
+        """The headline integration: Figure 1, as text, analyzed."""
+        prog = parse_program(self.FIGURE1, ENV)
+        res = analyze(prog)
+        sweeps = [
+            s
+            for s in walk(prog.proc("adi").body)
+            if isinstance(s, Assign) and "TRIDIAG" in s.label.upper()
+        ]
+        assert len(sweeps) == 2
+        x_sweep, y_sweep = sweeps
+        assert x_sweep.reads[0].dim == 0
+        assert y_sweep.reads[0].dim == 1
+        # the compiler knows each sweep sees exactly one distribution,
+        # local in the swept dimension
+        assert res.plausible(x_sweep.sid, "V").patterns == frozenset(
+            [TypePattern((NoDist(), Block()))]
+        )
+        assert res.plausible(y_sweep.sid, "V").patterns == frozenset(
+            [TypePattern((Block(), NoDist()))]
+        )
+
+    def test_figure1_comm_analysis_free(self):
+        from repro.compiler.comm_analysis import estimate_ref
+
+        prog = parse_program(self.FIGURE1, ENV)
+        res = analyze(prog)
+        sweeps = [
+            s
+            for s in walk(prog.proc("adi").body)
+            if isinstance(s, Assign) and "TRIDIAG" in s.label.upper()
+        ]
+        for s in sweeps:
+            (pattern,) = res.plausible(s.sid, "V").patterns
+            est = estimate_ref(s.reads[0], pattern, (100, 100), (4,))
+            assert est.messages == 0  # both sweeps communication-free

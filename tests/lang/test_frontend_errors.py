@@ -1,0 +1,85 @@
+"""Error-path coverage for the program-text frontend."""
+
+import pytest
+
+from repro.lang.frontend import parse_program
+from repro.lang.parser import VFSyntaxError
+
+ENV = {"N": 8}
+
+
+class TestFrontendErrors:
+    def test_statement_outside_unit(self):
+        with pytest.raises(VFSyntaxError, match="PROGRAM or SUBROUTINE"):
+            parse_program("REAL V(N) DIST (BLOCK)\n", ENV)
+
+    def test_unterminated_do(self):
+        with pytest.raises(VFSyntaxError):
+            parse_program("PROGRAM T\nDO I = 1, 4\nEND", ENV)
+
+    def test_unterminated_if(self):
+        with pytest.raises(VFSyntaxError):
+            parse_program(
+                "PROGRAM T\nREAL V(N) DIST (BLOCK)\n"
+                "IF (X) THEN\nEND",
+                ENV,
+            )
+
+    def test_unterminated_select(self):
+        with pytest.raises(VFSyntaxError):
+            parse_program(
+                "PROGRAM T\nREAL V(N) DYNAMIC\n"
+                "SELECT DCASE (V)\nCASE (BLOCK)\nEND",
+                ENV,
+            )
+
+    def test_bad_distribute_expression(self):
+        with pytest.raises(VFSyntaxError):
+            parse_program(
+                "PROGRAM T\nREAL V(N) DYNAMIC\nDISTRIBUTE V :: (WAT)\nEND",
+                ENV,
+            )
+
+    def test_select_without_case(self):
+        with pytest.raises(VFSyntaxError):
+            parse_program(
+                "PROGRAM T\nREAL V(N) DYNAMIC\n"
+                "SELECT DCASE (V)\nK = 1\nEND SELECT\nEND",
+                ENV,
+            )
+
+
+class TestFrontendTolerance:
+    def test_enddo_spelling_variants(self):
+        prog = parse_program(
+            "PROGRAM T\nDO I = 1, 4\nENDDO\nDO J = 1, 4\nEND DO\nEND", ENV
+        )
+        assert len(prog.proc("t").body) == 2
+
+    def test_end_program_suffix(self):
+        prog = parse_program("PROGRAM T\nEND PROGRAM T", ENV)
+        assert "t" in prog.procs
+
+    def test_star_comment_lines(self):
+        prog = parse_program("PROGRAM T\n* old-style comment\nEND", ENV)
+        assert len(prog.proc("t").body) == 0
+
+    def test_inline_bang_comment(self):
+        prog = parse_program(
+            "PROGRAM T\nREAL V(N) DIST (BLOCK)  ! the array\nEND", ENV
+        )
+        assert "V" in prog.declared
+
+    def test_do_while_like_header(self):
+        # "DO WHILE (...)" headers are accepted as plain loops
+        prog = parse_program(
+            "PROGRAM T\nDO WHILE (K .LT. 10)\nENDDO\nEND", ENV
+        )
+        assert len(prog.proc("t").body) == 1
+
+    def test_two_program_units(self):
+        prog = parse_program(
+            "SUBROUTINE S(X)\nEND\nPROGRAM T\nEND", ENV
+        )
+        assert set(prog.procs) == {"S", "t"}
+        assert prog.entry in prog.procs

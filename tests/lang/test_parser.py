@@ -1,0 +1,159 @@
+"""Tests for the Vienna Fortran surface-syntax parser."""
+
+import pytest
+
+from repro.core.dimdist import Block, Cyclic, GenBlock, Indirect, NoDist, SBlock
+from repro.core.query import ANY, TypePattern, Wild
+from repro.lang.parser import (
+    VFSyntaxError,
+    parse_alignment,
+    parse_dist_expr,
+    parse_pattern,
+    parse_processors,
+)
+
+
+class TestDistExpr:
+    def test_simple(self):
+        t = parse_dist_expr("(BLOCK)")
+        assert t.dims == (Block(),)
+
+    def test_unparenthesized(self):
+        t = parse_dist_expr("BLOCK, CYCLIC")
+        assert t.dims == (Block(), Cyclic(1))
+
+    def test_multidim_with_elision(self):
+        t = parse_dist_expr("(BLOCK, CYCLIC(3), :)")
+        assert t.dims == (Block(), Cyclic(3), NoDist())
+
+    def test_cyclic_default_k(self):
+        assert parse_dist_expr("(CYCLIC)").dims == (Cyclic(1),)
+
+    def test_env_scalar(self):
+        t = parse_dist_expr("(CYCLIC(K))", env={"K": 5})
+        assert t.dims == (Cyclic(5),)
+
+    def test_unbound_scalar(self):
+        with pytest.raises(VFSyntaxError, match="unbound"):
+            parse_dist_expr("(CYCLIC(K))")
+
+    def test_b_block_env_array(self):
+        t = parse_dist_expr("B_BLOCK(BOUNDS)", env={"BOUNDS": [3, 5, 2]})
+        assert t.dims == (GenBlock([3, 5, 2]),)
+
+    def test_s_block(self):
+        t = parse_dist_expr("(S_BLOCK(S), :)", env={"S": [0, 4]})
+        assert t.dims == (SBlock([0, 4]), NoDist())
+
+    def test_indirect(self):
+        t = parse_dist_expr("INDIRECT(M)", env={"M": [0, 1, 0]})
+        assert t.dims == (Indirect([0, 1, 0]),)
+
+    def test_case_insensitive_keywords(self):
+        assert parse_dist_expr("(block, Cyclic(2))").dims == (Block(), Cyclic(2))
+
+    def test_wildcard_rejected_in_concrete(self):
+        with pytest.raises(VFSyntaxError):
+            parse_dist_expr("(BLOCK, *)")
+        with pytest.raises(VFSyntaxError):
+            parse_dist_expr("(CYCLIC(*))")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(VFSyntaxError, match="unknown distribution"):
+            parse_dist_expr("(BLOCKISH)")
+
+    def test_trailing_junk(self):
+        with pytest.raises(VFSyntaxError, match="trailing"):
+            parse_dist_expr("(BLOCK) x")
+
+    def test_empty(self):
+        with pytest.raises(VFSyntaxError):
+            parse_dist_expr("")
+
+    def test_unbalanced(self):
+        with pytest.raises(VFSyntaxError):
+            parse_dist_expr("(BLOCK")
+
+
+class TestPattern:
+    def test_star_type(self):
+        assert parse_pattern("*") == TypePattern(ANY)
+
+    def test_star_dim(self):
+        p = parse_pattern("(BLOCK, *)")
+        assert p.dims == (Block(), ANY)
+
+    def test_cyclic_star(self):
+        p = parse_pattern("(CYCLIC(*), :)")
+        assert p.dims == (Wild(Cyclic), NoDist())
+
+    def test_concrete_pattern(self):
+        p = parse_pattern("(BLOCK, CYCLIC)")
+        assert p.is_concrete()
+
+
+class TestAlignment:
+    def test_paper_example1(self):
+        src, tgt, a = parse_alignment("D(I,J,K) WITH C(J,I,K)")
+        assert (src, tgt) == ("D", "C")
+        assert a.map_index((1, 2, 3)) == (2, 1, 3)
+
+    def test_identity(self):
+        _, _, a = parse_alignment("A2(I,J) WITH B4(I,J)")
+        assert a.map_index((4, 5)) == (4, 5)
+
+    def test_offsets(self):
+        _, _, a = parse_alignment("A(I) WITH B(I+1)")
+        assert a.map_index((3,)) == (4,)
+        _, _, a = parse_alignment("A(I) WITH B(I-2)")
+        assert a.map_index((3,)) == (1,)
+
+    def test_stride(self):
+        _, _, a = parse_alignment("A(I) WITH B(2*I+1)")
+        assert a.map_index((3,)) == (7,)
+
+    def test_constant_subscript(self):
+        _, _, a = parse_alignment("A(I) WITH B(I, 3)")
+        assert a.map_index((2,)) == (2, 3)
+
+    def test_constant_from_env(self):
+        _, _, a = parse_alignment("A(I) WITH B(I, N)", env={"N": 7})
+        assert a.map_index((0,)) == (0, 7)
+
+    def test_negated_variable(self):
+        _, _, a = parse_alignment("A(I) WITH B(-I+9)")
+        assert a.map_index((2,)) == (7,)
+
+    def test_duplicate_subscript_rejected(self):
+        with pytest.raises(VFSyntaxError):
+            parse_alignment("A(I,I) WITH B(I,I)")
+
+    def test_missing_with(self):
+        with pytest.raises(VFSyntaxError, match="WITH"):
+            parse_alignment("A(I) B(I)")
+
+    def test_unknown_variable_in_target(self):
+        with pytest.raises(VFSyntaxError, match="unbound"):
+            parse_alignment("A(I) WITH B(Q)")
+
+
+class TestProcessors:
+    def test_basic(self):
+        r = parse_processors("R(1:4, 1:4)")
+        assert r.name == "R"
+        assert r.shape == (4, 4)
+
+    def test_env_bound(self):
+        r = parse_processors("R(1:M, 1:M)", env={"M": 2})
+        assert r.shape == (2, 2)
+
+    def test_nonunit_lower_bound(self):
+        r = parse_processors("P(0:3)")
+        assert r.shape == (4,)
+
+    def test_empty_bound_rejected(self):
+        with pytest.raises(VFSyntaxError):
+            parse_processors("P(5:1)")
+
+    def test_1d(self):
+        assert parse_processors("P(1:8)").shape == (8,)

@@ -1,0 +1,152 @@
+"""Tests for procedure-boundary redistribution semantics (§4, §5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import dist_type
+from repro.lang.procedures import FormalArg, Procedure
+from repro.machine import Machine, ProcessorArray
+from repro.runtime.engine import Engine
+
+
+def make():
+    machine = Machine(ProcessorArray("R", (4,)))
+    engine = Engine(machine)
+    v = engine.declare("V", (8, 8), dist=dist_type(":", "BLOCK"), dynamic=True)
+    v.from_global(np.arange(64, dtype=float).reshape(8, 8))
+    return machine, engine, v
+
+
+class TestEntryRedistribution:
+    def test_formal_with_declared_distribution_redistributes_actual(self):
+        machine, engine, v = make()
+        seen = {}
+
+        def body(engine_, X):
+            seen["dtype"] = X.dist.dtype
+
+        proc = Procedure("sweep_y", [FormalArg("X", "(BLOCK, :)")], body)
+        proc(engine, X=v)
+        assert seen["dtype"] == dist_type("BLOCK", ":")
+
+    def test_matching_actual_not_redistributed(self):
+        machine, engine, v = make()
+        proc = Procedure(
+            "p", [FormalArg("X", "(:, BLOCK)")], lambda e, X: None
+        )
+        before = machine.stats().messages
+        proc(engine, X=v)
+        assert machine.stats().messages == before
+
+    def test_inherited_distribution(self):
+        """Formal without declared dist inherits the actual's."""
+        machine, engine, v = make()
+        seen = {}
+        proc = Procedure(
+            "p", [FormalArg("X")], lambda e, X: seen.update(d=X.dist.dtype)
+        )
+        proc(engine, X=v)
+        assert seen["d"] == dist_type(":", "BLOCK")
+        assert machine.stats().messages == 0
+
+    def test_data_preserved(self):
+        machine, engine, v = make()
+        data = v.to_global()
+        proc = Procedure("p", [FormalArg("X", "(BLOCK, :)")], lambda e, X: None)
+        proc(engine, X=v)
+        assert np.array_equal(v.to_global(), data)
+
+    def test_wrong_arguments_rejected(self):
+        _, engine, v = make()
+        proc = Procedure("p", [FormalArg("X")], lambda e, X: None)
+        with pytest.raises(TypeError):
+            proc(engine, Y=v)
+
+
+class TestReturnSemantics:
+    def test_vf_returns_new_distribution(self):
+        """Vienna Fortran semantics: redistribution survives the call."""
+        _, engine, v = make()
+        proc = Procedure(
+            "p",
+            [FormalArg("X", "(BLOCK, :)")],
+            lambda e, X: None,
+            restore="vf",
+        )
+        proc(engine, X=v)
+        assert v.dist.dtype == dist_type("BLOCK", ":")
+
+    def test_hpf_restores_entry_distribution(self):
+        """§5: HPF does not permit the new distribution to be returned."""
+        _, engine, v = make()
+        proc = Procedure(
+            "p",
+            [FormalArg("X", "(BLOCK, :)")],
+            lambda e, X: None,
+            restore="hpf",
+        )
+        proc(engine, X=v)
+        assert v.dist.dtype == dist_type(":", "BLOCK")
+
+    def test_hpf_mode_costs_a_second_redistribution(self):
+        machine, engine, v = make()
+        proc_vf = Procedure(
+            "p", [FormalArg("X", "(BLOCK, :)")], lambda e, X: None, restore="vf"
+        )
+        proc_vf(engine, X=v)
+        msgs_vf = machine.stats().messages
+
+        machine2, engine2, v2 = make()
+        proc_hpf = Procedure(
+            "p", [FormalArg("X", "(BLOCK, :)")], lambda e, X: None, restore="hpf"
+        )
+        proc_hpf(engine2, X=v2)
+        msgs_hpf = machine2.stats().messages
+        assert msgs_hpf == 2 * msgs_vf
+
+    def test_hpf_data_preserved(self):
+        _, engine, v = make()
+        data = v.to_global()
+        proc = Procedure(
+            "p", [FormalArg("X", "(BLOCK, :)")], lambda e, X: None, restore="hpf"
+        )
+        proc(engine, X=v)
+        assert np.array_equal(v.to_global(), data)
+
+    def test_body_redistribution_returned_in_vf_mode(self):
+        _, engine, v = make()
+
+        def body(e, X):
+            e.distribute(X.name, dist_type("CYCLIC", ":"))
+
+        proc = Procedure("p", [FormalArg("X")], body, restore="vf")
+        proc(engine, X=v)
+        assert v.dist.dtype == dist_type("CYCLIC", ":")
+
+    def test_invalid_restore_mode(self):
+        with pytest.raises(ValueError):
+            Procedure("p", [], lambda e: None, restore="maybe")
+
+
+class TestStaticActuals:
+    def test_static_actual_implicitly_redistributed(self):
+        """§4: the compiler may move a *static* actual at a boundary."""
+        machine = Machine(ProcessorArray("R", (4,)))
+        engine = Engine(machine)
+        u = engine.declare("U", (8, 8), dist=dist_type(":", "BLOCK"))
+        u.from_global(np.ones((8, 8)))
+        seen = {}
+        proc = Procedure(
+            "p",
+            [FormalArg("X", "(BLOCK, :)")],
+            lambda e, X: seen.update(d=X.dist.dtype),
+            restore="hpf",
+        )
+        proc(engine, X=u)
+        assert seen["d"] == dist_type("BLOCK", ":")
+        assert u.dist.dtype == dist_type(":", "BLOCK")  # restored
+
+    def test_result_value(self):
+        _, engine, v = make()
+        proc = Procedure("p", [FormalArg("X")], lambda e, X: X.get((0, 0)))
+        assert proc(engine, X=v) == 0.0

@@ -1,0 +1,169 @@
+"""Tests for VFProgram scopes and executable statements."""
+
+import numpy as np
+import pytest
+
+from repro.core.dimdist import Block, Cyclic, NoDist
+from repro.machine import Machine, ProcessorArray
+from repro.lang.program import VFProgram
+
+
+def make(procs=(4,), env=None):
+    machine = Machine(ProcessorArray("R", procs))
+    return VFProgram(machine, env=env or {"N": 8, "M": 8})
+
+
+class TestDeclare:
+    def test_static(self):
+        p = make()
+        v = p.declare("REAL V(N,N) DIST (BLOCK, :)")
+        assert v.dist.dtype.dims == (Block(), NoDist())
+
+    def test_dynamic_initial(self):
+        p = make()
+        v = p.declare("REAL V(N,N) DYNAMIC, DIST (:, BLOCK)")
+        assert v.descriptor.is_dynamic
+        assert v.dist.dtype.dims == (NoDist(), Block())
+
+    def test_static_needs_dist(self):
+        p = make()
+        with pytest.raises(Exception, match="DIST"):
+            p.declare("REAL V(N,N)")
+
+    def test_multiple_arrays_one_statement(self):
+        p = make()
+        b3, b4 = p.declare("REAL B3(N,N), B4(N,N) DYNAMIC, DIST (BLOCK, :)")
+        assert b3.shape == (8, 8) and b4.shape == (8, 8)
+
+    def test_np_intrinsic_bound(self):
+        p = make()
+        assert p.env["NP"] == 4
+        assert p.np_ == 4
+
+    def test_name_collision_in_scope(self):
+        p = make()
+        p.declare("REAL V(N) DYNAMIC")
+        with pytest.raises(ValueError, match="already declared"):
+            p.declare("REAL V(N) DYNAMIC")
+
+
+class TestDistributeStatement:
+    def test_simple(self):
+        p = make()
+        v = p.declare("REAL V(N,N) DYNAMIC, DIST (:, BLOCK)")
+        p.distribute("V", "(BLOCK, :)")
+        assert v.dist.dtype.dims == (Block(), NoDist())
+
+    def test_multiple_primaries_example3(self):
+        """DISTRIBUTE B1, B2 :: (CYCLIC(K))."""
+        p = make(env={"N": 8, "K": 3})
+        p.declare("REAL B1(N) DYNAMIC, DIST (BLOCK)")
+        p.declare("REAL B2(N) DYNAMIC, DIST (BLOCK)")
+        p.distribute("B1, B2", "(CYCLIC(K))")
+        assert p.array("B1").dist.dtype.dims == (Cyclic(3),)
+        assert p.array("B2").dist.dtype.dims == (Cyclic(3),)
+
+    def test_extraction_statement(self):
+        p = make()
+        p.declare("REAL B1(N) DYNAMIC, DIST (CYCLIC)")
+        p.declare("REAL B4(N) DYNAMIC, DIST (BLOCK)")
+        p.distribute("B4", "=B1")
+        assert p.array("B4").dist.dtype.dims == (Cyclic(1),)
+
+    def test_mixed_extraction_example3(self):
+        """DISTRIBUTE B4 :: (=B1, CYCLIC(3)) — per-dim extraction.
+
+        The paper's Example 3: B1 is currently (CYCLIC(k')); the mixed
+        form distributes B4 as (CYCLIC(k'), CYCLIC(3)).  Our resolver
+        splices the referenced array's dimension list into the
+        expression.
+        """
+        p = VFProgram(Machine(ProcessorArray("R", (2, 2))), env={"N": 8})
+        # B1 lives on a 1-D subsection so its single CYCLIC dim splices
+        # cleanly into B4's first dimension.
+        sec = p.machine.processors.section(0, slice(None))
+        p.declare("REAL B1(N) DYNAMIC, DIST (CYCLIC)", to=sec)
+        b4 = p.declare("REAL B4(N,N) DYNAMIC, DIST (BLOCK, BLOCK)")
+        p.distribute("B4", "(=B1, CYCLIC(3))")
+        assert b4.dist.dtype.dims == (Cyclic(1), Cyclic(3))
+
+    def test_notransfer_resolved_in_scope(self):
+        p = make()
+        p.declare("REAL B(N) DYNAMIC, DIST (BLOCK)")
+        p.declare("REAL A(N) DYNAMIC, CONNECT (=B)")
+        reports = p.distribute("B", "(CYCLIC)", notransfer=["A"])
+        by_name = {r.array_name.split("::")[-1]: r for r in reports}
+        assert by_name["A"].messages == 0
+
+    def test_connect_class_built(self):
+        p = make()
+        p.declare("REAL B4(N,N) DYNAMIC, DIST (BLOCK, :)")
+        p.declare("REAL A1(N,N) DYNAMIC, CONNECT (=B4)")
+        p.declare("REAL A2(N,N) DYNAMIC, CONNECT A2(I,J) WITH B4(I,J)")
+        p.distribute("B4", "(CYCLIC, :)")
+        assert p.array("A1").dist.dtype.dims[0] == Cyclic(1)
+        assert p.array("A2").dist.dtype.dims[0] == Cyclic(1)
+
+
+class TestQueries:
+    def test_idt_statement(self):
+        p = make()
+        p.declare("REAL V(N,N) DIST (:, BLOCK)")
+        assert p.idt("V", "(:, BLOCK)")
+        assert p.idt("V", "(*, BLOCK)")
+        assert not p.idt("V", "(BLOCK, *)")
+
+    def test_dcase_with_string_patterns(self):
+        p = make()
+        p.declare("REAL V(N,N) DYNAMIC, DIST (:, BLOCK)")
+        dc = p.dcase("V")
+        dc.case("(BLOCK, :)", lambda: "rows")
+        dc.case("(:, BLOCK)", lambda: "cols")
+        dc.case({"V": "(CYCLIC(*), *)"}, lambda: "cyclic")
+        assert dc.execute() == "cols"
+
+    def test_dcase_default(self):
+        p = make()
+        p.declare("REAL V(N) DYNAMIC, DIST (CYCLIC)")
+        dc = p.dcase("V")
+        dc.case("(BLOCK)", lambda: "b")
+        dc.default(lambda: "d")
+        assert dc.execute() == "d"
+
+
+class TestScopes:
+    def test_scope_isolation(self):
+        """Connect does not extend across procedure boundaries (§2.3)."""
+        p = make()
+        p.declare("REAL B(N) DYNAMIC, DIST (BLOCK)")
+        p.push_scope("sub")
+        # inner scope cannot see outer names
+        with pytest.raises(KeyError):
+            p.array("B")
+        # inner scope can declare its own B
+        p.declare("REAL B(N) DYNAMIC, DIST (CYCLIC)")
+        assert p.array("B").dist.dtype.dims == (Cyclic(1),)
+        p.pop_scope()
+        assert p.array("B").dist.dtype.dims == (Block(),)
+
+    def test_cannot_pop_main(self):
+        p = make()
+        with pytest.raises(RuntimeError):
+            p.pop_scope()
+
+    def test_activation_names_unique(self):
+        p = make()
+        s1 = p.push_scope("sub")
+        p.pop_scope()
+        s2 = p.push_scope("sub")
+        assert s1.name != s2.name
+
+
+class TestDataFlow:
+    def test_values_survive_statement_level_redistribution(self):
+        p = make()
+        v = p.declare("REAL V(N,N) DYNAMIC, DIST (:, BLOCK)")
+        data = np.random.default_rng(0).standard_normal((8, 8))
+        v.from_global(data)
+        p.distribute("V", "(BLOCK, :)")
+        assert np.array_equal(v.to_global(), data)

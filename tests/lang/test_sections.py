@@ -1,0 +1,82 @@
+"""Tests for processor-section syntax and the TO clause."""
+
+import numpy as np
+import pytest
+
+from repro.lang.parser import VFSyntaxError, parse_processors, parse_section
+from repro.lang.program import VFProgram
+from repro.machine import Machine, ProcessorArray
+
+
+class TestParseSection:
+    R = parse_processors("R(1:4, 1:4)")
+
+    def test_full_by_name(self):
+        s = parse_section("R", self.R)
+        assert s.shape == (4, 4)
+
+    def test_colon_dims(self):
+        s = parse_section("R(:, :)", self.R)
+        assert s.shape == (4, 4)
+
+    def test_ranges_one_based_inclusive(self):
+        s = parse_section("R(1:2, 3:4)", self.R)
+        assert s.shape == (2, 2)
+        assert s.coord_in_parent((0, 0)) == (0, 2)
+
+    def test_collapsing_subscript(self):
+        s = parse_section("R(2, :)", self.R)
+        assert s.ndim == 1
+        assert s.ranks() == [4, 5, 6, 7]
+
+    def test_strided(self):
+        r1 = parse_processors("P(1:8)")
+        s = parse_section("P(1:8:2)", r1)
+        assert s.ranks() == [0, 2, 4, 6]
+
+    def test_env_bounds(self):
+        s = parse_section("R(1:M, :)", self.R, env={"M": 2})
+        assert s.shape == (2, 4)
+
+    def test_wrong_name(self):
+        with pytest.raises(VFSyntaxError, match="unknown processor array"):
+            parse_section("Q(1:2, :)", self.R)
+
+    def test_wrong_arity(self):
+        with pytest.raises(VFSyntaxError):
+            parse_section("R(1:2)", self.R)
+        with pytest.raises(VFSyntaxError):
+            parse_section("R(1:2, :, :)", self.R)
+
+
+class TestToClause:
+    def test_declaration_to_clause(self):
+        machine = Machine(ProcessorArray("R", (4,)))
+        prog = VFProgram(machine, env={"N": 8})
+        v = prog.declare("REAL V(N) DIST (BLOCK) TO R(1:2)")
+        assert set(np.unique(v.dist.rank_map())) == {0, 1}
+
+    def test_distribute_with_string_to(self):
+        machine = Machine(ProcessorArray("R", (4,)))
+        prog = VFProgram(machine, env={"N": 8})
+        v = prog.declare("REAL V(N) DYNAMIC, DIST (BLOCK)")
+        v.from_global(np.arange(8.0))
+        prog.distribute("V", "(BLOCK)", to="R(3:4)")
+        assert set(np.unique(v.dist.rank_map())) == {2, 3}
+        assert np.array_equal(v.to_global(), np.arange(8.0))
+
+    def test_to_clause_on_2d_grid(self):
+        machine = Machine(ProcessorArray("R", (2, 2)))
+        prog = VFProgram(machine, env={"N": 8})
+        v = prog.declare("REAL V(N) DIST (BLOCK) TO R(2, :)")
+        assert set(np.unique(v.dist.rank_map())) == {2, 3}
+
+    def test_moving_between_sections_costs_traffic(self):
+        """Redistributing to a disjoint section moves everything."""
+        machine = Machine(ProcessorArray("R", (4,)))
+        prog = VFProgram(machine, env={"N": 8})
+        v = prog.declare("REAL V(N) DYNAMIC, DIST (BLOCK) TO R(1:2)")
+        v.from_global(np.arange(8.0))
+        reports = prog.distribute("V", "(BLOCK)", to="R(3:4)")
+        assert reports[0].elements_moved == 8
+        assert np.array_equal(v.to_global(), np.arange(8.0))

@@ -1,0 +1,72 @@
+"""Tests for the alpha + beta*n cost model and presets."""
+
+import pytest
+
+from repro.machine.cost_model import (
+    IPSC860,
+    MODERN_CLUSTER,
+    PARAGON,
+    PRESETS,
+    ZERO_COST,
+    CostModel,
+)
+
+
+class TestCostModel:
+    def test_message_time_formula(self):
+        m = CostModel(alpha=1e-4, beta=1e-6, flop_rate=1e6)
+        assert m.message_time(0) == pytest.approx(1e-4)
+        assert m.message_time(100) == pytest.approx(1e-4 + 1e-4)
+
+    def test_compute_time(self):
+        m = CostModel(alpha=0, beta=0, flop_rate=2e6)
+        assert m.compute_time(4e6) == pytest.approx(2.0)
+        assert m.compute_time(0) == 0.0
+
+    def test_negative_message_size_rejected(self):
+        with pytest.raises(ValueError):
+            ZERO_COST.message_time(-1)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            ZERO_COST.compute_time(-1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(alpha=-1, beta=0, flop_rate=1)
+        with pytest.raises(ValueError):
+            CostModel(alpha=0, beta=-1, flop_rate=1)
+        with pytest.raises(ValueError):
+            CostModel(alpha=0, beta=0, flop_rate=0)
+
+    def test_half_performance_length(self):
+        m = CostModel(alpha=1e-4, beta=1e-6, flop_rate=1e6)
+        assert m.bytes_equivalent_of_latency() == pytest.approx(100.0)
+
+    def test_half_performance_length_infinite_bandwidth(self):
+        m = CostModel(alpha=1e-4, beta=0.0, flop_rate=1e6)
+        assert m.bytes_equivalent_of_latency() == float("inf")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            IPSC860.alpha = 0.0  # type: ignore[misc]
+
+
+class TestPresets:
+    def test_all_presets_registered(self):
+        assert set(PRESETS) == {"iPSC/860", "Paragon", "modern", "zero"}
+
+    def test_latency_ordering_matches_history(self):
+        # machines got faster: startup latency strictly decreases
+        assert IPSC860.alpha > PARAGON.alpha > MODERN_CLUSTER.alpha
+
+    def test_bandwidth_ordering(self):
+        assert IPSC860.beta > PARAGON.beta > MODERN_CLUSTER.beta
+
+    def test_ipsc_is_latency_dominated(self):
+        # on the iPSC/860, a kilobyte message is still mostly startup
+        n_half = IPSC860.bytes_equivalent_of_latency()
+        assert n_half > 200
+
+    def test_zero_cost_free(self):
+        assert ZERO_COST.message_time(10**9) == 0.0

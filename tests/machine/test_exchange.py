@@ -1,0 +1,74 @@
+"""Tests for the concurrent exchange-phase primitive."""
+
+import pytest
+
+from repro.machine.cost_model import CostModel
+from repro.machine.network import Network
+
+
+def make_net(nprocs=4, alpha=1e-5, beta=1e-8):
+    return Network(nprocs, CostModel(alpha, beta, 1e9, "t"), trace=True)
+
+
+class TestExchange:
+    def test_counts_like_send(self):
+        net = make_net()
+        net.exchange([(0, 1, 100), (2, 3, 50)])
+        s = net.stats()
+        assert s.messages == 2
+        assert s.bytes == 150
+
+    def test_disjoint_pairs_overlap_in_time(self):
+        """Two disjoint transfers take one message time, not two."""
+        net = make_net()
+        dt = net.exchange([(0, 1, 100), (2, 3, 100)])
+        one = net.cost_model.message_time(100)
+        assert dt == pytest.approx(one)
+        assert net.time == pytest.approx(one)
+
+    def test_sequential_sends_chain_instead(self):
+        net_seq = make_net()
+        net_seq.send(0, 1, 100)
+        net_seq.send(1, 2, 100)
+        net_par = make_net()
+        net_par.exchange([(0, 1, 100), (1, 2, 100)])
+        # proc 1 is an endpoint of both messages in both cases, so the
+        # busy time matches; but a chain through a *third* hop differs:
+        net_seq2 = make_net()
+        net_seq2.send(0, 1, 100)
+        net_seq2.send(2, 3, 100)
+        assert net_par.time >= net_seq2.time  # 1 is busy twice vs once
+
+    def test_per_endpoint_serialization(self):
+        """A processor receiving k messages is busy k message-times."""
+        net = make_net()
+        dt = net.exchange([(1, 0, 100), (2, 0, 100), (3, 0, 100)])
+        one = net.cost_model.message_time(100)
+        assert dt == pytest.approx(3 * one)
+
+    def test_self_messages_skipped(self):
+        net = make_net()
+        net.exchange([(1, 1, 1000)])
+        assert net.stats().messages == 0
+        assert net.time == 0.0
+
+    def test_empty_phase(self):
+        net = make_net()
+        assert net.exchange([]) == 0.0
+
+    def test_tags_traced(self):
+        net = make_net()
+        net.exchange([(0, 1, 8, "halo")])
+        assert net.trace[0].tag == "halo"
+
+    def test_validation(self):
+        net = make_net(2)
+        with pytest.raises(IndexError):
+            net.exchange([(0, 5, 8)])
+        with pytest.raises(ValueError):
+            net.exchange([(0, 1, -8)])
+
+    def test_link_accounting(self):
+        net = make_net()
+        net.exchange([(0, 1, 10), (0, 1, 20)])
+        assert net.link_bytes()[(0, 1)] == 30

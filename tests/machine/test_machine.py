@@ -1,0 +1,50 @@
+"""Tests for the Machine facade."""
+
+from repro.machine import IPSC860, Machine, ProcessorArray
+
+
+class TestMachine:
+    def test_shape_tuple_promoted(self):
+        m = Machine((2, 2))
+        assert m.nprocs == 4
+        assert m.processors.name == "P"
+
+    def test_explicit_processor_array(self):
+        r = ProcessorArray("R", (8,))
+        m = Machine(r)
+        assert m.processors is r
+        assert m.nprocs == 8
+
+    def test_one_memory_per_processor(self):
+        m = Machine((3,))
+        assert len(m.memories) == 3
+        assert m.memory(2).rank == 2
+
+    def test_cost_model_passthrough(self):
+        m = Machine((2,), cost_model=IPSC860)
+        assert m.cost_model.name == "iPSC/860"
+
+    def test_memory_totals(self):
+        m = Machine((2,))
+        m.memory(0).allocate("x", (10,))
+        m.memory(1).allocate("y", (20,))
+        assert m.total_memory_used() == 240
+        assert m.max_memory_used() == 160
+
+    def test_stats_and_reset(self):
+        m = Machine((2,), cost_model=IPSC860)
+        m.network.send(0, 1, 100)
+        assert m.stats().messages == 1
+        assert m.time > 0
+        m.reset_network()
+        assert m.stats().messages == 0
+        assert m.time == 0.0
+
+    def test_memory_capacity_plumbed(self):
+        m = Machine((2,), memory_capacity=64)
+        assert m.memory(0).capacity == 64
+
+    def test_full_section(self):
+        m = Machine((2, 3))
+        s = m.full_section()
+        assert s.shape == (2, 3)

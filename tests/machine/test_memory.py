@@ -1,0 +1,86 @@
+"""Tests for per-processor local memories."""
+
+import numpy as np
+import pytest
+
+from repro.machine.memory import LocalMemory, MemoryError_
+
+
+class TestAllocate:
+    def test_allocate_shape_and_dtype(self):
+        mem = LocalMemory(0)
+        a = mem.allocate("x", (3, 4), np.float64)
+        assert a.shape == (3, 4)
+        assert a.dtype == np.float64
+
+    def test_fill_value(self):
+        mem = LocalMemory(0)
+        a = mem.allocate("x", (5,), fill=7.0)
+        assert (a == 7.0).all()
+
+    def test_accounting(self):
+        mem = LocalMemory(0)
+        mem.allocate("x", (10,), np.float64)
+        assert mem.used == 80
+        mem.allocate("y", (10,), np.int64, kind="table")
+        assert mem.used == 160
+        assert mem.used_by_kind("table") == 80
+        assert mem.used_by_kind("data") == 80
+
+    def test_reallocate_same_name_frees_old(self):
+        mem = LocalMemory(0)
+        mem.allocate("x", (100,))
+        mem.allocate("x", (10,))
+        assert mem.used == 80
+
+    def test_high_water_tracks_peak(self):
+        mem = LocalMemory(0)
+        mem.allocate("x", (100,))
+        peak = mem.used
+        mem.free("x")
+        mem.allocate("x", (10,))
+        assert mem.high_water == peak
+
+    def test_capacity_enforced(self):
+        mem = LocalMemory(0, capacity=100)
+        mem.allocate("x", (10,))  # 80 bytes
+        with pytest.raises(MemoryError_):
+            mem.allocate("y", (10,))
+
+    def test_capacity_allows_fit(self):
+        mem = LocalMemory(0, capacity=160)
+        mem.allocate("x", (10,))
+        mem.allocate("y", (10,))
+        assert mem.used == 160
+
+
+class TestAdoptFree:
+    def test_adopt_registers_external_array(self):
+        mem = LocalMemory(1)
+        arr = np.arange(6.0)
+        got = mem.adopt("z", arr)
+        assert got is arr
+        assert mem["z"] is arr
+        assert mem.used == arr.nbytes
+
+    def test_adopt_respects_capacity(self):
+        mem = LocalMemory(0, capacity=10)
+        with pytest.raises(MemoryError_):
+            mem.adopt("z", np.zeros(100))
+
+    def test_free_unknown_name(self):
+        mem = LocalMemory(0)
+        with pytest.raises(KeyError):
+            mem.free("nope")
+
+    def test_contains_and_names(self):
+        mem = LocalMemory(0)
+        mem.allocate("a", (1,))
+        mem.allocate("b", (1,))
+        assert "a" in mem and "c" not in mem
+        assert mem.block_names() == ["a", "b"]
+
+    def test_getitem_missing(self):
+        mem = LocalMemory(0)
+        with pytest.raises(KeyError):
+            mem["missing"]

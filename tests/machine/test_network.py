@@ -1,0 +1,147 @@
+"""Tests for the cost-accounting network."""
+
+import pytest
+
+from repro.machine.cost_model import CostModel, ZERO_COST
+from repro.machine.network import Network
+
+
+def make_net(nprocs=4, alpha=1e-5, beta=1e-8, trace=False):
+    return Network(nprocs, CostModel(alpha, beta, 1e9, "t"), trace=trace)
+
+
+class TestSend:
+    def test_message_counted(self):
+        net = make_net()
+        net.send(0, 1, 100)
+        s = net.stats()
+        assert s.messages == 1
+        assert s.bytes == 100
+
+    def test_self_message_free(self):
+        net = make_net()
+        cost = net.send(2, 2, 1000)
+        assert cost == 0.0
+        assert net.stats().messages == 0
+        assert net.time == 0.0
+
+    def test_cost_linear_in_size(self):
+        net = make_net(alpha=1e-5, beta=1e-8)
+        c = net.send(0, 1, 1000)
+        assert c == pytest.approx(1e-5 + 1e-8 * 1000)
+
+    def test_clocks_advance_sender_and_receiver(self):
+        net = make_net()
+        net.send(0, 1, 100)
+        assert net.clocks[0] > 0
+        assert net.clocks[1] >= net.clocks[0]
+        assert net.clocks[2] == 0.0
+
+    def test_receiver_waits_for_sender(self):
+        net = make_net()
+        net.compute(0, 1e6)  # sender busy for 1e6/1e9 = 1ms
+        net.send(0, 1, 8)
+        assert net.clocks[1] >= net.clocks[0]
+
+    def test_per_proc_accounting_counts_both_ends(self):
+        net = make_net()
+        net.send(0, 1, 64)
+        s = net.stats()
+        assert s.per_proc_messages[0] == 1
+        assert s.per_proc_messages[1] == 1
+        assert s.per_proc_bytes[0] == 64
+        assert s.per_proc_bytes[1] == 64
+
+    def test_link_bytes(self):
+        net = make_net()
+        net.send(0, 1, 10)
+        net.send(0, 1, 20)
+        net.send(1, 0, 5)
+        assert net.link_bytes() == {(0, 1): 30, (1, 0): 5}
+
+    def test_invalid_rank_rejected(self):
+        net = make_net(2)
+        with pytest.raises(IndexError):
+            net.send(0, 2, 8)
+        with pytest.raises(IndexError):
+            net.send(-1, 0, 8)
+
+    def test_negative_size_rejected(self):
+        net = make_net()
+        with pytest.raises(ValueError):
+            net.send(0, 1, -1)
+
+    def test_trace_records_messages(self):
+        net = make_net(trace=True)
+        net.send(0, 3, 16, tag="x")
+        assert len(net.trace) == 1
+        rec = net.trace[0]
+        assert (rec.src, rec.dst, rec.nbytes, rec.tag) == (0, 3, 16, "x")
+
+    def test_trace_disabled_by_default(self):
+        net = make_net()
+        net.send(0, 1, 8)
+        assert net.trace == []
+
+
+class TestComputeAndSync:
+    def test_compute_charges_one_clock(self):
+        net = make_net()
+        net.compute(1, 2e9)
+        assert net.clocks[1] == pytest.approx(2.0)
+        assert net.clocks[0] == 0.0
+
+    def test_synchronize_levels_clocks(self):
+        net = make_net()
+        net.compute(0, 3e9)
+        t = net.synchronize()
+        assert t == pytest.approx(3.0)
+        assert all(c == t for c in net.clocks)
+
+    def test_time_is_makespan(self):
+        net = make_net()
+        net.compute(0, 1e9)
+        net.compute(3, 5e9)
+        assert net.time == pytest.approx(5.0)
+
+    def test_reset(self):
+        net = make_net(trace=True)
+        net.send(0, 1, 100)
+        net.compute(2, 1e9)
+        net.reset()
+        s = net.stats()
+        assert s.messages == 0 and s.bytes == 0
+        assert net.time == 0.0
+        assert net.trace == []
+
+
+class TestStatsDiff:
+    def test_subtraction(self):
+        net = make_net()
+        net.send(0, 1, 10)
+        before = net.stats()
+        net.send(1, 2, 20)
+        net.send(0, 1, 5)
+        diff = net.stats() - before
+        assert diff.messages == 2
+        assert diff.bytes == 25
+        assert diff.per_proc_bytes[2] == 20
+
+    def test_copy_is_independent(self):
+        net = make_net()
+        net.send(0, 1, 10)
+        snap = net.stats().copy()
+        net.send(0, 1, 10)
+        assert snap.messages == 1
+
+    def test_zero_cost_model_counts_but_free(self):
+        net = Network(2, ZERO_COST)
+        net.send(0, 1, 10**6)
+        assert net.stats().messages == 1
+        assert net.time == 0.0
+
+
+class TestValidation:
+    def test_needs_a_processor(self):
+        with pytest.raises(ValueError):
+            Network(0, ZERO_COST)

@@ -1,0 +1,164 @@
+"""Tests for processor arrays and sections."""
+
+import numpy as np
+import pytest
+
+from repro.machine.topology import ProcessorArray, ProcessorSection
+
+
+class TestProcessorArray:
+    def test_basic_shape(self):
+        r = ProcessorArray("R", (2, 3))
+        assert r.ndim == 2
+        assert r.size == 6
+        assert r.shape == (2, 3)
+
+    def test_int_shape_promoted(self):
+        r = ProcessorArray("P", 4)
+        assert r.shape == (4,)
+        assert r.size == 4
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            ProcessorArray("P", ())
+
+    def test_rejects_nonpositive_extent(self):
+        with pytest.raises(ValueError):
+            ProcessorArray("P", (2, 0))
+        with pytest.raises(ValueError):
+            ProcessorArray("P", (-1,))
+
+    def test_rank_coord_roundtrip(self):
+        r = ProcessorArray("R", (3, 4, 2))
+        for rank in r.ranks():
+            assert r.rank_of(r.coord_of(rank)) == rank
+
+    def test_rank_of_row_major(self):
+        r = ProcessorArray("R", (2, 3))
+        assert r.rank_of((0, 0)) == 0
+        assert r.rank_of((0, 2)) == 2
+        assert r.rank_of((1, 0)) == 3
+        assert r.rank_of((1, 2)) == 5
+
+    def test_rank_of_out_of_bounds(self):
+        r = ProcessorArray("R", (2, 2))
+        with pytest.raises(IndexError):
+            r.rank_of((2, 0))
+        with pytest.raises(IndexError):
+            r.rank_of((0, -1))
+
+    def test_rank_of_wrong_arity(self):
+        r = ProcessorArray("R", (2, 2))
+        with pytest.raises(ValueError):
+            r.rank_of((1,))
+
+    def test_coord_of_out_of_range(self):
+        r = ProcessorArray("R", (2, 2))
+        with pytest.raises(IndexError):
+            r.coord_of(4)
+        with pytest.raises(IndexError):
+            r.coord_of(-1)
+
+    def test_coords_enumerates_in_rank_order(self):
+        r = ProcessorArray("R", (2, 2))
+        coords = list(r.coords())
+        assert coords == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert [r.rank_of(c) for c in coords] == [0, 1, 2, 3]
+
+    def test_equality_and_hash(self):
+        a = ProcessorArray("R", (2, 2))
+        b = ProcessorArray("R", (2, 2))
+        c = ProcessorArray("Q", (2, 2))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_fortran_style(self):
+        assert repr(ProcessorArray("R", (2, 3))) == "PROCESSORS R(1:2, 1:3)"
+
+
+class TestProcessorSection:
+    def test_full_section(self):
+        r = ProcessorArray("R", (2, 3))
+        s = r.full_section()
+        assert s.shape == (2, 3)
+        assert s.ranks() == list(range(6))
+
+    def test_collapsed_dim(self):
+        r = ProcessorArray("R", (2, 3))
+        s = r.section(1, slice(None))  # R(2, :) in Fortran speak
+        assert s.ndim == 1
+        assert s.shape == (3,)
+        assert s.ranks() == [3, 4, 5]
+
+    def test_strided_section(self):
+        r = ProcessorArray("R", (8,))
+        s = r.section(slice(0, 8, 2))
+        assert s.shape == (4,)
+        assert s.ranks() == [0, 2, 4, 6]
+
+    def test_sub_range(self):
+        r = ProcessorArray("R", (4, 4))
+        s = r.section(slice(1, 3), slice(0, 2))
+        assert s.shape == (2, 2)
+        assert s.ranks() == [4, 5, 8, 9]
+
+    def test_empty_section_rejected(self):
+        r = ProcessorArray("R", (4,))
+        with pytest.raises(ValueError):
+            r.section(slice(2, 2))
+
+    def test_negative_stride_rejected(self):
+        r = ProcessorArray("R", (4,))
+        with pytest.raises(ValueError):
+            r.section(slice(3, 0, -1))
+
+    def test_wrong_subscript_count(self):
+        r = ProcessorArray("R", (2, 2))
+        with pytest.raises(ValueError):
+            r.section(slice(None))
+
+    def test_out_of_bounds_int_subscript(self):
+        r = ProcessorArray("R", (2, 2))
+        with pytest.raises(IndexError):
+            r.section(5, slice(None))
+
+    def test_coord_in_parent(self):
+        r = ProcessorArray("R", (4, 4))
+        s = r.section(2, slice(1, 4, 2))
+        assert s.coord_in_parent((0,)) == (2, 1)
+        assert s.coord_in_parent((1,)) == (2, 3)
+
+    def test_coord_in_parent_bounds(self):
+        r = ProcessorArray("R", (4,))
+        s = r.section(slice(0, 2))
+        with pytest.raises(IndexError):
+            s.coord_in_parent((2,))
+
+    def test_rank_array_matches_ranks(self):
+        r = ProcessorArray("R", (3, 3))
+        s = r.section(slice(0, 3, 2), slice(1, 3))
+        ra = s.rank_array()
+        assert ra.shape == s.shape
+        assert list(ra.reshape(-1)) == s.ranks()
+
+    def test_fully_collapsed_section(self):
+        r = ProcessorArray("R", (2, 2))
+        s = r.section(1, 1)
+        assert s.ndim == 0
+        assert s.size == 1
+        assert s.ranks() == [3]
+
+    def test_dim_ranks(self):
+        r = ProcessorArray("R", (8,))
+        s = r.section(slice(2, 8, 3))
+        assert list(s.dim_ranks(0)) == [2, 5]
+
+    def test_equality(self):
+        r = ProcessorArray("R", (4,))
+        assert r.section(slice(0, 2)) == r.section(slice(0, 2))
+        assert r.section(slice(0, 2)) != r.section(slice(0, 3))
+
+    def test_repr(self):
+        r = ProcessorArray("R", (4, 4))
+        s = r.section(2, slice(0, 4))
+        assert "R(" in repr(s)

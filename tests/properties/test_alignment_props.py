@@ -1,0 +1,96 @@
+"""Property-based tests for alignments and CONSTRUCT.
+
+The defining property (Definition 2 + CONSTRUCT): aligned elements are
+co-located — for every source index i, the owners of A(i) under
+CONSTRUCT(alpha, delta_B) are exactly the owners of B(alpha(i)).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alignment import Alignment, AxisMap, construct
+from repro.core.dimdist import Block, Cyclic, GenBlock
+from repro.core.distribution import DistributionType, NoDist
+from repro.core.index_domain import IndexDomain
+from repro.machine.topology import ProcessorArray
+
+
+@st.composite
+def target_distribution_2d(draw):
+    """A 2-D distribution of B with at least one distributed dim."""
+    n0 = draw(st.integers(2, 16))
+    n1 = draw(st.integers(2, 16))
+    choices = [Block(), Cyclic(draw(st.integers(1, 4)))]
+    d0 = draw(st.sampled_from(choices + [NoDist()]))
+    d1 = draw(st.sampled_from(choices + [NoDist()]))
+    if isinstance(d0, NoDist) and isinstance(d1, NoDist):
+        d0 = Block()
+    proc_shape = tuple(
+        draw(st.integers(1, 3))
+        for d in (d0, d1)
+        if not isinstance(d, NoDist)
+    )
+    R = ProcessorArray("R", proc_shape if proc_shape else (1,))
+    if not proc_shape:
+        R = ProcessorArray("R", (1,))
+    return DistributionType((d0, d1)).apply((n0, n1), R)
+
+
+@st.composite
+def alignment_for(draw, db):
+    """A valid affine alignment into db's domain, with source domain."""
+    n0, n1 = db.shape
+    kind = draw(st.sampled_from(["identity", "transpose", "shift", "embed"]))
+    if kind == "identity":
+        return Alignment.identity(2), IndexDomain((n0, n1))
+    if kind == "transpose":
+        return Alignment.permutation((1, 0)), IndexDomain((n1, n0))
+    if kind == "shift":
+        o0 = draw(st.integers(0, max(0, n0 - 2)))
+        o1 = draw(st.integers(0, max(0, n1 - 2)))
+        return (
+            Alignment.shift(2, (o0, o1)),
+            IndexDomain((n0 - o0, n1 - o1)),
+        )
+    # embed: A(i) WITH B(i, c)
+    c = draw(st.integers(0, n1 - 1))
+    return (
+        Alignment(1, [AxisMap(0), AxisMap(None, offset=c)]),
+        IndexDomain((n0,)),
+    )
+
+
+@given(st.data())
+@settings(max_examples=120, deadline=None)
+def test_construct_colocates(data):
+    db = data.draw(target_distribution_2d())
+    alignment, source_domain = data.draw(alignment_for(db))
+    da = construct(alignment, db, source_domain)
+    rng = np.random.default_rng(0)
+    for _ in range(8):
+        idx = tuple(int(rng.integers(0, s)) for s in source_domain.shape)
+        target_idx = alignment.map_index(idx)
+        assert da.owner(idx) == db.owner(target_idx)
+
+
+@given(st.data())
+@settings(max_examples=80, deadline=None)
+def test_construct_total(data):
+    """delta_A is total: every source element has an owner."""
+    db = data.draw(target_distribution_2d())
+    alignment, source_domain = data.draw(alignment_for(db))
+    da = construct(alignment, db, source_domain)
+    rm = np.asarray(da.rank_map())
+    assert rm.shape == source_domain.shape
+    assert rm.min() >= 0
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_identity_alignment_preserves_type(data):
+    """CONSTRUCT over identity keeps the distribution *type* — the
+    invariant the connect classes rely on ('the distribution type of
+    A1 and A2 will always be the same as that of B4')."""
+    db = data.draw(target_distribution_2d())
+    da = construct(Alignment.identity(2), db, db.domain)
+    assert da.dtype == db.dtype

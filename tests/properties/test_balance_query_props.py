@@ -1,0 +1,136 @@
+"""Property-based tests for the load balancer and the query algebra."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.load_balance import balance_greedy, block_loads, imbalance
+from repro.compiler.partial_eval import (
+    dim_implies,
+    dim_overlaps,
+    pattern_implies,
+    pattern_overlaps,
+    refine_pattern,
+)
+from repro.core.dimdist import Block, Cyclic, GenBlock, NoDist
+from repro.core.distribution import DistributionType
+from repro.core.query import ANY, TypePattern, Wild
+
+
+# -- balance ----------------------------------------------------------------
+
+@given(
+    st.lists(st.floats(0, 100), min_size=4, max_size=80),
+    st.integers(1, 8),
+)
+@settings(max_examples=150, deadline=None)
+def test_balance_is_a_partition(weights, p):
+    w = np.asarray(weights)
+    sizes = balance_greedy(w, p)
+    assert len(sizes) == p
+    assert sum(sizes) == len(w)
+    assert all(s >= 0 for s in sizes)
+
+
+@given(
+    st.lists(st.floats(0.1, 100), min_size=8, max_size=80),
+    st.integers(2, 8),
+)
+@settings(max_examples=100, deadline=None)
+def test_balance_bottleneck_bound(weights, p):
+    """Greedy bottleneck <= mean + max single weight (the classical
+    guarantee for prefix-target cutting)."""
+    w = np.asarray(weights)
+    if p > len(w):
+        return
+    sizes = balance_greedy(w, p)
+    loads = block_loads(w, sizes)
+    bound = w.sum() / p + w.max() * 2
+    assert loads.max() <= bound + 1e-9
+
+
+@given(
+    st.lists(st.floats(0, 50), min_size=4, max_size=60),
+    st.integers(1, 6),
+)
+@settings(max_examples=100, deadline=None)
+def test_imbalance_at_least_one(weights, p):
+    w = np.asarray(weights)
+    sizes = balance_greedy(w, p)
+    assert imbalance(w, sizes) >= 1.0 - 1e-12
+
+
+# -- pattern algebra ------------------------------------------------------------
+
+def dim_pattern_strategy():
+    return st.sampled_from(
+        [
+            Block(),
+            Cyclic(1),
+            Cyclic(2),
+            Cyclic(3),
+            GenBlock([2, 2]),
+            NoDist(),
+            ANY,
+            Wild(Cyclic),
+            Wild(Block),
+            Wild(GenBlock),
+        ]
+    )
+
+
+def concrete_dim_strategy():
+    return st.sampled_from(
+        [Block(), Cyclic(1), Cyclic(2), Cyclic(3), GenBlock([2, 2]), NoDist()]
+    )
+
+
+@given(dim_pattern_strategy(), dim_pattern_strategy())
+@settings(max_examples=200, deadline=None)
+def test_dim_implies_subset_of_overlaps(a, b):
+    """implies(a, b) -> overlaps(a, b) (a non-empty a is assumed:
+    every generated pattern admits at least one concrete instance)."""
+    if dim_implies(a, b):
+        assert dim_overlaps(a, b)
+
+
+@given(dim_pattern_strategy(), dim_pattern_strategy())
+@settings(max_examples=200, deadline=None)
+def test_dim_overlaps_symmetric(a, b):
+    assert dim_overlaps(a, b) == dim_overlaps(b, a)
+
+
+@given(concrete_dim_strategy(), dim_pattern_strategy())
+@settings(max_examples=200, deadline=None)
+def test_dim_implies_agrees_with_matching(c, p):
+    """For a concrete dim c: implies(c, p) iff p matches c."""
+    from repro.core.query import _dim_matches
+
+    assert dim_implies(c, p) == _dim_matches(p, c)
+
+
+@given(
+    st.lists(dim_pattern_strategy(), min_size=1, max_size=3),
+    st.lists(dim_pattern_strategy(), min_size=1, max_size=3),
+)
+@settings(max_examples=200, deadline=None)
+def test_refine_sound(dims_a, dims_b):
+    """refine(a, b) implies both a and b."""
+    a, b = TypePattern(dims_a), TypePattern(dims_b)
+    r = refine_pattern(a, b)
+    if r is not None:
+        assert pattern_overlaps(r, a)
+        assert pattern_overlaps(r, b)
+        # refinement is at least as specific as each side
+        assert pattern_implies(r, a) or pattern_implies(r, b)
+
+
+@given(
+    st.lists(concrete_dim_strategy(), min_size=1, max_size=3),
+    st.lists(dim_pattern_strategy(), min_size=1, max_size=3),
+)
+@settings(max_examples=200, deadline=None)
+def test_concrete_match_is_implies(dims_c, dims_p):
+    c = TypePattern(dims_c)
+    p = TypePattern(dims_p)
+    t = DistributionType(dims_c)
+    assert p.matches(t) == pattern_implies(c, p)

@@ -1,0 +1,156 @@
+"""Property-based tests of the distribution model's core invariants.
+
+Definition 1 requires delta_A to be a *total* function into the
+non-empty powerset of processor indices; for the exclusive intrinsics
+it must partition the domain.  These properties are checked over
+randomly generated distributions, extents and processor grids.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dimdist import Block, Cyclic, GenBlock, Indirect, NoDist, SBlock
+from repro.core.distribution import Distribution, DistributionType
+from repro.machine.topology import ProcessorArray
+
+
+@st.composite
+def dim_extent_slots(draw):
+    """A (dimdist, extent, slots) triple valid by construction."""
+    n = draw(st.integers(1, 40))
+    p = draw(st.integers(1, 6))
+    kind = draw(st.sampled_from(["block", "cyclic", "genblock", "sblock", "indirect"]))
+    if kind == "block":
+        return Block(), n, p
+    if kind == "cyclic":
+        return Cyclic(draw(st.integers(1, 7))), n, p
+    if kind == "genblock":
+        cuts = sorted(
+            draw(
+                st.lists(
+                    st.integers(0, n), min_size=p - 1, max_size=p - 1
+                )
+            )
+        )
+        bounds = [0] + cuts + [n]
+        return GenBlock([b - a for a, b in zip(bounds, bounds[1:])]), n, p
+    if kind == "sblock":
+        cuts = sorted(
+            draw(st.lists(st.integers(0, n), min_size=p - 1, max_size=p - 1))
+        )
+        return SBlock([0] + cuts), n, p
+    owners = draw(
+        st.lists(st.integers(0, p - 1), min_size=n, max_size=n)
+    )
+    return Indirect(owners), n, p
+
+
+class TestDimDistProperties:
+    @given(dim_extent_slots())
+    @settings(max_examples=150, deadline=None)
+    def test_partition(self, dns):
+        dd, n, p = dns
+        seen = np.zeros(n, dtype=int)
+        for s in range(p):
+            seen[dd.indices_of(s, n, p)] += 1
+        assert (seen == 1).all()
+
+    @given(dim_extent_slots())
+    @settings(max_examples=150, deadline=None)
+    def test_owners_vec_total_and_in_range(self, dns):
+        dd, n, p = dns
+        vec = dd.owners_vec(n, p)
+        assert len(vec) == n
+        assert vec.min() >= 0 and vec.max() < p
+
+    @given(dim_extent_slots())
+    @settings(max_examples=100, deadline=None)
+    def test_loc_map_bijective_per_slot(self, dns):
+        """global_to_local is a bijection onto [0, local_count)."""
+        dd, n, p = dns
+        for s in range(p):
+            owned = dd.indices_of(s, n, p)
+            locs = [dd.global_to_local(s, int(g), n, p) for g in owned]
+            assert sorted(locs) == list(range(len(owned)))
+
+    @given(dim_extent_slots())
+    @settings(max_examples=100, deadline=None)
+    def test_local_to_global_inverse(self, dns):
+        dd, n, p = dns
+        for s in range(p):
+            cnt = dd.local_count(s, n, p)
+            for li in range(cnt):
+                g = dd.local_to_global(s, li, n, p)
+                assert dd.global_to_local(s, g, n, p) == li
+                assert dd.owner_of(g, n, p) == s
+
+
+@st.composite
+def bound_distribution(draw):
+    """A random valid 1-D or 2-D bound Distribution."""
+    ndim = draw(st.integers(1, 2))
+    dims, shape = [], []
+    proc_shape = []
+    for _ in range(ndim):
+        dd, n, p = draw(dim_extent_slots())
+        if isinstance(dd, NoDist):  # not generated, but keep guard
+            continue
+        distribute_this = draw(st.booleans())
+        if distribute_this:
+            dims.append(dd)
+            proc_shape.append(p)
+        else:
+            dims.append(NoDist())
+        shape.append(n)
+    if not proc_shape:  # ensure at least one distributed dim
+        dd, n, p = draw(dim_extent_slots())
+        dims[0] = dd
+        shape[0] = n
+        proc_shape.append(p)
+    R = ProcessorArray("R", tuple(proc_shape))
+    return DistributionType(dims).apply(tuple(shape), R)
+
+
+class TestDistributionProperties:
+    @given(bound_distribution())
+    @settings(max_examples=80, deadline=None)
+    def test_rank_map_matches_pointwise_owner(self, dist):
+        rm = np.asarray(dist.rank_map())
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            idx = tuple(int(rng.integers(0, s)) for s in dist.shape)
+            assert rm[idx] == dist.owner(idx)
+
+    @given(bound_distribution())
+    @settings(max_examples=80, deadline=None)
+    def test_local_sizes_partition_domain(self, dist):
+        total = sum(dist.local_size(r) for r in range(dist.target.parent.size))
+        assert total == dist.domain.size
+
+    @given(bound_distribution())
+    @settings(max_examples=50, deadline=None)
+    def test_local_index_arrays_consistent_with_owner(self, dist):
+        for rank in range(dist.target.parent.size):
+            arrs = dist.local_index_arrays(rank)
+            if arrs is None:
+                continue
+            # sample the cartesian product instead of enumerating it
+            rng = np.random.default_rng(rank)
+            for _ in range(5):
+                if any(len(a) == 0 for a in arrs):
+                    break
+                idx = tuple(
+                    int(a[rng.integers(0, len(a))]) for a in arrs
+                )
+                assert dist.owner(idx) == rank
+
+    @given(bound_distribution())
+    @settings(max_examples=50, deadline=None)
+    def test_global_local_roundtrip(self, dist):
+        for rank in range(dist.target.parent.size):
+            arrs = dist.local_index_arrays(rank)
+            if arrs is None or any(len(a) == 0 for a in arrs):
+                continue
+            gidx = tuple(int(a[0]) for a in arrs)
+            lidx = dist.global_to_local(rank, gidx)
+            assert dist.local_to_global(rank, lidx) == gidx

@@ -1,0 +1,60 @@
+"""Property test: distribution-expression text round-trips.
+
+``repr`` of a concrete :class:`DistributionType` is valid Vienna
+Fortran surface syntax, and parsing it back yields an equal type —
+the invariant that lets descriptors, logs and bench tables be read
+back into programs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dimdist import Block, Cyclic, GenBlock, Indirect, NoDist, SBlock
+from repro.core.distribution import DistributionType
+from repro.lang.parser import parse_dist_expr
+
+
+@st.composite
+def concrete_dimdist(draw):
+    kind = draw(
+        st.sampled_from(
+            ["block", "blockm", "cyclic", "cyclick", "genblock", "sblock",
+             "indirect", "nodist"]
+        )
+    )
+    if kind == "block":
+        return Block()
+    if kind == "blockm":
+        return Block(draw(st.integers(1, 9)))
+    if kind == "cyclic":
+        return Cyclic(1)
+    if kind == "cyclick":
+        return Cyclic(draw(st.integers(2, 9)))
+    if kind == "genblock":
+        return GenBlock(
+            draw(st.lists(st.integers(0, 9), min_size=1, max_size=5))
+        )
+    if kind == "sblock":
+        cuts = sorted(draw(st.lists(st.integers(0, 9), min_size=0, max_size=4)))
+        return SBlock([0] + cuts)
+    if kind == "indirect":
+        return Indirect(
+            draw(st.lists(st.integers(0, 3), min_size=1, max_size=12))
+        )
+    return NoDist()
+
+
+@given(st.lists(concrete_dimdist(), min_size=1, max_size=4))
+@settings(max_examples=200, deadline=None)
+def test_repr_parses_back_to_equal_type(dims):
+    t = DistributionType(dims)
+    parsed = parse_dist_expr(repr(t))
+    assert parsed == t
+
+
+@given(st.lists(concrete_dimdist(), min_size=1, max_size=3))
+@settings(max_examples=100, deadline=None)
+def test_double_roundtrip_stable(dims):
+    t = DistributionType(dims)
+    once = parse_dist_expr(repr(t))
+    twice = parse_dist_expr(repr(once))
+    assert once == twice == t

@@ -1,0 +1,260 @@
+"""Tests for the Engine facade — declarations, DISTRIBUTE, queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.alignment import Alignment
+from repro.core.distribution import dist_type
+from repro.core.dynamic import DynamicAttr, Extraction
+from repro.core.query import ANY
+from repro.machine import Machine, ProcessorArray
+from repro.runtime.engine import Engine
+
+
+def make_engine(procs=(4,)):
+    return Engine(Machine(ProcessorArray("R", procs)))
+
+
+class TestDeclare:
+    def test_static_needs_distribution(self):
+        e = make_engine()
+        with pytest.raises(ValueError, match="needs a distribution"):
+            e.declare("A", (8,))
+
+    def test_duplicate_name_rejected(self):
+        e = make_engine()
+        e.declare("A", (8,), dist=dist_type("BLOCK"))
+        with pytest.raises(ValueError, match="already declared"):
+            e.declare("A", (8,), dist=dist_type("BLOCK"))
+
+    def test_dynamic_without_initial_unallocated(self):
+        e = make_engine()
+        b1 = e.declare("B1", (8,), dynamic=True)
+        assert not b1.descriptor.is_distributed
+
+    def test_dynamic_with_initial(self):
+        e = make_engine()
+        b2 = e.declare(
+            "B2", (8,), dynamic=DynamicAttr(initial=dist_type("BLOCK"))
+        )
+        assert b2.dist.dtype == dist_type("BLOCK")
+
+    def test_declare_to_section(self):
+        e = make_engine()
+        sec = e.machine.processors.section(slice(0, 2))
+        a = e.declare("A", (8,), dist=dist_type("BLOCK"), to=sec)
+        assert set(np.unique(a.dist.rank_map())) == {0, 1}
+
+    def test_bound_distribution_with_to_rejected(self):
+        e = make_engine()
+        d = dist_type("BLOCK").apply((8,), e.machine.processors)
+        with pytest.raises(ValueError):
+            e.declare("A", (8,), dist=d, to=e.machine.full_section())
+
+    def test_secondary_must_be_dynamic(self):
+        e = make_engine()
+        e.declare("B", (8,), dynamic=True)
+        with pytest.raises(ValueError, match="DYNAMIC"):
+            e.declare("A", (8,), connect=("B", Extraction()))
+
+    def test_secondary_cannot_carry_distribution(self):
+        e = make_engine()
+        e.declare("B", (8,), dynamic=True)
+        with pytest.raises(ValueError, match="derived"):
+            e.declare(
+                "A",
+                (8,),
+                dist=dist_type("BLOCK"),
+                dynamic=True,
+                connect=("B", Extraction()),
+            )
+
+    def test_secondary_inherits_primary_distribution_at_declare(self):
+        e = make_engine()
+        e.declare("B", (8,), dynamic=DynamicAttr(initial=dist_type("BLOCK")))
+        a = e.declare("A", (8,), dynamic=True, connect=("B", Extraction()))
+        assert a.dist.dtype == dist_type("BLOCK")
+
+    def test_connect_string_shorthand(self):
+        e = make_engine()
+        e.declare("B", (8,), dynamic=True)
+        a = e.declare("A", (8,), dynamic=True, connect=("B", "="))
+        assert "A" in [n.split("::")[-1] for n in e.connect_class_of("B").members] or \
+            a.name in e.connect_class_of("B").members
+
+    def test_connect_to_unknown_primary(self):
+        e = make_engine()
+        with pytest.raises(ValueError, match="unknown primary"):
+            e.declare("A", (8,), dynamic=True, connect=("NOPE", Extraction()))
+
+    def test_alignment_connection(self):
+        e = make_engine((2, 2))
+        e.declare(
+            "B",
+            (8, 8),
+            dynamic=DynamicAttr(initial=dist_type("BLOCK", "BLOCK")),
+        )
+        a = e.declare(
+            "A", (8, 8), dynamic=True, connect=("B", Alignment.permutation((1, 0)))
+        )
+        b = e.arrays["B"]
+        for i in range(8):
+            for j in range(8):
+                assert a.dist.owner((i, j)) == b.dist.owner((j, i))
+
+
+class TestDistribute:
+    def test_static_array_rejected(self):
+        e = make_engine()
+        e.declare("A", (8,), dist=dist_type("BLOCK"))
+        with pytest.raises(ValueError, match="static"):
+            e.distribute("A", dist_type("CYCLIC"))
+
+    def test_secondary_rejected(self):
+        """§2.3 item 3: distribute statements apply to primaries only."""
+        e = make_engine()
+        e.declare("B", (8,), dynamic=DynamicAttr(initial=dist_type("BLOCK")))
+        e.declare("A", (8,), dynamic=True, connect=("B", Extraction()))
+        with pytest.raises(ValueError, match="primary"):
+            e.distribute("A", dist_type("CYCLIC"))
+
+    def test_first_distribute_allocates(self):
+        e = make_engine()
+        b = e.declare("B1", (8,), dynamic=True)
+        reports = e.distribute("B1", dist_type("BLOCK"))
+        assert b.dist.dtype == dist_type("BLOCK")
+        assert reports[0].messages == 0  # nothing to move yet
+
+    def test_redistributes_whole_class(self):
+        e = make_engine()
+        e.declare("B", (8,), dynamic=DynamicAttr(initial=dist_type("BLOCK")))
+        a = e.declare("A", (8,), dynamic=True, connect=("B", Extraction()))
+        reports = e.distribute("B", dist_type("CYCLIC"))
+        assert len(reports) == 2
+        assert a.dist.dtype == dist_type("CYCLIC")
+
+    def test_range_violation_rejected(self):
+        e = make_engine()
+        e.declare(
+            "B",
+            (8,),
+            dynamic=DynamicAttr(
+                range_=[("BLOCK",)], initial=dist_type("BLOCK")
+            ),
+        )
+        with pytest.raises(ValueError, match="RANGE"):
+            e.distribute("B", dist_type("CYCLIC"))
+
+    def test_notransfer_must_be_secondary(self):
+        e = make_engine()
+        e.declare("B", (8,), dynamic=DynamicAttr(initial=dist_type("BLOCK")))
+        with pytest.raises(ValueError, match="NOTRANSFER"):
+            e.distribute("B", dist_type("CYCLIC"), notransfer=["B"])
+
+    def test_notransfer_skips_secondary_motion(self):
+        e = make_engine()
+        e.declare("B", (8,), dynamic=DynamicAttr(initial=dist_type("BLOCK")))
+        a = e.declare("A", (8,), dynamic=True, connect=("B", Extraction()))
+        a.from_global(np.arange(8.0))
+        reports = e.distribute(
+            "B", dist_type("CYCLIC"), notransfer=["A"]
+        )
+        by_name = {r.array_name: r for r in reports}
+        assert by_name["A"].messages == 0
+        assert by_name["A"].bytes == 0
+        assert a.dist.dtype == dist_type("CYCLIC")  # descriptor still updated
+
+    def test_data_preserved_through_class_redistribution(self):
+        e = make_engine()
+        e.declare("B", (8,), dynamic=DynamicAttr(initial=dist_type("BLOCK")))
+        a = e.declare("A", (8,), dynamic=True, connect=("B", Extraction()))
+        b = e.arrays["B"]
+        b.from_global(np.arange(8.0))
+        a.from_global(np.arange(8.0) * 2)
+        e.distribute("B", dist_type("CYCLIC"))
+        assert np.array_equal(b.to_global(), np.arange(8.0))
+        assert np.array_equal(a.to_global(), np.arange(8.0) * 2)
+
+    def test_distribution_extraction_form(self):
+        """DISTRIBUTE B4 :: (=B1) — paper Example 3 extraction."""
+        e = make_engine()
+        e.declare("B1", (8,), dynamic=DynamicAttr(initial=dist_type("CYCLIC")))
+        e.declare("B4", (8,), dynamic=DynamicAttr(initial=dist_type("BLOCK")))
+        e.distribute("B4", "=B1")
+        assert e.arrays["B4"].dist.dtype == dist_type("CYCLIC")
+
+    def test_alignment_form(self):
+        e = make_engine((2, 2))
+        e.declare(
+            "B",
+            (8, 8),
+            dynamic=DynamicAttr(initial=dist_type("BLOCK", "CYCLIC")),
+        )
+        e.declare(
+            "A",
+            (8, 8),
+            dynamic=DynamicAttr(initial=dist_type("BLOCK", "BLOCK")),
+        )
+        e.distribute("A", Alignment.permutation((1, 0)), with_array="B")
+        a, b = e.arrays["A"], e.arrays["B"]
+        for i in range(8):
+            for j in range(8):
+                assert a.dist.owner((i, j)) == b.dist.owner((j, i))
+
+    def test_unknown_array(self):
+        e = make_engine()
+        with pytest.raises(KeyError):
+            e.distribute("NOPE", dist_type("BLOCK"))
+
+    def test_reports_recorded(self):
+        e = make_engine()
+        e.declare("B", (8,), dynamic=DynamicAttr(initial=dist_type("BLOCK")))
+        e.distribute("B", dist_type("CYCLIC"))
+        assert len(e.reports) == 1
+
+
+class TestQueries:
+    def test_idt(self):
+        e = make_engine()
+        e.declare("A", (8, 8), dist=dist_type("BLOCK", ":"))
+        assert e.idt("A", ("BLOCK", ANY))
+        assert not e.idt("A", ("CYCLIC", ANY))
+
+    def test_dcase_requires_distribution(self):
+        e = make_engine()
+        e.declare("B1", (8,), dynamic=True)  # never distributed
+        with pytest.raises(Exception):
+            e.dcase("B1")
+
+    def test_dcase_dispatch(self):
+        e = make_engine()
+        e.declare("A", (8, 8), dist=dist_type(":", "BLOCK"))
+        dc = e.dcase("A")
+        dc.case([(":", "BLOCK")], lambda: "cols")
+        dc.case([("BLOCK", ":")], lambda: "rows")
+        assert dc.execute() == "cols"
+
+
+class TestForeachOwned:
+    def test_visits_every_owner_with_indices(self):
+        e = make_engine()
+        a = e.declare("A", (8,), dist=dist_type("BLOCK"))
+        a.from_global(np.arange(8.0))
+        seen = {}
+
+        def visit(rank, local, gidx):
+            seen[rank] = (local.copy(), gidx[0].copy())
+
+        e.foreach_owned("A", visit)
+        assert set(seen) == {0, 1, 2, 3}
+        for rank, (local, gidx) in seen.items():
+            assert np.array_equal(local, gidx.astype(float))
+
+    def test_compute_charged(self):
+        e = make_engine()
+        from repro.machine import IPSC860
+
+        e.machine.network.cost_model = IPSC860
+        e.declare("A", (8,), dist=dist_type("BLOCK"))
+        e.foreach_owned("A", lambda r, l, g: None, flops_per_element=100.0)
+        assert e.machine.time > 0

@@ -1,0 +1,113 @@
+"""Tests for overlap (ghost) areas (§3.1, §3.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dimdist import Cyclic
+from repro.core.distribution import dist_type
+from repro.machine import Machine, ProcessorArray
+from repro.runtime.engine import Engine
+from repro.runtime.overlap import OverlapManager
+
+
+def make(dist=None, shape=(8, 8), procs=(4,)):
+    machine = Machine(ProcessorArray("R", procs))
+    engine = Engine(machine)
+    arr = engine.declare(
+        "A", shape, dist=dist or dist_type("BLOCK", ":"), dynamic=True
+    )
+    arr.from_global(np.arange(np.prod(shape), dtype=float).reshape(shape))
+    return machine, engine, arr
+
+
+class TestAllocation:
+    def test_padded_shape(self):
+        _, _, arr = make()
+        ov = OverlapManager(arr, (1, 0))
+        assert ov.padded(0).shape == (4, 8)  # (2 + 2*1, 8 + 0)
+
+    def test_overlap_memory_kind(self):
+        m, _, arr = make()
+        OverlapManager(arr, (1, 1))
+        assert m.memory(0).used_by_kind("overlap") > 0
+
+    def test_widths_validated(self):
+        _, _, arr = make()
+        with pytest.raises(ValueError):
+            OverlapManager(arr, (1,))
+        with pytest.raises(ValueError):
+            OverlapManager(arr, (-1, 0))
+
+    def test_noncontiguous_rejected(self):
+        _, _, arr = make(dist=dist_type(Cyclic(1), ":"))
+        with pytest.raises(ValueError, match="BLOCK-family"):
+            OverlapManager(arr, (1, 0))
+
+
+class TestExchange:
+    def test_halo_values_correct(self):
+        _, _, arr = make()
+        ov = OverlapManager(arr, (1, 0))
+        ov.load_interior()
+        ov.exchange()
+        # rank 1 owns rows 2..3; its low halo row equals global row 1
+        pad = ov.padded(1)
+        g = arr.to_global()
+        assert np.array_equal(pad[0, :], g[1, :])
+        assert np.array_equal(pad[3, :], g[4, :])
+
+    def test_boundary_value_at_edges(self):
+        _, _, arr = make()
+        ov = OverlapManager(arr, (1, 0), boundary=-7.0)
+        ov.load_interior()
+        ov.exchange()
+        assert (ov.padded(0)[0, :] == -7.0).all()  # global edge halo
+        assert (ov.padded(3)[-1, :] == -7.0).all()
+
+    def test_interior_roundtrip(self):
+        _, _, arr = make()
+        ov = OverlapManager(arr, (1, 0))
+        ov.load_interior()
+        ov.interior(0)[...] += 100.0
+        ov.store_interior()
+        assert arr.get((0, 0)) == 100.0
+
+    def test_exchange_message_count(self):
+        m, _, arr = make()
+        ov = OverlapManager(arr, (1, 0))
+        ov.load_interior()
+        n = ov.exchange()
+        assert n == 6  # 3 interior boundaries x 2 directions
+
+    def test_two_dim_halo(self):
+        machine = Machine(ProcessorArray("R", (2, 2)))
+        engine = Engine(machine)
+        arr = engine.declare("A", (8, 8), dist=dist_type("BLOCK", "BLOCK"))
+        g = np.arange(64, dtype=float).reshape(8, 8)
+        arr.from_global(g)
+        ov = OverlapManager(arr, (1, 1))
+        ov.load_interior()
+        ov.exchange()
+        # rank 0 owns [0:4, 0:4]; halo row below is g[4, 0:4]
+        pad = ov.padded(0)
+        assert np.array_equal(pad[5, 1:5], g[4, 0:4])
+        assert np.array_equal(pad[1:5, 5], g[0:4, 4])
+
+
+class TestInvalidation:
+    def test_stale_after_redistribute(self):
+        _, engine, arr = make()
+        ov = OverlapManager(arr, (1, 0))
+        ov.load_interior()
+        engine.distribute("A", dist_type(":", "BLOCK"))
+        assert ov.invalidated()
+        with pytest.raises(RuntimeError, match="stale"):
+            ov.exchange()
+
+    def test_load_interior_refreshes(self):
+        _, engine, arr = make()
+        ov = OverlapManager(arr, (1, 0))
+        engine.distribute("A", dist_type(":", "BLOCK"))
+        ov.load_interior()  # auto-refresh
+        assert not ov.invalidated()
+        ov.exchange()  # works again

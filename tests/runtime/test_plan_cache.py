@@ -1,0 +1,93 @@
+"""Tests for redistribution-plan caching (§3.2 run-time optimization)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import dist_type
+from repro.machine import Machine, ProcessorArray
+from repro.runtime.engine import Engine
+from repro.runtime.redistribute import PlanCache, communicate, transfer_matrix
+
+R = ProcessorArray("R", (4,))
+
+
+class TestPlanCache:
+    def test_hit_on_repeat(self):
+        cache = PlanCache()
+        old = dist_type("BLOCK", ":").apply((16, 4), R)
+        new = dist_type(":", "BLOCK").apply((16, 4), R)
+        T1 = cache.transfer_matrix(old, new, 4)
+        T2 = cache.transfer_matrix(old, new, 4)
+        assert T1 is T2
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_correctness(self):
+        cache = PlanCache()
+        old = dist_type("BLOCK", ":").apply((16, 4), R)
+        new = dist_type(":", "BLOCK").apply((16, 4), R)
+        assert (
+            cache.transfer_matrix(old, new, 4)
+            == transfer_matrix(old, new, 4)
+        ).all()
+
+    def test_distinct_pairs_distinct_plans(self):
+        cache = PlanCache()
+        a = dist_type("BLOCK", ":").apply((16, 4), R)
+        b = dist_type(":", "BLOCK").apply((16, 4), R)
+        cache.transfer_matrix(a, b, 4)
+        cache.transfer_matrix(b, a, 4)
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_capacity_eviction(self):
+        cache = PlanCache(capacity=1)
+        a = dist_type("BLOCK", ":").apply((16, 4), R)
+        b = dist_type(":", "BLOCK").apply((16, 4), R)
+        cache.transfer_matrix(a, b, 4)
+        cache.transfer_matrix(b, a, 4)
+        assert len(cache) == 1
+        cache.transfer_matrix(a, b, 4)  # evicted: miss again
+        assert cache.misses == 3
+
+    def test_clear(self):
+        cache = PlanCache()
+        a = dist_type("BLOCK", ":").apply((16, 4), R)
+        cache.transfer_matrix(a, a, 4)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestEngineIntegration:
+    def test_adi_flips_hit_cache(self):
+        """The ADI outer loop reuses two plans after the first lap."""
+        machine = Machine(R)
+        engine = Engine(machine)
+        v = engine.declare(
+            "V", (16, 16), dist=dist_type(":", "BLOCK"), dynamic=True
+        )
+        data = np.random.default_rng(0).standard_normal((16, 16))
+        v.from_global(data)
+        for _ in range(5):
+            engine.distribute("V", dist_type("BLOCK", ":"))
+            engine.distribute("V", dist_type(":", "BLOCK"))
+        assert engine.plan_cache.misses == 2
+        assert engine.plan_cache.hits == 8
+        assert np.array_equal(v.to_global(), data)
+
+    def test_cached_communicate_preserves_data(self):
+        machine = Machine(R)
+        engine = Engine(machine)
+        arr = engine.declare(
+            "A", (16, 4), dist=dist_type("BLOCK", ":"), dynamic=True
+        )
+        data = np.arange(64.0).reshape(16, 4)
+        arr.from_global(data)
+        cache = PlanCache()
+        for t in (dist_type(":", "BLOCK"), dist_type("BLOCK", ":")) * 3:
+            communicate(arr, t.apply((16, 4), R), plan_cache=cache)
+            assert np.array_equal(arr.to_global(), data)
+        assert cache.hits > 0

@@ -1,0 +1,54 @@
+"""Package-surface sanity: every advertised name exists and resolves."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.machine",
+    "repro.core",
+    "repro.runtime",
+    "repro.lang",
+    "repro.compiler",
+    "repro.apps",
+]
+
+
+@pytest.mark.parametrize("modname", SUBPACKAGES)
+def test_all_names_resolve(modname):
+    mod = importlib.import_module(modname)
+    assert hasattr(mod, "__all__"), f"{modname} must declare __all__"
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{modname}.{name} missing"
+
+
+def test_star_import_clean():
+    ns: dict = {}
+    exec("from repro import *", ns)  # noqa: S102 - deliberate smoke test
+    for required in ("Engine", "Machine", "ProcessorArray", "dist_type",
+                     "DynamicAttr", "DCase", "idt", "communicate"):
+        assert required in ns
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_main_module_runs(capsys):
+    from repro.__main__ import main
+
+    main()
+    out = capsys.readouterr().out
+    assert "Figure 1" in out and "Figure 2" in out
+    assert "dynamic" in out
+
+
+def test_apps_optional_networkx_flag():
+    import repro.apps as apps
+
+    # this environment has networkx, so the mesh workload is exported
+    assert apps._HAVE_NETWORKX
+    assert hasattr(apps, "run_relaxation")
