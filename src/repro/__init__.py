@@ -13,13 +13,19 @@ Layers (bottom-up):
   DISTRIBUTE algorithm, and a PARTI-style inspector/executor;
 - :mod:`repro.lang` — Vienna Fortran-flavoured surface syntax
   (distribution-expression parser, declarations, program scopes,
-  procedure-boundary redistribution);
+  procedure-boundary redistribution, the ``PLAN`` annotation);
 - :mod:`repro.compiler` — reaching-distribution analysis over a mini
   IR, partial evaluation of queries, communication analysis, SPMD
   lowering;
+- :mod:`repro.planner` — the automatic distribution planner: phase
+  extraction from the IR, candidate-layout enumeration, cost-model
+  pricing, and a dynamic program over the phase x layout lattice that
+  decides where to insert redistributions (the decision the paper
+  leaves to the programmer);
 - :mod:`repro.apps` — the paper's §4 workloads: ADI (Figure 1),
   particle-in-cell with B_BLOCK load balancing (Figure 2), and the
-  grid-smoothing distribution-choice example.
+  grid-smoothing distribution-choice example — each with a
+  planner-backed ``"planned"`` variant.
 
 Quickstart::
 
@@ -33,6 +39,12 @@ Quickstart::
     # ... x-sweep (columns local) ...
     vfe.distribute("V", dist_type("BLOCK", ":"))
     # ... y-sweep (rows local) ...
+
+or let the planner decide (``python -m repro plan adi``)::
+
+    from repro import adi_workload, plan_workload
+
+    print(plan_workload(adi_workload(64, 64, iterations=4)).summary())
 """
 
 from .core import *  # noqa: F401,F403
@@ -42,6 +54,32 @@ from .machine import __all__ as _machine_all
 from .runtime import *  # noqa: F401,F403
 from .runtime import __all__ as _runtime_all
 
-__version__ = "1.0.0"
+# The upper layers are re-exported defensively: a handful of their
+# names collide with the data-model layers (e.g. the compiler IR's
+# ``Block`` vs the BLOCK intrinsic), and the established lower-layer
+# bindings must win.
+from . import compiler as compiler  # noqa: F401
+from . import lang as lang  # noqa: F401
+from . import planner as planner  # noqa: F401
 
-__all__ = ["__version__", *_core_all, *_machine_all, *_runtime_all]
+_upper_all: list = []
+for _mod in (lang, compiler, planner):
+    for _name in _mod.__all__:
+        if _name not in globals():
+            globals()[_name] = getattr(_mod, _name)
+            _upper_all.append(_name)
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "compiler",
+    "lang",
+    "planner",
+    *_core_all,
+    *_machine_all,
+    *_runtime_all,
+    *_upper_all,
+]
+
+del _mod, _name

@@ -1,15 +1,26 @@
-"""``python -m repro`` — a one-screen tour of the reproduction.
+"""``python -m repro`` — tour and planner CLI.
 
-Runs a miniature version of each paper artifact (Figure 1 ADI,
-Figure 2 PIC, the §4 smoothing choice) and prints the headline
-comparisons.  The full tables live in ``benchmarks/`` (run
+With no arguments, runs a miniature version of each paper artifact
+(Figure 1 ADI, Figure 2 PIC, the §4 smoothing choice) and prints the
+headline comparisons.  The ``plan`` subcommand runs the automatic
+distribution planner on a named workload::
+
+    python -m repro plan adi --nprocs 4 --cost-model Paragon
+    python -m repro plan pic --steps 50
+    python -m repro plan smoothing --size 128 --nprocs 16
+
+The full tables live in ``benchmarks/`` (run
 ``pytest benchmarks/ --benchmark-disable -s``).
 """
 
 from __future__ import annotations
 
+import argparse
+from typing import Sequence
 
-def main() -> None:
+
+def tour() -> None:
+    """The original one-screen tour of the reproduction."""
     import numpy as np
 
     from .apps.adi import run_adi
@@ -20,7 +31,7 @@ def main() -> None:
     print("repro — Dynamic Data Distributions in Vienna Fortran (SC'93)\n")
 
     print("Figure 1 (ADI, 64x64, 4 procs, Paragon model):")
-    for strategy in ("dynamic", "static_cols"):
+    for strategy in ("dynamic", "planned", "static_cols"):
         m = Machine(ProcessorArray("R", (4,)), cost_model=PARAGON)
         r = run_adi(m, 64, 64, 2, strategy, seed=0)
         print(
@@ -30,7 +41,7 @@ def main() -> None:
         )
 
     print("\nFigure 2 (PIC, 3000 particles drifting, 50 steps):")
-    for strategy in ("static", "bblock"):
+    for strategy in ("static", "bblock", "planned"):
         m = Machine(ProcessorArray("P", (4,)), cost_model=PARAGON)
         r = run_pic(
             m,
@@ -49,9 +60,84 @@ def main() -> None:
         print(f"  on {model.name:9s}: DISTRIBUTE U :: "
               f"{best_distribution(128, 16, model)}")
 
-    print("\nSee examples/ and benchmarks/ for the full reproduction.")
+    print("\nSee examples/ and benchmarks/ for the full reproduction, and")
+    print("`python -m repro plan <adi|pic|smoothing>` for the planner.")
     del np
 
 
+def plan_command(args: argparse.Namespace) -> None:
+    """Run the automatic distribution planner on a named workload."""
+    from .machine import PRESETS
+    from .planner import (
+        CostEngine,
+        get_workload,
+        hand_schedule_cost,
+        plan_workload,
+    )
+
+    cost_model = PRESETS[args.cost_model]
+    kwargs: dict = {"nprocs": args.nprocs, "cost_model": cost_model}
+    if args.workload == "adi":
+        kwargs.update(nx=args.size, ny=args.size, iterations=args.iterations)
+    elif args.workload == "pic":
+        kwargs.update(ncell=args.size, steps=args.steps)
+    else:
+        kwargs.update(n=args.size, steps=args.steps)
+    workload = get_workload(args.workload, **kwargs)
+
+    engine = CostEngine(workload.machine)
+    plan = plan_workload(workload, cost_engine=engine, method=args.method)
+    print(f"workload: {workload.description}")
+    print(plan.summary())
+    hand = hand_schedule_cost(workload, cost_engine=engine)
+    if hand is not None:
+        print(f"  paper's hand schedule: {hand:.3e}s")
+    best = plan.best_static
+    if best is not None:
+        if plan.total_cost > 0:
+            ratio = best[1] / plan.total_cost
+        else:
+            # both costs zero (e.g. the zero-cost model): equal, not inf
+            ratio = 1.0 if best[1] == 0 else float("inf")
+        print(
+            f"  planner vs best static: {plan.total_cost:.3e}s vs "
+            f"{best[1]:.3e}s ({ratio:.1f}x)"
+        )
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    # None means "no CLI arguments" (the tour): callers that want real
+    # argv pass sys.argv[1:] explicitly (see __main__ guard below).
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Vienna Fortran dynamic-distribution reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    p = sub.add_parser(
+        "plan", help="run the automatic distribution planner on a workload"
+    )
+    p.add_argument("workload", choices=("adi", "pic", "smoothing"))
+    p.add_argument("--nprocs", type=int, default=4)
+    p.add_argument("--size", type=int, default=64,
+                   help="grid/cell extent (NX=NY for adi, NCELL for pic, N "
+                        "for smoothing)")
+    p.add_argument("--iterations", type=int, default=4,
+                   help="ADI outer iterations")
+    p.add_argument("--steps", type=int, default=50,
+                   help="time steps (pic, smoothing)")
+    p.add_argument("--cost-model", default="Paragon",
+                   choices=("iPSC/860", "Paragon", "modern", "zero"))
+    p.add_argument("--method", default="auto",
+                   choices=("auto", "dp", "greedy"))
+
+    args = parser.parse_args(list(argv) if argv is not None else [])
+    if args.command == "plan":
+        plan_command(args)
+    else:
+        tour()
+
+
 if __name__ == "__main__":
-    main()
+    import sys
+
+    main(sys.argv[1:])

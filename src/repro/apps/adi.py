@@ -21,7 +21,12 @@ communication is confined to the redistribution operation".
 - ``"two_arrays"``   — the §4 alternative "declare two or more arrays
   with different static distribution and use array assignments":
   same traffic as redistribution, but double the storage ("this
-  approach, clearly, wastes storage space").
+  approach, clearly, wastes storage space");
+- ``"planned"``      — the automatic distribution planner
+  (:mod:`repro.planner`) derives the schedule from the Figure 1
+  program text and the machine's cost model, then executes it; on
+  machines where the flip is profitable it reproduces ``"dynamic"``
+  without any hand-written DISTRIBUTE.
 
 All strategies produce bit-identical solutions; they differ in the
 message counts, volumes and modeled times recorded in
@@ -45,7 +50,7 @@ from .tridiag import thomas_const
 
 __all__ = ["ADIResult", "PhaseStats", "run_adi", "adi_reference"]
 
-STRATEGIES = ("dynamic", "static_cols", "static_rows", "two_arrays")
+STRATEGIES = ("dynamic", "static_cols", "static_rows", "two_arrays", "planned")
 
 
 @dataclass
@@ -193,6 +198,34 @@ def run_adi(
             _copy_between(v2, v1)
             result.redistribution.add(snapshot() - s0)
         final = v1
+    elif strategy == "planned":
+        from ..compiler.ir import AccessKind
+        from ..planner import CostEngine, adi_workload, plan_workload
+
+        workload = adi_workload(nx, ny, iterations, machine=machine)
+        cost_engine = CostEngine(machine, plan_cache=engine.plan_cache)
+        plan = plan_workload(workload, cost_engine=cost_engine)
+        v = engine.declare("V", (nx, ny), dist=workload.initial, dynamic=True)
+        v.from_global(grid)
+        x_kernel = LineSweepKernel(v, 0, line)
+        y_kernel = LineSweepKernel(v, 1, line)
+        for step in plan.steps:
+            s0 = snapshot()
+            engine.ensure_dist("V", step.dist)
+            result.redistribution.add(snapshot() - s0)
+            swept = {
+                r.dim
+                for r in step.phase.refs
+                if r.kind == AccessKind.ROW_SWEEP
+            }
+            s0 = snapshot()
+            if swept == {1}:
+                y_kernel.sweep()
+                result.y_sweep.add(snapshot() - s0)
+            else:
+                x_kernel.sweep()
+                result.x_sweep.add(snapshot() - s0)
+        final = v
     else:
         initial = by_rows if strategy == "static_rows" else by_cols
         v = engine.declare(

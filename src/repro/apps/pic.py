@@ -24,6 +24,12 @@ The reproduction keeps Figure 2's structure:
   threshold, ``balance`` + redistribute (Figure 2's
   ``IF (MOD(k,10).EQ.0 .AND. rebalance())`` test).
 
+The ``"planned"`` strategy replaces the fixed imbalance threshold with
+the distribution planner's cost engine (:mod:`repro.planner.costs`):
+at each checkpoint it redistributes exactly when the modeled compute
+time saved over the next ``rebalance_every`` steps exceeds the modeled
+cost of the transfer — the cost-driven version of ``rebalance()``.
+
 :func:`run_pic` records, per step, the load imbalance, the messages
 spent on particle motion, field work time, and redistribution cost —
 the trajectories experiment E3 plots against the static-BLOCK
@@ -42,7 +48,14 @@ from ..machine.machine import Machine
 from ..runtime.engine import Engine
 from .load_balance import balance_greedy
 
-__all__ = ["PICConfig", "StepRecord", "PICResult", "run_pic", "initpos"]
+__all__ = [
+    "PICConfig",
+    "StepRecord",
+    "PICResult",
+    "run_pic",
+    "initpos",
+    "reflected_position",
+]
 
 
 @dataclass
@@ -60,7 +73,8 @@ class PICConfig:
     cluster_width: float = 0.08  # initpos cluster stddev
     flops_per_particle: float = 20.0  # update_field work per particle
     particle_bytes: int = 32    # payload per reassigned particle
-    strategy: str = "bblock"    # "bblock" (Figure 2) | "static" baseline
+    #: "bblock" (Figure 2) | "static" baseline | "planned" (cost-driven)
+    strategy: str = "bblock"
     seed: int = 0
 
 
@@ -117,6 +131,21 @@ def _cell_of(pos: np.ndarray, ncell: int) -> np.ndarray:
     return np.minimum((pos * ncell).astype(np.int64), ncell - 1)
 
 
+def reflected_position(start: np.ndarray, displacement: float) -> np.ndarray:
+    """Closed-form position after drifting ``displacement`` from
+    ``start`` with reflecting walls at 0 and 1 — the triangle wave.
+
+    The distribution planner uses it to model the cluster's trajectory
+    without simulating.  For pure drift (no diffusion) it matches
+    :func:`run_pic`'s per-step bookkeeping exactly through the first
+    (top) wall bounce; past that the two diverge — ``run_pic``'s
+    bottom wall reflects position without negating velocity, so its
+    particles linger at the wall, while this models ideal reflection."""
+    folded = np.mod(np.asarray(start, dtype=float) + displacement, 2.0)
+    pos = np.where(folded >= 1.0, 2.0 - folded, folded)
+    return np.clip(pos, 0.0, np.nextafter(1.0, 0.0))
+
+
 def _field_dist(sizes: list[int] | None, ncell: int, nprocs: int) -> DistributionType:
     if sizes is None:
         return DistributionType((Block(), NoDist()))
@@ -129,8 +158,8 @@ def run_pic(machine: Machine, config: PICConfig) -> PICResult:
         raise ValueError(
             f"machine has {machine.nprocs} processors, config says {config.nprocs}"
         )
-    if config.strategy not in ("bblock", "static"):
-        raise ValueError("strategy must be 'bblock' or 'static'")
+    if config.strategy not in ("bblock", "static", "planned"):
+        raise ValueError("strategy must be 'bblock', 'static' or 'planned'")
     rng = np.random.default_rng(config.seed)
     engine = Engine(machine)
     machine.reset_network()
@@ -158,9 +187,17 @@ def run_pic(machine: Machine, config: PICConfig) -> PICResult:
         return np.asarray(fld.dist.rank_map())[:, 0]
 
     # C Compute initial partition of cells + DISTRIBUTE FIELD :: B_BLOCK(BOUNDS)
-    if config.strategy == "bblock":
+    if config.strategy in ("bblock", "planned"):
         bounds = balance_greedy(counts(), nprocs)
         engine.distribute("FIELD", _field_dist(bounds, ncell, nprocs))
+
+    cost_engine = None
+    if config.strategy == "planned":
+        from ..planner.costs import CostEngine
+
+        cost_engine = CostEngine(
+            machine, itemsize=fld.itemsize, plan_cache=engine.plan_cache
+        )
 
     result = PICResult(config)
     for k in range(1, config.max_time + 1):
@@ -212,12 +249,41 @@ def run_pic(machine: Machine, config: PICConfig) -> PICResult:
         w = counts()
         loads = np.bincount(owners, weights=w, minlength=nprocs)
         imb = float(loads.max() / max(loads.mean(), 1e-12))
+        worthwhile = False
         if (
-            config.strategy == "bblock"
+            config.strategy in ("bblock", "planned")
             and k % config.rebalance_every == 0
-            and imb > config.imbalance_threshold
         ):
-            bounds = balance_greedy(w, nprocs)
+            if config.strategy == "bblock":
+                worthwhile = imb > config.imbalance_threshold
+                if worthwhile:
+                    bounds = balance_greedy(w, nprocs)
+            else:
+                bounds = balance_greedy(w, nprocs)
+                # cost-driven rebalance(): redistribute iff the modeled
+                # compute saving over the next window beats the move
+                from ..planner.phases import ArrayLoad
+
+                cand = _field_dist(bounds, ncell, nprocs).apply(
+                    (ncell, nfield), machine.full_section()
+                )
+                load = ArrayLoad(
+                    "FIELD",
+                    0,
+                    tuple(float(c) for c in w),
+                    flops_per_unit=config.flops_per_particle,
+                )
+                # the saving only accrues over steps that will actually
+                # run — a checkpoint near max_time has a short horizon
+                horizon = min(config.rebalance_every, config.max_time - k)
+                gain = (
+                    cost_engine.load_cost(load, fld.dist)
+                    - cost_engine.load_cost(load, cand)
+                ) * horizon
+                worthwhile = horizon > 0 and gain > cost_engine.transition_cost(
+                    fld.dist, cand
+                )
+        if worthwhile:
             r0 = machine.stats()
             engine.distribute("FIELD", _field_dist(bounds, ncell, nprocs))
             redist_bytes = machine.stats().bytes - r0.bytes

@@ -36,6 +36,7 @@ __all__ = [
     "smoothing_reference",
     "predicted_step_cost",
     "best_distribution",
+    "planned_distribution",
 ]
 
 
@@ -167,3 +168,32 @@ def best_distribution(n: int, nprocs: int, cost_model: CostModel, itemsize: int 
     except ValueError:
         return "columns"
     return "columns" if col <= blk else "blocks2d"
+
+
+def planned_distribution(
+    n: int, nprocs: int, cost_model: CostModel, steps: int = 50
+) -> str:
+    """The same choice, made by the automatic distribution planner.
+
+    Instead of the two-way closed form, the planner searches the full
+    candidate lattice (1-D strips, every 2-D grid factorization,
+    cyclics) against the §3.1 communication estimates.  Returns
+    ``"columns"`` for a 1-D block layout (rows and columns are
+    symmetric on an N x N grid), ``"blocks2d"`` for a square 2-D block
+    layout, or the layout's ``repr`` for anything else.
+    """
+    from ..core.dimdist import Block
+    from ..planner import plan_workload, smoothing_workload
+
+    workload = smoothing_workload(n, nprocs, steps=steps, cost_model=cost_model)
+    choice = plan_workload(workload).steps[0].dist
+    blockish = all(
+        isinstance(d, Block) for d in choice.dtype.dims if d.consumes_proc_dim
+    )
+    k = len(choice.dtype.distributed_dims)
+    if blockish and k == 1:
+        return "columns"
+    side = int(round(nprocs**0.5))
+    if blockish and k == 2 and choice.target.shape == (side, side):
+        return "blocks2d"
+    return repr(choice.dtype)

@@ -134,9 +134,16 @@ class If(Stmt):
 
 @dataclass
 class Loop(Stmt):
-    """A loop with statically unknown trip count (>= 0 iterations)."""
+    """A loop with optional statically known trip count.
+
+    ``trip`` is ``None`` when the count is unknown to the analysis
+    (the reaching-distribution lattice treats both the same: >= 0
+    iterations).  The frontend fills it in for counted ``DO`` loops
+    whose bounds resolve; the distribution planner's phase extraction
+    uses it to weight per-phase costs and to unroll loop bodies."""
 
     body: "Block"
+    trip: int | None = None
 
 
 @dataclass
@@ -193,6 +200,9 @@ class IRProgram:
         self.entry = entry
         self.procs: dict[str, ProcDef] = {}
         self.declared: dict[str, tuple[TypePattern | None, list[TypePattern] | None]] = {}
+        #: arrays opted into automatic distribution planning (the
+        #: ``PLAN`` annotation of the surface syntax)
+        self.planned: set[str] = set()
         self._next_sid = 0
 
     def add_proc(self, proc: ProcDef) -> ProcDef:
@@ -211,6 +221,10 @@ class IRProgram:
         init_pat = as_pattern(initial) if initial is not None else None
         range_pats = [as_pattern(r) for r in range_] if range_ is not None else None
         self.declared[name] = (init_pat, range_pats)
+
+    def mark_planned(self, *names: str) -> None:
+        """Opt the named arrays into automatic distribution planning."""
+        self.planned.update(str(n) for n in names)
 
     def _number(self, block: Block) -> None:
         for stmt in block:

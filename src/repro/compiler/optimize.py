@@ -71,6 +71,7 @@ def optimize(program: IRProgram) -> tuple[IRProgram, OptimizeStats]:
     out = IRProgram(entry=program.entry)
     for name, (initial, range_) in program.declared.items():
         out.declared[name] = (initial, range_)
+    out.planned = set(program.planned)
     for proc in program.procs.values():
         new_body = _optimize_block(proc.body, result, stats)
         out.add_proc(
@@ -116,7 +117,9 @@ def _optimize_block(block: Block, result, stats: OptimizeStats) -> Block:
         elif isinstance(stmt, If):
             new_stmts.extend(_optimize_if(stmt, result, stats))
         elif isinstance(stmt, Loop):
-            new_stmts.append(Loop(_optimize_block(stmt.body, result, stats)))
+            new_stmts.append(
+                Loop(_optimize_block(stmt.body, result, stats), trip=stmt.trip)
+            )
         elif isinstance(stmt, DCaseStmt):
             new_stmts.extend(_optimize_dcase(stmt, result, stats))
         else:

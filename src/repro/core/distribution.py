@@ -177,6 +177,22 @@ class Distribution:
         k = self._secdim_of[dim]
         return 1 if k is None else self.target.shape[k]
 
+    def slots_along(self, dim: int) -> int:
+        """Processor slots mapped to array dimension ``dim`` (1 for ``:``).
+
+        Public accessor used by the distribution planner's cost queries.
+        """
+        if not 0 <= dim < self.ndim:
+            raise IndexError(f"dimension {dim} out of range [0, {self.ndim})")
+        return self._slots(dim)
+
+    @property
+    def proc_shape(self) -> tuple[int, ...]:
+        """Slot counts along the *distributed* array dimensions, in
+        declaration order — the ``proc_shape`` argument expected by the
+        compiler's per-reference communication estimates."""
+        return tuple(self._slots(d) for d in self.dtype.distributed_dims)
+
     @property
     def shape(self) -> tuple[int, ...]:
         return self.domain.shape

@@ -14,6 +14,8 @@ Supported statement forms (line-oriented, ``&`` continuations folded,
     SUBROUTINE name(a, b) ... END
     REAL V(NX, NY) DYNAMIC, RANGE ((:, BLOCK), (BLOCK, :)), DIST (:, BLOCK)
     DISTRIBUTE V :: (BLOCK, :)
+    PLAN V                         ! opt V into automatic planning
+
     DO [I = 1, N] ... ENDDO
     IF (IDT(V, (BLOCK, :))) THEN ... [ELSE ...] ENDIF
     IF (<anything else>) THEN ... [ELSE ...] ENDIF      ! opaque branch
@@ -107,6 +109,9 @@ _DISTRIBUTE_RE = re.compile(
     rf"^DISTRIBUTE\s+({_NAME}(?:\s*,\s*{_NAME})*)\s*::\s*(.+?)"
     r"(\s+NOTRANSFER\s*\((?P<nt>[^)]*)\))?$",
     re.IGNORECASE,
+)
+_PLAN_RE = re.compile(
+    rf"^PLAN\s+({_NAME}(?:\s*,\s*{_NAME})*)\s*$", re.IGNORECASE
 )
 _DO_RE = re.compile(r"^DO\b(\s+.+)?$", re.IGNORECASE)
 _ENDDO_RE = re.compile(r"^END\s*DO$", re.IGNORECASE)
@@ -243,6 +248,15 @@ class _Frontend:
             # -> emit a synthetic compound using Loop-free chaining:
             return _Compound(stmts)
 
+        m = _PLAN_RE.match(line)
+        if m:
+            # PLAN V [, U ...] — opt arrays into automatic distribution
+            # planning.  Not executable: recorded on the program only.
+            self.program.mark_planned(
+                *(n.strip() for n in m.group(1).split(","))
+            )
+            return None
+
         if _DO_RE.match(line) and not _ENDDO_RE.match(line):
             header = line.split("=", 1)
             var = None
@@ -252,12 +266,13 @@ class _Frontend:
                 )
                 if mvar:
                     var = mvar.group(1)
+            trip = self._trip_count(header) if var else None
             if var:
                 self.loop_vars.append(var)
             body, _ = self._parse_block_until(_ENDDO_RE)
             if var:
                 self.loop_vars.pop()
-            return Loop(body)
+            return Loop(body, trip=trip)
 
         m = _IF_RE.match(line)
         if m:
@@ -291,6 +306,34 @@ class _Frontend:
 
         # unknown statements (scalar assignments, PARAMETER, etc.) are
         # irrelevant to the analysis and skipped
+        return None
+
+    def _trip_count(self, header: list[str]) -> int | None:
+        """Trip count of ``DO I = lo, hi[, step]`` when the bounds
+        resolve to integers (literals or ``env`` names); else None."""
+        if len(header) != 2:
+            return None
+        bounds = [b.strip() for b in header[1].split(",")]
+        if len(bounds) not in (2, 3):
+            return None
+        values = [self._scalar_int(b) for b in bounds]
+        if any(v is None for v in values):
+            return None
+        lo, hi = values[0], values[1]
+        step = values[2] if len(values) == 3 else 1
+        if step == 0:
+            return None
+        return max(0, (hi - lo) // step + 1)
+
+    def _scalar_int(self, text: str) -> int | None:
+        text = text.strip()
+        if re.fullmatch(r"[+-]?\d+", text):
+            return int(text)
+        if text in self.env:
+            try:
+                return int(self.env[text])
+            except (TypeError, ValueError):
+                return None
         return None
 
     # -- DCASE ---------------------------------------------------------------------

@@ -13,7 +13,7 @@ from .machine import Machine
 from .memory import AllocationRecord, LocalMemory, MemoryError_
 from .network import MessageRecord, Network, NetworkStats
 from .report import link_matrix, per_processor_table, summary
-from .topology import ProcessorArray, ProcessorSection
+from .topology import ProcessorArray, ProcessorSection, grid_shapes
 
 __all__ = [
     "CostModel",
@@ -31,6 +31,7 @@ __all__ = [
     "MessageRecord",
     "ProcessorArray",
     "ProcessorSection",
+    "grid_shapes",
     "per_processor_table",
     "link_matrix",
     "summary",

@@ -62,6 +62,18 @@ class CostModel:
             raise ValueError("flops must be non-negative")
         return flops / self.flop_rate
 
+    def transfer_time(self, messages: float, nbytes: float) -> float:
+        """Modeled time for ``messages`` messages totalling ``nbytes``.
+
+        The aggregate form of :meth:`message_time` used by the
+        distribution planner's cost queries: ``messages`` may be a
+        per-processor average and is therefore allowed to be
+        fractional.
+        """
+        if messages < 0 or nbytes < 0:
+            raise ValueError("messages and nbytes must be non-negative")
+        return self.alpha * messages + self.beta * nbytes
+
     def bytes_equivalent_of_latency(self) -> float:
         """Message size at which transfer time equals startup time.
 

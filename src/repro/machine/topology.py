@@ -24,7 +24,34 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["ProcessorArray", "ProcessorSection"]
+__all__ = ["ProcessorArray", "ProcessorSection", "grid_shapes"]
+
+
+def grid_shapes(nprocs: int, ndim: int) -> list[tuple[int, ...]]:
+    """All ``ndim``-dimensional grid shapes whose extents multiply to
+    ``nprocs``, in deterministic (lexicographic) order.
+
+    For ``ndim == 1`` the single shape ``(nprocs,)`` is returned.  For
+    higher ranks every factor must be >= 2 — degenerate unit dimensions
+    only duplicate lower-rank arrangements and are omitted (so a prime
+    ``nprocs`` has no 2-D grids).  Used by the distribution planner to
+    enumerate the processor arrangements a candidate layout may target.
+    """
+    nprocs = int(nprocs)
+    ndim = int(ndim)
+    if nprocs < 1:
+        raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+    if ndim < 1:
+        raise ValueError(f"ndim must be >= 1, got {ndim}")
+    if ndim == 1:
+        return [(nprocs,)]
+    out: list[tuple[int, ...]] = []
+    for first in range(2, nprocs // 2 + 1):
+        if nprocs % first == 0:
+            for rest in grid_shapes(nprocs // first, ndim - 1):
+                if all(r >= 2 for r in rest):
+                    out.append((first, *rest))
+    return out
 
 
 def _normalize_shape(shape: Sequence[int] | int) -> tuple[int, ...]:

@@ -1,0 +1,143 @@
+"""Execution binding — planner stage 5.
+
+Lowers a :class:`~repro.planner.search.Plan` onto the Vienna Fortran
+Engine: before each phase the executor asserts the scheduled layout
+with :meth:`~repro.runtime.engine.Engine.ensure_dist` (a no-op when
+the layout is unchanged, a full DISTRIBUTE — sharing the engine's
+transfer-plan cache — when it flips), then hands control to the
+caller's phase body.
+
+:func:`plan_program` is the surface-syntax entry point: it takes a
+parsed :class:`~repro.compiler.ir.IRProgram` whose arrays carry the
+``PLAN`` annotation, extracts phases, enumerates candidates (pruned by
+each array's declared RANGE), and returns one plan per planned array.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..compiler.ir import IRProgram
+from ..core.distribution import Distribution, DistributionType
+from ..core.dimdist import DimDist
+from ..core.query import TypePattern
+from ..machine.machine import Machine
+from ..machine.topology import grid_shapes
+from ..runtime.engine import Engine
+from .candidates import enumerate_layouts, section_for
+from .costs import CostEngine
+from .phases import PhaseSequence, extract_phases
+from .search import Plan, plan_array
+
+__all__ = ["PlanExecutor", "plan_program", "bind_pattern"]
+
+
+class PlanExecutor:
+    """Run a planned schedule on an engine.
+
+    The planned array must already be declared DYNAMIC on ``engine``.
+    ``run(body)`` iterates the schedule: for each step it asserts the
+    scheduled layout, then calls ``body(index, phase)`` (when given)
+    to perform that phase's actual computation.
+    """
+
+    def __init__(self, engine: Engine, plan: Plan):
+        self.engine = engine
+        self.plan = plan
+        #: redistribution reports collected while running
+        self.reports: list = []
+
+    def run(
+        self, body: Callable[[int, object], None] | None = None
+    ) -> list:
+        for step in self.plan.steps:
+            self.reports.extend(
+                self.engine.ensure_dist(self.plan.array, step.dist)
+            )
+            if body is not None:
+                body(step.index, step.phase)
+        return self.reports
+
+
+def bind_pattern(
+    pattern: TypePattern,
+    shape: Sequence[int],
+    machine: Machine,
+) -> Distribution | None:
+    """Bind a fully concrete type pattern to a distribution over the
+    machine (None when the pattern has wildcards or does not fit)."""
+    if pattern.dims is None:
+        return None
+    if not all(isinstance(d, DimDist) for d in pattern.dims):
+        return None
+    dtype = DistributionType(pattern.dims)
+    k = len(dtype.distributed_dims)
+    if k == 0:
+        return None
+    if machine.processors.ndim == k:
+        gshape = machine.processors.shape
+    else:
+        shapes = grid_shapes(machine.nprocs, k)
+        if not shapes:
+            return None
+        # the squarest factorization — what a declaration like
+        # DIST (BLOCK, BLOCK) naturally means on p processors
+        gshape = min(shapes, key=lambda s: max(s) / min(s))
+    try:
+        return dtype.apply(tuple(shape), section_for(machine, gshape))
+    except (ValueError, IndexError):
+        return None
+
+
+def plan_program(
+    program: IRProgram,
+    machine: Machine,
+    shapes: dict[str, Sequence[int]],
+    arrays: Sequence[str] | None = None,
+    cost_engine: CostEngine | None = None,
+    default_trip: int = 4,
+    method: str = "auto",
+    candidates_kw: dict | None = None,
+    seq: PhaseSequence | None = None,
+) -> dict[str, Plan]:
+    """Plan every ``PLAN``-annotated array of ``program``.
+
+    ``shapes`` supplies the index-domain shape of each planned array
+    (declarations in the mini-IR carry only patterns).  ``arrays``
+    overrides the PLAN set; ``candidates_kw`` is forwarded to
+    :func:`~repro.planner.candidates.enumerate_layouts`.
+    """
+    if seq is None:
+        seq = extract_phases(program, default_trip=default_trip)
+    if arrays is not None:
+        targets = list(arrays)  # explicit override, even when empty
+    else:
+        targets = sorted(program.planned)
+        if not targets:
+            targets = sorted(seq.arrays() & set(shapes))
+    engine = cost_engine or CostEngine(machine)
+    kw = dict(candidates_kw or {})
+
+    plans: dict[str, Plan] = {}
+    for name in targets:
+        if name not in shapes:
+            raise KeyError(f"no shape given for planned array {name!r}")
+        shape = tuple(int(s) for s in shapes[name])
+        initial_pat, range_pats = program.declared.get(name, (None, None))
+        initial = (
+            bind_pattern(initial_pat, shape, machine)
+            if initial_pat is not None
+            else None
+        )
+        candidates = enumerate_layouts(
+            shape, machine, range_=range_pats, **kw
+        )
+        plans[name] = plan_array(
+            name,
+            seq.phases,
+            candidates,
+            engine,
+            initial=initial,
+            method=method,
+        )
+    return plans

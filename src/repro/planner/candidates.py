@@ -1,0 +1,168 @@
+"""Candidate layout enumeration — planner stage 2.
+
+For every array the planner considers a finite lattice of *candidate
+layouts*: bound :class:`~repro.core.distribution.Distribution` objects
+built from the paper's §2.2 intrinsics — ``BLOCK``, ``CYCLIC(k)``,
+``B_BLOCK`` (from caller-supplied size hints, e.g. the PIC ``balance``
+output), ``REPLICATED`` and the elision ``:`` — over every processor
+arrangement that can host them (grid factorizations of the machine's
+processor count, :func:`~repro.machine.topology.grid_shapes`).
+
+Pruning:
+
+- a declared ``RANGE`` attribute (the alignment/constraint mechanism
+  of §2.3) restricts candidates to the matching patterns;
+- layouts whose per-processor memory need exceeds ``memory_limit``
+  elements are dropped (the §3.1 memory estimate);
+- duplicates (same type, same target) are removed, and the result is
+  deterministic and capped at ``max_candidates``.
+
+Enumeration order is meaningful: the schedule search breaks cost ties
+in favour of earlier candidates, so the menu lists ``BLOCK`` first
+(the paper's default choice), then general blocks, then cyclics, then
+replication.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Sequence
+
+from ..compiler.comm_analysis import estimate_memory
+from ..core.dimdist import Block, Cyclic, DimDist, GenBlock, NoDist, Replicated
+from ..core.distribution import Distribution, DistributionType
+from ..core.query import TypePattern
+from ..machine.machine import Machine
+from ..machine.topology import ProcessorArray, grid_shapes
+
+__all__ = ["enumerate_layouts", "dim_menu", "section_for"]
+
+
+def dim_menu(
+    extent: int,
+    slots: int,
+    cyclic_blocks: Sequence[int] = (1,),
+    genblock_hints: Sequence[Sequence[int]] = (),
+    replicated: bool = False,
+) -> list[DimDist]:
+    """The intrinsics one distributed dimension may use, in preference
+    order.  ``genblock_hints`` entries are kept only when they actually
+    fit (``slots`` sizes summing to ``extent``)."""
+    menu: list[DimDist] = [Block()]
+    for sizes in genblock_hints:
+        sizes = [int(s) for s in sizes]
+        if len(sizes) == slots and sum(sizes) == extent:
+            gb = GenBlock(sizes)
+            if gb not in menu:
+                menu.append(gb)
+    for k in cyclic_blocks:
+        cy = Cyclic(int(k))
+        if cy not in menu:
+            menu.append(cy)
+    if replicated:
+        menu.append(Replicated())
+    return menu
+
+
+def enumerate_layouts(
+    shape: Sequence[int],
+    machine: Machine,
+    max_distributed_dims: int | None = None,
+    cyclic_blocks: Sequence[int] = (1,),
+    genblock_hints: dict[int, Sequence[Sequence[int]]] | None = None,
+    replicated: bool = False,
+    range_: Sequence[TypePattern] | None = None,
+    memory_limit: int | None = None,
+    max_candidates: int = 512,
+    proc_name: str = "Q",
+) -> list[Distribution]:
+    """Enumerate candidate layouts for one array (see module docstring).
+
+    Parameters
+    ----------
+    shape:
+        Index-domain shape of the array.
+    machine:
+        The simulated machine; candidates use its processor array when
+        the grid shape matches, otherwise fresh arrangements named
+        ``proc_name`` over the same ranks.
+    max_distributed_dims:
+        Cap on how many array dimensions a candidate distributes
+        (default: the array rank).
+    cyclic_blocks:
+        ``k`` values for ``CYCLIC(k)`` menu entries.
+    genblock_hints:
+        ``{array_dim: [sizes, ...]}`` — general-block size vectors
+        (e.g. from ``balance``) offered along that dimension.
+    replicated:
+        Include ``REPLICATED`` dimension entries.
+    range_:
+        Declared RANGE patterns; when given, only matching types
+        survive.
+    memory_limit:
+        Per-processor element budget (default: no limit).
+    """
+    shape = tuple(int(s) for s in shape)
+    ndim = len(shape)
+    if ndim == 0:
+        raise ValueError("array shape needs at least one dimension")
+    nprocs = machine.nprocs
+    hints = genblock_hints or {}
+    kmax = min(ndim, max_distributed_dims or ndim)
+
+    out: list[Distribution] = []
+    seen: set[tuple] = set()
+    for k in range(1, kmax + 1):
+        for ddims in combinations(range(ndim), k):
+            for gshape in grid_shapes(nprocs, k):
+                target = section_for(machine, gshape, proc_name)
+                menus = []
+                for j, d in enumerate(ddims):
+                    menus.append(
+                        dim_menu(
+                            shape[d],
+                            gshape[j],
+                            cyclic_blocks=cyclic_blocks,
+                            genblock_hints=hints.get(d, ()),
+                            replicated=replicated,
+                        )
+                    )
+                for combo in product(*menus):
+                    dims: list[DimDist] = [NoDist()] * ndim
+                    for d, dd in zip(ddims, combo):
+                        dims[d] = dd
+                    dtype = DistributionType(dims)
+                    key = (dtype, target)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    if range_ and not any(p.matches(dtype) for p in range_):
+                        continue
+                    try:
+                        dist = dtype.apply(shape, target)
+                    except (ValueError, IndexError):
+                        continue  # infeasible binding (e.g. BLOCK(m) short)
+                    if memory_limit is not None:
+                        est = estimate_memory(
+                            TypePattern(dtype.dims), shape, dist.proc_shape
+                        )
+                        if est.elements_per_proc > memory_limit:
+                            continue
+                    out.append(dist)
+                    if len(out) >= max_candidates:
+                        return out
+    return out
+
+
+def section_for(
+    machine: Machine, gshape: tuple[int, ...], proc_name: str = "Q"
+):
+    """A processor section of the given grid shape over the machine's
+    ranks — the machine's own array when shapes agree, else a fresh
+    arrangement (Vienna Fortran permits several PROCESSORS views of
+    the same physical machine).  The single layout-to-section policy,
+    shared by candidate enumeration and initial-pattern binding so
+    both produce comparable targets."""
+    if machine.processors.shape == gshape:
+        return machine.full_section()
+    return ProcessorArray(proc_name, gshape).full_section()

@@ -1,0 +1,201 @@
+"""The planner's cost engine — planner stage 3.
+
+Prices the two kinds of modeled time a redistribution schedule trades
+off:
+
+- **phase cost** — what one phase costs under one candidate layout:
+  per-reference communication from the compiler's §3.1 estimates
+  (:func:`~repro.compiler.comm_analysis.estimate_ref`, converted to
+  per-processor time through the machine's alpha/beta model), plus
+  balanced compute, plus optional layout-*dependent* compute from an
+  :class:`~repro.planner.phases.ArrayLoad` (the bottleneck processor's
+  share — this is what makes imbalanced BLOCK layouts expensive in the
+  PIC workload);
+- **transition cost** — what moving an array between two layouts
+  costs: the vectorized transfer matrix of the DISTRIBUTE
+  implementation (shared, via the runtime's
+  :class:`~repro.runtime.redistribute.PlanCache`, with the engine that
+  will later execute the schedule), priced at the *bottleneck
+  processor* — the maximum per-rank (messages, bytes) load, matching
+  the network's serializing-endpoint semantics.
+
+Both are memoized: the schedule search evaluates the same (phase,
+layout) and (layout, layout) pairs many times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compiler.comm_analysis import estimate_ref
+from ..core.distribution import Distribution
+from ..core.query import TypePattern
+from ..machine.machine import Machine
+from ..runtime.redistribute import PlanCache
+from .phases import ArrayLoad, Phase
+
+__all__ = ["CostEngine"]
+
+
+class CostEngine:
+    """Memoized (phase, layout) and (layout, layout) pricing.
+
+    Parameters
+    ----------
+    machine:
+        Supplies the cost model and the processor count.
+    itemsize:
+        Bytes per array element (default: float64).
+    plan_cache:
+        Transfer-matrix cache to share with an executing
+        :class:`~repro.runtime.engine.Engine` (pass its
+        ``plan_cache``); a private one is created otherwise.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        itemsize: int = 8,
+        plan_cache: PlanCache | None = None,
+    ):
+        self.machine = machine
+        self.cost_model = machine.cost_model
+        self.itemsize = int(itemsize)
+        self.plan_cache = (
+            plan_cache if plan_cache is not None else PlanCache(capacity=256)
+        )
+        self._phase_memo: dict[tuple, float] = {}
+        self._trans_memo: dict[tuple, float] = {}
+        self._pattern_memo: dict[Distribution, TypePattern] = {}
+
+    # -- phase pricing ---------------------------------------------------
+    def phase_cost(self, phase: Phase, array: str, dist: Distribution) -> float:
+        """Modeled time of ``phase`` (all repeats) for ``array`` under
+        ``dist``; references to other arrays are not charged here."""
+        key = (phase, array, dist)
+        cached = self._phase_memo.get(key)
+        if cached is not None:
+            return cached
+        per_exec = 0.0
+        for ref in phase.refs_to(array):
+            per_exec += self.ref_cost(ref, dist)
+        if phase.load is not None and phase.load.array == array:
+            per_exec += self.load_cost(phase.load, dist)
+        if phase.work:
+            per_exec += self.cost_model.compute_time(
+                phase.work / self.machine.nprocs
+            )
+        total = per_exec * phase.repeat
+        self._phase_memo[key] = total
+        return total
+
+    def ref_cost(self, ref, dist: Distribution) -> float:
+        """Per-execution communication time of one reference under
+        ``dist`` — the §3.1 estimate averaged per processor."""
+        pattern = self._pattern_memo.get(dist)
+        if pattern is None:
+            pattern = TypePattern(dist.dtype.dims)
+            self._pattern_memo[dist] = pattern
+        est = estimate_ref(ref, pattern, dist.shape, dist.proc_shape)
+        if est.messages == 0 and est.volume == 0:
+            return 0.0
+        nprocs = max(1, dist.nprocs)
+        return self.cost_model.transfer_time(
+            est.messages / nprocs, est.volume * self.itemsize / nprocs
+        )
+
+    def load_cost(self, load: ArrayLoad, dist: Distribution) -> float:
+        """Bottleneck compute time of a per-index load under ``dist``.
+
+        The load's weights are assigned to owners along ``load.dim``;
+        work within one slot is assumed evenly divisible across the
+        processors that split the *other* dimensions.
+        """
+        d = load.dim
+        dd = dist.dtype.dims[d]
+        n = dist.shape[d]
+        weights = np.asarray(load.weights, dtype=float)
+        if len(weights) != n:
+            raise ValueError(
+                f"load has {len(weights)} weights, dimension extent is {n}"
+            )
+        if not dd.exclusive:
+            # replicated: each replica does the full dim-work (divided
+            # only by the processors splitting the other dimensions)
+            # and nothing crosses an owner boundary
+            p = dist.slots_along(d)
+            other = max(1, dist.nprocs // max(1, p))
+            bottleneck = float(weights.sum()) / other
+            return self.cost_model.compute_time(
+                bottleneck * load.flops_per_unit
+            )
+        p = dist.slots_along(d)
+        owners = dd.owners_vec(n, p)
+        per_slot = np.bincount(owners, weights=weights, minlength=p)
+        other = max(1, dist.nprocs // max(1, p))
+        bottleneck = float(per_slot.max()) / other
+        time = self.cost_model.compute_time(bottleneck * load.flops_per_unit)
+        if load.boundary_bytes_per_unit and n > 1:
+            # owner-boundary traffic: weight units in indices adjacent
+            # to a differently-owned neighbour pay the per-unit bytes;
+            # messages aggregate per adjacent owner pair
+            cut = owners[:-1] != owners[1:]
+            edge = np.zeros(n, dtype=bool)
+            edge[:-1] |= cut
+            edge[1:] |= cut
+            cross = float(weights[edge].sum())
+            if cross > 0:
+                pairs = {
+                    (int(a), int(b))
+                    for a, b in zip(owners[:-1][cut], owners[1:][cut])
+                }
+                msgs = 2 * len(pairs)
+                nprocs = max(1, dist.nprocs)
+                time += self.cost_model.transfer_time(
+                    msgs / nprocs,
+                    cross * load.boundary_bytes_per_unit / nprocs,
+                )
+        return time
+
+    # -- transition pricing ----------------------------------------------
+    def transition_cost(self, old: Distribution, new: Distribution) -> float:
+        """Modeled time of ``DISTRIBUTE``-ing from ``old`` to ``new``:
+        bottleneck-processor time of the aggregated all-to-all."""
+        if old == new:
+            return 0.0
+        key = (old, new)
+        cached = self._trans_memo.get(key)
+        if cached is not None:
+            return cached
+        nprocs = self.machine.nprocs
+        T = self.plan_cache.transfer_matrix(old, new, nprocs)
+        sent_msgs = (T > 0).sum(axis=1)
+        recv_msgs = (T > 0).sum(axis=0)
+        sent_bytes = T.sum(axis=1) * self.itemsize
+        recv_bytes = T.sum(axis=0) * self.itemsize
+        time = max(
+            self.cost_model.transfer_time(
+                int(sent_msgs[r] + recv_msgs[r]),
+                int(sent_bytes[r] + recv_bytes[r]),
+            )
+            for r in range(nprocs)
+        )
+        self._trans_memo[key] = time
+        return time
+
+    # -- whole-sequence helpers -------------------------------------------
+    def static_cost(
+        self,
+        phases,
+        array: str,
+        dist: Distribution,
+        initial: Distribution | None = None,
+    ) -> float:
+        """Total cost of running every phase under the single layout
+        ``dist`` (one up-front transition if ``initial`` differs)."""
+        total = 0.0
+        if initial is not None:
+            total += self.transition_cost(initial, dist)
+        for ph in phases:
+            total += self.phase_cost(ph, array, dist)
+        return total

@@ -1,0 +1,352 @@
+"""Phase extraction — planner stage 1.
+
+The paper leaves *when and what to redistribute* to the programmer:
+the ADI code of Figure 1 hand-places one DISTRIBUTE between the
+x-sweep and the y-sweep.  To decide that automatically, the planner
+first needs a summary of *what each program phase touches*: a
+:class:`Phase` is a maximal region of computation with a homogeneous
+set of array accesses, and a program becomes a sequence of phases.
+
+Extraction walks the compiler IR (:mod:`repro.compiler.ir`):
+
+- consecutive :class:`~repro.compiler.ir.Assign` statements accumulate
+  into one phase (their :class:`~repro.compiler.ir.ArrayRef` access
+  summaries are exactly what the communication analysis prices);
+- a counted :class:`~repro.compiler.ir.Loop` whose body is a *single*
+  phase collapses into that phase with ``repeat`` multiplied by the
+  trip count (the inner ``DO J`` line loops of ADI);
+- a counted loop whose body alternates between *several* phases is
+  unrolled (bounded by ``max_phases``) so the schedule search can
+  consider per-iteration redistribution — the ADI outer loop;
+- an oversized loop falls back to repeat-weighting its body phases
+  without unrolling (no intra-loop flips will be planned; the
+  sequence is marked ``collapsed``);
+- ``If``/``DCASE`` bodies are priced conservatively as if *every*
+  branch executed in sequence (the analysis cannot know which arm
+  runs; an upper bound preserves loop weights and loads, and is exact
+  for the common case of one non-trivial arm);
+- defined procedure calls are inlined with formal->actual renaming;
+- ``DISTRIBUTE`` statements are *not* phases: they are recorded as
+  the programmer's hand schedule (:class:`HandDistribute`) so benches
+  can compare the planner's schedule against the paper's.
+
+Phases are frozen (hashable): the cost engine memoizes on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..compiler.ir import (
+    Assign,
+    Block,
+    Call,
+    DCaseStmt,
+    DistributeStmt,
+    If,
+    IRProgram,
+    Loop,
+)
+from ..core.query import TypePattern
+
+__all__ = [
+    "ArrayLoad",
+    "Phase",
+    "HandDistribute",
+    "PhaseSequence",
+    "extract_phases",
+]
+
+
+@dataclass(frozen=True)
+class ArrayLoad:
+    """Per-index work attached to a phase along one array dimension.
+
+    ``weights[i]`` units of work are performed by whichever processor
+    owns index ``i`` of ``array`` along ``dim``; each unit costs
+    ``flops_per_unit`` flops.  This is how the PIC workload expresses
+    "work per processor proportional to local particle count" — the
+    quantity the B_BLOCK rebalancing of Figure 2 equalizes.
+
+    ``boundary_bytes_per_unit`` additionally charges communication for
+    every weight unit sitting in an index adjacent to an *owner
+    boundary* along ``dim`` (a neighbouring index with a different
+    owner).  This models drift across processor boundaries: under a
+    contiguous layout only block-edge indices pay it, under ``CYCLIC``
+    every index does — the reason Figure 2 partitions cells into
+    contiguous general blocks rather than dealing them round-robin.
+    """
+
+    array: str
+    dim: int
+    weights: tuple[float, ...]
+    flops_per_unit: float = 1.0
+    boundary_bytes_per_unit: float = 0.0
+
+    def total(self) -> float:
+        return float(sum(self.weights))
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One program phase: an access summary plus execution weight.
+
+    ``repeat`` is how many times the phase executes back-to-back
+    (collapsed counted loops); ``work`` is perfectly balanced flops per
+    execution (layout-independent); ``load`` is optional
+    layout-*dependent* work (see :class:`ArrayLoad`).
+    """
+
+    #: display label only — excluded from equality/hashing so that
+    #: identical unrolled iterations share cost-engine memo entries
+    name: str = field(compare=False)
+    refs: tuple = ()
+    repeat: int = 1
+    work: float = 0.0
+    load: ArrayLoad | None = None
+
+    def refs_to(self, array: str) -> tuple:
+        """The refs of this phase that touch ``array``."""
+        return tuple(r for r in self.refs if r.array == array)
+
+    def arrays(self) -> set[str]:
+        out = {r.array for r in self.refs}
+        if self.load is not None:
+            out.add(self.load.array)
+        return out
+
+    def __repr__(self) -> str:
+        reps = f" x{self.repeat}" if self.repeat != 1 else ""
+        return f"Phase({self.name}{reps}, {len(self.refs)} refs)"
+
+
+@dataclass(frozen=True)
+class HandDistribute:
+    """A programmer-written DISTRIBUTE, positioned before phase
+    ``position`` of the extracted sequence."""
+
+    position: int
+    array: str
+    pattern: TypePattern
+
+
+@dataclass
+class PhaseSequence:
+    """The extracted phase sequence of one program."""
+
+    phases: list[Phase] = field(default_factory=list)
+    hand: list[HandDistribute] = field(default_factory=list)
+    #: True when some loop was too large to unroll; the planner then
+    #: cannot place redistributions *inside* that loop's iterations
+    collapsed: bool = False
+
+    def arrays(self) -> set[str]:
+        out: set[str] = set()
+        for ph in self.phases:
+            out |= ph.arrays()
+        return out
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    def __iter__(self):
+        return iter(self.phases)
+
+
+def extract_phases(
+    program: IRProgram,
+    proc: str | None = None,
+    default_trip: int = 4,
+    max_phases: int = 256,
+    inline_calls: bool = True,
+) -> PhaseSequence:
+    """Extract the phase sequence of ``program`` (see module docstring).
+
+    ``default_trip`` substitutes for loops with unknown trip counts;
+    ``max_phases`` bounds unrolling (beyond it, loop bodies are
+    repeat-weighted instead and ``collapsed`` is set).
+    """
+    extractor = _Extractor(program, default_trip, max_phases, inline_calls)
+    return extractor.run(proc or program.entry)
+
+
+class _Extractor:
+    def __init__(
+        self,
+        program: IRProgram,
+        default_trip: int,
+        max_phases: int,
+        inline_calls: bool,
+    ):
+        self.program = program
+        self.default_trip = max(1, int(default_trip))
+        self.max_phases = max(1, int(max_phases))
+        self.inline_calls = inline_calls
+        self._counter = 0
+        self._call_stack: list[str] = []
+
+    def run(self, proc: str) -> PhaseSequence:
+        body = self.program.proc(proc).body
+        phases, hand, collapsed = self._walk(body, {})
+        return PhaseSequence(phases, hand, collapsed)
+
+    # -- helpers ----------------------------------------------------------
+    def _fresh_name(self, label: str = "") -> str:
+        name = label or f"p{self._counter}"
+        self._counter += 1
+        return name
+
+    def _rename_ref(self, ref, rename: dict[str, str]):
+        if ref.array in rename:
+            return replace(ref, array=rename[ref.array])
+        return ref
+
+    # -- the walk ---------------------------------------------------------
+    def _walk(
+        self, block: Block, rename: dict[str, str]
+    ) -> tuple[list[Phase], list[HandDistribute], bool]:
+        phases: list[Phase] = []
+        hand: list[HandDistribute] = []
+        collapsed = False
+        pending: list = []  # accumulated refs of the open phase
+        pending_label = ""
+
+        def flush() -> None:
+            nonlocal pending, pending_label
+            if pending:
+                phases.append(
+                    Phase(self._fresh_name(pending_label), tuple(pending))
+                )
+            pending = []
+            pending_label = ""
+
+        for stmt in block:
+            if isinstance(stmt, Assign):
+                # the frontend models external calls as self-assignments
+                # (lhs repeated among the reads): count the access once
+                lhs = self._rename_ref(stmt.lhs, rename)
+                pending.append(lhs)
+                pending.extend(
+                    ref
+                    for ref in (
+                        self._rename_ref(r, rename) for r in stmt.reads
+                    )
+                    if ref != lhs
+                )
+                if stmt.label and not pending_label:
+                    pending_label = stmt.label
+                continue
+
+            if isinstance(stmt, DistributeStmt):
+                flush()
+                name = rename.get(stmt.array, stmt.array)
+                hand.append(HandDistribute(len(phases), name, stmt.pattern))
+                continue
+
+            if isinstance(stmt, Loop):
+                flush()
+                sub, sub_hand, sub_collapsed = self._walk(stmt.body, rename)
+                trip = stmt.trip if stmt.trip is not None else self.default_trip
+                if trip <= 0:
+                    continue  # never executes: body contributes nothing
+                collapsed = collapsed or sub_collapsed
+                if not sub:
+                    # phase-free body (e.g. only DISTRIBUTEs): keep its
+                    # hand entries once, at the current position
+                    hand.extend(
+                        replace(h, position=len(phases)) for h in sub_hand
+                    )
+                    continue
+                if len(sub) == 1 and not sub_hand:
+                    # a line loop over a single phase: weight, don't unroll
+                    ph = sub[0]
+                    phases.append(replace(ph, repeat=ph.repeat * trip))
+                elif len(phases) + len(sub) * trip <= self.max_phases:
+                    for it in range(trip):
+                        for h in sub_hand:
+                            hand.append(
+                                replace(
+                                    h,
+                                    position=len(phases) + h.position,
+                                )
+                            )
+                        phases.extend(
+                            replace(ph, name=f"{ph.name}@{it}") for ph in sub
+                        )
+                else:
+                    # too big to unroll: repeat-weight the body phases
+                    collapsed = True
+                    for h in sub_hand:
+                        hand.append(
+                            replace(h, position=len(phases) + h.position)
+                        )
+                    phases.extend(
+                        replace(ph, repeat=ph.repeat * trip) for ph in sub
+                    )
+                continue
+
+            if isinstance(stmt, If):
+                flush()
+                collapsed = self._emit_branches(
+                    [stmt.then, stmt.orelse], rename, phases, hand
+                ) or collapsed
+                continue
+
+            if isinstance(stmt, DCaseStmt):
+                flush()
+                collapsed = self._emit_branches(
+                    [arm for _, arm in stmt.arms], rename, phases, hand
+                ) or collapsed
+                continue
+
+            if isinstance(stmt, Call):
+                flush()
+                if (
+                    self.inline_calls
+                    and stmt.callee in self.program.procs
+                    and stmt.callee not in self._call_stack
+                ):
+                    inner_rename = dict(rename)
+                    for formal, actual in stmt.bindings.items():
+                        inner_rename[formal] = rename.get(actual, actual)
+                    self._call_stack.append(stmt.callee)
+                    try:
+                        sub, sub_hand, sub_collapsed = self._walk(
+                            self.program.proc(stmt.callee).body, inner_rename
+                        )
+                    finally:
+                        self._call_stack.pop()
+                    collapsed = collapsed or sub_collapsed
+                    for h in sub_hand:
+                        hand.append(
+                            replace(h, position=len(phases) + h.position)
+                        )
+                    phases.extend(sub)
+                continue
+
+            # unknown statement kinds are access-free: ignore
+
+        flush()
+        return phases, hand, collapsed
+
+    def _emit_branches(
+        self,
+        blocks,
+        rename: dict[str, str],
+        phases: list[Phase],
+        hand: list[HandDistribute],
+    ) -> bool:
+        """Append every branch's phases in sequence — the conservative
+        upper bound of a region whose taken arm is unknown.  Phase
+        repeats, loads, hand DISTRIBUTEs and the collapsed flag all
+        survive; only exclusivity between arms is lost (an
+        overestimate, exact when at most one arm does real work).
+        Returns whether any branch collapsed an oversized loop."""
+        collapsed = False
+        for blk in blocks:
+            sub, sub_hand, sub_collapsed = self._walk(blk, rename)
+            collapsed = collapsed or sub_collapsed
+            for h in sub_hand:
+                hand.append(replace(h, position=len(phases) + h.position))
+            phases.extend(sub)
+        return collapsed

@@ -1,0 +1,326 @@
+"""Schedule search — planner stage 4.
+
+Given a phase sequence and a candidate-layout lattice, choose one
+layout per phase so that the total modeled time — phase costs plus the
+transition cost of every layout change — is minimal.  This is a
+shortest path in the (phase x layout) lattice, solved by dynamic
+programming in ``O(len(phases) * len(candidates)^2)``; for lattices
+too large for that, a greedy one-step-lookahead fallback is used.
+
+Tie-breaking is deterministic and deliberately conservative: when
+costs are equal the search prefers *staying* in the current layout
+(no spurious redistributions under e.g. a zero-cost model), and
+otherwise the earliest candidate in enumeration order (``BLOCK``
+before ``CYCLIC``, matching the paper's defaults).
+
+By construction the DP result is never worse than the best *static*
+single-layout alternative — every static layout is a path in the
+lattice — which is the planner's headline guarantee (asserted by the
+property tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.distribution import Distribution
+from .costs import CostEngine
+from .phases import Phase
+
+__all__ = ["ScheduleStep", "Plan", "plan_array", "dp_schedule", "greedy_schedule"]
+
+
+@dataclass
+class ScheduleStep:
+    """One scheduled phase: its layout and the costs the plan charges."""
+
+    index: int
+    phase: Phase
+    dist: Distribution
+    phase_cost: float
+    transition_cost: float  # paid immediately before this phase
+    prev: Distribution | None  # layout in effect before this phase
+
+
+@dataclass
+class Plan:
+    """A complete redistribution schedule for one array."""
+
+    array: str
+    steps: list[ScheduleStep]
+    total_cost: float
+    method: str  # "dp" | "greedy"
+    initial: Distribution | None = None
+    static: dict[Distribution, float] = field(default_factory=dict)
+
+    @property
+    def redistributions(self) -> list[tuple[int, Distribution | None, Distribution]]:
+        """``(phase_index, from, to)`` for every layout change."""
+        return [
+            (s.index, s.prev, s.dist)
+            for s in self.steps
+            if s.prev is not None and s.prev != s.dist
+        ]
+
+    def layouts(self) -> list[Distribution]:
+        return [s.dist for s in self.steps]
+
+    @property
+    def best_static(self) -> tuple[Distribution, float] | None:
+        """Cheapest no-redistribution alternative, if statics were priced."""
+        if not self.static:
+            return None
+        best = min(self.static.items(), key=lambda kv: kv[1])
+        return best
+
+    def summary(self) -> str:
+        """Human-readable schedule (one line per phase)."""
+        lines = [
+            f"plan for {self.array!r} ({self.method}, "
+            f"{len(self.redistributions)} redistribution(s), "
+            f"modeled cost {self.total_cost:.3e}s)"
+        ]
+        for s in self.steps:
+            layout = _layout_str(s.dist)
+            note = ""
+            if s.prev is not None and s.prev != s.dist:
+                note = (
+                    f"  <- DISTRIBUTE from {_layout_str(s.prev)}"
+                    f" (cost {s.transition_cost:.3e}s)"
+                )
+            reps = f" x{s.phase.repeat}" if s.phase.repeat != 1 else ""
+            lines.append(
+                f"  phase {s.index:3d} {s.phase.name:>14s}{reps:<5s} :: "
+                f"{layout:<28s} cost {s.phase_cost:.3e}s{note}"
+            )
+        best = self.best_static
+        if best is not None:
+            lines.append(
+                f"  best static alternative: {_layout_str(best[0])} "
+                f"at {best[1]:.3e}s"
+            )
+        return "\n".join(lines)
+
+
+def _layout_str(dist: Distribution) -> str:
+    grid = "x".join(str(s) for s in dist.target.shape)
+    return f"{dist.dtype!r}@{grid}"
+
+
+def plan_array(
+    array: str,
+    phases,
+    candidates: list[Distribution],
+    engine: CostEngine,
+    initial: Distribution | None = None,
+    method: str = "auto",
+    dp_state_limit: int = 200_000,
+    price_statics: bool = True,
+) -> Plan:
+    """Plan a redistribution schedule for ``array``.
+
+    ``phases`` is any iterable of :class:`Phase`; ``candidates`` the
+    layout lattice (``initial``, when given and missing, is prepended
+    so "never redistribute" is always available).  ``method`` is
+    ``"dp"``, ``"greedy"`` or ``"auto"`` (DP unless
+    ``len(phases) * len(candidates)^2`` exceeds ``dp_state_limit``).
+    """
+    phases = list(phases)
+    candidates = list(candidates)
+    if not phases:
+        raise ValueError("cannot plan an empty phase sequence")
+    if initial is not None and initial not in candidates:
+        candidates = [initial, *candidates]
+    if not candidates:
+        raise ValueError("need at least one candidate layout")
+
+    if method == "auto":
+        states = len(phases) * len(candidates) * len(candidates)
+        method = "dp" if states <= dp_state_limit else "greedy"
+    if method == "dp":
+        steps, total = dp_schedule(array, phases, candidates, engine, initial)
+    elif method == "greedy":
+        steps, total = greedy_schedule(
+            array, phases, candidates, engine, initial
+        )
+    else:
+        raise ValueError(f"method must be dp|greedy|auto, got {method!r}")
+
+    static = {}
+    if price_statics or method == "greedy":
+        static = {
+            c: engine.static_cost(phases, array, c, initial=initial)
+            for c in candidates
+        }
+    if method == "greedy" and static:
+        # one-step lookahead has no optimality guarantee; clamp to the
+        # best static candidate so the headline bound (planned <= best
+        # static) holds for every method
+        best_c, best_v = min(static.items(), key=lambda kv: kv[1])
+        if best_v < total:
+            idx = candidates.index(best_c)
+            pc = [
+                [engine.phase_cost(ph, array, c) for c in candidates]
+                for ph in phases
+            ]
+            steps = _build_steps(
+                array, phases, candidates, [idx] * len(phases), engine,
+                initial, pc,
+            )
+            total = best_v
+    if not price_statics:
+        static = {}
+    return Plan(array, steps, total, method, initial=initial, static=static)
+
+
+def dp_schedule(
+    array: str,
+    phases: list[Phase],
+    candidates: list[Distribution],
+    engine: CostEngine,
+    initial: Distribution | None,
+) -> tuple[list[ScheduleStep], float]:
+    """Exact DP over the phase x layout lattice."""
+    n, m = len(phases), len(candidates)
+    pc = [
+        [engine.phase_cost(ph, array, c) for c in candidates] for ph in phases
+    ]
+
+    cost = [0.0] * m
+    back: list[list[int]] = [[-1] * m for _ in range(n)]
+    for j in range(m):
+        trans = (
+            engine.transition_cost(initial, candidates[j])
+            if initial is not None
+            else 0.0
+        )
+        cost[j] = trans + pc[0][j]
+
+    for i in range(1, n):
+        new_cost = [0.0] * m
+        for j in range(m):
+            # consider "stay" first so ties keep the current layout
+            best = cost[j] + engine.transition_cost(
+                candidates[j], candidates[j]
+            )
+            best_j2 = j
+            for j2 in range(m):
+                if j2 == j:
+                    continue
+                c = cost[j2] + engine.transition_cost(
+                    candidates[j2], candidates[j]
+                )
+                if c < best:
+                    best, best_j2 = c, j2
+            new_cost[j] = best + pc[i][j]
+            back[i][j] = best_j2
+        cost = new_cost
+
+    # ties prefer the declared initial layout (no spurious flips under
+    # e.g. a zero-cost model), then enumeration order
+    last = min(
+        range(m),
+        key=lambda j: (
+            cost[j],
+            0 if initial is not None and candidates[j] == initial else 1,
+            j,
+        ),
+    )
+    total = cost[last]
+
+    # reconstruct
+    choice = [0] * n
+    j = last
+    for i in range(n - 1, -1, -1):
+        choice[i] = j
+        j = back[i][j] if i > 0 else j
+    steps = _build_steps(array, phases, candidates, choice, engine, initial, pc)
+    return steps, total
+
+
+def greedy_schedule(
+    array: str,
+    phases: list[Phase],
+    candidates: list[Distribution],
+    engine: CostEngine,
+    initial: Distribution | None,
+) -> tuple[list[ScheduleStep], float]:
+    """One-step-lookahead fallback for large lattices.
+
+    One-step lookahead can pay a transition it never recoups (a later
+    phase may favour the layout it just left), so the result is
+    compared against staying on ``initial`` throughout and the cheaper
+    of the two is returned.  (:func:`plan_array` additionally clamps a
+    greedy result to the best *static* candidate, so the planner's
+    headline bound holds even when DP is out of reach.)
+
+    An ``initial`` outside ``candidates`` is admitted as an extra
+    candidate, mirroring :func:`plan_array`.
+    """
+    if initial is not None and initial not in candidates:
+        candidates = [initial, *candidates]
+    n, m = len(phases), len(candidates)
+    choice: list[int] = []
+    cur: int | None = (
+        candidates.index(initial) if initial is not None else None
+    )
+    total = 0.0
+    pc: list[list[float]] = []
+    for i, ph in enumerate(phases):
+        row = [engine.phase_cost(ph, array, c) for c in candidates]
+        pc.append(row)
+        if cur is None:
+            j = min(range(m), key=lambda jj: (row[jj], jj))
+            total += row[j]
+        else:
+            best = engine.transition_cost(
+                candidates[cur], candidates[cur]
+            ) + row[cur]
+            j = cur
+            for jj in range(m):
+                if jj == cur:
+                    continue
+                c = engine.transition_cost(candidates[cur], candidates[jj]) + row[jj]
+                if c < best:
+                    best, j = c, jj
+            total += best
+        choice.append(j)
+        cur = j
+    if initial is not None:
+        idx = candidates.index(initial)
+        stay_total = sum(pc[i][idx] for i in range(n))
+        if stay_total < total:
+            choice = [idx] * n
+            total = stay_total
+    steps = _build_steps(array, phases, candidates, choice, engine, initial, pc)
+    return steps, total
+
+
+def _build_steps(
+    array: str,
+    phases: list[Phase],
+    candidates: list[Distribution],
+    choice: list[int],
+    engine: CostEngine,
+    initial: Distribution | None,
+    pc: list[list[float]],
+) -> list[ScheduleStep]:
+    steps: list[ScheduleStep] = []
+    prev = initial
+    for i, (ph, j) in enumerate(zip(phases, choice)):
+        dist = candidates[j]
+        trans = (
+            engine.transition_cost(prev, dist) if prev is not None else 0.0
+        )
+        steps.append(
+            ScheduleStep(
+                index=i,
+                phase=ph,
+                dist=dist,
+                phase_cost=pc[i][j],
+                transition_cost=trans,
+                prev=prev,
+            )
+        )
+        prev = dist
+    return steps

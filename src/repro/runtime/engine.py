@@ -260,6 +260,26 @@ class Engine:
         self.reports.extend(reports)
         return reports
 
+    def ensure_dist(
+        self,
+        name: str,
+        dist: DistributionType | Distribution,
+        to: ProcessorSection | ProcessorArray | None = None,
+    ) -> list[RedistributionReport]:
+        """Redistribute ``name`` to ``dist`` only if it differs.
+
+        The execution primitive of planner-lowered schedules: a
+        schedule assigns a layout to every phase, and most consecutive
+        phases share one; this makes re-asserting the current layout
+        free (no DISTRIBUTE, no reports) instead of a full
+        re-COMMUNICATE.
+        """
+        arr = self._get(name)
+        bound = self._bind(arr.descriptor.index_dom, dist, to)
+        if arr.descriptor.is_distributed and arr.dist == bound:
+            return []
+        return self.distribute(name, bound)
+
     # -- queries (§2.5) -------------------------------------------------------
     def idt(
         self,

@@ -213,3 +213,28 @@ class TestInferOverlap:
     def test_sweep_refs_ignored(self):
         refs = [ArrayRef("V", AccessKind.ROW_SWEEP, dim=0)]
         assert infer_overlap(refs, 2) == {}
+
+
+class TestPlannerFieldsPreserved:
+    """The rebuild must carry the planner-facing IR fields through."""
+
+    def test_planned_set_and_loop_trips_survive(self):
+        from repro.lang.frontend import parse_program
+
+        src = """
+PROGRAM P
+REAL V(N, N) DYNAMIC, RANGE ((:, BLOCK), (BLOCK, :)), DIST (:, BLOCK)
+PLAN V
+DO IT = 1, 8
+  DO J = 1, N
+    CALL TRIDIAG(V(:, J), N)
+  ENDDO
+ENDDO
+END
+"""
+        program = parse_program(src, {"N": 16})
+        opt, _ = optimize(program)
+        assert opt.planned == {"V"}
+        outer = opt.proc("p").body.stmts[0]
+        assert outer.trip == 8
+        assert outer.body.stmts[0].trip == 16

@@ -1,0 +1,136 @@
+"""Candidate layout enumeration: coverage, pruning, determinism."""
+
+import pytest
+
+from repro.core.dimdist import Block, Cyclic, GenBlock, NoDist, Replicated
+from repro.core.distribution import dist_type
+from repro.core.query import ANY, TypePattern
+from repro.machine import Machine, ProcessorArray, grid_shapes
+from repro.planner.candidates import dim_menu, enumerate_layouts
+
+
+def machine(shape=(4,)):
+    return Machine(ProcessorArray("P", shape))
+
+
+def dtypes(cands):
+    return [c.dtype for c in cands]
+
+
+class TestGridShapes:
+    def test_1d(self):
+        assert grid_shapes(16, 1) == [(16,)]
+
+    def test_2d_excludes_unit_factors(self):
+        assert grid_shapes(16, 2) == [(2, 8), (4, 4), (8, 2)]
+
+    def test_prime_has_no_2d(self):
+        assert grid_shapes(7, 2) == []
+
+    def test_3d(self):
+        assert (2, 2, 2) in grid_shapes(8, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_shapes(0, 1)
+        with pytest.raises(ValueError):
+            grid_shapes(4, 0)
+
+
+class TestDimMenu:
+    def test_block_first(self):
+        menu = dim_menu(16, 4)
+        assert menu[0] == Block()
+
+    def test_genblock_hint_kept_only_when_fitting(self):
+        menu = dim_menu(16, 4, genblock_hints=[[4, 4, 4, 4], [8, 8]])
+        assert GenBlock([4, 4, 4, 4]) in menu
+        assert all(
+            not (isinstance(d, GenBlock) and d.sizes == (8, 8)) for d in menu
+        )
+
+    def test_replicated_opt_in(self):
+        assert Replicated() not in dim_menu(16, 4)
+        assert Replicated() in dim_menu(16, 4, replicated=True)
+
+
+class TestEnumerateLayouts:
+    def test_1d_machine_2d_array_basics(self):
+        cands = enumerate_layouts((8, 8), machine((4,)))
+        ds = dtypes(cands)
+        assert dist_type("BLOCK", ":") in ds
+        assert dist_type(":", "BLOCK") in ds
+        assert dist_type("CYCLIC", ":") in ds
+        # 4 = 2x2: both-dims-distributed layouts appear on a 2x2 grid
+        assert dist_type("BLOCK", "BLOCK") in ds
+
+    def test_machine_section_reused_when_shape_matches(self):
+        m = machine((4,))
+        cands = enumerate_layouts((8, 8), m)
+        one_d = [c for c in cands if c.target.ndim == 1]
+        assert one_d and all(
+            c.target.ranks() == list(range(4)) for c in one_d
+        )
+        assert one_d[0].target == m.full_section()
+
+    def test_range_pruning(self):
+        range_ = [TypePattern([ANY, NoDist()])]
+        cands = enumerate_layouts((8, 4), machine((4,)), range_=range_)
+        assert cands
+        for c in cands:
+            assert isinstance(c.dtype.dims[1], NoDist)
+
+    def test_max_distributed_dims(self):
+        cands = enumerate_layouts(
+            (8, 8), machine((4,)), max_distributed_dims=1
+        )
+        for c in cands:
+            assert len(c.dtype.distributed_dims) == 1
+
+    def test_genblock_hints_bound(self):
+        cands = enumerate_layouts(
+            (16, 4),
+            machine((4,)),
+            max_distributed_dims=1,
+            genblock_hints={0: [[2, 4, 4, 6]]},
+        )
+        assert dist_type(GenBlock([2, 4, 4, 6]), ":") in dtypes(cands)
+
+    def test_deterministic_and_unique(self):
+        a = enumerate_layouts((8, 8), machine((4,)))
+        b = enumerate_layouts((8, 8), machine((4,)))
+        assert [(c.dtype, c.target.shape) for c in a] == [
+            (c.dtype, c.target.shape) for c in b
+        ]
+        keys = [(c.dtype, c.target.shape) for c in a]
+        assert len(keys) == len(set(keys))
+
+    def test_max_candidates_cap(self):
+        cands = enumerate_layouts((8, 8, 8), machine((8,)), max_candidates=5)
+        assert len(cands) == 5
+
+    def test_memory_limit_drops_replicated(self):
+        cands = enumerate_layouts(
+            (16, 16),
+            machine((4,)),
+            replicated=True,
+            memory_limit=100,  # full 256-element replica exceeds this
+        )
+        assert cands
+        for c in cands:
+            assert not any(
+                isinstance(d, Replicated) for d in c.dtype.dims
+            )
+
+    def test_cyclic_blocks_menu(self):
+        cands = enumerate_layouts(
+            (16,), machine((4,)), cyclic_blocks=(1, 3)
+        )
+        ds = dtypes(cands)
+        assert dist_type(Cyclic(1)) in ds
+        assert dist_type(Cyclic(3)) in ds
+
+    def test_every_candidate_is_bound_and_valid(self):
+        for c in enumerate_layouts((8, 8), machine((4,)), replicated=True):
+            # owners() must work for a corner element on every candidate
+            assert c.owners((0, 0))

@@ -1,0 +1,236 @@
+"""Phase extraction: IR/CFG walk, loop handling, PLAN annotation."""
+
+import pytest
+
+from repro.compiler.ir import (
+    AccessKind,
+    ArrayRef,
+    Assign,
+    Block,
+    Call,
+    DistributeStmt,
+    If,
+    IRProgram,
+    Loop,
+    ProcDef,
+)
+from repro.lang.frontend import parse_program
+from repro.planner.phases import ArrayLoad, Phase, extract_phases
+
+ADI_SRC = """
+PROGRAM ADI
+REAL V(NX, NY) DYNAMIC, RANGE ((:, BLOCK), (BLOCK, :)), DIST (:, BLOCK)
+PLAN V
+DO ITER = 1, T
+  DO J = 1, NY
+    CALL TRIDIAG(V(:, J), NX)
+  ENDDO
+  DO I = 1, NX
+    CALL TRIDIAG(V(I, :), NY)
+  ENDDO
+ENDDO
+END
+"""
+
+
+def test_plan_annotation_parses():
+    program = parse_program(ADI_SRC, {"NX": 8, "NY": 8, "T": 2})
+    assert program.planned == {"V"}
+
+
+def test_plan_annotation_multiple_names():
+    src = """
+PROGRAM P
+REAL A(N), B(N) DYNAMIC, DIST (BLOCK)
+PLAN A, B
+A(I) = B(I)
+END
+"""
+    program = parse_program(src, {"N": 8})
+    assert program.planned == {"A", "B"}
+
+
+def test_do_trip_counts_resolve():
+    program = parse_program(ADI_SRC, {"NX": 8, "NY": 6, "T": 3})
+    outer = program.proc("adi").body.stmts[0]
+    assert isinstance(outer, Loop)
+    assert outer.trip == 3
+    inner = outer.body.stmts[0]
+    assert isinstance(inner, Loop)
+    assert inner.trip == 6
+
+
+def test_do_trip_unknown_stays_none():
+    src = """
+PROGRAM P
+REAL A(N) DYNAMIC, DIST (BLOCK)
+DO I = 1, M
+  A(I) = A(I)
+ENDDO
+END
+"""
+    program = parse_program(src, {"N": 8})  # M unbound
+    loop = program.proc("p").body.stmts[0]
+    assert loop.trip is None
+
+
+def test_adi_extraction_unrolls_outer_collapses_inner():
+    T, NY, NX = 3, 16, 8
+    program = parse_program(ADI_SRC, {"NX": NX, "NY": NY, "T": T})
+    seq = extract_phases(program)
+    assert len(seq.phases) == 2 * T
+    assert not seq.collapsed
+    for i, ph in enumerate(seq.phases):
+        (ref,) = ph.refs
+        assert ref.kind == AccessKind.ROW_SWEEP
+        # x-sweep phases sweep dim 0 (NY lines), y-sweep dim 1 (NX lines)
+        if i % 2 == 0:
+            assert ref.dim == 0 and ph.repeat == NY
+        else:
+            assert ref.dim == 1 and ph.repeat == NX
+
+
+def test_unknown_trip_uses_default():
+    src = """
+PROGRAM P
+REAL A(N) DYNAMIC, DIST (BLOCK)
+DO I = 1, M
+  A(I) = A(I-1)
+ENDDO
+END
+"""
+    program = parse_program(src, {"N": 8})
+    seq = extract_phases(program, default_trip=7)
+    assert len(seq.phases) == 1
+    assert seq.phases[0].repeat == 7
+
+
+def test_oversized_loop_collapses():
+    # the inner loop splits the body into two phases, so the outer loop
+    # would need 2 * 1000 phases to unroll — beyond max_phases
+    inner = Loop(Block([Assign(ArrayRef("A"))]), trip=2)
+    big = Loop(Block([Assign(ArrayRef("B")), inner]), trip=1000)
+    program = IRProgram()
+    program.add_proc(ProcDef("main", (), Block([big])))
+    seq = extract_phases(program, max_phases=16)
+    assert seq.collapsed
+    # body phases repeat-weighted instead of unrolled
+    assert all(ph.repeat >= 1000 for ph in seq.phases)
+
+
+def test_hand_distribute_recorded_not_phased():
+    program = IRProgram()
+    program.add_proc(
+        ProcDef(
+            "main",
+            (),
+            Block(
+                [
+                    Assign(ArrayRef("V")),
+                    DistributeStmt("V", ("BLOCK", ":")),
+                    Assign(ArrayRef("V")),
+                ]
+            ),
+        )
+    )
+    seq = extract_phases(program)
+    assert len(seq.phases) == 2
+    assert len(seq.hand) == 1
+    assert seq.hand[0].position == 1
+    assert seq.hand[0].array == "V"
+
+
+def test_hand_distribute_inside_branch_kept():
+    program = IRProgram()
+    then = Block(
+        [
+            DistributeStmt("V", ("BLOCK", ":")),
+            Assign(ArrayRef("V")),
+        ]
+    )
+    program.add_proc(
+        ProcDef("main", (), Block([Assign(ArrayRef("V")), If(then, Block([]))]))
+    )
+    seq = extract_phases(program)
+    assert len(seq.hand) == 1
+    assert seq.hand[0].array == "V"
+    assert seq.hand[0].position == 1  # before the merged branch phase
+
+
+def test_hand_distribute_in_phase_free_loop_kept():
+    program = IRProgram()
+    body = Block([DistributeStmt("V", ("BLOCK", ":"))])
+    program.add_proc(
+        ProcDef("main", (), Block([Assign(ArrayRef("V")), Loop(body, trip=5)]))
+    )
+    seq = extract_phases(program)
+    assert len(seq.hand) == 1
+    assert seq.hand[0].position == 1
+
+
+def test_if_branches_priced_conservatively():
+    """Both arms are emitted in sequence (upper bound: the taken arm is
+    unknown), so neither branch's accesses are lost."""
+    program = IRProgram()
+    then = Block([Assign(ArrayRef("A", AccessKind.ROW_SWEEP, dim=0))])
+    orelse = Block([Assign(ArrayRef("A", AccessKind.ROW_SWEEP, dim=1))])
+    program.add_proc(ProcDef("main", (), Block([If(then, orelse)])))
+    seq = extract_phases(program)
+    assert len(seq.phases) == 2
+    dims = {
+        r.dim
+        for ph in seq.phases
+        for r in ph.refs
+        if r.kind == AccessKind.ROW_SWEEP
+    }
+    assert dims == {0, 1}
+
+
+def test_loop_inside_branch_keeps_repeat_weight():
+    """A counted loop under an IF must not be priced as executing once."""
+    program = IRProgram()
+    sweep = Assign(ArrayRef("A", AccessKind.ROW_SWEEP, dim=0))
+    then = Block([Loop(Block([sweep]), trip=1000)])
+    program.add_proc(ProcDef("main", (), Block([If(then, Block([]))])))
+    seq = extract_phases(program)
+    assert len(seq.phases) == 1
+    assert seq.phases[0].repeat == 1000
+
+
+def test_oversized_loop_inside_branch_marks_collapsed():
+    program = IRProgram()
+    inner = Loop(Block([Assign(ArrayRef("A"))]), trip=2)
+    big = Loop(Block([Assign(ArrayRef("B")), inner]), trip=1000)
+    program.add_proc(ProcDef("main", (), Block([If(Block([big]), Block([]))])))
+    seq = extract_phases(program, max_phases=16)
+    assert seq.collapsed
+
+
+def test_unrolled_phases_share_memo_identity():
+    """Unrolled iterations differ only by display name, so they compare
+    equal and share cost-engine memo entries."""
+    ref = ArrayRef("V", AccessKind.ROW_SWEEP, dim=0)
+    a = Phase("x@0", (ref,), repeat=8)
+    b = Phase("x@1", (ref,), repeat=8)
+    assert a == b and hash(a) == hash(b)
+
+
+def test_call_inlining_renames_formals():
+    program = IRProgram()
+    callee = ProcDef(
+        "sweep", ("X",), Block([Assign(ArrayRef("X", AccessKind.ROW_SWEEP, dim=0))])
+    )
+    main = ProcDef("main", (), Block([Call("sweep", {"X": "V"})]))
+    program.add_proc(main)
+    program.add_proc(callee)
+    seq = extract_phases(program)
+    assert len(seq.phases) == 1
+    assert seq.phases[0].refs[0].array == "V"
+
+
+def test_phase_hashable_and_refs_to():
+    load = ArrayLoad("A", 0, (1.0, 2.0))
+    ph = Phase("p", (ArrayRef("A"), ArrayRef("B")), repeat=3, load=load)
+    assert hash(ph)
+    assert [r.array for r in ph.refs_to("A")] == ["A"]
+    assert ph.arrays() == {"A", "B"}

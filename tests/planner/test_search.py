@@ -1,0 +1,157 @@
+"""Schedule search: DP optimality, tie-breaking, greedy fallback."""
+
+import pytest
+
+from repro.compiler.ir import AccessKind, ArrayRef
+from repro.core.distribution import dist_type
+from repro.machine import CostModel, Machine, PARAGON, ProcessorArray, ZERO_COST
+from repro.planner.costs import CostEngine
+from repro.planner.phases import Phase
+from repro.planner.search import dp_schedule, greedy_schedule, plan_array
+
+
+def machine(cm=PARAGON):
+    return Machine(ProcessorArray("P", (4,)), cost_model=cm)
+
+
+def adi_like(m, iterations=2, n=64):
+    """Alternating x/y sweep phases + the two strip layouts."""
+    cols = dist_type(":", "BLOCK").apply((n, n), m.full_section())
+    rows = dist_type("BLOCK", ":").apply((n, n), m.full_section())
+    phases = []
+    for it in range(iterations):
+        phases.append(
+            Phase(f"x{it}", (ArrayRef("V", AccessKind.ROW_SWEEP, dim=0),),
+                  repeat=n)
+        )
+        phases.append(
+            Phase(f"y{it}", (ArrayRef("V", AccessKind.ROW_SWEEP, dim=1),),
+                  repeat=n)
+        )
+    return phases, [cols, rows], cols, rows
+
+
+class TestDP:
+    def test_recovers_alternating_schedule(self):
+        m = machine()
+        phases, cands, cols, rows = adi_like(m)
+        plan = plan_array("V", phases, cands, CostEngine(m), initial=cols)
+        assert plan.method == "dp"
+        assert plan.layouts() == [cols, rows, cols, rows]
+        assert len(plan.redistributions) == 3
+
+    def test_never_worse_than_best_static(self):
+        m = machine()
+        phases, cands, cols, _ = adi_like(m, iterations=3)
+        plan = plan_array("V", phases, cands, CostEngine(m), initial=cols)
+        assert plan.static
+        assert plan.total_cost <= min(plan.static.values()) + 1e-15
+
+    @pytest.mark.parametrize(
+        "alpha,expect_flip",
+        [(10.0, False), (0.1, True)],
+    )
+    def test_flips_only_when_profitable(self, alpha, expect_flip):
+        """A mildly better-balanced layout is adopted only when the
+        transition is cheaper than the compute it saves."""
+        from repro.core.dimdist import GenBlock
+        from repro.planner.phases import ArrayLoad
+
+        cm = CostModel(alpha=alpha, beta=0.0, flop_rate=1.0, name="t")
+        m = machine(cm)
+        block = dist_type("BLOCK", ":").apply((8, 1), m.full_section())
+        better = dist_type(GenBlock([1, 1, 3, 3]), ":").apply(
+            (8, 1), m.full_section()
+        )
+        load = ArrayLoad("A", 0, (6.0, 4.0) + (0.0,) * 6)
+        phases = [Phase(f"p{i}", (), load=load) for i in range(2)]
+        plan = plan_array(
+            "A", phases, [block, better], CostEngine(m), initial=block
+        )
+        flipped = bool(plan.redistributions)
+        assert flipped == expect_flip
+        if not expect_flip:
+            assert plan.layouts() == [block, block]
+
+    def test_zero_cost_ties_keep_initial(self):
+        m = machine(ZERO_COST)
+        phases, cands, cols, _ = adi_like(m)
+        plan = plan_array("V", phases, cands, CostEngine(m), initial=cols)
+        assert plan.total_cost == 0.0
+        assert plan.redistributions == []
+        assert plan.layouts() == [cols] * 4
+
+    def test_initial_prepended_when_missing(self):
+        m = machine()
+        phases, cands, cols, rows = adi_like(m)
+        plan = plan_array("V", phases, [rows], CostEngine(m), initial=cols)
+        assert cols in plan.static  # initial became a candidate
+
+    def test_total_matches_step_sum(self):
+        m = machine()
+        phases, cands, cols, _ = adi_like(m, iterations=3)
+        plan = plan_array("V", phases, cands, CostEngine(m), initial=cols)
+        sum_steps = sum(s.phase_cost + s.transition_cost for s in plan.steps)
+        assert plan.total_cost == pytest.approx(sum_steps)
+
+    def test_step_chain_consistent(self):
+        m = machine()
+        phases, cands, cols, _ = adi_like(m, iterations=3)
+        plan = plan_array("V", phases, cands, CostEngine(m), initial=cols)
+        prev = cols
+        for step in plan.steps:
+            assert step.prev == prev
+            prev = step.dist
+
+
+class TestGreedy:
+    def test_greedy_matches_dp_on_adi(self):
+        m = machine()
+        phases, cands, cols, rows = adi_like(m)
+        engine = CostEngine(m)
+        d_steps, d_total = dp_schedule("V", phases, cands, engine, cols)
+        g_steps, g_total = greedy_schedule("V", phases, cands, engine, cols)
+        assert [s.dist for s in g_steps] == [s.dist for s in d_steps]
+        assert g_total == pytest.approx(d_total)
+
+    def test_method_auto_falls_back(self):
+        m = machine()
+        phases, cands, cols, _ = adi_like(m, iterations=3)
+        plan = plan_array(
+            "V", phases, cands, CostEngine(m), initial=cols,
+            method="auto", dp_state_limit=1,
+        )
+        assert plan.method == "greedy"
+
+    def test_greedy_never_worse_than_staying_put(self):
+        m = machine()
+        phases, cands, cols, _ = adi_like(m, iterations=2)
+        engine = CostEngine(m)
+        _, g_total = greedy_schedule("V", phases, cands, engine, cols)
+        assert g_total <= engine.static_cost(phases, "V", cols) + 1e-15
+
+
+class TestPlanAPI:
+    def test_validation(self):
+        m = machine()
+        phases, cands, cols, _ = adi_like(m)
+        with pytest.raises(ValueError):
+            plan_array("V", [], cands, CostEngine(m))
+        with pytest.raises(ValueError):
+            plan_array("V", phases, [], CostEngine(m))
+        with pytest.raises(ValueError):
+            plan_array("V", phases, cands, CostEngine(m), method="nope")
+
+    def test_summary_renders(self):
+        m = machine()
+        phases, cands, cols, _ = adi_like(m)
+        plan = plan_array("V", phases, cands, CostEngine(m), initial=cols)
+        text = plan.summary()
+        assert "DISTRIBUTE" in text and "best static" in text
+
+    def test_best_static_property(self):
+        m = machine()
+        phases, cands, cols, _ = adi_like(m)
+        plan = plan_array("V", phases, cands, CostEngine(m), initial=cols)
+        dist, cost = plan.best_static
+        assert cost == min(plan.static.values())

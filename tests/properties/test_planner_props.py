@@ -1,0 +1,198 @@
+"""Property-based tests of the distribution planner.
+
+The central invariant: a planned schedule's modeled cost is **never
+worse than the best static (no-redistribution) layout** — every static
+layout is a path in the phase x layout lattice, so the DP must match
+or beat it.  Checked over random phase sequences (access kinds,
+sweep dims, repeats, loads), random candidate lattices and random
+machine cost models; the greedy fallback is held to the weaker (but
+still required) bound of never losing to *staying put*.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.ir import AccessKind, ArrayRef
+from repro.core.dimdist import Block, Cyclic, GenBlock
+from repro.core.distribution import dist_type
+from repro.machine import CostModel, Machine, ProcessorArray
+from repro.planner.costs import CostEngine
+from repro.planner.phases import ArrayLoad, Phase
+from repro.planner.search import greedy_schedule, plan_array
+
+P = 4
+N = 16  # array extent per dimension
+
+
+@st.composite
+def cost_models(draw):
+    alpha = draw(st.floats(0.0, 1e-3))
+    beta = draw(st.floats(0.0, 1e-6))
+    flop_rate = draw(st.sampled_from([1e6, 1e8, 1e10]))
+    return CostModel(alpha=alpha, beta=beta, flop_rate=flop_rate, name="h")
+
+
+@st.composite
+def dim_dists(draw):
+    kind = draw(st.sampled_from(["block", "cyclic", "genblock"]))
+    if kind == "block":
+        return Block()
+    if kind == "cyclic":
+        return Cyclic(draw(st.integers(1, 4)))
+    cuts = sorted(
+        draw(st.lists(st.integers(0, N), min_size=P - 1, max_size=P - 1))
+    )
+    bounds = [0] + cuts + [N]
+    return GenBlock([b - a for a, b in zip(bounds, bounds[1:])])
+
+
+@st.composite
+def candidate_sets(draw, machine):
+    n = draw(st.integers(2, 5))
+    seen = set()
+    out = []
+    for _ in range(n):
+        if draw(st.booleans()):
+            dt = dist_type(draw(dim_dists()), ":")
+        else:
+            dt = dist_type(":", draw(dim_dists()))
+        if dt not in seen:
+            seen.add(dt)
+            out.append(dt.apply((N, N), machine.full_section()))
+    return out
+
+
+@st.composite
+def phases(draw):
+    out = []
+    for i in range(draw(st.integers(1, 6))):
+        refs = []
+        for _ in range(draw(st.integers(0, 3))):
+            kind = draw(
+                st.sampled_from(
+                    [AccessKind.IDENTITY, AccessKind.SHIFT, AccessKind.ROW_SWEEP]
+                )
+            )
+            if kind == AccessKind.SHIFT:
+                refs.append(
+                    ArrayRef(
+                        "A",
+                        kind,
+                        offsets=(
+                            draw(st.integers(-2, 2)),
+                            draw(st.integers(-2, 2)),
+                        ),
+                    )
+                )
+            elif kind == AccessKind.ROW_SWEEP:
+                refs.append(ArrayRef("A", kind, dim=draw(st.integers(0, 1))))
+            else:
+                refs.append(ArrayRef("A", kind))
+        load = None
+        if draw(st.booleans()):
+            weights = tuple(
+                float(w)
+                for w in draw(
+                    st.lists(
+                        st.integers(0, 50), min_size=N, max_size=N
+                    )
+                )
+            )
+            load = ArrayLoad(
+                "A",
+                draw(st.integers(0, 1)),
+                weights,
+                flops_per_unit=draw(st.floats(0.1, 100.0)),
+                boundary_bytes_per_unit=draw(st.floats(0.0, 64.0)),
+            )
+        out.append(
+            Phase(
+                f"p{i}",
+                tuple(refs),
+                repeat=draw(st.integers(1, 20)),
+                work=draw(st.floats(0.0, 1e4)),
+                load=load,
+            )
+        )
+    return out
+
+
+@given(st.data(), cost_models())
+@settings(max_examples=50, deadline=None)
+def test_planned_never_worse_than_best_static(data, cm):
+    machine = Machine(ProcessorArray("P", (P,)), cost_model=cm)
+    cands = data.draw(candidate_sets(machine))
+    phs = data.draw(phases())
+    initial = data.draw(st.sampled_from(cands + [None]))
+    engine = CostEngine(machine)
+    plan = plan_array("A", phs, cands, engine, initial=initial)
+    assert plan.static
+    best_static = min(plan.static.values())
+    assert plan.total_cost <= best_static + 1e-12 + 1e-9 * abs(best_static)
+
+
+@given(st.data(), cost_models())
+@settings(max_examples=30, deadline=None)
+def test_plan_structure_invariants(data, cm):
+    machine = Machine(ProcessorArray("P", (P,)), cost_model=cm)
+    cands = data.draw(candidate_sets(machine))
+    phs = data.draw(phases())
+    initial = data.draw(st.sampled_from(cands))
+    engine = CostEngine(machine)
+    plan = plan_array("A", phs, cands, engine, initial=initial)
+    # one step per phase, chained prev pointers, consistent totals
+    assert len(plan.steps) == len(phs)
+    prev = initial
+    acc = 0.0
+    for step in plan.steps:
+        assert step.prev == prev
+        assert step.dist in plan.static
+        acc += step.phase_cost + step.transition_cost
+        prev = step.dist
+    assert abs(acc - plan.total_cost) <= 1e-12 + 1e-9 * abs(acc)
+    # every recorded redistribution is a genuine layout change
+    for _, frm, to in plan.redistributions:
+        assert frm != to
+
+
+@given(st.data(), cost_models())
+@settings(max_examples=30, deadline=None)
+def test_greedy_never_worse_than_staying_put(data, cm):
+    machine = Machine(ProcessorArray("P", (P,)), cost_model=cm)
+    cands = data.draw(candidate_sets(machine))
+    phs = data.draw(phases())
+    initial = data.draw(st.sampled_from(cands))
+    engine = CostEngine(machine)
+    _, total = greedy_schedule("A", phs, cands, engine, initial)
+    stay = engine.static_cost(phs, "A", initial)
+    assert total <= stay + 1e-12 + 1e-9 * abs(stay)
+
+
+@given(st.data(), cost_models())
+@settings(max_examples=30, deadline=None)
+def test_greedy_plan_never_worse_than_best_static(data, cm):
+    """The headline bound must hold for the greedy fallback too: via
+    plan_array a greedy result is clamped to the best static layout."""
+    machine = Machine(ProcessorArray("P", (P,)), cost_model=cm)
+    cands = data.draw(candidate_sets(machine))
+    phs = data.draw(phases())
+    initial = data.draw(st.sampled_from(cands + [None]))
+    engine = CostEngine(machine)
+    plan = plan_array("A", phs, cands, engine, initial=initial,
+                      method="greedy")
+    best_static = min(plan.static.values())
+    assert plan.total_cost <= best_static + 1e-12 + 1e-9 * abs(best_static)
+
+
+@given(st.data(), cost_models())
+@settings(max_examples=15, deadline=None)
+def test_greedy_accepts_initial_outside_lattice(data, cm):
+    """A current layout not in the candidate list is admitted as an
+    extra candidate instead of crashing."""
+    machine = Machine(ProcessorArray("P", (P,)), cost_model=cm)
+    cands = data.draw(candidate_sets(machine))
+    phs = data.draw(phases())
+    outside = dist_type(":", Cyclic(5)).apply((N, N), machine.full_section())
+    engine = CostEngine(machine)
+    steps, total = greedy_schedule("A", phs, cands, engine, outside)
+    assert len(steps) == len(phs)
+    assert total <= engine.static_cost(phs, "A", outside) + 1e-9

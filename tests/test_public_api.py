@@ -11,6 +11,7 @@ SUBPACKAGES = [
     "repro.runtime",
     "repro.lang",
     "repro.compiler",
+    "repro.planner",
     "repro.apps",
 ]
 
