@@ -22,10 +22,17 @@ Layers (bottom-up):
   pricing, and a dynamic program over the phase x layout lattice that
   decides where to insert redistributions (the decision the paper
   leaves to the programmer);
+- :mod:`repro.backend` — pluggable SPMD execution backends: the
+  serial in-process reference and a multiprocess backend (one worker
+  per processor, segments in shared memory, message-passing
+  transport), plus transport calibration that fits *measured*
+  alpha/beta/flop-rate constants into a ``MeasuredMachine`` the
+  planner schedules against;
 - :mod:`repro.apps` — the paper's §4 workloads: ADI (Figure 1),
   particle-in-cell with B_BLOCK load balancing (Figure 2), and the
   grid-smoothing distribution-choice example — each with a
-  planner-backed ``"planned"`` variant.
+  planner-backed ``"planned"`` variant and ``backend=`` execution
+  variants.
 
 Quickstart::
 
@@ -58,21 +65,23 @@ from .runtime import __all__ as _runtime_all
 # names collide with the data-model layers (e.g. the compiler IR's
 # ``Block`` vs the BLOCK intrinsic), and the established lower-layer
 # bindings must win.
+from . import backend as backend  # noqa: F401
 from . import compiler as compiler  # noqa: F401
 from . import lang as lang  # noqa: F401
 from . import planner as planner  # noqa: F401
 
 _upper_all: list = []
-for _mod in (lang, compiler, planner):
+for _mod in (lang, compiler, planner, backend):
     for _name in _mod.__all__:
         if _name not in globals():
             globals()[_name] = getattr(_mod, _name)
             _upper_all.append(_name)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
+    "backend",
     "compiler",
     "lang",
     "planner",

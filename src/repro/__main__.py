@@ -1,13 +1,20 @@
-"""``python -m repro`` — tour and planner CLI.
+"""``python -m repro`` — tour, planner, backend and calibration CLI.
 
 With no arguments, runs a miniature version of each paper artifact
 (Figure 1 ADI, Figure 2 PIC, the §4 smoothing choice) and prints the
-headline comparisons.  The ``plan`` subcommand runs the automatic
-distribution planner on a named workload::
+headline comparisons.  Subcommands::
 
     python -m repro plan adi --nprocs 4 --cost-model Paragon
-    python -m repro plan pic --steps 50
-    python -m repro plan smoothing --size 128 --nprocs 16
+    python -m repro run adi --backend multiprocess
+    python -m repro run smoothing --backend multiprocess --nprocs 4
+    python -m repro calibrate --nprocs 2
+
+``plan`` runs the automatic distribution planner on a named workload;
+``run`` executes a workload on a chosen SPMD execution backend
+(``serial`` or ``multiprocess``), verifying multiprocess results
+bitwise against the serial reference; ``calibrate`` microbenchmarks
+the multiprocess transport, fits measured alpha/beta/flop-rate
+constants, and feeds the resulting MeasuredMachine to the planner.
 
 The full tables live in ``benchmarks/`` (run
 ``pytest benchmarks/ --benchmark-disable -s``).
@@ -105,6 +112,97 @@ def plan_command(args: argparse.Namespace) -> None:
         )
 
 
+def run_command(args: argparse.Namespace) -> None:
+    """Execute a workload on a chosen SPMD execution backend."""
+    import numpy as np
+
+    from .apps.adi import run_adi
+    from .apps.pic import PICConfig, run_pic
+    from .apps.smoothing import run_smoothing
+    from .machine import Machine, PRESETS, ProcessorArray
+
+    cost_model = PRESETS[args.cost_model]
+
+    def execute(backend: str):
+        if args.workload == "adi":
+            machine = Machine(
+                ProcessorArray("R", (args.nprocs,)), cost_model=cost_model
+            )
+            r = run_adi(
+                machine, args.size, args.size, args.iterations,
+                strategy="dynamic", seed=0, backend=backend,
+            )
+            return r.solution, {
+                "sweep msgs": r.sweep_messages,
+                "redist msgs": r.redistribution.messages,
+                "modeled time": f"{r.total_time * 1e3:.3f} ms",
+            }
+        if args.workload == "pic":
+            machine = Machine(
+                ProcessorArray("P", (args.nprocs,)), cost_model=cost_model
+            )
+            cfg = PICConfig(
+                strategy="bblock", ncell=args.size, npart=8 * args.size,
+                max_time=args.steps, nprocs=args.nprocs, seed=0,
+            )
+            r = run_pic(machine, cfg, backend=backend)
+            sol = np.array(
+                [s.imbalance for s in r.steps], dtype=np.float64
+            )
+            return sol, {
+                "mean imbalance": f"{r.mean_imbalance:.3f}",
+                "redistributions": r.redistributions,
+                "modeled time": f"{r.total_time * 1e3:.3f} ms",
+            }
+        r = run_smoothing(
+            args.size, args.steps, "columns", args.nprocs, cost_model,
+            seed=0, backend=backend,
+        )
+        return r.solution, {
+            "msgs/proc/step": f"{r.msgs_per_proc_step:.2f}",
+            "modeled time": f"{r.time * 1e3:.3f} ms",
+        }
+
+    print(
+        f"run {args.workload} (nprocs={args.nprocs}, size={args.size}, "
+        f"backend={args.backend}, cost model {cost_model.name})"
+    )
+    solution, headline = execute(args.backend)
+    for k, v in headline.items():
+        print(f"  {k:16s} {v}")
+    if args.backend != "serial" and not args.no_verify:
+        reference, _ = execute("serial")
+        identical = bool(np.array_equal(solution, reference))
+        print(f"  identical to serial backend: {identical}")
+        if not identical:
+            raise SystemExit(
+                f"{args.backend} backend diverged from the serial "
+                f"reference"
+            )
+
+
+def calibrate_command(args: argparse.Namespace) -> None:
+    """Calibrate the multiprocess transport; plan against the fit."""
+    from .backend.calibrate import calibrate
+    from .machine import MeasuredMachine, ProcessorArray
+    from .planner import CostEngine, adi_workload, plan_workload
+
+    print(
+        f"calibrating multiprocess transport "
+        f"(nprocs={args.nprocs}, repeats={args.repeats}) ..."
+    )
+    cal = calibrate(nprocs=args.nprocs, repeats=args.repeats)
+    print(f"  {cal.summary()}")
+    for nbytes, seconds in cal.samples:
+        print(f"    {nbytes:>9d} B  {seconds * 1e6:10.2f} us one-way")
+
+    machine = MeasuredMachine(ProcessorArray("M", (args.nprocs,)), cal)
+    print(f"\nplanner on the measured machine: {machine!r}")
+    workload = adi_workload(32, 32, iterations=2, machine=machine)
+    plan = plan_workload(workload, cost_engine=CostEngine(machine))
+    print(plan.summary())
+
+
 def main(argv: Sequence[str] | None = None) -> None:
     # None means "no CLI arguments" (the tour): callers that want real
     # argv pass sys.argv[1:] explicitly (see __main__ guard below).
@@ -130,9 +228,41 @@ def main(argv: Sequence[str] | None = None) -> None:
     p.add_argument("--method", default="auto",
                    choices=("auto", "dp", "greedy"))
 
+    r = sub.add_parser(
+        "run", help="execute a workload on an SPMD execution backend"
+    )
+    r.add_argument("workload", choices=("adi", "pic", "smoothing"))
+    r.add_argument("--backend", default="serial",
+                   choices=("serial", "multiprocess"))
+    r.add_argument("--nprocs", type=int, default=4)
+    r.add_argument("--size", type=int, default=32,
+                   help="grid/cell extent (NX=NY for adi, NCELL for pic, "
+                        "N for smoothing)")
+    r.add_argument("--iterations", type=int, default=2,
+                   help="ADI outer iterations")
+    r.add_argument("--steps", type=int, default=10,
+                   help="time steps (pic, smoothing)")
+    r.add_argument("--cost-model", default="Paragon",
+                   choices=("iPSC/860", "Paragon", "modern", "zero"))
+    r.add_argument("--no-verify", action="store_true",
+                   help="skip the bitwise comparison against the "
+                        "serial backend")
+
+    c = sub.add_parser(
+        "calibrate",
+        help="microbenchmark the multiprocess transport and fit "
+             "measured machine constants",
+    )
+    c.add_argument("--nprocs", type=int, default=2)
+    c.add_argument("--repeats", type=int, default=7)
+
     args = parser.parse_args(list(argv) if argv is not None else [])
     if args.command == "plan":
         plan_command(args)
+    elif args.command == "run":
+        run_command(args)
+    elif args.command == "calibrate":
+        calibrate_command(args)
     else:
         tour()
 

@@ -36,9 +36,11 @@ message counts, volumes and modeled times recorded in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
+from ..backend.base import Backend, attached_backend
 from ..compiler.codegen import LineSweepKernel
 from ..core.distribution import dist_type
 from ..machine.machine import Machine
@@ -149,6 +151,7 @@ def run_adi(
     b: float = 4.0,
     grid: np.ndarray | None = None,
     seed: int = 0,
+    backend: Backend | str | None = None,
 ) -> ADIResult:
     """Run the Figure 1 ADI iteration under ``strategy``.
 
@@ -156,6 +159,13 @@ def run_adi(
     constant system (``b=4``, ``a=-1``); ``grid`` defaults to a seeded
     random field.  The returned solution is always identical across
     strategies (checked in tests against :func:`adi_reference`).
+
+    ``backend`` selects the execution backend (``"serial"``,
+    ``"multiprocess"``, or an attached/attachable
+    :class:`~repro.backend.base.Backend`): with ``"multiprocess"``,
+    redistributions and local sweeps execute in per-processor worker
+    processes and the solution is bitwise-identical to serial (the
+    backend conformance suite asserts this).
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
@@ -166,6 +176,20 @@ def run_adi(
     if grid.shape != (nx, ny):
         raise ValueError(f"grid shape {grid.shape} != ({nx}, {ny})")
 
+    with attached_backend(machine, backend):
+        return _run_adi(machine, nx, ny, iterations, strategy, a, b, grid)
+
+
+def _run_adi(
+    machine: Machine,
+    nx: int,
+    ny: int,
+    iterations: int,
+    strategy: str,
+    a: float,
+    b: float,
+    grid: np.ndarray,
+) -> ADIResult:
     engine = Engine(machine)
     machine.reset_network()
     result = ADIResult(strategy, nx, ny, iterations, machine.nprocs)
@@ -173,7 +197,9 @@ def run_adi(
     by_cols = dist_type(":", "BLOCK")   # (:, BLOCK) — columns local
     by_rows = dist_type("BLOCK", ":")   # (BLOCK, :) — rows local
 
-    line = lambda v: thomas_const(v, a, b)  # noqa: E731 — the TRIDIAG call
+    # the TRIDIAG call; a partial (not a lambda) so SPMD backends can
+    # ship it to worker processes
+    line = partial(thomas_const, a=a, b=b)
 
     def snapshot() -> NetworkStats:
         return machine.stats()

@@ -51,14 +51,24 @@ __all__ = [
 ]
 
 
-def make_mesh(n: int, seed: int = 0, kind: str = "geometric") -> nx.Graph:
+def make_mesh(
+    n: int,
+    seed: int = 0,
+    kind: str = "geometric",
+    rng: np.random.Generator | None = None,
+) -> nx.Graph:
     """A connected synthetic unstructured mesh with ``n`` nodes.
 
     ``geometric``: random geometric graph (radius chosen to connect);
     ``ring``: a ring with random chords (worst case for BLOCK order is
     mild, included for contrast).
+
+    All randomness flows through ``rng`` (derived from ``seed`` when
+    not given, reproducing the historical stream exactly); note the
+    geometric kind also seeds networkx's own generator from ``seed``.
     """
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     if kind == "geometric":
         radius = 1.8 / np.sqrt(n)
         pos = {i: (rng.uniform(), rng.uniform()) for i in range(n)}
@@ -78,7 +88,12 @@ def make_mesh(n: int, seed: int = 0, kind: str = "geometric") -> nx.Graph:
     return g
 
 
-def partition_bfs(graph: nx.Graph, nparts: int, seed: int = 0) -> np.ndarray:
+def partition_bfs(
+    graph: nx.Graph,
+    nparts: int,
+    seed: int = 0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
     """Grow ``nparts`` balanced parts by BFS from spread-out seeds.
 
     Returns an owner array (node id -> part).  Parts are grown
@@ -93,7 +108,8 @@ def partition_bfs(graph: nx.Graph, nparts: int, seed: int = 0) -> np.ndarray:
     if nparts > n:
         raise ValueError(f"cannot cut {n} nodes into {nparts} parts")
     owner = np.full(n, -1, dtype=np.int64)
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     # spread seeds: repeated farthest-first from a random start
     seeds = [int(rng.integers(0, n))]
     dist = dict(nx.single_source_shortest_path_length(graph, seeds[0]))
@@ -192,6 +208,7 @@ def run_relaxation(
     distribution: str = "partitioned",
     sweeps: int = 3,
     seed: int = 0,
+    rng: np.random.Generator | None = None,
 ) -> RelaxationResult:
     """Edge-based Jacobi relaxation through the inspector/executor.
 
@@ -201,6 +218,11 @@ def run_relaxation(
     distributions).  The access pattern is irregular, so each sweep is
     a PARTI gather; the schedule is built once and reused across
     sweeps, invalidated only by redistribution.
+
+    With ``rng=None`` the partitioner and the initial node values each
+    draw from a fresh ``default_rng(seed)`` (the historical streams,
+    bit for bit); an explicit ``rng`` is used for both, making a run
+    reproducible from generator state alone.
     """
     n = graph.number_of_nodes()
     p = machine.nprocs
@@ -209,12 +231,14 @@ def run_relaxation(
         dd = Block()
         owner_vec = dd.owners_vec(n, p)
     elif distribution == "partitioned":
-        owner_vec = partition_bfs(graph, p, seed=seed)
+        owner_vec = partition_bfs(graph, p, seed=seed, rng=rng)
         dd = Indirect(owner_vec)
     else:
         raise ValueError("distribution must be 'block' or 'partitioned'")
 
-    values = np.random.default_rng(seed).standard_normal(n)
+    values = (
+        rng if rng is not None else np.random.default_rng(seed)
+    ).standard_normal(n)
     arr = engine.declare(
         "V", (n,), dist=DistributionType((dd,)), dynamic=True
     )

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend.base import Backend, attached_backend
 from ..core.dimdist import Block, GenBlock, NoDist
 from ..core.distribution import DistributionType
 from ..machine.machine import Machine
@@ -152,15 +153,37 @@ def _field_dist(sizes: list[int] | None, ncell: int, nprocs: int) -> Distributio
     return DistributionType((GenBlock(sizes), NoDist()))
 
 
-def run_pic(machine: Machine, config: PICConfig) -> PICResult:
-    """Run the Figure 2 PIC loop; see the module docstring."""
+def run_pic(
+    machine: Machine,
+    config: PICConfig,
+    rng: np.random.Generator | None = None,
+    backend: Backend | str | None = None,
+) -> PICResult:
+    """Run the Figure 2 PIC loop; see the module docstring.
+
+    All randomness (initial positions, diffusion) flows through the
+    single ``rng`` generator — pass one explicitly to share a stream
+    across runs, or leave it ``None`` to derive a fresh one from
+    ``config.seed`` (the historical behaviour, bit for bit).  With the
+    same generator state, two runs are deterministic regardless of the
+    execution ``backend`` — the property the backend conformance suite
+    relies on.
+    """
     if machine.nprocs != config.nprocs:
         raise ValueError(
             f"machine has {machine.nprocs} processors, config says {config.nprocs}"
         )
     if config.strategy not in ("bblock", "static", "planned"):
         raise ValueError("strategy must be 'bblock', 'static' or 'planned'")
-    rng = np.random.default_rng(config.seed)
+    if rng is None:
+        rng = np.random.default_rng(config.seed)
+    with attached_backend(machine, backend):
+        return _run_pic(machine, config, rng)
+
+
+def _run_pic(
+    machine: Machine, config: PICConfig, rng: np.random.Generator
+) -> PICResult:
     engine = Engine(machine)
     machine.reset_network()
 

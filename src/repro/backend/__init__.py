@@ -1,0 +1,55 @@
+"""Pluggable SPMD execution backends (the real-execution tier).
+
+The paper's Vienna Fortran Engine is "an abstract machine that
+executes Vienna Fortran object programs" SPMD on distributed
+hardware.  This subpackage gives the reproduction that execution
+path:
+
+- :class:`~repro.backend.base.SerialBackend` — the in-process
+  reference semantics (bitwise ground truth);
+- :class:`~repro.backend.multiprocess.MultiprocessBackend` — one
+  worker process per simulated processor, local segments in
+  ``multiprocessing.shared_memory``, transfer plans / halo exchanges
+  / owner-computes kernels executed through an explicit
+  message-passing :class:`~repro.backend.transport.Transport`
+  (send/recv + barrier/allgather);
+- :mod:`~repro.backend.calibrate` — microbenchmarks the transport and
+  fits real alpha/beta/flop-rate constants into a
+  :class:`~repro.machine.measured.MeasuredMachine`, so the planner
+  schedules against *measured* rather than assumed costs.
+
+Attach a backend through the engine seam::
+
+    from repro import Engine, Machine, MultiprocessBackend
+
+    with MultiprocessBackend() as be:
+        vfe = Engine(Machine((4,)), backend=be)
+        ...  # DISTRIBUTE / kernels now execute in worker processes
+"""
+
+from . import calibrate  # noqa: F401  (the calibration namespace)
+from .base import Backend, SerialBackend, attached_backend, resolve_backend
+from .calibrate import fit_alpha_beta, measured_machine
+from .multiprocess import BackendError, MultiprocessBackend
+from .plan import segment_moves, shift_plan, transfer_plan
+from .shm import BlockMeta, SharedSegmentAllocator
+from .transport import Transport, TransportTimeout
+
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "MultiprocessBackend",
+    "BackendError",
+    "resolve_backend",
+    "attached_backend",
+    "calibrate",
+    "fit_alpha_beta",
+    "measured_machine",
+    "transfer_plan",
+    "segment_moves",
+    "shift_plan",
+    "Transport",
+    "TransportTimeout",
+    "BlockMeta",
+    "SharedSegmentAllocator",
+]

@@ -1,0 +1,398 @@
+"""Real SPMD execution: one worker process per simulated processor.
+
+The :class:`MultiprocessBackend` is the "object program" tier the
+paper's abstract machine compiles to, realized with the Python
+standard library: per-processor worker processes, local segments in
+``multiprocessing.shared_memory`` (see :mod:`~repro.backend.shm`),
+and an explicit message-passing transport with point-to-point
+send/recv and barrier/allgather collectives
+(:mod:`~repro.backend.transport`).  Transfer plans, halo exchanges
+and owner-computes kernels execute *in the workers*
+(:mod:`~repro.backend.ops`); the master only plans, accounts on the
+simulated network, and reads results back through shared memory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import sys
+from collections import defaultdict
+from queue import Empty
+from typing import TYPE_CHECKING, Callable
+
+from .base import Backend
+from .ops import (
+    op_local_kernel,
+    op_noop,
+    op_redistribute,
+    op_stencil_step,
+)
+from .plan import halo_dest_slice, segment_moves, shift_plan
+from .shm import SharedSegmentAllocator
+from .worker import worker_main
+
+if TYPE_CHECKING:
+    from ..machine.machine import Machine
+    from ..runtime.darray import DistributedArray
+
+__all__ = ["BackendError", "MultiprocessBackend"]
+
+
+class BackendError(RuntimeError):
+    """A worker failed or did not respond."""
+
+
+def _pick_start_method(requested: str | None) -> str:
+    if requested is not None:
+        return requested
+    methods = mp.get_all_start_methods()
+    # fork keeps startup fast, but is only safe on Linux (macOS's
+    # Objective-C runtime and Accelerate-backed numpy can abort in
+    # forked children — the reason CPython switched that platform's
+    # default to spawn); everything here is spawn-safe regardless
+    if sys.platform.startswith("linux") and "fork" in methods:
+        return "fork"
+    return mp.get_start_method(allow_none=False)
+
+
+class MultiprocessBackend(Backend):
+    """SPMD execution over ``nprocs`` worker processes.
+
+    Parameters
+    ----------
+    start_method:
+        ``multiprocessing`` start method (default: ``fork`` where
+        available, else the platform default).
+    timeout:
+        Seconds the master waits for worker acknowledgements and
+        workers wait on receives/barriers before failing loudly.
+    """
+
+    name = "multiprocess"
+    executes_spmd = True
+
+    def __init__(self, start_method: str | None = None, timeout: float = 120.0):
+        super().__init__()
+        self._ctx = mp.get_context(_pick_start_method(start_method))
+        self.timeout = float(timeout)
+        self.nprocs = 0
+        self.allocator: SharedSegmentAllocator | None = None
+        self._procs: list = []
+        self._cmd_queues: list = []
+        self._inboxes: list = []
+        self._result_queue = None
+        self._barrier = None
+        self._op_counter = 0
+        self._seq = 0  # command sequence number (stale-ack fencing)
+        self._shipped_plans: set[int] = set()
+        self._plan_ids: dict = {}
+        #: ops dispatched to the worker fleet (for tests/reports)
+        self.ops_executed = 0
+
+    # -- lifecycle -------------------------------------------------------
+    def _on_attach(self, machine: "Machine") -> None:
+        if machine.total_memory_used() > 0:
+            raise RuntimeError(
+                "attach the multiprocess backend before declaring "
+                "arrays: existing segments are not in shared memory"
+            )
+        self.nprocs = machine.nprocs
+        self.allocator = SharedSegmentAllocator(tag=f"{id(self):x}")
+        machine.set_segment_allocator(self.allocator)
+        ctx = self._ctx
+        # Start the master's resource tracker *before* forking so the
+        # workers inherit (and share) it instead of lazily spawning
+        # their own — the premise of the fork branch of
+        # shm.unregister_on_attach.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+        self._inboxes = [ctx.Queue() for _ in range(self.nprocs)]
+        self._cmd_queues = [ctx.Queue() for _ in range(self.nprocs)]
+        self._result_queue = ctx.Queue()
+        barrier = ctx.Barrier(self.nprocs)
+        self._barrier = barrier
+        start_method = getattr(ctx, "_name", None) or mp.get_start_method()
+        self._procs = [
+            ctx.Process(
+                target=worker_main,
+                args=(
+                    rank,
+                    self.nprocs,
+                    self._cmd_queues[rank],
+                    self._result_queue,
+                    self._inboxes[rank],
+                    self._inboxes,
+                    barrier,
+                    self.timeout,
+                    start_method != "fork",
+                ),
+                daemon=True,
+                name=f"vfe-worker-{rank}",
+            )
+            for rank in range(self.nprocs)
+        ]
+        for p in self._procs:
+            p.start()
+        # health check: every worker answers and the barrier works
+        ranks = self.run_op(op_noop, [{} for _ in range(self.nprocs)])
+        if sorted(ranks) != list(range(self.nprocs)):
+            raise BackendError(f"worker fleet failed to start: {ranks}")
+
+    def close(self) -> None:
+        for q in self._cmd_queues:
+            try:
+                q.put(None)
+            except Exception:  # pragma: no cover - queue already gone
+                pass
+        for p in self._procs:
+            p.join(timeout=5.0)
+            if p.is_alive():  # pragma: no cover - wedged worker
+                p.terminate()
+                p.join(timeout=1.0)
+        self._procs = []
+        for q in [*self._cmd_queues, *self._inboxes]:
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:  # pragma: no cover
+                pass
+        self._cmd_queues = []
+        self._inboxes = []
+        self._result_queue = None
+        if self.allocator is not None:
+            # Copy every still-registered block into ordinary process
+            # memory BEFORE unlinking: the simulated LocalMemory still
+            # holds ndarray views over the shared buffers, and reading
+            # one after the unmap would be a hard segfault.  After
+            # close(), arrays keep their contents with serial
+            # semantics.
+            if self.machine is not None:
+                for rank, name in self.allocator.registered():
+                    self.machine.memory(rank).materialize(name)
+            self.allocator.close()
+            self.allocator = None
+        super().close()
+
+    # -- command dispatch ------------------------------------------------
+    def run_op(self, op: Callable, per_rank_kwargs: list[dict]) -> list:
+        """Broadcast one SPMD op; block until every worker acks.
+
+        ``per_rank_kwargs[r]`` is worker ``r``'s keyword arguments.
+        Returns per-rank payloads; raises :class:`BackendError` if any
+        worker errored or went silent.
+        """
+        if len(per_rank_kwargs) != self.nprocs:
+            raise ValueError(
+                f"need kwargs for every worker ({self.nprocs}), "
+                f"got {len(per_rank_kwargs)}"
+            )
+        if not self._procs:
+            raise BackendError("backend is not attached / already closed")
+        self._seq += 1
+        seq = self._seq
+        for rank, kwargs in enumerate(per_rank_kwargs):
+            self._cmd_queues[rank].put((op, kwargs, seq))
+        results = [None] * self.nprocs
+        errors = []
+        acked = 0
+        while acked < self.nprocs:
+            try:
+                rank, ack_seq, status, payload = self._result_queue.get(
+                    timeout=self.timeout
+                )
+            except Empty:
+                self._recover_barrier()
+                dead = [p.name for p in self._procs if not p.is_alive()]
+                raise BackendError(
+                    f"worker acknowledgement timed out after "
+                    f"{self.timeout}s (dead workers: {dead or 'none'})"
+                ) from None
+            if ack_seq != seq:
+                # stale ack from an op that previously timed out on
+                # the master side — drop it, keep the streams aligned
+                continue
+            acked += 1
+            if status == "error":
+                errors.append((rank, payload))
+            else:
+                results[rank] = payload
+        if errors:
+            # a failing worker aborts the collective barrier so its
+            # peers bail out fast; re-arm it for the next op
+            self._recover_barrier()
+            detail = "\n".join(
+                f"-- worker {rank} --\n{msg}" for rank, msg in errors
+            )
+            raise BackendError(f"{len(errors)} worker(s) failed:\n{detail}")
+        self.ops_executed += 1
+        return results
+
+    def _recover_barrier(self) -> None:
+        if self._barrier is not None:
+            try:
+                self._barrier.reset()
+            except Exception:  # pragma: no cover - already usable
+                pass
+
+    # -- operations ------------------------------------------------------
+    def move(
+        self,
+        array: "DistributedArray",
+        new_dist,
+        plan_cache=None,
+    ) -> None:
+        """Execute a DISTRIBUTE transfer plan in the worker fleet.
+
+        The per-pair index plan is derived once (and shared through
+        the engine's :class:`~repro.runtime.redistribute.PlanCache`
+        when given); workers only ship values — both endpoints address
+        them through the same deterministic plan.
+        """
+        machine = array.machine
+        nprocs = machine.nprocs
+        old_dist = array.descriptor.dist
+        block = array._block_name()
+
+        # recurring layout pairs ship their position arrays to the
+        # fleet once; afterwards only the plan id crosses the queues
+        plan_key = (old_dist, new_dist, nprocs)
+        plan_id = self._plan_ids.get(plan_key)
+        if plan_id is None:
+            plan_id = len(self._plan_ids) + 1
+            self._plan_ids[plan_key] = plan_id
+        ship = plan_id not in self._shipped_plans
+        if ship:
+            if plan_cache is not None:
+                moves = plan_cache.segment_moves(old_dist, new_dist, nprocs)
+            else:
+                moves = segment_moves(old_dist, new_dist, nprocs)
+        else:
+            moves = {}
+            if plan_cache is not None:
+                # count the replay as a cache hit: the fleet IS the cache
+                plan_cache.hits += 1
+
+        # keep old physical segments alive across the reallocation
+        stashed = {}
+        for rank in range(nprocs):
+            st = self.allocator.stash(rank, block)
+            if st is not None:
+                stashed[rank] = st
+        try:
+            array.descriptor.set_dist(new_dist)
+            array._allocate_segments(fill=None)
+
+            self._op_counter += 1
+            tag = f"redist:{array.name}:{self._op_counter}"
+            per_rank = []
+            for rank in range(nprocs):
+                m = moves.get(rank)
+                per_rank.append(
+                    dict(
+                        old_meta=stashed[rank][1] if rank in stashed else None,
+                        new_meta=self.allocator.meta(rank, block),
+                        plan_id=plan_id,
+                        sends=(m.sends if m is not None else []) if ship else None,
+                        recvs=(m.recvs if m is not None else []) if ship else None,
+                        keeps=(m.keeps if m is not None else []) if ship else None,
+                        tag=tag,
+                    )
+                )
+            self.run_op(op_redistribute, per_rank)
+            self._shipped_plans.add(plan_id)
+        finally:
+            # release the old physical segments even if reallocation
+            # or the worker op failed — never orphan /dev/shm blocks
+            for shm, _meta in stashed.values():
+                shm.close()
+                shm.unlink()
+
+    def run_kernel(self, array: "DistributedArray", fn: Callable) -> None:
+        owning = set(array.owning_ranks())
+        block = array._block_name()
+        per_rank = []
+        for rank in range(self.nprocs):
+            if rank in owning:
+                per_rank.append(
+                    dict(
+                        meta=self.allocator.meta(rank, block),
+                        fn=fn,
+                        idx=array.local_indices(rank),
+                    )
+                )
+            else:
+                per_rank.append(dict(meta=None, fn=fn, idx=None))
+        self.run_op(op_local_kernel, per_rank)
+
+    def stencil_step(
+        self,
+        array: "DistributedArray",
+        overlap,
+        func: Callable,
+        dim_entries=None,
+    ) -> None:
+        """One halo-exchanged stencil sweep across the worker fleet.
+
+        ``overlap`` is the array's
+        :class:`~repro.runtime.overlap.OverlapManager` (its padded
+        buffers are shared-memory blocks like any other allocation).
+        ``dim_entries`` — ``[(dim, shift_plan entries), ...]`` — lets
+        a caller that already planned the exchange for accounting
+        (``StencilKernel._step_spmd``) reuse the plan here.
+        """
+        dist = array.dist
+        widths = overlap.widths
+        seg_block = array._block_name()
+        pad_block = overlap._buf_name()
+        if dim_entries is None:
+            dim_entries = [
+                (dim, shift_plan(dist, dim, w))
+                for dim, w in enumerate(widths)
+                if w > 0
+            ]
+        local_shapes = {
+            rank: dist.local_shape(rank) for rank in range(self.nprocs)
+        }
+        dim_plans: dict[int, list] = {r: [] for r in range(self.nprocs)}
+        for dim, entries in dim_entries:
+            sends = defaultdict(list)
+            recvs = defaultdict(list)
+            for src, dst, key, src_sl, _count in entries:
+                sends[src].append((dst, key, src_sl))
+                recvs[dst].append(
+                    (
+                        src,
+                        key,
+                        halo_dest_slice(local_shapes[dst], widths, dim, key),
+                    )
+                )
+            for rank in range(self.nprocs):
+                dim_plans[rank].append(
+                    (dim, sends.get(rank, []), recvs.get(rank, []))
+                )
+        per_rank = [
+            dict(
+                seg_meta=self.allocator.meta(rank, seg_block),
+                pad_meta=self.allocator.meta(rank, pad_block),
+                widths=tuple(widths),
+                dim_plans=dim_plans[rank],
+                func=func,
+            )
+            for rank in range(self.nprocs)
+        ]
+        self.run_op(op_stencil_step, per_rank)
+
+    # -- introspection ---------------------------------------------------
+    @staticmethod
+    def can_ship(fn) -> bool:
+        """True if ``fn`` can be sent to workers (pickles by value/ref)."""
+        try:
+            pickle.dumps(fn)
+            return True
+        except Exception:
+            return False

@@ -1,0 +1,199 @@
+"""SPMD worker operations.
+
+Every function here runs *inside a worker process* with a
+:class:`~repro.backend.worker.WorkerContext`: attach the rank's
+shared-memory segments, move real bytes through the message-passing
+transport, compute on local data, acknowledge.  The master never
+moves array data on these paths — if an op mis-addresses a send, the
+array contents diverge from the serial reference and the conformance
+suite fails, which is exactly the point.
+
+All ops are module-level (picklable by reference), and every payload
+they exchange is a numpy array or plain Python data.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = [
+    "op_noop",
+    "op_redistribute",
+    "op_local_kernel",
+    "op_stencil_step",
+    "op_pingpong",
+    "op_flop_bench",
+    "line_sweep_kernel",
+]
+
+
+def op_noop(ctx) -> int:
+    """Health check: barrier with the fleet, return own rank."""
+    ctx.transport.barrier()
+    return ctx.rank
+
+
+#: per-worker memo of received move plans, keyed by the master's plan
+#: id — a recurring redistribution (the ADI steady state) ships its
+#: position arrays once and replays them by id afterwards.  Bounded in
+#: practice by the number of distinct layout pairs a program uses.
+_PLAN_MEMO: dict[int, tuple] = {}
+
+
+def op_redistribute(
+    ctx,
+    old_meta,
+    new_meta,
+    plan_id,
+    sends,
+    recvs,
+    keeps,
+    tag,
+) -> dict:
+    """Execute this rank's share of a DISTRIBUTE transfer plan.
+
+    ``sends``/``recvs`` are ``(peer, positions)`` lists in plan order
+    (positions index the flattened old/new segment); ``keeps`` is a
+    list of ``(old_positions, new_positions)`` local copies.  Values
+    ship as raw numpy arrays over the transport — the receiver derives
+    *where* they land from the same deterministic plan.  ``sends is
+    None`` means "replay the memoized plan ``plan_id``" (shipped by a
+    previous op for the same layout pair).
+    """
+    if sends is None:
+        sends, recvs, keeps = _PLAN_MEMO[plan_id]
+    else:
+        _PLAN_MEMO[plan_id] = (sends, recvs, keeps)
+    old = ctx.attach(old_meta)
+    new = ctx.attach(new_meta)
+    old_flat = old.reshape(-1) if old is not None else None
+    new_flat = new.reshape(-1) if new is not None else None
+    sent = 0
+    received = 0
+    for dst, positions in sends:
+        ctx.transport.send(dst, tag, old_flat[positions].copy())
+        sent += len(positions)
+    for old_pos, new_pos in keeps:
+        new_flat[new_pos] = old_flat[old_pos]
+    for src, positions in recvs:
+        values = ctx.transport.recv(src, tag)
+        new_flat[positions] = values
+        received += len(positions)
+    ctx.transport.barrier()
+    return {"sent": sent, "received": received}
+
+
+def op_local_kernel(ctx, meta, fn, idx) -> None:
+    """Apply an owner-computes kernel to this rank's local segment.
+
+    ``fn(rank, local, idx)`` mutates ``local`` in place; ``idx`` is
+    the per-dimension global index arrays of the segment.  Ranks that
+    own nothing just hit the barrier.
+    """
+    local = ctx.attach(meta)
+    if local is not None:
+        fn(ctx.rank, local, idx)
+    ctx.transport.barrier()
+
+
+def line_sweep_kernel(rank, local, idx, dim, line_func) -> None:
+    """The local line-sweep body (ADI's TRIDIAG over local lines)."""
+    moved = np.moveaxis(local, dim, -1)
+    flat = moved.reshape(-1, moved.shape[-1])
+    for i in range(flat.shape[0]):
+        flat[i, :] = line_func(flat[i, :])
+
+
+def op_stencil_step(
+    ctx,
+    seg_meta,
+    pad_meta,
+    widths,
+    dim_plans,
+    func,
+) -> None:
+    """One halo-exchanged stencil sweep on this rank's segment.
+
+    ``dim_plans`` is a list over haloed dimensions of
+    ``(dim, sends, recvs)`` where sends are ``(peer, key, src_slices)``
+    slabs of the *segment* and recvs are ``(peer, key, dest_slices)``
+    positions in the *padded* buffer.  Out-of-domain halo cells keep
+    the boundary fill the master allocated them with.
+    """
+    seg = ctx.attach(seg_meta)
+    pad = ctx.attach(pad_meta)
+    if seg is None:
+        # non-owner: participate in the per-dimension barriers only
+        for _ in dim_plans:
+            ctx.transport.barrier()
+        ctx.transport.barrier()
+        return
+    interior = tuple(
+        slice(w, w + s) for s, w in zip(seg.shape, widths)
+    )
+    pad[interior] = seg
+    for dim, sends, recvs in dim_plans:
+        # ctx.seq scopes the tag to this op: slabs a failed step left
+        # behind can never satisfy a later step's receives
+        for peer, key, src_sl in sends:
+            ctx.transport.send(
+                peer, ("halo", ctx.seq, dim, key), seg[src_sl].copy()
+            )
+        for peer, key, dest_sl in recvs:
+            pad[dest_sl] = ctx.transport.recv(
+                peer, ("halo", ctx.seq, dim, key)
+            )
+        ctx.transport.barrier()
+    new = np.empty_like(seg)
+    func(pad, new, tuple(widths))
+    seg[...] = new
+    pad[interior] = new
+    ctx.transport.barrier()
+
+
+def op_pingpong(ctx, src, dst, sizes, repeats, tag=None) -> list:
+    """Time one-way message latency between two ranks.
+
+    Rank ``src`` bounces a payload of each size off rank ``dst``
+    ``repeats`` times and returns ``(nbytes, seconds_one_way)``
+    samples (minimum over repeats, halved round trips — the standard
+    microbenchmark estimator).  Other ranks idle at the barrier.
+    """
+    if tag is None:
+        tag = ("pingpong", ctx.seq)
+    samples = []
+    if ctx.rank == src:
+        for nbytes in sizes:
+            payload = np.zeros(max(1, nbytes // 8), dtype=np.float64)
+            best = float("inf")
+            for rep in range(repeats + 1):  # first round is warmup
+                t0 = time.perf_counter()
+                ctx.transport.send(dst, tag, payload)
+                ctx.transport.recv(dst, tag)
+                dt = time.perf_counter() - t0
+                if rep > 0:
+                    best = min(best, dt)
+            samples.append((int(payload.nbytes), best / 2.0))
+    elif ctx.rank == dst:
+        for nbytes in sizes:
+            for _ in range(repeats + 1):
+                echo = ctx.transport.recv(src, tag)
+                ctx.transport.send(src, tag, echo)
+    ctx.transport.barrier()
+    return samples
+
+
+def op_flop_bench(ctx, n, repeats) -> float:
+    """Measure this worker's sustained flop rate (daxpy, 2 flops/elt)."""
+    x = np.linspace(0.0, 1.0, n)
+    y = np.linspace(1.0, 2.0, n)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        y = 1.000001 * x + y
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+    ctx.transport.barrier()
+    return (2.0 * n) / max(best, 1e-9)

@@ -1,0 +1,250 @@
+"""Deterministic data-motion plans shared by master and workers.
+
+SPMD execution only works if every process derives *the same* plan
+from the same distribution metadata: the sender enumerates the
+elements it ships to each peer in exactly the order the receiver
+expects them.  This module holds those pure planning functions:
+
+- :func:`transfer_plan` — the redistribution plan: for each (source,
+  destination) processor pair, the ascending global flat indices of
+  the elements the old primary owner sends to each new owner (the
+  per-pair expansion of the run time's transfer matrix — summing the
+  index counts for ``s != d`` reproduces ``transfer_matrix`` exactly);
+- :func:`segment_moves` — the same plan lowered to per-processor
+  *local segment positions* (what a worker actually indexes);
+- :func:`shift_plan` / :func:`halo_dest_slice` — the halo-exchange
+  plan of :func:`~repro.runtime.communication.shift_exchange`, as
+  data so both the in-process path and the worker op can execute it.
+
+Everything here is metadata-only: no numpy payload moves, no machine
+state is touched, and all outputs are picklable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid importing upper layers at run time
+    from ..core.distribution import Distribution
+
+__all__ = [
+    "segment_gflat",
+    "transfer_plan",
+    "segment_moves",
+    "SegmentMoves",
+    "shift_plan",
+    "halo_dest_slice",
+]
+
+
+def segment_gflat(dist: "Distribution", rank: int) -> np.ndarray:
+    """Global flat (C-order) indices of ``rank``'s segment, in the
+    segment's own C storage order.
+
+    This is the bridge between a worker's local buffer and global
+    index space: position ``i`` of the flattened local segment holds
+    global element ``segment_gflat(dist, rank)[i]``.
+    """
+    idx = dist.local_index_arrays(rank)
+    if idx is None or any(len(a) == 0 for a in idx):
+        return np.empty(0, dtype=np.int64)
+    grids = np.meshgrid(*idx, indexing="ij")
+    return np.ravel_multi_index(
+        tuple(g.ravel() for g in grids), dist.shape
+    ).astype(np.int64)
+
+
+def transfer_plan(
+    old: "Distribution", new: "Distribution", nprocs: int
+) -> list[tuple[int, int, np.ndarray]]:
+    """Per-pair element index sets of a redistribution.
+
+    Returns ``[(src, dst, gflat_indices), ...]`` where data is sourced
+    from the *old primary* owner and delivered to *every* new owner
+    (one entry group per replica rank map, matching
+    :func:`~repro.runtime.redistribute.transfer_matrix`); ``src ==
+    dst`` entries are the elements a processor keeps locally.  Index
+    arrays are ascending; entry order is deterministic, so sender and
+    receiver agree on message order by construction.
+    """
+    if old.domain != new.domain:
+        raise ValueError(
+            f"redistribution must preserve the index domain: "
+            f"{old.domain!r} vs {new.domain!r}"
+        )
+    src = np.asarray(old.rank_map()).ravel().astype(np.int64)
+    entries: list[tuple[int, int, np.ndarray]] = []
+    for new_rm in new.owner_rank_maps():
+        dst = np.asarray(new_rm).ravel().astype(np.int64)
+        pair = src * nprocs + dst
+        order = np.argsort(pair, kind="stable")
+        sorted_pair = pair[order]
+        cuts = np.nonzero(np.diff(sorted_pair))[0] + 1
+        starts = np.concatenate(([0], cuts))
+        ends = np.concatenate((cuts, [len(pair)]))
+        for st, en in zip(starts, ends):
+            s, d = divmod(int(sorted_pair[st]), nprocs)
+            entries.append((s, d, np.sort(order[st:en])))
+    return entries
+
+
+class SegmentMoves:
+    """One processor's share of a redistribution, in local positions.
+
+    ``sends``/``recvs`` are ``(peer, positions)`` lists in plan order —
+    positions index the *flattened* old/new local segment; ``keeps``
+    are ``(old_positions, new_positions)`` pairs copied locally.
+    """
+
+    __slots__ = ("rank", "sends", "recvs", "keeps")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.sends: list[tuple[int, np.ndarray]] = []
+        self.recvs: list[tuple[int, np.ndarray]] = []
+        self.keeps: list[tuple[np.ndarray, np.ndarray]] = []
+
+
+def _positions(
+    dist: "Distribution",
+    rank: int,
+    gidx: np.ndarray,
+    cache: dict[int, tuple[np.ndarray, np.ndarray]],
+) -> np.ndarray:
+    """Local flat positions of the global flat indices ``gidx`` inside
+    ``rank``'s segment (robust to any segment storage order)."""
+    entry = cache.get(rank)
+    if entry is None:
+        gflat = segment_gflat(dist, rank)
+        order = np.argsort(gflat, kind="stable")
+        entry = (gflat[order], order)
+        cache[rank] = entry
+    sorted_gflat, order = entry
+    where = np.searchsorted(sorted_gflat, gidx)
+    if where.size and (
+        where.max(initial=0) >= len(order)
+        or not np.array_equal(sorted_gflat[where], gidx)
+    ):
+        raise AssertionError(
+            f"transfer plan references elements outside processor "
+            f"{rank}'s segment"
+        )
+    return order[where]
+
+
+def segment_moves(
+    old: "Distribution", new: "Distribution", nprocs: int
+) -> dict[int, SegmentMoves]:
+    """Lower :func:`transfer_plan` to per-rank local segment moves."""
+    plan = transfer_plan(old, new, nprocs)
+    old_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    new_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    moves: dict[int, SegmentMoves] = defaultdict(
+        lambda: SegmentMoves(-1)
+    )
+
+    def of(rank: int) -> SegmentMoves:
+        m = moves[rank]
+        if m.rank < 0:
+            m.rank = rank
+        return m
+
+    for s, d, gidx in plan:
+        opos = _positions(old, s, gidx, old_cache)
+        npos = _positions(new, d, gidx, new_cache)
+        if s == d:
+            of(s).keeps.append((opos, npos))
+        else:
+            of(s).sends.append((d, opos))
+            of(d).recvs.append((s, npos))
+    return dict(moves)
+
+
+# -- halo exchange planning ------------------------------------------------
+
+def shift_plan(
+    dist: "Distribution", dim: int, width: int
+) -> list[tuple[int, int, str, tuple[slice, ...], int]]:
+    """The slab-exchange plan of one boundary shift along ``dim``.
+
+    Returns ``[(src, dst, key, src_slices, count), ...]``: ``src``
+    sends the ``src_slices`` slab of its local segment to ``dst``,
+    which stores it as its ``key`` (``"lo"``/``"hi"``) halo; ``count``
+    is the slab's element count.  Mirrors the neighbour discovery of
+    :func:`~repro.runtime.communication.shift_exchange` exactly.
+    """
+    if width < 1:
+        raise ValueError("exchange width must be >= 1")
+    segs: dict[int, tuple[tuple[int, int], ...]] = {}
+    for rank in range(dist.nprocs):
+        if dist.local_size(rank) <= 0:
+            continue
+        if dist.local_index_arrays(rank) is None:
+            continue
+        seg = dist.segment(rank)
+        if seg is None:
+            raise ValueError(
+                f"not contiguously distributed on processor {rank}; "
+                f"shift exchange requires BLOCK-family distributions"
+            )
+        segs[rank] = seg
+
+    ndim = len(dist.shape)
+    entries: list[tuple[int, int, str, tuple[slice, ...], int]] = []
+    for rank, seg in segs.items():
+        lo, hi = seg[dim]
+        n = hi - lo
+        if n <= 0:
+            continue
+        shape = tuple(h - l for l, h in seg)
+        cross = int(
+            np.prod(
+                [s for d, s in enumerate(shape) if d != dim],
+                dtype=np.int64,
+            )
+        )
+        w = min(width, n)
+        for other, oseg in segs.items():
+            olo, ohi = oseg[dim]
+            if other == rank or ohi - olo <= 0:
+                continue
+            if any(
+                seg[d] != oseg[d] for d in range(ndim) if d != dim
+            ):
+                continue
+            if ohi == lo:
+                # other is the lower neighbour: our low slab is its "hi"
+                key, slab = "hi", slice(0, w)
+            elif olo == hi:
+                # other is the upper neighbour: our high slab is its "lo"
+                key, slab = "lo", slice(n - w, n)
+            else:
+                continue
+            sl = [slice(None)] * ndim
+            sl[dim] = slab
+            entries.append((rank, other, key, tuple(sl), w * cross))
+    return entries
+
+
+def halo_dest_slice(
+    local_shape: tuple[int, ...],
+    widths: tuple[int, ...],
+    dim: int,
+    key: str,
+) -> tuple[slice, ...]:
+    """Where a received slab lands inside the halo-padded buffer."""
+    sl = [
+        slice(w, w + s) for s, w in zip(local_shape, widths)
+    ]
+    w = widths[dim]
+    if key == "lo":
+        sl[dim] = slice(0, w)
+    elif key == "hi":
+        n = local_shape[dim]
+        sl[dim] = slice(w + n, 2 * w + n)
+    else:
+        raise ValueError(f"halo key must be 'lo' or 'hi', got {key!r}")
+    return tuple(sl)

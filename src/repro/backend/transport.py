@@ -1,0 +1,125 @@
+"""Message-passing transport between SPMD workers.
+
+The explicit communication layer of the multiprocess backend: each
+worker owns an inbox queue; point-to-point :meth:`Transport.send`
+posts ``(src, tag, payload)`` into the destination's inbox, and
+:meth:`Transport.recv` pulls from the own inbox, stashing messages
+that arrive ahead of the one being waited for (queues preserve
+per-sender order, so a matching ``(src, tag)`` stream is FIFO).
+Collectives — :meth:`barrier` and :meth:`allgather` — are built from a
+``multiprocessing.Barrier`` and point-to-point exchange.
+
+This is the layer the :mod:`~repro.backend.calibrate` microbenchmarks
+measure: a ``send``/``recv`` round trip *is* the machine's alpha/beta
+for this backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["TransportTimeout", "Transport"]
+
+#: default seconds to wait on a receive/barrier before giving up — a
+#: wedged peer fails loudly instead of hanging the suite.
+DEFAULT_TIMEOUT = 120.0
+
+
+class TransportTimeout(RuntimeError):
+    """A receive or barrier did not complete within the timeout."""
+
+
+class Transport:
+    """One worker's endpoint of the backend interconnect.
+
+    Parameters
+    ----------
+    rank, nprocs:
+        This endpoint's identity.
+    inbox:
+        ``multiprocessing.Queue`` this worker receives on.
+    outboxes:
+        Inbox queues of every worker, indexed by rank.
+    barrier_obj:
+        ``multiprocessing.Barrier`` over all ``nprocs`` workers.
+    timeout:
+        Seconds to wait in :meth:`recv`/:meth:`barrier`.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        nprocs: int,
+        inbox,
+        outboxes,
+        barrier_obj,
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        self.rank = rank
+        self.nprocs = nprocs
+        self._inbox = inbox
+        self._outboxes = outboxes
+        self._barrier = barrier_obj
+        self.timeout = timeout
+        self._stash: dict[tuple[int, Any], list[Any]] = {}
+        self.sent_messages = 0
+        self.received_messages = 0
+
+    # -- point to point --------------------------------------------------
+    def send(self, dst: int, tag: Any, payload: Any) -> None:
+        """Post ``payload`` to worker ``dst`` under ``tag``."""
+        if not 0 <= dst < self.nprocs:
+            raise IndexError(f"destination rank {dst} out of range")
+        if dst == self.rank:
+            # local delivery without touching the queue
+            self._stash.setdefault((dst, tag), []).append(payload)
+        else:
+            self._outboxes[dst].put((self.rank, tag, payload))
+        self.sent_messages += 1
+
+    def recv(self, src: int, tag: Any) -> Any:
+        """Receive the next ``(src, tag)`` message (FIFO per sender)."""
+        key = (src, tag)
+        stashed = self._stash.get(key)
+        if stashed:
+            self.received_messages += 1
+            return stashed.pop(0)
+        from queue import Empty
+
+        while True:
+            try:
+                msg_src, msg_tag, payload = self._inbox.get(
+                    timeout=self.timeout
+                )
+            except Empty:
+                raise TransportTimeout(
+                    f"worker {self.rank}: no message from {src} tagged "
+                    f"{tag!r} within {self.timeout}s"
+                ) from None
+            if msg_src == src and msg_tag == tag:
+                self.received_messages += 1
+                return payload
+            self._stash.setdefault((msg_src, msg_tag), []).append(payload)
+
+    # -- collectives -----------------------------------------------------
+    def barrier(self) -> None:
+        """Block until every worker reaches the barrier."""
+        try:
+            self._barrier.wait(timeout=self.timeout)
+        except Exception as exc:  # BrokenBarrierError and friends
+            raise TransportTimeout(
+                f"worker {self.rank}: barrier broken or timed out "
+                f"({exc})"
+            ) from exc
+
+    def allgather(self, value: Any, tag: Any = "allgather") -> list[Any]:
+        """Every worker contributes ``value``; all receive all, by rank."""
+        for peer in range(self.nprocs):
+            if peer != self.rank:
+                self.send(peer, tag, value)
+        out = []
+        for peer in range(self.nprocs):
+            out.append(
+                value if peer == self.rank else self.recv(peer, tag)
+            )
+        return out

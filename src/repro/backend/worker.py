@@ -1,0 +1,104 @@
+"""The SPMD worker process of the multiprocess backend.
+
+One worker per processor of the :class:`~repro.machine.topology.ProcessorArray`.
+Each worker runs :func:`worker_main`: an endless command loop that
+receives ``(op, kwargs)`` pairs from the master, executes the op
+against its rank's shared-memory segments and the message-passing
+:class:`~repro.backend.transport.Transport`, and acknowledges on the
+shared result queue.  Ops are module-level functions from
+:mod:`~repro.backend.ops` (picklable by reference), so the command
+stream works under both ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any
+
+import numpy as np
+
+from .shm import BlockMeta, attach
+from .transport import Transport
+
+__all__ = ["WorkerContext", "worker_main"]
+
+
+class WorkerContext:
+    """What an op sees: its rank, the transport, and segment access."""
+
+    def __init__(self, rank: int, nprocs: int, transport: Transport):
+        self.rank = rank
+        self.nprocs = nprocs
+        self.transport = transport
+        #: the master's command sequence number of the op currently
+        #: executing — identical on every worker, so ops can scope
+        #: their transport tags to the op (a failed op's unconsumed
+        #: messages then never match a later op's receives)
+        self.seq = 0
+        self._attached: list = []
+
+    def attach(self, meta: BlockMeta | None) -> np.ndarray | None:
+        """Map a shared block; the view is valid until :meth:`release`."""
+        if meta is None:
+            return None
+        shm, arr = attach(meta)
+        self._attached.append((shm, arr))
+        return arr
+
+    def release(self) -> None:
+        """Drop every mapping taken since the last release."""
+        views = self._attached
+        self._attached = []
+        while views:
+            shm, arr = views.pop()
+            del arr
+            shm.close()
+
+
+def worker_main(
+    rank: int,
+    nprocs: int,
+    cmd_queue,
+    result_queue,
+    inbox,
+    outboxes,
+    barrier_obj,
+    timeout: float,
+    unregister_on_attach: bool = True,
+) -> None:
+    """Command loop body of one worker process."""
+    from . import shm as _shm
+
+    _shm.unregister_on_attach = unregister_on_attach
+    transport = Transport(
+        rank, nprocs, inbox, outboxes, barrier_obj, timeout=timeout
+    )
+    ctx = WorkerContext(rank, nprocs, transport)
+    while True:
+        cmd = cmd_queue.get()
+        if cmd is None:  # shutdown
+            break
+        op, kwargs, seq = cmd
+        ctx.seq = seq
+        try:
+            payload: Any = op(ctx, **kwargs)
+            result_queue.put((rank, seq, "ok", payload))
+        except BaseException as exc:  # report, never wedge the master
+            # break the collective barrier so peers waiting on this
+            # worker fail fast instead of riding out their timeout
+            # (the master resets the barrier after collecting acks)
+            try:
+                barrier_obj.abort()
+            except Exception:  # pragma: no cover
+                pass
+            result_queue.put(
+                (
+                    rank,
+                    seq,
+                    "error",
+                    f"{type(exc).__name__}: {exc}\n"
+                    f"{traceback.format_exc()}",
+                )
+            )
+        finally:
+            ctx.release()

@@ -29,10 +29,12 @@ exactly as in Vienna Fortran.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 import numpy as np
 
+from ..backend.plan import shift_plan
 from ..runtime.darray import DistributedArray
 from ..runtime.engine import Engine
 from ..runtime.overlap import OverlapManager
@@ -70,10 +72,18 @@ class StencilKernel:
 
     def step(self) -> None:
         """One sweep: load, exchange halos, compute, store."""
+        machine = self.array.machine
+        backend = machine.backend
+        if (
+            backend is not None
+            and backend.executes_spmd
+            and backend.can_ship(self.func)
+        ):
+            self._step_spmd(backend)
+            return
         ov = self._manager()
         ov.load_interior()
         ov.exchange()
-        machine = self.array.machine
         for rank in self.array.owning_ranks():
             pad = ov.padded(rank)
             out = ov.interior(rank)
@@ -85,6 +95,44 @@ class StencilKernel:
             )
         machine.network.synchronize()
         ov.store_interior()
+
+    def _step_spmd(self, backend) -> None:
+        """The same sweep with halo exchange and compute executed in
+        the backend's worker processes.
+
+        The master performs the identical network *accounting* the
+        serial path would (same per-dimension exchange phases, same
+        compute charges), then dispatches one SPMD stencil op: workers
+        load their interior, exchange boundary slabs through the
+        message-passing transport, run ``func`` on local data, and
+        store — the real data motion of the modeled messages.
+        """
+        ov = self._manager()  # (re)allocates shared padded buffers
+        machine = self.array.machine
+        dist = self.array.dist
+        itemsize = self.array.itemsize
+        # one shift_plan per dimension, used twice: accounting here,
+        # worker slab routing inside backend.stencil_step
+        dim_entries = [
+            (dim, shift_plan(dist, dim, w))
+            for dim, w in enumerate(self.widths)
+            if w > 0
+        ]
+        for dim, entries in dim_entries:
+            machine.network.exchange(
+                [
+                    (src, dst, count * itemsize,
+                     f"shift:{self.array.name}:d{dim}")
+                    for src, dst, _key, _sl, count in entries
+                ]
+            )
+            machine.network.synchronize()
+        for rank in self.array.owning_ranks():
+            machine.network.compute(
+                rank, self.flops_per_element * dist.local_size(rank)
+            )
+        machine.network.synchronize()
+        backend.stencil_step(self.array, ov, self.func, dim_entries)
 
 
 class LineSweepKernel:
@@ -129,6 +177,13 @@ class LineSweepKernel:
 
     def _sweep_local(self) -> dict[str, int]:
         machine = self.array.machine
+        backend = machine.backend
+        if (
+            backend is not None
+            and backend.executes_spmd
+            and backend.can_ship(self.line_func)
+        ):
+            return self._sweep_local_spmd(backend)
         nlines = 0
         for rank in self.array.owning_ranks():
             local = self.array.local(rank)
@@ -140,6 +195,32 @@ class LineSweepKernel:
             machine.network.compute(
                 rank, self.flops_per_element * local.size
             )
+        machine.network.synchronize()
+        return {"lines": nlines, "remote_lines": 0}
+
+    def _sweep_local_spmd(self, backend) -> dict[str, int]:
+        """Local sweep executed in the backend's worker processes.
+
+        Each worker solves its own lines against its shared-memory
+        segment; the master only charges the (identical) compute
+        accounting.  ``line_func`` must be picklable to land here —
+        use ``functools.partial`` over module-level solvers.
+        """
+        from ..backend.ops import line_sweep_kernel
+
+        machine = self.array.machine
+        dist = self.array.dist
+        nlines = 0
+        for rank in self.array.owning_ranks():
+            size = dist.local_size(rank)
+            nlines += size // max(1, dist.local_shape(rank)[self.dim])
+            machine.network.compute(rank, self.flops_per_element * size)
+        backend.run_kernel(
+            self.array,
+            partial(
+                line_sweep_kernel, dim=self.dim, line_func=self.line_func
+            ),
+        )
         machine.network.synchronize()
         return {"lines": nlines, "remote_lines": 0}
 

@@ -10,6 +10,7 @@ machine-independent, exactly as the paper argues.
 
 from .cost_model import CostModel, IPSC860, MODERN_CLUSTER, PARAGON, PRESETS, ZERO_COST
 from .machine import Machine
+from .measured import Calibration, MeasuredMachine
 from .memory import AllocationRecord, LocalMemory, MemoryError_
 from .network import MessageRecord, Network, NetworkStats
 from .report import link_matrix, per_processor_table, summary
@@ -23,6 +24,8 @@ __all__ = [
     "ZERO_COST",
     "PRESETS",
     "Machine",
+    "MeasuredMachine",
+    "Calibration",
     "LocalMemory",
     "MemoryError_",
     "AllocationRecord",

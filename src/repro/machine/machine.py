@@ -55,6 +55,10 @@ class Machine:
         self.memories = [
             LocalMemory(rank, capacity=memory_capacity) for rank in processors.ranks()
         ]
+        #: execution backend attached to this machine (see
+        #: :mod:`repro.backend`); ``None`` until a backend attaches, in
+        #: which case the run time falls back to in-process semantics.
+        self.backend = None
 
     # -- convenience ------------------------------------------------------
     @property
@@ -89,6 +93,14 @@ class Machine:
     def reset_network(self) -> None:
         """Zero communication counters (keeps memory contents)."""
         self.network.reset()
+
+    # -- backend integration ----------------------------------------------
+    def set_segment_allocator(self, allocator) -> None:
+        """Install (or, with ``None``, remove) a segment allocator on
+        every local memory — how an execution backend makes array
+        segments visible to its worker processes."""
+        for mem in self.memories:
+            mem.allocator = allocator
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,116 @@
+"""Measured machines: cost models fitted to real transport benchmarks.
+
+The preset cost models in :mod:`~repro.machine.cost_model` are
+order-of-magnitude literature figures — every alpha/beta the planner
+optimizes against is an *assumption*.  A :class:`Calibration` closes
+that loop: it carries network constants **fitted to measurements** of a
+real message-passing transport (see :mod:`repro.backend.calibrate`,
+which microbenchmarks the multiprocess backend), and a
+:class:`MeasuredMachine` is an ordinary :class:`~repro.machine.machine.Machine`
+whose cost model is built from such a fit — so the distribution
+planner, the redistribution reports, and every bench can price
+schedules against measured rather than assumed constants with no code
+changes above this layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .cost_model import CostModel
+from .machine import Machine
+from .topology import ProcessorArray
+
+__all__ = ["Calibration", "MeasuredMachine"]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Fitted machine constants plus the raw samples behind the fit.
+
+    Attributes
+    ----------
+    alpha:
+        Fitted per-message startup latency in seconds.
+    beta:
+        Fitted per-byte transfer time in seconds (inverse bandwidth).
+    flop_rate:
+        Measured floating-point rate of one worker, flops/second.
+    samples:
+        The ``(nbytes, seconds)`` one-way message timings the linear
+        fit was computed from.
+    source:
+        Where the numbers came from (e.g. ``"multiprocess"``).
+    residual:
+        Root-mean-square residual of the alpha+beta*n fit, seconds.
+    """
+
+    alpha: float
+    beta: float
+    flop_rate: float
+    samples: tuple[tuple[int, float], ...] = field(default_factory=tuple)
+    source: str = "measured"
+    residual: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("fitted alpha and beta must be non-negative")
+        if self.flop_rate <= 0:
+            raise ValueError("measured flop_rate must be positive")
+
+    @property
+    def bandwidth(self) -> float:
+        """Fitted asymptotic bandwidth in bytes/second."""
+        return float("inf") if self.beta == 0 else 1.0 / self.beta
+
+    def cost_model(self, name: str | None = None) -> CostModel:
+        """The fitted constants as a planner-ready :class:`CostModel`."""
+        return CostModel(
+            alpha=self.alpha,
+            beta=self.beta,
+            flop_rate=self.flop_rate,
+            name=name if name is not None else f"measured({self.source})",
+        )
+
+    def summary(self) -> str:
+        return (
+            f"Calibration[{self.source}]: alpha={self.alpha * 1e6:.1f}us  "
+            f"beta={self.beta * 1e9:.3f}ns/B "
+            f"({self.bandwidth / 1e6:.0f} MB/s)  "
+            f"flops={self.flop_rate / 1e6:.0f}M/s  "
+            f"n1/2={self.alpha / self.beta if self.beta else float('inf'):.0f}B  "
+            f"({len(self.samples)} samples, rms {self.residual * 1e6:.2f}us)"
+        )
+
+
+class MeasuredMachine(Machine):
+    """A machine whose cost model was fitted to transport measurements.
+
+    Construct it from a :class:`Calibration` (typically produced by
+    :func:`repro.backend.calibrate.calibrate`); everything downstream —
+    the cost engine, the planner, the benches — accepts it wherever a
+    :class:`Machine` is accepted, because it *is* one.
+    """
+
+    def __init__(
+        self,
+        processors: ProcessorArray | Sequence[int] | int,
+        calibration: Calibration,
+        memory_capacity: int | None = None,
+        trace: bool = False,
+    ):
+        super().__init__(
+            processors,
+            cost_model=calibration.cost_model(),
+            memory_capacity=memory_capacity,
+            trace=trace,
+        )
+        self.calibration = calibration
+
+    def __repr__(self) -> str:
+        return (
+            f"MeasuredMachine({self.processors!r}, nprocs={self.nprocs}, "
+            f"alpha={self.calibration.alpha:.2e}, "
+            f"beta={self.calibration.beta:.2e})"
+        )

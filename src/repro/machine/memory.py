@@ -43,11 +43,19 @@ class LocalMemory:
         Owning processor's rank (for error messages).
     capacity:
         Optional byte limit; ``None`` means unbounded.
+
+    An execution backend may install a *segment allocator* (see
+    :mod:`repro.backend`): an object with ``alloc(rank, name, shape,
+    dtype) -> np.ndarray`` and ``free(rank, name)``.  When present,
+    named blocks are backed by whatever storage the allocator provides
+    (e.g. ``multiprocessing.shared_memory`` so SPMD worker processes
+    can see them); byte accounting is unchanged.
     """
 
     def __init__(self, rank: int, capacity: int | None = None):
         self.rank = int(rank)
         self.capacity = capacity
+        self.allocator = None  # backend-installed segment allocator
         self._blocks: dict[str, np.ndarray] = {}
         self._records: dict[str, AllocationRecord] = {}
         self.high_water = 0
@@ -64,15 +72,19 @@ class LocalMemory:
         """Allocate a named block; re-allocating a name frees the old block."""
         if name in self._blocks:
             self.free(name)
-        arr = np.empty(shape, dtype=dtype)
-        if fill is not None:
-            arr.fill(fill)
-        nbytes = arr.nbytes
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
         if self.capacity is not None and self.used + nbytes > self.capacity:
             raise MemoryError_(
                 f"processor {self.rank}: allocating {nbytes}B for {name!r} "
                 f"exceeds capacity {self.capacity}B (used {self.used}B)"
             )
+        if self.allocator is not None:
+            arr = self.allocator.alloc(self.rank, name, tuple(shape), dtype)
+        else:
+            arr = np.empty(shape, dtype=dtype)
+        if fill is not None:
+            arr.fill(fill)
         self._blocks[name] = arr
         self._records[name] = AllocationRecord(name, nbytes, kind)
         self.high_water = max(self.high_water, self.used)
@@ -97,6 +109,18 @@ class LocalMemory:
             raise KeyError(f"processor {self.rank}: no block named {name!r}")
         del self._blocks[name]
         del self._records[name]
+        if self.allocator is not None:
+            self.allocator.free(self.rank, name)
+
+    def materialize(self, name: str) -> None:
+        """Replace a block's backing buffer with a private in-process
+        copy.  Called by a closing backend before it withdraws the
+        shared storage underneath — array contents survive the
+        backend, and later reads see ordinary process memory instead
+        of an unmapped segment."""
+        arr = self._blocks.get(name)
+        if arr is not None:
+            self._blocks[name] = np.array(arr, copy=True)
 
     # -- access ------------------------------------------------------------
     def __getitem__(self, name: str) -> np.ndarray:

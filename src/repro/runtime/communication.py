@@ -24,6 +24,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..backend.plan import shift_plan
 from .darray import DistributedArray
 
 __all__ = [
@@ -32,16 +33,6 @@ __all__ = [
     "broadcast_from",
     "reduce_scalar",
 ]
-
-
-def _contiguous_segment(array: DistributedArray, rank: int) -> tuple[tuple[int, int], ...]:
-    seg = array.dist.segment(rank)
-    if seg is None:
-        raise ValueError(
-            f"{array.name!r} is not contiguously distributed on processor "
-            f"{rank}; shift_exchange requires BLOCK-family distributions"
-        )
-    return seg
 
 
 def shift_exchange(array: DistributedArray, dim: int, width: int = 1) -> dict[int, dict[str, np.ndarray]]:
@@ -62,47 +53,22 @@ def shift_exchange(array: DistributedArray, dim: int, width: int = 1) -> dict[in
     if width < 1:
         raise ValueError("exchange width must be >= 1")
     machine = array.machine
-    # Owners sorted by their segment start along `dim`.
-    owners: list[tuple[int, tuple[int, int]]] = []
-    segs: dict[int, tuple[tuple[int, int], ...]] = {}
-    for rank in array.owning_ranks():
-        seg = _contiguous_segment(array, rank)
-        segs[rank] = seg
-        owners.append((rank, seg[dim]))
 
-    received: dict[int, dict[str, np.ndarray]] = {r: {} for r, _ in owners}
+    # the slab plan is shared, verbatim, with the SPMD worker op
+    # (repro.backend.ops.op_stencil_step): same neighbours, same
+    # slabs, same element counts — only the mover differs.
+    try:
+        entries = shift_plan(array.dist, dim, width)
+    except ValueError as exc:
+        raise ValueError(f"{array.name!r}: {exc}") from None
+    received: dict[int, dict[str, np.ndarray]] = {
+        r: {} for r in array.owning_ranks()
+    }
     phase: list[tuple[int, int, int, str]] = []
-    for rank, (lo, hi) in owners:
-        if hi - lo <= 0:
-            continue
-        for other, (olo, ohi) in owners:
-            if other == rank or ohi - olo <= 0:
-                continue
-            # `other` is the upper neighbour if it starts where we end
-            # *and* the two segments coincide in every other dimension.
-            same_elsewhere = all(
-                segs[rank][d] == segs[other][d]
-                for d in range(array.ndim)
-                if d != dim
-            )
-            if not same_elsewhere:
-                continue
-            local = array.local(rank)
-            if ohi == lo:  # other is the lower neighbour: send our low slab
-                slab = np.take(local, range(0, min(width, hi - lo)), axis=dim).copy()
-                phase.append(
-                    (rank, other, slab.nbytes, f"shift:{array.name}:d{dim}")
-                )
-                received[other]["hi"] = slab
-            elif olo == hi:  # other is the upper neighbour: send our high slab
-                n = local.shape[dim]
-                slab = np.take(
-                    local, range(max(0, n - width), n), axis=dim
-                ).copy()
-                phase.append(
-                    (rank, other, slab.nbytes, f"shift:{array.name}:d{dim}")
-                )
-                received[other]["lo"] = slab
+    for src, dst, key, src_sl, _count in entries:
+        slab = array.local(src)[src_sl].copy()
+        phase.append((src, dst, slab.nbytes, f"shift:{array.name}:d{dim}"))
+        received[dst][key] = slab
     # all boundary transfers of one sweep post concurrently
     machine.network.exchange(phase)
     machine.network.synchronize()

@@ -22,6 +22,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..backend.base import Backend, resolve_backend
 from ..core.alignment import Alignment
 from ..core.descriptor import ArrayDescriptor
 from ..core.distribution import Distribution, DistributionType
@@ -38,10 +39,37 @@ __all__ = ["Engine"]
 
 
 class Engine:
-    """One Vienna Fortran Engine instance over a simulated machine."""
+    """One Vienna Fortran Engine instance over a simulated machine.
 
-    def __init__(self, machine: Machine, plan_cache: PlanCache | None = None):
+    Parameters
+    ----------
+    machine:
+        The simulated multicomputer to run on.
+    plan_cache:
+        Memoized transfer plans (§3.2 run-time optimization); pass one
+        explicitly to share it across engines.
+    backend:
+        Execution backend — a :class:`~repro.backend.base.Backend`
+        instance, ``"serial"``, or ``"multiprocess"``.  ``None``
+        (default) reuses whatever backend is already attached to the
+        machine, or plain in-process semantics if there is none.  A
+        named backend constructed here is attached to the machine;
+        its lifecycle (``close()``) belongs to the caller via
+        :attr:`backend`.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        plan_cache: PlanCache | None = None,
+        backend: Backend | str | None = None,
+    ):
         self.machine = machine
+        if backend is None:
+            self.backend = machine.backend  # may be None: inline serial
+        else:
+            self.backend = resolve_backend(backend)
+            self.backend.attach(machine)
         self.arrays: dict[str, DistributedArray] = {}
         self._classes: dict[str, ConnectClass] = {}  # primary name -> class
         self.reports: list[RedistributionReport] = []
@@ -310,8 +338,28 @@ class Engine:
         flops_per_element: float = 0.0,
     ) -> None:
         """Owner-computes loop: run ``func(rank, local, global_indices)``
-        on every owning processor, charging local compute time."""
+        on every owning processor, charging local compute time.
+
+        With an SPMD backend attached, a picklable ``func`` executes
+        in the worker processes (one per owning rank, against the
+        shared-memory segment); anything unpicklable falls back to the
+        in-process loop — contents are identical either way, only the
+        executing process differs.
+        """
         arr = self._get(name)
+        backend = self.machine.backend
+        if (
+            backend is not None
+            and backend.executes_spmd
+            and backend.can_ship(func)
+        ):
+            backend.run_kernel(arr, func)
+            if flops_per_element:
+                for rank in arr.owning_ranks():
+                    self.machine.network.compute(
+                        rank, flops_per_element * arr.dist.local_size(rank)
+                    )
+            return
         for rank in arr.owning_ranks():
             idx = arr.local_indices(rank)
             assert idx is not None
@@ -323,6 +371,17 @@ class Engine:
 
     def connect_class_of(self, name: str) -> ConnectClass | None:
         return self._get(name).descriptor.connect_class
+
+    def redistribution_summary(self) -> str:
+        """Multi-line summary of every redistribution this engine ran,
+        plus the plan cache's cumulative hit/miss statistics."""
+        lines = [r.summary() for r in self.reports]
+        s = self.plan_cache.stats()
+        lines.append(
+            f"plan cache: {s['hits']} hits / {s['misses']} misses "
+            f"({s['matrices']} matrices, {s['moves']} move plans resident)"
+        )
+        return "\n".join(lines)
 
     def _get(self, name: str) -> DistributedArray:
         try:

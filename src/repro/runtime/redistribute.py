@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend.base import serial_move
+from ..backend.plan import segment_moves as _segment_moves
 from ..core.distribution import Distribution
 from .darray import DistributedArray
 
@@ -42,7 +44,14 @@ __all__ = [
 
 
 class RedistributionReport:
-    """What one COMMUNICATE did: messages, bytes, elements moved/kept."""
+    """What one COMMUNICATE did: messages, bytes, elements moved/kept.
+
+    ``cache_hits``/``cache_misses`` are the
+    :class:`PlanCache` lookups this operation performed (a recurring
+    redistribution in a steady-state loop should show pure hits —
+    the §3.2 run-time optimization at work); ``backend`` names the
+    execution backend that moved the data.
+    """
 
     def __init__(
         self,
@@ -52,6 +61,9 @@ class RedistributionReport:
         elements_moved: int,
         elements_kept: int,
         time: float,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+        backend: str = "serial",
     ):
         self.array_name = array_name
         self.messages = messages
@@ -59,6 +71,18 @@ class RedistributionReport:
         self.elements_moved = elements_moved
         self.elements_kept = elements_kept
         self.time = time
+        self.cache_hits = cache_hits
+        self.cache_misses = cache_misses
+        self.backend = backend
+
+    def summary(self) -> str:
+        """One-line human summary including plan-cache behaviour."""
+        return (
+            f"{self.array_name}: {self.messages} msgs, {self.bytes}B, "
+            f"moved={self.elements_moved}, kept={self.elements_kept}, "
+            f"t={self.time:.3e}s  [backend={self.backend}, plan cache "
+            f"{self.cache_hits} hit / {self.cache_misses} miss]"
+        )
 
     def __repr__(self) -> str:
         return (
@@ -133,6 +157,7 @@ class PlanCache:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._plans: dict[tuple[Distribution, Distribution, int], np.ndarray] = {}
+        self._moves: dict[tuple[Distribution, Distribution, int], dict] = {}
         self.hits = 0
         self.misses = 0
 
@@ -151,8 +176,37 @@ class PlanCache:
         self._plans[key] = plan
         return plan
 
+    def segment_moves(
+        self, old: Distribution, new: Distribution, nprocs: int
+    ) -> dict:
+        """Memoized per-rank segment move plan (what SPMD workers
+        execute; see :func:`repro.backend.plan.segment_moves`).  The
+        worker fleet shares recurring plans through this cache exactly
+        as the serial path shares transfer matrices."""
+        key = (old, new, nprocs)
+        moves = self._moves.get(key)
+        if moves is not None:
+            self.hits += 1
+            return moves
+        self.misses += 1
+        moves = _segment_moves(old, new, nprocs)
+        if len(self._moves) >= self.capacity:
+            self._moves.pop(next(iter(self._moves)))  # evict oldest
+        self._moves[key] = moves
+        return moves
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters plus current cache population."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "matrices": len(self._plans),
+            "moves": len(self._moves),
+        }
+
     def clear(self) -> None:
         self._plans.clear()
+        self._moves.clear()
         self.hits = 0
         self.misses = 0
 
@@ -178,9 +232,11 @@ def communicate(
     Returns a :class:`RedistributionReport`.
     """
     machine = array.machine
+    backend = machine.backend
     old_dist = array.descriptor.dist
     name = array.name
     tag = tag or f"redistribute:{name}"
+    backend_name = backend.name if backend is not None else "serial"
 
     if not transfer:
         # Descriptor/access-function update only; element values are
@@ -188,10 +244,14 @@ def communicate(
         # the caller asserts it will overwrite them before reading).
         array.descriptor.set_dist(new_dist)
         array._allocate_segments(fill=0.0)
-        return RedistributionReport(name, 0, 0, 0, array.size, 0.0)
+        return RedistributionReport(
+            name, 0, 0, 0, array.size, 0.0, backend=backend_name
+        )
 
     t0 = machine.network.time
     stats0 = machine.stats()
+    hits0 = plan_cache.hits if plan_cache is not None else 0
+    misses0 = plan_cache.misses if plan_cache is not None else 0
 
     if plan_cache is not None:
         T = plan_cache.transfer_matrix(old_dist, new_dist, machine.nprocs)
@@ -209,12 +269,14 @@ def communicate(
     )
     machine.network.synchronize()
 
-    # Physical data motion via global reassembly (simulation shortcut:
-    # the values end up exactly where the per-pair sends put them).
-    gvals = array.to_global()
-    array.descriptor.set_dist(new_dist)
-    array._allocate_segments(fill=None)
-    array.from_global(gvals)
+    # Physical data motion.  The network above *accounts* (identically
+    # for every backend); the attached execution backend *moves* —
+    # in-process global reassembly for the serial reference, real
+    # send/recv of segment data in worker processes for SPMD backends.
+    if backend is not None and backend.executes_spmd:
+        backend.move(array, new_dist, plan_cache=plan_cache)
+    else:
+        serial_move(array, new_dist)
 
     stats1 = machine.stats()
     moved = int(T.sum())
@@ -229,4 +291,9 @@ def communicate(
         elements_moved=moved,
         elements_kept=kept,
         time=machine.network.time - t0,
+        cache_hits=(plan_cache.hits - hits0) if plan_cache is not None else 0,
+        cache_misses=(
+            plan_cache.misses - misses0 if plan_cache is not None else 0
+        ),
+        backend=backend_name,
     )

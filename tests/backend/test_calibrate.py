@@ -1,0 +1,115 @@
+"""Calibration: alpha/beta fitting, MeasuredMachine, planner handoff."""
+
+import numpy as np
+import pytest
+
+from repro.backend.calibrate import calibrate, fit_alpha_beta
+from repro.machine import Calibration, Machine, MeasuredMachine, ProcessorArray
+
+
+class TestFit:
+    def test_exact_linear_samples(self):
+        alpha, beta = 5e-5, 2e-9
+        samples = [(n, alpha + beta * n) for n in (8, 1024, 65536, 1 << 20)]
+        a, b, resid = fit_alpha_beta(samples)
+        assert a == pytest.approx(alpha, rel=1e-6)
+        assert b == pytest.approx(beta, rel=1e-6)
+        assert resid == pytest.approx(0.0, abs=1e-12)
+
+    def test_noise_clamped_nonnegative(self):
+        # pathological samples that would fit a negative slope
+        samples = [(8, 1e-4), (1 << 20, 1e-5)]
+        a, b, _ = fit_alpha_beta(samples)
+        assert a >= 0 and b >= 0
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError, match="two"):
+            fit_alpha_beta([(8, 1e-5)])
+
+
+class TestCalibration:
+    def _cal(self, **kw):
+        base = dict(
+            alpha=1e-5, beta=1e-9, flop_rate=1e8,
+            samples=((8, 1.1e-5), (1024, 1.2e-5)), source="test",
+        )
+        base.update(kw)
+        return Calibration(**base)
+
+    def test_cost_model_roundtrip(self):
+        cal = self._cal()
+        cm = cal.cost_model()
+        assert cm.alpha == cal.alpha and cm.beta == cal.beta
+        assert cm.name == "measured(test)"
+        assert cal.bandwidth == pytest.approx(1e9)
+        assert "alpha" in cal.summary()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._cal(alpha=-1.0)
+        with pytest.raises(ValueError):
+            self._cal(flop_rate=0.0)
+
+    def test_measured_machine_is_a_machine(self):
+        cal = self._cal()
+        m = MeasuredMachine(ProcessorArray("M", (4,)), cal)
+        assert isinstance(m, Machine)
+        assert m.cost_model.alpha == cal.alpha
+        assert m.calibration is cal
+        assert m.nprocs == 4
+        assert "MeasuredMachine" in repr(m)
+
+
+class TestLiveCalibration:
+    @pytest.fixture(scope="class")
+    def cal(self):
+        return calibrate(
+            nprocs=2, sizes=(8, 4096, 65536), repeats=2, flop_n=100_000
+        )
+
+    def test_produces_positive_constants(self, cal):
+        assert cal.alpha > 0
+        assert cal.beta >= 0
+        assert cal.flop_rate > 0
+        assert len(cal.samples) == 3
+        assert cal.source == "multiprocess"
+
+    def test_planner_accepts_measured_machine(self, cal):
+        from repro.planner import CostEngine, adi_workload, plan_workload
+
+        machine = MeasuredMachine(ProcessorArray("M", (4,)), cal)
+        workload = adi_workload(16, 16, iterations=2, machine=machine)
+        plan = plan_workload(workload, cost_engine=CostEngine(machine))
+        assert plan.steps
+        assert plan.total_cost <= min(plan.static.values()) + 1e-12
+
+    def test_engine_runs_on_measured_machine(self, cal):
+        from repro.core.distribution import dist_type
+        from repro.runtime.engine import Engine
+
+        machine = MeasuredMachine(ProcessorArray("M", (4,)), cal)
+        e = Engine(machine)
+        v = e.declare(
+            "V", (8, 8), dist=dist_type(":", "BLOCK"), dynamic=True
+        )
+        g = np.arange(64, dtype=float).reshape(8, 8)
+        v.from_global(g)
+        reports = e.distribute("V", dist_type("BLOCK", ":"))
+        assert np.array_equal(v.to_global(), g)
+        # measured constants drive the modeled time
+        assert reports[0].time > 0
+
+    def test_rejects_single_worker(self):
+        with pytest.raises(ValueError, match="two workers"):
+            calibrate(nprocs=1)
+
+    def test_rejects_single_worker_backend(self):
+        from repro.backend import MultiprocessBackend
+
+        be = MultiprocessBackend()
+        be.attach(Machine(ProcessorArray("ONE", (1,))))
+        try:
+            with pytest.raises(ValueError, match="two workers"):
+                calibrate(backend=be)
+        finally:
+            be.close()

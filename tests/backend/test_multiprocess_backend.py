@@ -1,0 +1,264 @@
+"""MultiprocessBackend: real SPMD workers, shared memory, transport.
+
+The conformance *property* suite lives in
+``tests/properties/test_backend_conformance.py``; these are the
+mechanism tests — lifecycle, shared-memory hygiene, worker error
+propagation, collectives, and the plan-cache sharing the reports
+advertise.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.backend import BackendError, MultiprocessBackend
+from repro.core.distribution import dist_type
+from repro.machine import Machine, ProcessorArray
+from repro.runtime.engine import Engine
+
+R = ProcessorArray("R", (4,))
+
+
+@pytest.fixture()
+def backend():
+    be = MultiprocessBackend(timeout=60.0)
+    yield be
+    be.close()
+
+
+def _shm_leftovers() -> list[str]:
+    try:
+        return [f for f in os.listdir("/dev/shm") if f.startswith("vfe-")]
+    except FileNotFoundError:  # non-Linux: rely on close() not raising
+        return []
+
+
+def test_lifecycle_and_cleanup(backend):
+    m = Machine(R)
+    backend.attach(m)
+    assert m.backend is backend
+    assert backend.nprocs == 4
+    e = Engine(m)
+    v = e.declare("V", (8, 8), dist=dist_type("BLOCK", ":"), dynamic=True)
+    v.from_global(np.arange(64, dtype=float).reshape(8, 8))
+    assert len(backend.allocator) > 0
+    backend.close()
+    assert m.backend is None
+    assert _shm_leftovers() == []
+
+
+def test_arrays_survive_backend_close():
+    """Closing the backend withdraws the shared storage; array
+    contents must remain readable (private copies), not segfault."""
+    m = Machine(R)
+    be = MultiprocessBackend()
+    be.attach(m)
+    e = Engine(m)
+    v = e.declare("V", (8, 8), dist=dist_type(":", "BLOCK"), dynamic=True)
+    g = np.random.default_rng(2).standard_normal((8, 8))
+    v.from_global(g)
+    e.distribute("V", dist_type("BLOCK", ":"))
+    be.close()
+    assert _shm_leftovers() == []
+    assert np.array_equal(v.to_global(), g)  # reads ordinary memory now
+    v.set((0, 0), 42.0)
+    assert v.get((0, 0)) == 42.0
+
+
+def test_attach_after_allocation_rejected(backend):
+    m = Machine(R)
+    Engine(m).declare("V", (8,), dist=dist_type("BLOCK"))
+    with pytest.raises(RuntimeError, match="before declaring"):
+        backend.attach(m)
+    # failed attach must roll back completely: the machine stays a
+    # perfectly usable serial machine
+    assert m.backend is None
+    assert backend.machine is None
+    e = Engine(m)
+    v = e.declare("W", (8, 4), dist=dist_type(":", "BLOCK"), dynamic=True)
+    g = np.arange(32, dtype=float).reshape(8, 4)
+    v.from_global(g)
+    e.distribute("W", dist_type("BLOCK", ":"))
+    assert np.array_equal(v.to_global(), g)
+
+
+def test_distribute_roundtrip_preserves_data(backend):
+    m = Machine(R)
+    backend.attach(m)
+    e = Engine(m)
+    v = e.declare("V", (16, 8), dist=dist_type(":", "BLOCK"), dynamic=True)
+    g = np.random.default_rng(7).standard_normal((16, 8))
+    v.from_global(g)
+    for spec in [("BLOCK", ":"), (":", "BLOCK"), ("CYCLIC", ":")]:
+        e.distribute("V", dist_type(*spec))
+        assert np.array_equal(v.to_global(), g)
+
+
+def test_reports_name_backend_and_cache(backend):
+    m = Machine(R)
+    backend.attach(m)
+    e = Engine(m)
+    e.declare("V", (16, 4), dist=dist_type(":", "BLOCK"), dynamic=True)
+    e.distribute("V", dist_type("BLOCK", ":"))
+    e.distribute("V", dist_type(":", "BLOCK"))
+    e.distribute("V", dist_type("BLOCK", ":"))
+    first, _, third = e.reports[:3]
+    assert first.backend == "multiprocess"
+    # first flip computes the matrix and the worker move plan ...
+    assert first.cache_misses == 2 and first.cache_hits == 0
+    # ... the recurrence is served from the shared cache
+    assert third.cache_hits == 2 and third.cache_misses == 0
+    assert "multiprocess" in third.summary()
+    assert "2 hit" in third.summary()
+    assert "plan cache" in e.redistribution_summary()
+
+
+def test_worker_error_propagates(backend):
+    m = Machine(R)
+    backend.attach(m)
+    e = Engine(m)
+    e.declare("V", (8,), dist=dist_type("BLOCK"))
+    with pytest.raises(BackendError, match="_explode"):
+        backend.run_kernel(e.arrays["V"], _explode)
+    # the fleet survives a failed op
+    e2 = Engine(m)
+    e2.declare("W", (8,), dist=dist_type("BLOCK"))
+    backend.run_kernel(e2.arrays["W"], _fill_with_rank)
+    assert np.array_equal(
+        e2.arrays["W"].to_global(),
+        np.repeat(np.arange(4, dtype=float), 2),
+    )
+
+
+def test_partial_worker_error_fails_fast_and_fleet_recovers():
+    """One failing rank aborts the collective barrier: peers bail out
+    immediately (no timeout ride-out), and the re-armed barrier keeps
+    the fleet usable for the next op."""
+    be = MultiprocessBackend(timeout=30.0)
+    try:
+        m = Machine(R)
+        be.attach(m)
+        e = Engine(m)
+        e.declare("V", (8,), dist=dist_type("BLOCK"))
+        import time
+
+        t0 = time.perf_counter()
+        with pytest.raises(BackendError, match="rank 0 only"):
+            be.run_kernel(e.arrays["V"], _explode_rank0)
+        assert time.perf_counter() - t0 < 15.0  # no timeout ride-out
+        # fleet recovered: barriers and acks still line up
+        be.run_kernel(e.arrays["V"], _fill_with_rank)
+        assert np.array_equal(
+            e.arrays["V"].to_global(),
+            np.repeat(np.arange(4, dtype=float), 2),
+        )
+    finally:
+        be.close()
+
+
+def test_plan_replay_on_recurring_flips(backend):
+    """A steady-state flip ships its move plan to the fleet once and
+    replays it by id afterwards — contents stay bitwise-correct."""
+    m = Machine(R)
+    backend.attach(m)
+    e = Engine(m)
+    v = e.declare("V", (16, 8), dist=dist_type(":", "BLOCK"), dynamic=True)
+    g = np.random.default_rng(13).standard_normal((16, 8))
+    v.from_global(g)
+    for i in range(6):
+        target = ("BLOCK", ":") if i % 2 == 0 else (":", "BLOCK")
+        e.distribute("V", dist_type(*target))
+        assert np.array_equal(v.to_global(), g)
+    # both flip directions were shipped exactly once
+    assert len(backend._shipped_plans) == 2
+
+
+def test_run_kernel_runs_in_workers_not_master(backend):
+    """The worker executes in another process: master-side globals
+    mutated by the kernel stay untouched in the master."""
+    m = Machine(R)
+    backend.attach(m)
+    e = Engine(m)
+    e.declare("V", (8,), dist=dist_type("BLOCK"))
+    _MASTER_SENTINEL.clear()
+    backend.run_kernel(e.arrays["V"], _poke_sentinel)
+    assert _MASTER_SENTINEL == []  # mutated only in the workers
+    # yet the shared-memory write IS visible to the master
+    assert np.array_equal(
+        e.arrays["V"].to_global(), np.full(8, 5.0)
+    )
+
+
+def test_foreach_owned_routes_through_workers(backend):
+    m = Machine(R)
+    backend.attach(m)
+    e = Engine(m)
+    e.declare("V", (12,), dist=dist_type("BLOCK"))
+    e.foreach_owned("V", _fill_with_rank, flops_per_element=2.0)
+    assert np.array_equal(
+        e.arrays["V"].to_global(), np.repeat(np.arange(4, dtype=float), 3)
+    )
+    assert m.time > 0  # compute accounting still charged
+
+
+def test_foreach_owned_falls_back_on_unpicklable(backend):
+    m = Machine(R)
+    backend.attach(m)
+    e = Engine(m)
+    e.declare("V", (8,), dist=dist_type("BLOCK"))
+    seen = []
+
+    def closure(rank, local, idx):  # closes over `seen`: unpicklable-by-ref
+        seen.append(rank)
+        local[...] = rank
+
+    e.foreach_owned("V", closure)
+    assert seen == [0, 1, 2, 3]  # ran in the master
+    assert np.array_equal(
+        e.arrays["V"].to_global(), np.repeat(np.arange(4, dtype=float), 2)
+    )
+
+
+def test_allgather_collective(backend):
+    m = Machine(R)
+    backend.attach(m)
+    gathered = backend.run_op(
+        _op_allgather_rank, [{} for _ in range(4)]
+    )
+    assert gathered == [[0, 1, 2, 3]] * 4
+
+
+def test_run_op_after_close_rejected():
+    be = MultiprocessBackend()
+    be.attach(Machine(R))
+    be.close()
+    with pytest.raises(BackendError, match="closed"):
+        be.run_op(_op_allgather_rank, [{} for _ in range(4)])
+
+
+# -- module-level worker payloads (picklable by reference) ---------------
+
+_MASTER_SENTINEL: list = []
+
+
+def _explode(rank, local, idx):
+    raise RuntimeError(f"_explode on rank {rank}")
+
+
+def _explode_rank0(rank, local, idx):
+    if rank == 0:
+        raise RuntimeError("_explode_rank0: rank 0 only")
+
+
+def _fill_with_rank(rank, local, idx):
+    local[...] = rank
+
+
+def _poke_sentinel(rank, local, idx):
+    _MASTER_SENTINEL.append(rank)
+    local[...] = 5.0
+
+
+def _op_allgather_rank(ctx):
+    return ctx.transport.allgather(ctx.rank)

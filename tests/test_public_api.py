@@ -12,6 +12,7 @@ SUBPACKAGES = [
     "repro.lang",
     "repro.compiler",
     "repro.planner",
+    "repro.backend",
     "repro.apps",
 ]
 
@@ -32,10 +33,31 @@ def test_star_import_clean():
         assert required in ns
 
 
+def test_backend_reexported_from_root():
+    """The v1.2.0 surface: the execution-backend tier is one import
+    away (ISSUE 2 satellite)."""
+    import repro
+
+    assert repro.backend.__name__ == "repro.backend"
+    assert repro.Backend is repro.backend.Backend
+    assert repro.SerialBackend is repro.backend.SerialBackend
+    assert repro.MultiprocessBackend is repro.backend.MultiprocessBackend
+    assert repro.calibrate is repro.backend.calibrate  # the module
+    assert callable(repro.calibrate.calibrate)
+    # the measured-machine types ride along on the machine layer
+    assert repro.MeasuredMachine and repro.Calibration
+
+    ns: dict = {}
+    exec("from repro import *", ns)  # noqa: S102
+    for required in ("Backend", "SerialBackend", "MultiprocessBackend",
+                     "MeasuredMachine", "Calibration"):
+        assert required in ns
+
+
 def test_version():
     import repro
 
-    assert repro.__version__
+    assert repro.__version__ == "1.2.0"
 
 
 def test_main_module_runs(capsys):
