@@ -28,6 +28,13 @@ Layers (bottom-up):
   transport), plus transport calibration that fits *measured*
   alpha/beta/flop-rate constants into a ``MeasuredMachine`` the
   planner schedules against;
+- :mod:`repro.sim` — the discrete-event execution simulator: the
+  engine/backends emit typed events (kernel, send/recv, barrier,
+  allgather, redistribute-transfer) through a recording seam, and the
+  simulator replays them with blocking semantics (bit-for-bit the
+  aggregate accounting) or split-phase nonblocking post/wait —
+  per-processor timelines, idle/imbalance metrics, critical-path
+  extraction, Gantt/JSON trace export (``python -m repro trace``);
 - :mod:`repro.apps` — the paper's §4 workloads: ADI (Figure 1),
   particle-in-cell with B_BLOCK load balancing (Figure 2), and the
   grid-smoothing distribution-choice example — each with a
@@ -69,15 +76,16 @@ from . import backend as backend  # noqa: F401
 from . import compiler as compiler  # noqa: F401
 from . import lang as lang  # noqa: F401
 from . import planner as planner  # noqa: F401
+from . import sim as sim  # noqa: F401
 
 _upper_all: list = []
-for _mod in (lang, compiler, planner, backend):
+for _mod in (lang, compiler, planner, backend, sim):
     for _name in _mod.__all__:
         if _name not in globals():
             globals()[_name] = getattr(_mod, _name)
             _upper_all.append(_name)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -85,6 +93,7 @@ __all__ = [
     "compiler",
     "lang",
     "planner",
+    "sim",
     *_core_all,
     *_machine_all,
     *_runtime_all,

@@ -1,20 +1,28 @@
-"""``python -m repro`` — tour, planner, backend and calibration CLI.
+"""``python -m repro`` — tour, planner, backend, trace and calibration CLI.
 
 With no arguments, runs a miniature version of each paper artifact
 (Figure 1 ADI, Figure 2 PIC, the §4 smoothing choice) and prints the
 headline comparisons.  Subcommands::
 
     python -m repro plan adi --nprocs 4 --cost-model Paragon
+    python -m repro plan adi --cost-mode simulated --json
     python -m repro run adi --backend multiprocess
     python -m repro run smoothing --backend multiprocess --nprocs 4
+    python -m repro trace adi --nprocs 4 --size 32
     python -m repro calibrate --nprocs 2
 
-``plan`` runs the automatic distribution planner on a named workload;
-``run`` executes a workload on a chosen SPMD execution backend
-(``serial`` or ``multiprocess``), verifying multiprocess results
-bitwise against the serial reference; ``calibrate`` microbenchmarks
-the multiprocess transport, fits measured alpha/beta/flop-rate
-constants, and feeds the resulting MeasuredMachine to the planner.
+``plan`` runs the automatic distribution planner on a named workload
+(``--cost-mode simulated`` prices against split-phase overlap
+semantics); ``run`` executes a workload on a chosen SPMD execution
+backend (``serial`` or ``multiprocess``), verifying multiprocess
+results bitwise against the serial reference; ``trace`` records a
+workload's typed event stream and replays it through the
+discrete-event simulator under blocking and split-phase semantics —
+per-processor timelines, Gantt chart, critical path, JSON export;
+``calibrate`` microbenchmarks the multiprocess transport, fits
+measured alpha/beta/flop-rate constants, and feeds the resulting
+MeasuredMachine to the planner.  ``plan`` and ``run`` accept
+``--json`` for machine-readable reports.
 
 The full tables live in ``benchmarks/`` (run
 ``pytest benchmarks/ --benchmark-disable -s``).
@@ -23,6 +31,7 @@ The full tables live in ``benchmarks/`` (run
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Sequence
 
 
@@ -77,6 +86,7 @@ def plan_command(args: argparse.Namespace) -> None:
     from .machine import PRESETS
     from .planner import (
         CostEngine,
+        SimulatedCostEngine,
         get_workload,
         hand_schedule_cost,
         plan_workload,
@@ -92,11 +102,26 @@ def plan_command(args: argparse.Namespace) -> None:
         kwargs.update(n=args.size, steps=args.steps)
     workload = get_workload(args.workload, **kwargs)
 
-    engine = CostEngine(workload.machine)
+    if args.cost_mode == "simulated":
+        engine: CostEngine = SimulatedCostEngine(workload.machine)
+    else:
+        engine = CostEngine(workload.machine)
     plan = plan_workload(workload, cost_engine=engine, method=args.method)
+    hand = hand_schedule_cost(workload, cost_engine=engine)
+    if args.json:
+        report = {
+            "workload": args.workload,
+            "description": workload.description,
+            "cost_model": cost_model.name,
+            "cost_mode": args.cost_mode,
+            "nprocs": args.nprocs,
+            "plan": plan.to_dict(),
+            "hand_schedule_cost": hand,
+        }
+        print(json.dumps(report, indent=2))
+        return
     print(f"workload: {workload.description}")
     print(plan.summary())
-    hand = hand_schedule_cost(workload, cost_engine=engine)
     if hand is not None:
         print(f"  paper's hand schedule: {hand:.3e}s")
     best = plan.best_static
@@ -133,9 +158,9 @@ def run_command(args: argparse.Namespace) -> None:
                 strategy="dynamic", seed=0, backend=backend,
             )
             return r.solution, {
-                "sweep msgs": r.sweep_messages,
-                "redist msgs": r.redistribution.messages,
-                "modeled time": f"{r.total_time * 1e3:.3f} ms",
+                "sweep_msgs": r.sweep_messages,
+                "redist_msgs": r.redistribution.messages,
+                "modeled_time_ms": r.total_time * 1e3,
             }
         if args.workload == "pic":
             machine = Machine(
@@ -150,35 +175,163 @@ def run_command(args: argparse.Namespace) -> None:
                 [s.imbalance for s in r.steps], dtype=np.float64
             )
             return sol, {
-                "mean imbalance": f"{r.mean_imbalance:.3f}",
+                "mean_imbalance": r.mean_imbalance,
                 "redistributions": r.redistributions,
-                "modeled time": f"{r.total_time * 1e3:.3f} ms",
+                "modeled_time_ms": r.total_time * 1e3,
             }
         r = run_smoothing(
             args.size, args.steps, "columns", args.nprocs, cost_model,
             seed=0, backend=backend,
         )
         return r.solution, {
-            "msgs/proc/step": f"{r.msgs_per_proc_step:.2f}",
-            "modeled time": f"{r.time * 1e3:.3f} ms",
+            "msgs_per_proc_step": r.msgs_per_proc_step,
+            "modeled_time_ms": r.time * 1e3,
         }
 
-    print(
-        f"run {args.workload} (nprocs={args.nprocs}, size={args.size}, "
-        f"backend={args.backend}, cost model {cost_model.name})"
-    )
     solution, headline = execute(args.backend)
-    for k, v in headline.items():
-        print(f"  {k:16s} {v}")
+    verified: bool | None = None
     if args.backend != "serial" and not args.no_verify:
         reference, _ = execute("serial")
-        identical = bool(np.array_equal(solution, reference))
-        print(f"  identical to serial backend: {identical}")
-        if not identical:
-            raise SystemExit(
-                f"{args.backend} backend diverged from the serial "
-                f"reference"
+        verified = bool(np.array_equal(solution, reference))
+    if args.json:
+        report = {
+            "workload": args.workload,
+            "backend": args.backend,
+            "nprocs": args.nprocs,
+            "size": args.size,
+            "cost_model": cost_model.name,
+            "verified_against_serial": verified,
+            **headline,
+        }
+        print(json.dumps(report, indent=2))
+    else:
+        print(
+            f"run {args.workload} (nprocs={args.nprocs}, size={args.size}, "
+            f"backend={args.backend}, cost model {cost_model.name})"
+        )
+        for k, v in headline.items():
+            shown = f"{v:.3f}" if isinstance(v, float) else str(v)
+            print(f"  {k:18s} {shown}")
+        if verified is not None:
+            print(f"  identical to serial backend: {verified}")
+    if verified is False:
+        raise SystemExit(
+            f"{args.backend} backend diverged from the serial reference"
+        )
+
+
+def trace_command(args: argparse.Namespace) -> None:
+    """Record a workload's events; simulate blocking vs split-phase."""
+    from . import sim
+    from .machine import (
+        Machine,
+        PRESETS,
+        ProcessorArray,
+        timeline_summary,
+        timeline_table,
+    )
+
+    cost_model = PRESETS[args.cost_model]
+    log = sim.EventLog()
+
+    if args.workload == "adi":
+        from .apps.adi import run_adi
+
+        machine = Machine(
+            ProcessorArray("R", (args.nprocs,)), cost_model=cost_model
+        )
+        with sim.record(machine, log):
+            run_adi(
+                machine, args.size, args.size, args.iterations,
+                strategy="dynamic", seed=0,
             )
+    elif args.workload == "smoothing":
+        from .apps.smoothing import run_smoothing
+
+        machine = Machine((args.nprocs,), cost_model=cost_model)
+        with sim.record(machine, log):
+            run_smoothing(
+                args.size, args.steps, "columns", args.nprocs,
+                cost_model, seed=0, machine=machine,
+            )
+    elif args.workload == "pic":
+        from .apps.pic import PICConfig, run_pic
+
+        machine = Machine(
+            ProcessorArray("P", (args.nprocs,)), cost_model=cost_model
+        )
+        with sim.record(machine, log):
+            run_pic(
+                machine,
+                PICConfig(
+                    strategy="bblock", ncell=args.size,
+                    npart=8 * args.size, max_time=args.steps,
+                    nprocs=args.nprocs, seed=0,
+                ),
+            )
+    else:  # irregular
+        from .apps.irregular import make_mesh, run_relaxation
+
+        machine = Machine(
+            ProcessorArray("P", (args.nprocs,)), cost_model=cost_model
+        )
+        graph = make_mesh(args.size, seed=0)
+        with sim.record(machine, log):
+            run_relaxation(
+                machine, graph, "partitioned", sweeps=args.steps, seed=0
+            )
+
+    blocking = sim.simulate(
+        log, machine.cost_model, machine.nprocs, overlap=False
+    )
+    split = sim.simulate(
+        log, machine.cost_model, machine.nprocs, overlap=True
+    )
+    exact = blocking.clocks == machine.network.clocks
+    cp_blocking = sim.critical_path(blocking)
+    cp_split = sim.critical_path(split)
+
+    if args.json:
+        report = {
+            "workload": args.workload,
+            "nprocs": args.nprocs,
+            "size": args.size,
+            "cost_model": cost_model.name,
+            "events": log.counts(),
+            "matches_aggregate_accounting": exact,
+            "blocking": sim.to_json(
+                blocking, critical=cp_blocking, intervals=not args.compact
+            ),
+            "split_phase": sim.to_json(
+                split, critical=cp_split, intervals=not args.compact
+            ),
+        }
+        print(json.dumps(report, indent=2))
+        return
+
+    print(
+        f"trace {args.workload} (nprocs={args.nprocs}, size={args.size}, "
+        f"cost model {cost_model.name})"
+    )
+    print(f"  events: {log.counts()}")
+    print(f"  matches aggregate accounting bit for bit: {exact}")
+    print(f"  blocking:    {blocking.summary()}")
+    print(f"  split-phase: {split.summary()}")
+    if blocking.makespan > 0:
+        reduction = 1.0 - split.makespan / blocking.makespan
+        print(
+            f"  split-phase overlap hides {reduction:.1%} of the "
+            f"blocking makespan"
+        )
+    print(f"\nper-processor timeline ({blocking.cost_model}, blocking):")
+    print(timeline_table(blocking))
+    print(f"\n{timeline_summary(blocking, machine)}")
+    print("\nblocking:")
+    print(sim.gantt(blocking, width=args.width))
+    print("\nsplit-phase:")
+    print(sim.gantt(split, width=args.width))
+    print(f"\nblocking    {cp_blocking.summary()}")
+    print(f"split-phase {cp_split.summary()}")
 
 
 def calibrate_command(args: argparse.Namespace) -> None:
@@ -227,6 +380,13 @@ def main(argv: Sequence[str] | None = None) -> None:
                    choices=("iPSC/860", "Paragon", "modern", "zero"))
     p.add_argument("--method", default="auto",
                    choices=("auto", "dp", "greedy"))
+    p.add_argument("--cost-mode", default="model",
+                   choices=("model", "simulated"),
+                   help="pricing semantics: closed-form aggregates or "
+                        "the discrete-event simulator's split-phase "
+                        "overlap")
+    p.add_argument("--json", action="store_true",
+                   help="emit the plan as machine-readable JSON")
 
     r = sub.add_parser(
         "run", help="execute a workload on an SPMD execution backend"
@@ -247,6 +407,31 @@ def main(argv: Sequence[str] | None = None) -> None:
     r.add_argument("--no-verify", action="store_true",
                    help="skip the bitwise comparison against the "
                         "serial backend")
+    r.add_argument("--json", action="store_true",
+                   help="emit the run report as machine-readable JSON")
+
+    t = sub.add_parser(
+        "trace",
+        help="record a workload's typed events and replay them through "
+             "the discrete-event simulator (blocking vs split-phase)",
+    )
+    t.add_argument("workload", choices=("adi", "pic", "smoothing", "irregular"))
+    t.add_argument("--nprocs", type=int, default=4)
+    t.add_argument("--size", type=int, default=32,
+                   help="grid/cell/mesh extent (NX=NY for adi, NCELL for "
+                        "pic, N for smoothing, nodes for irregular)")
+    t.add_argument("--iterations", type=int, default=2,
+                   help="ADI outer iterations")
+    t.add_argument("--steps", type=int, default=10,
+                   help="time steps / sweeps (pic, smoothing, irregular)")
+    t.add_argument("--cost-model", default="Paragon",
+                   choices=("iPSC/860", "Paragon", "modern", "zero"))
+    t.add_argument("--width", type=int, default=72,
+                   help="Gantt chart width in characters")
+    t.add_argument("--json", action="store_true",
+                   help="emit both timelines as machine-readable JSON")
+    t.add_argument("--compact", action="store_true",
+                   help="with --json: metrics only, no interval lists")
 
     c = sub.add_parser(
         "calibrate",
@@ -261,6 +446,8 @@ def main(argv: Sequence[str] | None = None) -> None:
         plan_command(args)
     elif args.command == "run":
         run_command(args)
+    elif args.command == "trace":
+        trace_command(args)
     elif args.command == "calibrate":
         calibrate_command(args)
     else:

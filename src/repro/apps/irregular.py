@@ -276,7 +276,7 @@ def run_relaxation(
                     else local[li]
                 )
             local[...] = staged
-            machine.network.compute(rank, 4.0 * local.size)
+            machine.network.compute(rank, 4.0 * local.size, tag="relax:V")
         machine.network.synchronize()
     m1 = machine.stats()
 

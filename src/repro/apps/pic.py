@@ -231,7 +231,8 @@ def _run_pic(
         loads = np.bincount(owners, weights=w, minlength=nprocs)
         for rank in range(nprocs):
             machine.network.compute(
-                rank, config.flops_per_particle * float(loads[rank])
+                rank, config.flops_per_particle * float(loads[rank]),
+                tag="pic:update_field",
             )
         machine.network.synchronize()
 

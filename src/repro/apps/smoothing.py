@@ -86,6 +86,7 @@ def run_smoothing(
     grid: np.ndarray | None = None,
     seed: int = 0,
     backend: Backend | str | None = None,
+    machine: Machine | None = None,
 ) -> SmoothingResult:
     """Run ``steps`` smoothing sweeps of an N x N grid.
 
@@ -98,9 +99,14 @@ def run_smoothing(
     update executes in per-processor worker processes over the
     message-passing transport; results are bitwise-identical to the
     serial reference.
+
+    An explicit ``machine`` (shape and cost model must match the
+    requested distribution) lets callers keep a handle on the machine
+    that runs the sweeps — the ``repro trace`` CLI uses this to
+    install an event recorder before the run.
     """
     if distribution == "columns":
-        machine = Machine((nprocs,), cost_model=cost_model)
+        expected_shape: tuple[int, ...] = (nprocs,)
         dtype = dist_type(":", "BLOCK")
     elif distribution == "blocks2d":
         side = int(round(nprocs**0.5))
@@ -108,10 +114,22 @@ def run_smoothing(
             raise ValueError(
                 f"blocks2d needs a square processor count, got {nprocs}"
             )
-        machine = Machine((side, side), cost_model=cost_model)
+        expected_shape = (side, side)
         dtype = dist_type("BLOCK", "BLOCK")
     else:
         raise ValueError("distribution must be 'columns' or 'blocks2d'")
+    if machine is None:
+        machine = Machine(expected_shape, cost_model=cost_model)
+    elif machine.processors.shape != expected_shape:
+        raise ValueError(
+            f"machine shape {machine.processors.shape} does not match "
+            f"the {distribution!r} distribution (needs {expected_shape})"
+        )
+    elif machine.cost_model != cost_model:
+        raise ValueError(
+            f"machine cost model {machine.cost_model.name!r} does not "
+            f"match the requested {cost_model.name!r}"
+        )
 
     if grid is None:
         grid = np.random.default_rng(seed).standard_normal((n, n))

@@ -109,6 +109,29 @@ class Backend:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- event recording ---------------------------------------------------
+    @property
+    def recorder(self):
+        """The event recorder of the attached machine's network.
+
+        Every backend drives the same master-side accounting code the
+        serial reference does, so an installed
+        :class:`repro.sim.events.EventLog` captures an identical
+        typed-event stream regardless of which backend physically
+        moves the data — the simulator's backend seam.
+        """
+        return self.machine.network.recorder if self.machine is not None else None
+
+    def record_events(self, log=None):
+        """Record this backend's execution as typed events (context
+        manager; requires an attached machine).  See
+        :func:`repro.sim.record`."""
+        if self.machine is None:
+            raise RuntimeError("backend is not attached to a machine")
+        from ..sim.events import record
+
+        return record(self.machine, log)
+
     # -- operations ------------------------------------------------------
     def move(self, array: "DistributedArray", new_dist, plan_cache=None) -> None:
         """Physically move ``array`` to ``new_dist`` (descriptor update

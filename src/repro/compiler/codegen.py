@@ -91,7 +91,8 @@ class StencilKernel:
             self.func(pad, new, self.widths)
             out[...] = new
             machine.network.compute(
-                rank, self.flops_per_element * out.size
+                rank, self.flops_per_element * out.size,
+                tag=f"stencil:{self.array.name}",
             )
         machine.network.synchronize()
         ov.store_interior()
@@ -129,7 +130,8 @@ class StencilKernel:
             machine.network.synchronize()
         for rank in self.array.owning_ranks():
             machine.network.compute(
-                rank, self.flops_per_element * dist.local_size(rank)
+                rank, self.flops_per_element * dist.local_size(rank),
+                tag=f"stencil:{self.array.name}",
             )
         machine.network.synchronize()
         backend.stencil_step(self.array, ov, self.func, dim_entries)
@@ -193,7 +195,8 @@ class LineSweepKernel:
                 flat[i, :] = self.line_func(flat[i, :])
             nlines += flat.shape[0]
             machine.network.compute(
-                rank, self.flops_per_element * local.size
+                rank, self.flops_per_element * local.size,
+                tag=f"sweep:{self.array.name}",
             )
         machine.network.synchronize()
         return {"lines": nlines, "remote_lines": 0}
@@ -214,7 +217,10 @@ class LineSweepKernel:
         for rank in self.array.owning_ranks():
             size = dist.local_size(rank)
             nlines += size // max(1, dist.local_shape(rank)[self.dim])
-            machine.network.compute(rank, self.flops_per_element * size)
+            machine.network.compute(
+                rank, self.flops_per_element * size,
+                tag=f"sweep:{self.array.name}",
+            )
         backend.run_kernel(
             self.array,
             partial(
@@ -269,7 +275,9 @@ class LineSweepKernel:
         # scatters — the per-head occupancy serializes a head's lines.
         machine.network.exchange(gather_phase)
         for head, flops in head_flops.items():
-            machine.network.compute(head, flops)
+            machine.network.compute(
+                head, flops, tag=f"sweep:{arr.name}"
+            )
         machine.network.exchange(scatter_phase)
         machine.network.synchronize()
         arr.from_global(gvals)

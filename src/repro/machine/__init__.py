@@ -13,7 +13,13 @@ from .machine import Machine
 from .measured import Calibration, MeasuredMachine
 from .memory import AllocationRecord, LocalMemory, MemoryError_
 from .network import MessageRecord, Network, NetworkStats
-from .report import link_matrix, per_processor_table, summary
+from .report import (
+    link_matrix,
+    per_processor_table,
+    summary,
+    timeline_summary,
+    timeline_table,
+)
 from .topology import ProcessorArray, ProcessorSection, grid_shapes
 
 __all__ = [
@@ -38,4 +44,6 @@ __all__ = [
     "per_processor_table",
     "link_matrix",
     "summary",
+    "timeline_table",
+    "timeline_summary",
 ]

@@ -86,6 +86,12 @@ class Network:
         self.nprocs = int(nprocs)
         self.cost_model = cost_model
         self.trace_enabled = bool(trace)
+        #: event-recording seam for the discrete-event simulator: any
+        #: object implementing the :class:`repro.sim.events.EventLog`
+        #: protocol (``kernel`` / ``begin_phase`` / ``message`` /
+        #: ``barrier`` / ``clear``).  ``None`` (default) records
+        #: nothing; install one with :func:`repro.sim.record`.
+        self.recorder = None
         self.clocks = [0.0] * self.nprocs
         self._messages = 0
         self._bytes = 0
@@ -131,6 +137,8 @@ class Network:
         self.clocks[dst] = max(self.clocks[dst] + cost, self.clocks[src])
         if self.trace_enabled:
             self.trace.append(MessageRecord(src, dst, nbytes, tag))
+        if self.recorder is not None:
+            self.recorder.message(src, dst, nbytes, tag)
         return cost
 
     def exchange(
@@ -152,6 +160,7 @@ class Network:
         free and skipped.  Returns the phase duration (max busy time).
         """
         busy = defaultdict(float)
+        phase_id = -1
         for msg in messages:
             src, dst, nbytes = msg[0], msg[1], msg[2]
             tag = msg[3] if len(msg) > 3 else ""
@@ -174,21 +183,33 @@ class Network:
             busy[dst] += cost
             if self.trace_enabled:
                 self.trace.append(MessageRecord(src, dst, nbytes, tag))
+            if self.recorder is not None:
+                if phase_id < 0:
+                    phase_id = self.recorder.begin_phase(tag)
+                self.recorder.message(src, dst, nbytes, tag, phase=phase_id)
         for rank, t in busy.items():
             self.clocks[rank] += t
         return max(busy.values(), default=0.0)
 
-    def compute(self, rank: int, flops: float) -> float:
-        """Charge ``flops`` of local computation to ``rank``'s clock."""
+    def compute(self, rank: int, flops: float, tag: str = "") -> float:
+        """Charge ``flops`` of local computation to ``rank``'s clock.
+
+        ``tag`` labels the kernel in recorded event traces (it does
+        not affect accounting).
+        """
         rank = self._check_rank(rank)
         cost = self.cost_model.compute_time(flops)
         self.clocks[rank] += cost
+        if self.recorder is not None:
+            self.recorder.kernel(rank, flops, tag)
         return cost
 
     def synchronize(self) -> float:
         """Barrier: advance every clock to the maximum; return that time."""
         t = max(self.clocks)
         self.clocks = [t] * self.nprocs
+        if self.recorder is not None:
+            self.recorder.barrier()
         return t
 
     # -- inspection --------------------------------------------------------
@@ -211,7 +232,9 @@ class Network:
         return dict(self._per_link)
 
     def reset(self) -> None:
-        """Zero all counters, clocks and the trace."""
+        """Zero all counters, clocks, the trace and any recorded events
+        (clocks and event log stay consistent: a replay of the log
+        always reproduces the clocks since the last reset)."""
         self.clocks = [0.0] * self.nprocs
         self._messages = 0
         self._bytes = 0
@@ -219,3 +242,5 @@ class Network:
         self._per_proc_bytes.clear()
         self._per_link.clear()
         self.trace.clear()
+        if self.recorder is not None:
+            self.recorder.clear()

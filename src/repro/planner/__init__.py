@@ -28,7 +28,7 @@ cost is never worse than the best static single-layout alternative.
 
 from .binding import PlanExecutor, bind_pattern, plan_program
 from .candidates import dim_menu, enumerate_layouts
-from .costs import CostEngine
+from .costs import CostEngine, SimulatedCostEngine
 from .phases import (
     ArrayLoad,
     HandDistribute,
@@ -63,6 +63,7 @@ __all__ = [
     "dim_menu",
     "enumerate_layouts",
     "CostEngine",
+    "SimulatedCostEngine",
     "ScheduleStep",
     "Plan",
     "plan_array",

@@ -34,7 +34,7 @@ from ..machine.machine import Machine
 from ..runtime.redistribute import PlanCache
 from .phases import ArrayLoad, Phase
 
-__all__ = ["CostEngine"]
+__all__ = ["CostEngine", "SimulatedCostEngine"]
 
 
 class CostEngine:
@@ -76,16 +76,8 @@ class CostEngine:
         cached = self._phase_memo.get(key)
         if cached is not None:
             return cached
-        per_exec = 0.0
-        for ref in phase.refs_to(array):
-            per_exec += self.ref_cost(ref, dist)
-        if phase.load is not None and phase.load.array == array:
-            per_exec += self.load_cost(phase.load, dist)
-        if phase.work:
-            per_exec += self.cost_model.compute_time(
-                phase.work / self.machine.nprocs
-            )
-        total = per_exec * phase.repeat
+        comm, comp = self.comm_compute_split(phase, array, dist)
+        total = (comm + comp) * phase.repeat
         self._phase_memo[key] = total
         return total
 
@@ -183,6 +175,24 @@ class CostEngine:
         self._trans_memo[key] = time
         return time
 
+    def comm_compute_split(
+        self, phase: Phase, array: str, dist: Distribution
+    ) -> tuple[float, float]:
+        """Per-execution (communication, computation) times of one
+        phase under ``dist`` — the decomposition the overlap-aware
+        engine prices with split-phase semantics."""
+        comm = 0.0
+        for ref in phase.refs_to(array):
+            comm += self.ref_cost(ref, dist)
+        comp = 0.0
+        if phase.load is not None and phase.load.array == array:
+            comp += self.load_cost(phase.load, dist)
+        if phase.work:
+            comp += self.cost_model.compute_time(
+                phase.work / self.machine.nprocs
+            )
+        return comm, comp
+
     # -- whole-sequence helpers -------------------------------------------
     def static_cost(
         self,
@@ -199,3 +209,83 @@ class CostEngine:
         for ph in phases:
             total += self.phase_cost(ph, array, dist)
         return total
+
+
+class SimulatedCostEngine(CostEngine):
+    """Timeline-aware pricing (the planner's ``cost_mode="simulated"``).
+
+    The base engine charges every phase as communication *plus*
+    computation and every transition as the bottleneck processor's
+    serialized message sum — the aggregate (blocking) accounting.
+    This engine prices against the discrete-event simulator's
+    split-phase semantics instead:
+
+    - **phases**: communication posted split-phase hides behind the
+      phase's computation, so the per-execution time is
+      ``max(comm, compute)`` rather than their sum — a layout whose
+      traffic fits under its compute becomes as good as a
+      communication-free one, which is exactly the freedom a schedule
+      search needs to exploit overlap;
+    - **transitions**: the DISTRIBUTE all-to-all is replayed through
+      :func:`repro.sim.simulate` with ``overlap=True`` — message posts
+      cost ``alpha`` per endpoint and the transfers pipeline in the
+      background per link — so a transition costs its simulated
+      split-phase makespan, not the blocking endpoint-serialized sum.
+
+    With ``overlap=False`` both overrides degrade to blocking
+    semantics: phases price as comm + compute and transitions as the
+    blocking replay of the same exchange (equal, up to float
+    association, to the base engine's closed form — asserted by the
+    planner tests).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        itemsize: int = 8,
+        plan_cache: PlanCache | None = None,
+        overlap: bool = True,
+    ):
+        super().__init__(machine, itemsize=itemsize, plan_cache=plan_cache)
+        self.overlap = bool(overlap)
+
+    def phase_cost(self, phase: Phase, array: str, dist: Distribution) -> float:
+        key = (phase, array, dist)
+        cached = self._phase_memo.get(key)
+        if cached is not None:
+            return cached
+        comm, comp = self.comm_compute_split(phase, array, dist)
+        per_exec = max(comm, comp) if self.overlap else comm + comp
+        total = per_exec * phase.repeat
+        self._phase_memo[key] = total
+        return total
+
+    def transition_cost(self, old: Distribution, new: Distribution) -> float:
+        if old == new:
+            return 0.0
+        key = (old, new)
+        cached = self._trans_memo.get(key)
+        if cached is not None:
+            return cached
+        from ..sim.events import EventLog
+        from ..sim.simulate import simulate
+
+        nprocs = self.machine.nprocs
+        T = self.plan_cache.transfer_matrix(old, new, nprocs)
+        log = EventLog()
+        phase = log.begin_phase("redistribute:plan")
+        for s in range(nprocs):
+            row = T[s]
+            for d in range(nprocs):
+                if row[d]:
+                    log.message(
+                        s, d, int(row[d]) * self.itemsize,
+                        "redistribute:plan", phase=phase,
+                    )
+        log.barrier()
+        timeline = simulate(
+            log, self.cost_model, nprocs, overlap=self.overlap
+        )
+        time = timeline.makespan
+        self._trans_memo[key] = time
+        return time

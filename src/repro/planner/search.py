@@ -101,6 +101,37 @@ class Plan:
             )
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """The schedule as a JSON-serializable dict (the machine-
+        readable form behind ``python -m repro plan --json``)."""
+        best = self.best_static
+        return {
+            "array": self.array,
+            "method": self.method,
+            "total_cost": self.total_cost,
+            "redistributions": len(self.redistributions),
+            "initial": _layout_str(self.initial) if self.initial else None,
+            "steps": [
+                {
+                    "index": s.index,
+                    "phase": s.phase.name,
+                    "repeat": s.phase.repeat,
+                    "layout": _layout_str(s.dist),
+                    "phase_cost": s.phase_cost,
+                    "transition_cost": s.transition_cost,
+                    "redistributed": bool(
+                        s.prev is not None and s.prev != s.dist
+                    ),
+                }
+                for s in self.steps
+            ],
+            "best_static": (
+                {"layout": _layout_str(best[0]), "cost": best[1]}
+                if best is not None
+                else None
+            ),
+        }
+
 
 def _layout_str(dist: Distribution) -> str:
     grid = "x".join(str(s) for s in dist.target.shape)

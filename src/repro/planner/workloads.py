@@ -71,9 +71,28 @@ def plan_workload(
     workload: Workload,
     cost_engine: CostEngine | None = None,
     method: str = "auto",
+    cost_mode: str = "model",
 ) -> Plan:
-    """Run the schedule search on a workload."""
-    engine = cost_engine or CostEngine(workload.machine)
+    """Run the schedule search on a workload.
+
+    ``cost_mode`` selects the pricing semantics when no explicit
+    ``cost_engine`` is given: ``"model"`` (the closed-form aggregate
+    :class:`CostEngine`) or ``"simulated"`` (the discrete-event
+    :class:`SimulatedCostEngine` with split-phase overlap, letting the
+    schedule search hide communication behind computation).
+    """
+    if cost_mode not in ("model", "simulated"):
+        raise ValueError(
+            f"cost_mode must be 'model' or 'simulated', got {cost_mode!r}"
+        )
+    if cost_engine is not None:
+        engine = cost_engine
+    elif cost_mode == "simulated":
+        from .costs import SimulatedCostEngine
+
+        engine = SimulatedCostEngine(workload.machine)
+    else:
+        engine = CostEngine(workload.machine)
     return plan_array(
         workload.array,
         workload.phases,

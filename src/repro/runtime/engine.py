@@ -328,6 +328,24 @@ class Engine:
         return DCase([(n, self._get(n).dist) for n in selector_names])
 
     # -- helpers ----------------------------------------------------------------
+    def record_events(self, log=None):
+        """Record typed execution events for the discrete-event
+        simulator (context manager yielding the log).
+
+        Everything this engine — and any attached SPMD backend —
+        charges to the machine network while the context is open
+        (kernels, sends/recvs, exchange phases, barriers,
+        redistribution transfers) lands in the log in program order;
+        replay it with :func:`repro.sim.simulate`::
+
+            with vfe.record_events() as log:
+                ...   # declare / distribute / kernels
+            timeline = simulate(log, machine.cost_model, machine.nprocs)
+        """
+        from ..sim.events import record
+
+        return record(self.machine, log)
+
     def inspector(self, name: str) -> Inspector:
         return Inspector(self._get(name))
 
@@ -357,7 +375,8 @@ class Engine:
             if flops_per_element:
                 for rank in arr.owning_ranks():
                     self.machine.network.compute(
-                        rank, flops_per_element * arr.dist.local_size(rank)
+                        rank, flops_per_element * arr.dist.local_size(rank),
+                        tag=f"kernel:{name}",
                     )
             return
         for rank in arr.owning_ranks():
@@ -366,7 +385,8 @@ class Engine:
             func(rank, arr.local(rank), idx)
             if flops_per_element:
                 self.machine.network.compute(
-                    rank, flops_per_element * arr.dist.local_size(rank)
+                    rank, flops_per_element * arr.dist.local_size(rank),
+                    tag=f"kernel:{name}",
                 )
 
     def connect_class_of(self, name: str) -> ConnectClass | None:

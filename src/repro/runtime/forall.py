@@ -95,7 +95,9 @@ def forall(
             gidx = tuple(int(idx_arrays[d][lidx[d]]) for d in range(lhs.ndim))
             staged[lidx] = func(gidx, accessor)
         staged_by_rank[rank] = staged
-        machine.network.compute(rank, flops_per_element * local.size)
+        machine.network.compute(
+            rank, flops_per_element * local.size, tag=f"forall:{lhs.name}"
+        )
         remote_counts[rank] = accessor.remote_reads
     for rank, staged in staged_by_rank.items():
         lhs.local(rank)[...] = staged
@@ -157,6 +159,8 @@ def forall_gathered(
             lidx = lhs.dist.global_to_local(rank, gidx)
             staged[lidx] = combine(gidx, vals[lo:hi])
         local[...] = staged
-        machine.network.compute(rank, flops_per_element * local.size)
+        machine.network.compute(
+            rank, flops_per_element * local.size, tag=f"forall:{lhs.name}"
+        )
     machine.network.synchronize()
     return schedule.nonlocal_counts()

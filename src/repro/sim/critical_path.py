@@ -1,0 +1,113 @@
+"""Critical-path extraction from a simulated timeline.
+
+Each interval of a :class:`~repro.sim.clock.Timeline` carries the
+causal link the simulator recorded when it created it: the previous
+interval on the same processor, the send whose completion a receive or
+wait was blocked on, or the bottleneck processor of a barrier.
+Walking those links backward from the interval that finishes at the
+makespan yields the *critical path* — the chain of operations that
+actually determines the finish time, and therefore the only chain
+whose optimization can shorten it.
+
+The breakdown (how much of the path is compute vs communication vs
+waiting) answers the tuning question the aggregate accounting cannot:
+a comm-dominated critical path says split-phase overlap or a better
+distribution will pay; a compute-dominated one says the distribution
+is already communication-optimal and only load balance is left.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .clock import Interval, Timeline
+
+__all__ = ["CriticalPath", "critical_path"]
+
+
+@dataclass
+class CriticalPath:
+    """The makespan-determining chain, in chronological order."""
+
+    steps: list[tuple[int, Interval]]
+    makespan: float
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def breakdown(self) -> dict[str, float]:
+        """Total path time per interval kind."""
+        out: dict[str, float] = {}
+        for _rank, iv in self.steps:
+            out[iv.kind] = out.get(iv.kind, 0.0) + iv.duration
+        return out
+
+    def ranks(self) -> list[int]:
+        """Processors visited along the path (chronological)."""
+        return [rank for rank, _iv in self.steps]
+
+    def summary(self) -> str:
+        """One-line summary: length, rank hops, kind breakdown."""
+        by_kind = self.breakdown()
+        total = sum(by_kind.values()) or 1.0
+        parts = ", ".join(
+            f"{k} {v * 1e3:.3f} ms ({v / total:.0%})"
+            for k, v in sorted(by_kind.items(), key=lambda kv: -kv[1])
+        )
+        hops = sum(
+            1 for a, b in zip(self.ranks(), self.ranks()[1:]) if a != b
+        )
+        return (
+            f"critical path: {len(self.steps)} intervals across "
+            f"{len(set(self.ranks()))} processors ({hops} hops), "
+            f"{parts}"
+        )
+
+    def to_dict(self, steps: bool = True) -> dict:
+        """JSON form; ``steps=False`` keeps only the breakdown (the
+        compact form mirroring a timeline export without intervals)."""
+        out = {
+            "makespan": self.makespan,
+            "length": len(self.steps),
+            "breakdown": self.breakdown(),
+        }
+        if steps:
+            out["steps"] = [
+                {"rank": rank, **iv.to_dict()} for rank, iv in self.steps
+            ]
+        return out
+
+
+def critical_path(timeline: Timeline) -> CriticalPath:
+    """Walk causal links backward from the makespan.
+
+    Starts at the last interval of the processor that finishes last and
+    follows each interval's ``pred`` link (falling back to the previous
+    interval on the same processor when no explicit cause was
+    recorded), until the chain reaches time zero.
+    """
+    procs = timeline.procs
+    start_rank = max(range(timeline.nprocs), key=lambda r: procs[r].time)
+    if not procs[start_rank].intervals:
+        return CriticalPath([], timeline.makespan)
+
+    steps: list[tuple[int, Interval]] = []
+    cur: tuple[int, int] | None = (
+        start_rank, len(procs[start_rank].intervals) - 1
+    )
+    # preds always point backward in time, so the walk is bounded by
+    # the total interval count; guard anyway against malformed links
+    limit = sum(len(p.intervals) for p in procs) + 1
+    while cur is not None and limit > 0:
+        limit -= 1
+        rank, idx = cur
+        iv = procs[rank].intervals[idx]
+        steps.append((rank, iv))
+        if iv.pred is not None:
+            cur = iv.pred
+        elif idx > 0:
+            cur = (rank, idx - 1)
+        else:
+            cur = None
+    steps.reverse()
+    return CriticalPath(steps, timeline.makespan)

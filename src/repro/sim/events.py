@@ -1,0 +1,222 @@
+"""Typed execution events and the recording seam.
+
+The machine's :class:`~repro.machine.network.Network` *accounts* every
+operation as scalar clock arithmetic; the discrete-event simulator
+needs the operations themselves.  An :class:`EventLog` taps the
+network (install it with :func:`record` or
+``Engine.record_events()``): every call to ``send`` / ``exchange`` /
+``compute`` / ``synchronize`` — whichever layer issued it, including
+the SPMD backends' master-side accounting — appends typed events in
+program order:
+
+- :attr:`EventKind.KERNEL` — local computation on one processor;
+- :attr:`EventKind.SEND` / :attr:`EventKind.RECV` — the two endpoints
+  of one message (paired by :attr:`Event.msg`; concurrent
+  exchange-phase messages share an :attr:`Event.phase` id, sequential
+  ``send`` traffic carries ``phase == -1``);
+- :attr:`EventKind.BARRIER` — a global synchronize;
+- :attr:`EventKind.ALLGATHER` / :attr:`EventKind.REDIST` — collective
+  *phase markers* emitted ahead of an exchange phase whose message
+  tags identify it as a gather/scatter/reduction collective or a
+  DISTRIBUTE transfer; the per-message SEND/RECV events follow.
+
+The log is the single input of :func:`repro.sim.simulate.simulate`;
+replaying it in blocking mode reproduces the network's clock
+arithmetic bit for bit (property-tested).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from ..machine.machine import Machine
+
+__all__ = ["EventKind", "Event", "EventLog", "record", "classify_tag"]
+
+
+class EventKind(Enum):
+    """The event vocabulary of the execution simulator."""
+
+    KERNEL = "kernel"
+    SEND = "send"
+    RECV = "recv"
+    BARRIER = "barrier"
+    ALLGATHER = "allgather"
+    REDIST = "redistribute-transfer"
+
+
+#: tag prefixes marking an exchange phase as a DISTRIBUTE transfer
+_REDIST_PREFIXES = ("redistribute", "assign", "pic:reassign")
+#: tag prefixes marking an exchange phase as a gather-class collective
+_COLLECTIVE_PREFIXES = ("gather", "scatter", "reduce", "bcast", "allgather")
+
+
+def classify_tag(tag: str) -> EventKind | None:
+    """Collective classification of a message tag.
+
+    Returns :attr:`EventKind.REDIST` for DISTRIBUTE / array-assignment
+    transfers, :attr:`EventKind.ALLGATHER` for gather/scatter/reduce
+    collectives, and ``None`` for plain point-to-point traffic (halo
+    shifts, line-sweep pieces, single-element reads).
+    """
+    if tag.startswith(_REDIST_PREFIXES):
+        return EventKind.REDIST
+    if tag.startswith(_COLLECTIVE_PREFIXES):
+        return EventKind.ALLGATHER
+    return None
+
+
+@dataclass(frozen=True)
+class Event:
+    """One typed execution event.
+
+    ``rank`` is the processor the event occupies (the source for SEND,
+    the destination for RECV, ``-1`` for global events); ``peer`` the
+    other endpoint of a message; ``phase`` groups the messages of one
+    concurrent exchange phase (``-1``: a sequential blocking send);
+    ``msg`` pairs a SEND with its RECV.
+    """
+
+    seq: int
+    kind: EventKind
+    rank: int
+    peer: int = -1
+    nbytes: int = 0
+    flops: float = 0.0
+    tag: str = ""
+    phase: int = -1
+    msg: int = -1
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "kind": self.kind.value,
+            "rank": self.rank,
+            "peer": self.peer,
+            "nbytes": self.nbytes,
+            "flops": self.flops,
+            "tag": self.tag,
+            "phase": self.phase,
+            "msg": self.msg,
+        }
+
+
+class EventLog:
+    """An append-only, program-ordered log of typed events.
+
+    Instances implement the recorder protocol the network calls
+    (:meth:`kernel`, :meth:`message`, :meth:`begin_phase`,
+    :meth:`barrier`, :meth:`clear`); everything else is inspection.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+        self._next_phase = 0
+        self._next_msg = 0
+
+    # -- the recorder protocol (called by Network) -----------------------
+    def kernel(self, rank: int, flops: float, tag: str = "") -> None:
+        """Record local computation charged to ``rank``."""
+        self.events.append(
+            Event(len(self.events), EventKind.KERNEL, rank, flops=flops, tag=tag)
+        )
+
+    def begin_phase(self, tag: str = "") -> int:
+        """Open a concurrent exchange phase; returns its id.
+
+        If ``tag`` classifies as a collective, a typed marker event
+        (ALLGATHER or REDIST) is emitted ahead of the phase's
+        SEND/RECV events.
+        """
+        phase = self._next_phase
+        self._next_phase += 1
+        kind = classify_tag(tag)
+        if kind is not None:
+            self.events.append(
+                Event(len(self.events), kind, -1, tag=tag, phase=phase)
+            )
+        return phase
+
+    def message(
+        self, src: int, dst: int, nbytes: int, tag: str = "", phase: int = -1
+    ) -> None:
+        """Record one message: a SEND at ``src`` paired with a RECV at
+        ``dst`` (shared ``msg`` id)."""
+        msg = self._next_msg
+        self._next_msg += 1
+        self.events.append(
+            Event(
+                len(self.events), EventKind.SEND, src, peer=dst,
+                nbytes=nbytes, tag=tag, phase=phase, msg=msg,
+            )
+        )
+        self.events.append(
+            Event(
+                len(self.events), EventKind.RECV, dst, peer=src,
+                nbytes=nbytes, tag=tag, phase=phase, msg=msg,
+            )
+        )
+
+    def barrier(self, tag: str = "") -> None:
+        """Record a global synchronize."""
+        self.events.append(
+            Event(len(self.events), EventKind.BARRIER, -1, tag=tag)
+        )
+
+    def clear(self) -> None:
+        """Drop all events (the network calls this from ``reset()``)."""
+        self.events.clear()
+        self._next_phase = 0
+        self._next_msg = 0
+
+    # -- inspection ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def counts(self) -> dict[str, int]:
+        """Event counts by kind (keys are the kind values)."""
+        out: dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind.value] = out.get(ev.kind.value, 0) + 1
+        return out
+
+    def messages(self) -> list[Event]:
+        """The SEND side of every recorded message, in program order."""
+        return [ev for ev in self.events if ev.kind is EventKind.SEND]
+
+    def __repr__(self) -> str:
+        return f"EventLog({len(self.events)} events, {self.counts()})"
+
+
+@contextmanager
+def record(machine: "Machine", log: EventLog | None = None):
+    """Record every network operation of ``machine`` into an event log.
+
+    The previous recorder (usually none) is restored on exit, so
+    recording sessions nest cleanly::
+
+        log = EventLog()
+        with record(machine, log):
+            run_adi(machine, 32, 32, 2, "dynamic")
+        timeline = simulate(log, machine.cost_model, machine.nprocs)
+
+    Note that a workload which calls ``machine.reset_network()``
+    internally (ADI, PIC) also clears the log at that point — clocks
+    and events stay consistent by construction.
+    """
+    if log is None:
+        log = EventLog()
+    network = machine.network
+    previous = network.recorder
+    network.recorder = log
+    try:
+        yield log
+    finally:
+        network.recorder = previous

@@ -1,0 +1,183 @@
+"""The discrete-event replay engine.
+
+:func:`simulate` replays a recorded :class:`~repro.sim.events.EventLog`
+against a :class:`~repro.machine.cost_model.CostModel`, producing a
+:class:`~repro.sim.clock.Timeline` — per-processor busy/idle interval
+histories with causal links — under one of two communication
+semantics:
+
+- **blocking** (``overlap=False``) — the exact semantics of the
+  machine's aggregate accounting: a sequential ``send`` occupies both
+  endpoints for ``alpha + beta*n`` (the receive completing no earlier
+  than the send), an exchange phase occupies each endpoint for the sum
+  of its own message costs, and every barrier advances all clocks to
+  the maximum.  Replaying a log in this mode reproduces the network's
+  per-processor clocks **bit for bit** — the simulator's conformance
+  anchor (property-tested);
+- **split-phase** (``overlap=True``) — nonblocking post/wait: each
+  endpoint pays only the startup latency ``alpha`` to post, the
+  ``beta * nbytes`` transfer proceeds in the background (in-order per
+  directed link), and completions are awaited at the next *kept*
+  barrier (see :mod:`repro.sim.overlap` — barriers that only close a
+  communication phase are relaxed away, migrating the wait past the
+  independent computation that follows).
+
+The difference between the two makespans is the communication time a
+split-phase restructuring could hide — the quantity bench E14 reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..machine.cost_model import CostModel
+from .clock import ProcClock, Timeline
+from .events import Event, EventKind
+from .overlap import relaxed_barriers
+
+__all__ = ["simulate"]
+
+
+def simulate(
+    events: Iterable[Event],
+    cost_model: CostModel,
+    nprocs: int,
+    overlap: bool = False,
+) -> Timeline:
+    """Replay ``events`` on ``nprocs`` per-processor clocks.
+
+    ``events`` is an :class:`~repro.sim.events.EventLog` or any
+    iterable of :class:`~repro.sim.events.Event` in program order.
+    """
+    evs = list(events)
+    relaxed = relaxed_barriers(evs) if overlap else frozenset()
+    procs = [ProcClock(r) for r in range(nprocs)]
+    barriers: list[float] = []
+    #: per-rank in-flight completions: (completion time, cause handle)
+    pending: list[list[tuple[float, tuple[int, int]]]] = [
+        [] for _ in range(nprocs)
+    ]
+    #: in-order delivery per directed link: (src, dst) -> free-at time
+    link_free: dict[tuple[int, int], float] = {}
+    alpha, beta = cost_model.alpha, cost_model.beta
+
+    def post_message(m: Event) -> None:
+        """Split-phase: post overhead now, transfer in the background."""
+        src, dst = procs[m.rank], procs[m.peer]
+        send_h = src.occupy(alpha, "post", m.tag, pred=src.last)
+        dst.occupy(alpha, "post", m.tag, pred=dst.last)
+        ready = max(
+            src.time, dst.time, link_free.get((m.rank, m.peer), 0.0)
+        )
+        completion = ready + beta * m.nbytes
+        link_free[(m.rank, m.peer)] = completion
+        pending[m.rank].append((completion, send_h))
+        pending[m.peer].append((completion, send_h))
+
+    def drain_pending() -> None:
+        """Wait, per rank, for every in-flight completion."""
+        for p in procs:
+            waiting = pending[p.rank]
+            if waiting:
+                completion, cause = max(waiting, key=lambda c: c[0])
+                p.advance_to(completion, "msg-wait", pred=cause)
+                waiting.clear()
+
+    barrier_ordinal = 0
+    relaxed_count = 0
+    i, n = 0, len(evs)
+    while i < n:
+        ev = evs[i]
+        kind = ev.kind
+
+        if kind is EventKind.KERNEL:
+            cost = cost_model.compute_time(ev.flops)
+            p = procs[ev.rank]
+            p.occupy(cost, "compute", ev.tag, pred=p.last)
+            i += 1
+
+        elif kind in (EventKind.ALLGATHER, EventKind.REDIST):
+            # collective phase marker; the SEND/RECV events that follow
+            # carry the actual traffic
+            i += 1
+
+        elif kind is EventKind.SEND and ev.phase < 0:
+            # sequential blocking message (recorded by Network.send)
+            if overlap:
+                post_message(ev)
+            else:
+                cost = cost_model.message_time(ev.nbytes)
+                src, dst = procs[ev.rank], procs[ev.peer]
+                send_h = src.occupy(cost, "comm", ev.tag, pred=src.last)
+                end = max(dst.time + cost, src.time)
+                dst.occupy_until(end, cost, "comm", ev.tag, pred=send_h)
+            i += 2  # the paired RECV event is consumed with the SEND
+
+        elif kind is EventKind.SEND:
+            # concurrent exchange phase: gather its contiguous messages
+            pid = ev.phase
+            msgs: list[Event] = []
+            j = i
+            while (
+                j < n
+                and evs[j].phase == pid
+                and evs[j].kind in (EventKind.SEND, EventKind.RECV)
+            ):
+                if evs[j].kind is EventKind.SEND:
+                    msgs.append(evs[j])
+                j += 1
+            if overlap:
+                for m in msgs:
+                    post_message(m)
+            else:
+                # mirror Network.exchange: each endpoint is busy for
+                # the sum of its own message costs, accumulated in
+                # message order (bitwise-identical floats)
+                busy: dict[int, float] = {}
+                for m in msgs:
+                    cost = cost_model.message_time(m.nbytes)
+                    busy[m.rank] = busy.get(m.rank, 0.0) + cost
+                    busy[m.peer] = busy.get(m.peer, 0.0) + cost
+                for rank, t in busy.items():
+                    p = procs[rank]
+                    p.occupy(t, "comm", msgs[0].tag, pred=p.last)
+            i = j
+
+        elif kind is EventKind.RECV:
+            # only reachable on a truncated/reordered log; harmless
+            i += 1
+
+        elif kind is EventKind.BARRIER:
+            if overlap and barrier_ordinal in relaxed:
+                barrier_ordinal += 1
+                relaxed_count += 1
+                i += 1
+                continue
+            if overlap:
+                drain_pending()
+            t = max(p.time for p in procs)
+            bottleneck = max(range(nprocs), key=lambda r: procs[r].time)
+            cause = procs[bottleneck].last
+            for p in procs:
+                p.advance_to(
+                    t, "barrier",
+                    pred=cause if p.rank != bottleneck else None,
+                )
+            barriers.append(t)
+            barrier_ordinal += 1
+            i += 1
+
+        else:  # pragma: no cover - exhaustive over EventKind
+            raise ValueError(f"cannot replay event kind {kind!r}")
+
+    if overlap:
+        drain_pending()  # transfers still in flight at the end
+
+    return Timeline(
+        nprocs=nprocs,
+        cost_model=cost_model.name,
+        overlap=overlap,
+        procs=procs,
+        barriers=barriers,
+        relaxed=relaxed_count,
+    )

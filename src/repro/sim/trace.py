@@ -1,0 +1,133 @@
+"""Timeline export: ASCII Gantt charts and JSON traces.
+
+Two renderings of a :class:`~repro.sim.clock.Timeline`:
+
+- :func:`gantt` — a terminal Gantt chart, one row per processor,
+  sampling interval kinds across the makespan (``#`` compute, ``~``
+  communication/post, ``:`` wait, ``.`` idle).  The visual difference
+  between the blocking and split-phase timelines of the same trace
+  *is* the overlap story of bench E14;
+- :func:`to_json` / :func:`dump_json` — the full timeline (metrics,
+  per-processor intervals, barriers, optional critical path) as plain
+  JSON for external tooling;
+- :func:`to_chrome_trace` — the same intervals in the Chrome tracing
+  ``traceEvents`` format (load it in ``chrome://tracing`` or Perfetto:
+  one track per simulated processor, microsecond timestamps).
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from typing import IO, TYPE_CHECKING
+
+from .clock import Timeline
+
+if TYPE_CHECKING:
+    from .critical_path import CriticalPath
+
+__all__ = ["gantt", "to_json", "dump_json", "to_chrome_trace"]
+
+#: Gantt glyph per interval kind ('.' is idle / no interval)
+_GLYPHS = {"compute": "#", "comm": "~", "post": "~", "wait": ":"}
+GANTT_LEGEND = "#=compute  ~=comm  :=wait  .=idle"
+
+
+def gantt(timeline: Timeline, width: int = 72) -> str:
+    """Render the timeline as an ASCII Gantt chart.
+
+    Each row is one processor; each column samples the interval active
+    at that column's midpoint time.  Wider ``width`` resolves shorter
+    intervals.
+    """
+    if width < 8:
+        raise ValueError("gantt width must be >= 8")
+    span = timeline.makespan
+    lines = [
+        f"t = 0 .. {span * 1e3:.3f} ms   [{GANTT_LEGEND}]"
+    ]
+    for p in timeline.procs:
+        if span == 0.0:
+            lines.append(f"P{p.rank:<3d} " + "." * width)
+            continue
+        starts = [iv.start for iv in p.intervals]
+        row = []
+        for col in range(width):
+            t = (col + 0.5) * span / width
+            k = bisect_right(starts, t) - 1
+            ch = "."
+            if k >= 0 and p.intervals[k].end > t:
+                ch = _GLYPHS.get(p.intervals[k].kind, "?")
+            row.append(ch)
+        lines.append(f"P{p.rank:<3d} " + "".join(row))
+    return "\n".join(lines)
+
+
+def to_json(
+    timeline: Timeline,
+    critical: "CriticalPath | None" = None,
+    intervals: bool = True,
+) -> dict:
+    """The timeline as a JSON-serializable dict.
+
+    ``intervals=False`` keeps only the metrics (compact form for
+    benches that just compare makespans).
+    """
+    out: dict = {"metrics": timeline.metrics(), "barriers": timeline.barriers}
+    if intervals:
+        out["processors"] = [
+            {
+                "rank": p.rank,
+                "clock": p.time,
+                "busy": p.busy(),
+                "intervals": [iv.to_dict() for iv in p.intervals],
+            }
+            for p in timeline.procs
+        ]
+    if critical is not None:
+        out["critical_path"] = critical.to_dict(steps=intervals)
+    return out
+
+
+def dump_json(
+    timeline: Timeline,
+    file: str | IO[str],
+    critical: "CriticalPath | None" = None,
+    intervals: bool = True,
+) -> None:
+    """Write :func:`to_json` output to a path or open text file."""
+    doc = to_json(timeline, critical=critical, intervals=intervals)
+    if isinstance(file, str):
+        with open(file, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+    else:
+        json.dump(doc, file, indent=2)
+
+
+def to_chrome_trace(timeline: Timeline) -> dict:
+    """The timeline in Chrome tracing ``traceEvents`` form.
+
+    Timestamps are microseconds; each simulated processor is one
+    thread of process 0, so Perfetto renders the familiar one-track-
+    per-processor view.
+    """
+    events = []
+    for p in timeline.procs:
+        for iv in p.intervals:
+            events.append(
+                {
+                    "name": iv.tag or iv.kind,
+                    "cat": iv.kind,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": p.rank,
+                    "ts": iv.start * 1e6,
+                    "dur": iv.duration * 1e6,
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": timeline.metrics(),
+    }

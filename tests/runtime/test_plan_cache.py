@@ -61,6 +61,116 @@ class TestPlanCache:
             PlanCache(capacity=0)
 
 
+class TestPlanCacheStats:
+    """Direct coverage of the PR-2 stats() surface (hit/miss counters
+    plus resident matrix / move-plan populations)."""
+
+    def test_fresh_cache_stats(self):
+        assert PlanCache().stats() == {
+            "hits": 0, "misses": 0, "matrices": 0, "moves": 0
+        }
+
+    def test_matrix_lookups_update_counters(self):
+        cache = PlanCache()
+        old = dist_type("BLOCK", ":").apply((16, 4), R)
+        new = dist_type(":", "BLOCK").apply((16, 4), R)
+        cache.transfer_matrix(old, new, 4)
+        assert cache.stats() == {
+            "hits": 0, "misses": 1, "matrices": 1, "moves": 0
+        }
+        cache.transfer_matrix(old, new, 4)
+        cache.transfer_matrix(old, new, 4)
+        assert cache.stats()["hits"] == 2
+        assert cache.stats()["misses"] == 1
+
+    def test_segment_moves_share_counters_but_not_population(self):
+        cache = PlanCache()
+        old = dist_type("BLOCK", ":").apply((16, 4), R)
+        new = dist_type(":", "BLOCK").apply((16, 4), R)
+        cache.segment_moves(old, new, 4)
+        cache.segment_moves(old, new, 4)
+        s = cache.stats()
+        assert s["hits"] == 1 and s["misses"] == 1
+        assert s["matrices"] == 0 and s["moves"] == 1
+        # the same (old, new) pair in the matrix cache is a separate miss
+        cache.transfer_matrix(old, new, 4)
+        s = cache.stats()
+        assert s["misses"] == 2 and s["matrices"] == 1
+
+    def test_clear_resets_stats(self):
+        cache = PlanCache()
+        old = dist_type("BLOCK", ":").apply((16, 4), R)
+        new = dist_type(":", "BLOCK").apply((16, 4), R)
+        cache.transfer_matrix(old, new, 4)
+        cache.segment_moves(old, new, 4)
+        cache.clear()
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "matrices": 0, "moves": 0
+        }
+
+    def test_engine_summary_reports_cache_stats(self):
+        machine = Machine(R)
+        engine = Engine(machine)
+        v = engine.declare(
+            "V", (16, 16), dist=dist_type(":", "BLOCK"), dynamic=True
+        )
+        v.from_global(np.zeros((16, 16)))
+        engine.distribute("V", dist_type("BLOCK", ":"))
+        text = engine.redistribution_summary()
+        s = engine.plan_cache.stats()
+        assert f"{s['hits']} hits / {s['misses']} misses" in text
+        assert f"{s['matrices']} matrices" in text
+
+
+class TestRedistributionReportSummary:
+    """Direct coverage of the PR-2 report fields (backend name and
+    plan-cache hit/miss counts) and their summary() rendering."""
+
+    def test_summary_renders_backend_and_cache_fields(self):
+        from repro.runtime.redistribute import RedistributionReport
+
+        rep = RedistributionReport(
+            "V", 12, 960, 120, 136, 3.25e-4,
+            cache_hits=5, cache_misses=1, backend="multiprocess",
+        )
+        text = rep.summary()
+        assert text.startswith("V: 12 msgs, 960B")
+        assert "moved=120" in text and "kept=136" in text
+        assert "[backend=multiprocess, plan cache 5 hit / 1 miss]" in text
+
+    def test_communicate_populates_cache_fields(self):
+        machine = Machine(R)
+        engine = Engine(machine)
+        arr = engine.declare(
+            "B", (16, 4), dist=dist_type("BLOCK", ":"), dynamic=True
+        )
+        arr.from_global(np.zeros((16, 4)))
+        there = dist_type(":", "BLOCK")
+        back = dist_type("BLOCK", ":")
+        first = engine.distribute("B", there)[0]
+        assert first.backend == "serial"
+        assert first.cache_misses == 1 and first.cache_hits == 0
+        engine.distribute("B", back)
+        repeat = engine.distribute("B", there)[0]
+        assert repeat.cache_hits == 1 and repeat.cache_misses == 0
+        assert "plan cache 1 hit / 0 miss" in repeat.summary()
+
+    def test_notransfer_report_carries_backend(self):
+        machine = Machine(R)
+        engine = Engine(machine)
+        engine.declare(
+            "P", (16,), dist=dist_type("BLOCK"), dynamic=True
+        )
+        engine.declare("S", (16,), dynamic=True, connect=("P", "="))
+        reports = engine.distribute(
+            "P", dist_type("CYCLIC"), notransfer=("S",)
+        )
+        by_name = {r.array_name: r for r in reports}
+        assert by_name["S"].messages == 0
+        assert by_name["S"].backend == "serial"
+        assert "backend=serial" in by_name["S"].summary()
+
+
 class TestEngineIntegration:
     def test_adi_flips_hit_cache(self):
         """The ADI outer loop reuses two plans after the first lap."""

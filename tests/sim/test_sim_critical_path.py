@@ -1,0 +1,105 @@
+"""Critical-path extraction from simulated timelines."""
+
+from repro.machine import Machine, PARAGON, ProcessorArray
+from repro.sim import EventLog, critical_path, record, simulate
+
+
+def _machine(n=4):
+    return Machine(ProcessorArray("P", (n,)), cost_model=PARAGON)
+
+
+def _simulated(m, log, overlap=False):
+    return simulate(log, m.cost_model, m.nprocs, overlap=overlap)
+
+
+class TestCriticalPath:
+    def test_empty_timeline(self):
+        m = _machine()
+        cp = critical_path(_simulated(m, EventLog()))
+        assert len(cp) == 0 and cp.makespan == 0.0
+
+    def test_single_kernel_path(self):
+        m = _machine()
+        log = EventLog()
+        with record(m, log):
+            m.network.compute(2, 500.0)
+        cp = critical_path(_simulated(m, log))
+        assert cp.ranks() == [2]
+        assert cp.breakdown() == {"compute": m.cost_model.compute_time(500.0)}
+
+    def test_path_is_chronological_and_anchored(self):
+        m = _machine()
+        log = EventLog()
+        with record(m, log):
+            m.network.exchange([(0, 1, 64), (1, 2, 64)])
+            m.network.synchronize()
+            m.network.compute(3, 9999.0)
+            m.network.synchronize()
+        tl = _simulated(m, log)
+        cp = critical_path(tl)
+        starts = [iv.start for _r, iv in cp.steps]
+        assert starts == sorted(starts)
+        assert cp.steps[0][1].start == 0.0
+        assert cp.steps[-1][1].end == tl.makespan
+
+    def test_path_crosses_ranks_through_barrier(self):
+        """The bottleneck before a barrier pulls the path to its rank."""
+        m = _machine(2)
+        log = EventLog()
+        with record(m, log):
+            m.network.compute(1, 10000.0)  # bottleneck
+            m.network.synchronize()
+            m.network.compute(0, 10.0)     # finisher after the barrier
+        cp = critical_path(_simulated(m, log))
+        assert set(cp.ranks()) == {0, 1}
+        # the long kernel on rank 1 must be on the path
+        assert any(
+            r == 1 and iv.kind == "compute" for r, iv in cp.steps
+        )
+
+    def test_blocking_send_couples_receiver_to_sender(self):
+        m = _machine(2)
+        log = EventLog()
+        with record(m, log):
+            m.network.compute(0, 10000.0)
+            m.network.send(0, 1, 64)
+            m.network.compute(1, 10.0)
+        cp = critical_path(_simulated(m, log))
+        assert set(cp.ranks()) == {0, 1}
+        assert any(iv.kind == "compute" and r == 0 for r, iv in cp.steps)
+
+    def test_breakdown_sums_to_path_time(self):
+        m = _machine()
+        log = EventLog()
+        with record(m, log):
+            m.network.exchange([(0, 1, 2048)])
+            m.network.synchronize()
+            m.network.compute(1, 300.0)
+        cp = critical_path(_simulated(m, log))
+        assert abs(sum(cp.breakdown().values())
+                   - sum(iv.duration for _r, iv in cp.steps)) < 1e-15
+
+    def test_summary_and_to_dict(self):
+        m = _machine()
+        log = EventLog()
+        with record(m, log):
+            m.network.exchange([(0, 1, 64)])
+            m.network.synchronize()
+        cp = critical_path(_simulated(m, log))
+        assert "critical path" in cp.summary()
+        d = cp.to_dict()
+        assert d["makespan"] == cp.makespan
+        assert len(d["steps"]) == len(cp)
+
+    def test_split_phase_path_contains_posts_or_waits(self):
+        m = _machine(2)
+        log = EventLog()
+        with record(m, log):
+            m.network.exchange([(0, 1, 10**6)])
+            m.network.synchronize()
+            m.network.compute(0, 10.0)
+            m.network.compute(1, 10.0)
+            m.network.synchronize()
+        cp = critical_path(_simulated(m, log, overlap=True))
+        kinds = {iv.kind for _r, iv in cp.steps}
+        assert kinds & {"post", "wait"}

@@ -1,0 +1,148 @@
+"""Typed events and the network recording seam."""
+
+import pytest
+
+from repro.machine import Machine, PARAGON, ProcessorArray
+from repro.sim import Event, EventKind, EventLog, classify_tag, record
+
+
+class TestEventLog:
+    def test_kernel_event(self):
+        log = EventLog()
+        log.kernel(2, 100.0, "stencil:U")
+        (ev,) = log.events
+        assert ev.kind is EventKind.KERNEL
+        assert ev.rank == 2 and ev.flops == 100.0 and ev.tag == "stencil:U"
+
+    def test_message_pairs_send_recv(self):
+        log = EventLog()
+        log.message(0, 1, 64, "shift:U:d0")
+        send, recv = log.events
+        assert send.kind is EventKind.SEND and recv.kind is EventKind.RECV
+        assert send.rank == 0 and send.peer == 1
+        assert recv.rank == 1 and recv.peer == 0
+        assert send.msg == recv.msg
+        assert send.phase == -1  # sequential by default
+
+    def test_phase_groups_messages(self):
+        log = EventLog()
+        pid = log.begin_phase("shift:U:d0")
+        log.message(0, 1, 8, "shift:U:d0", phase=pid)
+        log.message(1, 0, 8, "shift:U:d0", phase=pid)
+        assert all(ev.phase == pid for ev in log.events)
+        pid2 = log.begin_phase("shift:U:d1")
+        assert pid2 != pid
+
+    def test_collective_markers(self):
+        log = EventLog()
+        log.begin_phase("redistribute:V")
+        assert log.events[-1].kind is EventKind.REDIST
+        log.begin_phase("gather:V")
+        assert log.events[-1].kind is EventKind.ALLGATHER
+        n = len(log)
+        log.begin_phase("shift:V:d0")  # p2p: no marker
+        assert len(log) == n
+
+    def test_counts_and_messages(self):
+        log = EventLog()
+        log.kernel(0, 1.0)
+        log.message(0, 1, 8)
+        log.barrier()
+        assert log.counts() == {"kernel": 1, "send": 1, "recv": 1, "barrier": 1}
+        assert [ev.rank for ev in log.messages()] == [0]
+
+    def test_clear(self):
+        log = EventLog()
+        log.message(0, 1, 8)
+        log.clear()
+        assert len(log) == 0
+
+    def test_event_to_dict_roundtrips_kind(self):
+        ev = Event(0, EventKind.SEND, 0, peer=1, nbytes=8)
+        d = ev.to_dict()
+        assert d["kind"] == "send" and d["peer"] == 1
+
+
+class TestClassifyTag:
+    @pytest.mark.parametrize(
+        "tag,expected",
+        [
+            ("redistribute:V", EventKind.REDIST),
+            ("assign", EventKind.REDIST),
+            ("pic:reassign", EventKind.REDIST),
+            ("gather:V", EventKind.ALLGATHER),
+            ("scatter:V", EventKind.ALLGATHER),
+            ("reduce", EventKind.ALLGATHER),
+            ("shift:U:d0", None),
+            ("sweep:gather", None),  # line pieces are point-to-point
+            ("", None),
+        ],
+    )
+    def test_classification(self, tag, expected):
+        assert classify_tag(tag) is expected
+
+
+class TestNetworkSeam:
+    def test_network_records_all_operation_kinds(self):
+        m = Machine(ProcessorArray("P", (3,)), cost_model=PARAGON)
+        log = EventLog()
+        with record(m, log):
+            m.network.send(0, 1, 16, tag="elem:V")
+            m.network.exchange(
+                [(0, 1, 8, "redistribute:V"), (1, 2, 8, "redistribute:V")]
+            )
+            m.network.compute(2, 50.0, tag="kernel:V")
+            m.network.synchronize()
+        kinds = [ev.kind for ev in log]
+        assert kinds == [
+            EventKind.SEND, EventKind.RECV,           # sequential send
+            EventKind.REDIST,                          # phase marker
+            EventKind.SEND, EventKind.RECV,
+            EventKind.SEND, EventKind.RECV,
+            EventKind.KERNEL,
+            EventKind.BARRIER,
+        ]
+        # phase grouping: the two exchange messages share a phase id
+        phases = {ev.phase for ev in log if ev.phase >= 0}
+        assert len(phases) == 1
+
+    def test_self_messages_not_recorded(self):
+        m = Machine(ProcessorArray("P", (2,)))
+        log = EventLog()
+        with record(m, log):
+            m.network.send(1, 1, 64)
+            m.network.exchange([(0, 0, 8), (0, 1, 8)])
+        assert len(log.messages()) == 1
+
+    def test_record_restores_previous_recorder(self):
+        m = Machine(ProcessorArray("P", (2,)))
+        assert m.network.recorder is None
+        with record(m) as log:
+            assert m.network.recorder is log
+            m.network.send(0, 1, 8)
+        assert m.network.recorder is None
+        assert len(log.messages()) == 1
+
+    def test_reset_clears_recorded_events(self):
+        m = Machine(ProcessorArray("P", (2,)))
+        log = EventLog()
+        with record(m, log):
+            m.network.send(0, 1, 8)
+            m.reset_network()
+            m.network.send(1, 0, 8)
+        # only the post-reset message survives, clocks stay replayable
+        assert len(log.messages()) == 1
+        assert log.messages()[0].rank == 1
+
+    def test_engine_record_events_seam(self):
+        from repro.core.distribution import dist_type
+        from repro.runtime.engine import Engine
+
+        m = Machine(ProcessorArray("P", (4,)), cost_model=PARAGON)
+        vfe = Engine(m)
+        v = vfe.declare("V", (16,), dist=dist_type("BLOCK"), dynamic=True)
+        with vfe.record_events() as log:
+            vfe.distribute("V", dist_type("CYCLIC"))
+        assert any(ev.kind is EventKind.REDIST for ev in log)
+        assert any(ev.kind is EventKind.BARRIER for ev in log)
+        del v

@@ -1,0 +1,156 @@
+"""Split-phase semantics: relaxed barriers, overlap, invariants."""
+
+from repro.machine import IPSC860, Machine, PARAGON, ProcessorArray
+from repro.sim import (
+    EventLog,
+    overlappable_phases,
+    record,
+    relaxed_barriers,
+    simulate,
+)
+
+
+def _machine(n=4, cm=PARAGON):
+    return Machine(ProcessorArray("P", (n,)), cost_model=cm)
+
+
+def _halo_then_kernel_log(m, steps=3, nbytes=4096, flops=200000.0):
+    """The stencil shape: exchange / barrier / kernels / barrier."""
+    log = EventLog()
+    with record(m, log):
+        for _ in range(steps):
+            m.network.exchange(
+                [(0, 1, nbytes), (1, 0, nbytes), (1, 2, nbytes),
+                 (2, 1, nbytes), (2, 3, nbytes), (3, 2, nbytes)],
+            )
+            m.network.synchronize()
+            for r in range(m.nprocs):
+                m.network.compute(r, flops)
+            m.network.synchronize()
+    return log
+
+
+class TestRelaxedBarriers:
+    def test_comm_only_barrier_is_relaxed(self):
+        m = _machine()
+        log = _halo_then_kernel_log(m, steps=2)
+        relaxed = relaxed_barriers(log)
+        # barriers alternate: comm-only (relaxed), post-kernel (kept)
+        assert relaxed == {0, 2}
+
+    def test_kernel_barrier_kept(self):
+        m = _machine()
+        log = EventLog()
+        with record(m, log):
+            m.network.compute(0, 10.0)
+            m.network.synchronize()
+        assert relaxed_barriers(log) == frozenset()
+
+    def test_empty_segment_barrier_kept(self):
+        m = _machine()
+        log = EventLog()
+        with record(m, log):
+            m.network.synchronize()
+            m.network.synchronize()
+        assert relaxed_barriers(log) == frozenset()
+
+    def test_overlappable_phases(self):
+        m = _machine()
+        log = _halo_then_kernel_log(m, steps=2)
+        hideable = overlappable_phases(log)
+        assert len(hideable) == 2 and all(hideable.values())
+        # a phase closed by a kept barrier is not hideable
+        log2 = EventLog()
+        with record(m, log2):
+            m.network.exchange([(0, 1, 8)])
+            m.network.compute(0, 1.0)
+            m.network.synchronize()
+        assert overlappable_phases(log2) == {0: False}
+
+
+class TestSplitPhaseSemantics:
+    def test_overlap_hides_halo_transfers(self):
+        m = _machine(4, IPSC860)  # high beta: transfers dominate
+        log = _halo_then_kernel_log(m)
+        blocking = simulate(log, m.cost_model, m.nprocs)
+        split = simulate(log, m.cost_model, m.nprocs, overlap=True)
+        assert split.makespan < blocking.makespan
+        assert split.relaxed == 3
+        assert blocking.relaxed == 0
+
+    def test_perfect_overlap_bound(self):
+        """With compute >> comm the split-phase makespan approaches
+        pure compute plus the post overheads."""
+        m = _machine(2, PARAGON)
+        log = EventLog()
+        flops = 5e6  # 0.1 s at 50 MFLOPS -- dwarfs one 8 KB transfer
+        with record(m, log):
+            m.network.exchange([(0, 1, 8192), (1, 0, 8192)])
+            m.network.synchronize()
+            m.network.compute(0, flops)
+            m.network.compute(1, flops)
+            m.network.synchronize()
+        split = simulate(log, m.cost_model, m.nprocs, overlap=True)
+        compute = m.cost_model.compute_time(flops)
+        posts = 2 * m.cost_model.alpha  # one send + one recv post each
+        assert abs(split.makespan - (compute + posts)) < 1e-12
+
+    def test_waits_happen_at_kept_barriers(self):
+        """With comm >> compute the wait reappears at the kept barrier."""
+        m = _machine(2, IPSC860)
+        log = EventLog()
+        with record(m, log):
+            m.network.exchange([(0, 1, 10**6)])  # ~0.36 s transfer
+            m.network.synchronize()
+            m.network.compute(0, 10.0)
+            m.network.compute(1, 10.0)
+            m.network.synchronize()
+        split = simulate(log, m.cost_model, m.nprocs, overlap=True)
+        waits = [
+            iv
+            for p in split.procs
+            for iv in p.intervals
+            if iv.kind == "wait" and iv.tag == "msg-wait"
+        ]
+        assert waits, "transfer must be awaited at the kept barrier"
+        # makespan is still bounded by the transfer completion
+        assert split.makespan >= m.cost_model.beta * 10**6
+
+    def test_end_of_trace_drains_pending(self):
+        m = _machine(2, PARAGON)
+        log = EventLog()
+        with record(m, log):
+            m.network.exchange([(0, 1, 10**6)])
+            m.network.synchronize()  # relaxed: comm-only
+        split = simulate(log, m.cost_model, m.nprocs, overlap=True)
+        assert split.makespan >= m.cost_model.beta * 10**6
+
+    def test_in_order_link_delivery(self):
+        """Two transfers on one link serialize their beta terms."""
+        m = _machine(2, PARAGON)
+        nbytes = 10**5
+        log = EventLog()
+        with record(m, log):
+            m.network.exchange([(0, 1, nbytes), (0, 1, nbytes)])
+            m.network.synchronize()
+        split = simulate(log, m.cost_model, m.nprocs, overlap=True)
+        assert split.makespan >= 2 * m.cost_model.beta * nbytes
+
+    def test_overlap_never_slower_on_stencil_traces(self):
+        for cm in (PARAGON, IPSC860):
+            m = _machine(4, cm)
+            log = _halo_then_kernel_log(m, steps=4, nbytes=256, flops=50.0)
+            blocking = simulate(log, m.cost_model, m.nprocs)
+            split = simulate(log, m.cost_model, m.nprocs, overlap=True)
+            assert split.makespan <= blocking.makespan * (1 + 1e-12)
+
+    def test_sequential_send_posts_split_phase(self):
+        m = _machine(2, PARAGON)
+        log = EventLog()
+        with record(m, log):
+            m.network.send(0, 1, 10**5, tag="elem:V")
+            m.network.compute(0, 1000.0)
+            m.network.synchronize()
+        blocking = simulate(log, m.cost_model, m.nprocs)
+        split = simulate(log, m.cost_model, m.nprocs, overlap=True)
+        assert split.makespan <= blocking.makespan

@@ -1,0 +1,128 @@
+"""Blocking replay: bit-for-bit equivalence with the aggregate
+accounting, plus timeline bookkeeping."""
+
+from repro.machine import IPSC860, Machine, PARAGON, ProcessorArray
+from repro.sim import EventLog, record, simulate
+
+
+def _machine(n=4, cm=PARAGON):
+    return Machine(ProcessorArray("P", (n,)), cost_model=cm)
+
+
+def _replay(m, log):
+    return simulate(log, m.cost_model, m.nprocs, overlap=False)
+
+
+class TestBlockingEquivalence:
+    def test_sequential_sends(self):
+        m = _machine()
+        log = EventLog()
+        with record(m, log):
+            m.network.send(0, 1, 100)
+            m.network.send(1, 2, 50)
+            m.network.send(3, 2, 10)
+        tl = _replay(m, log)
+        assert tl.clocks == m.network.clocks
+
+    def test_exchange_phase(self):
+        m = _machine()
+        log = EventLog()
+        with record(m, log):
+            m.network.exchange(
+                [(0, 1, 8), (1, 0, 8), (1, 2, 16), (2, 3, 999)]
+            )
+        tl = _replay(m, log)
+        assert tl.clocks == m.network.clocks
+
+    def test_compute_and_barrier(self):
+        m = _machine()
+        log = EventLog()
+        with record(m, log):
+            m.network.compute(0, 123.0)
+            m.network.compute(2, 456.0)
+            m.network.synchronize()
+        tl = _replay(m, log)
+        assert tl.clocks == m.network.clocks
+        assert tl.barriers == [m.time]
+
+    def test_mixed_program(self):
+        m = _machine(5, IPSC860)
+        log = EventLog()
+        with record(m, log):
+            m.network.exchange([(0, 1, 64), (1, 2, 64), (4, 0, 3)])
+            m.network.synchronize()
+            m.network.compute(1, 1000.0)
+            m.network.send(1, 3, 8, tag="elem:V")
+            m.network.exchange([(3, 4, 128, "redistribute:V")])
+            m.network.synchronize()
+            m.network.compute(4, 10.0)
+        tl = _replay(m, log)
+        assert tl.clocks == m.network.clocks
+        assert tl.makespan == m.time
+
+    def test_empty_log(self):
+        m = _machine()
+        tl = _replay(m, EventLog())
+        assert tl.clocks == [0.0] * 4
+        assert tl.makespan == 0.0
+        assert tl.imbalance() == 1.0 and tl.efficiency() == 1.0
+
+
+class TestTimelineBookkeeping:
+    def test_intervals_are_contiguous_per_rank(self):
+        m = _machine()
+        log = EventLog()
+        with record(m, log):
+            m.network.exchange([(0, 1, 64), (2, 3, 8)])
+            m.network.synchronize()
+            m.network.compute(0, 100.0)
+            m.network.synchronize()
+        tl = _replay(m, log)
+        for p in tl.procs:
+            for a, b in zip(p.intervals, p.intervals[1:]):
+                assert a.end == b.start
+            if p.intervals:
+                assert p.intervals[0].start == 0.0
+                assert p.intervals[-1].end == p.time
+
+    def test_makespan_at_least_max_busy(self):
+        m = _machine()
+        log = EventLog()
+        with record(m, log):
+            m.network.send(0, 1, 500)
+            m.network.compute(2, 2000.0)
+            m.network.synchronize()
+        tl = _replay(m, log)
+        assert tl.makespan >= max(tl.busy(r) for r in range(tl.nprocs))
+
+    def test_wait_intervals_account_for_idle(self):
+        m = _machine(2)
+        log = EventLog()
+        with record(m, log):
+            m.network.compute(0, 10000.0)
+            m.network.synchronize()
+        tl = _replay(m, log)
+        # rank 1 idled for exactly rank 0's compute time
+        waits = [iv for iv in tl.procs[1].intervals if iv.kind == "wait"]
+        assert len(waits) == 1
+        assert waits[0].duration == tl.makespan
+
+    def test_metrics_record(self):
+        m = _machine()
+        log = EventLog()
+        with record(m, log):
+            m.network.exchange([(0, 1, 64)])
+            m.network.compute(0, 100.0)
+            m.network.synchronize()
+        metrics = _replay(m, log).metrics()
+        assert metrics["makespan"] == m.time
+        assert metrics["compute_time"] > 0 and metrics["comm_time"] > 0
+        assert metrics["barriers"] == 1 and not metrics["overlap"]
+
+    def test_summary_mentions_mode_and_model(self):
+        m = _machine()
+        log = EventLog()
+        with record(m, log):
+            m.network.synchronize()
+        s = _replay(m, log).summary()
+        assert "blocking" in s and "Paragon" in s

@@ -1,0 +1,125 @@
+"""Trace export: Gantt, JSON, Chrome tracing, report helpers."""
+
+import json
+
+import pytest
+
+from repro.machine import (
+    Machine,
+    PARAGON,
+    ProcessorArray,
+    timeline_summary,
+    timeline_table,
+)
+from repro.sim import (
+    EventLog,
+    critical_path,
+    dump_json,
+    gantt,
+    record,
+    simulate,
+    to_chrome_trace,
+    to_json,
+)
+
+
+@pytest.fixture
+def timeline():
+    m = Machine(ProcessorArray("P", (3,)), cost_model=PARAGON)
+    log = EventLog()
+    with record(m, log):
+        m.network.exchange([(0, 1, 512), (1, 2, 512)])
+        m.network.synchronize()
+        m.network.compute(0, 4000.0, tag="stencil:U")
+        m.network.compute(1, 2000.0, tag="stencil:U")
+        m.network.synchronize()
+    return simulate(log, m.cost_model, m.nprocs)
+
+
+class TestGantt:
+    def test_one_row_per_processor(self, timeline):
+        lines = gantt(timeline, width=40).splitlines()
+        assert len(lines) == 1 + timeline.nprocs
+        assert lines[1].startswith("P0") and lines[3].startswith("P2")
+
+    def test_rows_have_requested_width(self, timeline):
+        for line in gantt(timeline, width=40).splitlines()[1:]:
+            assert len(line) == len("P0   ") + 40
+
+    def test_glyphs_cover_kinds(self, timeline):
+        chart = gantt(timeline, width=64)
+        assert "#" in chart and "~" in chart
+
+    def test_zero_makespan(self):
+        m = Machine(ProcessorArray("P", (2,)))
+        tl = simulate(EventLog(), m.cost_model, m.nprocs)
+        chart = gantt(tl, width=16)
+        assert "." * 16 in chart
+
+    def test_width_validated(self, timeline):
+        with pytest.raises(ValueError):
+            gantt(timeline, width=4)
+
+
+class TestJson:
+    def test_to_json_roundtrips_through_json(self, timeline):
+        doc = to_json(timeline, critical=critical_path(timeline))
+        text = json.dumps(doc)
+        back = json.loads(text)
+        assert back["metrics"]["makespan"] == timeline.makespan
+        assert len(back["processors"]) == timeline.nprocs
+        assert back["critical_path"]["makespan"] == timeline.makespan
+
+    def test_compact_form_drops_intervals(self, timeline):
+        doc = to_json(timeline, intervals=False)
+        assert "processors" not in doc and "metrics" in doc
+
+    def test_dump_json_to_path(self, timeline, tmp_path):
+        path = tmp_path / "trace.json"
+        dump_json(timeline, str(path))
+        doc = json.loads(path.read_text())
+        assert doc["metrics"]["nprocs"] == timeline.nprocs
+
+    def test_dump_json_to_file_object(self, timeline, tmp_path):
+        path = tmp_path / "trace.json"
+        with open(path, "w") as fh:
+            dump_json(timeline, fh, intervals=False)
+        assert json.loads(path.read_text())["metrics"]["overlap"] is False
+
+
+class TestChromeTrace:
+    def test_trace_events_shape(self, timeline):
+        doc = to_chrome_trace(timeline)
+        assert doc["traceEvents"]
+        ev = doc["traceEvents"][0]
+        assert ev["ph"] == "X" and ev["ts"] >= 0 and ev["dur"] >= 0
+        assert {e["tid"] for e in doc["traceEvents"]} <= set(
+            range(timeline.nprocs)
+        )
+        json.dumps(doc)  # serializable
+
+    def test_kernel_tags_become_names(self, timeline):
+        doc = to_chrome_trace(timeline)
+        assert any(e["name"] == "stencil:U" for e in doc["traceEvents"])
+
+
+class TestTimelineReports:
+    def test_timeline_table_has_row_per_rank(self, timeline):
+        table = timeline_table(timeline)
+        lines = table.splitlines()
+        assert len(lines) == 2 + timeline.nprocs
+        assert "util" in lines[0]
+
+    def test_timeline_summary_compares_makespan_and_bound(self, timeline):
+        s = timeline_summary(timeline)
+        assert "makespan" in s and "summed-cost bound" in s
+
+    def test_timeline_summary_with_machine(self):
+        m = Machine(ProcessorArray("P", (2,)), cost_model=PARAGON)
+        log = EventLog()
+        with record(m, log):
+            m.network.compute(0, 100.0)
+            m.network.synchronize()
+        tl = simulate(log, m.cost_model, m.nprocs)
+        s = timeline_summary(tl, m)
+        assert "machine aggregate clock" in s

@@ -57,7 +57,24 @@ def test_backend_reexported_from_root():
 def test_version():
     import repro
 
-    assert repro.__version__ == "1.2.0"
+    assert repro.__version__ == "1.3.0"
+
+
+def test_sim_reexported_from_root():
+    import repro
+
+    assert repro.sim.__name__ == "repro.sim"
+    assert repro.EventLog is repro.sim.EventLog
+    assert repro.simulate is repro.sim.simulate
+    assert repro.Timeline is repro.sim.Timeline
+    assert repro.critical_path is repro.sim.critical_path
+    assert "sim" in repro.__all__
+
+    ns: dict = {}
+    exec("from repro import *", ns)  # noqa: S102
+    for required in ("EventLog", "simulate", "Timeline", "critical_path",
+                     "gantt"):
+        assert required in ns
 
 
 def test_main_module_runs(capsys):
