@@ -1,0 +1,48 @@
+"""Perf harness — the vectorized hot paths vs their reference oracles.
+
+Wraps :mod:`repro.perf` in the bench-suite idiom: prints the
+before/after table, asserts the op-count gate (the vectorized paths
+must be operation-for-operation identical to their per-element /
+per-event references), and writes ``BENCH_PERF.json`` next to the
+working directory.  The same harness backs ``python -m repro bench``;
+wall-clock numbers here are informational (never asserted), the
+op-count ``match`` flags are the regression check.
+
+Run with ``pytest benchmarks/perf_harness.py -s --benchmark-disable``
+(smoke sizes; set ``REPRO_BENCH_FULL=1`` for the full sizes the README
+table quotes).
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import emit_table
+from repro.perf import run_harness
+
+
+def test_perf_harness_vectorized_paths_match_reference():
+    smoke = os.environ.get("REPRO_BENCH_FULL", "") != "1"
+    report = run_harness(smoke=smoke, out="BENCH_PERF.json", quiet=True)
+    rows = [
+        [
+            r["name"],
+            r["reference_seconds"] * 1e3,
+            r["vectorized_seconds"] * 1e3,
+            r["speedup"],
+            r["match"],
+        ]
+        for r in report["benches"]
+    ]
+    emit_table(
+        "perf harness: per-element/per-event reference vs vectorized "
+        f"({'smoke' if smoke else 'full'} sizes)",
+        ["hot path", "reference_ms", "vectorized_ms", "speedup", "ops match"],
+        rows,
+    )
+    # the gate: identical op counts, values and plan costs
+    assert all(r["match"] for r in report["benches"])
+    # every vectorized path must actually be a speedup (coarse sanity,
+    # generous bound so CI machines never flake)
+    for r in report["benches"]:
+        assert r["speedup"] > 0.5, r["name"]

@@ -75,6 +75,7 @@ from .runtime import __all__ as _runtime_all
 from . import backend as backend  # noqa: F401
 from . import compiler as compiler  # noqa: F401
 from . import lang as lang  # noqa: F401
+from . import perf as perf  # noqa: F401
 from . import planner as planner  # noqa: F401
 from . import sim as sim  # noqa: F401
 
@@ -85,13 +86,14 @@ for _mod in (lang, compiler, planner, backend, sim):
             globals()[_name] = getattr(_mod, _name)
             _upper_all.append(_name)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
     "backend",
     "compiler",
     "lang",
+    "perf",
     "planner",
     "sim",
     *_core_all,

@@ -10,6 +10,7 @@ headline comparisons.  Subcommands::
     python -m repro run smoothing --backend multiprocess --nprocs 4
     python -m repro trace adi --nprocs 4 --size 32
     python -m repro calibrate --nprocs 2
+    python -m repro bench --smoke --check
 
 ``plan`` runs the automatic distribution planner on a named workload
 (``--cost-mode simulated`` prices against split-phase overlap
@@ -334,6 +335,21 @@ def trace_command(args: argparse.Namespace) -> None:
     print(f"split-phase {cp_split.summary()}")
 
 
+def bench_command(args: argparse.Namespace) -> None:
+    """Time the vectorized hot paths against their reference oracles."""
+    from .perf import run_harness
+
+    mode = "smoke" if args.smoke else "full"
+    print(f"perf harness ({mode} sizes; wall-clock informational, "
+          f"op counts asserted{' [--check]' if args.check else ''}):")
+    run_harness(
+        smoke=args.smoke,
+        out=args.out,
+        check=args.check,
+        benches=args.only or None,
+    )
+
+
 def calibrate_command(args: argparse.Namespace) -> None:
     """Calibrate the multiprocess transport; plan against the fit."""
     from .backend.calibrate import calibrate
@@ -441,6 +457,23 @@ def main(argv: Sequence[str] | None = None) -> None:
     c.add_argument("--nprocs", type=int, default=2)
     c.add_argument("--repeats", type=int, default=7)
 
+    from .perf import BENCHES
+
+    b = sub.add_parser(
+        "bench",
+        help="time the vectorized hot paths against their per-element/"
+             "per-event reference oracles and write BENCH_PERF.json",
+    )
+    b.add_argument("--smoke", action="store_true",
+                   help="CI-sized problems (fast; same op-count checks)")
+    b.add_argument("--check", action="store_true",
+                   help="exit non-zero if any vectorized path's op "
+                        "counts or results diverge from its reference")
+    b.add_argument("--out", default="BENCH_PERF.json",
+                   help="output JSON path ('' to skip writing)")
+    b.add_argument("--only", nargs="*", choices=sorted(BENCHES),
+                   help="run only the named benches")
+
     args = parser.parse_args(list(argv) if argv is not None else [])
     if args.command == "plan":
         plan_command(args)
@@ -450,6 +483,8 @@ def main(argv: Sequence[str] | None = None) -> None:
         trace_command(args)
     elif args.command == "calibrate":
         calibrate_command(args)
+    elif args.command == "bench":
+        bench_command(args)
     else:
         tour()
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["thomas", "thomas_const", "tridiag_matvec"]
+__all__ = ["thomas", "thomas_const", "thomas_const_batch", "tridiag_matvec"]
 
 
 def thomas(
@@ -86,6 +86,52 @@ def thomas_const(rhs: np.ndarray, a: float, b: float) -> np.ndarray:
     for i in range(n - 2, -1, -1):
         x[i] = dp[i] - cp[i] * x[i + 1]
     return x
+
+
+def thomas_const_batch(rhs: np.ndarray, a: float, b: float) -> np.ndarray:
+    """Solve many constant-coefficient tridiagonal systems at once.
+
+    ``rhs`` is ``(nlines, n)``; returns the ``(nlines, n)`` solutions.
+    The elimination coefficients ``cp`` depend only on ``(a, b, n)``,
+    so they are computed once with the exact scalar recurrence of
+    :func:`thomas_const`; the ``dp`` sweep and back substitution then
+    run the same per-index operations across all rows simultaneously.
+    Every row's result is **bitwise identical** to a scalar
+    ``thomas_const`` call on that row (elementwise IEEE arithmetic,
+    same operation order per lane) — this is the batched form the
+    vectorized line sweeps dispatch to (see
+    :func:`repro.compiler.codegen.batched_line_solver`).
+    """
+    rhs = np.asarray(rhs, dtype=np.float64)
+    if rhs.ndim != 2:
+        raise ValueError(f"batched solve needs a 2-D rhs, got {rhs.shape}")
+    m, n = rhs.shape
+    if n == 0 or m == 0:
+        return rhs.copy()
+    if b == 0:
+        raise ZeroDivisionError("zero pivot in Thomas algorithm")
+    cp = np.empty(n, dtype=np.float64)
+    denom = np.empty(n, dtype=np.float64)
+    cp[0] = a / b if n > 1 else 0.0
+    denom[0] = b
+    for i in range(1, n):
+        denom[i] = b - a * cp[i - 1]
+        if denom[i] == 0:
+            raise ZeroDivisionError("zero pivot in Thomas algorithm")
+        cp[i] = a / denom[i] if i < n - 1 else 0.0
+    dp = np.empty((m, n), dtype=np.float64)
+    dp[:, 0] = rhs[:, 0] / b
+    for i in range(1, n):
+        dp[:, i] = (rhs[:, i] - a * dp[:, i - 1]) / denom[i]
+    x = np.empty((m, n), dtype=np.float64)
+    x[:, -1] = dp[:, -1]
+    for i in range(n - 2, -1, -1):
+        x[:, i] = dp[:, i] - cp[i] * x[:, i + 1]
+    return x
+
+
+#: advertise the batched form to the vectorized line sweeps
+thomas_const.batched = thomas_const_batch
 
 
 def tridiag_matvec(x: np.ndarray, a: float, b: float) -> np.ndarray:

@@ -37,6 +37,8 @@ __all__ = [
     "SegmentMoves",
     "shift_plan",
     "halo_dest_slice",
+    "SweepPlan",
+    "sweep_plan",
 ]
 
 
@@ -227,6 +229,110 @@ def shift_plan(
             sl[dim] = slab
             entries.append((rank, other, key, tuple(sl), w * cross))
     return entries
+
+
+class SweepPlan:
+    """Grouped line-ownership plan of one distributed line sweep.
+
+    A line sweep along array dimension ``dim`` touches one line per
+    index combination of the *other* dimensions.  Because every
+    intrinsic distributes dimensions independently, two lines whose
+    other-dimension indices land on the same processor slots have
+    *identical* ownership structure — so instead of slicing the rank
+    map and running ``np.unique`` per line (the per-element reference),
+    the plan computes head, piece counts and message templates once per
+    *group* (at most ``prod(slots)`` groups) and maps each line to its
+    group.
+
+    Attributes
+    ----------
+    group_of_line:
+        int64 array, one entry per line in row-major (product) order
+        over the other dimensions — the group index of that line.
+    head:
+        per group, the rank owning the line's first element (where the
+        solve runs).
+    remote:
+        per group, whether the line spans more than one owner.
+    gather / scatter:
+        per group, the ``(src, dst, element_count)`` message template
+        of one line's gather-to-head / scatter-back (ascending peer
+        rank — the ``np.unique`` order of the reference).
+    """
+
+    __slots__ = ("dim", "n_line", "group_of_line", "head", "remote",
+                 "gather", "scatter")
+
+    def __init__(self, dim, n_line, group_of_line, head, remote, gather, scatter):
+        self.dim = dim
+        self.n_line = n_line
+        self.group_of_line = group_of_line
+        self.head = head
+        self.remote = remote
+        self.gather = gather
+        self.scatter = scatter
+
+    @property
+    def nlines(self) -> int:
+        return len(self.group_of_line)
+
+
+def sweep_plan(dist: "Distribution", dim: int) -> SweepPlan:
+    """Build the :class:`SweepPlan` of sweeping ``dist`` along ``dim``.
+
+    Requires array dimension ``dim`` to consume a processor dimension
+    (a sweep along an undistributed dimension is communication-free
+    and needs no plan).
+    """
+    shape = dist.shape
+    ndim = len(shape)
+    if not dist.dtype.dims[dim].consumes_proc_dim:
+        raise ValueError(f"dimension {dim} is not distributed")
+    other_dims = [d for d in range(ndim) if d != dim]
+    maps = dist.owner_maps()  # per-dim primary slot vectors (read-only)
+    slots = [dist._slots(d) for d in range(ndim)]
+
+    # group id per line, row-major over the other dimensions
+    group_shape = tuple(slots[d] for d in other_dims)
+    if other_dims:
+        grids = np.meshgrid(*(maps[d] for d in other_dims), indexing="ij")
+        group_of_line = np.ravel_multi_index(
+            tuple(g.ravel() for g in grids), group_shape
+        ).astype(np.int64)
+    else:
+        group_of_line = np.zeros(1, dtype=np.int64)
+        group_shape = ()
+
+    # per-group line-rank vectors: rank_array indexed by the group's
+    # other-dim slots broadcast against dim's owner vector
+    ngroups = int(np.prod(group_shape, dtype=np.int64)) if group_shape else 1
+    group_mi = np.unravel_index(np.arange(ngroups), group_shape or (1,))
+    index_arrays: list[np.ndarray | None] = [None] * dist.target.ndim
+    for pos, d in enumerate(other_dims):
+        if dist.dtype.dims[d].consumes_proc_dim:
+            index_arrays[dist._secdim_of[d]] = group_mi[pos].reshape(-1, 1)
+    index_arrays[dist._secdim_of[dim]] = maps[dim].reshape(1, -1)
+    line_ranks = np.broadcast_to(
+        dist._rank_array[tuple(index_arrays)], (ngroups, shape[dim])
+    )
+
+    head = np.ascontiguousarray(line_ranks[:, 0]).astype(np.int64)
+    remote = np.zeros(ngroups, dtype=bool)
+    gather: list[list[tuple[int, int, int]]] = []
+    scatter: list[list[tuple[int, int, int]]] = []
+    for g in range(ngroups):
+        qs, counts = np.unique(line_ranks[g], return_counts=True)
+        h = int(head[g])
+        remote[g] = len(qs) > 1
+        gather.append(
+            [(int(q), h, int(c)) for q, c in zip(qs, counts) if int(q) != h]
+        )
+        scatter.append(
+            [(h, int(q), int(c)) for q, c in zip(qs, counts) if int(q) != h]
+        )
+    return SweepPlan(
+        dim, shape[dim], group_of_line, head, remote, gather, scatter
+    )
 
 
 def halo_dest_slice(

@@ -34,12 +34,41 @@ from typing import Callable
 
 import numpy as np
 
-from ..backend.plan import shift_plan
 from ..runtime.darray import DistributedArray
 from ..runtime.engine import Engine
 from ..runtime.overlap import OverlapManager
+from ..runtime.redistribute import PlanCache, default_plan_cache
 
-__all__ = ["StencilKernel", "LineSweepKernel", "lower_stencil", "lower_line_sweep"]
+__all__ = [
+    "StencilKernel",
+    "LineSweepKernel",
+    "lower_stencil",
+    "lower_line_sweep",
+    "batched_line_solver",
+]
+
+
+def batched_line_solver(line_func: Callable) -> Callable | None:
+    """The whole-batch form of a per-line solver, if it advertises one.
+
+    A line solver opts into vectorized sweeps by carrying a
+    ``batched`` attribute: a callable taking an ``(nlines, n)`` array
+    of right-hand sides and returning the ``(nlines, n)`` solutions,
+    elementwise-identical to applying the scalar solver per row (the
+    paper's TRIDIAG does — see
+    :func:`repro.apps.tridiag.thomas_const_batch`).  ``functools.partial``
+    wrappers are unwrapped with their bound arguments.  Returns
+    ``None`` when the solver only exists in per-line form; sweeps then
+    fall back to the per-line reference loop.
+    """
+    fn = getattr(line_func, "batched", None)
+    if fn is not None:
+        return fn
+    if isinstance(line_func, partial):
+        inner = getattr(line_func.func, "batched", None)
+        if inner is not None:
+            return partial(inner, *line_func.args, **line_func.keywords)
+    return None
 
 
 class StencilKernel:
@@ -56,17 +85,23 @@ class StencilKernel:
         widths: tuple[int, ...],
         func: Callable[[np.ndarray, np.ndarray, tuple[int, ...]], None],
         flops_per_element: float = 4.0,
+        plan_cache: PlanCache | None = None,
     ):
         self.array = array
         self.widths = widths
         self.func = func
         self.flops_per_element = flops_per_element
+        self.plan_cache = (
+            plan_cache if plan_cache is not None else default_plan_cache()
+        )
         self._overlap: OverlapManager | None = None
         self._version = -1
 
     def _manager(self) -> OverlapManager:
         if self._overlap is None or self._version != self.array.version:
-            self._overlap = OverlapManager(self.array, self.widths)
+            self._overlap = OverlapManager(
+                self.array, self.widths, plan_cache=self.plan_cache
+            )
             self._version = self.array.version
         return self._overlap
 
@@ -112,10 +147,10 @@ class StencilKernel:
         machine = self.array.machine
         dist = self.array.dist
         itemsize = self.array.itemsize
-        # one shift_plan per dimension, used twice: accounting here,
-        # worker slab routing inside backend.stencil_step
+        # one (cached) shift plan per dimension, used twice: accounting
+        # here, worker slab routing inside backend.stencil_step
         dim_entries = [
-            (dim, shift_plan(dist, dim, w))
+            (dim, self.plan_cache.shift_plan(dist, dim, w))
             for dim, w in enumerate(self.widths)
             if w > 0
         ]
@@ -154,6 +189,7 @@ class LineSweepKernel:
         dim: int,
         line_func: Callable[[np.ndarray], np.ndarray],
         flops_per_element: float = 8.0,
+        plan_cache: PlanCache | None = None,
     ):
         if not 0 <= dim < array.ndim:
             raise ValueError(f"dim {dim} out of range for rank {array.ndim}")
@@ -161,6 +197,11 @@ class LineSweepKernel:
         self.dim = dim
         self.line_func = line_func
         self.flops_per_element = flops_per_element
+        self.plan_cache = (
+            plan_cache if plan_cache is not None else default_plan_cache()
+        )
+        #: whole-batch solver, if ``line_func`` advertises one
+        self._batched = batched_line_solver(line_func)
 
     def _line_is_local(self) -> bool:
         from ..core.dimdist import NoDist, Replicated
@@ -171,17 +212,25 @@ class LineSweepKernel:
         # distributed, but possibly onto a single processor slot
         return self.array.dist._slots(self.dim) == 1
 
-    def sweep(self) -> dict[str, int]:
-        """Run line_func over every line; returns sweep statistics."""
+    def sweep(self, reference: bool = False) -> dict[str, int]:
+        """Run line_func over every line; returns sweep statistics.
+
+        ``reference=True`` forces the per-line oracle path (rank-map
+        slicing per line, scalar solves) that the vectorized plan-based
+        path is property-tested bitwise against.
+        """
         if self._line_is_local():
-            return self._sweep_local()
+            return self._sweep_local(reference=reference)
+        if reference:
+            return self._sweep_distributed_reference()
         return self._sweep_distributed()
 
-    def _sweep_local(self) -> dict[str, int]:
+    def _sweep_local(self, reference: bool = False) -> dict[str, int]:
         machine = self.array.machine
         backend = machine.backend
         if (
-            backend is not None
+            not reference  # the oracle path always runs in-process
+            and backend is not None
             and backend.executes_spmd
             and backend.can_ship(self.line_func)
         ):
@@ -190,16 +239,31 @@ class LineSweepKernel:
         for rank in self.array.owning_ranks():
             local = self.array.local(rank)
             moved = np.moveaxis(local, self.dim, -1)
-            flat = moved.reshape(-1, moved.shape[-1])
-            for i in range(flat.shape[0]):
-                flat[i, :] = self.line_func(flat[i, :])
-            nlines += flat.shape[0]
+            nlines += self._solve_lines(moved, batched=not reference)
             machine.network.compute(
                 rank, self.flops_per_element * local.size,
                 tag=f"sweep:{self.array.name}",
             )
         machine.network.synchronize()
         return {"lines": nlines, "remote_lines": 0}
+
+    def _solve_lines(self, moved: np.ndarray, batched: bool = True) -> int:
+        """Run ``line_func`` over every trailing-axis line of ``moved``
+        in place: one whole-batch call when the solver advertises a
+        batched form, the per-line reference loop otherwise.  Returns
+        the line count."""
+        flat = moved.reshape(-1, moved.shape[-1])
+        if batched and self._batched is not None:
+            moved[...] = np.asarray(
+                self._batched(np.ascontiguousarray(flat))
+            ).reshape(moved.shape)
+        else:
+            view = np.shares_memory(flat, moved)
+            for i in range(flat.shape[0]):
+                flat[i, :] = self.line_func(flat[i, :])
+            if not view:  # reshape had to copy: write the results back
+                moved[...] = flat.reshape(moved.shape)
+        return flat.shape[0]
 
     def _sweep_local_spmd(self, backend) -> dict[str, int]:
         """Local sweep executed in the backend's worker processes.
@@ -231,7 +295,66 @@ class LineSweepKernel:
         return {"lines": nlines, "remote_lines": 0}
 
     def _sweep_distributed(self) -> dict[str, int]:
-        """Gather each line to its head owner, solve, scatter back."""
+        """Gather each line to its head owner, solve, scatter back.
+
+        Line ownership is resolved through the cached
+        :class:`~repro.backend.plan.SweepPlan`: lines sharing a
+        processor-slot combination share one precomputed head and
+        message template instead of re-slicing the rank map and
+        re-running ``np.unique`` per line, and the solves run through
+        :meth:`_solve_lines` (whole-batch when the solver allows).
+        The emitted messages, kernel charges and their order are
+        identical to the per-line reference (property-tested).
+        """
+        machine = self.array.machine
+        arr = self.array
+        n_line = arr.shape[self.dim]
+        itemsize = arr.itemsize
+        plan = self.plan_cache.sweep_plan(arr.dist, self.dim)
+        gvals = arr.to_global()  # simulation shortcut for the data itself
+
+        # expand per-group message templates in line order (the same
+        # program order the per-line loop produced)
+        gids = plan.group_of_line
+        gather_phase = [
+            (q, h, cnt * itemsize, "sweep:gather")
+            for g in gids
+            for q, h, cnt in plan.gather[g]
+        ]
+        scatter_phase = [
+            (h, q, cnt * itemsize, "sweep:scatter")
+            for g in gids
+            for h, q, cnt in plan.scatter[g]
+        ]
+        # per-head kernel charges accumulate line by line in first-
+        # appearance order (dict semantics of the reference loop)
+        head_flops: dict[int, float] = {}
+        line_flops = self.flops_per_element * n_line
+        for h in plan.head[gids]:
+            h = int(h)
+            head_flops[h] = head_flops.get(h, 0.0) + line_flops
+        remote_lines = int(np.count_nonzero(plan.remote[gids]))
+
+        # all line gathers post concurrently, then the solves, then all
+        # scatters — the per-head occupancy serializes a head's lines.
+        machine.network.exchange(gather_phase)
+        for head, flops in head_flops.items():
+            machine.network.compute(
+                head, flops, tag=f"sweep:{arr.name}"
+            )
+        machine.network.exchange(scatter_phase)
+        machine.network.synchronize()
+
+        moved = np.moveaxis(gvals, self.dim, -1)
+        nlines = self._solve_lines(moved)
+        arr.from_global(gvals)
+        return {"lines": nlines, "remote_lines": remote_lines}
+
+    def _sweep_distributed_reference(self) -> dict[str, int]:
+        """Per-line oracle for :meth:`_sweep_distributed`: slice the
+        rank map and discover head/pieces per line, solve each line
+        scalar.  Values, statistics, messages and their order are the
+        contract the plan-based path is property-tested against."""
         machine = self.array.machine
         arr = self.array
         n_line = arr.shape[self.dim]
@@ -296,7 +419,8 @@ def lower_stencil(
 ) -> StencilKernel:
     """Lower a shift-pattern sweep over ``array_name`` to SPMD form."""
     return StencilKernel(
-        engine.arrays[array_name], widths, func, flops_per_element
+        engine.arrays[array_name], widths, func, flops_per_element,
+        plan_cache=engine.plan_cache,
     )
 
 
@@ -308,4 +432,7 @@ def lower_line_sweep(
     flops_per_element: float = 8.0,
 ) -> LineSweepKernel:
     """Lower independent line solves along ``dim`` to SPMD form."""
-    return LineSweepKernel(engine.arrays[array_name], dim, line_func, flops_per_element)
+    return LineSweepKernel(
+        engine.arrays[array_name], dim, line_func, flops_per_element,
+        plan_cache=engine.plan_cache,
+    )

@@ -27,6 +27,12 @@ from .generators import (
     register_generator,
 )
 from .index_domain import IndexDomain
+from .interning import (
+    clear_interning_caches,
+    intern_dimdist,
+    intern_distribution,
+    owners_cache_stats,
+)
 from .query import ANY, DCase, DEFAULT, QueryList, Range, TypePattern, Wild, idt
 
 __all__ = [
@@ -63,4 +69,8 @@ __all__ = [
     "idt",
     "DCase",
     "QueryList",
+    "intern_dimdist",
+    "intern_distribution",
+    "owners_cache_stats",
+    "clear_interning_caches",
 ]

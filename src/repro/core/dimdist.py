@@ -112,10 +112,18 @@ class DimDist:
         return ()
 
     def __eq__(self, other: object) -> bool:
+        if self is other:  # interned intrinsics compare by identity
+            return True
         return type(self) is type(other) and self.params() == other.params()
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self.params()))
+        # cached: Indirect.params() serializes its owner array, and
+        # every DistributionType/Distribution hash recurses down here
+        h = getattr(self, "_hash_cache", None)
+        if h is None:
+            h = hash((type(self).__name__, self.params()))
+            self._hash_cache = h
+        return h
 
     def __repr__(self) -> str:
         return self.keyword

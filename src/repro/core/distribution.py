@@ -27,6 +27,7 @@ import numpy as np
 from ..machine.topology import ProcessorArray, ProcessorSection
 from .dimdist import Block, Cyclic, DimDist, NoDist, Replicated
 from .index_domain import IndexDomain
+from .interning import owners_vec_cached, rank_map_cached
 
 __all__ = ["DistributionType", "Distribution", "dist_type"]
 
@@ -91,10 +92,16 @@ class DistributionType:
 
     # -- structural -------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, DistributionType) and self.dims == other.dims
 
     def __hash__(self) -> int:
-        return hash(self.dims)
+        h = getattr(self, "_hash_cache", None)
+        if h is None:
+            h = hash(self.dims)
+            self._hash_cache = h
+        return h
 
     def __repr__(self) -> str:
         return "(" + ", ".join(repr(d) for d in self.dims) + ")"
@@ -170,6 +177,7 @@ class Distribution:
             dd.validate(domain.shape[d], self._slots(d))
         self._rank_array = target.rank_array()
         self._rank_map_cache: np.ndarray | None = None
+        self._hash_cache: int | None = None
 
     # -- geometry helpers --------------------------------------------------
     def _slots(self, dim: int) -> int:
@@ -272,9 +280,14 @@ class Distribution:
 
     # -- vectorized owner map -----------------------------------------------
     def owner_maps(self) -> list[np.ndarray]:
-        """Per-dimension primary-slot arrays (length ``shape[d]`` each)."""
+        """Per-dimension primary-slot arrays (length ``shape[d]`` each).
+
+        Served from the shared owner-map LRU: the returned arrays are
+        **read-only** and shared between structurally equal
+        distributions — copy before mutating.
+        """
         return [
-            dd.owners_vec(self.shape[d], self._slots(d))
+            owners_vec_cached(dd, self.shape[d], self._slots(d))
             for d, dd in enumerate(self.dtype.dims)
         ]
 
@@ -283,9 +296,18 @@ class Distribution:
 
         The workhorse of the vectorized redistribution algorithm
         (experiment E4's "vectorized transfer sets" design choice).
+        Memoized twice over: per instance, and in the shared rank-map
+        LRU keyed by the interned distribution, so equal layouts built
+        independently (the planner's candidate enumeration) share one
+        computed map.  The result is read-only.
         """
         if self._rank_map_cache is not None:
             return self._rank_map_cache
+        self._rank_map_cache = rank_map_cached(self)
+        return self._rank_map_cache
+
+    def _compute_rank_map(self) -> np.ndarray:
+        """The uncached rank-map computation (called by the LRU)."""
         maps = self.owner_maps()
         index_arrays: list[np.ndarray | None] = [None] * self.target.ndim
         for d, dd in enumerate(self.dtype.dims):
@@ -298,9 +320,7 @@ class Distribution:
             rm = self._rank_array[tuple(index_arrays)]
         else:  # fully undistributed: single processor owns everything
             rm = np.full((1,) * self.ndim, int(self._rank_array.reshape(-1)[0]))
-        rm = np.broadcast_to(rm, self.shape)
-        self._rank_map_cache = rm
-        return rm
+        return np.broadcast_to(rm, self.shape)
 
     def owner_rank_maps(self):
         """Yield rank maps covering *all* owners of every element.
@@ -416,6 +436,8 @@ class Distribution:
 
     # -- structural --------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:  # hash-consed instances compare by identity
+            return True
         return (
             isinstance(other, Distribution)
             and self.dtype == other.dtype
@@ -425,7 +447,19 @@ class Distribution:
         )
 
     def __hash__(self) -> int:
-        return hash((self.dtype, self.domain, self.target, self.dim_map))
+        # cached: distributions key every planner memo and PlanCache
+        # lookup, and the tuple-of-tuples hash is not free
+        if self._hash_cache is None:
+            self._hash_cache = hash(
+                (self.dtype, self.domain, self.target, self.dim_map)
+            )
+        return self._hash_cache
+
+    def interned(self) -> "Distribution":
+        """The hash-consed canonical instance equal to this one."""
+        from .interning import intern_distribution
+
+        return intern_distribution(self)
 
     def __repr__(self) -> str:
         extra = "" if self.dim_map == tuple(range(self.target.ndim)) else f", dim_map={self.dim_map}"

@@ -237,6 +237,17 @@ class SimulatedCostEngine(CostEngine):
     blocking replay of the same exchange (equal, up to float
     association, to the base engine's closed form — asserted by the
     planner tests).
+
+    Because this pricing runs inside the schedule search's inner loop,
+    transitions are replayed through the vectorized array-backed
+    replayer (:mod:`repro.sim.replay`) rather than the per-event loop,
+    and memoized twice: per ``(old, new)`` layout pair, and — in the
+    *trace memo* — per transfer-matrix content, so two transitions
+    whose all-to-alls are identical (recurring phase pairs in a long
+    schedule, mirrored workloads sharing a plan cache) simulate once.
+    ``fast_replay=False`` forces the event-loop reference path (the
+    bitwise oracle the property tests and the perf harness compare
+    against).
     """
 
     def __init__(
@@ -245,9 +256,15 @@ class SimulatedCostEngine(CostEngine):
         itemsize: int = 8,
         plan_cache: PlanCache | None = None,
         overlap: bool = True,
+        fast_replay: bool = True,
     ):
         super().__init__(machine, itemsize=itemsize, plan_cache=plan_cache)
         self.overlap = bool(overlap)
+        self.fast_replay = bool(fast_replay)
+        #: transfer-trace makespans keyed by (nprocs, T content): the
+        #: per-(phase, layout-tuple) memo that stops the schedule
+        #: search from re-simulating identical all-to-alls
+        self._trace_memo: dict[tuple, float] = {}
 
     def phase_cost(self, phase: Phase, array: str, dist: Distribution) -> float:
         key = (phase, array, dist)
@@ -267,25 +284,45 @@ class SimulatedCostEngine(CostEngine):
         cached = self._trans_memo.get(key)
         if cached is not None:
             return cached
+        nprocs = self.machine.nprocs
+        T = self.plan_cache.transfer_matrix(old, new, nprocs)
+        tkey = (nprocs, T.tobytes())
+        time = self._trace_memo.get(tkey)
+        if time is None:
+            time = self._simulate_transfer(T, nprocs)
+            self._trace_memo[tkey] = time
+        self._trans_memo[key] = time
+        return time
+
+    def _simulate_transfer(self, T: np.ndarray, nprocs: int) -> float:
+        """Makespan of one DISTRIBUTE all-to-all under this engine's
+        semantics (split-phase or blocking)."""
+        s, d = np.nonzero(T)
+        nbytes = T[s, d] * self.itemsize
+        if self.fast_replay:
+            from ..sim.events import EventArrays
+            from ..sim.replay import replay_blocking, replay_split_exchange
+
+            if self.overlap:
+                # every (s, d) pair occurs once in a transfer matrix,
+                # so the single-phase fast path always applies
+                return replay_split_exchange(
+                    s.astype(np.int64), d.astype(np.int64), nbytes,
+                    self.cost_model, nprocs,
+                )
+            arrays = EventArrays.exchange(s, d, nbytes)
+            return replay_blocking(arrays, self.cost_model, nprocs).makespan
+        # reference path: materialize the event log and replay it
+        # through the per-event simulator (the bitwise oracle)
         from ..sim.events import EventLog
         from ..sim.simulate import simulate
 
-        nprocs = self.machine.nprocs
-        T = self.plan_cache.transfer_matrix(old, new, nprocs)
         log = EventLog()
         phase = log.begin_phase("redistribute:plan")
-        for s in range(nprocs):
-            row = T[s]
-            for d in range(nprocs):
-                if row[d]:
-                    log.message(
-                        s, d, int(row[d]) * self.itemsize,
-                        "redistribute:plan", phase=phase,
-                    )
+        for q, r, nb in zip(s, d, nbytes):
+            log.message(
+                int(q), int(r), int(nb), "redistribute:plan", phase=phase
+            )
         log.barrier()
-        timeline = simulate(
-            log, self.cost_model, nprocs, overlap=self.overlap
-        )
-        time = timeline.makespan
-        self._trans_memo[key] = time
-        return time
+        timeline = simulate(log, self.cost_model, nprocs, overlap=self.overlap)
+        return timeline.makespan

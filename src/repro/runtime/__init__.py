@@ -7,6 +7,7 @@ inspector/executor, and the :class:`Engine` facade tying them to a
 simulated machine.
 """
 
+from .batched import BatchedReadAccessor, forall_batched
 from .communication import broadcast_from, gather_to, reduce_scalar, shift_exchange
 from .darray import DistributedArray
 from .engine import Engine
@@ -17,7 +18,9 @@ from .redistribute import (
     PlanCache,
     RedistributionReport,
     communicate,
+    default_plan_cache,
     transfer_matrix,
+    transfer_matrix_bruteforce,
     transfer_matrix_naive,
 )
 from .translation import DimTranslationTable, TranslationTable
@@ -27,15 +30,19 @@ __all__ = [
     "Engine",
     "forall",
     "forall_gathered",
+    "forall_batched",
     "ReadAccessor",
+    "BatchedReadAccessor",
     "Inspector",
     "CommSchedule",
     "OverlapManager",
     "RedistributionReport",
     "PlanCache",
     "communicate",
+    "default_plan_cache",
     "transfer_matrix",
     "transfer_matrix_naive",
+    "transfer_matrix_bruteforce",
     "TranslationTable",
     "DimTranslationTable",
     "shift_exchange",

@@ -24,7 +24,6 @@ from typing import Callable
 
 import numpy as np
 
-from ..backend.plan import shift_plan
 from .darray import DistributedArray
 
 __all__ = [
@@ -35,7 +34,12 @@ __all__ = [
 ]
 
 
-def shift_exchange(array: DistributedArray, dim: int, width: int = 1) -> dict[int, dict[str, np.ndarray]]:
+def shift_exchange(
+    array: DistributedArray,
+    dim: int,
+    width: int = 1,
+    plan_cache=None,
+) -> dict[int, dict[str, np.ndarray]]:
     """Exchange ``width``-deep boundary slabs with neighbours along ``dim``.
 
     For every pair of processors owning adjacent index ranges along
@@ -49,6 +53,11 @@ def shift_exchange(array: DistributedArray, dim: int, width: int = 1) -> dict[in
     column distribution of an N x N grid exchanges 2 messages of N
     elements per processor per step; a 2-D block distribution exchanges
     4 messages of N/p elements (two per distributed dimension).
+
+    The slab plan is memoized per (distribution, dim, width) on
+    ``plan_cache`` (the engine's, or the shared default) — a
+    steady-state stencil loop re-derives its neighbour slices zero
+    times after the first step.
     """
     if width < 1:
         raise ValueError("exchange width must be >= 1")
@@ -57,8 +66,12 @@ def shift_exchange(array: DistributedArray, dim: int, width: int = 1) -> dict[in
     # the slab plan is shared, verbatim, with the SPMD worker op
     # (repro.backend.ops.op_stencil_step): same neighbours, same
     # slabs, same element counts — only the mover differs.
+    if plan_cache is None:
+        from .redistribute import default_plan_cache
+
+        plan_cache = default_plan_cache()
     try:
-        entries = shift_plan(array.dist, dim, width)
+        entries = plan_cache.shift_plan(array.dist, dim, width)
     except ValueError as exc:
         raise ValueError(f"{array.name!r}: {exc}") from None
     received: dict[int, dict[str, np.ndarray]] = {

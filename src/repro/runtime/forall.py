@@ -13,8 +13,10 @@ the left-hand-side array: iterations are partitioned by ownership, the
 *inspector* pre-pass batches the remote reads PARTI-style when the
 index set is known up front.
 
-The per-element path is the semantic reference; production kernels use
-the vectorized lowerings in :mod:`repro.compiler.codegen`.
+The per-element path is the semantic reference; production code uses
+the gather-batched :func:`repro.runtime.batched.forall_batched` (one
+vectorized gather per (owner rank, array) pair, accounting identical
+bitwise) or the vectorized lowerings in :mod:`repro.compiler.codegen`.
 """
 
 from __future__ import annotations

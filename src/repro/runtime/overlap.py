@@ -42,7 +42,9 @@ class OverlapManager:
         array: DistributedArray,
         widths: tuple[int, ...],
         boundary: float = 0.0,
+        plan_cache=None,
     ):
+        self.plan_cache = plan_cache  # None: the shared default cache
         if len(widths) != array.ndim:
             raise ValueError(f"need one width per dimension ({array.ndim})")
         if any(w < 0 for w in widths):
@@ -128,7 +130,9 @@ class OverlapManager:
         for dim, w in enumerate(self.widths):
             if w == 0:
                 continue
-            recv = shift_exchange(self.array, dim, width=w)
+            recv = shift_exchange(
+                self.array, dim, width=w, plan_cache=self.plan_cache
+            )
             for rank, slabs in recv.items():
                 pad = self.padded(rank)
                 n_own = self.array.local(rank).shape[dim]

@@ -31,15 +31,20 @@ import numpy as np
 
 from ..backend.base import serial_move
 from ..backend.plan import segment_moves as _segment_moves
+from ..backend.plan import shift_plan as _shift_plan
+from ..backend.plan import sweep_plan as _sweep_plan
 from ..core.distribution import Distribution
+from ..core.interning import LRUCache, owners_cache_stats
 from .darray import DistributedArray
 
 __all__ = [
     "transfer_matrix",
     "transfer_matrix_naive",
+    "transfer_matrix_bruteforce",
     "communicate",
     "RedistributionReport",
     "PlanCache",
+    "default_plan_cache",
 ]
 
 
@@ -123,10 +128,17 @@ def transfer_matrix(
 def transfer_matrix_naive(
     old: Distribution, new: Distribution, nprocs: int
 ) -> np.ndarray:
-    """Per-element reference implementation of :func:`transfer_matrix`.
+    """Brute-force per-element reference for :func:`transfer_matrix`.
 
-    Quadratically slower; kept as the ablation baseline for E4 and as
-    an oracle for property tests.
+    Walks every element of the domain and asks ``owner()``/``owners()``
+    per index — quadratically slower than the vectorized bincount form.
+    It exists **only** as the ablation baseline of experiment E4 and as
+    the oracle of the redistribution property tests; no production
+    path reaches it: :func:`communicate`, the planner's cost engines
+    and the SPMD backends all go through :func:`transfer_matrix`
+    (usually :class:`PlanCache`-mediated), which is asserted by
+    ``tests/runtime/test_redistribute.py``.  Also exported as
+    ``transfer_matrix_bruteforce``.
     """
     if old.domain != new.domain:
         raise ValueError("redistribution must preserve the index domain")
@@ -139,6 +151,10 @@ def transfer_matrix_naive(
     return T
 
 
+#: the name the experiment write-ups use for the E4 ablation baseline
+transfer_matrix_bruteforce = transfer_matrix_naive
+
+
 class PlanCache:
     """Memoized redistribution plans (§3.2: "run time optimization of
     communication related to dynamic array references").
@@ -148,33 +164,42 @@ class PlanCache:
     distributions over and over; the transfer matrix depends only on
     the (old, new) pair, so the run time caches it instead of
     recomputing the owner maps each time.  The cache is keyed by the
-    bound distributions (hashable by construction) and bounded LRU-ish
-    by ``capacity``.
+    bound distributions (hashable by construction); each plan family
+    (transfer matrices, segment moves, halo shift plans, sweep plans)
+    lives in its own ``capacity``-bounded LRU store.
     """
 
     def __init__(self, capacity: int = 64):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        self._plans: dict[tuple[Distribution, Distribution, int], np.ndarray] = {}
-        self._moves: dict[tuple[Distribution, Distribution, int], dict] = {}
+        self._plans = LRUCache(capacity)
+        self._moves = LRUCache(capacity)
+        self._shifts = LRUCache(capacity)
+        self._sweeps = LRUCache(capacity)
         self.hits = 0
         self.misses = 0
+
+    def _memo(self, store: LRUCache, key, compute):
+        """One lookup against a plan store, counted on the cache-wide
+        hit/miss totals (the per-store LRU counters are not used)."""
+        value = store.get(key)
+        if value is not None:
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = compute()
+        store.put(key, value)
+        return value
 
     def transfer_matrix(
         self, old: Distribution, new: Distribution, nprocs: int
     ) -> np.ndarray:
-        key = (old, new, nprocs)
-        plan = self._plans.get(key)
-        if plan is not None:
-            self.hits += 1
-            return plan
-        self.misses += 1
-        plan = transfer_matrix(old, new, nprocs)
-        if len(self._plans) >= self.capacity:
-            self._plans.pop(next(iter(self._plans)))  # evict oldest
-        self._plans[key] = plan
-        return plan
+        return self._memo(
+            self._plans,
+            (old, new, nprocs),
+            lambda: transfer_matrix(old, new, nprocs),
+        )
 
     def segment_moves(
         self, old: Distribution, new: Distribution, nprocs: int
@@ -183,35 +208,75 @@ class PlanCache:
         execute; see :func:`repro.backend.plan.segment_moves`).  The
         worker fleet shares recurring plans through this cache exactly
         as the serial path shares transfer matrices."""
-        key = (old, new, nprocs)
-        moves = self._moves.get(key)
-        if moves is not None:
-            self.hits += 1
-            return moves
-        self.misses += 1
-        moves = _segment_moves(old, new, nprocs)
-        if len(self._moves) >= self.capacity:
-            self._moves.pop(next(iter(self._moves)))  # evict oldest
-        self._moves[key] = moves
-        return moves
+        return self._memo(
+            self._moves,
+            (old, new, nprocs),
+            lambda: _segment_moves(old, new, nprocs),
+        )
+
+    def shift_plan(self, dist: Distribution, dim: int, width: int) -> list:
+        """Memoized halo slab-exchange plan, keyed by (distribution,
+        dimension, width) — the slice plan every stencil step reuses
+        instead of re-deriving neighbour slabs (see
+        :func:`repro.backend.plan.shift_plan`)."""
+        return self._memo(
+            self._shifts,
+            (dist, int(dim), int(width)),
+            lambda: _shift_plan(dist, dim, width),
+        )
+
+    def sweep_plan(self, dist: Distribution, dim: int):
+        """Memoized grouped line-sweep plan, keyed by (distribution,
+        dimension) (see :func:`repro.backend.plan.sweep_plan`)."""
+        return self._memo(
+            self._sweeps,
+            (dist, int(dim)),
+            lambda: _sweep_plan(dist, dim),
+        )
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss counters plus current cache population."""
-        return {
+        """Hit/miss counters, cache populations, and the shared
+        owner-map LRU counters (``owners_vec_*`` / ``rank_map_*`` —
+        process-wide, see :mod:`repro.core.interning`)."""
+        out = {
             "hits": self.hits,
             "misses": self.misses,
             "matrices": len(self._plans),
             "moves": len(self._moves),
+            "shift_plans": len(self._shifts),
+            "sweep_plans": len(self._sweeps),
         }
+        out.update(owners_cache_stats())
+        return out
 
     def clear(self) -> None:
-        self._plans.clear()
-        self._moves.clear()
+        for store in (self._plans, self._moves, self._shifts, self._sweeps):
+            store.clear()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
         return len(self._plans)
+
+
+_DEFAULT_PLAN_CACHE: PlanCache | None = None
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide plan cache for kernels built without an engine.
+
+    :func:`~repro.compiler.codegen.lower_stencil` and friends share
+    the engine's cache; apps that construct kernels directly (the ADI
+    driver builds :class:`~repro.compiler.codegen.LineSweepKernel`
+    itself) fall back to this shared instance so recurring halo and
+    sweep plans are still reused across steps.  Plans are pure
+    functions of immutable (distribution, dim, width) keys, so sharing
+    across engines/machines is safe.
+    """
+    global _DEFAULT_PLAN_CACHE
+    if _DEFAULT_PLAN_CACHE is None:
+        _DEFAULT_PLAN_CACHE = PlanCache(capacity=128)
+    return _DEFAULT_PLAN_CACHE
 
 
 def communicate(

@@ -25,15 +25,20 @@ semantics instead of the closed-form aggregates.
 
 from .clock import BUSY_KINDS, Interval, ProcClock, Timeline
 from .critical_path import CriticalPath, critical_path
-from .events import Event, EventKind, EventLog, classify_tag, record
+from .events import Event, EventArrays, EventKind, EventLog, classify_tag, record
 from .overlap import overlappable_phases, relaxed_barriers
+from .replay import BlockingReplay, replay_blocking, replay_split_exchange
 from .simulate import simulate
 from .trace import dump_json, gantt, to_chrome_trace, to_json
 
 __all__ = [
     "Event",
+    "EventArrays",
     "EventKind",
     "EventLog",
+    "BlockingReplay",
+    "replay_blocking",
+    "replay_split_exchange",
     "classify_tag",
     "record",
     "Interval",

@@ -32,10 +32,20 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING, Iterator
 
+import numpy as np
+
 if TYPE_CHECKING:
     from ..machine.machine import Machine
 
-__all__ = ["EventKind", "Event", "EventLog", "record", "classify_tag"]
+__all__ = [
+    "EventKind",
+    "Event",
+    "EventArrays",
+    "EventLog",
+    "record",
+    "classify_tag",
+    "KIND_CODES",
+]
 
 
 class EventKind(Enum):
@@ -105,6 +115,100 @@ class Event:
         }
 
 
+#: integer codes of each :class:`EventKind` in structure-of-arrays form
+KIND_CODES: dict[EventKind, int] = {
+    EventKind.KERNEL: 0,
+    EventKind.SEND: 1,
+    EventKind.RECV: 2,
+    EventKind.BARRIER: 3,
+    EventKind.ALLGATHER: 4,
+    EventKind.REDIST: 5,
+}
+
+
+class EventArrays:
+    """Structure-of-arrays event storage for the vectorized replayer.
+
+    One parallel numpy array per :class:`Event` field the replay
+    arithmetic touches (``kind`` as the integer :data:`KIND_CODES`,
+    ``rank``/``peer``/``phase`` as int64, ``nbytes`` int64, ``flops``
+    float64).  Tags and message pairing are dropped — they label
+    timelines but never move a clock, so the fast blocking replay of
+    :func:`repro.sim.replay.replay_blocking` does not need them.
+
+    Build from a log with :meth:`EventLog.to_arrays` (cached), or
+    directly with :meth:`exchange` for synthetic single-phase traces
+    (the planner's transition pricing).
+    """
+
+    __slots__ = ("kind", "rank", "peer", "nbytes", "flops", "phase")
+
+    def __init__(
+        self,
+        kind: np.ndarray,
+        rank: np.ndarray,
+        peer: np.ndarray,
+        nbytes: np.ndarray,
+        flops: np.ndarray,
+        phase: np.ndarray,
+    ):
+        self.kind = kind
+        self.rank = rank
+        self.peer = peer
+        self.nbytes = nbytes
+        self.flops = flops
+        self.phase = phase
+
+    def __len__(self) -> int:
+        return len(self.kind)
+
+    @classmethod
+    def from_events(cls, events: "list[Event]") -> "EventArrays":
+        """Pack a program-ordered event list into parallel arrays."""
+        n = len(events)
+        kind = np.empty(n, dtype=np.int8)
+        rank = np.empty(n, dtype=np.int64)
+        peer = np.empty(n, dtype=np.int64)
+        nbytes = np.empty(n, dtype=np.int64)
+        flops = np.empty(n, dtype=np.float64)
+        phase = np.empty(n, dtype=np.int64)
+        for i, ev in enumerate(events):
+            kind[i] = KIND_CODES[ev.kind]
+            rank[i] = ev.rank
+            peer[i] = ev.peer
+            nbytes[i] = ev.nbytes
+            flops[i] = ev.flops
+            phase[i] = ev.phase
+        return cls(kind, rank, peer, nbytes, flops, phase)
+
+    @classmethod
+    def exchange(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        nbytes: np.ndarray,
+        barrier: bool = True,
+    ) -> "EventArrays":
+        """One concurrent exchange phase (plus closing barrier) as
+        arrays — the trace shape of a DISTRIBUTE all-to-all, built
+        without materializing per-message :class:`Event` objects."""
+        m = len(src)
+        n = m + (1 if barrier else 0)
+        kind = np.full(n, KIND_CODES[EventKind.SEND], dtype=np.int8)
+        rank = np.empty(n, dtype=np.int64)
+        peer = np.full(n, -1, dtype=np.int64)
+        nb = np.zeros(n, dtype=np.int64)
+        phase = np.full(n, 0, dtype=np.int64)
+        rank[:m] = src
+        peer[:m] = dst
+        nb[:m] = nbytes
+        if barrier:
+            kind[m] = KIND_CODES[EventKind.BARRIER]
+            rank[m] = -1
+            phase[m] = -1
+        return cls(kind, rank, peer, nb, np.zeros(n, dtype=np.float64), phase)
+
+
 class EventLog:
     """An append-only, program-ordered log of typed events.
 
@@ -117,6 +221,7 @@ class EventLog:
         self.events: list[Event] = []
         self._next_phase = 0
         self._next_msg = 0
+        self._arrays: EventArrays | None = None
 
     # -- the recorder protocol (called by Network) -----------------------
     def kernel(self, rank: int, flops: float, tag: str = "") -> None:
@@ -172,6 +277,17 @@ class EventLog:
         self.events.clear()
         self._next_phase = 0
         self._next_msg = 0
+        self._arrays = None
+
+    def to_arrays(self) -> EventArrays:
+        """Structure-of-arrays view of the log (built once, cached).
+
+        The log is append-only between ``clear()`` calls, so the cache
+        is valid exactly when its length matches the event count.
+        """
+        if self._arrays is None or len(self._arrays) != len(self.events):
+            self._arrays = EventArrays.from_events(self.events)
+        return self._arrays
 
     # -- inspection ------------------------------------------------------
     def __len__(self) -> int:

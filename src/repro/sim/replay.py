@@ -1,0 +1,202 @@
+"""Array-backed trace replay — the simulator's vectorized hot path.
+
+:func:`repro.sim.simulate.simulate` walks the event list one
+:class:`~repro.sim.events.Event` at a time because it builds the full
+per-processor *interval* history (Gantt charts, critical paths).  The
+planner's ``cost_mode="simulated"`` sits inside the schedule search's
+inner loop and only needs final clocks and makespans — so this module
+replays :class:`~repro.sim.events.EventArrays` with numpy instead:
+
+- :func:`replay_blocking` — blocking semantics over an arbitrary
+  trace.  The trace is cut into *runs* (a kernel burst, one exchange
+  phase, one sequential send, a barrier) found vectorized; each run is
+  applied to the clock vector with ``np.add.at`` in event order, which
+  performs the **same float additions in the same order** as the
+  event loop (and as :class:`~repro.machine.network.Network` itself),
+  so the resulting clocks are bitwise identical — property-tested;
+- :func:`replay_split_exchange` — split-phase semantics specialized to
+  the single-exchange-phase traces the planner prices (a DISTRIBUTE
+  all-to-all followed by one relaxed barrier, every directed link
+  carrying at most one message).  Post clocks are repeated ``alpha``
+  additions, reproduced exactly by ``np.cumsum`` over a constant
+  vector; transfer completions and the final drain are pure
+  elementwise max/add — also bitwise identical to the event loop.
+
+The event loop in :mod:`repro.sim.simulate` remains the semantic
+reference (and the only implementation of general split-phase replay
+with interval histories); both fast paths are pinned to it by the
+property tests in ``tests/properties/test_vectorized_props.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..machine.cost_model import CostModel
+from .events import EventArrays, EventKind, KIND_CODES
+
+__all__ = ["BlockingReplay", "replay_blocking", "replay_split_exchange"]
+
+_KERNEL = KIND_CODES[EventKind.KERNEL]
+_SEND = KIND_CODES[EventKind.SEND]
+_RECV = KIND_CODES[EventKind.RECV]
+_BARRIER = KIND_CODES[EventKind.BARRIER]
+
+
+@dataclass
+class BlockingReplay:
+    """Clocks-only result of a vectorized blocking replay."""
+
+    nprocs: int
+    clocks: list[float]
+    barriers: list[float] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        return max(self.clocks)
+
+
+def _vector_costs(
+    cost_model: CostModel, nbytes: np.ndarray, flops: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-event message/compute costs, bitwise equal to the scalar
+    :meth:`~repro.machine.cost_model.CostModel.message_time` /
+    ``compute_time`` calls (IEEE-754 elementwise arithmetic).  Falls
+    back to per-event scalar calls if a cost model subclass overrides
+    the closed forms.
+    """
+    if (
+        type(cost_model).message_time is CostModel.message_time
+        and type(cost_model).compute_time is CostModel.compute_time
+    ):
+        msg = cost_model.alpha + cost_model.beta * nbytes
+        comp = flops / cost_model.flop_rate
+        return msg, comp
+    msg = np.array([cost_model.message_time(int(b)) for b in nbytes])
+    comp = np.array([cost_model.compute_time(float(f)) for f in flops])
+    return msg, comp
+
+
+def replay_blocking(
+    events: EventArrays, cost_model: CostModel, nprocs: int
+) -> BlockingReplay:
+    """Blocking replay of a trace: final clocks, vectorized.
+
+    Bitwise identical to ``simulate(log, cost_model, nprocs,
+    overlap=False).clocks`` — and therefore to the machine network's
+    aggregate accounting — for any recorded trace.
+    """
+    kind = events.kind
+    n = len(kind)
+    clocks = np.zeros(nprocs, dtype=np.float64)
+    barriers: list[float] = []
+    if n == 0:
+        return BlockingReplay(nprocs, clocks.tolist(), barriers)
+
+    msg_cost, comp_cost = _vector_costs(cost_model, events.nbytes, events.flops)
+
+    # label each event with a run id: kernels coalesce, the SEND/RECV
+    # events of one exchange phase coalesce, everything else (barrier,
+    # sequential send, marker, stray recv) stands alone
+    label = -10 - np.arange(n, dtype=np.int64)  # unique => own run
+    kernel = kind == _KERNEL
+    label[kernel] = -1
+    in_phase = ((kind == _SEND) | (kind == _RECV)) & (events.phase >= 0)
+    label[in_phase] = events.phase[in_phase]
+    starts = np.flatnonzero(np.r_[True, label[1:] != label[:-1]])
+    ends = np.r_[starts[1:], n]
+
+    rank, peer = events.rank, events.peer
+    for a, b in zip(starts, ends):
+        k = kind[a]
+        if k == _KERNEL:
+            np.add.at(clocks, rank[a:b], comp_cost[a:b])
+        elif k in (_SEND, _RECV) and label[a] >= 0:
+            # one exchange phase: each endpoint busy for the sum of its
+            # own message costs, accumulated in message order (the
+            # np.add.at element order reproduces the dict accumulation
+            # of Network.exchange float for float)
+            sel = np.flatnonzero(kind[a:b] == _SEND) + a
+            m = len(sel)
+            if m:
+                endpoints = np.empty(2 * m, dtype=np.int64)
+                endpoints[0::2] = rank[sel]
+                endpoints[1::2] = peer[sel]
+                busy = np.zeros(nprocs, dtype=np.float64)
+                np.add.at(busy, endpoints, np.repeat(msg_cost[sel], 2))
+                clocks += busy  # x + 0.0 == x for the non-participants
+        elif k == _SEND:
+            # sequential blocking send: receive completes no earlier
+            # than the send (the paired RECV is a separate no-op run)
+            s, d = rank[a], peer[a]
+            cost = msg_cost[a]
+            clocks[s] += cost
+            clocks[d] = max(clocks[d] + cost, clocks[s])
+        elif k == _BARRIER:
+            t = float(clocks.max())
+            clocks[:] = t
+            barriers.append(t)
+        # markers and stray RECVs advance nothing
+
+    return BlockingReplay(nprocs, clocks.tolist(), barriers)
+
+
+def replay_split_exchange(
+    src: np.ndarray,
+    dst: np.ndarray,
+    nbytes: np.ndarray,
+    cost_model: CostModel,
+    nprocs: int,
+) -> float:
+    """Split-phase makespan of one exchange phase, vectorized.
+
+    Models exactly what ``simulate(log, cost_model, nprocs,
+    overlap=True)`` does to a trace of one concurrent exchange phase
+    closed by one barrier: the barrier is communication-only and hence
+    relaxed, each endpoint pays ``alpha`` per posted message, the
+    ``beta * nbytes`` transfers proceed in the background, and the
+    final drain waits for each rank's last completion.  Requires every
+    directed ``(src, dst)`` link to appear at most once (true of any
+    transfer-matrix trace); raises ``ValueError`` otherwise — callers
+    fall back to the event loop.
+
+    Bitwise identical to the event-loop makespan: the post clocks are
+    the same repeated ``alpha`` additions (``np.cumsum`` over a
+    constant vector accumulates sequentially), and ready/completion
+    are the same max/add operations.
+    """
+    m = len(src)
+    if m == 0:
+        return 0.0
+    if m != len(dst) or m != len(nbytes):
+        raise ValueError("src/dst/nbytes must be parallel arrays")
+    links = src * np.int64(nprocs) + dst
+    if len(np.unique(links)) != m:
+        raise ValueError("duplicate directed links: in-order delivery "
+                         "chains need the event-loop replay")
+
+    alpha, beta = cost_model.alpha, cost_model.beta
+    # per-rank running occupy counts after each message (both endpoints
+    # of message i occupy before its transfer is scheduled)
+    onehot = np.zeros((nprocs, m), dtype=np.int64)
+    onehot[src, np.arange(m)] += 1
+    onehot[dst, np.arange(m)] += 1
+    counts = np.cumsum(onehot, axis=1)
+    total = counts[:, -1] if m else np.zeros(nprocs, dtype=np.int64)
+    # clock after k alpha-posts == the k-th partial sum of repeated
+    # alpha additions (cumsum accumulates in sequence => bitwise equal)
+    max_k = int(total.max(initial=0))
+    alpha_seq = np.concatenate(
+        ([0.0], np.cumsum(np.full(max_k, alpha, dtype=np.float64)))
+    )
+    pos = np.arange(m)
+    ready = np.maximum(alpha_seq[counts[src, pos]], alpha_seq[counts[dst, pos]])
+    completion = ready + beta * nbytes
+    # drain: each rank waits for its last in-flight completion
+    comp_max = np.zeros(nprocs, dtype=np.float64)
+    np.maximum.at(comp_max, src, completion)
+    np.maximum.at(comp_max, dst, completion)
+    final = np.maximum(alpha_seq[total], comp_max)
+    return float(final.max())

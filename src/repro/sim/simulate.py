@@ -24,6 +24,13 @@ semantics:
 
 The difference between the two makespans is the communication time a
 split-phase restructuring could hide — the quantity bench E14 reports.
+
+This per-event loop is the semantic reference: it builds the full
+interval/causal structure.  Callers that only need final clocks or a
+makespan (the planner's simulated pricing, inside the schedule
+search's inner loop) use the array-backed vectorized replay in
+:mod:`repro.sim.replay`, which is property-tested bitwise against
+this loop.
 """
 
 from __future__ import annotations

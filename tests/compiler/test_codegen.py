@@ -132,3 +132,78 @@ class TestLineSweepKernel:
         stats = k.sweep()
         assert stats["remote_lines"] == 0  # dim 1 is local here
         assert np.allclose(v.to_global(), np.cumsum(g, axis=1))
+
+
+class TestVectorizedSweepPlans:
+    """PR-4: plan caching and batched solvers in the lowered kernels."""
+
+    def test_shift_plan_cached_across_stencil_steps(self):
+        machine = Machine(ProcessorArray("R", (4,)), cost_model=IPSC860)
+        engine = Engine(machine)
+        u = engine.declare("U", (16, 16), dist=dist_type("BLOCK", ":"))
+        u.from_global(np.zeros((16, 16)))
+        kernel = lower_stencil(engine, "U", (1, 1), smooth)
+        assert kernel.plan_cache is engine.plan_cache
+        kernel.step()
+        s1 = engine.plan_cache.stats()
+        assert s1["shift_plans"] == 2  # one per haloed dimension
+        kernel.step()
+        s2 = engine.plan_cache.stats()
+        assert s2["shift_plans"] == 2
+        assert s2["hits"] > s1["hits"]  # second step reused the plan
+
+    def test_sweep_plan_cached_across_sweeps(self):
+        from repro.apps.tridiag import thomas_const
+        from functools import partial
+
+        machine = Machine(ProcessorArray("R", (4,)), cost_model=IPSC860)
+        engine = Engine(machine)
+        v = engine.declare("V", (12, 6), dist=dist_type("BLOCK", ":"))
+        v.from_global(np.linspace(0, 1, 72).reshape(12, 6))
+        kernel = lower_line_sweep(
+            engine, "V", 0, partial(thomas_const, a=-1.0, b=4.0)
+        )
+        kernel.sweep()
+        assert engine.plan_cache.stats()["sweep_plans"] == 1
+        before = engine.plan_cache.stats()["hits"]
+        kernel.sweep()
+        assert engine.plan_cache.stats()["sweep_plans"] == 1
+        assert engine.plan_cache.stats()["hits"] > before
+
+    def test_batched_line_solver_unwraps_partial(self):
+        from functools import partial
+
+        from repro.apps.tridiag import thomas_const, thomas_const_batch
+        from repro.compiler.codegen import batched_line_solver
+
+        line = partial(thomas_const, a=-1.0, b=4.0)
+        batched = batched_line_solver(line)
+        assert batched is not None
+        rows = np.linspace(-1, 1, 24).reshape(4, 6)
+        got = batched(rows)
+        want = np.stack([thomas_const(r, -1.0, 4.0) for r in rows])
+        assert np.array_equal(got, want)
+        assert batched_line_solver(seq_smooth) is None
+
+    def test_batched_thomas_bitwise_equals_scalar(self):
+        from repro.apps.tridiag import thomas_const, thomas_const_batch
+
+        rng = np.random.default_rng(3)
+        rows = rng.normal(size=(7, 11))
+        got = thomas_const_batch(rows, -0.5, 3.0)
+        want = np.stack([thomas_const(r, -0.5, 3.0) for r in rows])
+        assert np.array_equal(got, want)
+
+    def test_default_plan_cache_used_without_engine(self):
+        from functools import partial
+
+        from repro.apps.tridiag import thomas_const
+        from repro.compiler.codegen import LineSweepKernel
+        from repro.runtime.redistribute import default_plan_cache
+
+        machine = Machine(ProcessorArray("R", (4,)), cost_model=IPSC860)
+        engine = Engine(machine)
+        v = engine.declare("V", (12, 6), dist=dist_type("BLOCK", ":"))
+        v.from_global(np.zeros((12, 6)))
+        kernel = LineSweepKernel(v, 0, partial(thomas_const, a=-1.0, b=4.0))
+        assert kernel.plan_cache is default_plan_cache()

@@ -1,0 +1,122 @@
+"""Unit tests for the vectorized (batched) FORALL path."""
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import dist_type
+from repro.machine import IPSC860, Machine, ProcessorArray
+from repro.runtime.batched import forall_batched
+from repro.runtime.engine import Engine
+
+
+def make(n=12, dist=None):
+    machine = Machine(ProcessorArray("R", (4,)), cost_model=IPSC860)
+    engine = Engine(machine)
+    a = engine.declare("A", (n,), dist=dist or dist_type("BLOCK"))
+    b = engine.declare("B", (n,), dist=dist or dist_type("BLOCK"))
+    b.from_global(np.arange(n, dtype=float))
+    return machine, engine, a, b
+
+
+class TestForallBatched:
+    def test_pure_function_of_index(self):
+        machine, engine, a, b = make()
+        forall_batched(a, lambda cols, read: (cols[0] ** 2).astype(float))
+        assert np.array_equal(a.to_global(), np.arange(12.0) ** 2)
+
+    def test_aligned_reads_are_free(self):
+        machine, engine, a, b = make()
+        counts = forall_batched(
+            a, lambda cols, read: read("B", cols) * 2, reads={"B": b}
+        )
+        assert np.array_equal(a.to_global(), np.arange(12.0) * 2)
+        assert all(c == 0 for c in counts.values())
+        assert machine.stats().messages == 0
+
+    def test_shifted_reads_cost_messages(self):
+        machine, engine, a, b = make()
+        counts = forall_batched(
+            a,
+            lambda cols, read: read("B", (np.minimum(cols[0] + 1, 11),)),
+            reads={"B": b},
+        )
+        # each block boundary causes one remote read (3 boundaries)
+        assert sum(counts.values()) == 3
+        assert machine.stats().messages == 3
+
+    def test_in_place_body_sees_old_values(self):
+        """lhs(i) = lhs(i_prev) uses pre-loop values (forall semantics)."""
+        machine, engine, a, b = make()
+        a.from_global(np.arange(12.0))
+        forall_batched(a, lambda cols, read: read("A", ((cols[0] + 1) % 12,)))
+        assert np.array_equal(a.to_global(), np.roll(np.arange(12.0), -1))
+
+    def test_2d_writes_land_in_owner_segments(self):
+        machine = Machine(ProcessorArray("R", (2, 2)))
+        engine = Engine(machine)
+        a = engine.declare("A", (4, 4), dist=dist_type("BLOCK", "BLOCK"))
+        forall_batched(
+            a, lambda cols, read: (cols[0] * 10 + cols[1]).astype(float)
+        )
+        expect = np.add.outer(np.arange(4) * 10, np.arange(4)).astype(float)
+        assert np.array_equal(a.to_global(), expect)
+
+    def test_compute_time_charged(self):
+        machine, engine, a, b = make()
+        forall_batched(
+            a,
+            lambda cols, read: np.zeros(len(cols[0])),
+            flops_per_element=100.0,
+        )
+        assert machine.time > 0
+
+    def test_local_accessor_raises_on_remote(self):
+        machine, engine, a, b = make()
+        with pytest.raises(RuntimeError, match="non-local"):
+            forall_batched(
+                a,
+                lambda cols, read: read.local("B", ((cols[0] + 6) % 12,)),
+                reads={"B": b},
+            )
+
+    def test_local_accessor_serves_local_reads(self):
+        machine, engine, a, b = make()
+        counts = forall_batched(
+            a, lambda cols, read: read.local("B", cols) + 1.0, reads={"B": b}
+        )
+        assert np.array_equal(a.to_global(), np.arange(12.0) + 1.0)
+        assert machine.stats().messages == 0
+        assert all(c == 0 for c in counts.values())
+
+    def test_out_of_range_index_raises(self):
+        machine, engine, a, b = make()
+        with pytest.raises(IndexError):
+            forall_batched(
+                a, lambda cols, read: read("B", (cols[0] + 1,)), reads={"B": b}
+            )
+
+    def test_wrong_column_count_raises(self):
+        machine, engine, a, b = make()
+        with pytest.raises(ValueError, match="index columns"):
+            forall_batched(
+                a,
+                lambda cols, read: read("B", (cols[0], cols[0])),
+                reads={"B": b},
+            )
+
+    def test_replicated_read_array_is_always_local(self):
+        machine = Machine(ProcessorArray("R", (4,)), cost_model=IPSC860)
+        engine = Engine(machine)
+        a = engine.declare("A", (12,), dist=dist_type("BLOCK"))
+        b = engine.declare("B", (12,), dist=dist_type("REPLICATED"))
+        b.from_global(np.arange(12.0))
+        counts = forall_batched(
+            a,
+            lambda cols, read: read("B", ((cols[0] + 5) % 12,)),
+            reads={"B": b},
+        )
+        assert sum(counts.values()) == 0
+        assert machine.stats().messages == 0
+        assert np.array_equal(
+            a.to_global(), np.roll(np.arange(12.0), -5)
+        )

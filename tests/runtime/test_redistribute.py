@@ -155,3 +155,59 @@ class TestBBlockRedistribution:
         rep = communicate(arr, bind(dist_type(GenBlock([1, 3, 2, 2])), (8,)))
         assert rep.elements_moved == 1
         assert np.array_equal(arr.to_global(), np.arange(8.0))
+
+
+class TestBruteforceIsolation:
+    """The quadratic per-element oracle (``transfer_matrix_naive``,
+    a.k.a. ``transfer_matrix_bruteforce``) must only be reachable from
+    the E4 bench and the property tests — never from a production
+    path (communicate, the planner's cost engines, or anything
+    PlanCache-mediated)."""
+
+    def test_bruteforce_alias_exported(self):
+        from repro.runtime.redistribute import (
+            transfer_matrix_bruteforce,
+            transfer_matrix_naive,
+        )
+
+        assert transfer_matrix_bruteforce is transfer_matrix_naive
+
+    def test_production_paths_never_call_bruteforce(self, monkeypatch):
+        import repro.runtime.redistribute as mod
+
+        def _forbidden(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError(
+                "transfer_matrix_naive reached from a production path"
+            )
+
+        monkeypatch.setattr(mod, "transfer_matrix_naive", _forbidden)
+        monkeypatch.setattr(mod, "transfer_matrix_bruteforce", _forbidden)
+
+        # 1. the run time: DISTRIBUTE through the engine (PlanCache path)
+        machine = Machine(P4, cost_model=PARAGON)
+        engine = Engine(machine)
+        arr = engine.declare(
+            "V", (8, 8), dist=dist_type("BLOCK", ":"), dynamic=True
+        )
+        arr.from_global(np.arange(64.0).reshape(8, 8))
+        engine.distribute("V", dist_type(":", "BLOCK"))
+
+        # 2. direct communicate with and without a cache
+        from repro.runtime.redistribute import PlanCache
+
+        communicate(arr, bind(dist_type("CYCLIC", ":")))
+        communicate(
+            arr, bind(dist_type("BLOCK", ":")), plan_cache=PlanCache()
+        )
+
+        # 3. the planner's cost engines (model and simulated pricing)
+        from repro.planner import CostEngine, SimulatedCostEngine
+
+        old, new = bind(dist_type("BLOCK", ":")), bind(dist_type(":", "BLOCK"))
+        CostEngine(machine).transition_cost(old, new)
+        SimulatedCostEngine(machine).transition_cost(old, new)
+
+        # 4. a full planning run
+        from repro.planner import adi_workload, plan_workload
+
+        plan_workload(adi_workload(16, 16, iterations=2, nprocs=4))

@@ -57,7 +57,7 @@ def test_backend_reexported_from_root():
 def test_version():
     import repro
 
-    assert repro.__version__ == "1.3.0"
+    assert repro.__version__ == "1.4.0"
 
 
 def test_sim_reexported_from_root():
