@@ -25,8 +25,8 @@ from repro.planner import (
     CostEngine,
     get_workload,
     hand_schedule_cost,
-    plan_workload,
 )
+from repro.planner.workloads import _plan_workload
 
 MODELS = (IPSC860, PARAGON, MODERN_CLUSTER)
 WORKLOADS = ("adi", "pic", "smoothing")
@@ -38,7 +38,7 @@ def test_e12_planner_vs_static_vs_hand():
         for cm in MODELS:
             wl = get_workload(name, cost_model=cm)
             engine = CostEngine(wl.machine)
-            plan = plan_workload(wl, cost_engine=engine)
+            plan = _plan_workload(wl, cost_engine=engine)
             best_static = min(plan.static.values())
             hand = hand_schedule_cost(wl, cost_engine=engine)
             rows.append(
@@ -69,7 +69,7 @@ def test_e12_adi_recovers_figure1_on_every_preset():
     rows = []
     for cm in MODELS:
         wl = get_workload("adi", cost_model=cm)
-        plan = plan_workload(wl)
+        plan = _plan_workload(wl)
         schedule = [s.dist.dtype for s in plan.steps]
         want = [
             dist_type(":", "BLOCK"),
@@ -86,15 +86,15 @@ def test_e12_adi_recovers_figure1_on_every_preset():
 
 
 def test_e12_executed_planned_adi_matches_dynamic():
-    from repro.apps.adi import run_adi
+    from repro.apps.adi import execute_adi
 
     rows = []
     for cm in MODELS:
-        dyn = run_adi(
+        dyn = execute_adi(
             Machine(ProcessorArray("R", (4,)), cost_model=cm),
             64, 64, 2, "dynamic", seed=0,
         )
-        pln = run_adi(
+        pln = execute_adi(
             Machine(ProcessorArray("R", (4,)), cost_model=cm),
             64, 64, 2, "planned", seed=0,
         )
@@ -117,6 +117,6 @@ def test_e12_planner_benchmark(benchmark, name):
     wl = get_workload(name)
 
     def run():
-        return plan_workload(wl, cost_engine=CostEngine(wl.machine))
+        return _plan_workload(wl, cost_engine=CostEngine(wl.machine))
 
     benchmark(run)

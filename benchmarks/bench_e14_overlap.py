@@ -37,39 +37,40 @@ import pytest
 
 from conftest import emit_table
 from repro.machine import IPSC860, Machine, PARAGON, ProcessorArray
-from repro.planner import CostEngine, SimulatedCostEngine, adi_workload, plan_workload
+from repro.planner import CostEngine, SimulatedCostEngine, adi_workload
+from repro.planner.workloads import _plan_workload
 from repro.sim import EventLog, overlappable_phases, record, simulate
 
 
 def _trace_adi(cost_model):
-    from repro.apps.adi import run_adi
+    from repro.apps.adi import execute_adi
 
     machine = Machine(ProcessorArray("R", (4,)), cost_model=cost_model)
     log = EventLog()
     with record(machine, log):
-        run_adi(machine, 48, 48, 2, strategy="dynamic", seed=0)
+        execute_adi(machine, 48, 48, 2, strategy="dynamic", seed=0)
     return machine, log
 
 
 def _trace_smoothing(cost_model):
-    from repro.apps.smoothing import run_smoothing
+    from repro.apps.smoothing import execute_smoothing
 
     machine = Machine((4,), cost_model=cost_model)
     log = EventLog()
     with record(machine, log):
-        run_smoothing(
+        execute_smoothing(
             48, 8, "columns", 4, cost_model, seed=0, machine=machine
         )
     return machine, log
 
 
 def _trace_pic(cost_model):
-    from repro.apps.pic import PICConfig, run_pic
+    from repro.apps.pic import PICConfig, execute_pic
 
     machine = Machine(ProcessorArray("P", (4,)), cost_model=cost_model)
     log = EventLog()
     with record(machine, log):
-        run_pic(
+        execute_pic(
             machine,
             PICConfig(
                 strategy="bblock", ncell=64, npart=512, max_time=8,
@@ -171,8 +172,8 @@ def test_e14_simulated_cost_mode_exploits_overlap():
     assert sim_engine.transition_cost(a, b) <= (
         blocking_engine.transition_cost(a, b) * (1 + 1e-9)
     )
-    plan_b = plan_workload(wl, cost_engine=blocking_engine)
-    plan_s = plan_workload(wl, cost_mode="simulated")
+    plan_b = _plan_workload(wl, cost_engine=blocking_engine)
+    plan_s = _plan_workload(wl, cost_mode="simulated")
     assert plan_s.total_cost <= plan_b.total_cost * (1 + 1e-9)
 
 

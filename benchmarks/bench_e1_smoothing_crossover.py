@@ -18,7 +18,7 @@ from conftest import emit_table
 from repro.apps.smoothing import (
     best_distribution,
     predicted_step_cost,
-    run_smoothing,
+    execute_smoothing,
 )
 from repro.machine.cost_model import IPSC860, MODERN_CLUSTER, PARAGON
 
@@ -71,8 +71,8 @@ def test_e1_measured_agrees_with_model():
     """Measured halo-exchange traffic follows the closed forms."""
     rows = []
     for n in (32, 64, 128):
-        r_col = run_smoothing(n, 2, "columns", P, IPSC860, seed=0)
-        r_blk = run_smoothing(n, 2, "blocks2d", P, IPSC860, seed=0)
+        r_col = execute_smoothing(n, 2, "columns", P, IPSC860, seed=0)
+        r_blk = execute_smoothing(n, 2, "blocks2d", P, IPSC860, seed=0)
         rows.append(
             [
                 n,
@@ -100,5 +100,5 @@ def test_e1_measured_agrees_with_model():
 def test_e1_step_benchmark(benchmark, distribution):
     """Wall-clock cost of one simulated smoothing step."""
     benchmark(
-        run_smoothing, 64, 1, distribution, P, IPSC860, seed=0
+        execute_smoothing, 64, 1, distribution, P, IPSC860, seed=0
     )

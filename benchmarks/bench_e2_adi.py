@@ -16,7 +16,7 @@ import numpy as np
 import pytest
 
 from conftest import emit_table
-from repro.apps.adi import adi_reference, run_adi
+from repro.apps.adi import adi_reference, execute_adi
 from repro.machine import Machine, PARAGON, ProcessorArray
 
 STRATEGIES = ("dynamic", "static_cols", "static_rows", "two_arrays")
@@ -34,7 +34,7 @@ def test_e2_strategy_table():
     )
     results = {}
     for s in STRATEGIES:
-        r = run_adi(machine(p), n, n, iters, s, seed=0)
+        r = execute_adi(machine(p), n, n, iters, s, seed=0)
         assert np.allclose(r.solution, ref)
         results[s] = r
         rows.append(
@@ -63,8 +63,8 @@ def test_e2_strategy_table():
 def test_e2_scaling_in_grid_size():
     rows = []
     for n in (16, 32, 64, 128):
-        rd = run_adi(machine(4), n, n, 1, "dynamic", seed=0)
-        rs = run_adi(machine(4), n, n, 1, "static_cols", seed=0)
+        rd = execute_adi(machine(4), n, n, 1, "dynamic", seed=0)
+        rs = execute_adi(machine(4), n, n, 1, "static_cols", seed=0)
         speedup = rs.total_time / rd.total_time
         rows.append([n, rd.total_time * 1e3, rs.total_time * 1e3, speedup])
         assert rd.total_time < rs.total_time
@@ -79,8 +79,8 @@ def test_e2_scaling_in_processors():
     rows = []
     n = 64
     for p in (2, 4, 8, 16):
-        rd = run_adi(machine(p), n, n, 1, "dynamic", seed=0)
-        rs = run_adi(machine(p), n, n, 1, "static_cols", seed=0)
+        rd = execute_adi(machine(p), n, n, 1, "dynamic", seed=0)
+        rs = execute_adi(machine(p), n, n, 1, "static_cols", seed=0)
         rows.append(
             [p, rd.redistribution.messages, rs.sweep_messages,
              rs.total_time / rd.total_time]
@@ -96,4 +96,4 @@ def test_e2_scaling_in_processors():
 
 @pytest.mark.parametrize("strategy", STRATEGIES)
 def test_e2_adi_benchmark(benchmark, strategy):
-    benchmark(run_adi, machine(4), 32, 32, 1, strategy, seed=0)
+    benchmark(execute_adi, machine(4), 32, 32, 1, strategy, seed=0)

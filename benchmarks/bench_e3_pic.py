@@ -14,7 +14,7 @@ DESIGN.md calls out.
 import pytest
 
 from conftest import emit_table
-from repro.apps.pic import PICConfig, run_pic
+from repro.apps.pic import PICConfig, execute_pic
 from repro.machine import Machine, PARAGON, ProcessorArray
 
 BASE = dict(ncell=128, npart=3000, max_time=50, nprocs=4, drift=0.006, seed=5)
@@ -25,8 +25,8 @@ def machine():
 
 
 def test_e3_imbalance_trajectory():
-    r_static = run_pic(machine(), PICConfig(strategy="static", **BASE))
-    r_bblock = run_pic(machine(), PICConfig(strategy="bblock", **BASE))
+    r_static = execute_pic(machine(), PICConfig(strategy="static", **BASE))
+    r_bblock = execute_pic(machine(), PICConfig(strategy="bblock", **BASE))
     rows = []
     for ss, sb in zip(r_static.steps, r_bblock.steps):
         if ss.step % 5 == 0:
@@ -52,7 +52,7 @@ def test_e3_rebalance_period_ablation():
     prev_imb = None
     for period in (5, 10, 20, 50):
         cfg = PICConfig(strategy="bblock", rebalance_every=period, **BASE)
-        r = run_pic(machine(), cfg)
+        r = execute_pic(machine(), cfg)
         rows.append(
             [
                 period,
@@ -79,7 +79,7 @@ def test_e3_threshold_ablation():
     rows = []
     for thr in (1.05, 1.25, 2.0, float("inf")):
         cfg = PICConfig(strategy="bblock", imbalance_threshold=thr, **BASE)
-        r = run_pic(machine(), cfg)
+        r = execute_pic(machine(), cfg)
         rows.append([thr, r.mean_imbalance, r.redistributions])
     emit_table(
         "E3 ablation: rebalance() threshold",
@@ -94,4 +94,4 @@ def test_e3_pic_benchmark(benchmark, strategy):
     cfg = PICConfig(
         strategy=strategy, ncell=64, npart=1000, max_time=10, nprocs=4, seed=1
     )
-    benchmark(run_pic, machine(), cfg)
+    benchmark(execute_pic, machine(), cfg)

@@ -17,7 +17,7 @@ import numpy as np
 import pytest
 
 from conftest import emit_table
-from repro.apps.adi import run_adi
+from repro.apps.adi import execute_adi
 from repro.apps.tridiag import thomas_const
 from repro.compiler.codegen import LineSweepKernel
 from repro.core.distribution import dist_type
@@ -32,7 +32,7 @@ def _adi_via_procedures(restore: str):
     """ADI where each sweep is a procedure whose formal declares the
     distribution it wants — the implicit-redistribution style."""
     machine = Machine(ProcessorArray("R", (P,)), cost_model=PARAGON)
-    engine = Engine(machine)
+    engine = Engine._create(machine)
     v = engine.declare("V", (N, N), dist=dist_type(":", "BLOCK"), dynamic=True)
     v.from_global(np.random.default_rng(0).standard_normal((N, N)))
     line = lambda x: thomas_const(x, -1.0, 4.0)  # noqa: E731
@@ -60,7 +60,7 @@ def test_e7_alternatives_table():
 
     # (a) explicit DISTRIBUTE (Figure 1)
     machine = Machine(ProcessorArray("R", (P,)), cost_model=PARAGON)
-    r = run_adi(machine, N, N, ITERS, "dynamic", seed=0)
+    r = execute_adi(machine, N, N, ITERS, "dynamic", seed=0)
     rows.append(
         ["explicit DISTRIBUTE", r.total_messages,
          r.peak_memory, r.total_time * 1e3]
@@ -90,7 +90,7 @@ def test_e7_alternatives_table():
 
     # (d) two static arrays + assignment
     machine2 = Machine(ProcessorArray("R", (P,)), cost_model=PARAGON)
-    r2 = run_adi(machine2, N, N, ITERS, "two_arrays", seed=0)
+    r2 = execute_adi(machine2, N, N, ITERS, "two_arrays", seed=0)
     rows.append(
         ["two static arrays", r2.total_messages,
          r2.peak_memory, r2.total_time * 1e3]
@@ -123,7 +123,7 @@ def test_e7_single_call_hpf_doubles_traffic():
     counts = {}
     for restore in ("vf", "hpf"):
         machine = Machine(ProcessorArray("R", (P,)), cost_model=PARAGON)
-        engine = Engine(machine)
+        engine = Engine._create(machine)
         v = engine.declare(
             "V", (N, N), dist=dist_type(":", "BLOCK"), dynamic=True
         )

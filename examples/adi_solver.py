@@ -10,6 +10,10 @@ computation" — shown as a table over the strategies of section 4:
 - static_rows  keep (BLOCK, :); the x-sweep pays instead
 - two_arrays   two static arrays + assignment (double the memory)
 
+Each strategy is one ``sess.workload("adi", strategy=...)`` run; the
+full :class:`~repro.apps.adi.ADIResult` rides along on
+``RunResult.result``.
+
 Run:  python examples/adi_solver.py [N] [iters]
 """
 
@@ -17,15 +21,15 @@ import sys
 
 import numpy as np
 
-from repro.apps.adi import adi_reference, run_adi
-from repro.machine import Machine, PARAGON, ProcessorArray
+import repro
+from repro.apps.adi import adi_reference
 
 N = int(sys.argv[1]) if len(sys.argv) > 1 else 64
 ITERS = int(sys.argv[2]) if len(sys.argv) > 2 else 4
 PROCS = 4
 
 print(f"ADI on a {N} x {N} grid, {ITERS} iterations, {PROCS} processors "
-      f"({PARAGON.name} cost model)\n")
+      f"(Paragon cost model)\n")
 
 header = (
     f"{'strategy':12s} {'sweep msgs':>10s} {'redist msgs':>11s} "
@@ -38,16 +42,21 @@ reference = adi_reference(
     np.random.default_rng(0).standard_normal((N, N)), ITERS, -1.0, 4.0
 )
 
-for strategy in ("dynamic", "static_cols", "static_rows", "two_arrays"):
-    machine = Machine(ProcessorArray("R", (PROCS,)), cost_model=PARAGON)
-    r = run_adi(machine, N, N, ITERS, strategy, seed=0)
-    assert np.allclose(r.solution, reference), "strategies must agree!"
-    total_bytes = r.x_sweep.bytes + r.y_sweep.bytes + r.redistribution.bytes
-    print(
-        f"{strategy:12s} {r.sweep_messages:10d} "
-        f"{r.redistribution.messages:11d} {total_bytes:12d} "
-        f"{r.peak_memory:9d} {r.total_time * 1e3:10.3f}"
-    )
+with repro.session(nprocs=PROCS, cost_model="Paragon") as sess:
+    for strategy in ("dynamic", "static_cols", "static_rows", "two_arrays"):
+        r = sess.workload(
+            "adi", size=N, iterations=ITERS, strategy=strategy
+        ).run()
+        a = r.result
+        assert np.allclose(a.solution, reference), "strategies must agree!"
+        total_bytes = (
+            a.x_sweep.bytes + a.y_sweep.bytes + a.redistribution.bytes
+        )
+        print(
+            f"{strategy:12s} {a.sweep_messages:10d} "
+            f"{a.redistribution.messages:11d} {total_bytes:12d} "
+            f"{a.peak_memory:9d} {a.total_time * 1e3:10.3f}"
+        )
 
 print(
     "\nAll four strategies produce bit-identical solutions; the dynamic\n"

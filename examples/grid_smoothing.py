@@ -10,9 +10,9 @@ distribution."
 
 This example plays the role of the portable Vienna Fortran program the
 paper describes: at "run time" it reads N, queries $NP, evaluates the
-machine cost model, picks the winning distribution, and *dynamically
-distributes* the grid accordingly — then verifies the choice by
-measuring both.
+closed-form cost model, *distributes* the grid accordingly — then
+verifies the choice by measuring both through the session facade
+(``sess.workload("smoothing", distribution=...)``).
 
 Run:  python examples/grid_smoothing.py [N] [p] [machine]
       machine in {iPSC/860, Paragon, modern}
@@ -20,31 +20,30 @@ Run:  python examples/grid_smoothing.py [N] [p] [machine]
 
 import sys
 
-from repro.apps.smoothing import (
-    best_distribution,
-    predicted_step_cost,
-    run_smoothing,
-)
-from repro.machine.cost_model import PRESETS
+import repro
+from repro.apps.smoothing import best_distribution, predicted_step_cost
 
 N = int(sys.argv[1]) if len(sys.argv) > 1 else 128
 P = int(sys.argv[2]) if len(sys.argv) > 2 else 16
-MODEL = PRESETS[sys.argv[3]] if len(sys.argv) > 3 else PRESETS["iPSC/860"]
+MODEL = repro.PRESETS[sys.argv[3]] if len(sys.argv) > 3 else repro.IPSC860
 STEPS = 5
 
 print(f"smoothing an {N} x {N} grid on {P} processors of {MODEL.name}")
 print(f"machine half-performance message length n_1/2 = "
       f"{MODEL.bytes_equivalent_of_latency():.0f} bytes\n")
 
-for dist in ("columns", "blocks2d"):
-    try:
-        pred = predicted_step_cost(N, P, dist, MODEL)
-        r = run_smoothing(N, STEPS, dist, P, MODEL, seed=0)
-        print(f"{dist:9s}: predicted {pred*1e6:9.1f} us/step   "
-              f"measured {r.time/STEPS*1e6:9.1f} us/step   "
-              f"({r.messages} msgs, {r.bytes} bytes total)")
-    except ValueError as e:
-        print(f"{dist:9s}: {e}")
+with repro.session(nprocs=P, cost_model=MODEL) as sess:
+    for dist in ("columns", "blocks2d"):
+        try:
+            pred = predicted_step_cost(N, P, dist, MODEL)
+            r = sess.workload(
+                "smoothing", size=N, steps=STEPS, distribution=dist
+            ).run().result
+            print(f"{dist:9s}: predicted {pred*1e6:9.1f} us/step   "
+                  f"measured {r.time/STEPS*1e6:9.1f} us/step   "
+                  f"({r.messages} msgs, {r.bytes} bytes total)")
+        except ValueError as e:
+            print(f"{dist:9s}: {e}")
 
 choice = best_distribution(N, P, MODEL)
 print(f"\n=> the program would execute  DISTRIBUTE U :: "

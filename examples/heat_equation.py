@@ -23,11 +23,10 @@ import sys
 
 import numpy as np
 
+import repro
 from repro.apps.tridiag import thomas_const
 from repro.compiler.codegen import LineSweepKernel
 from repro.core.distribution import dist_type
-from repro.machine import Machine, PARAGON, ProcessorArray
-from repro.runtime.engine import Engine
 from repro.runtime.overlap import OverlapManager
 
 N = int(sys.argv[1]) if len(sys.argv) > 1 else 48
@@ -67,8 +66,9 @@ def implicit_along(arr, dim):
 
 
 def main():
-    machine = Machine(ProcessorArray("R", (P,)), cost_model=PARAGON)
-    engine = Engine(machine)
+    sess = repro.session(nprocs=P, cost_model="Paragon")
+    engine = sess.engine(name="R")
+    machine = engine.machine
     u = engine.declare(
         "U", (N, N), dist=dist_type("BLOCK", ":"), dynamic=True
     )

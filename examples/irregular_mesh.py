@@ -11,9 +11,11 @@ unstructured mesh, distributed two ways —
 - INDIRECT from a BFS graph partition computed *at run time* from the
   mesh itself, installed with a DISTRIBUTE of an owner table.
 
-Both run through the inspector/executor (schedule built once, reused
-every sweep).  The partition cuts the off-processor edges — and hence
-the measured communication — roughly in half.
+Both are runs of the registered ``irregular`` workload
+(``sess.workload("irregular", distribution=...)``); they share the
+session seed, so they relax the same mesh from the same values and the
+solutions agree bitwise.  The partition cuts the off-processor edges —
+and hence the measured communication — roughly in half.
 
 Run:  python examples/irregular_mesh.py [nodes]
 """
@@ -22,40 +24,33 @@ import sys
 
 import numpy as np
 
-from repro.apps.irregular import (
-    edge_cut,
-    make_mesh,
-    partition_bfs,
-    relaxation_reference,
-    run_relaxation,
-)
-from repro.core.dimdist import Block
-from repro.machine import IPSC860, Machine, ProcessorArray, summary
+import repro
+from repro.apps.irregular import make_mesh, relaxation_reference
 
 N = int(sys.argv[1]) if len(sys.argv) > 1 else 400
 P = 4
 SWEEPS = 4
+SEED = 7
 
-graph = make_mesh(N, seed=7)
+graph = make_mesh(N, seed=SEED)
 print(f"unstructured mesh: {graph.number_of_nodes()} nodes, "
       f"{graph.number_of_edges()} edges, {P} processors\n")
 
-owner_block = np.asarray(Block().owners_vec(N, P))
-owner_part = partition_bfs(graph, P, seed=7)
-print(f"edge cut, BLOCK over node ids: {edge_cut(graph, owner_block)}")
-print(f"edge cut, BFS partition:       {edge_cut(graph, owner_part)}\n")
+ref = relaxation_reference(
+    graph, np.random.default_rng(SEED).standard_normal(N), SWEEPS
+)
 
-ref = None
-for dist in ("block", "partitioned"):
-    machine = Machine(ProcessorArray("P", (P,)), cost_model=IPSC860)
-    r = run_relaxation(machine, graph, dist, sweeps=SWEEPS, seed=0)
-    if ref is None:
-        vals = np.random.default_rng(0).standard_normal(N)
-        ref = relaxation_reference(graph, vals, SWEEPS)
-    assert np.allclose(r.solution, ref), "distribution must not change results"
-    print(f"{dist:12s}: {r.messages:3d} msgs, {r.bytes:7d} bytes, "
-          f"{r.time * 1e3:7.2f} ms modeled")
-    print(f"{'':12s}  {summary(machine)}")
+with repro.session(nprocs=P, cost_model="iPSC/860", seed=SEED) as sess:
+    for dist in ("block", "partitioned"):
+        run = sess.workload(
+            "irregular", size=N, steps=SWEEPS, distribution=dist
+        ).run()
+        r = run.result
+        assert np.allclose(r.solution, ref), \
+            "distribution must not change results"
+        print(f"{dist:12s}: edge cut {r.cut_edges:3d} -> "
+              f"{r.messages:3d} msgs, {r.bytes:7d} bytes, "
+              f"{r.time * 1e3:7.2f} ms modeled")
 
 print("\nThe INDIRECT distribution is computed from run-time data (the"
       "\nmesh connectivity) — exactly the capability the paper's dynamic"

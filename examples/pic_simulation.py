@@ -7,25 +7,29 @@ does nearly all the work; the Figure 2 code periodically recomputes
 BOUNDS with ``balance`` and executes ``DISTRIBUTE FIELD ::
 B_BLOCK(BOUNDS)`` to even the load.
 
+Both strategies run through one session; per-step trajectories come
+from the full :class:`~repro.apps.pic.PICResult` on
+``RunResult.result``.
+
 Run:  python examples/pic_simulation.py [steps]
 """
 
 import sys
 
-from repro.apps.pic import PICConfig, run_pic
-from repro.machine import Machine, PARAGON, ProcessorArray
+import repro
 
 STEPS = int(sys.argv[1]) if len(sys.argv) > 1 else 60
 
-base = dict(ncell=128, npart=4000, max_time=STEPS, nprocs=4, seed=11,
-            drift=0.006)
+params = dict(size=128, npart=4000, steps=STEPS, drift=0.006)
 
 results = {}
-for strategy in ("static", "bblock"):
-    machine = Machine(ProcessorArray("P", (4,)), cost_model=PARAGON)
-    results[strategy] = run_pic(machine, PICConfig(strategy=strategy, **base))
+with repro.session(nprocs=4, cost_model="Paragon", seed=11) as sess:
+    for strategy in ("static", "bblock"):
+        results[strategy] = sess.workload(
+            "pic", strategy=strategy, **params
+        ).run().result
 
-print(f"PIC: {base['npart']} particles in {base['ncell']} cells on "
+print(f"PIC: {params['npart']} particles in {params['size']} cells on "
       f"4 processors, {STEPS} steps\n")
 print(f"{'step':>4s} {'static imb':>10s} {'bblock imb':>10s}  rebalanced?")
 print("-" * 42)

@@ -1,63 +1,66 @@
 #!/usr/bin/env python
-"""Quickstart: the Vienna Fortran dynamic-distribution model in 60 lines.
+"""Quickstart: one session, the whole reproduction.
 
-Declares a processor array and a dynamically distributed array, runs
-the paper's core statement — ``DISTRIBUTE`` — and queries distributions
-with IDT and DCASE, printing the communication the redistribution cost.
+``repro.session(...)`` is the single entry point: it owns the machine
+policy (processor count, cost model), the execution backend, the plan
+cache and the RNG seed.  Workloads come from a registry —
+``sess.workload("adi", ...)`` returns a handle with typed ``plan`` /
+``run`` / ``trace`` / ``bench`` stages — and the raw Vienna Fortran
+Engine (declare / DISTRIBUTE / IDT / DCASE) hangs off the same facade
+via ``sess.engine()``.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import (
-    DynamicAttr,
-    Engine,
-    Machine,
-    PARAGON,
-    ProcessorArray,
-    dist_type,
-)
+import repro
 
-# PROCESSORS R(1:4) on a Paragon-like cost model
-R = ProcessorArray("R", (4,))
-machine = Machine(R, cost_model=PARAGON)
-vfe = Engine(machine)
+with repro.session(nprocs=4, cost_model="Paragon") as sess:
+    # -- the high road: a registered workload, one fluent chain ---------
+    result = sess.workload("adi", size=64, iterations=2).run()
+    print(result.summary())
+    print()
 
-# REAL V(100, 100) DYNAMIC, RANGE ((:, BLOCK), (BLOCK, :)), DIST (:, BLOCK)
-V = vfe.declare(
-    "V",
-    (100, 100),
-    dynamic=DynamicAttr(
-        range_=[(":", "BLOCK"), ("BLOCK", ":")],
-        initial=dist_type(":", "BLOCK"),
-    ),
-)
-V.from_global(np.arange(100 * 100, dtype=float).reshape(100, 100))
+    # -- the low road: the Vienna Fortran Engine on a session machine ---
+    # PROCESSORS R(1:4); REAL V(100, 100) DYNAMIC,
+    #   RANGE ((:, BLOCK), (BLOCK, :)), DIST (:, BLOCK)
+    vfe = sess.engine(name="R")
+    machine = vfe.machine
+    V = vfe.declare(
+        "V",
+        (100, 100),
+        dynamic=repro.DynamicAttr(
+            range_=[(":", "BLOCK"), ("BLOCK", ":")],
+            initial=repro.dist_type(":", "BLOCK"),
+        ),
+    )
+    V.from_global(np.arange(100 * 100, dtype=float).reshape(100, 100))
 
-print(f"declared {V}")
-print(f"  local segment of processor 0: {V.local(0).shape}")
-print(f"  owner of element (42, 77):    processor {V.dist.owner((42, 77))}")
+    print(f"declared {V}")
+    print(f"  local segment of processor 0: {V.local(0).shape}")
+    print(f"  owner of element (42, 77):    processor {V.dist.owner((42, 77))}")
 
-# IDT — the run-time distribution test (paper section 2.5.2)
-print(f"\nIDT(V, (:, BLOCK))  = {vfe.idt('V', (':', 'BLOCK'))}")
-print(f"IDT(V, (BLOCK, *))  = {vfe.idt('V', ('BLOCK', '*'))}")
+    # IDT — the run-time distribution test (paper section 2.5.2)
+    print(f"\nIDT(V, (:, BLOCK))  = {vfe.idt('V', (':', 'BLOCK'))}")
+    print(f"IDT(V, (BLOCK, *))  = {vfe.idt('V', ('BLOCK', '*'))}")
 
-# DISTRIBUTE V :: (BLOCK, :) — the executable redistribution statement
-report = vfe.distribute("V", dist_type("BLOCK", ":"))[0]
-print(f"\nDISTRIBUTE V :: (BLOCK, :)")
-print(f"  messages: {report.messages}")
-print(f"  bytes:    {report.bytes}")
-print(f"  elements moved/kept: {report.elements_moved}/{report.elements_kept}")
-print(f"  modeled time: {report.time * 1e3:.3f} ms on {machine.cost_model.name}")
+    # DISTRIBUTE V :: (BLOCK, :) — the executable redistribution statement
+    report = vfe.distribute("V", repro.dist_type("BLOCK", ":"))[0]
+    print(f"\nDISTRIBUTE V :: (BLOCK, :)")
+    print(f"  messages: {report.messages}")
+    print(f"  bytes:    {report.bytes}")
+    print(f"  elements moved/kept: {report.elements_moved}/{report.elements_kept}")
+    print(f"  modeled time: {report.time * 1e3:.3f} ms "
+          f"on {machine.cost_model.name}")
 
-# DCASE — dispatch an algorithm on the current distribution (section 2.5.1)
-dc = vfe.dcase("V")
-dc.case([("BLOCK", ":")], lambda: "row-sweep version")
-dc.case([(":", "BLOCK")], lambda: "column-sweep version")
-dc.default(lambda: "generic version")
-print(f"\nDCASE selected: {dc.execute()}")
+    # DCASE — dispatch an algorithm on the current distribution (2.5.1)
+    dc = vfe.dcase("V")
+    dc.case([("BLOCK", ":")], lambda: "row-sweep version")
+    dc.case([(":", "BLOCK")], lambda: "column-sweep version")
+    dc.default(lambda: "generic version")
+    print(f"\nDCASE selected: {dc.execute()}")
 
-# data survived the redistribution bit-for-bit
-assert V.get((42, 77)) == 42 * 100 + 77
-print("\ndata intact after redistribution — done.")
+    # data survived the redistribution bit-for-bit
+    assert V.get((42, 77)) == 42 * 100 + 77
+    print("\ndata intact after redistribution — done.")

@@ -36,70 +36,522 @@ Layers (bottom-up):
   per-processor timelines, idle/imbalance metrics, critical-path
   extraction, Gantt/JSON trace export (``python -m repro trace``);
 - :mod:`repro.apps` — the paper's §4 workloads: ADI (Figure 1),
-  particle-in-cell with B_BLOCK load balancing (Figure 2), and the
-  grid-smoothing distribution-choice example — each with a
-  planner-backed ``"planned"`` variant and ``backend=`` execution
-  variants.
+  particle-in-cell with B_BLOCK load balancing (Figure 2), the
+  grid-smoothing distribution-choice example, and the irregular-mesh
+  relaxation;
+- :mod:`repro.api` — the session facade over all of the above: one
+  :func:`session` owns the machine policy, backend, plan cache,
+  event recording and RNG seeding, and hands out fluent workload
+  handles with typed ``plan`` / ``run`` / ``trace`` / ``bench``
+  stages, driven by a decorator-based workload registry.
 
 Quickstart::
 
-    from repro import *
+    import repro
 
-    R = ProcessorArray("R", (4,))
-    machine = Machine(R, cost_model=PARAGON)
-    vfe = Engine(machine)
-    V = vfe.declare("V", (100, 100), dist=dist_type(":", "BLOCK"),
-                    dynamic=DynamicAttr())
-    # ... x-sweep (columns local) ...
-    vfe.distribute("V", dist_type("BLOCK", ":"))
-    # ... y-sweep (rows local) ...
+    with repro.session(nprocs=4, cost_model="Paragon") as sess:
+        result = sess.workload("adi", size=64, iterations=4).run()
+        print(result.summary())
+        plan = sess.workload("adi", size=64, iterations=4).plan()
+        print(plan.summary())
 
-or let the planner decide (``python -m repro plan adi``)::
+or, for the raw Vienna Fortran Engine (declare / DISTRIBUTE / IDT /
+DCASE)::
 
-    from repro import adi_workload, plan_workload
+    with repro.session(nprocs=4) as sess:
+        vfe = sess.engine(name="R")
+        V = vfe.declare("V", (100, 100), dist=repro.dist_type(":", "BLOCK"),
+                        dynamic=repro.DynamicAttr())
+        # ... x-sweep (columns local) ...
+        vfe.distribute("V", repro.dist_type("BLOCK", ":"))
+        # ... y-sweep (rows local) ...
 
-    print(plan_workload(adi_workload(64, 64, iterations=4)).summary())
+The CLI mirrors the facade: ``python -m repro
+plan|run|trace|bench|calibrate`` (see ``python -m repro --help``).
 """
 
-from .core import *  # noqa: F401,F403
-from .core import __all__ as _core_all
-from .machine import *  # noqa: F401,F403
-from .machine import __all__ as _machine_all
-from .runtime import *  # noqa: F401,F403
-from .runtime import __all__ as _runtime_all
+# Every name is imported and exported explicitly: the curated __all__
+# below IS the public surface, pinned by tests/test_public_api.py so
+# changes to it are deliberate.  (The compiler IR's ``Block`` is the
+# one name intentionally *not* re-exported at the root — it collides
+# with the BLOCK distribution intrinsic; reach it as
+# ``repro.compiler.Block``.)
 
-# The upper layers are re-exported defensively: a handful of their
-# names collide with the data-model layers (e.g. the compiler IR's
-# ``Block`` vs the BLOCK intrinsic), and the established lower-layer
-# bindings must win.
-from . import backend as backend  # noqa: F401
-from . import compiler as compiler  # noqa: F401
-from . import lang as lang  # noqa: F401
-from . import perf as perf  # noqa: F401
-from . import planner as planner  # noqa: F401
-from . import sim as sim  # noqa: F401
+from . import api as api
+from . import apps as apps
+from . import backend as backend
+from . import compiler as compiler
+from . import lang as lang
+from . import perf as perf
+from . import planner as planner
+from . import sim as sim
+from .api import (
+    BenchResult,
+    PlanResult,
+    RunResult,
+    Session,
+    SessionConfig,
+    SessionResult,
+    TraceResult,
+    WorkloadHandle,
+    WorkloadRegistry,
+    WorkloadSpec,
+    available_workloads,
+    register_workload,
+    session,
+)
+from .backend import (
+    Backend,
+    BackendError,
+    BlockMeta,
+    MultiprocessBackend,
+    SerialBackend,
+    SharedSegmentAllocator,
+    Transport,
+    TransportTimeout,
+    attached_backend,
+    calibrate,
+    fit_alpha_beta,
+    measured_machine,
+    resolve_backend,
+    segment_moves,
+    shift_plan,
+    transfer_plan,
+)
+from .compiler import (
+    ALWAYS,
+    MAYBE,
+    NEVER,
+    TOP,
+    AccessKind,
+    AnalysisResult,
+    ArrayRef,
+    Assign,
+    Call,
+    CFG,
+    CFGEdge,
+    CFGNode,
+    CommEstimate,
+    DCaseStmt,
+    DistributeStmt,
+    If,
+    IRProgram,
+    LineSweepKernel,
+    Loop,
+    MemoryEstimate,
+    OptimizeStats,
+    PlausibleSet,
+    ProcDef,
+    ReachingDistributions,
+    StencilKernel,
+    Stmt,
+    analyze,
+    build_cfg,
+    decide_pattern,
+    decide_querylist,
+    dim_implies,
+    dim_overlaps,
+    estimate_memory,
+    estimate_ref,
+    infer_overlap,
+    lower_line_sweep,
+    lower_stencil,
+    optimize,
+    pattern_implies,
+    pattern_overlaps,
+    refine_pattern,
+)
+from .core import (
+    ANY,
+    DEFAULT,
+    Aligned,
+    Alignment,
+    ArrayDescriptor,
+    AxisMap,
+    Block,
+    ConnectClass,
+    Connection,
+    Cyclic,
+    DCase,
+    DimDist,
+    Distribution,
+    DistributionGenerator,
+    DistributionType,
+    DistributionUndefinedError,
+    DynamicAttr,
+    Extraction,
+    GenBlock,
+    IndexDomain,
+    Indirect,
+    NoDist,
+    QueryList,
+    Range,
+    Replicated,
+    SBlock,
+    TypePattern,
+    Wild,
+    clear_interning_caches,
+    construct,
+    dist_type,
+    get_generator,
+    idt,
+    intern_dimdist,
+    intern_distribution,
+    owners_cache_stats,
+    register_generator,
+)
+from .defaults import DEFAULT_SEED
+from .lang import (
+    Declaration,
+    FormalArg,
+    Procedure,
+    Scope,
+    VFProgram,
+    VFSyntaxError,
+    parse_alignment,
+    parse_declaration,
+    parse_dist_expr,
+    parse_pattern,
+    parse_processors,
+    parse_program,
+    parse_section,
+)
+from .machine import (
+    AllocationRecord,
+    Calibration,
+    CostModel,
+    IPSC860,
+    LocalMemory,
+    Machine,
+    MeasuredMachine,
+    MemoryError_,
+    MessageRecord,
+    MODERN_CLUSTER,
+    Network,
+    NetworkStats,
+    PARAGON,
+    PRESETS,
+    ProcessorArray,
+    ProcessorSection,
+    ZERO_COST,
+    grid_shapes,
+    link_matrix,
+    per_processor_table,
+    summary,
+    timeline_summary,
+    timeline_table,
+)
+from .planner import (
+    ArrayLoad,
+    CostEngine,
+    HandDistribute,
+    Phase,
+    PhaseSequence,
+    Plan,
+    PlanExecutor,
+    ScheduleStep,
+    SimulatedCostEngine,
+    Workload,
+    WORKLOADS,
+    adi_workload,
+    bind_pattern,
+    dim_menu,
+    dp_schedule,
+    enumerate_layouts,
+    extract_phases,
+    get_workload,
+    greedy_schedule,
+    hand_schedule_cost,
+    pic_workload,
+    plan_array,
+    plan_program,
+    plan_workload,
+    smoothing_workload,
+)
+from .runtime import (
+    BatchedReadAccessor,
+    CommSchedule,
+    DimTranslationTable,
+    DistributedArray,
+    Engine,
+    Inspector,
+    OverlapManager,
+    PlanCache,
+    ReadAccessor,
+    RedistributionReport,
+    TranslationTable,
+    broadcast_from,
+    communicate,
+    default_plan_cache,
+    forall,
+    forall_batched,
+    forall_gathered,
+    gather_to,
+    reduce_scalar,
+    shift_exchange,
+    transfer_matrix,
+    transfer_matrix_bruteforce,
+    transfer_matrix_naive,
+)
+from .sim import (
+    BlockingReplay,
+    BUSY_KINDS,
+    CriticalPath,
+    Event,
+    EventArrays,
+    EventKind,
+    EventLog,
+    Interval,
+    ProcClock,
+    Timeline,
+    classify_tag,
+    critical_path,
+    dump_json,
+    gantt,
+    overlappable_phases,
+    record,
+    relaxed_barriers,
+    replay_blocking,
+    replay_split_exchange,
+    simulate,
+    to_chrome_trace,
+    to_json,
+)
 
-_upper_all: list = []
-for _mod in (lang, compiler, planner, backend, sim):
-    for _name in _mod.__all__:
-        if _name not in globals():
-            globals()[_name] = getattr(_mod, _name)
-            _upper_all.append(_name)
-
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
+    # subpackages
+    "api",
+    "apps",
     "backend",
     "compiler",
     "lang",
     "perf",
     "planner",
     "sim",
-    *_core_all,
-    *_machine_all,
-    *_runtime_all,
-    *_upper_all,
+    # the session facade (repro.api)
+    "DEFAULT_SEED",
+    "SessionConfig",
+    "Session",
+    "session",
+    "SessionResult",
+    "PlanResult",
+    "RunResult",
+    "TraceResult",
+    "BenchResult",
+    "WorkloadHandle",
+    "WorkloadRegistry",
+    "WorkloadSpec",
+    "register_workload",
+    "available_workloads",
+    # distribution model (repro.core)
+    "IndexDomain",
+    "DimDist",
+    "Block",
+    "Cyclic",
+    "GenBlock",
+    "SBlock",
+    "NoDist",
+    "Replicated",
+    "Indirect",
+    "DistributionType",
+    "Distribution",
+    "dist_type",
+    "Alignment",
+    "AxisMap",
+    "construct",
+    "DynamicAttr",
+    "ConnectClass",
+    "Connection",
+    "Extraction",
+    "Aligned",
+    "ArrayDescriptor",
+    "DistributionUndefinedError",
+    "DistributionGenerator",
+    "register_generator",
+    "get_generator",
+    "ANY",
+    "DEFAULT",
+    "Wild",
+    "TypePattern",
+    "Range",
+    "idt",
+    "DCase",
+    "QueryList",
+    "intern_dimdist",
+    "intern_distribution",
+    "owners_cache_stats",
+    "clear_interning_caches",
+    # machine substrate (repro.machine)
+    "CostModel",
+    "IPSC860",
+    "PARAGON",
+    "MODERN_CLUSTER",
+    "ZERO_COST",
+    "PRESETS",
+    "Machine",
+    "MeasuredMachine",
+    "Calibration",
+    "LocalMemory",
+    "MemoryError_",
+    "AllocationRecord",
+    "Network",
+    "NetworkStats",
+    "MessageRecord",
+    "ProcessorArray",
+    "ProcessorSection",
+    "grid_shapes",
+    "per_processor_table",
+    "link_matrix",
+    "summary",
+    "timeline_table",
+    "timeline_summary",
+    # run time (repro.runtime)
+    "DistributedArray",
+    "Engine",
+    "forall",
+    "forall_gathered",
+    "forall_batched",
+    "ReadAccessor",
+    "BatchedReadAccessor",
+    "Inspector",
+    "CommSchedule",
+    "OverlapManager",
+    "RedistributionReport",
+    "PlanCache",
+    "communicate",
+    "default_plan_cache",
+    "transfer_matrix",
+    "transfer_matrix_naive",
+    "transfer_matrix_bruteforce",
+    "TranslationTable",
+    "DimTranslationTable",
+    "shift_exchange",
+    "gather_to",
+    "broadcast_from",
+    "reduce_scalar",
+    # surface syntax (repro.lang)
+    "VFSyntaxError",
+    "parse_dist_expr",
+    "parse_pattern",
+    "parse_alignment",
+    "parse_processors",
+    "parse_section",
+    "parse_program",
+    "Declaration",
+    "parse_declaration",
+    "VFProgram",
+    "Scope",
+    "Procedure",
+    "FormalArg",
+    # compiler (repro.compiler; IR `Block` deliberately omitted)
+    "AccessKind",
+    "ArrayRef",
+    "Assign",
+    "Call",
+    "DCaseStmt",
+    "DistributeStmt",
+    "If",
+    "IRProgram",
+    "Loop",
+    "ProcDef",
+    "Stmt",
+    "CFG",
+    "CFGEdge",
+    "CFGNode",
+    "build_cfg",
+    "ALWAYS",
+    "MAYBE",
+    "NEVER",
+    "TOP",
+    "PlausibleSet",
+    "decide_pattern",
+    "decide_querylist",
+    "dim_implies",
+    "dim_overlaps",
+    "pattern_implies",
+    "pattern_overlaps",
+    "refine_pattern",
+    "AnalysisResult",
+    "ReachingDistributions",
+    "analyze",
+    "CommEstimate",
+    "MemoryEstimate",
+    "estimate_ref",
+    "estimate_memory",
+    "infer_overlap",
+    "OptimizeStats",
+    "optimize",
+    "StencilKernel",
+    "LineSweepKernel",
+    "lower_stencil",
+    "lower_line_sweep",
+    # planner (repro.planner)
+    "ArrayLoad",
+    "Phase",
+    "PhaseSequence",
+    "HandDistribute",
+    "extract_phases",
+    "dim_menu",
+    "enumerate_layouts",
+    "CostEngine",
+    "SimulatedCostEngine",
+    "ScheduleStep",
+    "Plan",
+    "plan_array",
+    "dp_schedule",
+    "greedy_schedule",
+    "PlanExecutor",
+    "bind_pattern",
+    "plan_program",
+    "Workload",
+    "adi_workload",
+    "pic_workload",
+    "smoothing_workload",
+    "get_workload",
+    "plan_workload",
+    "hand_schedule_cost",
+    "WORKLOADS",
+    # execution backends (repro.backend)
+    "Backend",
+    "SerialBackend",
+    "MultiprocessBackend",
+    "BackendError",
+    "resolve_backend",
+    "attached_backend",
+    "calibrate",
+    "fit_alpha_beta",
+    "measured_machine",
+    "transfer_plan",
+    "segment_moves",
+    "shift_plan",
+    "Transport",
+    "TransportTimeout",
+    "BlockMeta",
+    "SharedSegmentAllocator",
+    # discrete-event simulator (repro.sim)
+    "Event",
+    "EventArrays",
+    "EventKind",
+    "EventLog",
+    "BlockingReplay",
+    "replay_blocking",
+    "replay_split_exchange",
+    "classify_tag",
+    "record",
+    "Interval",
+    "ProcClock",
+    "Timeline",
+    "BUSY_KINDS",
+    "simulate",
+    "relaxed_barriers",
+    "overlappable_phases",
+    "CriticalPath",
+    "critical_path",
+    "gantt",
+    "to_json",
+    "dump_json",
+    "to_chrome_trace",
 ]
-
-del _mod, _name

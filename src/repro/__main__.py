@@ -1,4 +1,4 @@
-"""``python -m repro`` — tour, planner, backend, trace and calibration CLI.
+"""``python -m repro`` — the session facade on the command line.
 
 With no arguments, runs a miniature version of each paper artifact
 (Figure 1 ADI, Figure 2 PIC, the §4 smoothing choice) and prints the
@@ -12,18 +12,22 @@ headline comparisons.  Subcommands::
     python -m repro calibrate --nprocs 2
     python -m repro bench --smoke --check
 
-``plan`` runs the automatic distribution planner on a named workload
-(``--cost-mode simulated`` prices against split-phase overlap
-semantics); ``run`` executes a workload on a chosen SPMD execution
-backend (``serial`` or ``multiprocess``), verifying multiprocess
-results bitwise against the serial reference; ``trace`` records a
-workload's typed event stream and replays it through the
-discrete-event simulator under blocking and split-phase semantics —
-per-processor timelines, Gantt chart, critical path, JSON export;
-``calibrate`` microbenchmarks the multiprocess transport, fits
-measured alpha/beta/flop-rate constants, and feeds the resulting
-MeasuredMachine to the planner.  ``plan`` and ``run`` accept
-``--json`` for machine-readable reports.
+Every subcommand goes through :mod:`repro.api`: one
+:func:`repro.session` per invocation owns the machine policy, backend,
+plan cache and seed, and the workload lists are enumerated from the
+:data:`repro.api.REGISTRY` — registering a new workload makes it
+appear in ``plan`` / ``run`` / ``trace`` automatically.
+
+``plan`` runs the automatic distribution planner (``--cost-mode
+simulated`` prices against split-phase overlap semantics); ``run``
+executes a workload on an SPMD backend (``serial`` |
+``multiprocess``), verifying multiprocess results bitwise against the
+serial reference; ``trace`` replays a workload's typed event stream
+through the discrete-event simulator under blocking and split-phase
+semantics; ``calibrate`` fits measured transport constants and plans
+against them; ``bench`` times the vectorized hot paths.  All
+subcommands accept ``--json`` for machine-readable reports and exit
+nonzero on failure instead of printing a traceback.
 
 The full tables live in ``benchmarks/`` (run
 ``pytest benchmarks/ --benchmark-disable -s``).
@@ -33,44 +37,70 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 from typing import Sequence
+
+COST_MODEL_CHOICES = ("iPSC/860", "Paragon", "modern", "zero")
+BACKEND_CHOICES = ("serial", "multiprocess")
+
+
+def _workload_params(args: argparse.Namespace) -> dict:
+    """Map the CLI's generic knobs onto the workload's registered
+    parameters (only the ones the workload accepts)."""
+    from .api import REGISTRY
+
+    defaults = REGISTRY.get(args.workload).defaults
+    params: dict = {}
+    for key in ("size", "iterations", "steps"):
+        if key in defaults and hasattr(args, key):
+            params[key] = getattr(args, key)
+    return params
+
+
+def _session(args: argparse.Namespace, **overrides):
+    from .api import session
+
+    kwargs = {
+        "nprocs": args.nprocs,
+        "cost_model": getattr(args, "cost_model", "Paragon"),
+    }
+    kwargs.update(overrides)
+    return session(**kwargs)
 
 
 def tour() -> None:
-    """The original one-screen tour of the reproduction."""
-    import numpy as np
-
-    from .apps.adi import run_adi
-    from .apps.pic import PICConfig, run_pic
+    """The original one-screen tour, through the session facade."""
+    from .api import session
     from .apps.smoothing import best_distribution
-    from .machine import IPSC860, Machine, MODERN_CLUSTER, PARAGON, ProcessorArray
+    from .machine import IPSC860, MODERN_CLUSTER, PARAGON
 
     print("repro — Dynamic Data Distributions in Vienna Fortran (SC'93)\n")
 
-    print("Figure 1 (ADI, 64x64, 4 procs, Paragon model):")
-    for strategy in ("dynamic", "planned", "static_cols"):
-        m = Machine(ProcessorArray("R", (4,)), cost_model=PARAGON)
-        r = run_adi(m, 64, 64, 2, strategy, seed=0)
-        print(
-            f"  {strategy:12s} sweep msgs={r.sweep_messages:4d}  "
-            f"redist msgs={r.redistribution.messages:3d}  "
-            f"time={r.total_time * 1e3:7.2f} ms"
-        )
+    with session(nprocs=4, cost_model="Paragon") as sess:
+        print("Figure 1 (ADI, 64x64, 4 procs, Paragon model):")
+        for strategy in ("dynamic", "planned", "static_cols"):
+            r = sess.workload(
+                "adi", size=64, iterations=2, strategy=strategy
+            ).run()
+            a = r.result
+            print(
+                f"  {strategy:12s} sweep msgs={a.sweep_messages:4d}  "
+                f"redist msgs={a.redistribution.messages:3d}  "
+                f"time={a.total_time * 1e3:7.2f} ms"
+            )
 
-    print("\nFigure 2 (PIC, 3000 particles drifting, 50 steps):")
-    for strategy in ("static", "bblock", "planned"):
-        m = Machine(ProcessorArray("P", (4,)), cost_model=PARAGON)
-        r = run_pic(
-            m,
-            PICConfig(
-                strategy=strategy, ncell=128, npart=3000, max_time=50,
-                nprocs=4, drift=0.006, seed=5,
-            ),
-        )
-        print(
-            f"  {strategy:8s} mean imbalance={r.mean_imbalance:5.2f}  "
-            f"max={r.max_imbalance:5.2f}  redistributions={r.redistributions}"
-        )
+        print("\nFigure 2 (PIC, 3000 particles drifting, 50 steps):")
+        for strategy in ("static", "bblock", "planned"):
+            r = sess.workload(
+                "pic", size=128, npart=3000, steps=50, strategy=strategy,
+                drift=0.006, seed=5,
+            ).run()
+            p = r.result
+            print(
+                f"  {strategy:8s} mean imbalance={p.mean_imbalance:5.2f}  "
+                f"max={p.max_imbalance:5.2f}  "
+                f"redistributions={p.redistributions}"
+            )
 
     print("\nSection 4 smoothing choice (N=128, p=16):")
     for model in (IPSC860, PARAGON, MODERN_CLUSTER):
@@ -79,140 +109,38 @@ def tour() -> None:
 
     print("\nSee examples/ and benchmarks/ for the full reproduction, and")
     print("`python -m repro plan <adi|pic|smoothing>` for the planner.")
-    del np
 
 
 def plan_command(args: argparse.Namespace) -> None:
     """Run the automatic distribution planner on a named workload."""
-    from .machine import PRESETS
-    from .planner import (
-        CostEngine,
-        SimulatedCostEngine,
-        get_workload,
-        hand_schedule_cost,
-        plan_workload,
-    )
-
-    cost_model = PRESETS[args.cost_model]
-    kwargs: dict = {"nprocs": args.nprocs, "cost_model": cost_model}
-    if args.workload == "adi":
-        kwargs.update(nx=args.size, ny=args.size, iterations=args.iterations)
-    elif args.workload == "pic":
-        kwargs.update(ncell=args.size, steps=args.steps)
-    else:
-        kwargs.update(n=args.size, steps=args.steps)
-    workload = get_workload(args.workload, **kwargs)
-
-    if args.cost_mode == "simulated":
-        engine: CostEngine = SimulatedCostEngine(workload.machine)
-    else:
-        engine = CostEngine(workload.machine)
-    plan = plan_workload(workload, cost_engine=engine, method=args.method)
-    hand = hand_schedule_cost(workload, cost_engine=engine)
+    with _session(args) as sess:
+        handle = sess.workload(args.workload, **_workload_params(args))
+        result = handle.plan(cost_mode=args.cost_mode, method=args.method)
     if args.json:
-        report = {
-            "workload": args.workload,
-            "description": workload.description,
-            "cost_model": cost_model.name,
-            "cost_mode": args.cost_mode,
-            "nprocs": args.nprocs,
-            "plan": plan.to_dict(),
-            "hand_schedule_cost": hand,
-        }
-        print(json.dumps(report, indent=2))
-        return
-    print(f"workload: {workload.description}")
-    print(plan.summary())
-    if hand is not None:
-        print(f"  paper's hand schedule: {hand:.3e}s")
-    best = plan.best_static
-    if best is not None:
-        if plan.total_cost > 0:
-            ratio = best[1] / plan.total_cost
-        else:
-            # both costs zero (e.g. the zero-cost model): equal, not inf
-            ratio = 1.0 if best[1] == 0 else float("inf")
-        print(
-            f"  planner vs best static: {plan.total_cost:.3e}s vs "
-            f"{best[1]:.3e}s ({ratio:.1f}x)"
-        )
+        print(result.json_str())
+    else:
+        print(result.summary())
 
 
 def run_command(args: argparse.Namespace) -> None:
     """Execute a workload on a chosen SPMD execution backend."""
     import numpy as np
 
-    from .apps.adi import run_adi
-    from .apps.pic import PICConfig, run_pic
-    from .apps.smoothing import run_smoothing
-    from .machine import Machine, PRESETS, ProcessorArray
-
-    cost_model = PRESETS[args.cost_model]
-
-    def execute(backend: str):
-        if args.workload == "adi":
-            machine = Machine(
-                ProcessorArray("R", (args.nprocs,)), cost_model=cost_model
-            )
-            r = run_adi(
-                machine, args.size, args.size, args.iterations,
-                strategy="dynamic", seed=0, backend=backend,
-            )
-            return r.solution, {
-                "sweep_msgs": r.sweep_messages,
-                "redist_msgs": r.redistribution.messages,
-                "modeled_time_ms": r.total_time * 1e3,
-            }
-        if args.workload == "pic":
-            machine = Machine(
-                ProcessorArray("P", (args.nprocs,)), cost_model=cost_model
-            )
-            cfg = PICConfig(
-                strategy="bblock", ncell=args.size, npart=8 * args.size,
-                max_time=args.steps, nprocs=args.nprocs, seed=0,
-            )
-            r = run_pic(machine, cfg, backend=backend)
-            sol = np.array(
-                [s.imbalance for s in r.steps], dtype=np.float64
-            )
-            return sol, {
-                "mean_imbalance": r.mean_imbalance,
-                "redistributions": r.redistributions,
-                "modeled_time_ms": r.total_time * 1e3,
-            }
-        r = run_smoothing(
-            args.size, args.steps, "columns", args.nprocs, cost_model,
-            seed=0, backend=backend,
-        )
-        return r.solution, {
-            "msgs_per_proc_step": r.msgs_per_proc_step,
-            "modeled_time_ms": r.time * 1e3,
-        }
-
-    solution, headline = execute(args.backend)
+    params = _workload_params(args)
+    with _session(args, backend=args.backend) as sess:
+        result = sess.workload(args.workload, **params).run()
     verified: bool | None = None
     if args.backend != "serial" and not args.no_verify:
-        reference, _ = execute("serial")
-        verified = bool(np.array_equal(solution, reference))
+        with _session(args, backend="serial") as sess:
+            reference = sess.workload(args.workload, **params).run()
+        verified = bool(np.array_equal(result.solution, reference.solution))
     if args.json:
-        report = {
-            "workload": args.workload,
-            "backend": args.backend,
-            "nprocs": args.nprocs,
-            "size": args.size,
-            "cost_model": cost_model.name,
-            "verified_against_serial": verified,
-            **headline,
-        }
-        print(json.dumps(report, indent=2))
+        print(json.dumps(
+            {**result.to_json(), "verified_against_serial": verified},
+            indent=2,
+        ))
     else:
-        print(
-            f"run {args.workload} (nprocs={args.nprocs}, size={args.size}, "
-            f"backend={args.backend}, cost model {cost_model.name})"
-        )
-        for k, v in headline.items():
-            shown = f"{v:.3f}" if isinstance(v, float) else str(v)
-            print(f"  {k:18s} {shown}")
+        print(result.summary())
         if verified is not None:
             print(f"  identical to serial backend: {verified}")
     if verified is False:
@@ -223,116 +151,27 @@ def run_command(args: argparse.Namespace) -> None:
 
 def trace_command(args: argparse.Namespace) -> None:
     """Record a workload's events; simulate blocking vs split-phase."""
-    from . import sim
-    from .machine import (
-        Machine,
-        PRESETS,
-        ProcessorArray,
-        timeline_summary,
-        timeline_table,
-    )
+    from .machine import timeline_table, timeline_summary
+    from .sim import critical_path, gantt
 
-    cost_model = PRESETS[args.cost_model]
-    log = sim.EventLog()
-
-    if args.workload == "adi":
-        from .apps.adi import run_adi
-
-        machine = Machine(
-            ProcessorArray("R", (args.nprocs,)), cost_model=cost_model
-        )
-        with sim.record(machine, log):
-            run_adi(
-                machine, args.size, args.size, args.iterations,
-                strategy="dynamic", seed=0,
-            )
-    elif args.workload == "smoothing":
-        from .apps.smoothing import run_smoothing
-
-        machine = Machine((args.nprocs,), cost_model=cost_model)
-        with sim.record(machine, log):
-            run_smoothing(
-                args.size, args.steps, "columns", args.nprocs,
-                cost_model, seed=0, machine=machine,
-            )
-    elif args.workload == "pic":
-        from .apps.pic import PICConfig, run_pic
-
-        machine = Machine(
-            ProcessorArray("P", (args.nprocs,)), cost_model=cost_model
-        )
-        with sim.record(machine, log):
-            run_pic(
-                machine,
-                PICConfig(
-                    strategy="bblock", ncell=args.size,
-                    npart=8 * args.size, max_time=args.steps,
-                    nprocs=args.nprocs, seed=0,
-                ),
-            )
-    else:  # irregular
-        from .apps.irregular import make_mesh, run_relaxation
-
-        machine = Machine(
-            ProcessorArray("P", (args.nprocs,)), cost_model=cost_model
-        )
-        graph = make_mesh(args.size, seed=0)
-        with sim.record(machine, log):
-            run_relaxation(
-                machine, graph, "partitioned", sweeps=args.steps, seed=0
-            )
-
-    blocking = sim.simulate(
-        log, machine.cost_model, machine.nprocs, overlap=False
-    )
-    split = sim.simulate(
-        log, machine.cost_model, machine.nprocs, overlap=True
-    )
-    exact = blocking.clocks == machine.network.clocks
-    cp_blocking = sim.critical_path(blocking)
-    cp_split = sim.critical_path(split)
+    with _session(args) as sess:
+        result = sess.workload(args.workload, **_workload_params(args)).trace()
 
     if args.json:
-        report = {
-            "workload": args.workload,
-            "nprocs": args.nprocs,
-            "size": args.size,
-            "cost_model": cost_model.name,
-            "events": log.counts(),
-            "matches_aggregate_accounting": exact,
-            "blocking": sim.to_json(
-                blocking, critical=cp_blocking, intervals=not args.compact
-            ),
-            "split_phase": sim.to_json(
-                split, critical=cp_split, intervals=not args.compact
-            ),
-        }
-        print(json.dumps(report, indent=2))
+        print(json.dumps(result.to_json(intervals=not args.compact), indent=2))
         return
 
-    print(
-        f"trace {args.workload} (nprocs={args.nprocs}, size={args.size}, "
-        f"cost model {cost_model.name})"
-    )
-    print(f"  events: {log.counts()}")
-    print(f"  matches aggregate accounting bit for bit: {exact}")
-    print(f"  blocking:    {blocking.summary()}")
-    print(f"  split-phase: {split.summary()}")
-    if blocking.makespan > 0:
-        reduction = 1.0 - split.makespan / blocking.makespan
-        print(
-            f"  split-phase overlap hides {reduction:.1%} of the "
-            f"blocking makespan"
-        )
+    blocking, split = result.blocking, result.split
+    print(result.summary())
     print(f"\nper-processor timeline ({blocking.cost_model}, blocking):")
     print(timeline_table(blocking))
-    print(f"\n{timeline_summary(blocking, machine)}")
+    print(f"\n{timeline_summary(blocking)}")
     print("\nblocking:")
-    print(sim.gantt(blocking, width=args.width))
+    print(gantt(blocking, width=args.width))
     print("\nsplit-phase:")
-    print(sim.gantt(split, width=args.width))
-    print(f"\nblocking    {cp_blocking.summary()}")
-    print(f"split-phase {cp_split.summary()}")
+    print(gantt(split, width=args.width))
+    print(f"\nblocking    {critical_path(blocking).summary()}")
+    print(f"split-phase {critical_path(split).summary()}")
 
 
 def bench_command(args: argparse.Namespace) -> None:
@@ -340,41 +179,70 @@ def bench_command(args: argparse.Namespace) -> None:
     from .perf import run_harness
 
     mode = "smoke" if args.smoke else "full"
-    print(f"perf harness ({mode} sizes; wall-clock informational, "
-          f"op counts asserted{' [--check]' if args.check else ''}):")
-    run_harness(
+    if not args.json:
+        print(f"perf harness ({mode} sizes; wall-clock informational, "
+              f"op counts asserted{' [--check]' if args.check else ''}):")
+    report = run_harness(
         smoke=args.smoke,
         out=args.out,
         check=args.check,
         benches=args.only or None,
+        quiet=args.json,
     )
+    if args.json:
+        print(json.dumps(report, indent=2))
 
 
 def calibrate_command(args: argparse.Namespace) -> None:
     """Calibrate the multiprocess transport; plan against the fit."""
     from .backend.calibrate import calibrate
     from .machine import MeasuredMachine, ProcessorArray
-    from .planner import CostEngine, adi_workload, plan_workload
+    from .planner import CostEngine, adi_workload
+    from .planner.workloads import _plan_workload
 
-    print(
-        f"calibrating multiprocess transport "
-        f"(nprocs={args.nprocs}, repeats={args.repeats}) ..."
-    )
+    if not args.json:
+        print(
+            f"calibrating multiprocess transport "
+            f"(nprocs={args.nprocs}, repeats={args.repeats}) ..."
+        )
     cal = calibrate(nprocs=args.nprocs, repeats=args.repeats)
+    machine = MeasuredMachine(ProcessorArray("M", (args.nprocs,)), cal)
+    workload = adi_workload(32, 32, iterations=2, machine=machine)
+    plan = _plan_workload(workload, cost_engine=CostEngine(machine))
+
+    if args.json:
+        print(json.dumps(
+            {
+                "nprocs": args.nprocs,
+                "repeats": args.repeats,
+                "alpha_s": cal.alpha,
+                "beta_s_per_byte": cal.beta,
+                "flop_rate": cal.flop_rate,
+                "residual_s": cal.residual,
+                "source": cal.source,
+                "samples": [
+                    {"bytes": int(n), "seconds": float(s)}
+                    for n, s in cal.samples
+                ],
+                "plan": plan.to_dict(),
+            },
+            indent=2,
+        ))
+        return
     print(f"  {cal.summary()}")
     for nbytes, seconds in cal.samples:
         print(f"    {nbytes:>9d} B  {seconds * 1e6:10.2f} us one-way")
-
-    machine = MeasuredMachine(ProcessorArray("M", (args.nprocs,)), cal)
     print(f"\nplanner on the measured machine: {machine!r}")
-    workload = adi_workload(32, 32, iterations=2, machine=machine)
-    plan = plan_workload(workload, cost_engine=CostEngine(machine))
     print(plan.summary())
 
 
-def main(argv: Sequence[str] | None = None) -> None:
-    # None means "no CLI arguments" (the tour): callers that want real
-    # argv pass sys.argv[1:] explicitly (see __main__ guard below).
+def build_parser() -> argparse.ArgumentParser:
+    from .api import REGISTRY
+    from .perf import BENCHES
+
+    workload_names = REGISTRY.names()
+    plannable = REGISTRY.plannable_names()
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Vienna Fortran dynamic-distribution reproduction.",
@@ -383,7 +251,7 @@ def main(argv: Sequence[str] | None = None) -> None:
     p = sub.add_parser(
         "plan", help="run the automatic distribution planner on a workload"
     )
-    p.add_argument("workload", choices=("adi", "pic", "smoothing"))
+    p.add_argument("workload", choices=plannable)
     p.add_argument("--nprocs", type=int, default=4)
     p.add_argument("--size", type=int, default=64,
                    help="grid/cell extent (NX=NY for adi, NCELL for pic, N "
@@ -393,7 +261,7 @@ def main(argv: Sequence[str] | None = None) -> None:
     p.add_argument("--steps", type=int, default=50,
                    help="time steps (pic, smoothing)")
     p.add_argument("--cost-model", default="Paragon",
-                   choices=("iPSC/860", "Paragon", "modern", "zero"))
+                   choices=COST_MODEL_CHOICES)
     p.add_argument("--method", default="auto",
                    choices=("auto", "dp", "greedy"))
     p.add_argument("--cost-mode", default="model",
@@ -407,19 +275,18 @@ def main(argv: Sequence[str] | None = None) -> None:
     r = sub.add_parser(
         "run", help="execute a workload on an SPMD execution backend"
     )
-    r.add_argument("workload", choices=("adi", "pic", "smoothing"))
-    r.add_argument("--backend", default="serial",
-                   choices=("serial", "multiprocess"))
+    r.add_argument("workload", choices=workload_names)
+    r.add_argument("--backend", default="serial", choices=BACKEND_CHOICES)
     r.add_argument("--nprocs", type=int, default=4)
     r.add_argument("--size", type=int, default=32,
-                   help="grid/cell extent (NX=NY for adi, NCELL for pic, "
-                        "N for smoothing)")
+                   help="grid/cell/mesh extent (NX=NY for adi, NCELL for "
+                        "pic, N for smoothing, nodes for irregular)")
     r.add_argument("--iterations", type=int, default=2,
                    help="ADI outer iterations")
     r.add_argument("--steps", type=int, default=10,
-                   help="time steps (pic, smoothing)")
+                   help="time steps / sweeps (pic, smoothing, irregular)")
     r.add_argument("--cost-model", default="Paragon",
-                   choices=("iPSC/860", "Paragon", "modern", "zero"))
+                   choices=COST_MODEL_CHOICES)
     r.add_argument("--no-verify", action="store_true",
                    help="skip the bitwise comparison against the "
                         "serial backend")
@@ -431,7 +298,7 @@ def main(argv: Sequence[str] | None = None) -> None:
         help="record a workload's typed events and replay them through "
              "the discrete-event simulator (blocking vs split-phase)",
     )
-    t.add_argument("workload", choices=("adi", "pic", "smoothing", "irregular"))
+    t.add_argument("workload", choices=workload_names)
     t.add_argument("--nprocs", type=int, default=4)
     t.add_argument("--size", type=int, default=32,
                    help="grid/cell/mesh extent (NX=NY for adi, NCELL for "
@@ -441,7 +308,7 @@ def main(argv: Sequence[str] | None = None) -> None:
     t.add_argument("--steps", type=int, default=10,
                    help="time steps / sweeps (pic, smoothing, irregular)")
     t.add_argument("--cost-model", default="Paragon",
-                   choices=("iPSC/860", "Paragon", "modern", "zero"))
+                   choices=COST_MODEL_CHOICES)
     t.add_argument("--width", type=int, default=72,
                    help="Gantt chart width in characters")
     t.add_argument("--json", action="store_true",
@@ -456,8 +323,9 @@ def main(argv: Sequence[str] | None = None) -> None:
     )
     c.add_argument("--nprocs", type=int, default=2)
     c.add_argument("--repeats", type=int, default=7)
-
-    from .perf import BENCHES
+    c.add_argument("--json", action="store_true",
+                   help="emit the fitted constants and the plan on the "
+                        "measured machine as JSON")
 
     b = sub.add_parser(
         "bench",
@@ -473,23 +341,39 @@ def main(argv: Sequence[str] | None = None) -> None:
                    help="output JSON path ('' to skip writing)")
     b.add_argument("--only", nargs="*", choices=sorted(BENCHES),
                    help="run only the named benches")
+    b.add_argument("--json", action="store_true",
+                   help="emit the bench report as machine-readable JSON")
+    return parser
 
+
+COMMANDS = {
+    "plan": plan_command,
+    "run": run_command,
+    "trace": trace_command,
+    "calibrate": calibrate_command,
+    "bench": bench_command,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    # None means "no CLI arguments" (the tour): callers that want real
+    # argv pass sys.argv[1:] explicitly (see __main__ guard below).
+    parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else [])
-    if args.command == "plan":
-        plan_command(args)
-    elif args.command == "run":
-        run_command(args)
-    elif args.command == "trace":
-        trace_command(args)
-    elif args.command == "calibrate":
-        calibrate_command(args)
-    elif args.command == "bench":
-        bench_command(args)
-    else:
-        tour()
+    command = COMMANDS.get(args.command, lambda _args: tour())
+    try:
+        command(args)
+    except SystemExit:
+        raise
+    except BrokenPipeError:
+        raise
+    except Exception as exc:
+        # a failed subcommand is a nonzero exit and one stderr line,
+        # not a traceback (CLI hardening; --json consumers rely on
+        # stdout staying parseable)
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(1) from exc
 
 
 if __name__ == "__main__":
-    import sys
-
     main(sys.argv[1:])

@@ -1,0 +1,59 @@
+"""``repro.api`` — the stable public facade.
+
+One import gives the whole surface::
+
+    import repro
+
+    with repro.session(nprocs=4, cost_model="Paragon",
+                       backend="multiprocess", record_events=True) as sess:
+        handle = sess.workload("adi", size=64, iterations=4)
+        plan = handle.plan(cost_mode="simulated")   # PlanResult
+        run = handle.run()                          # RunResult
+        trace = handle.trace()                      # TraceResult
+        bench = handle.bench(repeats=3)             # BenchResult
+
+All four stage results share ``.summary()`` / ``.to_json()`` /
+``.json_str()``.  New scenarios plug in with one decorator
+(:func:`register_workload`); the CLI and the session enumerate the
+same registry, so a registered workload immediately gains ``plan`` /
+``run`` / ``trace`` / ``bench`` spellings everywhere.
+"""
+
+from .config import BACKEND_NAMES, DEFAULT_SEED, SessionConfig, resolve_cost_model
+from .registry import (
+    REGISTRY,
+    ExecutionOutcome,
+    WorkloadContext,
+    WorkloadRegistry,
+    WorkloadSpec,
+    available_workloads,
+    register_workload,
+)
+from .results import BenchResult, PlanResult, RunResult, SessionResult, TraceResult
+from .handles import WorkloadHandle
+from .session import Session, session
+from . import workloads as _builtin_workloads  # registers adi/pic/smoothing/...
+
+__all__ = [
+    "BACKEND_NAMES",
+    "DEFAULT_SEED",
+    "SessionConfig",
+    "resolve_cost_model",
+    "REGISTRY",
+    "ExecutionOutcome",
+    "WorkloadContext",
+    "WorkloadRegistry",
+    "WorkloadSpec",
+    "available_workloads",
+    "register_workload",
+    "SessionResult",
+    "PlanResult",
+    "RunResult",
+    "TraceResult",
+    "BenchResult",
+    "WorkloadHandle",
+    "Session",
+    "session",
+]
+
+del _builtin_workloads

@@ -1,0 +1,211 @@
+"""Workload handles — the fluent stages of the session facade.
+
+``sess.workload("adi", size=64)`` returns a :class:`WorkloadHandle`;
+its stages execute independently on fresh machines built from the
+session config, so every stage is deterministic in the config alone::
+
+    with repro.session(nprocs=4, cost_model="Paragon") as sess:
+        w = sess.workload("adi", size=64, iterations=4)
+        plan = w.plan()                  # PlanResult: the schedule
+        run = w.run()                    # RunResult: solution + metrics
+        trace = w.trace()                # TraceResult: event timelines
+        bench = w.bench(repeats=3)       # BenchResult: wall clock
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from .registry import ExecutionOutcome, WorkloadContext, WorkloadSpec
+from .results import BenchResult, PlanResult, RunResult, TraceResult
+
+if TYPE_CHECKING:
+    from ..machine.machine import Machine
+    from ..sim.events import EventLog
+    from .session import Session
+
+__all__ = ["WorkloadHandle"]
+
+
+class WorkloadHandle:
+    """One workload bound to a session and a parameter set."""
+
+    def __init__(self, session: "Session", spec: WorkloadSpec, params: dict):
+        self._session = session
+        self._spec = spec
+        overrides = dict(params)
+        #: per-handle seed override; defaults to the session seed
+        self.seed = int(overrides.pop("seed", session.config.seed))
+        self.params = spec.resolve_params(overrides)
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._spec.name
+
+    @property
+    def plannable(self) -> bool:
+        return self._spec.plannable
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadHandle({self.name!r}, params={self.params}, "
+            f"seed={self.seed})"
+        )
+
+    # -- context building --------------------------------------------------
+    def _context(self, with_machine: bool = True) -> WorkloadContext:
+        sess = self._session
+        ctx = WorkloadContext(
+            name=self.name,
+            nprocs=sess.config.nprocs,
+            cost_model=sess.cost_model,
+            seed=self.seed,
+            params=dict(self.params),
+        )
+        if with_machine:
+            ctx.machine = self._spec.make_machine(ctx)
+        return ctx
+
+    def _execute(
+        self, ctx: WorkloadContext, log: "EventLog | None"
+    ) -> ExecutionOutcome:
+        """Run the spec on ``ctx.machine`` under the session backend,
+        optionally recording typed events into ``log``."""
+        from ..sim.events import record
+
+        machine: "Machine" = ctx.machine
+        with self._session.attach(machine):
+            if log is not None:
+                with record(machine, log):
+                    return self._spec.execute(ctx)
+            return self._spec.execute(ctx)
+
+    # -- stages ------------------------------------------------------------
+    def plan(self, cost_mode: str = "model", method: str = "auto") -> PlanResult:
+        """Run the automatic distribution planner on this workload.
+
+        ``cost_mode`` is ``"model"`` (closed-form aggregates) or
+        ``"simulated"`` (the discrete-event simulator's split-phase
+        overlap semantics); ``method`` is ``"auto"`` | ``"dp"`` |
+        ``"greedy"``.
+        """
+        from ..planner.costs import CostEngine, SimulatedCostEngine
+        from ..planner.workloads import _plan_workload, hand_schedule_cost
+
+        ctx = self._context(with_machine=False)
+        workload = self._spec.planning_problem(ctx)
+        if cost_mode == "simulated":
+            engine: CostEngine = SimulatedCostEngine(workload.machine)
+        elif cost_mode == "model":
+            engine = CostEngine(
+                workload.machine, plan_cache=self._session.plan_cache
+            )
+        else:
+            raise ValueError(
+                f"cost_mode must be 'model' or 'simulated', got {cost_mode!r}"
+            )
+        plan = _plan_workload(workload, cost_engine=engine, method=method)
+        hand = hand_schedule_cost(workload, cost_engine=engine)
+        return PlanResult(
+            workload=self.name,
+            description=workload.description,
+            cost_model=self._session.cost_model.name,
+            cost_mode=cost_mode,
+            method=method,
+            nprocs=self._session.config.nprocs,
+            plan=plan,
+            hand_cost=hand,
+        )
+
+    def run(self) -> RunResult:
+        """Execute the workload on a fresh machine; returns the typed
+        result (solution, headline metrics, per-processor clocks, and —
+        when the session records events — the typed event log)."""
+        from ..sim.events import EventLog
+
+        ctx = self._context()
+        log = EventLog() if self._session.config.record_events else None
+        outcome = self._execute(ctx, log)
+        machine = ctx.machine
+        stats = machine.stats()
+        return RunResult(
+            workload=self.name,
+            backend=self._session.config.backend_name,
+            nprocs=self._session.config.nprocs,
+            seed=self.seed,
+            cost_model=self._session.cost_model.name,
+            params=dict(self.params),
+            headline=dict(outcome.headline),
+            solution=outcome.solution,
+            clocks=tuple(machine.network.clocks),
+            messages=stats.messages,
+            bytes=stats.bytes,
+            time=stats.time,
+            result=outcome.result,
+            events=log,
+        )
+
+    def trace(self, overlap: bool | None = None) -> TraceResult:
+        """Execute the workload recording typed events, then replay
+        them through the discrete-event simulator.
+
+        ``overlap=None`` simulates both semantics (blocking and
+        split-phase); ``False`` or ``True`` simulates just one.
+        """
+        from ..sim.events import EventLog
+        from ..sim.simulate import simulate
+
+        ctx = self._context()
+        log = EventLog()
+        self._execute(ctx, log)
+        machine = ctx.machine
+        blocking = split = None
+        matches = None
+        if overlap is not True:
+            blocking = simulate(
+                log, machine.cost_model, machine.nprocs, overlap=False
+            )
+            matches = blocking.clocks == machine.network.clocks
+        if overlap is not False:
+            split = simulate(
+                log, machine.cost_model, machine.nprocs, overlap=True
+            )
+        return TraceResult(
+            workload=self.name,
+            nprocs=self._session.config.nprocs,
+            seed=self.seed,
+            cost_model=self._session.cost_model.name,
+            params=dict(self.params),
+            events=log,
+            blocking=blocking,
+            split=split,
+            matches_aggregate=matches,
+        )
+
+    def bench(self, repeats: int = 3) -> BenchResult:
+        """Wall-clock the workload over ``repeats`` independent runs
+        (fresh machine each time; modeled machine time rides along)."""
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        wall: list[float] = []
+        outcome = None
+        machine = None
+        for _ in range(repeats):
+            ctx = self._context()
+            t0 = time.perf_counter()
+            outcome = self._execute(ctx, None)
+            wall.append(time.perf_counter() - t0)
+            machine = ctx.machine
+        return BenchResult(
+            workload=self.name,
+            backend=self._session.config.backend_name,
+            nprocs=self._session.config.nprocs,
+            seed=self.seed,
+            cost_model=self._session.cost_model.name,
+            params=dict(self.params),
+            wall_times=wall,
+            modeled_time=machine.time,
+            headline=dict(outcome.headline),
+        )

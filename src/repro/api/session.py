@@ -1,0 +1,183 @@
+"""The :class:`Session` facade — one object over machine, planner,
+backends, and the simulator.
+
+A session resolves a :class:`~repro.api.SessionConfig` once (cost
+model, processor count, backend, event recording, RNG seed) and hands
+out fluent workload handles::
+
+    import repro
+
+    with repro.session(nprocs=4, cost_model="Paragon") as sess:
+        result = sess.workload("adi", size=64, iterations=4).run()
+        plan = sess.workload("adi", size=64, iterations=4).plan()
+
+Power users that need the raw Vienna Fortran Engine get it from the
+same facade — :meth:`Session.engine` — with the session's plan cache
+and backend already wired::
+
+    with repro.session(nprocs=4) as sess:
+        vfe = sess.engine()          # an Engine on a session machine
+        V = vfe.declare("V", (100, 100), ...)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Sequence
+
+from ..backend.base import Backend, attached_backend, resolve_backend
+from ..defaults import DEFAULT_SEED
+from ..machine.cost_model import CostModel
+from ..machine.machine import Machine
+from ..machine.topology import ProcessorArray
+from ..runtime.engine import Engine
+from ..runtime.redistribute import PlanCache
+from .config import SessionConfig
+from .handles import WorkloadHandle
+from .registry import REGISTRY, WorkloadRegistry
+
+__all__ = ["Session", "session"]
+
+
+class Session:
+    """One configured entry point to the whole reproduction.
+
+    Owns the plan cache, the backend policy, the cost model and the
+    RNG seed; builds machines and engines on demand; enumerates the
+    workload registry.  Context-manager use closes any backends the
+    session constructed for ad-hoc engines.
+    """
+
+    def __init__(
+        self,
+        config: SessionConfig | None = None,
+        registry: WorkloadRegistry | None = None,
+    ):
+        self.config = (config or SessionConfig()).validate()
+        self.registry = registry if registry is not None else REGISTRY
+        #: the cost model, resolved once
+        self.cost_model: CostModel = self.config.resolved_cost_model()
+        #: memoized transfer plans shared by everything the session runs
+        self.plan_cache = PlanCache()
+        self._owned_backends: list[Backend] = []
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Close every backend this session constructed."""
+        backends, self._owned_backends = self._owned_backends, []
+        for backend in backends:
+            backend.close()
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- machines and engines ----------------------------------------------
+    @contextmanager
+    def attach(self, machine: Machine):
+        """Attach the session's backend policy to ``machine`` for one
+        run.  A name spec ("serial"/"multiprocess") or a Backend
+        subclass constructs a fresh backend and closes it on exit
+        (workers and shared segments released); ``None`` runs with
+        whatever is already attached."""
+        b = self.config.backend
+        if isinstance(b, type):
+            backend = b()
+            backend.attach(machine)
+            try:
+                yield backend
+            finally:
+                backend.close()
+        else:
+            with attached_backend(machine, b) as backend:
+                yield backend
+
+    def machine(
+        self,
+        shape: Sequence[int] | None = None,
+        name: str = "P",
+        cost_model: CostModel | None = None,
+    ) -> Machine:
+        """A fresh machine with the session's cost model (``shape``
+        defaults to a 1-D array of ``config.nprocs`` processors)."""
+        procs = ProcessorArray(name, tuple(shape or (self.config.nprocs,)))
+        return Machine(procs, cost_model=cost_model or self.cost_model)
+
+    def engine(
+        self,
+        machine: Machine | None = None,
+        *,
+        shape: Sequence[int] | None = None,
+        name: str = "P",
+    ) -> Engine:
+        """A Vienna Fortran Engine on ``machine`` (or a fresh session
+        machine), sharing the session's plan cache and backend.
+
+        This is the supported replacement for the deprecated bare
+        ``Engine(machine)`` construction.
+        """
+        if machine is None:
+            machine = self.machine(shape=shape, name=name)
+        if self.config.backend is not None and machine.backend is None:
+            b = self.config.backend
+            backend = resolve_backend(b() if isinstance(b, type) else b)
+            backend.attach(machine)
+            self._owned_backends.append(backend)
+        return Engine._create(machine, plan_cache=self.plan_cache)
+
+    # -- workloads ---------------------------------------------------------
+    def workloads(self) -> tuple[str, ...]:
+        """Names of every registered workload."""
+        return self.registry.names()
+
+    def workload(self, name: str, **params) -> WorkloadHandle:
+        """A fluent handle on the named workload.
+
+        ``params`` override the workload's registered defaults; the
+        keyword-only ``seed`` overrides the session seed.  Unknown
+        parameters raise ``TypeError``; unknown names raise
+        ``KeyError`` listing what is registered.
+        """
+        return WorkloadHandle(self, self.registry.get(name), params)
+
+    def describe(self) -> dict:
+        """The session's resolved configuration (JSON-serializable)."""
+        return {**self.config.to_json(), "workloads": list(self.workloads())}
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"Session(nprocs={self.config.nprocs}, "
+            f"cost_model={self.cost_model.name!r}, "
+            f"backend={self.config.backend_name!r}, "
+            f"seed={self.config.seed}, {state})"
+        )
+
+
+def session(
+    nprocs: int = 4,
+    cost_model: CostModel | str = "Paragon",
+    backend: str | type | None = None,
+    record_events: bool = False,
+    seed: int = DEFAULT_SEED,
+    registry: WorkloadRegistry | None = None,
+) -> Session:
+    """Open a :class:`Session` — the one public entry point.
+
+    >>> with repro.session(nprocs=4, cost_model="Paragon") as sess:
+    ...     sess.workload("adi", size=64).run().summary()
+    """
+    return Session(
+        SessionConfig(
+            nprocs=nprocs,
+            cost_model=cost_model,
+            backend=backend,
+            record_events=record_events,
+            seed=seed,
+        ),
+        registry=registry,
+    )

@@ -11,7 +11,7 @@
   and optimal contiguous partitioners).
 """
 
-from .adi import ADIResult, PhaseStats, adi_reference, run_adi
+from .adi import ADIResult, PhaseStats, adi_reference, execute_adi, run_adi
 
 try:  # the unstructured-mesh workload needs networkx (optional)
     from .irregular import (  # noqa: F401
@@ -27,10 +27,11 @@ try:  # the unstructured-mesh workload needs networkx (optional)
 except ImportError:  # pragma: no cover - exercised only without networkx
     _HAVE_NETWORKX = False
 from .load_balance import balance_greedy, balance_optimal, block_loads, imbalance
-from .pic import PICConfig, PICResult, StepRecord, initpos, run_pic
+from .pic import PICConfig, PICResult, StepRecord, execute_pic, initpos, run_pic
 from .smoothing import (
     SmoothingResult,
     best_distribution,
+    execute_smoothing,
     predicted_step_cost,
     run_smoothing,
     smooth_step_func,
@@ -42,6 +43,7 @@ __all__ = [
     "ADIResult",
     "PhaseStats",
     "run_adi",
+    "execute_adi",
     "adi_reference",
     "balance_greedy",
     "balance_optimal",
@@ -51,9 +53,11 @@ __all__ = [
     "PICResult",
     "StepRecord",
     "run_pic",
+    "execute_pic",
     "initpos",
     "SmoothingResult",
     "run_smoothing",
+    "execute_smoothing",
     "smoothing_reference",
     "smooth_step_func",
     "predicted_step_cost",

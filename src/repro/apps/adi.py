@@ -43,6 +43,7 @@ import numpy as np
 from ..backend.base import Backend, attached_backend
 from ..compiler.codegen import LineSweepKernel
 from ..core.distribution import dist_type
+from ..defaults import DEFAULT_SEED
 from ..machine.machine import Machine
 from ..machine.network import NetworkStats
 from ..runtime.darray import DistributedArray
@@ -50,7 +51,7 @@ from ..runtime.engine import Engine
 from ..runtime.redistribute import transfer_matrix
 from .tridiag import thomas_const
 
-__all__ = ["ADIResult", "PhaseStats", "run_adi", "adi_reference"]
+__all__ = ["ADIResult", "PhaseStats", "run_adi", "execute_adi", "adi_reference"]
 
 STRATEGIES = ("dynamic", "static_cols", "static_rows", "two_arrays", "planned")
 
@@ -150,7 +151,44 @@ def run_adi(
     a: float = -1.0,
     b: float = 4.0,
     grid: np.ndarray | None = None,
-    seed: int = 0,
+    seed: int = DEFAULT_SEED,
+    backend: Backend | str | None = None,
+) -> ADIResult:
+    """Deprecated free-function spelling of the ADI workload.
+
+    Use the session facade instead::
+
+        with repro.session(nprocs=4) as sess:
+            result = sess.workload("adi", size=64, iterations=4).run()
+
+    (:func:`execute_adi` is the implementation; results are
+    bitwise-identical.)
+    """
+    import warnings
+
+    warnings.warn(
+        "run_adi() is deprecated; use repro.session(...) and "
+        "Session.workload('adi', ...).run() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_adi(
+        machine, nx, ny, iterations, strategy, a, b, grid,
+        seed=seed, backend=backend,
+    )
+
+
+def execute_adi(
+    machine: Machine,
+    nx: int,
+    ny: int,
+    iterations: int = 1,
+    strategy: str = "dynamic",
+    a: float = -1.0,
+    b: float = 4.0,
+    grid: np.ndarray | None = None,
+    *,
+    seed: int = DEFAULT_SEED,
     backend: Backend | str | None = None,
 ) -> ADIResult:
     """Run the Figure 1 ADI iteration under ``strategy``.
@@ -190,7 +228,7 @@ def _run_adi(
     b: float,
     grid: np.ndarray,
 ) -> ADIResult:
-    engine = Engine(machine)
+    engine = Engine._create(machine)
     machine.reset_network()
     result = ADIResult(strategy, nx, ny, iterations, machine.nprocs)
 
@@ -226,11 +264,12 @@ def _run_adi(
         final = v1
     elif strategy == "planned":
         from ..compiler.ir import AccessKind
-        from ..planner import CostEngine, adi_workload, plan_workload
+        from ..planner import CostEngine, adi_workload
+        from ..planner.workloads import _plan_workload
 
         workload = adi_workload(nx, ny, iterations, machine=machine)
         cost_engine = CostEngine(machine, plan_cache=engine.plan_cache)
-        plan = plan_workload(workload, cost_engine=cost_engine)
+        plan = _plan_workload(workload, cost_engine=cost_engine)
         v = engine.declare("V", (nx, ny), dist=workload.initial, dynamic=True)
         v.from_global(grid)
         x_kernel = LineSweepKernel(v, 0, line)

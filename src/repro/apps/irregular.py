@@ -38,6 +38,7 @@ import numpy as np
 
 from ..core.dimdist import Block, Indirect
 from ..core.distribution import DistributionType
+from ..defaults import DEFAULT_SEED
 from ..machine.machine import Machine
 from ..runtime.engine import Engine
 
@@ -53,7 +54,7 @@ __all__ = [
 
 def make_mesh(
     n: int,
-    seed: int = 0,
+    seed: int = DEFAULT_SEED,
     kind: str = "geometric",
     rng: np.random.Generator | None = None,
 ) -> nx.Graph:
@@ -91,7 +92,7 @@ def make_mesh(
 def partition_bfs(
     graph: nx.Graph,
     nparts: int,
-    seed: int = 0,
+    seed: int = DEFAULT_SEED,
     rng: np.random.Generator | None = None,
 ) -> np.ndarray:
     """Grow ``nparts`` balanced parts by BFS from spread-out seeds.
@@ -207,7 +208,7 @@ def run_relaxation(
     graph: nx.Graph,
     distribution: str = "partitioned",
     sweeps: int = 3,
-    seed: int = 0,
+    seed: int = DEFAULT_SEED,
     rng: np.random.Generator | None = None,
 ) -> RelaxationResult:
     """Edge-based Jacobi relaxation through the inspector/executor.
@@ -226,7 +227,7 @@ def run_relaxation(
     """
     n = graph.number_of_nodes()
     p = machine.nprocs
-    engine = Engine(machine)
+    engine = Engine._create(machine)
     if distribution == "block":
         dd = Block()
         owner_vec = dd.owners_vec(n, p)

@@ -45,6 +45,7 @@ import numpy as np
 from ..backend.base import Backend, attached_backend
 from ..core.dimdist import Block, GenBlock, NoDist
 from ..core.distribution import DistributionType
+from ..defaults import DEFAULT_SEED
 from ..machine.machine import Machine
 from ..runtime.engine import Engine
 from .load_balance import balance_greedy
@@ -54,6 +55,7 @@ __all__ = [
     "StepRecord",
     "PICResult",
     "run_pic",
+    "execute_pic",
     "initpos",
     "reflected_position",
 ]
@@ -76,7 +78,7 @@ class PICConfig:
     particle_bytes: int = 32    # payload per reassigned particle
     #: "bblock" (Figure 2) | "static" baseline | "planned" (cost-driven)
     strategy: str = "bblock"
-    seed: int = 0
+    seed: int = DEFAULT_SEED
 
 
 @dataclass
@@ -159,6 +161,33 @@ def run_pic(
     rng: np.random.Generator | None = None,
     backend: Backend | str | None = None,
 ) -> PICResult:
+    """Deprecated free-function spelling of the PIC workload.
+
+    Use the session facade instead::
+
+        with repro.session(nprocs=4) as sess:
+            result = sess.workload("pic", size=128, steps=50).run()
+
+    (:func:`execute_pic` is the implementation; results are
+    bitwise-identical.)
+    """
+    import warnings
+
+    warnings.warn(
+        "run_pic() is deprecated; use repro.session(...) and "
+        "Session.workload('pic', ...).run() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_pic(machine, config, rng=rng, backend=backend)
+
+
+def execute_pic(
+    machine: Machine,
+    config: PICConfig,
+    rng: np.random.Generator | None = None,
+    backend: Backend | str | None = None,
+) -> PICResult:
     """Run the Figure 2 PIC loop; see the module docstring.
 
     All randomness (initial positions, diffusion) flows through the
@@ -184,7 +213,7 @@ def run_pic(
 def _run_pic(
     machine: Machine, config: PICConfig, rng: np.random.Generator
 ) -> PICResult:
-    engine = Engine(machine)
+    engine = Engine._create(machine)
     machine.reset_network()
 
     ncell, nprocs = config.ncell, config.nprocs

@@ -18,12 +18,12 @@ path:
   :class:`~repro.machine.measured.MeasuredMachine`, so the planner
   schedules against *measured* rather than assumed costs.
 
-Attach a backend through the engine seam::
+Attach a backend through the session facade::
 
-    from repro import Engine, Machine, MultiprocessBackend
+    import repro
 
-    with MultiprocessBackend() as be:
-        vfe = Engine(Machine((4,)), backend=be)
+    with repro.session(nprocs=4, backend="multiprocess") as sess:
+        vfe = sess.engine()
         ...  # DISTRIBUTE / kernels now execute in worker processes
 """
 

@@ -1,0 +1,13 @@
+"""Package-wide defaults shared across layers.
+
+This module sits below everything else (it imports nothing from the
+package) so both the application workloads and the :mod:`repro.api`
+facade can agree on one default without creating an import cycle.
+"""
+
+__all__ = ["DEFAULT_SEED"]
+
+#: The one default RNG seed every workload entry point shares.  A
+#: workload run with no explicit ``seed`` is deterministic and equal
+#: across entry points (legacy shims, ``Session`` handles, the CLI).
+DEFAULT_SEED = 0

@@ -57,7 +57,7 @@ def bench_forall(smoke: bool = False) -> dict:
 
     def setup():
         machine = Machine(ProcessorArray("R", grid), cost_model=IPSC860)
-        engine = Engine(machine)
+        engine = Engine._create(machine)
         a = engine.declare("A", (n, n), dist=dist_type("BLOCK", "BLOCK"))
         b = engine.declare("B", (n, n), dist=dist_type("BLOCK", "BLOCK"))
         rng = np.random.default_rng(11)
@@ -136,7 +136,7 @@ def bench_halo_exchange(smoke: bool = False) -> dict:
         machine = Machine(ProcessorArray("R", grid), cost_model=IPSC860)
         from .runtime.engine import Engine
 
-        engine = Engine(machine)
+        engine = Engine._create(machine)
         u = engine.declare("U", (n, n), dist=dist_type("BLOCK", "BLOCK"))
         rng = np.random.default_rng(13)
         u.from_global(rng.normal(size=(n, n)))
@@ -242,7 +242,8 @@ def bench_redistribute_planning(smoke: bool = False) -> dict:
 def bench_simulated_cost_planning(smoke: bool = False) -> dict:
     """Schedule planning under ``cost_mode="simulated"``: event-loop
     transition replay vs array-backed fast replay + trace memo."""
-    from .planner import SimulatedCostEngine, adi_workload, plan_workload
+    from .planner import SimulatedCostEngine, adi_workload
+    from .planner.workloads import _plan_workload
 
     size = 32 if smoke else 96
     nprocs = 16 if smoke else 32
@@ -253,7 +254,7 @@ def bench_simulated_cost_planning(smoke: bool = False) -> dict:
         engine = SimulatedCostEngine(workload.machine, fast_replay=fast)
 
         def body():
-            plan = plan_workload(workload, cost_engine=engine)
+            plan = _plan_workload(workload, cost_engine=engine)
             # the schedule search's inner loop: every candidate pair
             trans = [
                 engine.transition_cost(a, b)

@@ -1,0 +1,108 @@
+"""Every legacy entry point warns — and still returns bitwise-identical
+results to the ``Session`` path (the deprecation-shim satellite)."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import session
+from repro.machine import Machine, PARAGON, ProcessorArray
+
+
+def _silently(fn, *args, **kwargs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return fn(*args, **kwargs)
+
+
+def test_run_adi_warns_and_matches_session():
+    from repro.apps.adi import run_adi
+
+    machine = Machine(ProcessorArray("R", (4,)), cost_model=PARAGON)
+    with pytest.warns(DeprecationWarning, match="run_adi"):
+        legacy = run_adi(machine, 12, 12, 1, "dynamic", seed=0)
+    r = session(nprocs=4).workload("adi", size=12, iterations=1).run()
+    assert np.array_equal(legacy.solution, r.solution)
+    assert tuple(machine.network.clocks) == r.clocks
+    assert legacy.total_time == r.result.total_time
+
+
+def test_run_pic_warns_and_matches_session():
+    from repro.apps.pic import PICConfig, run_pic
+
+    machine = Machine(ProcessorArray("P", (4,)), cost_model=PARAGON)
+    cfg = PICConfig(strategy="bblock", ncell=12, npart=96, max_time=3,
+                    nprocs=4, seed=0)
+    with pytest.warns(DeprecationWarning, match="run_pic"):
+        legacy = run_pic(machine, cfg)
+    r = session(nprocs=4).workload("pic", size=12, steps=3).run()
+    assert np.array_equal(
+        np.array([s.imbalance for s in legacy.steps]), r.solution
+    )
+    assert tuple(machine.network.clocks) == r.clocks
+
+
+def test_run_smoothing_warns_and_matches_session():
+    from repro.apps.smoothing import run_smoothing
+
+    with pytest.warns(DeprecationWarning, match="run_smoothing"):
+        legacy = run_smoothing(12, 3, "columns", 4, PARAGON, seed=0)
+    r = session(nprocs=4).workload("smoothing", size=12, steps=3).run()
+    assert np.array_equal(legacy.solution, r.solution)
+    assert legacy.messages == r.result.messages
+    assert legacy.time == r.result.time
+
+
+def test_plan_workload_warns_and_matches_session():
+    from repro.planner import CostEngine, adi_workload, plan_workload
+
+    workload = adi_workload(12, 12, iterations=2, nprocs=4,
+                            cost_model=PARAGON)
+    with pytest.warns(DeprecationWarning, match="plan_workload"):
+        legacy = plan_workload(
+            workload, cost_engine=CostEngine(workload.machine)
+        )
+    p = session(nprocs=4).workload("adi", size=12, iterations=2).plan()
+    assert legacy.to_dict() == p.plan.to_dict()
+    assert legacy.layouts() == p.plan.layouts()
+
+
+def test_bare_engine_warns_and_matches_session_engine():
+    from repro.core.distribution import dist_type
+    from repro.runtime.engine import Engine
+
+    machine = Machine(ProcessorArray("R", (4,)), cost_model=PARAGON)
+    with pytest.warns(DeprecationWarning, match="Engine"):
+        legacy_vfe = Engine(machine)
+    v1 = legacy_vfe.declare("V", (12, 12), dist=dist_type(":", "BLOCK"),
+                            dynamic=True)
+    v1.from_global(np.arange(144.0).reshape(12, 12))
+    legacy_reports = legacy_vfe.distribute("V", dist_type("BLOCK", ":"))
+
+    with session(nprocs=4) as sess:
+        vfe = sess.engine(name="R")
+        v2 = vfe.declare("V", (12, 12), dist=dist_type(":", "BLOCK"),
+                         dynamic=True)
+        v2.from_global(np.arange(144.0).reshape(12, 12))
+        reports = vfe.distribute("V", dist_type("BLOCK", ":"))
+
+    assert np.array_equal(v1.to_global(), v2.to_global())
+    assert [(r.messages, r.bytes) for r in legacy_reports] == [
+        (r.messages, r.bytes) for r in reports
+    ]
+    assert tuple(machine.network.clocks) == tuple(
+        vfe.machine.network.clocks
+    )
+
+
+def test_internal_code_emits_no_deprecation_warnings():
+    """The facade, the CLI tour path and the apps' execute_* cores must
+    never route through their own shims."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        session(nprocs=4).workload("adi", size=12, iterations=1).run()
+        session(nprocs=4).workload("pic", size=12, steps=2).run()
+        session(nprocs=4).workload("smoothing", size=12, steps=2).run()
+        session(nprocs=4).workload("adi", size=12, iterations=1).plan()
+        session(nprocs=4).workload("adi", size=12, iterations=1).trace()

@@ -143,7 +143,11 @@ class TestRunPlanJsonCli:
         doc = json.loads(capsys.readouterr().out)
         assert doc["workload"] == "smoothing"
         assert doc["backend"] == "serial"
-        assert doc["modeled_time_ms"] > 0
+        # headline metrics live in their own object since the v1.5
+        # session facade (workload-controlled names cannot collide
+        # with the fixed report fields)
+        assert doc["headline"]["modeled_time_ms"] > 0
+        assert doc["modeled_time_s"] > 0
 
     def test_plan_json(self, capsys):
         from repro.__main__ import main

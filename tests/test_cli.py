@@ -1,0 +1,147 @@
+"""CLI hardening (ISSUE 5): every subcommand exits nonzero on failure
+instead of printing a traceback, and every ``--json`` output is
+round-trippable through ``json.loads``."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+
+
+def _run_json(capsys, argv):
+    main(argv)
+    out = capsys.readouterr().out
+    return json.loads(out)
+
+
+# -- --json round trips (one per subcommand) --------------------------------
+
+
+def test_plan_json_roundtrip(capsys):
+    report = _run_json(
+        capsys, ["plan", "adi", "--size", "16", "--iterations", "2", "--json"]
+    )
+    assert report["workload"] == "adi"
+    assert report["plan"]["steps"]
+    assert report["cost_mode"] == "model"
+
+
+def test_plan_json_simulated_roundtrip(capsys):
+    report = _run_json(
+        capsys,
+        ["plan", "smoothing", "--size", "16", "--steps", "3",
+         "--cost-mode", "simulated", "--json"],
+    )
+    assert report["cost_mode"] == "simulated"
+
+
+def test_run_json_roundtrip(capsys):
+    report = _run_json(
+        capsys, ["run", "adi", "--size", "12", "--iterations", "1", "--json"]
+    )
+    assert report["workload"] == "adi"
+    assert report["backend"] == "serial"
+    assert len(report["clocks"]) == 4
+    assert report["solution_sha256"]
+
+
+def test_trace_json_roundtrip(capsys):
+    report = _run_json(
+        capsys,
+        ["trace", "smoothing", "--size", "12", "--steps", "2",
+         "--json", "--compact"],
+    )
+    assert report["matches_aggregate_accounting"] is True
+    assert report["blocking"] and report["split_phase"]
+
+
+def test_bench_json_roundtrip(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    report = _run_json(
+        capsys, ["bench", "--smoke", "--only", "forall", "--out", "", "--json"]
+    )
+    assert report["schema"] == "repro-bench-perf/1"
+    assert report["benches"][0]["name"] == "forall"
+    assert report["benches"][0]["match"] is True
+
+
+def test_calibrate_json_roundtrip(capsys):
+    report = _run_json(
+        capsys, ["calibrate", "--nprocs", "2", "--repeats", "1", "--json"]
+    )
+    assert report["alpha_s"] >= 0 and report["beta_s_per_byte"] >= 0
+    assert report["plan"]["steps"]
+
+
+# -- nonzero exits -----------------------------------------------------------
+
+
+def test_unknown_workload_exits_nonzero(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["run", "nosuchworkload"])
+    assert exc.value.code == 2  # argparse choices, not a traceback
+
+
+def test_bad_backend_exits_nonzero(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["run", "adi", "--backend", "bogus"])
+    assert exc.value.code == 2
+
+
+def test_unplannable_workload_not_a_plan_choice(capsys):
+    pytest.importorskip("networkx")
+    with pytest.raises(SystemExit) as exc:
+        main(["plan", "irregular"])
+    assert exc.value.code == 2
+
+
+def test_runtime_failure_exits_one_with_stderr(capsys):
+    """A workload that raises mid-run becomes `error: ...` + exit 1."""
+    from repro.api import ExecutionOutcome, REGISTRY, register_workload
+
+    @register_workload("always-fails", defaults={"size": 4})
+    def _failing(ctx):
+        raise RuntimeError("deliberate test failure")
+        return ExecutionOutcome(solution=np.zeros(1))  # pragma: no cover
+
+    try:
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "always-fails"])
+        assert exc.value.code == 1
+        err = capsys.readouterr().err
+        assert "error: deliberate test failure" in err
+        assert "Traceback" not in err
+    finally:
+        REGISTRY.unregister("always-fails")
+
+
+def test_multiprocess_run_verifies_against_serial(capsys):
+    main(["run", "adi", "--backend", "multiprocess", "--nprocs", "2",
+          "--size", "8", "--iterations", "1", "--json"])
+    report = json.loads(capsys.readouterr().out)
+    assert report["verified_against_serial"] is True
+
+
+def test_registered_workloads_drive_the_choices(capsys):
+    """The registry, not a hand-maintained list, feeds argparse."""
+    from repro.__main__ import build_parser
+    from repro.api import REGISTRY
+
+    parser = build_parser()
+    helptext = parser.format_help()
+    run_sub = None
+    for action in parser._subparsers._group_actions:
+        run_sub = action.choices["run"]
+    run_help = run_sub.format_help()
+    for name in REGISTRY.names():
+        assert name in run_help
+    assert helptext  # sanity
+
+
+def test_tour_still_runs(capsys):
+    main(None)
+    out = capsys.readouterr().out
+    assert "Figure 1" in out and "Figure 2" in out
+    assert "dynamic" in out

@@ -14,7 +14,69 @@ SUBPACKAGES = [
     "repro.planner",
     "repro.backend",
     "repro.apps",
+    "repro.api",
+    "repro.sim",
 ]
+
+# The root surface, pinned (ISSUE 5): changing what `from repro import *`
+# exposes must be a deliberate edit of this list, not a side effect of a
+# subpackage's star-export.  Regenerate with
+#   python -c "import repro; print('\n'.join(sorted(repro.__all__)))"
+EXPORT_SNAPSHOT = sorted([
+    "ALWAYS", "ANY", "AccessKind", "Aligned", "Alignment",
+    "AllocationRecord", "AnalysisResult", "ArrayDescriptor", "ArrayLoad",
+    "ArrayRef", "Assign", "AxisMap", "BUSY_KINDS", "Backend",
+    "BackendError", "BatchedReadAccessor", "BenchResult", "Block",
+    "BlockMeta", "BlockingReplay", "CFG", "CFGEdge", "CFGNode",
+    "Calibration", "Call", "CommEstimate", "CommSchedule", "ConnectClass",
+    "Connection", "CostEngine", "CostModel", "CriticalPath", "Cyclic",
+    "DCase", "DCaseStmt", "DEFAULT", "DEFAULT_SEED", "Declaration",
+    "DimDist", "DimTranslationTable", "DistributeStmt", "DistributedArray",
+    "Distribution", "DistributionGenerator", "DistributionType",
+    "DistributionUndefinedError", "DynamicAttr", "Engine", "Event",
+    "EventArrays", "EventKind", "EventLog", "Extraction", "FormalArg",
+    "GenBlock", "HandDistribute", "IPSC860", "IRProgram", "If",
+    "IndexDomain", "Indirect", "Inspector", "Interval", "LineSweepKernel",
+    "LocalMemory", "Loop", "MAYBE", "MODERN_CLUSTER", "Machine",
+    "MeasuredMachine", "MemoryError_", "MemoryEstimate", "MessageRecord",
+    "MultiprocessBackend", "NEVER", "Network", "NetworkStats", "NoDist",
+    "OptimizeStats", "OverlapManager", "PARAGON", "PRESETS", "Phase",
+    "PhaseSequence", "Plan", "PlanCache", "PlanExecutor", "PlanResult",
+    "PlausibleSet", "ProcClock", "ProcDef", "Procedure", "ProcessorArray",
+    "ProcessorSection", "QueryList", "Range", "ReachingDistributions",
+    "ReadAccessor", "RedistributionReport", "Replicated", "RunResult",
+    "SBlock", "ScheduleStep", "Scope", "SerialBackend", "Session",
+    "SessionConfig", "SessionResult", "SharedSegmentAllocator",
+    "SimulatedCostEngine", "StencilKernel", "Stmt", "TOP", "Timeline",
+    "TraceResult", "TranslationTable", "Transport", "TransportTimeout",
+    "TypePattern", "VFProgram", "VFSyntaxError", "WORKLOADS", "Wild",
+    "Workload", "WorkloadHandle", "WorkloadRegistry", "WorkloadSpec",
+    "ZERO_COST", "__version__", "adi_workload", "analyze", "api", "apps",
+    "attached_backend", "available_workloads", "backend", "bind_pattern",
+    "broadcast_from", "build_cfg", "calibrate", "classify_tag",
+    "clear_interning_caches", "communicate", "compiler", "construct",
+    "critical_path", "decide_pattern", "decide_querylist",
+    "default_plan_cache", "dim_implies", "dim_menu", "dim_overlaps",
+    "dist_type", "dp_schedule", "dump_json", "enumerate_layouts",
+    "estimate_memory", "estimate_ref", "extract_phases", "fit_alpha_beta",
+    "forall", "forall_batched", "forall_gathered", "gantt", "gather_to",
+    "get_generator", "get_workload", "greedy_schedule", "grid_shapes",
+    "hand_schedule_cost", "idt", "infer_overlap", "intern_dimdist",
+    "intern_distribution", "lang", "link_matrix", "lower_line_sweep",
+    "lower_stencil", "measured_machine", "optimize", "overlappable_phases",
+    "owners_cache_stats", "parse_alignment", "parse_declaration",
+    "parse_dist_expr", "parse_pattern", "parse_processors",
+    "parse_program", "parse_section", "pattern_implies",
+    "pattern_overlaps", "per_processor_table", "perf", "pic_workload",
+    "plan_array", "plan_program", "plan_workload", "planner", "record",
+    "reduce_scalar", "refine_pattern", "register_generator",
+    "register_workload", "relaxed_barriers", "replay_blocking",
+    "replay_split_exchange", "resolve_backend", "segment_moves",
+    "session", "shift_exchange", "shift_plan", "sim", "simulate",
+    "smoothing_workload", "summary", "timeline_summary", "timeline_table",
+    "to_chrome_trace", "to_json", "transfer_matrix",
+    "transfer_matrix_bruteforce", "transfer_matrix_naive", "transfer_plan",
+])
 
 
 @pytest.mark.parametrize("modname", SUBPACKAGES)
@@ -54,10 +116,46 @@ def test_backend_reexported_from_root():
         assert required in ns
 
 
+def test_export_snapshot_pinned():
+    """The ISSUE 5 surface snapshot: additions/removals are deliberate."""
+    import repro
+
+    assert sorted(repro.__all__) == EXPORT_SNAPSHOT
+    assert len(set(repro.__all__)) == len(repro.__all__), "duplicate exports"
+    # the one deliberate collision casualty: the compiler IR's Block is
+    # NOT at the root (the BLOCK distribution intrinsic is)
+    from repro.compiler.ir import Block as IRBlock
+    from repro.core.dimdist import Block as CoreBlock
+
+    assert repro.Block is CoreBlock
+    assert repro.Block is not IRBlock
+
+
+def test_session_facade_reexported_from_root():
+    """The v1.5.0 surface: the session API is one import away."""
+    import repro
+
+    assert repro.api.__name__ == "repro.api"
+    assert repro.session is repro.api.session
+    assert repro.Session is repro.api.Session
+    assert repro.SessionConfig is repro.api.SessionConfig
+    assert repro.WorkloadHandle is repro.api.WorkloadHandle
+    assert repro.register_workload is repro.api.register_workload
+    for result in ("PlanResult", "RunResult", "TraceResult", "BenchResult"):
+        assert getattr(repro, result) is getattr(repro.api, result)
+
+    ns: dict = {}
+    exec("from repro import *", ns)  # noqa: S102
+    for required in ("session", "Session", "SessionConfig",
+                     "register_workload", "available_workloads",
+                     "RunResult", "DEFAULT_SEED"):
+        assert required in ns
+
+
 def test_version():
     import repro
 
-    assert repro.__version__ == "1.4.0"
+    assert repro.__version__ == "1.5.0"
 
 
 def test_sim_reexported_from_root():
