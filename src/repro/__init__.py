@@ -84,12 +84,14 @@ from . import compiler as compiler
 from . import lang as lang
 from . import perf as perf
 from . import planner as planner
+from . import serve as serve
 from . import sim as sim
 from .api import (
     BenchResult,
     PlanResult,
     RunResult,
     Session,
+    SessionClosedError,
     SessionConfig,
     SessionResult,
     TraceResult,
@@ -97,6 +99,7 @@ from .api import (
     WorkloadRegistry,
     WorkloadSpec,
     available_workloads,
+    config_fingerprint,
     register_workload,
     session,
 )
@@ -318,7 +321,9 @@ from .sim import (
     to_json,
 )
 
-__version__ = "1.5.0"
+from .serve import PlanningService, run_loadtest
+
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -330,12 +335,18 @@ __all__ = [
     "lang",
     "perf",
     "planner",
+    "serve",
     "sim",
     # the session facade (repro.api)
     "DEFAULT_SEED",
     "SessionConfig",
     "Session",
+    "SessionClosedError",
     "session",
+    "config_fingerprint",
+    # the serving tier (repro.serve)
+    "PlanningService",
+    "run_loadtest",
     "SessionResult",
     "PlanResult",
     "RunResult",

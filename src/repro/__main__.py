@@ -11,6 +11,8 @@ headline comparisons.  Subcommands::
     python -m repro trace adi --nprocs 4 --size 32
     python -m repro calibrate --nprocs 2
     python -m repro bench --smoke --check
+    python -m repro serve --port 8642
+    python -m repro serve --loadtest --clients 8 --check
 
 Every subcommand goes through :mod:`repro.api`: one
 :func:`repro.session` per invocation owns the machine policy, backend,
@@ -25,7 +27,10 @@ executes a workload on an SPMD backend (``serial`` |
 serial reference; ``trace`` replays a workload's typed event stream
 through the discrete-event simulator under blocking and split-phase
 semantics; ``calibrate`` fits measured transport constants and plans
-against them; ``bench`` times the vectorized hot paths.  All
+against them; ``bench`` times the vectorized hot paths; ``serve``
+exposes all of it as a multi-tenant asyncio HTTP service (with
+``--loadtest``, it instead hammers a fresh in-process server — or
+``--url``, a running one — and writes ``BENCH_SERVE.json``).  All
 subcommands accept ``--json`` for machine-readable reports and exit
 nonzero on failure instead of printing a traceback.
 
@@ -236,6 +241,32 @@ def calibrate_command(args: argparse.Namespace) -> None:
     print(plan.summary())
 
 
+def serve_command(args: argparse.Namespace) -> None:
+    """Serve plan/run/trace/bench over HTTP, or load-test a server."""
+    from .serve import PlanningService, run_loadtest, serve_forever
+
+    if args.loadtest or args.url:
+        report = run_loadtest(
+            url=args.url,
+            clients=args.clients,
+            rounds=args.rounds,
+            smoke=args.smoke,
+            out=args.out,
+            check=args.check,
+            quiet=args.json,
+        )
+        if args.json:
+            print(json.dumps(report, indent=2))
+        return
+    service = PlanningService(
+        max_idle_sessions=args.pool_size,
+        response_cache_capacity=args.cache_capacity,
+    )
+    serve_forever(
+        service, host=args.host, port=args.port, max_workers=args.workers
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     from .api import REGISTRY
     from .perf import BENCHES
@@ -343,6 +374,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run only the named benches")
     b.add_argument("--json", action="store_true",
                    help="emit the bench report as machine-readable JSON")
+
+    s = sub.add_parser(
+        "serve",
+        help="serve plan/run/trace/bench as a multi-tenant asyncio HTTP "
+             "service over the workload registry (--loadtest to hammer "
+             "it with concurrent clients and write BENCH_SERVE.json)",
+    )
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=8642)
+    s.add_argument("--workers", type=int, default=8,
+                   help="executor threads (max in-flight requests)")
+    s.add_argument("--pool-size", type=int, default=4,
+                   help="idle sessions kept per distinct configuration")
+    s.add_argument("--cache-capacity", type=int, default=256,
+                   help="cross-session response cache entries")
+    s.add_argument("--loadtest", action="store_true",
+                   help="start an in-process server and load-test it "
+                        "instead of serving")
+    s.add_argument("--url", default=None,
+                   help="load-test a running server at this base URL "
+                        "(implies --loadtest)")
+    s.add_argument("--clients", type=int, default=8,
+                   help="concurrent load-test clients")
+    s.add_argument("--rounds", type=int, default=3,
+                   help="repeated-config phase replays per client")
+    s.add_argument("--smoke", action="store_true",
+                   help="CI-sized workload parameters")
+    s.add_argument("--check", action="store_true",
+                   help="exit non-zero unless zero failures, "
+                        "byte-identical responses, and > 50%% repeated-"
+                        "phase cache hit rate")
+    s.add_argument("--out", default="BENCH_SERVE.json",
+                   help="load-test report path ('' to skip writing)")
+    s.add_argument("--json", action="store_true",
+                   help="emit the load-test report as JSON on stdout")
     return parser
 
 
@@ -352,6 +418,7 @@ COMMANDS = {
     "trace": trace_command,
     "calibrate": calibrate_command,
     "bench": bench_command,
+    "serve": serve_command,
 }
 
 

@@ -29,9 +29,16 @@ from .registry import (
     available_workloads,
     register_workload,
 )
-from .results import BenchResult, PlanResult, RunResult, SessionResult, TraceResult
+from .results import (
+    BenchResult,
+    PlanResult,
+    RunResult,
+    SessionResult,
+    TraceResult,
+    config_fingerprint,
+)
 from .handles import WorkloadHandle
-from .session import Session, session
+from .session import Session, SessionClosedError, session
 from . import workloads as _builtin_workloads  # registers adi/pic/smoothing/...
 
 __all__ = [
@@ -51,8 +58,10 @@ __all__ = [
     "RunResult",
     "TraceResult",
     "BenchResult",
+    "config_fingerprint",
     "WorkloadHandle",
     "Session",
+    "SessionClosedError",
     "session",
 ]
 

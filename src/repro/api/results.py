@@ -34,6 +34,7 @@ __all__ = [
     "RunResult",
     "TraceResult",
     "BenchResult",
+    "config_fingerprint",
 ]
 
 
@@ -52,6 +53,24 @@ def _jsonable(value: Any) -> Any:
     if isinstance(value, (np.floating, float)):
         return float(value)
     return value
+
+
+def config_fingerprint(payload: Any) -> str:
+    """Canonical SHA-256 digest of a JSON-able config/request payload.
+
+    The payload is normalized through the same numpy-scalar coercion
+    the stage results use and serialized with sorted keys and fixed
+    separators, so two structurally equal configs — however their
+    values were spelled (``np.int64(4)`` vs ``4``, key order) —
+    fingerprint identically.  This is the cache key of the
+    ``repro.serve`` cross-session response cache and the identity the
+    determinism guarantee is stated against: equal fingerprints ⇒
+    byte-identical responses for deterministic stages.
+    """
+    canon = json.dumps(
+        _jsonable(payload), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canon.encode()).hexdigest()
 
 
 class SessionResult:

@@ -36,7 +36,16 @@ from .config import SessionConfig
 from .handles import WorkloadHandle
 from .registry import REGISTRY, WorkloadRegistry
 
-__all__ = ["Session", "session"]
+__all__ = ["Session", "SessionClosedError", "session"]
+
+
+class SessionClosedError(RuntimeError):
+    """A closed :class:`Session` was asked to do work.
+
+    Pools hand sessions out and reclaim them; using a handle after the
+    pool (or a ``with`` block) closed it is a lifecycle bug, reported
+    eagerly instead of as a confusing downstream failure.
+    """
 
 
 class Session:
@@ -46,31 +55,55 @@ class Session:
     RNG seed; builds machines and engines on demand; enumerates the
     workload registry.  Context-manager use closes any backends the
     session constructed for ad-hoc engines.
+
+    Sessions are cheap to construct (no machine, backend, or worker is
+    built until a stage runs) and safe to pool: :meth:`close` is
+    idempotent, any use after close raises :class:`SessionClosedError`,
+    and an explicit ``plan_cache`` lets many sessions share one
+    memoized plan store (the cross-session seam ``repro.serve`` pools
+    are built on).
     """
 
     def __init__(
         self,
         config: SessionConfig | None = None,
         registry: WorkloadRegistry | None = None,
+        *,
+        plan_cache: PlanCache | None = None,
     ):
         self.config = (config or SessionConfig()).validate()
         self.registry = registry if registry is not None else REGISTRY
         #: the cost model, resolved once
         self.cost_model: CostModel = self.config.resolved_cost_model()
-        #: memoized transfer plans shared by everything the session runs
-        self.plan_cache = PlanCache()
+        #: memoized transfer plans shared by everything the session
+        #: runs; pass one in to share it *across* sessions
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self._owned_backends: list[Backend] = []
         self._closed = False
 
     # -- lifecycle ---------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError(
+                f"session is closed: {self!r} (sessions cannot be "
+                f"reused after close(); open a new one)"
+            )
+
     def close(self) -> None:
-        """Close every backend this session constructed."""
+        """Close every backend this session constructed (idempotent)."""
+        if self._closed:
+            return
         backends, self._owned_backends = self._owned_backends, []
         for backend in backends:
             backend.close()
         self._closed = True
 
     def __enter__(self) -> "Session":
+        self._require_open()
         return self
 
     def __exit__(self, *exc) -> None:
@@ -84,6 +117,7 @@ class Session:
         subclass constructs a fresh backend and closes it on exit
         (workers and shared segments released); ``None`` runs with
         whatever is already attached."""
+        self._require_open()
         b = self.config.backend
         if isinstance(b, type):
             backend = b()
@@ -104,6 +138,7 @@ class Session:
     ) -> Machine:
         """A fresh machine with the session's cost model (``shape``
         defaults to a 1-D array of ``config.nprocs`` processors)."""
+        self._require_open()
         procs = ProcessorArray(name, tuple(shape or (self.config.nprocs,)))
         return Machine(procs, cost_model=cost_model or self.cost_model)
 
@@ -120,6 +155,7 @@ class Session:
         This is the supported replacement for the deprecated bare
         ``Engine(machine)`` construction.
         """
+        self._require_open()
         if machine is None:
             machine = self.machine(shape=shape, name=name)
         if self.config.backend is not None and machine.backend is None:
@@ -142,6 +178,7 @@ class Session:
         parameters raise ``TypeError``; unknown names raise
         ``KeyError`` listing what is registered.
         """
+        self._require_open()
         return WorkloadHandle(self, self.registry.get(name), params)
 
     def describe(self) -> dict:

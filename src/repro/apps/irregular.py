@@ -32,10 +32,12 @@ data — wins.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import networkx as nx
 import numpy as np
 
+from ..backend.base import Backend, attached_backend
 from ..core.dimdist import Block, Indirect
 from ..core.distribution import DistributionType
 from ..defaults import DEFAULT_SEED
@@ -203,6 +205,26 @@ class RelaxationResult:
     solution: np.ndarray
 
 
+def _relax_update(
+    gathered: dict, node_slices: dict, rank: int, local: np.ndarray, idx
+) -> None:
+    """Owner-computes Jacobi update of one rank's owned nodes.
+
+    Module-level (and closed over via :func:`functools.partial`) so an
+    SPMD backend can pickle it into its worker processes; the serial
+    path calls it in the same rank order, so the arithmetic — and
+    therefore the solution — is bitwise-identical either way.
+    """
+    vals = gathered[rank]
+    staged = np.empty_like(local)
+    for li, (node, lo, hi) in enumerate(node_slices[rank]):
+        nbr_vals = vals[lo:hi]
+        staged[li] = (
+            0.5 * local[li] + 0.5 * nbr_vals.mean() if hi > lo else local[li]
+        )
+    local[...] = staged
+
+
 def run_relaxation(
     machine: Machine,
     graph: nx.Graph,
@@ -210,6 +232,7 @@ def run_relaxation(
     sweeps: int = 3,
     seed: int = DEFAULT_SEED,
     rng: np.random.Generator | None = None,
+    backend: Backend | str | None = None,
 ) -> RelaxationResult:
     """Edge-based Jacobi relaxation through the inspector/executor.
 
@@ -220,11 +243,31 @@ def run_relaxation(
     a PARTI gather; the schedule is built once and reused across
     sweeps, invalidated only by redistribution.
 
+    ``backend`` selects the execution backend (``"serial"``,
+    ``"multiprocess"``, ``None`` to reuse whatever is attached, or a
+    :class:`~repro.backend.base.Backend`), matching the ``backend=``
+    variants the other registered workloads grew: with
+    ``"multiprocess"`` each sweep's node updates run in per-processor
+    worker processes against shared-memory segments, bitwise-identical
+    to the serial reference.
+
     With ``rng=None`` the partitioner and the initial node values each
     draw from a fresh ``default_rng(seed)`` (the historical streams,
     bit for bit); an explicit ``rng`` is used for both, making a run
     reproducible from generator state alone.
     """
+    with attached_backend(machine, backend):
+        return _relax(machine, graph, distribution, sweeps, seed, rng)
+
+
+def _relax(
+    machine: Machine,
+    graph: nx.Graph,
+    distribution: str,
+    sweeps: int,
+    seed: int,
+    rng: np.random.Generator | None,
+) -> RelaxationResult:
     n = graph.number_of_nodes()
     p = machine.nprocs
     engine = Engine._create(machine)
@@ -265,19 +308,23 @@ def run_relaxation(
     t0 = machine.time
     for _ in range(sweeps):
         gathered = inspector.gather(schedule)  # schedule reused
+        update = partial(_relax_update, gathered, node_slices)
+        backend = machine.backend
+        if (
+            backend is not None
+            and backend.executes_spmd
+            and backend.can_ship(update)
+        ):
+            backend.run_kernel(arr, update)
+        else:
+            for rank in arr.owning_ranks():
+                update(rank, arr.local(rank), arr.local_indices(rank))
+        # accounting is identical regardless of which process executed
+        # the update — the backend executes, the network accounts
         for rank in arr.owning_ranks():
-            local = arr.local(rank)
-            vals = gathered[rank]
-            staged = np.empty_like(local)
-            for li, (node, lo, hi) in enumerate(node_slices[rank]):
-                nbr_vals = vals[lo:hi]
-                staged[li] = (
-                    0.5 * local[li] + 0.5 * nbr_vals.mean()
-                    if hi > lo
-                    else local[li]
-                )
-            local[...] = staged
-            machine.network.compute(rank, 4.0 * local.size, tag="relax:V")
+            machine.network.compute(
+                rank, 4.0 * arr.local(rank).size, tag="relax:V"
+            )
         machine.network.synchronize()
     m1 = machine.stats()
 

@@ -26,6 +26,7 @@ uncached implementations).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Callable, Hashable
 
@@ -52,6 +53,15 @@ class LRUCache:
     ``get``/``put`` move the touched key to the most-recent end;
     inserting past ``capacity`` evicts the least recently used entry.
     Hit/miss counters accumulate until :meth:`clear`.
+
+    Thread-safe: the process-wide interning tables (and any
+    :class:`~repro.runtime.redistribute.PlanCache` shared across
+    sessions, as the ``repro.serve`` pool does) are consulted from
+    concurrent request threads, so every mutation holds an internal
+    lock.  ``get_or_compute`` does **not** hold the lock across
+    ``compute`` — a racing thread may compute the same pure value
+    twice, which is benign; a long compute must never serialize every
+    other cache user.
     """
 
     def __init__(self, capacity: int):
@@ -59,24 +69,27 @@ class LRUCache:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
         self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: Hashable, default=None):
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], object]):
         sentinel = _MISSING
@@ -87,12 +100,18 @@ class LRUCache:
         return value
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._data)}
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._data),
+            }
 
     def clear(self) -> None:
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
         return len(self._data)

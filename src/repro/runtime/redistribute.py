@@ -27,6 +27,8 @@ change generate no traffic, and NOTRANSFER skips COMMUNICATE entirely.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..backend.base import serial_move
@@ -167,6 +169,12 @@ class PlanCache:
     bound distributions (hashable by construction); each plan family
     (transfer matrices, segment moves, halo shift plans, sweep plans)
     lives in its own ``capacity``-bounded LRU store.
+
+    One ``PlanCache`` may be shared by many sessions — that is exactly
+    what the ``repro.serve`` session pool does — so lookups and the
+    hit/miss totals are guarded by a lock.  Plan computation runs
+    outside the lock (plans are pure functions of the key, so a racing
+    duplicate compute is benign and cannot corrupt the cache).
     """
 
     def __init__(self, capacity: int = 64):
@@ -177,17 +185,19 @@ class PlanCache:
         self._moves = LRUCache(capacity)
         self._shifts = LRUCache(capacity)
         self._sweeps = LRUCache(capacity)
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def _memo(self, store: LRUCache, key, compute):
         """One lookup against a plan store, counted on the cache-wide
         hit/miss totals (the per-store LRU counters are not used)."""
-        value = store.get(key)
-        if value is not None:
-            self.hits += 1
-            return value
-        self.misses += 1
+        with self._lock:
+            value = store.get(key)
+            if value is not None:
+                self.hits += 1
+                return value
+            self.misses += 1
         value = compute()
         store.put(key, value)
         return value
@@ -238,22 +248,24 @@ class PlanCache:
         """Hit/miss counters, cache populations, and the shared
         owner-map LRU counters (``owners_vec_*`` / ``rank_map_*`` —
         process-wide, see :mod:`repro.core.interning`)."""
-        out = {
-            "hits": self.hits,
-            "misses": self.misses,
-            "matrices": len(self._plans),
-            "moves": len(self._moves),
-            "shift_plans": len(self._shifts),
-            "sweep_plans": len(self._sweeps),
-        }
+        with self._lock:
+            out = {
+                "hits": self.hits,
+                "misses": self.misses,
+                "matrices": len(self._plans),
+                "moves": len(self._moves),
+                "shift_plans": len(self._shifts),
+                "sweep_plans": len(self._sweeps),
+            }
         out.update(owners_cache_stats())
         return out
 
     def clear(self) -> None:
-        for store in (self._plans, self._moves, self._shifts, self._sweeps):
-            store.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            for store in (self._plans, self._moves, self._shifts, self._sweeps):
+                store.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
         return len(self._plans)

@@ -1,0 +1,83 @@
+"""The cross-session response cache — fingerprints in, bytes out.
+
+Every cacheable service response is the serialized JSON of a typed
+stage result, fully determined by the request's resolved configuration
+(workload, params, nprocs, cost model, backend, seed, stage options).
+:func:`repro.api.config_fingerprint` canonicalizes that configuration
+into a SHA-256 key; this module stores the response *string* under it,
+so a cache hit returns byte-identical JSON — the same guarantee two
+sessions constructed from equal configs already give, lifted to the
+service tier.
+
+The store is a bounded LRU (:class:`repro.core.interning.LRUCache`,
+thread-safe) shared by every session in the pool; ``stats()`` feeds
+the ``/stats`` endpoint's hit-rate story alongside
+:meth:`repro.runtime.redistribute.PlanCache.stats`.
+"""
+
+from __future__ import annotations
+
+from ..api.results import config_fingerprint
+from ..core.interning import LRUCache
+
+__all__ = ["ResponseCache", "request_fingerprint"]
+
+
+def request_fingerprint(
+    endpoint: str,
+    workload: str,
+    *,
+    nprocs: int,
+    cost_model: str,
+    backend: str | None,
+    seed: int,
+    params: dict,
+    options: dict | None = None,
+) -> str:
+    """The canonical cache key of one service request.
+
+    Field order and spelling never matter — the digest is over the
+    sorted-key canonical JSON (see
+    :func:`repro.api.config_fingerprint`), so equivalent requests from
+    different clients collapse onto one cache entry.
+    """
+    return config_fingerprint(
+        {
+            "endpoint": endpoint,
+            "workload": workload,
+            "nprocs": nprocs,
+            "cost_model": cost_model,
+            "backend": backend,
+            "seed": seed,
+            "params": params,
+            "options": options or {},
+        }
+    )
+
+
+class ResponseCache:
+    """Fingerprint -> serialized-response LRU with hit-rate stats."""
+
+    def __init__(self, capacity: int = 256):
+        self._lru = LRUCache(capacity)
+
+    def get(self, fingerprint: str) -> str | None:
+        return self._lru.get(fingerprint)
+
+    def put(self, fingerprint: str, body: str) -> None:
+        self._lru.put(fingerprint, body)
+
+    def stats(self) -> dict:
+        """Hits, misses, population, capacity and the derived hit rate
+        (``None`` until the first lookup)."""
+        s = self._lru.stats()
+        total = s["hits"] + s["misses"]
+        s["capacity"] = self._lru.capacity
+        s["hit_rate"] = (s["hits"] / total) if total else None
+        return s
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)

@@ -1,0 +1,74 @@
+"""Optional FastAPI adapter over :class:`~repro.serve.PlanningService`.
+
+The stdlib asyncio server (:mod:`repro.serve.http`) is the supported
+default and has no dependencies; this module is the *extra* for
+deployments that already standardize on FastAPI/uvicorn middleware,
+OpenAPI docs, etc.  It is import-safe without fastapi installed —
+:func:`create_app` raises a clear error at call time instead.
+
+::
+
+    pip install 'repro-vienna-dd[serve]'
+    uvicorn --factory repro.serve.fastapi_app:create_app
+
+Routing delegates wholesale to :meth:`PlanningService.dispatch`, so
+the two front ends cannot drift: same endpoints, same parameters, same
+byte-identical cached bodies.
+"""
+
+from __future__ import annotations
+
+from .service import ENDPOINTS, PlanningService
+
+__all__ = ["create_app"]
+
+
+def create_app(service: PlanningService | None = None):
+    """A FastAPI app serving the same surface as the stdlib server.
+
+    Requires the ``serve`` extra (``pip install fastapi``); raises
+    ``RuntimeError`` with install instructions when missing.
+    """
+    try:
+        from fastapi import FastAPI, Request, Response
+    except ImportError as exc:  # pragma: no cover - extra not installed in CI
+        raise RuntimeError(
+            "the FastAPI front end needs the optional 'serve' extra "
+            "(pip install fastapi); the stdlib server "
+            "(python -m repro serve) has no extra dependencies"
+        ) from exc
+
+    service = service if service is not None else PlanningService()
+    app = FastAPI(
+        title="repro.serve",
+        description="Multi-tenant plan/run/trace/bench over the "
+                    "Vienna Fortran reproduction's workload registry.",
+    )
+    app.state.service = service
+
+    async def _dispatch(request: Request) -> "Response":
+        import anyio
+
+        body = await request.body()
+        target = request.url.path
+        if request.url.query:
+            target += "?" + request.url.query
+        # CPU-bound numpy work: off the event loop, like the stdlib server
+        result = await anyio.to_thread.run_sync(
+            service.dispatch, request.method, target, body
+        )
+        return Response(
+            content=result.body,
+            status_code=result.status,
+            media_type="application/json",
+            headers=result.headers,
+        )
+
+    for path in ENDPOINTS:
+        app.add_api_route(path, _dispatch, methods=["GET", "POST"])
+
+    @app.on_event("shutdown")
+    async def _shutdown() -> None:  # pragma: no cover - lifecycle glue
+        service.close()
+
+    return app

@@ -1,0 +1,264 @@
+"""The asyncio HTTP/1.1 front end over :class:`~repro.serve.PlanningService`.
+
+Stdlib only: ``asyncio.start_server`` accepts connections, a minimal
+HTTP/1.1 parser reads request line + headers + Content-Length body,
+and the (CPU-bound, numpy-heavy) service dispatch runs on a
+``ThreadPoolExecutor`` so the event loop keeps accepting while
+workloads execute — N in-flight requests share the one
+:class:`PlanningService` and its caches.  Keep-alive is honoured, so
+a load-test client reuses its connection across a whole request
+sequence.
+
+Three entry points:
+
+- :class:`ServeServer` — the asyncio server object (``await start()``
+  inside a running loop);
+- :class:`ServerThread` — the server on a daemon thread with its own
+  loop; ``with ServerThread(service) as url:`` is how the tests and
+  the load-test harness get a real HTTP endpoint in-process;
+- :func:`serve_forever` — the blocking CLI spelling
+  (``python -m repro serve``).
+
+For a FastAPI/uvicorn deployment instead, see
+:func:`repro.serve.fastapi_app.create_app` (optional extra — the
+stdlib server is the supported default).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from .service import PlanningService, ServeResponse
+
+__all__ = ["ServeServer", "ServerThread", "serve_forever"]
+
+_PHRASES = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+#: refuse request bodies beyond this (the service takes small JSON)
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServeServer:
+    """One asyncio HTTP server bound to a :class:`PlanningService`."""
+
+    def __init__(
+        self,
+        service: PlanningService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 8,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port  # 0 = ephemeral; rewritten by start()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self.service.close()
+
+    # -- per-connection loop ----------------------------------------------
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line or request_line in (b"\r\n", b"\n"):
+                    break
+                try:
+                    method, target, version = (
+                        request_line.decode("latin-1").strip().split(" ", 2)
+                    )
+                except ValueError:
+                    self._write(writer, ServeResponse(400, '{"error": "malformed request line"}'))
+                    break
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    key, _, value = line.decode("latin-1").partition(":")
+                    headers[key.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", 0))
+                except ValueError:
+                    length = -1
+                if length < 0 or length > MAX_BODY_BYTES:
+                    self._write(writer, ServeResponse(413, '{"error": "request body too large"}'))
+                    break
+                body = await reader.readexactly(length) if length else b""
+
+                response = await loop.run_in_executor(
+                    self._executor, self.service.dispatch, method, target, body
+                )
+                keep_alive = (
+                    version != "HTTP/1.0"
+                    and headers.get("connection", "").lower() != "close"
+                )
+                self._write(writer, response, keep_alive=keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # client went away mid-request
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    def _write(
+        writer: asyncio.StreamWriter,
+        response: ServeResponse,
+        keep_alive: bool = False,
+    ) -> None:
+        payload = response.body.encode()
+        phrase = _PHRASES.get(response.status, "Unknown")
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(payload)),
+            "Connection": "keep-alive" if keep_alive else "close",
+            **response.headers,
+        }
+        head = f"HTTP/1.1 {response.status} {phrase}\r\n" + "".join(
+            f"{k}: {v}\r\n" for k, v in headers.items()
+        ) + "\r\n"
+        writer.write(head.encode("latin-1") + payload)
+
+
+class ServerThread:
+    """The server on a daemon thread — an in-process HTTP endpoint.
+
+    ::
+
+        with ServerThread(PlanningService()) as url:
+            urllib.request.urlopen(f"{url}/healthz")
+
+    The thread owns its own event loop; ``stop()`` (or leaving the
+    ``with`` block) shuts the loop down and joins the thread.
+    """
+
+    def __init__(
+        self,
+        service: PlanningService | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 8,
+    ):
+        self.service = service if service is not None else PlanningService()
+        self._server = ServeServer(
+            self.service, host=host, port=port, max_workers=max_workers
+        )
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return self._server.url
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("serve thread failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"serve thread failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            await self._server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop_event.wait()
+        await self._server.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> str:
+        self.start()
+        return self.url
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_forever(
+    service: PlanningService | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    max_workers: int = 8,
+    quiet: bool = False,
+) -> None:
+    """Run the server until interrupted — ``python -m repro serve``."""
+    service = service if service is not None else PlanningService()
+
+    async def _run() -> None:
+        server = ServeServer(
+            service, host=host, port=port, max_workers=max_workers
+        )
+        await server.start()
+        if not quiet:
+            print(f"repro.serve listening on {server.url}")
+            print(f"  endpoints: /workloads /plan /run /trace /bench /stats")
+            print(f"  try: curl '{server.url}/plan?workload=adi&size=32'")
+        try:
+            await asyncio.Event().wait()  # until cancelled
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        if not quiet:
+            print("\nrepro.serve stopped")

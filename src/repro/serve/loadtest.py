@@ -1,0 +1,317 @@
+"""Load-test harness: N concurrent clients × registered workloads.
+
+The acceptance story of the service tier, executed: spin the asyncio
+server up in-process (or point ``url=`` at a running one), hammer it
+from ``clients`` concurrent threads, and verify the three properties
+the serving design claims —
+
+1. **zero failed requests** under concurrency;
+2. **reproducibility**: identical requests (same workload, params,
+   seed) get byte-identical JSON bodies, across clients and phases;
+3. **cross-session caching**: the repeated-config phase's hit rate on
+   the shared response cache exceeds 50% (each distinct config is
+   computed once, every other request replays bytes).
+
+Two phases drive those properties:
+
+- ``unique`` — every request carries a fresh seed, so every response
+  is computed: the cold-path latency floor;
+- ``repeated`` — all clients replay one fixed config set ``rounds``
+  times: everything after the first computation of each config is a
+  cache hit (the millions-of-users steady state in miniature).
+
+Latency p50/p99/mean per phase, cache behaviour (from the
+``X-Repro-Cache`` response headers *and* the server's ``/stats``), and
+the byte-identity verdict land in ``BENCH_SERVE.json`` next to
+``BENCH_PERF.json``; ``check=True`` turns the three properties into a
+CI gate.  Run via ``python -m repro serve --loadtest`` or
+``benchmarks/bench_serve.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..api.registry import REGISTRY, WorkloadRegistry
+from ..defaults import DEFAULT_SEED
+
+__all__ = ["run_loadtest", "LoadtestError"]
+
+
+class LoadtestError(SystemExit):
+    """The load test's ``check`` gate failed (zero-failure /
+    byte-identity / hit-rate property violated)."""
+
+
+@dataclass
+class _Observation:
+    """One request as the client saw it."""
+
+    key: str          # canonical request descriptor (identity group)
+    phase: str
+    status: int
+    seconds: float
+    cache: str        # X-Repro-Cache header: hit | miss | bypass
+    digest: str       # sha256 of the body bytes
+    error: str | None = None
+
+
+def _http_post(url: str, payload: dict, timeout: float) -> tuple[int, dict, bytes]:
+    data = json.dumps(payload).encode()
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers or {}), exc.read()
+
+
+def _request_set(
+    registry: WorkloadRegistry, workloads: list[str] | None, smoke: bool
+) -> list[tuple[str, str, dict]]:
+    """(endpoint, workload, params) for every workload × stage.
+
+    Sizes are deliberately small — the harness measures the *service*
+    (dispatch, pooling, caching, concurrency), not the workloads.
+    """
+    size = 12 if smoke else 24
+    items: list[tuple[str, str, dict]] = []
+    for name in workloads or registry.names():
+        spec = registry.get(name)
+        params: dict = {}
+        if "size" in spec.defaults:
+            params["size"] = size
+        if "iterations" in spec.defaults:
+            params["iterations"] = 1 if smoke else 2
+        if "steps" in spec.defaults:
+            params["steps"] = 2 if smoke else 4
+        if spec.plannable:
+            items.append(("plan", name, params))
+        items.append(("run", name, params))
+        items.append(("trace", name, dict(params, compact=True)))
+    return items
+
+
+def _percentiles(seconds: list[float]) -> dict:
+    if not seconds:
+        return {"p50_ms": None, "p99_ms": None, "mean_ms": None, "max_ms": None}
+    ms = np.asarray(seconds) * 1e3
+    return {
+        "p50_ms": float(np.percentile(ms, 50)),
+        "p99_ms": float(np.percentile(ms, 99)),
+        "mean_ms": float(ms.mean()),
+        "max_ms": float(ms.max()),
+    }
+
+
+def _run_phase(
+    base_url: str,
+    phase: str,
+    per_client: list[list[tuple[str, dict]]],
+    timeout: float,
+) -> list[_Observation]:
+    """Each client thread walks its own request list sequentially; all
+    clients run concurrently."""
+
+    def client(requests: list[tuple[str, dict]]) -> list[_Observation]:
+        out: list[_Observation] = []
+        for endpoint, payload in requests:
+            key = json.dumps({"endpoint": endpoint, **payload}, sort_keys=True)
+            t0 = time.perf_counter()
+            try:
+                status, headers, body = _http_post(
+                    f"{base_url}/{endpoint}", payload, timeout
+                )
+                out.append(_Observation(
+                    key=key, phase=phase, status=status,
+                    seconds=time.perf_counter() - t0,
+                    cache=headers.get("X-Repro-Cache", "unknown"),
+                    digest=hashlib.sha256(body).hexdigest(),
+                    error=None if status == 200 else body.decode(errors="replace")[:200],
+                ))
+            except Exception as exc:
+                out.append(_Observation(
+                    key=key, phase=phase, status=0,
+                    seconds=time.perf_counter() - t0,
+                    cache="error", digest="", error=str(exc),
+                ))
+        return out
+
+    with ThreadPoolExecutor(max_workers=len(per_client)) as pool:
+        results = list(pool.map(client, per_client))
+    return [obs for client_obs in results for obs in client_obs]
+
+
+def _phase_report(name: str, observations: list[_Observation]) -> dict:
+    mine = [o for o in observations if o.phase == name]
+    failures = [o for o in mine if o.status != 200]
+    hits = sum(1 for o in mine if o.cache == "hit")
+    lookups = sum(1 for o in mine if o.cache in ("hit", "miss"))
+    return {
+        "name": name,
+        "requests": len(mine),
+        "failures": len(failures),
+        "failure_samples": [o.error for o in failures[:3]],
+        "cache_hits": hits,
+        "cache_lookups": lookups,
+        "cache_hit_rate": (hits / lookups) if lookups else None,
+        "latency": _percentiles([o.seconds for o in mine]),
+    }
+
+
+def run_loadtest(
+    url: str | None = None,
+    clients: int = 8,
+    rounds: int = 3,
+    workloads: list[str] | None = None,
+    registry: WorkloadRegistry | None = None,
+    *,
+    smoke: bool = False,
+    seed: int = DEFAULT_SEED,
+    out: str | None = "BENCH_SERVE.json",
+    check: bool = False,
+    quiet: bool = False,
+    timeout: float = 120.0,
+) -> dict:
+    """Run the two-phase load test; return (and optionally write) the report.
+
+    ``url=None`` starts an in-process :class:`~repro.serve.ServerThread`
+    around a fresh :class:`~repro.serve.PlanningService` and tears it
+    down afterwards; otherwise the running server at ``url`` is
+    tested (its caches are *not* cleared — hit rates then reflect its
+    real state).  ``check=True`` raises :class:`LoadtestError` unless
+    all three serving properties hold.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    registry = registry if registry is not None else REGISTRY
+    items = _request_set(registry, workloads, smoke)
+
+    started_server = None
+    if url is None:
+        from .http import ServerThread
+        from .service import PlanningService
+
+        started_server = ServerThread(
+            PlanningService(registry=registry), max_workers=clients
+        ).start()
+        url = started_server.url
+    base_url = url.rstrip("/")
+
+    try:
+        # phase 1 — unique configs: every request gets its own seed, so
+        # every response is computed (cold-path latencies, all misses)
+        unique_lists = [
+            [
+                (endpoint, dict(params, workload=name,
+                                seed=seed + 1000 + client * len(items) + i))
+                for i, (endpoint, name, params) in enumerate(items)
+            ]
+            for client in range(clients)
+        ]
+        # phase 2 — repeated configs: one fixed seed, all clients replay
+        # the same set `rounds` times (steady-state cache behaviour)
+        repeated = [
+            (endpoint, dict(params, workload=name, seed=seed))
+            for endpoint, name, params in items
+        ]
+        repeated_lists = [list(repeated) * rounds for _ in range(clients)]
+
+        observations = _run_phase(base_url, "unique", unique_lists, timeout)
+        observations += _run_phase(base_url, "repeated", repeated_lists, timeout)
+
+        # byte-identity: within each identical-request group, every
+        # response body must hash the same
+        groups: dict[str, set[str]] = {}
+        for o in observations:
+            if o.status == 200:
+                groups.setdefault(o.key, set()).add(o.digest)
+        divergent = sorted(k for k, v in groups.items() if len(v) > 1)
+
+        try:
+            status, _, stats_body = _http_post(
+                f"{base_url}/stats", {}, timeout
+            )
+            server_stats = json.loads(stats_body) if status == 200 else None
+        except Exception:
+            server_stats = None
+    finally:
+        if started_server is not None:
+            started_server.stop()
+
+    phases = [
+        _phase_report("unique", observations),
+        _phase_report("repeated", observations),
+    ]
+    report = {
+        "schema": "repro-bench-serve/1",
+        "smoke": bool(smoke),
+        "base_url": base_url,
+        "in_process_server": started_server is not None,
+        "clients": clients,
+        "rounds": rounds,
+        "workloads": list(workloads or registry.names()),
+        "request_set": [
+            {"endpoint": e, "workload": w, "params": p} for e, w, p in items
+        ],
+        "phases": phases,
+        "total_requests": len(observations),
+        "total_failures": sum(p["failures"] for p in phases),
+        "byte_identical": not divergent,
+        "divergent_requests": divergent[:5],
+        "latency": _percentiles([o.seconds for o in observations]),
+        "server_stats": server_stats,
+    }
+
+    if not quiet:
+        for p in phases:
+            lat = p["latency"]
+            rate = p["cache_hit_rate"]
+            print(
+                f"  {p['name']:9s} {p['requests']:4d} requests, "
+                f"{p['failures']} failed, "
+                f"p50 {lat['p50_ms']:.1f} ms, p99 {lat['p99_ms']:.1f} ms, "
+                f"hit rate {'n/a' if rate is None else f'{rate:.0%}'}"
+            )
+        print(f"  byte-identical responses: {report['byte_identical']}")
+
+    if out:
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        if not quiet:
+            print(f"  wrote {out}")
+
+    if check:
+        problems = []
+        if report["total_failures"]:
+            problems.append(f"{report['total_failures']} failed request(s)")
+        if not report["byte_identical"]:
+            problems.append(
+                f"non-identical responses for identical requests: "
+                f"{divergent[:2]}"
+            )
+        repeated_rate = phases[1]["cache_hit_rate"]
+        if repeated_rate is None or repeated_rate <= 0.5:
+            problems.append(
+                f"repeated-config cache hit rate "
+                f"{'n/a' if repeated_rate is None else f'{repeated_rate:.0%}'} "
+                f"(need > 50%)"
+            )
+        if problems:
+            raise LoadtestError(
+                "serve load test failed: " + "; ".join(problems)
+            )
+    return report

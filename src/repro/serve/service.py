@@ -1,0 +1,335 @@
+"""The transport-agnostic planning service.
+
+:class:`PlanningService` is the whole multi-tenant story with no
+socket in sight: it owns the session pool, the shared cross-session
+:class:`~repro.runtime.redistribute.PlanCache`, and the response
+cache, and maps ``(method, path, params)`` onto the workload registry:
+
+========== ====== ======================================================
+path       verbs  meaning
+========== ====== ======================================================
+/workloads GET    the registry: names, defaults, descriptions
+/plan      GET/POST run the automatic distribution planner
+/run       GET/POST execute a workload; typed RunResult JSON
+/trace     GET/POST record + simulate; typed TraceResult JSON
+/bench     GET/POST wall-clock repetitions (never cached)
+/stats     GET    plan-cache, response-cache, pool and request counters
+/healthz   GET    liveness + version
+========== ====== ======================================================
+
+Request parameters ride in the query string (values parsed as JSON
+scalars where possible) and/or a JSON object body; body keys win.
+Common knobs: ``workload`` (required on stage endpoints), ``nprocs``,
+``cost_model``, ``seed``, plus the stage options (``cost_mode`` /
+``method`` for plan, ``backend`` for run and bench, ``overlap`` /
+``compact`` for trace, ``repeats`` for bench).  Every other key must
+be a registered parameter of the named workload — unknown keys are a
+400, exactly like the session API's ``TypeError``.
+
+Responses are the **byte-identical** ``json_str()`` payloads the CLI's
+``--json`` flags print (that is the service/CLI consistency contract),
+so deterministic stages are cached across sessions by config
+fingerprint: a hit replays the stored bytes and says so in the
+``X-Repro-Cache`` header, never in the body.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+from ..api.config import BACKEND_NAMES, SessionConfig, resolve_cost_model
+from ..api.registry import REGISTRY, WorkloadRegistry
+from ..api.results import _jsonable
+from ..defaults import DEFAULT_SEED
+from ..runtime.redistribute import PlanCache
+from .cache import ResponseCache, request_fingerprint
+from .pool import SessionPool
+
+__all__ = ["PlanningService", "ServeResponse", "ENDPOINTS"]
+
+#: the service surface (stage endpoints enumerate the registry)
+ENDPOINTS = ("/workloads", "/plan", "/run", "/trace", "/bench", "/stats",
+             "/healthz")
+
+#: stage endpoints whose responses are pure functions of the request
+#: fingerprint (bench is wall-clock, so it is never cached)
+CACHEABLE = frozenset({"plan", "run", "trace"})
+
+#: per-stage option knobs (everything else must be a workload param)
+_STAGE_OPTIONS = {
+    "plan": ("cost_mode", "method"),
+    "run": ("backend",),
+    "trace": ("overlap", "compact"),
+    "bench": ("backend", "repeats"),
+}
+
+
+@dataclass
+class ServeResponse:
+    """One HTTP-shaped answer: status, JSON body string, extra headers."""
+
+    status: int
+    body: str
+    headers: dict = field(default_factory=dict)
+
+    @property
+    def json(self):
+        """The parsed body (tests and in-process callers)."""
+        return json.loads(self.body)
+
+
+def _error(status: int, message: str) -> ServeResponse:
+    return ServeResponse(
+        status, json.dumps({"error": str(message)}, indent=2),
+        {"X-Repro-Cache": "bypass"},
+    )
+
+
+def _coerce(raw: str):
+    """Query-string value -> typed value: JSON scalar when it parses
+    (``64`` -> int, ``true`` -> bool, ``null`` -> None), else string."""
+    try:
+        return json.loads(raw)
+    except (json.JSONDecodeError, ValueError):
+        return raw
+
+
+class PlanningService:
+    """Multi-tenant plan/run/trace/bench over the workload registry.
+
+    One instance is the whole shared state of a server: construct it
+    once, dispatch from as many threads as you like (``dispatch`` is
+    thread-safe; workload execution itself runs on the caller's
+    thread, which is how the asyncio front end achieves concurrency —
+    one executor thread per in-flight request, all hitting the same
+    caches).
+    """
+
+    def __init__(
+        self,
+        registry: WorkloadRegistry | None = None,
+        *,
+        max_idle_sessions: int = 4,
+        response_cache_capacity: int = 256,
+        plan_cache_capacity: int = 128,
+        default_nprocs: int = 4,
+        default_cost_model: str = "Paragon",
+    ):
+        self.registry = registry if registry is not None else REGISTRY
+        #: the shared cross-session plan cache (``/stats`` proves reuse)
+        self.plan_cache = PlanCache(capacity=plan_cache_capacity)
+        self.pool = SessionPool(
+            registry=self.registry,
+            plan_cache=self.plan_cache,
+            max_idle=max_idle_sessions,
+        )
+        self.responses = ResponseCache(capacity=response_cache_capacity)
+        self.default_nprocs = int(default_nprocs)
+        self.default_cost_model = str(default_cost_model)
+        self._lock = threading.Lock()
+        self._requests: dict[str, int] = {}
+        self._errors = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self) -> "PlanningService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- dispatch ----------------------------------------------------------
+    def dispatch(
+        self, method: str, target: str, body: bytes | str | None = None
+    ) -> ServeResponse:
+        """Route one request.  ``target`` is the request path with
+        optional query string; ``body`` an optional JSON object."""
+        parts = urlsplit(target)
+        path = parts.path.rstrip("/") or "/"
+        params = {k: _coerce(v) for k, v in parse_qsl(parts.query)}
+        if body:
+            if isinstance(body, bytes):
+                body = body.decode("utf-8", errors="replace")
+            if body.strip():
+                try:
+                    parsed = json.loads(body)
+                except json.JSONDecodeError as exc:
+                    return self._count(path, _error(400, f"invalid JSON body: {exc}"))
+                if not isinstance(parsed, dict):
+                    return self._count(
+                        path, _error(400, "request body must be a JSON object")
+                    )
+                params.update(parsed)
+
+        if method.upper() not in ("GET", "POST"):
+            return self._count(path, _error(405, f"method {method} not allowed"))
+
+        try:
+            if path == "/workloads":
+                return self._count(path, self._workloads())
+            if path == "/stats":
+                return self._count(path, self._stats())
+            if path == "/healthz":
+                return self._count(path, self._healthz())
+            if path in ("/plan", "/run", "/trace", "/bench"):
+                return self._count(path, self._stage(path.lstrip("/"), params))
+            return self._count(
+                path,
+                _error(404, f"no such endpoint {path!r} "
+                            f"(available: {', '.join(ENDPOINTS)})"),
+            )
+        except KeyError as exc:
+            return self._count(path, _error(404, exc.args[0] if exc.args else exc))
+        except (TypeError, ValueError) as exc:
+            return self._count(path, _error(400, exc))
+        except Exception as exc:  # a bug, not a bad request
+            return self._count(
+                path, _error(500, f"{type(exc).__name__}: {exc}")
+            )
+
+    def _count(self, path: str, response: ServeResponse) -> ServeResponse:
+        with self._lock:
+            self._requests[path] = self._requests.get(path, 0) + 1
+            if response.status >= 400:
+                self._errors += 1
+        return response
+
+    # -- fixed endpoints ---------------------------------------------------
+    def _workloads(self) -> ServeResponse:
+        specs = [
+            {
+                "name": spec.name,
+                "description": spec.description,
+                "defaults": _jsonable(spec.defaults),
+                "plannable": spec.plannable,
+            }
+            for spec in self.registry
+        ]
+        body = json.dumps(
+            {"schema": "repro-serve-workloads/1", "workloads": specs},
+            indent=2,
+        )
+        return ServeResponse(200, body, {"X-Repro-Cache": "bypass"})
+
+    def _stats(self) -> ServeResponse:
+        with self._lock:
+            requests = dict(sorted(self._requests.items()))
+            errors = self._errors
+        body = json.dumps(
+            {
+                "schema": "repro-serve-stats/1",
+                "plan_cache": self.plan_cache.stats(),
+                "response_cache": self.responses.stats(),
+                "sessions": self.pool.stats(),
+                "requests": requests,
+                "errors": errors,
+                "workloads": list(self.registry.names()),
+            },
+            indent=2,
+        )
+        return ServeResponse(200, body, {"X-Repro-Cache": "bypass"})
+
+    def _healthz(self) -> ServeResponse:
+        from .. import __version__
+
+        return ServeResponse(
+            200,
+            json.dumps({"ok": True, "version": __version__}, indent=2),
+            {"X-Repro-Cache": "bypass"},
+        )
+
+    # -- stage endpoints ---------------------------------------------------
+    def _stage(self, endpoint: str, params: dict) -> ServeResponse:
+        params = dict(params)
+        workload = params.pop("workload", None)
+        if not workload:
+            raise ValueError(
+                f"/{endpoint} needs a 'workload' parameter "
+                f"(registered: {', '.join(self.registry.names())})"
+            )
+        spec = self.registry.get(str(workload))
+
+        nprocs = int(params.pop("nprocs", self.default_nprocs))
+        cost_model = resolve_cost_model(
+            params.pop("cost_model", self.default_cost_model)
+        ).name
+        seed = int(params.pop("seed", DEFAULT_SEED))
+        options = {}
+        for key in _STAGE_OPTIONS[endpoint]:
+            if key in params:
+                options[key] = params.pop(key)
+        backend = options.get("backend")
+        if backend is not None and backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {backend!r} (expected one of {BACKEND_NAMES})"
+            )
+
+        # what's left must be workload parameters — validated exactly
+        # like Session.workload() (unknown keys are a 400 up the stack)
+        workload_params = spec.resolve_params(params)
+
+        fingerprint = request_fingerprint(
+            endpoint,
+            spec.name,
+            nprocs=nprocs,
+            cost_model=cost_model,
+            backend=backend,
+            seed=seed,
+            params=workload_params,
+            options=options,
+        )
+        cacheable = endpoint in CACHEABLE
+        if cacheable:
+            cached = self.responses.get(fingerprint)
+            if cached is not None:
+                return ServeResponse(
+                    200, cached,
+                    {"X-Repro-Cache": "hit",
+                     "X-Repro-Fingerprint": fingerprint},
+                )
+
+        # the per-request seed rides on the *handle*, not the session
+        # config: pooled sessions stay seed-agnostic, so tenants with
+        # different seeds still reuse one session per (nprocs,
+        # cost_model, backend) triple
+        config = SessionConfig(
+            nprocs=nprocs, cost_model=cost_model, backend=backend
+        )
+        session = self.pool.acquire(config)
+        try:
+            handle = session.workload(spec.name, seed=seed, **workload_params)
+            if endpoint == "plan":
+                result = handle.plan(
+                    cost_mode=str(options.get("cost_mode", "model")),
+                    method=str(options.get("method", "auto")),
+                )
+                body = result.json_str()
+            elif endpoint == "run":
+                body = handle.run().json_str()
+            elif endpoint == "trace":
+                overlap = options.get("overlap")
+                if overlap is not None:
+                    overlap = bool(overlap)
+                result = handle.trace(overlap=overlap)
+                body = json.dumps(
+                    result.to_json(intervals=not options.get("compact", False)),
+                    indent=2,
+                )
+            else:  # bench
+                result = handle.bench(repeats=int(options.get("repeats", 3)))
+                body = result.json_str()
+        finally:
+            self.pool.release(session)
+
+        if cacheable:
+            self.responses.put(fingerprint, body)
+        return ServeResponse(
+            200, body,
+            {"X-Repro-Cache": "miss" if cacheable else "bypass",
+             "X-Repro-Fingerprint": fingerprint},
+        )

@@ -1,0 +1,111 @@
+"""The asyncio HTTP front end: real sockets, byte-identical round trips."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import PlanningService, ServerThread
+
+
+@pytest.fixture(scope="module")
+def server():
+    thread = ServerThread(PlanningService()).start()
+    yield thread
+    thread.stop()
+
+
+def _get(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers or {}), exc.read()
+
+
+def _post(url: str, payload: dict):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers or {}), exc.read()
+
+
+def test_healthz_over_http(server):
+    status, headers, body = _get(f"{server.url}/healthz")
+    assert status == 200
+    assert headers["Content-Type"] == "application/json"
+    assert json.loads(body)["ok"] is True
+
+
+def test_http_matches_in_process_dispatch_bytewise(server):
+    target = "/run?workload=adi&size=16&iterations=1&seed=3"
+    status, _, body = _get(f"{server.url}{target}")
+    assert status == 200
+    inproc = server.service.dispatch("GET", target)
+    assert body.decode() == inproc.body
+
+
+def test_get_and_post_byte_identical_over_http(server):
+    payload = {"workload": "smoothing", "size": 16, "steps": 2, "seed": 9,
+               "compact": True}
+    query = "&".join(f"{k}={json.dumps(v)}" for k, v in payload.items())
+    s1, h1, b1 = _get(f"{server.url}/trace?{query}")
+    s2, h2, b2 = _post(f"{server.url}/trace", payload)
+    assert s1 == s2 == 200
+    assert b1 == b2
+    assert {h1["X-Repro-Cache"], h2["X-Repro-Cache"]} <= {"hit", "miss"}
+
+
+def test_http_error_statuses(server):
+    status, _, body = _get(f"{server.url}/nope")
+    assert status == 404
+    status, _, body = _get(f"{server.url}/run?workload=adi&sizzle=1")
+    assert status == 400
+    assert "sizzle" in json.loads(body)["error"]
+
+
+def test_cache_header_rides_the_wire(server):
+    target = f"{server.url}/plan?workload=pic&size=16&seed=42"
+    _, first, _ = _get(target)
+    _, second, _ = _get(target)
+    assert first["X-Repro-Cache"] in ("miss", "hit")
+    assert second["X-Repro-Cache"] == "hit"
+    assert first["X-Repro-Fingerprint"] == second["X-Repro-Fingerprint"]
+
+
+def test_keep_alive_connection_serves_many_requests(server):
+    # urllib opens a new connection per request; talk HTTP/1.1 by hand
+    # to prove one connection survives a request sequence
+    import socket
+
+    with socket.create_connection(("127.0.0.1", server.port), timeout=30) as sock:
+        fh = sock.makefile("rb")
+        for _ in range(3):
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\n"
+                b"Host: localhost\r\nContent-Length: 0\r\n\r\n"
+            )
+            status_line = fh.readline()
+            assert b"200" in status_line
+            length = None
+            while True:
+                line = fh.readline()
+                if line in (b"\r\n", b"\n"):
+                    break
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":")[1])
+            assert length is not None
+            body = fh.read(length)
+            assert json.loads(body)["ok"] is True
+
+
+def test_server_thread_context_manager():
+    with ServerThread(PlanningService()) as url:
+        status, _, _ = _get(f"{url}/healthz")
+        assert status == 200

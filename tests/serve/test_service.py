@@ -1,0 +1,173 @@
+"""PlanningService dispatch: routing, caching, validation, stats."""
+
+import json
+
+import pytest
+
+from repro.api import REGISTRY
+from repro.serve import ENDPOINTS, PlanningService
+
+
+@pytest.fixture
+def service():
+    with PlanningService() as svc:
+        yield svc
+
+
+# -- fixed endpoints -------------------------------------------------------
+
+
+def test_workloads_lists_registry(service):
+    resp = service.dispatch("GET", "/workloads")
+    assert resp.status == 200
+    payload = resp.json
+    assert payload["schema"] == "repro-serve-workloads/1"
+    names = {w["name"] for w in payload["workloads"]}
+    assert names == set(REGISTRY.names())
+    for spec in payload["workloads"]:
+        assert {"name", "description", "defaults", "plannable"} <= set(spec)
+
+
+def test_healthz_reports_version(service):
+    import repro
+
+    resp = service.dispatch("GET", "/healthz")
+    assert resp.status == 200
+    assert resp.json == {"ok": True, "version": repro.__version__}
+
+
+def test_stats_schema(service):
+    service.dispatch("GET", "/run?workload=adi&size=16&iterations=1&seed=0")
+    resp = service.dispatch("GET", "/stats")
+    stats = resp.json
+    assert stats["schema"] == "repro-serve-stats/1"
+    assert {"plan_cache", "response_cache", "sessions", "requests",
+            "errors", "workloads"} <= set(stats)
+    assert stats["requests"]["/run"] == 1
+    assert stats["sessions"]["created"] == 1
+
+
+# -- stage endpoints -------------------------------------------------------
+
+
+def test_run_get_and_post_are_equivalent(service):
+    get = service.dispatch(
+        "GET", "/run?workload=adi&size=16&iterations=1&seed=7")
+    post = service.dispatch(
+        "POST", "/run",
+        json.dumps({"workload": "adi", "size": 16, "iterations": 1,
+                    "seed": 7}))
+    assert get.status == post.status == 200
+    # same fingerprint, so the POST replays the GET's bytes
+    assert get.headers["X-Repro-Cache"] == "miss"
+    assert post.headers["X-Repro-Cache"] == "hit"
+    assert (get.headers["X-Repro-Fingerprint"]
+            == post.headers["X-Repro-Fingerprint"])
+    assert get.body == post.body
+
+
+def test_body_keys_override_query(service):
+    resp = service.dispatch(
+        "POST", "/run?workload=adi&size=16&seed=1",
+        json.dumps({"seed": 2, "iterations": 1}))
+    assert resp.status == 200
+    assert resp.json["seed"] == 2
+
+
+def test_plan_response_is_typed_plan_result(service):
+    resp = service.dispatch("GET", "/plan?workload=adi&size=16&seed=0")
+    assert resp.status == 200
+    payload = resp.json
+    assert payload["workload"] == "adi"
+    assert {"plan", "cost_model", "cost_mode", "method"} <= set(payload)
+
+
+def test_trace_compact_omits_per_processor_intervals(service):
+    full = service.dispatch(
+        "GET", "/trace?workload=smoothing&size=16&steps=2&seed=0")
+    compact = service.dispatch(
+        "GET",
+        "/trace?workload=smoothing&size=16&steps=2&seed=0&compact=true")
+    assert full.status == compact.status == 200
+    assert "processors" in full.json["blocking"]
+    assert "processors" not in compact.json["blocking"]
+    # different options -> different fingerprints, no false sharing
+    assert (full.headers["X-Repro-Fingerprint"]
+            != compact.headers["X-Repro-Fingerprint"])
+
+
+def test_bench_is_never_cached(service):
+    target = "/bench?workload=adi&size=16&iterations=1&repeats=1&seed=0"
+    first = service.dispatch("GET", target)
+    second = service.dispatch("GET", target)
+    assert first.status == second.status == 200
+    assert first.headers["X-Repro-Cache"] == "bypass"
+    assert second.headers["X-Repro-Cache"] == "bypass"
+
+
+def test_identical_requests_are_byte_identical(service):
+    target = "/trace?workload=pic&size=16&steps=2&seed=5"
+    bodies = {service.dispatch("GET", target).body for _ in range(3)}
+    assert len(bodies) == 1
+
+
+def test_different_seeds_share_one_pooled_session(service):
+    for seed in range(4):
+        resp = service.dispatch(
+            "GET", f"/run?workload=adi&size=16&iterations=1&seed={seed}")
+        assert resp.status == 200
+    stats = service.pool.stats()
+    assert stats["created"] == 1
+    assert stats["reused"] == 3
+
+
+# -- validation and errors -------------------------------------------------
+
+
+def test_unknown_endpoint_404(service):
+    resp = service.dispatch("GET", "/nope")
+    assert resp.status == 404
+    for endpoint in ENDPOINTS:
+        assert endpoint in resp.json["error"]
+
+
+def test_unknown_workload_404(service):
+    resp = service.dispatch("GET", "/plan?workload=bogus")
+    assert resp.status == 404
+    assert "bogus" in resp.json["error"]
+
+
+def test_missing_workload_400(service):
+    resp = service.dispatch("GET", "/run")
+    assert resp.status == 400
+    assert "workload" in resp.json["error"]
+
+
+def test_unknown_param_400(service):
+    resp = service.dispatch("GET", "/run?workload=adi&sizzle=16")
+    assert resp.status == 400
+    assert "sizzle" in resp.json["error"]
+
+
+def test_unknown_backend_400(service):
+    resp = service.dispatch("GET", "/run?workload=adi&backend=gpu")
+    assert resp.status == 400
+    assert "gpu" in resp.json["error"]
+
+
+def test_bad_json_body_400(service):
+    resp = service.dispatch("POST", "/run", "{not json")
+    assert resp.status == 400
+    resp = service.dispatch("POST", "/run", "[1, 2]")
+    assert resp.status == 400
+
+
+def test_method_not_allowed_405(service):
+    resp = service.dispatch("DELETE", "/run?workload=adi")
+    assert resp.status == 405
+
+
+def test_errors_counted_in_stats(service):
+    service.dispatch("GET", "/nope")
+    service.dispatch("GET", "/run")
+    assert service.dispatch("GET", "/stats").json["errors"] == 2

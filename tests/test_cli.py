@@ -140,6 +140,27 @@ def test_registered_workloads_drive_the_choices(capsys):
     assert helptext  # sanity
 
 
+def test_serve_loadtest_json_roundtrip(tmp_path, capsys):
+    out = tmp_path / "BENCH_SERVE.json"
+    report = _run_json(
+        capsys,
+        ["serve", "--loadtest", "--smoke", "--clients", "2", "--rounds", "3",
+         "--out", str(out), "--check", "--json"],
+    )
+    assert report["schema"] == "repro-bench-serve/1"
+    assert report["total_failures"] == 0
+    assert report["byte_identical"] is True
+    assert json.loads(out.read_text())["clients"] == 2
+
+
+def test_serve_check_gate_fails_loudly(tmp_path):
+    # an unreachable --url means every request fails: --check must exit
+    # non-zero (this is the CI contract of the serve smoke step)
+    with pytest.raises(SystemExit):
+        main(["serve", "--url", "http://127.0.0.1:9", "--clients", "1",
+              "--rounds", "1", "--smoke", "--check", "--out", ""])
+
+
 def test_tour_still_runs(capsys):
     main(None)
     out = capsys.readouterr().out

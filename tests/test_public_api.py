@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.apps",
     "repro.api",
     "repro.sim",
+    "repro.serve",
 ]
 
 # The root surface, pinned (ISSUE 5): changing what `from repro import *`
@@ -42,10 +43,12 @@ EXPORT_SNAPSHOT = sorted([
     "MultiprocessBackend", "NEVER", "Network", "NetworkStats", "NoDist",
     "OptimizeStats", "OverlapManager", "PARAGON", "PRESETS", "Phase",
     "PhaseSequence", "Plan", "PlanCache", "PlanExecutor", "PlanResult",
+    "PlanningService",
     "PlausibleSet", "ProcClock", "ProcDef", "Procedure", "ProcessorArray",
     "ProcessorSection", "QueryList", "Range", "ReachingDistributions",
     "ReadAccessor", "RedistributionReport", "Replicated", "RunResult",
     "SBlock", "ScheduleStep", "Scope", "SerialBackend", "Session",
+    "SessionClosedError",
     "SessionConfig", "SessionResult", "SharedSegmentAllocator",
     "SimulatedCostEngine", "StencilKernel", "Stmt", "TOP", "Timeline",
     "TraceResult", "TranslationTable", "Transport", "TransportTimeout",
@@ -54,7 +57,8 @@ EXPORT_SNAPSHOT = sorted([
     "ZERO_COST", "__version__", "adi_workload", "analyze", "api", "apps",
     "attached_backend", "available_workloads", "backend", "bind_pattern",
     "broadcast_from", "build_cfg", "calibrate", "classify_tag",
-    "clear_interning_caches", "communicate", "compiler", "construct",
+    "clear_interning_caches", "communicate", "compiler",
+    "config_fingerprint", "construct",
     "critical_path", "decide_pattern", "decide_querylist",
     "default_plan_cache", "dim_implies", "dim_menu", "dim_overlaps",
     "dist_type", "dp_schedule", "dump_json", "enumerate_layouts",
@@ -71,7 +75,8 @@ EXPORT_SNAPSHOT = sorted([
     "plan_array", "plan_program", "plan_workload", "planner", "record",
     "reduce_scalar", "refine_pattern", "register_generator",
     "register_workload", "relaxed_barriers", "replay_blocking",
-    "replay_split_exchange", "resolve_backend", "segment_moves",
+    "replay_split_exchange", "resolve_backend", "run_loadtest",
+    "segment_moves", "serve",
     "session", "shift_exchange", "shift_plan", "sim", "simulate",
     "smoothing_workload", "summary", "timeline_summary", "timeline_table",
     "to_chrome_trace", "to_json", "transfer_matrix",
@@ -155,7 +160,7 @@ def test_session_facade_reexported_from_root():
 def test_version():
     import repro
 
-    assert repro.__version__ == "1.5.0"
+    assert repro.__version__ == "1.6.0"
 
 
 def test_sim_reexported_from_root():
@@ -172,6 +177,23 @@ def test_sim_reexported_from_root():
     exec("from repro import *", ns)  # noqa: S102
     for required in ("EventLog", "simulate", "Timeline", "critical_path",
                      "gantt"):
+        assert required in ns
+
+
+def test_serve_reexported_from_root():
+    """The v1.6.0 surface: the serving tier is one import away (ISSUE 6)."""
+    import repro
+
+    assert repro.serve.__name__ == "repro.serve"
+    assert repro.PlanningService is repro.serve.PlanningService
+    assert repro.run_loadtest is repro.serve.run_loadtest
+    assert repro.SessionClosedError is repro.api.SessionClosedError
+    assert repro.config_fingerprint is repro.api.config_fingerprint
+
+    ns: dict = {}
+    exec("from repro import *", ns)  # noqa: S102
+    for required in ("PlanningService", "run_loadtest",
+                     "SessionClosedError", "config_fingerprint"):
         assert required in ns
 
 
