@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Observability walkthrough: one served request, fully instrumented.
+
+Starts the planning service in-process, sends a ``/trace`` request, and
+then inspects everything :mod:`repro.obs` recorded about it:
+
+1. the ``X-Repro-Request-Id`` response header and the spans that
+   carry it (``serve.request`` down to ``session.trace``);
+2. the Prometheus ``/metrics`` exposition — request latency histogram,
+   cache lookup counters, planner search counters;
+3. a merged ``chrome://tracing`` file: the *runtime* spans of the
+   served request (pid 1) next to the *simulated machine's* timeline
+   (pid 0) — the request and the parallel execution it simulated, one
+   trace viewer, two levels of the stack.
+
+Run:  python examples/observe.py [--out observe_trace.json]
+"""
+
+import argparse
+import json
+import urllib.request
+
+import repro
+from repro import obs
+from repro.serve import PlanningService, ServerThread
+
+WORKLOAD, SIZE, STEPS = "smoothing", 32, 4
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="observe_trace.json",
+                        help="chrome://tracing output path")
+    args = parser.parse_args()
+
+    obs.enable()
+    obs.clear_spans()
+
+    # -- 1. one served request, end to end ------------------------------
+    with ServerThread(PlanningService()) as url:
+        target = (f"{url}/trace?workload={WORKLOAD}&size={SIZE}"
+                  f"&steps={STEPS}&compact=true")
+        with urllib.request.urlopen(target, timeout=120) as resp:
+            rid = resp.headers["X-Repro-Request-Id"]
+            body = json.loads(resp.read())
+        print(f"served /trace for {WORKLOAD!r}: request id {rid}")
+        print(f"  simulated blocking makespan: "
+              f"{body['blocking']['metrics']['makespan']:.6f} s")
+
+        spans = obs.finished_spans(request_id=rid)
+        print(f"\nspans recorded for this request ({len(spans)}):")
+        for s in sorted(spans, key=lambda s: s.start):
+            print(f"  {s.name:24s} {s.duration * 1e3:8.2f} ms  "
+                  f"attrs={s.attrs}")
+
+        # -- 2. the Prometheus exposition -------------------------------
+        with urllib.request.urlopen(f"{url}/metrics", timeout=30) as resp:
+            metrics = resp.read().decode()
+    interesting = ("repro_http_request_seconds_count",
+                   "repro_http_requests_total",
+                   "repro_planner_plans_total",
+                   "repro_plan_cache_lookups_total",
+                   "repro_response_cache_lookups_total")
+    print("\nselected /metrics series:")
+    for line in metrics.splitlines():
+        if line.startswith(interesting):
+            print(f"  {line}")
+
+    # -- 3. merge runtime spans with the simulated timeline -------------
+    # re-simulate the same configuration locally to get the Timeline
+    # object (the served response carries only its JSON summary)
+    with repro.session(nprocs=4) as sess:
+        timeline = sess.workload(
+            WORKLOAD, size=SIZE, steps=STEPS).trace().blocking
+    doc = obs.dump_chrome_trace(args.out, timeline=timeline)
+    events = doc["traceEvents"]
+    print(f"\nwrote {args.out}: {len(events)} events "
+          f"({doc['otherData']['runtime_spans']} runtime spans, "
+          f"pid 0 = simulated machine, pid 1 = repro runtime)")
+    print("open it in chrome://tracing or https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

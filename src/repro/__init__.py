@@ -39,6 +39,12 @@ Layers (bottom-up):
   particle-in-cell with B_BLOCK load balancing (Figure 2), the
   grid-smoothing distribution-choice example, and the irregular-mesh
   relaxation;
+- :mod:`repro.obs` — cross-layer observability: a process-wide
+  metrics registry (Counter/Gauge/Histogram, Prometheus text
+  exposition, off by default and near-zero-cost when off), structured
+  tracing spans carrying request/trace IDs through every tier, and a
+  Chrome-trace exporter that merges runtime spans with simulated
+  timelines;
 - :mod:`repro.api` — the session facade over all of the above: one
   :func:`session` owns the machine policy, backend, plan cache,
   event recording and RNG seeding, and hands out fluent workload
@@ -82,6 +88,7 @@ from . import apps as apps
 from . import backend as backend
 from . import compiler as compiler
 from . import lang as lang
+from . import obs as obs
 from . import perf as perf
 from . import planner as planner
 from . import serve as serve
@@ -321,9 +328,16 @@ from .sim import (
     to_json,
 )
 
+from .obs import (
+    MetricsRegistry,
+    get_request_id,
+    get_trace_id,
+    registry as metrics_registry,
+    span,
+)
 from .serve import PlanningService, run_loadtest
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",
@@ -333,6 +347,7 @@ __all__ = [
     "backend",
     "compiler",
     "lang",
+    "obs",
     "perf",
     "planner",
     "serve",
@@ -347,6 +362,12 @@ __all__ = [
     # the serving tier (repro.serve)
     "PlanningService",
     "run_loadtest",
+    # observability (repro.obs)
+    "MetricsRegistry",
+    "metrics_registry",
+    "span",
+    "get_request_id",
+    "get_trace_id",
     "SessionResult",
     "PlanResult",
     "RunResult",

@@ -13,6 +13,7 @@ headline comparisons.  Subcommands::
     python -m repro bench --smoke --check
     python -m repro serve --port 8642
     python -m repro serve --loadtest --clients 8 --check
+    python -m repro obs --workload adi --stage plan --json
 
 Every subcommand goes through :mod:`repro.api`: one
 :func:`repro.session` per invocation owns the machine policy, backend,
@@ -30,7 +31,10 @@ semantics; ``calibrate`` fits measured transport constants and plans
 against them; ``bench`` times the vectorized hot paths; ``serve``
 exposes all of it as a multi-tenant asyncio HTTP service (with
 ``--loadtest``, it instead hammers a fresh in-process server — or
-``--url``, a running one — and writes ``BENCH_SERVE.json``).  All
+``--url``, a running one — and writes ``BENCH_SERVE.json`` plus a
+``/metrics`` snapshot); ``obs`` flips observability on, optionally
+drives one workload stage, and dumps the metrics registry (Prometheus
+text, ``--json`` snapshot, ``--chrome-out`` span trace).  All
 subcommands accept ``--json`` for machine-readable reports and exit
 nonzero on failure instead of printing a traceback.
 
@@ -252,6 +256,7 @@ def serve_command(args: argparse.Namespace) -> None:
             rounds=args.rounds,
             smoke=args.smoke,
             out=args.out,
+            metrics_out=args.metrics_out,
             check=args.check,
             quiet=args.json,
         )
@@ -265,6 +270,28 @@ def serve_command(args: argparse.Namespace) -> None:
     serve_forever(
         service, host=args.host, port=args.port, max_workers=args.workers
     )
+
+
+def obs_command(args: argparse.Namespace) -> None:
+    """Drive a workload stage with observability on; dump the registry."""
+    from . import obs
+
+    obs.enable()
+    if args.workload:
+        with _session(args) as sess:
+            handle = sess.workload(args.workload, **_workload_params(args))
+            getattr(handle, args.stage)()
+    if args.chrome_out:
+        doc = obs.dump_chrome_trace(args.chrome_out)
+        if not args.json:
+            print(f"wrote {args.chrome_out} "
+                  f"({len(doc['traceEvents'])} events; open in "
+                  f"chrome://tracing or Perfetto)",
+                  file=sys.stderr)
+    if args.json:
+        print(json.dumps(obs.registry.snapshot(), indent=2))
+    else:
+        print(obs.render_prometheus(), end="")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -407,8 +434,37 @@ def build_parser() -> argparse.ArgumentParser:
                         "phase cache hit rate")
     s.add_argument("--out", default="BENCH_SERVE.json",
                    help="load-test report path ('' to skip writing)")
+    s.add_argument("--metrics-out", default="METRICS_SERVE.prom",
+                   help="load-test /metrics snapshot path "
+                        "('' to skip writing)")
     s.add_argument("--json", action="store_true",
                    help="emit the load-test report as JSON on stdout")
+
+    o = sub.add_parser(
+        "obs",
+        help="dump the observability registry (Prometheus text or JSON), "
+             "optionally after driving one workload stage to populate it",
+    )
+    o.add_argument("--workload", choices=workload_names, default=None,
+                   help="drive this workload first so the dump has data")
+    o.add_argument("--stage", default="plan",
+                   choices=("plan", "run", "trace", "bench"),
+                   help="which stage to drive on --workload")
+    o.add_argument("--nprocs", type=int, default=4)
+    o.add_argument("--size", type=int, default=32,
+                   help="grid/cell/mesh extent for --workload")
+    o.add_argument("--iterations", type=int, default=2,
+                   help="ADI outer iterations")
+    o.add_argument("--steps", type=int, default=10,
+                   help="time steps / sweeps (pic, smoothing, irregular)")
+    o.add_argument("--cost-model", default="Paragon",
+                   choices=COST_MODEL_CHOICES)
+    o.add_argument("--chrome-out", default=None,
+                   help="also write recorded spans as a chrome://tracing "
+                        "JSON file")
+    o.add_argument("--json", action="store_true",
+                   help="emit the registry snapshot as JSON instead of "
+                        "Prometheus text")
     return parser
 
 
@@ -419,6 +475,7 @@ COMMANDS = {
     "calibrate": calibrate_command,
     "bench": bench_command,
     "serve": serve_command,
+    "obs": obs_command,
 }
 
 

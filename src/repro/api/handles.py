@@ -14,9 +14,12 @@ session config, so every stage is deterministic in the config alone::
 
 from __future__ import annotations
 
+import functools
 import time
 from typing import TYPE_CHECKING
 
+from ..obs import metrics as _obs
+from ..obs.tracing import span as _span
 from .registry import ExecutionOutcome, WorkloadContext, WorkloadSpec
 from .results import BenchResult, PlanResult, RunResult, TraceResult
 
@@ -26,6 +29,42 @@ if TYPE_CHECKING:
     from .session import Session
 
 __all__ = ["WorkloadHandle"]
+
+_STAGES_TOTAL = _obs.counter(
+    "repro_session_stages_total",
+    "Workload-handle stage executions, by stage, workload and outcome.",
+    ("stage", "workload", "status"),
+)
+_STAGE_SECONDS = _obs.histogram(
+    "repro_session_stage_seconds",
+    "Wall-clock seconds per workload-handle stage.",
+    ("stage",),
+)
+
+
+def _staged(stage: str):
+    """Wrap a handle stage in a span plus count/latency instruments."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            if not _obs.enabled():
+                return fn(self, *args, **kwargs)
+            t0 = time.perf_counter()
+            with _span(f"session.{stage}", workload=self.name):
+                try:
+                    result = fn(self, *args, **kwargs)
+                except Exception:
+                    _STAGES_TOTAL.inc(stage=stage, workload=self.name,
+                                      status="error")
+                    raise
+            _STAGES_TOTAL.inc(stage=stage, workload=self.name, status="ok")
+            _STAGE_SECONDS.observe(time.perf_counter() - t0, stage=stage)
+            return result
+
+        return wrapper
+
+    return decorate
 
 
 class WorkloadHandle:
@@ -83,6 +122,7 @@ class WorkloadHandle:
             return self._spec.execute(ctx)
 
     # -- stages ------------------------------------------------------------
+    @_staged("plan")
     def plan(self, cost_mode: str = "model", method: str = "auto") -> PlanResult:
         """Run the automatic distribution planner on this workload.
 
@@ -119,6 +159,7 @@ class WorkloadHandle:
             hand_cost=hand,
         )
 
+    @_staged("run")
     def run(self) -> RunResult:
         """Execute the workload on a fresh machine; returns the typed
         result (solution, headline metrics, per-processor clocks, and —
@@ -147,6 +188,7 @@ class WorkloadHandle:
             events=log,
         )
 
+    @_staged("trace")
     def trace(self, overlap: bool | None = None) -> TraceResult:
         """Execute the workload recording typed events, then replay
         them through the discrete-event simulator.
@@ -184,6 +226,7 @@ class WorkloadHandle:
             matches_aggregate=matches,
         )
 
+    @_staged("bench")
     def bench(self, repeats: int = 3) -> BenchResult:
         """Wall-clock the workload over ``repeats`` independent runs
         (fresh machine each time; modeled machine time rides along)."""

@@ -21,6 +21,7 @@ from collections import defaultdict
 from queue import Empty
 from typing import TYPE_CHECKING, Callable
 
+from ..obs import metrics as _obs
 from .base import Backend
 from .ops import (
     op_local_kernel,
@@ -41,6 +42,18 @@ __all__ = ["BackendError", "MultiprocessBackend"]
 
 class BackendError(RuntimeError):
     """A worker failed or did not respond."""
+
+
+_BACKEND_OPS = _obs.counter(
+    "repro_backend_ops_total",
+    "SPMD ops broadcast by the master, by op name and outcome.",
+    ("op", "status"),
+)
+_BACKEND_COMMANDS = _obs.counter(
+    "repro_backend_commands_total",
+    "Per-worker command sends and acknowledgements at the master.",
+    ("direction",),
+)
 
 
 def _pick_start_method(requested: str | None) -> str:
@@ -197,6 +210,7 @@ class MultiprocessBackend(Backend):
         seq = self._seq
         for rank, kwargs in enumerate(per_rank_kwargs):
             self._cmd_queues[rank].put((op, kwargs, seq))
+        _BACKEND_COMMANDS.inc(self.nprocs, direction="sent")
         results = [None] * self.nprocs
         errors = []
         acked = 0
@@ -221,15 +235,19 @@ class MultiprocessBackend(Backend):
                 errors.append((rank, payload))
             else:
                 results[rank] = payload
+        _BACKEND_COMMANDS.inc(acked, direction="acked")
+        op_name = getattr(op, "__name__", str(op))
         if errors:
             # a failing worker aborts the collective barrier so its
             # peers bail out fast; re-arm it for the next op
             self._recover_barrier()
+            _BACKEND_OPS.inc(op=op_name, status="error")
             detail = "\n".join(
                 f"-- worker {rank} --\n{msg}" for rank, msg in errors
             )
             raise BackendError(f"{len(errors)} worker(s) failed:\n{detail}")
         self.ops_executed += 1
+        _BACKEND_OPS.inc(op=op_name, status="ok")
         return results
 
     def _recover_barrier(self) -> None:

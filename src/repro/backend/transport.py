@@ -16,9 +16,27 @@ for this backend.
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
+from ..obs import metrics as _obs
+
 __all__ = ["TransportTimeout", "Transport"]
+
+# NOTE: a Transport lives inside its worker *process*, so these
+# instruments record into that process's registry — scrape them there
+# (or read the master-side repro_backend_* series, which aggregate the
+# op traffic the workers execute).  In-process uses (tests, calibrate
+# harnesses running rank 0 inline) land in the main registry directly.
+_TRANSPORT_MESSAGES = _obs.counter(
+    "repro_transport_messages_total",
+    "Point-to-point transport messages at this process, by direction.",
+    ("direction",),
+)
+_TRANSPORT_BARRIER_SECONDS = _obs.histogram(
+    "repro_transport_barrier_seconds",
+    "Seconds spent waiting in transport barriers at this process.",
+)
 
 #: default seconds to wait on a receive/barrier before giving up — a
 #: wedged peer fails loudly instead of hanging the suite.
@@ -76,6 +94,7 @@ class Transport:
         else:
             self._outboxes[dst].put((self.rank, tag, payload))
         self.sent_messages += 1
+        _TRANSPORT_MESSAGES.inc(direction="sent")
 
     def recv(self, src: int, tag: Any) -> Any:
         """Receive the next ``(src, tag)`` message (FIFO per sender)."""
@@ -83,6 +102,7 @@ class Transport:
         stashed = self._stash.get(key)
         if stashed:
             self.received_messages += 1
+            _TRANSPORT_MESSAGES.inc(direction="received")
             return stashed.pop(0)
         from queue import Empty
 
@@ -98,12 +118,14 @@ class Transport:
                 ) from None
             if msg_src == src and msg_tag == tag:
                 self.received_messages += 1
+                _TRANSPORT_MESSAGES.inc(direction="received")
                 return payload
             self._stash.setdefault((msg_src, msg_tag), []).append(payload)
 
     # -- collectives -----------------------------------------------------
     def barrier(self) -> None:
         """Block until every worker reaches the barrier."""
+        t0 = time.perf_counter() if _obs.enabled() else None
         try:
             self._barrier.wait(timeout=self.timeout)
         except Exception as exc:  # BrokenBarrierError and friends
@@ -111,6 +133,8 @@ class Transport:
                 f"worker {self.rank}: barrier broken or timed out "
                 f"({exc})"
             ) from exc
+        if t0 is not None:
+            _TRANSPORT_BARRIER_SECONDS.observe(time.perf_counter() - t0)
 
     def allgather(self, value: Any, tag: Any = "allgather") -> list[Any]:
         """Every worker contributes ``value``; all receive all, by rank."""

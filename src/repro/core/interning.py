@@ -72,6 +72,7 @@ class LRUCache:
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: Hashable, default=None):
         with self._lock:
@@ -90,6 +91,7 @@ class LRUCache:
             self._data.move_to_end(key)
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
+                self.evictions += 1
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], object]):
         sentinel = _MISSING
@@ -104,6 +106,7 @@ class LRUCache:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
                 "size": len(self._data),
             }
 
@@ -112,6 +115,7 @@ class LRUCache:
             self._data.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -214,9 +218,11 @@ def owners_cache_stats() -> dict[str, int]:
     return {
         "owners_vec_hits": ov["hits"],
         "owners_vec_misses": ov["misses"],
+        "owners_vec_evictions": ov["evictions"],
         "owners_vec_size": ov["size"],
         "rank_map_hits": rm["hits"],
         "rank_map_misses": rm["misses"],
+        "rank_map_evictions": rm["evictions"],
         "rank_map_size": rm["size"],
         "interned_dimdists": len(_dimdist_table),
         "interned_distributions": len(_dist_table),

@@ -1,0 +1,78 @@
+"""repro.obs — the cross-layer observability spine (ISSUE 7).
+
+One process-wide :class:`MetricsRegistry` (``repro.obs.registry``) with
+labeled, thread-safe Counter/Gauge/Histogram instruments and a
+Prometheus text-exposition encoder; a structured-tracing layer
+(:func:`span`, contextvars-propagated trace/request IDs); and export
+surfaces — ``/metrics`` on the serving tier, ``python -m repro obs``
+on the CLI, and :func:`chrome_trace` merging runtime spans with
+simulated timelines into one ``chrome://tracing`` file.
+
+Everything is **off by default**: instruments exist but record nothing
+until :func:`enable` is called (the serving tier enables on
+construction; set ``REPRO_OBS=1`` to enable at import).  Disabled-path
+cost is one function call and a branch per instrumented seam, so hot
+paths (forall, halo exchange) stay within the perf-harness gates.
+"""
+
+from .export import chrome_trace, dump_chrome_trace
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    histogram,
+    registry,
+    render_prometheus,
+    set_enabled,
+)
+from .tracing import (
+    SpanRecord,
+    clear_spans,
+    finished_spans,
+    get_request_id,
+    get_trace_id,
+    new_request_id,
+    request_scope,
+    set_request_id,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "chrome_trace",
+    "clear_spans",
+    "counter",
+    "disable",
+    "dump_chrome_trace",
+    "enable",
+    "enabled",
+    "finished_spans",
+    "gauge",
+    "get_request_id",
+    "get_trace_id",
+    "histogram",
+    "new_request_id",
+    "registry",
+    "render_prometheus",
+    "request_scope",
+    "reset",
+    "set_enabled",
+    "set_request_id",
+    "span",
+]
+
+
+def reset() -> None:
+    """Zero every metric sample and drop recorded spans (for tests)."""
+    registry.reset()
+    clear_spans()

@@ -1,0 +1,90 @@
+"""Export surfaces: span→Chrome-trace conversion and merged timelines.
+
+:func:`chrome_trace` turns recorded runtime spans into the same
+``chrome://tracing`` JSON that :func:`repro.sim.trace.to_chrome_trace`
+emits for simulated timelines, and can merge both into one file: the
+simulated machine keeps ``pid 0`` (one ``tid`` per virtual processor),
+runtime spans get ``pid 1`` (one ``tid`` per Python thread).  Load the
+result in ``chrome://tracing`` or Perfetto to see a served request and
+the timeline it simulated side by side.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional
+
+from .tracing import SpanRecord, finished_spans
+
+__all__ = ["chrome_trace", "dump_chrome_trace"]
+
+#: pid used for runtime spans (the simulator owns pid 0)
+RUNTIME_PID = 1
+
+
+def _span_events(spans: Iterable[SpanRecord]) -> List[dict]:
+    events: List[dict] = []
+    tids: dict = {}
+    for s in spans:
+        tid = tids.setdefault(s.thread, len(tids))
+        args = {"trace_id": s.trace_id, "span_id": s.span_id}
+        if s.parent_id:
+            args["parent_id"] = s.parent_id
+        if s.request_id:
+            args["request_id"] = s.request_id
+        args.update({k: v for k, v in s.attrs.items()
+                     if isinstance(v, (str, int, float, bool, type(None)))})
+        events.append({
+            "name": s.name,
+            "cat": "runtime",
+            "ph": "X",
+            "pid": RUNTIME_PID,
+            "tid": tid,
+            "ts": round(s.start * 1e6, 3),
+            "dur": round(s.duration * 1e6, 3),
+            "args": args,
+        })
+    events.extend(
+        {"name": "thread_name", "ph": "M", "pid": RUNTIME_PID, "tid": tid,
+         "args": {"name": thread}}
+        for thread, tid in tids.items())
+    if events:
+        events.append({"name": "process_name", "ph": "M", "pid": RUNTIME_PID,
+                       "tid": 0, "args": {"name": "repro runtime"}})
+    return events
+
+
+def chrome_trace(spans: Optional[Iterable[SpanRecord]] = None,
+                 timeline=None) -> dict:
+    """Build a ``chrome://tracing`` document from spans (and a timeline).
+
+    ``spans`` defaults to every finished span in the ring buffer; pass
+    a :class:`~repro.sim.timeline.Timeline` as ``timeline`` to merge
+    the simulated machine's events into the same document.
+    """
+    if spans is None:
+        spans = finished_spans()
+    events = _span_events(spans)
+    other = {"runtime_spans": sum(1 for e in events if e.get("ph") == "X")}
+    if timeline is not None:
+        from ..sim.trace import to_chrome_trace
+
+        base = to_chrome_trace(timeline)
+        merged = list(base.get("traceEvents", ()))
+        merged.append({"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+                       "args": {"name": "simulated machine"}})
+        merged.extend(events)
+        events = merged
+        other.update(base.get("otherData", {}))
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": other}
+
+
+def dump_chrome_trace(path: str,
+                      spans: Optional[Iterable[SpanRecord]] = None,
+                      timeline=None) -> dict:
+    """Write :func:`chrome_trace` output to ``path``; returns the dict."""
+    doc = chrome_trace(spans, timeline)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    return doc

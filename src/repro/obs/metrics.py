@@ -1,0 +1,426 @@
+"""Process-wide metrics: Counter/Gauge/Histogram plus a Prometheus encoder.
+
+This is the measurement half of :mod:`repro.obs`.  A single module-level
+:class:`MetricsRegistry` (``registry``) owns every instrument; hot-path
+modules create their instruments once at import time and call
+``inc``/``observe``/``set`` per operation.  Each mutating call checks a
+module-level switch first, so with observability disabled (the default)
+the cost of an instrumented seam is one function call and a branch —
+the ``python -m repro bench --check`` op counts and wall-clock gates
+are unaffected.
+
+Thread-safety contract: every instrument guards its samples with its
+own lock, and the encoder copies each instrument's state under that
+same lock.  A scraper therefore never observes a torn histogram (the
+``+Inf`` bucket, ``_count`` and ``_sum`` of one sample always describe
+the same set of observations) — see ``tests/obs/test_concurrent_metrics.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from typing import Callable, Dict, Iterable, List, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "histogram",
+    "registry",
+    "render_prometheus",
+    "set_enabled",
+]
+
+#: default histogram buckets (seconds) — tuned for request latencies
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class _Switch:
+    """The module-level on/off switch, shared by every instrument."""
+
+    __slots__ = ("on",)
+
+    def __init__(self, on: bool):
+        self.on = on
+
+
+_SWITCH = _Switch(os.environ.get("REPRO_OBS", "") not in ("", "0", "false"))
+
+
+def enabled() -> bool:
+    """Is observability currently recording?"""
+    return _SWITCH.on
+
+
+def set_enabled(on: bool) -> bool:
+    """Flip the switch; returns the previous state."""
+    prev = _SWITCH.on
+    _SWITCH.on = bool(on)
+    return prev
+
+
+def enable() -> bool:
+    """Turn observability on (returns the previous state)."""
+    return set_enabled(True)
+
+
+def disable() -> bool:
+    """Turn observability off (returns the previous state)."""
+    return set_enabled(False)
+
+
+def _label_key(labelnames: Tuple[str, ...], labels: Dict[str, object]) -> Tuple[str, ...]:
+    if len(labels) != len(labelnames):
+        raise ValueError(
+            f"expected labels {labelnames}, got {tuple(sorted(labels))}")
+    try:
+        return tuple(str(labels[name]) for name in labelnames)
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"missing label {exc} (expected {labelnames})") from exc
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\")
+                 .replace("\n", r"\n")
+                 .replace('"', r'\"'))
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labelnames: Tuple[str, ...], key: Tuple[str, ...],
+                   extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [f'{n}="{_escape_label(v)}"' for n, v in zip(labelnames, key)]
+    pairs += [f'{n}="{_escape_label(v)}"' for n, v in extra]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+class _Instrument:
+    """Base: a named, labeled instrument with its own lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Iterable[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._values: Dict[Tuple[str, ...], object] = {}
+
+    def clear(self) -> None:
+        """Drop every recorded sample (registration survives)."""
+        with self._lock:
+            self._values.clear()
+
+    # -- encoding ---------------------------------------------------
+
+    def _header(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {_escape_help(self.help)}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def render(self) -> List[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count, optionally labeled."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if not _SWITCH.on:
+            return
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return float(self._values.get(key, 0.0))
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        with self._lock:
+            return float(sum(self._values.values()))
+
+    def render(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = self._header()
+        for key, val in items:
+            lines.append(
+                f"{self.name}{_render_labels(self.labelnames, key)} {_fmt(val)}")
+        return lines
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            items = sorted(self._values.items())
+        return {
+            "type": self.kind, "help": self.help,
+            "labelnames": list(self.labelnames),
+            "samples": [{"labels": dict(zip(self.labelnames, k)), "value": v}
+                        for k, v in items],
+        }
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (pool sizes, cache entries)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        if not _SWITCH.on:
+            return
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if not _SWITCH.on:
+            return
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return float(self._values.get(key, 0.0))
+
+    render = Counter.render
+    snapshot = Counter.snapshot
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram in the Prometheus style.
+
+    Per label-set state is ``[count, sum, bucket_counts]`` mutated under
+    the instrument lock, so ``_count``/``_sum``/``_bucket`` are always
+    mutually consistent in any encoded snapshot.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, labelnames: Iterable[str] = (),
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets: Tuple[float, ...] = bounds
+
+    def observe(self, value: float, **labels: object) -> None:
+        if not _SWITCH.on:
+            return
+        key = _label_key(self.labelnames, labels)
+        value = float(value)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                state = [0, 0.0, [0] * len(self.buckets)]
+                self._values[key] = state
+            state[0] += 1
+            state[1] += value
+            counts = state[2]
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+                    break
+
+    def value(self, **labels: object) -> Tuple[int, float]:
+        """``(count, sum)`` for one label combination."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            state = self._values.get(key)
+            return (0, 0.0) if state is None else (state[0], state[1])
+
+    def _copy(self) -> List[Tuple[Tuple[str, ...], int, float, List[int]]]:
+        with self._lock:
+            return [(k, s[0], s[1], list(s[2]))
+                    for k, s in sorted(self._values.items())]
+
+    def render(self) -> List[str]:
+        lines = self._header()
+        for key, count, total, counts in self._copy():
+            cum = 0
+            for bound, n in zip(self.buckets, counts):
+                cum += n
+                label = _render_labels(self.labelnames, key,
+                                       (("le", _fmt(bound)),))
+                lines.append(f"{self.name}_bucket{label} {cum}")
+            label = _render_labels(self.labelnames, key, (("le", "+Inf"),))
+            lines.append(f"{self.name}_bucket{label} {count}")
+            plain = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}_sum{plain} {_fmt(total)}")
+            lines.append(f"{self.name}_count{plain} {count}")
+        return lines
+
+    def snapshot(self) -> dict:
+        samples = []
+        for key, count, total, counts in self._copy():
+            samples.append({
+                "labels": dict(zip(self.labelnames, key)),
+                "count": count, "sum": total,
+                "buckets": {_fmt(b): n for b, n in zip(self.buckets, counts)},
+            })
+        return {
+            "type": self.kind, "help": self.help,
+            "labelnames": list(self.labelnames),
+            "buckets": [float(b) for b in self.buckets],
+            "samples": samples,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in the process.
+
+    ``collectors`` are zero-argument callables run just before each
+    encode/snapshot — the seam for pull-style sources (cache ``stats()``
+    dicts, pool occupancy) that are cheaper to read at scrape time than
+    to push on every operation.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labelnames: Iterable[str], **kwargs) -> _Instrument:
+        labelnames = tuple(labelnames)
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}{existing.labelnames}")
+                return existing
+            inst = cls(name, help, labelnames, **kwargs)
+            self._instruments[name] = inst
+            return inst
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Iterable[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Iterable[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Iterable[str] = (),
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> _Instrument | None:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def add_collector(self, fn: Callable[[], None]) -> None:
+        with self._lock:
+            if fn not in self._collectors:
+                self._collectors.append(fn)
+
+    def remove_collector(self, fn: Callable[[], None]) -> None:
+        with self._lock:
+            if fn in self._collectors:
+                self._collectors.remove(fn)
+
+    def _collect(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        was = set_enabled(True)  # collectors may set gauges
+        try:
+            for fn in collectors:
+                fn()
+        finally:
+            set_enabled(was)
+
+    def render(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        self._collect()
+        with self._lock:
+            instruments = sorted(self._instruments.values(),
+                                 key=lambda m: m.name)
+        lines: List[str] = []
+        for inst in instruments:
+            lines.extend(inst.render())
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict:
+        """JSON-friendly dump of every instrument."""
+        self._collect()
+        with self._lock:
+            instruments = sorted(self._instruments.values(),
+                                 key=lambda m: m.name)
+        return {inst.name: inst.snapshot() for inst in instruments}
+
+    def reset(self) -> None:
+        """Zero every sample; registrations and collectors survive."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for inst in instruments:
+            inst.clear()
+
+
+#: the process-wide default registry
+registry = MetricsRegistry()
+
+
+def counter(name: str, help: str = "",
+            labelnames: Iterable[str] = ()) -> Counter:
+    """Get-or-create a :class:`Counter` in the default registry."""
+    return registry.counter(name, help, labelnames)
+
+
+def gauge(name: str, help: str = "", labelnames: Iterable[str] = ()) -> Gauge:
+    """Get-or-create a :class:`Gauge` in the default registry."""
+    return registry.gauge(name, help, labelnames)
+
+
+def histogram(name: str, help: str = "", labelnames: Iterable[str] = (),
+              buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+    """Get-or-create a :class:`Histogram` in the default registry."""
+    return registry.histogram(name, help, labelnames, buckets)
+
+
+def render_prometheus() -> str:
+    """Encode the default registry in Prometheus text format."""
+    return registry.render()

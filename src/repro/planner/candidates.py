@@ -34,8 +34,15 @@ from ..core.distribution import Distribution, DistributionType
 from ..core.query import TypePattern
 from ..machine.machine import Machine
 from ..machine.topology import ProcessorArray, grid_shapes
+from ..obs import metrics as _obs
 
 __all__ = ["enumerate_layouts", "dim_menu", "section_for"]
+
+_CANDIDATES_TOTAL = _obs.counter(
+    "repro_planner_candidates_total",
+    "Candidate layouts surviving enumeration, by pruning outcome.",
+    ("outcome",),
+)
 
 
 def dim_menu(
@@ -112,6 +119,7 @@ def enumerate_layouts(
 
     out: list[Distribution] = []
     seen: set[tuple] = set()
+    pruned = 0
     for k in range(1, kmax + 1):
         for ddims in combinations(range(ndim), k):
             for gshape in grid_shapes(nprocs, k):
@@ -137,20 +145,30 @@ def enumerate_layouts(
                         continue
                     seen.add(key)
                     if range_ and not any(p.matches(dtype) for p in range_):
+                        pruned += 1
                         continue
                     try:
                         dist = dtype.apply(shape, target)
                     except (ValueError, IndexError):
+                        pruned += 1
                         continue  # infeasible binding (e.g. BLOCK(m) short)
                     if memory_limit is not None:
                         est = estimate_memory(
                             TypePattern(dtype.dims), shape, dist.proc_shape
                         )
                         if est.elements_per_proc > memory_limit:
+                            pruned += 1
                             continue
                     out.append(dist)
                     if len(out) >= max_candidates:
-                        return out
+                        return _count_candidates(out, pruned)
+    return _count_candidates(out, pruned)
+
+
+def _count_candidates(out: list[Distribution], pruned: int) -> list[Distribution]:
+    _CANDIDATES_TOTAL.inc(len(out), outcome="kept")
+    if pruned:
+        _CANDIDATES_TOTAL.inc(pruned, outcome="pruned")
     return out
 
 

@@ -31,10 +31,17 @@ from ..compiler.comm_analysis import estimate_ref
 from ..core.distribution import Distribution
 from ..core.query import TypePattern
 from ..machine.machine import Machine
+from ..obs import metrics as _obs
 from ..runtime.redistribute import PlanCache
 from .phases import ArrayLoad, Phase
 
 __all__ = ["CostEngine", "SimulatedCostEngine"]
+
+_MEMO_LOOKUPS = _obs.counter(
+    "repro_planner_memo_lookups_total",
+    "Cost-engine memo lookups, by memo table and outcome.",
+    ("memo", "result"),
+)
 
 
 class CostEngine:
@@ -75,7 +82,9 @@ class CostEngine:
         key = (phase, array, dist)
         cached = self._phase_memo.get(key)
         if cached is not None:
+            _MEMO_LOOKUPS.inc(memo="phase", result="hit")
             return cached
+        _MEMO_LOOKUPS.inc(memo="phase", result="miss")
         comm, comp = self.comm_compute_split(phase, array, dist)
         total = (comm + comp) * phase.repeat
         self._phase_memo[key] = total
@@ -158,7 +167,9 @@ class CostEngine:
         key = (old, new)
         cached = self._trans_memo.get(key)
         if cached is not None:
+            _MEMO_LOOKUPS.inc(memo="transition", result="hit")
             return cached
+        _MEMO_LOOKUPS.inc(memo="transition", result="miss")
         nprocs = self.machine.nprocs
         T = self.plan_cache.transfer_matrix(old, new, nprocs)
         sent_msgs = (T > 0).sum(axis=1)
@@ -270,7 +281,9 @@ class SimulatedCostEngine(CostEngine):
         key = (phase, array, dist)
         cached = self._phase_memo.get(key)
         if cached is not None:
+            _MEMO_LOOKUPS.inc(memo="phase", result="hit")
             return cached
+        _MEMO_LOOKUPS.inc(memo="phase", result="miss")
         comm, comp = self.comm_compute_split(phase, array, dist)
         per_exec = max(comm, comp) if self.overlap else comm + comp
         total = per_exec * phase.repeat
@@ -283,14 +296,19 @@ class SimulatedCostEngine(CostEngine):
         key = (old, new)
         cached = self._trans_memo.get(key)
         if cached is not None:
+            _MEMO_LOOKUPS.inc(memo="transition", result="hit")
             return cached
+        _MEMO_LOOKUPS.inc(memo="transition", result="miss")
         nprocs = self.machine.nprocs
         T = self.plan_cache.transfer_matrix(old, new, nprocs)
         tkey = (nprocs, T.tobytes())
         time = self._trace_memo.get(tkey)
         if time is None:
+            _MEMO_LOOKUPS.inc(memo="trace", result="miss")
             time = self._simulate_transfer(T, nprocs)
             self._trace_memo[tkey] = time
+        else:
+            _MEMO_LOOKUPS.inc(memo="trace", result="hit")
         self._trans_memo[key] = time
         return time
 

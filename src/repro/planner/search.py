@@ -24,10 +24,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.distribution import Distribution
+from ..obs import metrics as _obs
+from ..obs.tracing import span as _span
 from .costs import CostEngine
 from .phases import Phase
 
 __all__ = ["ScheduleStep", "Plan", "plan_array", "dp_schedule", "greedy_schedule"]
+
+_DP_STATES = _obs.counter(
+    "repro_planner_dp_states_total",
+    "(phase, layout, predecessor) states expanded by the schedule "
+    "search, by method.",
+    ("method",),
+)
+_PLANS_TOTAL = _obs.counter(
+    "repro_planner_plans_total",
+    "Schedules produced by plan_array, by method actually used.",
+    ("method",),
+)
 
 
 @dataclass
@@ -156,6 +170,27 @@ def plan_array(
     ``"dp"``, ``"greedy"`` or ``"auto"`` (DP unless
     ``len(phases) * len(candidates)^2`` exceeds ``dp_state_limit``).
     """
+    with _span("planner.plan_array", array=array, method=method) as sp:
+        plan = _plan_array(array, phases, candidates, engine, initial,
+                           method, dp_state_limit, price_statics)
+        _PLANS_TOTAL.inc(method=plan.method)
+        if sp is not None:
+            sp.attrs.update(resolved_method=plan.method,
+                            phases=len(plan.steps),
+                            redistributions=len(plan.redistributions))
+        return plan
+
+
+def _plan_array(
+    array: str,
+    phases,
+    candidates: list[Distribution],
+    engine: CostEngine,
+    initial: Distribution | None,
+    method: str,
+    dp_state_limit: int,
+    price_statics: bool,
+) -> Plan:
     phases = list(phases)
     candidates = list(candidates)
     if not phases:
@@ -213,6 +248,9 @@ def dp_schedule(
 ) -> tuple[list[ScheduleStep], float]:
     """Exact DP over the phase x layout lattice."""
     n, m = len(phases), len(candidates)
+    # first row expands m states, every later row m predecessors per
+    # layout — aggregated into one counter bump to keep the loop tight
+    _DP_STATES.inc(m + max(0, n - 1) * m * m, method="dp")
     pc = [
         [engine.phase_cost(ph, array, c) for c in candidates] for ph in phases
     ]
@@ -291,6 +329,7 @@ def greedy_schedule(
     if initial is not None and initial not in candidates:
         candidates = [initial, *candidates]
     n, m = len(phases), len(candidates)
+    _DP_STATES.inc(n * m, method="greedy")
     choice: list[int] = []
     cur: int | None = (
         candidates.index(initial) if initial is not None else None

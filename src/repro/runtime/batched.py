@@ -188,6 +188,9 @@ def forall_batched(
     counts; all accounting (messages, events, clocks) matches the
     per-element reference bitwise for corresponding bodies.
     """
+    from .forall import FORALL_CALLS
+
+    FORALL_CALLS.inc(path="batched")
     reads = dict(reads or {})
     reads.setdefault(lhs.name, lhs)
     machine = lhs.machine

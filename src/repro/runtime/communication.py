@@ -24,6 +24,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import metrics as _obs
 from .darray import DistributedArray
 
 __all__ = [
@@ -32,6 +33,17 @@ __all__ = [
     "broadcast_from",
     "reduce_scalar",
 ]
+
+_COMM_MESSAGES = _obs.counter(
+    "repro_comm_messages_total",
+    "Messages posted on the machine network, by communication kind.",
+    ("kind",),
+)
+_COMM_BYTES = _obs.counter(
+    "repro_comm_bytes_total",
+    "Bytes posted on the machine network, by communication kind.",
+    ("kind",),
+)
 
 
 def shift_exchange(
@@ -85,36 +97,43 @@ def shift_exchange(
     # all boundary transfers of one sweep post concurrently
     machine.network.exchange(phase)
     machine.network.synchronize()
+    if _obs.enabled() and phase:
+        _COMM_MESSAGES.inc(len(phase), kind="halo")
+        _COMM_BYTES.inc(sum(p[2] for p in phase), kind="halo")
     return received
 
 
 def gather_to(array: DistributedArray, root: int = 0) -> np.ndarray:
     """Collect the whole array on ``root`` (one message per other owner)."""
     machine = array.machine
-    machine.network.exchange(
-        [
-            (rank, root, array.dist.local_size(rank) * array.itemsize,
-             f"gather:{array.name}")
-            for rank in array.owning_ranks()
-            if rank != root
-        ]
-    )
+    phase = [
+        (rank, root, array.dist.local_size(rank) * array.itemsize,
+         f"gather:{array.name}")
+        for rank in array.owning_ranks()
+        if rank != root
+    ]
+    machine.network.exchange(phase)
     machine.network.synchronize()
+    if _obs.enabled() and phase:
+        _COMM_MESSAGES.inc(len(phase), kind="gather")
+        _COMM_BYTES.inc(sum(p[2] for p in phase), kind="gather")
     return array.to_global()
 
 
 def broadcast_from(array: DistributedArray, values: np.ndarray, root: int = 0) -> None:
     """Scatter ``values`` from ``root`` into the distributed segments."""
     machine = array.machine
-    machine.network.exchange(
-        [
-            (root, rank, array.dist.local_size(rank) * array.itemsize,
-             f"scatter:{array.name}")
-            for rank in array.owning_ranks()
-            if rank != root
-        ]
-    )
+    phase = [
+        (root, rank, array.dist.local_size(rank) * array.itemsize,
+         f"scatter:{array.name}")
+        for rank in array.owning_ranks()
+        if rank != root
+    ]
+    machine.network.exchange(phase)
     machine.network.synchronize()
+    if _obs.enabled() and phase:
+        _COMM_MESSAGES.inc(len(phase), kind="broadcast")
+        _COMM_BYTES.inc(sum(p[2] for p in phase), kind="broadcast")
     array.from_global(values)
 
 

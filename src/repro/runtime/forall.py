@@ -25,10 +25,19 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..obs import metrics as _obs
 from .darray import DistributedArray
 from .inspector import Inspector
 
 __all__ = ["ReadAccessor", "forall", "forall_gathered"]
+
+#: which forall implementation ran — the batched path increments
+#: ``path="batched"`` in :mod:`repro.runtime.batched`
+FORALL_CALLS = _obs.counter(
+    "repro_forall_calls_total",
+    "forall executions, by implementation path.",
+    ("path",),
+)
 
 
 class ReadAccessor:
@@ -77,6 +86,7 @@ def forall(
     processor-rank order; Vienna Fortran foralls require the iterations
     to be independent, so ordering is unobservable for legal bodies.
     """
+    FORALL_CALLS.inc(path="reference")
     reads = dict(reads or {})
     reads.setdefault(lhs.name, lhs)
     machine = lhs.machine
@@ -124,6 +134,7 @@ def forall_gathered(
     PIC particle loop.  Returns per-processor off-processor element
     counts.
     """
+    FORALL_CALLS.inc(path="gathered")
     source = source if source is not None else lhs
     machine = lhs.machine
     inspector = Inspector(source)

@@ -37,6 +37,8 @@ from ..backend.plan import shift_plan as _shift_plan
 from ..backend.plan import sweep_plan as _sweep_plan
 from ..core.distribution import Distribution
 from ..core.interning import LRUCache, owners_cache_stats
+from ..obs import metrics as _obs
+from ..obs.tracing import span as _span
 from .darray import DistributedArray
 
 __all__ = [
@@ -157,6 +159,28 @@ def transfer_matrix_naive(
 transfer_matrix_bruteforce = transfer_matrix_naive
 
 
+_PLAN_CACHE_LOOKUPS = _obs.counter(
+    "repro_plan_cache_lookups_total",
+    "PlanCache lookups across every plan family, by outcome.",
+    ("result",),
+)
+_COMM_MESSAGES = _obs.counter(
+    "repro_comm_messages_total",
+    "Messages posted on the machine network, by communication kind.",
+    ("kind",),
+)
+_COMM_BYTES = _obs.counter(
+    "repro_comm_bytes_total",
+    "Bytes posted on the machine network, by communication kind.",
+    ("kind",),
+)
+_REDIST_ELEMENTS = _obs.counter(
+    "repro_redistribute_elements_total",
+    "Elements handled by COMMUNICATE, split moved vs kept in place.",
+    ("action",),
+)
+
+
 class PlanCache:
     """Memoized redistribution plans (§3.2: "run time optimization of
     communication related to dynamic array references").
@@ -196,8 +220,10 @@ class PlanCache:
             value = store.get(key)
             if value is not None:
                 self.hits += 1
+                _PLAN_CACHE_LOOKUPS.inc(result="hit")
                 return value
             self.misses += 1
+        _PLAN_CACHE_LOOKUPS.inc(result="miss")
         value = compute()
         store.put(key, value)
         return value
@@ -252,6 +278,10 @@ class PlanCache:
             out = {
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": sum(
+                    store.evictions
+                    for store in (self._plans, self._moves,
+                                  self._shifts, self._sweeps)),
                 "matrices": len(self._plans),
                 "moves": len(self._moves),
                 "shift_plans": len(self._shifts),
@@ -308,6 +338,27 @@ def communicate(
 
     Returns a :class:`RedistributionReport`.
     """
+    with _span("runtime.redistribute", array=array.name,
+               transfer=transfer) as sp:
+        report = _communicate(array, new_dist, transfer, tag, plan_cache)
+        if sp is not None:
+            sp.attrs.update(messages=report.messages, bytes=report.bytes,
+                            moved=report.elements_moved)
+        if report.messages or report.bytes:
+            _COMM_MESSAGES.inc(report.messages, kind="redistribute")
+            _COMM_BYTES.inc(report.bytes, kind="redistribute")
+        _REDIST_ELEMENTS.inc(report.elements_moved, action="moved")
+        _REDIST_ELEMENTS.inc(report.elements_kept, action="kept")
+        return report
+
+
+def _communicate(
+    array: DistributedArray,
+    new_dist: Distribution,
+    transfer: bool,
+    tag: str | None,
+    plan_cache: PlanCache | None,
+) -> RedistributionReport:
     machine = array.machine
     backend = machine.backend
     old_dist = array.descriptor.dist

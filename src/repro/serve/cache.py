@@ -19,8 +19,19 @@ from __future__ import annotations
 
 from ..api.results import config_fingerprint
 from ..core.interning import LRUCache
+from ..obs import metrics as _obs
 
 __all__ = ["ResponseCache", "request_fingerprint"]
+
+_RESPONSE_CACHE_LOOKUPS = _obs.counter(
+    "repro_response_cache_lookups_total",
+    "Response-cache lookups at the serving tier, by outcome.",
+    ("result",),
+)
+_RESPONSE_CACHE_EVICTIONS = _obs.counter(
+    "repro_response_cache_evictions_total",
+    "Responses evicted from the serving tier's LRU.",
+)
 
 
 def request_fingerprint(
@@ -62,10 +73,17 @@ class ResponseCache:
         self._lru = LRUCache(capacity)
 
     def get(self, fingerprint: str) -> str | None:
-        return self._lru.get(fingerprint)
+        body = self._lru.get(fingerprint)
+        _RESPONSE_CACHE_LOOKUPS.inc(
+            result="hit" if body is not None else "miss")
+        return body
 
     def put(self, fingerprint: str, body: str) -> None:
+        before = self._lru.evictions
         self._lru.put(fingerprint, body)
+        evicted = self._lru.evictions - before
+        if evicted:
+            _RESPONSE_CACHE_EVICTIONS.inc(evicted)
 
     def stats(self) -> dict:
         """Hits, misses, population, capacity and the derived hit rate

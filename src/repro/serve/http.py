@@ -241,6 +241,15 @@ def serve_forever(
     quiet: bool = False,
 ) -> None:
     """Run the server until interrupted — ``python -m repro serve``."""
+    import logging
+
+    # one structured line per request (JSON on stderr) unless silenced
+    logger = logging.getLogger("repro.serve")
+    if not quiet and not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
     service = service if service is not None else PlanningService()
 
     async def _run() -> None:
@@ -250,7 +259,8 @@ def serve_forever(
         await server.start()
         if not quiet:
             print(f"repro.serve listening on {server.url}")
-            print(f"  endpoints: /workloads /plan /run /trace /bench /stats")
+            print("  endpoints: /workloads /plan /run /trace /bench "
+                  "/stats /healthz /metrics")
             print(f"  try: curl '{server.url}/plan?workload=adi&size=32'")
         try:
             await asyncio.Event().wait()  # until cancelled

@@ -64,6 +64,56 @@ class _Observation:
     error: str | None = None
 
 
+#: series the /metrics scrape must contain at least one sample of for
+#: the ``check`` gate to pass (satellite of the observability spine)
+REQUIRED_SERIES = (
+    "repro_http_requests_total",
+    "repro_http_request_seconds_bucket",
+    "repro_plan_cache_lookups_total",
+    "repro_response_cache_lookups_total",
+    "repro_planner_candidates_total",
+    "repro_planner_plans_total",
+    "repro_session_stages_total",
+)
+
+
+def _http_get(url: str, timeout: float) -> tuple[int, bytes]:
+    req = urllib.request.Request(url, method="GET")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _scrape_metrics(base_url: str, timeout: float) -> dict:
+    """GET /metrics and summarize which required series have samples."""
+    try:
+        status, body = _http_get(f"{base_url}/metrics", timeout)
+    except Exception as exc:
+        return {"scraped": False, "error": str(exc), "text": None,
+                "missing_series": list(REQUIRED_SERIES)}
+    if status != 200:
+        return {"scraped": False, "error": f"HTTP {status}", "text": None,
+                "missing_series": list(REQUIRED_SERIES)}
+    text = body.decode()
+    # a series "exists" when a sample line starts with its name (HELP /
+    # TYPE comments alone mean the metric is registered but empty)
+    sampled = {
+        line.split("{", 1)[0].split(" ", 1)[0]
+        for line in text.splitlines()
+        if line and not line.startswith("#")
+    }
+    missing = [s for s in REQUIRED_SERIES if s not in sampled]
+    return {
+        "scraped": True,
+        "error": None,
+        "text": text,
+        "series_sampled": len(sampled),
+        "missing_series": missing,
+    }
+
+
 def _http_post(url: str, payload: dict, timeout: float) -> tuple[int, dict, bytes]:
     data = json.dumps(payload).encode()
     req = urllib.request.Request(
@@ -103,15 +153,39 @@ def _request_set(
     return items
 
 
+#: how the percentiles below are computed (recorded in BENCH_SERVE.json)
+LATENCY_METHOD = "linear_interpolation"
+
+
+def _quantile(sorted_ms: np.ndarray, q: float) -> float:
+    """Quantile ``q`` in [0, 1] with proper linear interpolation.
+
+    Uses the standard ``rank = q * (n - 1)`` definition: the value is
+    interpolated between the two order statistics bracketing the rank
+    (no naive index rounding) — equivalent to
+    ``statistics.quantiles(..., method="inclusive")`` cut points.
+    """
+    n = len(sorted_ms)
+    if n == 1:
+        return float(sorted_ms[0])
+    rank = q * (n - 1)
+    lo = int(rank)
+    hi = min(lo + 1, n - 1)
+    frac = rank - lo
+    return float(sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac)
+
+
 def _percentiles(seconds: list[float]) -> dict:
     if not seconds:
-        return {"p50_ms": None, "p99_ms": None, "mean_ms": None, "max_ms": None}
-    ms = np.asarray(seconds) * 1e3
+        return {"p50_ms": None, "p99_ms": None, "mean_ms": None,
+                "max_ms": None, "method": LATENCY_METHOD}
+    ms = np.sort(np.asarray(seconds, dtype=float)) * 1e3
     return {
-        "p50_ms": float(np.percentile(ms, 50)),
-        "p99_ms": float(np.percentile(ms, 99)),
+        "p50_ms": _quantile(ms, 0.50),
+        "p99_ms": _quantile(ms, 0.99),
         "mean_ms": float(ms.mean()),
         "max_ms": float(ms.max()),
+        "method": LATENCY_METHOD,
     }
 
 
@@ -180,6 +254,7 @@ def run_loadtest(
     smoke: bool = False,
     seed: int = DEFAULT_SEED,
     out: str | None = "BENCH_SERVE.json",
+    metrics_out: str | None = None,
     check: bool = False,
     quiet: bool = False,
     timeout: float = 120.0,
@@ -191,7 +266,10 @@ def run_loadtest(
     down afterwards; otherwise the running server at ``url`` is
     tested (its caches are *not* cleared — hit rates then reflect its
     real state).  ``check=True`` raises :class:`LoadtestError` unless
-    all three serving properties hold.
+    all three serving properties hold *and* the final ``/metrics``
+    scrape contains samples for every series in :data:`REQUIRED_SERIES`.
+    The raw Prometheus exposition is written to ``metrics_out`` (the
+    snapshot artifact CI uploads next to ``BENCH_SERVE.json``).
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
@@ -248,6 +326,9 @@ def run_loadtest(
             server_stats = json.loads(stats_body) if status == 200 else None
         except Exception:
             server_stats = None
+
+        # scrape the Prometheus exposition while the server is still up
+        metrics = _scrape_metrics(base_url, timeout)
     finally:
         if started_server is not None:
             started_server.stop()
@@ -273,7 +354,9 @@ def run_loadtest(
         "byte_identical": not divergent,
         "divergent_requests": divergent[:5],
         "latency": _percentiles([o.seconds for o in observations]),
+        "latency_method": LATENCY_METHOD,
         "server_stats": server_stats,
+        "metrics": {k: v for k, v in metrics.items() if k != "text"},
     }
 
     if not quiet:
@@ -293,6 +376,11 @@ def run_loadtest(
             json.dump(report, fh, indent=2)
         if not quiet:
             print(f"  wrote {out}")
+    if metrics_out and metrics.get("text"):
+        with open(metrics_out, "w") as fh:
+            fh.write(metrics["text"])
+        if not quiet:
+            print(f"  wrote {metrics_out}")
 
     if check:
         problems = []
@@ -309,6 +397,13 @@ def run_loadtest(
                 f"repeated-config cache hit rate "
                 f"{'n/a' if repeated_rate is None else f'{repeated_rate:.0%}'} "
                 f"(need > 50%)"
+            )
+        if not metrics["scraped"]:
+            problems.append(f"/metrics scrape failed: {metrics['error']}")
+        elif metrics["missing_series"]:
+            problems.append(
+                "required metric series missing samples: "
+                + ", ".join(metrics["missing_series"])
             )
         if problems:
             raise LoadtestError(

@@ -14,7 +14,8 @@ path       verbs  meaning
 /trace     GET/POST record + simulate; typed TraceResult JSON
 /bench     GET/POST wall-clock repetitions (never cached)
 /stats     GET    plan-cache, response-cache, pool and request counters
-/healthz   GET    liveness + version
+/healthz   GET    liveness + version + uptime
+/metrics   GET    Prometheus text exposition of the obs registry
 ========== ====== ======================================================
 
 Request parameters ride in the query string (values parsed as JSON
@@ -36,7 +37,9 @@ fingerprint: a hit replays the stored bytes and says so in the
 from __future__ import annotations
 
 import json
+import logging
 import threading
+import time
 from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, urlsplit
 
@@ -44,6 +47,8 @@ from ..api.config import BACKEND_NAMES, SessionConfig, resolve_cost_model
 from ..api.registry import REGISTRY, WorkloadRegistry
 from ..api.results import _jsonable
 from ..defaults import DEFAULT_SEED
+from ..obs import metrics as _obs
+from ..obs.tracing import request_scope, span as _span
 from ..runtime.redistribute import PlanCache
 from .cache import ResponseCache, request_fingerprint
 from .pool import SessionPool
@@ -52,7 +57,22 @@ __all__ = ["PlanningService", "ServeResponse", "ENDPOINTS"]
 
 #: the service surface (stage endpoints enumerate the registry)
 ENDPOINTS = ("/workloads", "/plan", "/run", "/trace", "/bench", "/stats",
-             "/healthz")
+             "/healthz", "/metrics")
+
+#: one structured line per request lands here (serve_forever attaches a
+#: stderr handler; under test the logger stays silent unless configured)
+_LOG = logging.getLogger("repro.serve")
+
+_HTTP_REQUESTS = _obs.counter(
+    "repro_http_requests_total",
+    "Service requests, by route, status code and cache tier.",
+    ("route", "status", "cache"),
+)
+_HTTP_SECONDS = _obs.histogram(
+    "repro_http_request_seconds",
+    "Service request latency in seconds, by route.",
+    ("route",),
+)
 
 #: stage endpoints whose responses are pure functions of the request
 #: fingerprint (bench is wall-clock, so it is never cached)
@@ -117,6 +137,7 @@ class PlanningService:
         plan_cache_capacity: int = 128,
         default_nprocs: int = 4,
         default_cost_model: str = "Paragon",
+        observability: bool = True,
     ):
         self.registry = registry if registry is not None else REGISTRY
         #: the shared cross-session plan cache (``/stats`` proves reuse)
@@ -132,9 +153,40 @@ class PlanningService:
         self._lock = threading.Lock()
         self._requests: dict[str, int] = {}
         self._errors = 0
+        self._started = time.monotonic()
+        #: a serving process wants its metrics recorded — flip the
+        #: process-wide switch on construction unless told otherwise
+        if observability:
+            _obs.enable()
+        _obs.registry.add_collector(self._collect_gauges)
+
+    def _collect_gauges(self) -> None:
+        """Scrape-time gauges: cache/pool state that is cheaper to pull
+        than to push on every operation (includes the interning LRUs)."""
+        gauge = _obs.gauge(
+            "repro_cache_stat",
+            "Cache and pool statistics sampled at scrape time.",
+            ("source", "stat"),
+        )
+        for source, stats in (
+            ("plan_cache", self.plan_cache.stats()),
+            ("response_cache", self.responses.stats()),
+            ("sessions", self.pool.stats()),
+        ):
+            for stat, value in stats.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    gauge.set(value, source=source, stat=stat)
+        _obs.gauge(
+            "repro_service_uptime_seconds",
+            "Seconds since the PlanningService was constructed.",
+        ).set(self.uptime_seconds())
+
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
+        _obs.registry.remove_collector(self._collect_gauges)
         self.pool.close()
 
     def __enter__(self) -> "PlanningService":
@@ -148,7 +200,34 @@ class PlanningService:
         self, method: str, target: str, body: bytes | str | None = None
     ) -> ServeResponse:
         """Route one request.  ``target`` is the request path with
-        optional query string; ``body`` an optional JSON object."""
+        optional query string; ``body`` an optional JSON object.
+
+        Every request gets a fresh request ID (propagated to spans via
+        contextvars and returned in ``X-Repro-Request-Id``), a latency
+        observation, and one structured log line on the
+        ``repro.serve`` logger.
+        """
+        route = urlsplit(target).path.rstrip("/") or "/"
+        t0 = time.perf_counter()
+        with request_scope() as rid:
+            with _span("serve.request", route=route, method=method):
+                response = self._dispatch(method, target, body)
+            elapsed = time.perf_counter() - t0
+            response.headers.setdefault("X-Repro-Request-Id", rid)
+            tier = response.headers.get("X-Repro-Cache", "none")
+            _HTTP_REQUESTS.inc(route=route, status=response.status,
+                               cache=tier)
+            _HTTP_SECONDS.observe(elapsed, route=route)
+            _LOG.info(json.dumps(
+                {"event": "request", "request_id": rid, "route": route,
+                 "status": response.status, "ms": round(elapsed * 1e3, 3),
+                 "cache": tier},
+                sort_keys=True))
+        return response
+
+    def _dispatch(
+        self, method: str, target: str, body: bytes | str | None = None
+    ) -> ServeResponse:
         parts = urlsplit(target)
         path = parts.path.rstrip("/") or "/"
         params = {k: _coerce(v) for k, v in parse_qsl(parts.query)}
@@ -176,6 +255,8 @@ class PlanningService:
                 return self._count(path, self._stats())
             if path == "/healthz":
                 return self._count(path, self._healthz())
+            if path == "/metrics":
+                return self._count(path, self._metrics())
             if path in ("/plan", "/run", "/trace", "/bench"):
                 return self._count(path, self._stage(path.lstrip("/"), params))
             return self._count(
@@ -217,18 +298,23 @@ class PlanningService:
         return ServeResponse(200, body, {"X-Repro-Cache": "bypass"})
 
     def _stats(self) -> ServeResponse:
+        from .. import __version__
+
         with self._lock:
             requests = dict(sorted(self._requests.items()))
             errors = self._errors
         body = json.dumps(
             {
                 "schema": "repro-serve-stats/1",
+                "version": __version__,
+                "uptime_seconds": round(self.uptime_seconds(), 3),
                 "plan_cache": self.plan_cache.stats(),
                 "response_cache": self.responses.stats(),
                 "sessions": self.pool.stats(),
                 "requests": requests,
                 "errors": errors,
                 "workloads": list(self.registry.names()),
+                "observability": _obs.enabled(),
             },
             indent=2,
         )
@@ -239,8 +325,26 @@ class PlanningService:
 
         return ServeResponse(
             200,
-            json.dumps({"ok": True, "version": __version__}, indent=2),
+            json.dumps(
+                {
+                    "ok": True,
+                    "version": __version__,
+                    "uptime_seconds": round(self.uptime_seconds(), 3),
+                },
+                indent=2,
+            ),
             {"X-Repro-Cache": "bypass"},
+        )
+
+    def _metrics(self) -> ServeResponse:
+        """Prometheus text exposition of the process-wide registry."""
+        return ServeResponse(
+            200,
+            _obs.registry.render(),
+            {
+                "X-Repro-Cache": "bypass",
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+            },
         )
 
     # -- stage endpoints ---------------------------------------------------

@@ -1,0 +1,135 @@
+"""Satellite: N threads hammer counters/histograms while a scraper encodes.
+
+Two properties of the thread-safety contract:
+
+1. **exact totals** — every increment lands; nothing is lost to races;
+2. **no torn state** — any scrape taken mid-flight is internally
+   consistent: a histogram sample's ``+Inf`` bucket, ``_count`` and
+   cumulative buckets always describe the same set of observations.
+"""
+
+import re
+import threading
+
+import pytest
+
+from repro.obs import metrics as m
+from repro.obs.metrics import MetricsRegistry
+
+THREADS = 8
+INCREMENTS = 2000
+
+
+@pytest.fixture
+def on():
+    prev = m.set_enabled(True)
+    yield
+    m.set_enabled(prev)
+
+
+def _parse_histogram(text: str, name: str):
+    """-> list of (le, value) plus (count, sum) from one exposition."""
+    buckets = []
+    count = total = None
+    for line in text.splitlines():
+        match = re.match(rf'{name}_bucket{{le="([^"]+)"}} (\d+)', line)
+        if match:
+            buckets.append((match.group(1), int(match.group(2))))
+        elif line.startswith(f"{name}_count "):
+            count = int(line.split()[-1])
+        elif line.startswith(f"{name}_sum "):
+            total = float(line.split()[-1])
+    return buckets, count, total
+
+
+def test_concurrent_counter_totals_exact(on):
+    reg = MetricsRegistry()
+    c = reg.counter("hammer_total", "", ("worker",))
+    start = threading.Barrier(THREADS)
+
+    def worker(i):
+        start.wait()
+        for _ in range(INCREMENTS):
+            c.inc(worker=i % 4)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.total() == THREADS * INCREMENTS
+
+
+def test_scraper_never_sees_torn_state(on):
+    reg = MetricsRegistry()
+    c = reg.counter("torn_total", "")
+    h = reg.histogram("torn_seconds", "", buckets=(0.25, 0.5, 1.0))
+    stop = threading.Event()
+    problems = []
+
+    def scraper():
+        while not stop.is_set():
+            text = reg.render()
+            buckets, count, total = _parse_histogram(text, "torn_seconds")
+            if count is None:
+                continue  # nothing observed yet
+            # cumulative buckets must be monotone and end at _count
+            values = [v for _, v in buckets]
+            if values != sorted(values):
+                problems.append(f"non-monotone buckets: {buckets}")
+            if buckets and buckets[-1][0] == "+Inf" and values[-1] != count:
+                problems.append(
+                    f"+Inf bucket {values[-1]} != count {count}")
+            # every observation is 0.5, so sum must equal count * 0.5
+            if total != pytest.approx(count * 0.5):
+                problems.append(f"sum {total} inconsistent with count {count}")
+
+    scrape_thread = threading.Thread(target=scraper)
+    scrape_thread.start()
+
+    def worker():
+        for _ in range(INCREMENTS):
+            c.inc()
+            h.observe(0.5)
+
+    threads = [threading.Thread(target=worker) for _ in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    stop.set()
+    scrape_thread.join()
+
+    assert not problems, problems[:3]
+    assert c.value() == THREADS * INCREMENTS
+    count, total = h.value()
+    assert count == THREADS * INCREMENTS
+    assert total == pytest.approx(count * 0.5)
+    # the final exposition agrees with the in-memory totals
+    buckets, count, total = _parse_histogram(reg.render(), "torn_seconds")
+    assert count == THREADS * INCREMENTS
+    assert dict(buckets)["0.5"] == count
+    assert dict(buckets)["+Inf"] == count
+
+
+def test_concurrent_mixed_instruments_with_collector(on):
+    """Collectors firing during scrapes don't deadlock or corrupt."""
+    reg = MetricsRegistry()
+    c = reg.counter("mixed_total", "", ("k",))
+    g = reg.gauge("mixed_gauge", "")
+    reg.add_collector(lambda: g.set(len("x")))
+
+    def worker(i):
+        for n in range(500):
+            c.inc(k=i)
+            if n % 50 == 0:
+                reg.render()
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.total() == 4 * 500
+    assert "mixed_gauge 1" in reg.render()

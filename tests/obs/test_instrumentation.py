@@ -1,0 +1,244 @@
+"""The instrumented seams, end to end: planner counters, cache lookup
+counters, session-stage spans, and the serving tier's /metrics surface."""
+
+import json
+import urllib.request
+
+import pytest
+
+import repro
+from repro.obs import metrics as m
+from repro.obs.tracing import clear_spans, finished_spans
+
+
+@pytest.fixture
+def on():
+    prev = m.set_enabled(True)
+    clear_spans()
+    yield
+    clear_spans()
+    m.set_enabled(prev)
+
+
+def _value(name, **labels):
+    inst = m.registry.get(name)
+    assert inst is not None, f"{name} not registered"
+    return inst.value(**labels)
+
+
+def test_planner_counters_populate(on):
+    kept = _value("repro_planner_candidates_total", outcome="kept")
+    dp = _value("repro_planner_dp_states_total", method="dp")
+    plans = _value("repro_planner_plans_total", method="dp")
+    phase_lookups = (
+        _value("repro_planner_memo_lookups_total", memo="phase", result="hit")
+        + _value("repro_planner_memo_lookups_total", memo="phase",
+                 result="miss"))
+
+    with repro.session(nprocs=4) as sess:
+        sess.workload("adi", size=32, iterations=2).plan(method="dp")
+
+    assert _value("repro_planner_candidates_total", outcome="kept") > kept
+    assert _value("repro_planner_dp_states_total", method="dp") > dp
+    assert _value("repro_planner_plans_total", method="dp") == plans + 1
+    assert (
+        _value("repro_planner_memo_lookups_total", memo="phase", result="hit")
+        + _value("repro_planner_memo_lookups_total", memo="phase",
+                 result="miss")
+    ) > phase_lookups
+
+
+def test_session_stage_spans_and_counters(on):
+    ok = _value("repro_session_stages_total", stage="run", workload="smoothing",
+                status="ok")
+    with repro.session(nprocs=2) as sess:
+        sess.workload("smoothing", size=16, steps=2).run()
+    assert _value("repro_session_stages_total", stage="run",
+                  workload="smoothing", status="ok") == ok + 1
+    assert any(s.name == "session.run" for s in finished_spans())
+    hist = m.registry.get("repro_session_stage_seconds")
+    count, total = hist.value(stage="run")
+    assert count >= 1 and total > 0
+
+
+def test_comm_counters_populate(on):
+    halo = _value("repro_comm_messages_total", kind="halo")
+    halo_bytes = _value("repro_comm_bytes_total", kind="halo")
+    with repro.session(nprocs=4) as sess:
+        sess.workload("smoothing", size=32, steps=2).run()
+    assert _value("repro_comm_messages_total", kind="halo") > halo
+    assert _value("repro_comm_bytes_total", kind="halo") > halo_bytes
+
+
+def test_forall_path_counters(on):
+    import numpy as np
+
+    from repro.core.distribution import dist_type
+    from repro.runtime.batched import forall_batched
+    from repro.runtime.forall import forall
+
+    ref = _value("repro_forall_calls_total", path="reference")
+    batched = _value("repro_forall_calls_total", path="batched")
+
+    with repro.session(nprocs=4) as sess:
+        engine = sess.engine(name="R")
+        a = engine.declare("A", (12,), dist=dist_type("BLOCK"))
+        forall(a, lambda i, read: float(i[0]))
+        forall_batched(a, lambda cols, read: (cols[0] * 2).astype(float))
+        assert np.array_equal(a.to_global(), np.arange(12.0) * 2)
+
+    assert _value("repro_forall_calls_total", path="reference") == ref + 1
+    assert _value("repro_forall_calls_total", path="batched") == batched + 1
+
+
+def test_redistribute_counters_and_span(on):
+    msgs = _value("repro_comm_messages_total", kind="redistribute")
+    moved = _value("repro_redistribute_elements_total", action="moved")
+    with repro.session(nprocs=4) as sess:
+        sess.workload("adi", size=32, iterations=2, strategy="dynamic").run()
+    assert _value("repro_comm_messages_total", kind="redistribute") > msgs
+    assert _value("repro_redistribute_elements_total", action="moved") > moved
+    spans = finished_spans(name="runtime.redistribute")
+    assert spans and "messages" in spans[0].attrs
+
+
+def test_plan_cache_lookup_counters(on):
+    hits = _value("repro_plan_cache_lookups_total", result="hit")
+    misses = _value("repro_plan_cache_lookups_total", result="miss")
+    with repro.session(nprocs=4) as sess:
+        # same redistribution repeated -> misses fill the shared
+        # PlanCache, later iterations hit it
+        handle = sess.workload("adi", size=32, iterations=4,
+                               strategy="dynamic")
+        handle.run()
+        handle.run()
+    assert _value("repro_plan_cache_lookups_total", result="hit") > hits
+    assert _value("repro_plan_cache_lookups_total", result="miss") > misses
+
+
+def test_interning_lru_counts_evictions():
+    from repro.core.interning import LRUCache
+
+    lru = LRUCache(2)
+    lru.put("a", 1)
+    lru.put("b", 2)
+    lru.put("c", 3)  # evicts "a"
+    assert lru.evictions == 1
+    assert lru.stats()["evictions"] == 1
+    lru.clear()
+    assert lru.evictions == 0
+
+
+# -- serving tier ---------------------------------------------------------
+
+def test_metrics_endpoint_and_request_id_header(on):
+    from repro.serve import PlanningService
+
+    requests = m.registry.get("repro_http_requests_total")
+    miss_before = requests.value(route="/plan", status=200, cache="miss")
+    hit_before = requests.value(route="/plan", status=200, cache="hit")
+
+    with PlanningService() as svc:
+        first = svc.dispatch("GET", "/plan?workload=adi&size=16&seed=1")
+        assert first.status == 200
+        rid = first.headers["X-Repro-Request-Id"]
+        assert len(rid) == 16
+
+        again = svc.dispatch("GET", "/plan?workload=adi&size=16&seed=1")
+        assert again.headers["X-Repro-Request-Id"] != rid
+        assert again.headers["X-Repro-Cache"] == "hit"
+        # request ids ride in headers only — cached bodies stay
+        # byte-identical
+        assert again.body == first.body
+
+        assert requests.value(
+            route="/plan", status=200, cache="miss") == miss_before + 1
+        assert requests.value(
+            route="/plan", status=200, cache="hit") == hit_before + 1
+
+        scrape = svc.dispatch("GET", "/metrics")
+        assert scrape.status == 200
+        assert scrape.headers["Content-Type"].startswith("text/plain")
+        text = scrape.body
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "# TYPE repro_http_request_seconds histogram" in text
+        assert ('repro_http_requests_total{route="/plan",status="200",'
+                'cache="miss"}') in text
+        assert ('repro_http_requests_total{route="/plan",status="200",'
+                'cache="hit"}') in text
+        assert 'repro_http_request_seconds_bucket{route="/plan",le=' in text
+        assert 'repro_response_cache_lookups_total{result="hit"}' in text
+        assert 'repro_cache_stat{source="plan_cache"' in text
+        assert "repro_service_uptime_seconds" in text
+
+
+def test_request_spans_carry_request_id(on):
+    from repro.serve import PlanningService
+
+    with PlanningService() as svc:
+        resp = svc.dispatch("GET", "/healthz")
+    rid = resp.headers["X-Repro-Request-Id"]
+    spans = finished_spans(name="serve.request", request_id=rid)
+    assert len(spans) == 1
+    assert spans[0].attrs["route"] == "/healthz"
+
+
+def test_healthz_and_stats_report_version_uptime(on):
+    from repro.serve import PlanningService
+
+    with PlanningService() as svc:
+        health = svc.dispatch("GET", "/healthz").json
+        stats = svc.dispatch("GET", "/stats").json
+    assert health["ok"] is True
+    assert health["version"] == repro.__version__
+    assert health["uptime_seconds"] >= 0
+    assert stats["version"] == repro.__version__
+    assert stats["uptime_seconds"] >= 0
+    assert stats["observability"] is True
+
+
+def test_structured_log_line_per_request(on, caplog):
+    import logging
+
+    from repro.serve import PlanningService
+
+    with caplog.at_level(logging.INFO, logger="repro.serve"):
+        with PlanningService() as svc:
+            svc.dispatch("GET", "/healthz")
+    lines = [json.loads(r.message) for r in caplog.records
+             if r.name == "repro.serve"]
+    (line,) = [l for l in lines if l["route"] == "/healthz"]
+    assert line["event"] == "request"
+    assert line["status"] == 200
+    assert line["ms"] >= 0
+    assert line["cache"] == "bypass"
+    assert len(line["request_id"]) == 16
+
+
+def test_metrics_over_http(on):
+    from repro.serve import PlanningService, ServerThread
+
+    with ServerThread(PlanningService()) as url:
+        with urllib.request.urlopen(f"{url}/healthz", timeout=30) as resp:
+            assert resp.headers["X-Repro-Request-Id"]
+        with urllib.request.urlopen(f"{url}/metrics", timeout=30) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode()
+    assert 'repro_http_requests_total{' in text
+    assert "repro_service_uptime_seconds" in text
+
+
+def test_obs_disabled_service_opt_out():
+    prev = m.set_enabled(False)
+    try:
+        from repro.serve import PlanningService
+
+        with PlanningService(observability=False) as svc:
+            before = m.registry.get("repro_http_requests_total").total()
+            resp = svc.dispatch("GET", "/healthz")
+            assert resp.status == 200
+            assert m.enabled() is False
+            assert m.registry.get("repro_http_requests_total").total() == before
+    finally:
+        m.set_enabled(prev)

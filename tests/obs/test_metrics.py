@@ -1,0 +1,198 @@
+"""Unit tests for the instruments and the Prometheus text encoder."""
+
+import math
+
+import pytest
+
+from repro.obs import metrics as m
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def on():
+    prev = m.set_enabled(True)
+    yield
+    m.set_enabled(prev)
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+# -- switch ---------------------------------------------------------------
+
+def test_disabled_instruments_record_nothing(reg):
+    prev = m.set_enabled(False)
+    try:
+        c = reg.counter("c_total", "help")
+        g = reg.gauge("g", "help")
+        h = reg.histogram("h_seconds", "help")
+        c.inc()
+        g.set(3.0)
+        h.observe(0.1)
+        assert c.total() == 0
+        assert g.value() == 0
+        assert h.value() == (0, 0.0)
+    finally:
+        m.set_enabled(prev)
+
+
+def test_enable_disable_round_trip():
+    prev = m.enabled()
+    try:
+        m.set_enabled(False)
+        assert m.enable() is False
+        assert m.enabled() is True
+        assert m.disable() is True
+        assert m.enabled() is False
+    finally:
+        m.set_enabled(prev)
+
+
+# -- counter --------------------------------------------------------------
+
+def test_counter_inc_and_labels(on, reg):
+    c = reg.counter("req_total", "requests", ("route", "status"))
+    c.inc(route="/a", status=200)
+    c.inc(2, route="/a", status=200)
+    c.inc(route="/b", status=500)
+    assert c.value(route="/a", status=200) == 3
+    assert c.value(route="/b", status=500) == 1
+    assert c.total() == 4
+
+
+def test_counter_rejects_negative_and_bad_labels(on, reg):
+    c = reg.counter("neg_total", "", ("k",))
+    with pytest.raises(ValueError):
+        c.inc(-1, k="x")
+    with pytest.raises(ValueError):
+        c.inc()  # missing label
+    with pytest.raises(ValueError):
+        c.inc(k="x", extra="y")
+
+
+def test_counter_render(on, reg):
+    c = reg.counter("hits_total", 'with "quotes" and \\ slash', ("kind",))
+    c.inc(5, kind='a"b')
+    text = reg.render()
+    assert '# HELP hits_total with "quotes" and \\\\ slash' in text
+    assert "# TYPE hits_total counter" in text
+    assert 'hits_total{kind="a\\"b"} 5' in text
+
+
+# -- gauge ----------------------------------------------------------------
+
+def test_gauge_set_inc_dec(on, reg):
+    g = reg.gauge("pool", "", ("state",))
+    g.set(4, state="idle")
+    g.inc(state="idle")
+    g.dec(2, state="idle")
+    assert g.value(state="idle") == 3
+    assert "pool{state=\"idle\"} 3" in reg.render()
+
+
+# -- histogram ------------------------------------------------------------
+
+def test_histogram_buckets_cumulative_in_render(on, reg):
+    h = reg.histogram("lat_seconds", "", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(v)
+    assert h.value() == (5, pytest.approx(56.05))
+    text = reg.render()
+    assert 'lat_seconds_bucket{le="0.1"} 1' in text
+    assert 'lat_seconds_bucket{le="1"} 3' in text
+    assert 'lat_seconds_bucket{le="10"} 4' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 5' in text
+    assert "lat_seconds_count 5" in text
+    assert "lat_seconds_sum 56.05" in text
+
+
+def test_histogram_needs_buckets(reg):
+    with pytest.raises(ValueError):
+        reg.histogram("empty", "", buckets=())
+
+
+def test_histogram_snapshot_consistent(on, reg):
+    h = reg.histogram("s_seconds", "", ("op",), buckets=(1.0,))
+    h.observe(0.5, op="x")
+    h.observe(2.0, op="x")
+    snap = reg.snapshot()["s_seconds"]
+    (sample,) = snap["samples"]
+    assert sample["labels"] == {"op": "x"}
+    assert sample["count"] == 2
+    assert sample["sum"] == pytest.approx(2.5)
+    assert sample["buckets"] == {"1": 1}
+
+
+# -- registry -------------------------------------------------------------
+
+def test_get_or_create_returns_same_instrument(reg):
+    a = reg.counter("same_total", "h", ("x",))
+    b = reg.counter("same_total", "other help ignored", ("x",))
+    assert a is b
+
+
+def test_type_or_label_mismatch_raises(reg):
+    reg.counter("one_total", "", ("x",))
+    with pytest.raises(ValueError):
+        reg.gauge("one_total", "")
+    with pytest.raises(ValueError):
+        reg.counter("one_total", "", ("y",))
+
+
+def test_render_sorted_and_terminated(on, reg):
+    reg.counter("zzz_total", "").inc()
+    reg.counter("aaa_total", "").inc()
+    text = reg.render()
+    assert text.index("aaa_total") < text.index("zzz_total")
+    assert text.endswith("\n")
+
+
+def test_collectors_run_at_scrape_even_when_disabled(reg):
+    prev = m.set_enabled(False)
+    try:
+        g = reg.gauge("pulled", "")
+        reg.add_collector(lambda: g.set(7))
+        assert "pulled 7" in reg.render()
+        # snapshot also collects
+        assert reg.snapshot()["pulled"]["samples"][0]["value"] == 7
+        # and the switch is restored afterwards
+        assert m.enabled() is False
+    finally:
+        m.set_enabled(prev)
+
+
+def test_remove_collector(reg):
+    calls = []
+    fn = lambda: calls.append(1)  # noqa: E731
+    reg.add_collector(fn)
+    reg.render()
+    reg.remove_collector(fn)
+    reg.render()
+    assert len(calls) == 1
+
+
+def test_reset_zeroes_samples_keeps_registration(on, reg):
+    c = reg.counter("kept_total", "", ("k",))
+    c.inc(k="a")
+    reg.reset()
+    assert c.total() == 0
+    assert reg.get("kept_total") is c
+
+
+def test_fmt_special_values():
+    assert m._fmt(float("inf")) == "+Inf"
+    assert m._fmt(float("-inf")) == "-Inf"
+    assert m._fmt(float("nan")) == "NaN"
+    assert m._fmt(3.0) == "3"
+    assert m._fmt(0.25) == "0.25"
+    assert not math.isnan(0.0)  # keep the math import honest
+
+
+def test_module_level_helpers_share_default_registry(on):
+    c = m.counter("module_helper_total", "")
+    before = c.value()
+    c.inc()
+    assert m.registry.get("module_helper_total") is c
+    assert f"module_helper_total {m._fmt(before + 1)}" in m.render_prometheus()

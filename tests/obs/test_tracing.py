@@ -1,0 +1,158 @@
+"""Spans, contextvar ID propagation, and the Chrome-trace exporter."""
+
+import json
+
+import pytest
+
+from repro.obs import metrics as m
+from repro.obs.export import chrome_trace, dump_chrome_trace
+from repro.obs.tracing import (
+    clear_spans,
+    finished_spans,
+    get_request_id,
+    get_trace_id,
+    new_request_id,
+    request_scope,
+    set_request_id,
+    span,
+)
+
+
+@pytest.fixture
+def on():
+    prev = m.set_enabled(True)
+    clear_spans()
+    yield
+    clear_spans()
+    m.set_enabled(prev)
+
+
+def test_span_disabled_yields_none():
+    prev = m.set_enabled(False)
+    clear_spans()
+    try:
+        with span("quiet") as sp:
+            assert sp is None
+        assert finished_spans() == []
+    finally:
+        m.set_enabled(prev)
+
+
+def test_span_records_name_attrs_duration(on):
+    with span("work", array="V", size=64) as sp:
+        sp.attrs["late"] = True
+    (rec,) = finished_spans(name="work")
+    assert rec is sp
+    assert rec.attrs == {"array": "V", "size": 64, "late": True}
+    assert rec.duration >= 0
+    assert rec.thread
+
+
+def test_spans_nest_and_share_trace(on):
+    with span("outer") as outer:
+        with span("inner") as inner:
+            assert inner.parent_id == outer.span_id
+            assert inner.trace_id == outer.trace_id
+    assert outer.parent_id is None
+    # trace id does not leak out of the outermost span
+    assert get_trace_id() is None
+
+
+def test_request_scope_propagates_ids(on):
+    assert get_request_id() is None
+    with request_scope() as rid:
+        assert get_request_id() == rid
+        assert get_trace_id() == rid
+        with span("handler") as sp:
+            pass
+        assert sp.request_id == rid
+        assert sp.trace_id == rid
+    assert get_request_id() is None
+    assert get_trace_id() is None
+
+
+def test_request_scope_accepts_explicit_id(on):
+    with request_scope("deadbeef") as rid:
+        assert rid == "deadbeef"
+
+
+def test_set_request_id_and_mint(on):
+    rid = new_request_id()
+    assert len(rid) == 16
+    token = set_request_id(rid)
+    try:
+        assert get_request_id() == rid
+    finally:
+        set_request_id(None)
+        del token
+
+
+def test_finished_spans_filters(on):
+    with request_scope("r1"):
+        with span("a"):
+            pass
+    with span("b"):
+        pass
+    assert [s.name for s in finished_spans(name="a")] == ["a"]
+    assert [s.name for s in finished_spans(request_id="r1")] == ["a"]
+    assert len(finished_spans()) == 2
+
+
+def test_spans_total_counter_bumped(on):
+    c = m.registry.get("repro_spans_total")
+    before = c.value(name="counted")
+    with span("counted"):
+        pass
+    assert c.value(name="counted") == before + 1
+
+
+def test_ring_buffer_bounded(on):
+    from repro.obs import tracing
+
+    for i in range(tracing._MAX_SPANS + 10):
+        with span("flood"):
+            pass
+    assert len(finished_spans()) == tracing._MAX_SPANS
+
+
+# -- chrome trace export --------------------------------------------------
+
+def test_chrome_trace_events(on):
+    with request_scope("feedc0de"):
+        with span("serve.request", route="/plan"):
+            with span("planner.plan_array", array="V"):
+                pass
+    doc = chrome_trace()
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert {e["name"] for e in xs} == {"serve.request", "planner.plan_array"}
+    assert all(e["pid"] == 1 for e in xs)
+    child = next(e for e in xs if e["name"] == "planner.plan_array")
+    assert child["args"]["request_id"] == "feedc0de"
+    assert child["args"]["array"] == "V"
+    assert "parent_id" in child["args"]
+    metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert any(e["name"] == "process_name" for e in metas)
+    assert doc["otherData"]["runtime_spans"] == 2
+
+
+def test_chrome_trace_merges_sim_timeline(on):
+    import repro
+
+    with repro.session(nprocs=2) as sess:
+        timeline = sess.workload("smoothing", size=16, steps=2).trace().blocking
+    with span("runtime"):
+        pass
+    doc = chrome_trace(timeline=timeline)
+    pids = {e["pid"] for e in doc["traceEvents"]}
+    assert pids == {0, 1}
+    assert doc["otherData"]["runtime_spans"] >= 1
+
+
+def test_dump_chrome_trace_writes_json(on, tmp_path):
+    with span("persisted"):
+        pass
+    path = tmp_path / "trace.json"
+    doc = dump_chrome_trace(str(path))
+    on_disk = json.loads(path.read_text())
+    assert on_disk == doc
+    assert any(e["name"] == "persisted" for e in on_disk["traceEvents"])

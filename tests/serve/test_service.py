@@ -33,7 +33,10 @@ def test_healthz_reports_version(service):
 
     resp = service.dispatch("GET", "/healthz")
     assert resp.status == 200
-    assert resp.json == {"ok": True, "version": repro.__version__}
+    payload = resp.json
+    assert payload["ok"] is True
+    assert payload["version"] == repro.__version__
+    assert payload["uptime_seconds"] >= 0
 
 
 def test_stats_schema(service):

@@ -142,15 +142,22 @@ def test_registered_workloads_drive_the_choices(capsys):
 
 def test_serve_loadtest_json_roundtrip(tmp_path, capsys):
     out = tmp_path / "BENCH_SERVE.json"
+    metrics_out = tmp_path / "METRICS_SERVE.prom"
     report = _run_json(
         capsys,
         ["serve", "--loadtest", "--smoke", "--clients", "2", "--rounds", "3",
-         "--out", str(out), "--check", "--json"],
+         "--out", str(out), "--metrics-out", str(metrics_out),
+         "--check", "--json"],
     )
     assert report["schema"] == "repro-bench-serve/1"
     assert report["total_failures"] == 0
     assert report["byte_identical"] is True
+    assert report["latency"]["method"] == "linear_interpolation"
+    assert report["metrics"]["missing_series"] == []
     assert json.loads(out.read_text())["clients"] == 2
+    scrape = metrics_out.read_text()
+    assert "# TYPE repro_http_requests_total counter" in scrape
+    assert "repro_http_request_seconds_bucket" in scrape
 
 
 def test_serve_check_gate_fails_loudly(tmp_path):
@@ -159,6 +166,26 @@ def test_serve_check_gate_fails_loudly(tmp_path):
     with pytest.raises(SystemExit):
         main(["serve", "--url", "http://127.0.0.1:9", "--clients", "1",
               "--rounds", "1", "--smoke", "--check", "--out", ""])
+
+
+def test_obs_command_prometheus_text(capsys):
+    main(["obs", "--workload", "adi", "--stage", "plan", "--size", "16"])
+    out = capsys.readouterr().out
+    assert "# TYPE repro_planner_plans_total counter" in out
+    assert "repro_session_stages_total{" in out
+
+
+def test_obs_command_json_and_chrome_out(tmp_path, capsys):
+    chrome = tmp_path / "trace.json"
+    snapshot = _run_json(
+        capsys,
+        ["obs", "--workload", "smoothing", "--stage", "trace",
+         "--size", "16", "--steps", "2", "--json",
+         "--chrome-out", str(chrome)],
+    )
+    assert snapshot["repro_session_stages_total"]["type"] == "counter"
+    doc = json.loads(chrome.read_text())
+    assert any(e.get("name") == "session.trace" for e in doc["traceEvents"])
 
 
 def test_tour_still_runs(capsys):

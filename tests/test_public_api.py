@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.api",
     "repro.sim",
     "repro.serve",
+    "repro.obs",
 ]
 
 # The root surface, pinned (ISSUE 5): changing what `from repro import *`
@@ -40,6 +41,7 @@ EXPORT_SNAPSHOT = sorted([
     "IndexDomain", "Indirect", "Inspector", "Interval", "LineSweepKernel",
     "LocalMemory", "Loop", "MAYBE", "MODERN_CLUSTER", "Machine",
     "MeasuredMachine", "MemoryError_", "MemoryEstimate", "MessageRecord",
+    "MetricsRegistry",
     "MultiprocessBackend", "NEVER", "Network", "NetworkStats", "NoDist",
     "OptimizeStats", "OverlapManager", "PARAGON", "PRESETS", "Phase",
     "PhaseSequence", "Plan", "PlanCache", "PlanExecutor", "PlanResult",
@@ -64,10 +66,12 @@ EXPORT_SNAPSHOT = sorted([
     "dist_type", "dp_schedule", "dump_json", "enumerate_layouts",
     "estimate_memory", "estimate_ref", "extract_phases", "fit_alpha_beta",
     "forall", "forall_batched", "forall_gathered", "gantt", "gather_to",
-    "get_generator", "get_workload", "greedy_schedule", "grid_shapes",
+    "get_generator", "get_request_id", "get_trace_id", "get_workload",
+    "greedy_schedule", "grid_shapes",
     "hand_schedule_cost", "idt", "infer_overlap", "intern_dimdist",
     "intern_distribution", "lang", "link_matrix", "lower_line_sweep",
-    "lower_stencil", "measured_machine", "optimize", "overlappable_phases",
+    "lower_stencil", "measured_machine", "metrics_registry", "obs",
+    "optimize", "overlappable_phases",
     "owners_cache_stats", "parse_alignment", "parse_declaration",
     "parse_dist_expr", "parse_pattern", "parse_processors",
     "parse_program", "parse_section", "pattern_implies",
@@ -78,7 +82,8 @@ EXPORT_SNAPSHOT = sorted([
     "replay_split_exchange", "resolve_backend", "run_loadtest",
     "segment_moves", "serve",
     "session", "shift_exchange", "shift_plan", "sim", "simulate",
-    "smoothing_workload", "summary", "timeline_summary", "timeline_table",
+    "smoothing_workload", "span", "summary", "timeline_summary",
+    "timeline_table",
     "to_chrome_trace", "to_json", "transfer_matrix",
     "transfer_matrix_bruteforce", "transfer_matrix_naive", "transfer_plan",
 ])
@@ -160,7 +165,7 @@ def test_session_facade_reexported_from_root():
 def test_version():
     import repro
 
-    assert repro.__version__ == "1.6.0"
+    assert repro.__version__ == "1.7.0"
 
 
 def test_sim_reexported_from_root():
@@ -194,6 +199,24 @@ def test_serve_reexported_from_root():
     exec("from repro import *", ns)  # noqa: S102
     for required in ("PlanningService", "run_loadtest",
                      "SessionClosedError", "config_fingerprint"):
+        assert required in ns
+
+
+def test_obs_reexported_from_root():
+    """The v1.7.0 surface: observability is one import away (ISSUE 7)."""
+    import repro
+
+    assert repro.obs.__name__ == "repro.obs"
+    assert repro.MetricsRegistry is repro.obs.MetricsRegistry
+    assert repro.metrics_registry is repro.obs.registry
+    assert repro.span is repro.obs.span
+    assert repro.get_request_id is repro.obs.get_request_id
+    assert repro.get_trace_id is repro.obs.get_trace_id
+
+    ns: dict = {}
+    exec("from repro import *", ns)  # noqa: S102
+    for required in ("MetricsRegistry", "metrics_registry", "span",
+                     "get_request_id", "get_trace_id"):
         assert required in ns
 
 
