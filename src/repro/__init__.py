@@ -329,7 +329,12 @@ from .sim import (
 )
 
 from .obs import (
+    Attribution,
     MetricsRegistry,
+    TrajectoryStore,
+    attribution,
+    compare_perf_reports,
+    flight_recorder,
     get_request_id,
     get_trace_id,
     registry as metrics_registry,
@@ -337,7 +342,7 @@ from .obs import (
 )
 from .serve import PlanningService, run_loadtest
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",
@@ -368,6 +373,11 @@ __all__ = [
     "span",
     "get_request_id",
     "get_trace_id",
+    "Attribution",
+    "TrajectoryStore",
+    "attribution",
+    "compare_perf_reports",
+    "flight_recorder",
     "SessionResult",
     "PlanResult",
     "RunResult",

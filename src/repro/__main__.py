@@ -11,9 +11,12 @@ headline comparisons.  Subcommands::
     python -m repro trace adi --nprocs 4 --size 32
     python -m repro calibrate --nprocs 2
     python -m repro bench --smoke --check
+    python -m repro bench --compare --smoke
     python -m repro serve --port 8642
     python -m repro serve --loadtest --clients 8 --check
     python -m repro obs --workload adi --stage plan --json
+    python -m repro obs analyze --workload adi
+    python -m repro obs compare --baseline old/BENCH_PERF.json
 
 Every subcommand goes through :mod:`repro.api`: one
 :func:`repro.session` per invocation owns the machine policy, backend,
@@ -34,7 +37,14 @@ exposes all of it as a multi-tenant asyncio HTTP service (with
 ``--url``, a running one — and writes ``BENCH_SERVE.json`` plus a
 ``/metrics`` snapshot); ``obs`` flips observability on, optionally
 drives one workload stage, and dumps the metrics registry (Prometheus
-text, ``--json`` snapshot, ``--chrome-out`` span trace).  All
+text, ``--json`` snapshot, ``--chrome-out`` span trace).  ``bench
+--compare`` is the regression sentinel: it diffs the fresh run against
+a baseline (op-count drift exits 2, wall-clock drift beyond the
+trajectory's noise band exits 3) and appends every run to the
+``BENCH_TRAJECTORY.jsonl`` history; ``obs analyze`` renders a
+per-phase attribution table (summing to the simulated makespan) with
+the top-3 slowness reasons; ``obs compare`` runs the sentinel over two
+existing report files.  All
 subcommands accept ``--json`` for machine-readable reports and exit
 nonzero on failure instead of printing a traceback.
 
@@ -184,13 +194,42 @@ def trace_command(args: argparse.Namespace) -> None:
 
 
 def bench_command(args: argparse.Namespace) -> None:
-    """Time the vectorized hot paths against their reference oracles."""
+    """Time the vectorized hot paths against their reference oracles;
+    with ``--compare``, diff the run against a baseline (the regression
+    sentinel: op-count drift is a hard fail, exit 2; wall-clock drift
+    beyond the trajectory's noise band a soft fail, exit 3)."""
     from .perf import run_harness
 
     mode = "smoke" if args.smoke else "full"
+    trajectory = args.trajectory or None
     if not args.json:
         print(f"perf harness ({mode} sizes; wall-clock informational, "
               f"op counts asserted{' [--check]' if args.check else ''}):")
+    if not args.compare:
+        report = run_harness(
+            smoke=args.smoke,
+            out=args.out,
+            check=args.check,
+            benches=args.only or None,
+            quiet=args.json,
+            trajectory=trajectory,
+        )
+        if args.json:
+            print(json.dumps(report, indent=2))
+        return
+
+    from .obs.compare import compare_perf_reports, resolve_baseline
+    from .obs.trajectory import TrajectoryStore
+
+    # resolve the baseline *before* the harness runs: the run must not
+    # land in the trajectory first (it would baseline itself), and the
+    # harness overwrites --out (default BENCH_PERF.json) — the very
+    # file the snapshot fallback would otherwise read back
+    store = TrajectoryStore(trajectory) if trajectory else None
+    baseline, source = resolve_baseline(
+        {"smoke": bool(args.smoke)},
+        kind="perf", baseline_path=args.baseline, trajectory=store,
+    )
     report = run_harness(
         smoke=args.smoke,
         out=args.out,
@@ -198,8 +237,20 @@ def bench_command(args: argparse.Namespace) -> None:
         benches=args.only or None,
         quiet=args.json,
     )
+    comparison = compare_perf_reports(
+        baseline, report, baseline_source=source, trajectory=store,
+        wall_tolerance=args.wall_tolerance,
+    )
+    if store is not None:
+        store.append("perf", report)
     if args.json:
-        print(json.dumps(report, indent=2))
+        print(json.dumps(
+            {"report": report, "comparison": comparison.to_json()}, indent=2
+        ))
+    else:
+        print(comparison.summary())
+    if comparison.exit_code:
+        raise SystemExit(comparison.exit_code)
 
 
 def calibrate_command(args: argparse.Namespace) -> None:
@@ -257,6 +308,7 @@ def serve_command(args: argparse.Namespace) -> None:
             smoke=args.smoke,
             out=args.out,
             metrics_out=args.metrics_out,
+            trajectory=args.trajectory or None,
             check=args.check,
             quiet=args.json,
         )
@@ -273,8 +325,64 @@ def serve_command(args: argparse.Namespace) -> None:
 
 
 def obs_command(args: argparse.Namespace) -> None:
-    """Drive a workload stage with observability on; dump the registry."""
+    """``obs dump`` (default): drive a workload stage with
+    observability on and dump the metrics registry.  ``obs analyze``:
+    per-phase attribution of a workload's simulated timeline plus the
+    top-3 slowness reasons.  ``obs compare``: run the regression
+    sentinel over two existing bench reports (no benches re-run)."""
     from . import obs
+
+    if args.action == "analyze":
+        if not args.workload:
+            raise ValueError("obs analyze needs --workload")
+        attr = obs.analyze_workload(
+            args.workload,
+            nprocs=args.nprocs,
+            cost_model=args.cost_model,
+            overlap=args.overlap,
+            **_workload_params(args),
+        )
+        if args.json:
+            print(json.dumps(attr.to_json(), indent=2))
+            return
+        print(attr.table())
+        print("\ntop reasons this plan is slow:")
+        for i, reason in enumerate(attr.top_reasons(), 1):
+            print(f"  {i}. [{reason.kind}] {reason.detail}")
+        return
+
+    if args.action == "compare":
+        from .obs.compare import (
+            compare_perf_reports,
+            compare_serve_reports,
+            load_report,
+            resolve_baseline,
+        )
+        from .obs.trajectory import TrajectoryStore
+
+        current = load_report(args.current)
+        store = TrajectoryStore(args.trajectory) if args.trajectory else None
+        baseline, source = resolve_baseline(
+            current, kind=args.kind, baseline_path=args.baseline,
+            trajectory=store,
+        )
+        if args.kind == "serve":
+            comparison = compare_serve_reports(
+                baseline, current, baseline_source=source,
+                wall_tolerance=args.wall_tolerance,
+            )
+        else:
+            comparison = compare_perf_reports(
+                baseline, current, baseline_source=source, trajectory=store,
+                wall_tolerance=args.wall_tolerance,
+            )
+        if args.json:
+            print(json.dumps(comparison.to_json(), indent=2))
+        else:
+            print(comparison.summary())
+        if comparison.exit_code:
+            raise SystemExit(comparison.exit_code)
+        return
 
     obs.enable()
     if args.workload:
@@ -401,6 +509,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run only the named benches")
     b.add_argument("--json", action="store_true",
                    help="emit the bench report as machine-readable JSON")
+    b.add_argument("--compare", action="store_true",
+                   help="regression sentinel: diff this run against a "
+                        "baseline; op-count drift exits 2 (hard), "
+                        "wall-clock drift beyond the noise band exits 3 "
+                        "(soft)")
+    b.add_argument("--baseline", default=None,
+                   help="baseline report for --compare (a BENCH_PERF.json "
+                        "or a trajectory .jsonl; default: latest "
+                        "compatible trajectory entry, then the committed "
+                        "BENCH_PERF.json)")
+    b.add_argument("--trajectory", default="BENCH_TRAJECTORY.jsonl",
+                   help="append this run to the JSONL trajectory history "
+                        "('' to skip)")
+    b.add_argument("--wall-tolerance", type=float, default=1.0,
+                   help="relative wall-clock tolerance when the "
+                        "trajectory has too little history for a noise "
+                        "band (1.0 = current may be 2x baseline)")
 
     s = sub.add_parser(
         "serve",
@@ -437,16 +562,26 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--metrics-out", default="METRICS_SERVE.prom",
                    help="load-test /metrics snapshot path "
                         "('' to skip writing)")
+    s.add_argument("--trajectory", default="BENCH_TRAJECTORY.jsonl",
+                   help="append the load-test report to the JSONL "
+                        "trajectory history ('' to skip)")
     s.add_argument("--json", action="store_true",
                    help="emit the load-test report as JSON on stdout")
 
     o = sub.add_parser(
         "obs",
-        help="dump the observability registry (Prometheus text or JSON), "
-             "optionally after driving one workload stage to populate it",
+        help="observability: dump the metrics registry (default), "
+             "'analyze' a workload's simulated timeline into a per-phase "
+             "attribution table, or 'compare' two bench reports with the "
+             "regression sentinel",
     )
+    o.add_argument("action", nargs="?", default="dump",
+                   choices=("dump", "analyze", "compare"),
+                   help="dump the registry, attribute a timeline, or "
+                        "diff bench reports")
     o.add_argument("--workload", choices=workload_names, default=None,
-                   help="drive this workload first so the dump has data")
+                   help="drive this workload first so the dump has data "
+                        "(required for analyze)")
     o.add_argument("--stage", default="plan",
                    choices=("plan", "run", "trace", "bench"),
                    help="which stage to drive on --workload")
@@ -463,8 +598,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write recorded spans as a chrome://tracing "
                         "JSON file")
     o.add_argument("--json", action="store_true",
-                   help="emit the registry snapshot as JSON instead of "
-                        "Prometheus text")
+                   help="emit the registry snapshot / attribution / "
+                        "comparison as JSON instead of text")
+    o.add_argument("--overlap", action="store_true",
+                   help="analyze: attribute the split-phase timeline "
+                        "instead of the blocking one")
+    o.add_argument("--current", default="BENCH_PERF.json",
+                   help="compare: the current report file")
+    o.add_argument("--baseline", default=None,
+                   help="compare: the baseline report or trajectory file")
+    o.add_argument("--kind", default="perf", choices=("perf", "serve"),
+                   help="compare: which bench family the reports are")
+    o.add_argument("--trajectory", default="BENCH_TRAJECTORY.jsonl",
+                   help="compare: trajectory history for baseline "
+                        "resolution and the wall-clock noise band "
+                        "('' to skip)")
+    o.add_argument("--wall-tolerance", type=float, default=1.0,
+                   help="compare: relative wall-clock tolerance fallback")
     return parser
 
 

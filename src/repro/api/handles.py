@@ -19,6 +19,7 @@ import time
 from typing import TYPE_CHECKING
 
 from ..obs import metrics as _obs
+from ..obs.flight import flight_recorder as _flight
 from ..obs.tracing import span as _span
 from .registry import ExecutionOutcome, WorkloadContext, WorkloadSpec
 from .results import BenchResult, PlanResult, RunResult, TraceResult
@@ -43,20 +44,37 @@ _STAGE_SECONDS = _obs.histogram(
 
 
 def _staged(stage: str):
-    """Wrap a handle stage in a span plus count/latency instruments."""
+    """Wrap a handle stage in a span plus count/latency instruments.
+
+    A failed stage additionally dumps a structured incident record on
+    the always-on flight recorder (metrics may be off; the recorder is
+    not), carrying the stage, workload, and any request/trace IDs the
+    serving tier bound to the calling context.
+    """
 
     def decorate(fn):
         @functools.wraps(fn)
         def wrapper(self, *args, **kwargs):
             if not _obs.enabled():
-                return fn(self, *args, **kwargs)
+                try:
+                    return fn(self, *args, **kwargs)
+                except Exception as exc:
+                    _flight.incident(
+                        f"session.{stage} failed", error=exc,
+                        attrs={"stage": stage, "workload": self.name},
+                    )
+                    raise
             t0 = time.perf_counter()
             with _span(f"session.{stage}", workload=self.name):
                 try:
                     result = fn(self, *args, **kwargs)
-                except Exception:
+                except Exception as exc:
                     _STAGES_TOTAL.inc(stage=stage, workload=self.name,
                                       status="error")
+                    _flight.incident(
+                        f"session.{stage} failed", error=exc,
+                        attrs={"stage": stage, "workload": self.name},
+                    )
                     raise
             _STAGES_TOTAL.inc(stage=stage, workload=self.name, status="ok")
             _STAGE_SECONDS.observe(time.perf_counter() - t0, stage=stage)

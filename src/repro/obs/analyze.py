@@ -1,0 +1,283 @@
+"""Attribution: where did the simulated time go, and why is it slow?
+
+``python -m repro obs analyze --workload adi`` runs a workload through
+the session ``trace`` stage and decomposes the simulated
+:class:`~repro.sim.clock.Timeline` into a **per-phase attribution
+table**: one row per kernel/communication tag, with per-processor-
+averaged compute/comm/wait seconds that *sum exactly to the makespan*
+(idle is the explicit remainder, never a rounding fudge).  On top of
+the table, :meth:`Attribution.top_reasons` ranks the top-N reasons the
+plan is slow — load imbalance, communication waits, barrier idling —
+each with its estimated cost, so a regression flagged by the sentinel
+(:mod:`repro.obs.compare`) comes with a first diagnosis.
+
+:func:`span_breakdown` gives the same per-name accounting over the
+runtime spans of :mod:`repro.obs.tracing` (PR 7's ring buffer), so the
+served tier's time is attributable with the same vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+if TYPE_CHECKING:
+    from ..sim.clock import Timeline
+    from .tracing import SpanRecord
+
+__all__ = [
+    "Attribution",
+    "PhaseRow",
+    "Reason",
+    "attribution",
+    "analyze_workload",
+    "span_breakdown",
+]
+
+
+@dataclass
+class PhaseRow:
+    """One attribution row: a phase (interval tag, or the bare kind for
+    untagged intervals) with per-proc-averaged seconds by activity."""
+
+    phase: str
+    compute: float = 0.0
+    comm: float = 0.0
+    wait: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.comm + self.wait
+
+    def to_json(self) -> dict:
+        return {
+            "phase": self.phase,
+            "compute_seconds": self.compute,
+            "comm_seconds": self.comm,
+            "wait_seconds": self.wait,
+            "total_seconds": self.total,
+        }
+
+
+@dataclass
+class Reason:
+    """One ranked explanation of lost time."""
+
+    kind: str  # "imbalance" | "wait" | "comm" | "idle"
+    seconds: float  # estimated per-proc cost
+    detail: str
+
+    def to_json(self) -> dict:
+        return {"kind": self.kind, "seconds": self.seconds,
+                "detail": self.detail}
+
+
+@dataclass
+class Attribution:
+    """Per-phase decomposition of one simulated timeline.
+
+    The accounting identity: ``sum(row.total) + idle == makespan``
+    (all quantities per-proc-averaged), exact up to float addition
+    order — asserted by the test suite, printed by :meth:`table`.
+    """
+
+    workload: Optional[str]
+    nprocs: int
+    cost_model: str
+    overlap: bool
+    makespan: float
+    rows: List[PhaseRow] = field(default_factory=list)
+    idle: float = 0.0
+    imbalance: float = 1.0
+    efficiency: float = 1.0
+    per_proc_busy: List[float] = field(default_factory=list)
+    barriers: int = 0
+
+    @property
+    def accounted(self) -> float:
+        """Per-proc-averaged seconds covered by rows + idle."""
+        return sum(r.total for r in self.rows) + self.idle
+
+    # -- findings ----------------------------------------------------------
+    def top_reasons(self, k: int = 3) -> List[Reason]:
+        """The top-``k`` reasons this plan is slow, costliest first."""
+        reasons: List[Reason] = []
+        if self.per_proc_busy:
+            mean = sum(self.per_proc_busy) / len(self.per_proc_busy)
+            worst = max(range(len(self.per_proc_busy)),
+                        key=lambda r: self.per_proc_busy[r])
+            excess = self.per_proc_busy[worst] - mean
+            if excess > 0:
+                reasons.append(Reason(
+                    "imbalance", excess,
+                    f"load imbalance {self.imbalance:.2f}x: P{worst} is busy "
+                    f"{excess * 1e3:.3f} ms longer than the mean processor",
+                ))
+        for row in self.rows:
+            if row.wait > 0:
+                reasons.append(Reason(
+                    "wait", row.wait,
+                    f"phase {row.phase!r}: {row.wait * 1e3:.3f} ms/proc "
+                    f"blocked waiting on communication",
+                ))
+            if row.comm > 0:
+                reasons.append(Reason(
+                    "comm", row.comm,
+                    f"phase {row.phase!r}: {row.comm * 1e3:.3f} ms/proc "
+                    f"of message occupancy",
+                ))
+        if self.idle > 0:
+            detail = (
+                f"{self.idle * 1e3:.3f} ms/proc idle outside recorded "
+                f"intervals (end-of-run skew"
+                + (f"; {self.barriers} barriers" if self.barriers else "")
+                + ")"
+            )
+            reasons.append(Reason("idle", self.idle, detail))
+        reasons.sort(key=lambda r: r.seconds, reverse=True)
+        return reasons[:k]
+
+    # -- rendering ---------------------------------------------------------
+    def table(self) -> str:
+        """The per-phase attribution table; the footer re-states the
+        accounting identity against the simulated makespan."""
+        name = self.workload or "timeline"
+        mode = "split-phase" if self.overlap else "blocking"
+        header = (
+            f"attribution: {name} on {self.nprocs} procs "
+            f"({self.cost_model}, {mode}) — per-proc-averaged ms"
+        )
+        lines = [header,
+                 f"  {'phase':24s} {'compute':>10s} {'comm':>10s} "
+                 f"{'wait':>10s} {'total':>10s} {'share':>7s}"]
+        span = self.makespan or 1.0
+        for row in sorted(self.rows, key=lambda r: r.total, reverse=True):
+            lines.append(
+                f"  {row.phase:24s} {row.compute * 1e3:10.3f} "
+                f"{row.comm * 1e3:10.3f} {row.wait * 1e3:10.3f} "
+                f"{row.total * 1e3:10.3f} {row.total / span:6.1%}"
+            )
+        lines.append(
+            f"  {'(idle)':24s} {'':10s} {'':10s} {'':10s} "
+            f"{self.idle * 1e3:10.3f} {self.idle / span:6.1%}"
+        )
+        lines.append(
+            f"  {'= makespan':24s} {'':10s} {'':10s} {'':10s} "
+            f"{self.accounted * 1e3:10.3f} (simulated "
+            f"{self.makespan * 1e3:.3f} ms)"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": "repro-obs-attribution/1",
+            "workload": self.workload,
+            "nprocs": self.nprocs,
+            "cost_model": self.cost_model,
+            "overlap": self.overlap,
+            "makespan": self.makespan,
+            "rows": [r.to_json() for r in self.rows],
+            "idle_seconds": self.idle,
+            "accounted_seconds": self.accounted,
+            "imbalance": self.imbalance,
+            "efficiency": self.efficiency,
+            "barriers": self.barriers,
+            "top_reasons": [r.to_json() for r in self.top_reasons()],
+        }
+
+
+def attribution(
+    timeline: "Timeline", workload: str | None = None
+) -> Attribution:
+    """Decompose a simulated timeline into per-phase rows.
+
+    Intervals group by their ``tag`` (the kernel/communication label
+    the engine attached); untagged intervals group under their kind.
+    Quantities are per-proc averages, so rows + idle sum to the
+    makespan: ``idle`` is defined as the exact remainder.
+    """
+    nprocs = timeline.nprocs
+    rows: dict[str, PhaseRow] = {}
+    for proc in timeline.procs:
+        for iv in proc.intervals:
+            phase = iv.tag or f"({iv.kind})"
+            row = rows.get(phase)
+            if row is None:
+                row = rows[phase] = PhaseRow(phase=phase)
+            share = iv.duration / nprocs
+            if iv.kind == "compute":
+                row.compute += share
+            elif iv.kind in ("comm", "post"):
+                row.comm += share
+            else:  # "wait"
+                row.wait += share
+    accounted = sum(r.total for r in rows.values())
+    idle = timeline.makespan - accounted
+    if abs(idle) < 1e-12 * max(1.0, timeline.makespan):
+        idle = 0.0  # float addition-order noise, not real idle time
+    per_proc_busy = [p.busy() for p in timeline.procs]
+    return Attribution(
+        workload=workload,
+        nprocs=nprocs,
+        cost_model=timeline.cost_model,
+        overlap=timeline.overlap,
+        makespan=timeline.makespan,
+        rows=list(rows.values()),
+        idle=idle,
+        imbalance=timeline.imbalance(),
+        efficiency=timeline.efficiency(),
+        per_proc_busy=per_proc_busy,
+        barriers=len(timeline.barriers),
+    )
+
+
+def analyze_workload(
+    workload: str,
+    *,
+    nprocs: int = 4,
+    cost_model: str = "Paragon",
+    overlap: bool = False,
+    **params,
+) -> Attribution:
+    """Trace one registered workload and attribute its timeline.
+
+    The flight path of ``python -m repro obs analyze``: one session
+    ``trace`` stage, then :func:`attribution` over the blocking
+    (default) or split-phase timeline.
+    """
+    from ..api import session
+
+    with session(nprocs=nprocs, cost_model=cost_model) as sess:
+        result = sess.workload(workload, **params).trace(overlap=overlap)
+    timeline = result.split if overlap else result.blocking
+    return attribution(timeline, workload=workload)
+
+
+def span_breakdown(
+    spans: Optional[Iterable["SpanRecord"]] = None,
+) -> List[dict]:
+    """Aggregate runtime spans by name: count, total/mean/max seconds.
+
+    ``spans`` defaults to the finished-span ring buffer.  Sorted by
+    total time, so the first row is where the runtime's time went.
+    """
+    from .tracing import finished_spans
+
+    if spans is None:
+        spans = finished_spans()
+    agg: dict[str, dict] = {}
+    for s in spans:
+        row = agg.get(s.name)
+        if row is None:
+            row = agg[s.name] = {
+                "name": s.name, "count": 0, "total_seconds": 0.0,
+                "max_seconds": 0.0,
+            }
+        row["count"] += 1
+        row["total_seconds"] += s.duration
+        row["max_seconds"] = max(row["max_seconds"], s.duration)
+    rows = sorted(agg.values(), key=lambda r: r["total_seconds"],
+                  reverse=True)
+    for row in rows:
+        row["mean_seconds"] = row["total_seconds"] / row["count"]
+    return rows

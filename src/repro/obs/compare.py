@@ -1,0 +1,413 @@
+"""The regression sentinel: diff a bench run against a baseline.
+
+``python -m repro bench --compare`` (and ``python -m repro obs
+compare``) answer "did this change make anything slower, and where?"
+with an automated verdict instead of a human eyeballing two JSON
+files:
+
+- **hard fail** — the bitwise contract broke: a bench's op counts
+  (messages, bytes, remote reads, events, plan costs) drifted from the
+  baseline, or a vectorized path diverged from its reference
+  (``match: false``).  Op counts are deterministic functions of the
+  code, so *any* drift is a real behaviour change.
+- **soft fail** — wall-clock drifted beyond a tolerance band.  The
+  band comes from the trajectory's own noise when enough comparable
+  history exists (``mean + 3σ`` over same-size, same-machine-class
+  samples), else from a relative tolerance on the baseline figure.
+  Wall clock is machine-dependent, so this is a separate, softer exit
+  code CI can choose to tolerate.
+
+Exit-code contract (the CI gate): 0 clean, :data:`EXIT_HARD` (2) on
+any hard failure, :data:`EXIT_SOFT` (3) when only soft failures exist.
+
+Baselines resolve in order: an explicit report path, the latest
+compatible trajectory entry (same kind and smoke flag), then the
+committed snapshot (``BENCH_PERF.json`` / ``BENCH_SERVE.json``).  A
+smoke-run report is **refused** as a baseline for a full-size run
+(:class:`BaselineError`): smoke sizes make its op counts and timings
+meaningless as a full-size reference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .trajectory import TrajectoryStore, env_digest
+
+__all__ = [
+    "BaselineError",
+    "BenchDelta",
+    "CompareReport",
+    "EXIT_HARD",
+    "EXIT_SOFT",
+    "DEFAULT_WALL_TOLERANCE",
+    "compare_perf_reports",
+    "compare_serve_reports",
+    "load_report",
+    "resolve_baseline",
+]
+
+#: exit code for a broken bitwise contract (op/byte-count drift)
+EXIT_HARD = 2
+#: exit code for wall-clock drift beyond the tolerance band
+EXIT_SOFT = 3
+
+#: relative wall-clock tolerance when the trajectory has too little
+#: history for a noise band (current may be up to 2x the baseline)
+DEFAULT_WALL_TOLERANCE = 1.0
+
+
+class BaselineError(SystemExit):
+    """The chosen baseline is unusable (missing, wrong kind, or a
+    smoke run offered as a full-size reference)."""
+
+    def __init__(self, message: str):
+        super().__init__(f"baseline error: {message}")
+        self.message = message
+
+
+@dataclass
+class BenchDelta:
+    """One bench's comparison outcome."""
+
+    name: str
+    verdict: str  # "ok" | "soft_fail" | "hard_fail" | "skipped"
+    reasons: List[str] = field(default_factory=list)
+    baseline_seconds: Optional[float] = None
+    current_seconds: Optional[float] = None
+    wall_limit: Optional[float] = None
+    wall_source: Optional[str] = None  # "trajectory_noise" | "relative"
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "verdict": self.verdict,
+            "reasons": list(self.reasons),
+            "baseline_seconds": self.baseline_seconds,
+            "current_seconds": self.current_seconds,
+            "wall_limit": self.wall_limit,
+            "wall_source": self.wall_source,
+        }
+
+
+@dataclass
+class CompareReport:
+    """The sentinel's full verdict over one baseline/current pair."""
+
+    kind: str
+    baseline_source: str
+    deltas: List[BenchDelta] = field(default_factory=list)
+
+    @property
+    def hard_failures(self) -> List[BenchDelta]:
+        return [d for d in self.deltas if d.verdict == "hard_fail"]
+
+    @property
+    def soft_failures(self) -> List[BenchDelta]:
+        return [d for d in self.deltas if d.verdict == "soft_fail"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.hard_failures and not self.soft_failures
+
+    @property
+    def exit_code(self) -> int:
+        if self.hard_failures:
+            return EXIT_HARD
+        if self.soft_failures:
+            return EXIT_SOFT
+        return 0
+
+    def to_json(self) -> dict:
+        return {
+            "schema": "repro-bench-compare/1",
+            "kind": self.kind,
+            "baseline_source": self.baseline_source,
+            "exit_code": self.exit_code,
+            "deltas": [d.to_json() for d in self.deltas],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"regression sentinel ({self.kind}) vs {self.baseline_source}:"
+        ]
+        for d in self.deltas:
+            wall = ""
+            if d.baseline_seconds is not None and d.current_seconds is not None:
+                wall = (
+                    f"  {d.baseline_seconds * 1e3:9.2f} ms"
+                    f" -> {d.current_seconds * 1e3:9.2f} ms"
+                )
+            lines.append(f"  {d.name:26s} {d.verdict:9s}{wall}")
+            for reason in d.reasons:
+                lines.append(f"      - {reason}")
+        n_hard, n_soft = len(self.hard_failures), len(self.soft_failures)
+        if n_hard:
+            lines.append(f"  VERDICT: HARD FAIL ({n_hard} bench(es); exit {EXIT_HARD})")
+        elif n_soft:
+            lines.append(f"  VERDICT: soft fail ({n_soft} bench(es); exit {EXIT_SOFT})")
+        else:
+            lines.append("  VERDICT: clean (exit 0)")
+        return "\n".join(lines)
+
+
+# -- baseline resolution ----------------------------------------------------
+
+def load_report(path: str) -> dict:
+    """Load a bench report from a JSON snapshot or a trajectory JSONL
+    (the latest entry's report, regardless of kind)."""
+    if not os.path.exists(path):
+        raise BaselineError(f"no such baseline file: {path!r}")
+    if path.endswith((".jsonl", ".ndjson")):
+        latest = TrajectoryStore(path).latest()
+        if latest is None:
+            raise BaselineError(f"trajectory {path!r} has no usable entries")
+        return latest["report"]
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            return json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"unparseable baseline {path!r}: {exc}")
+
+
+def _check_baseline_compatible(
+    baseline: dict, current: dict, source: str, kind: str
+) -> None:
+    expected = {"perf": "repro-bench-perf", "serve": "repro-bench-serve"}[kind]
+    schema = str(baseline.get("schema", ""))
+    if not schema.startswith(expected):
+        raise BaselineError(
+            f"{source} is not a {kind} bench report "
+            f"(schema {schema!r}, expected {expected}/*)"
+        )
+    if bool(baseline.get("smoke")) and not bool(current.get("smoke")):
+        raise BaselineError(
+            f"{source} is a smoke-sized run and cannot baseline a "
+            f"full-size run — regenerate it with "
+            f"`python -m repro bench` (no --smoke) and commit the result"
+        )
+
+
+def resolve_baseline(
+    current: dict,
+    *,
+    kind: str = "perf",
+    baseline_path: str | None = None,
+    trajectory: TrajectoryStore | None = None,
+) -> tuple[dict, str]:
+    """Find the baseline report for ``current``; returns (report, source).
+
+    Explicit path > latest compatible trajectory entry (same kind and
+    smoke flag) > the committed snapshot file.  Every candidate passes
+    the smoke-as-baseline refusal check.
+    """
+    if baseline_path:
+        report = load_report(baseline_path)
+        _check_baseline_compatible(report, current, baseline_path, kind)
+        return report, baseline_path
+
+    if trajectory is not None:
+        entry = trajectory.latest(kind=kind, smoke=bool(current.get("smoke")))
+        if entry is not None:
+            source = f"{trajectory.path} (latest {kind} entry)"
+            _check_baseline_compatible(entry["report"], current, source, kind)
+            return entry["report"], source
+
+    fallback = {"perf": "BENCH_PERF.json", "serve": "BENCH_SERVE.json"}[kind]
+    if os.path.exists(fallback):
+        report = load_report(fallback)
+        _check_baseline_compatible(report, current, fallback, kind)
+        return report, fallback
+    raise BaselineError(
+        f"no baseline found: pass --baseline, append runs to the "
+        f"trajectory, or commit {fallback}"
+    )
+
+
+# -- perf comparison --------------------------------------------------------
+
+def _wall_limit(
+    bench: dict,
+    baseline_bench: dict,
+    *,
+    trajectory: TrajectoryStore | None,
+    current: dict,
+    wall_tolerance: float,
+) -> tuple[Optional[float], str]:
+    """The upper wall-clock bound for one bench and where it came from."""
+    if trajectory is not None:
+        env = current.get("env") or {}
+        band = trajectory.noise_band(
+            bench["name"],
+            smoke=bool(current.get("smoke")),
+            size=bench.get("size"),
+            env_key=env_digest(env) if env else None,
+        )
+        if band is not None:
+            return band, "trajectory_noise"
+    base = baseline_bench.get("vectorized_seconds")
+    if isinstance(base, (int, float)):
+        return float(base) * (1.0 + wall_tolerance), "relative"
+    return None, "none"
+
+
+def compare_perf_reports(
+    baseline: dict,
+    current: dict,
+    *,
+    baseline_source: str = "baseline",
+    trajectory: TrajectoryStore | None = None,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+) -> CompareReport:
+    """Diff two ``repro-bench-perf`` reports bench by bench."""
+    report = CompareReport(kind="perf", baseline_source=baseline_source)
+    base_by_name = {b["name"]: b for b in baseline.get("benches", ())}
+    for bench in current.get("benches", ()):
+        name = bench["name"]
+        delta = BenchDelta(
+            name=name,
+            verdict="ok",
+            current_seconds=bench.get("vectorized_seconds"),
+        )
+        report.deltas.append(delta)
+
+        # the run's own bitwise contract is a hard gate regardless of
+        # what the baseline says
+        if not bench.get("match", False):
+            delta.verdict = "hard_fail"
+            delta.reasons.append(
+                "vectorized path diverged from its reference oracle "
+                "(match: false)"
+            )
+
+        base = base_by_name.get(name)
+        if base is None:
+            delta.reasons.append("bench absent from baseline; ops not compared")
+            continue
+        delta.baseline_seconds = base.get("vectorized_seconds")
+
+        if base.get("size") != bench.get("size"):
+            delta.reasons.append(
+                f"sizes differ (baseline {base.get('size')} vs current "
+                f"{bench.get('size')}); op counts not comparable"
+            )
+            continue
+
+        # hard gate: op/byte-count drift against the baseline
+        for side in ("reference_ops", "vectorized_ops"):
+            b_ops, c_ops = base.get(side, {}), bench.get(side, {})
+            if b_ops != c_ops:
+                drifted = sorted(
+                    k
+                    for k in set(b_ops) | set(c_ops)
+                    if b_ops.get(k) != c_ops.get(k)
+                )
+                details = ", ".join(
+                    f"{k}: {b_ops.get(k)} -> {c_ops.get(k)}" for k in drifted
+                )
+                delta.verdict = "hard_fail"
+                delta.reasons.append(f"{side} drifted ({details})")
+
+        # soft gate: wall-clock drift beyond the tolerance band
+        cur_s = bench.get("vectorized_seconds")
+        limit, source = _wall_limit(
+            bench, base, trajectory=trajectory, current=current,
+            wall_tolerance=wall_tolerance,
+        )
+        delta.wall_limit = limit
+        delta.wall_source = source
+        if (
+            delta.verdict == "ok"
+            and isinstance(cur_s, (int, float))
+            and limit is not None
+            and cur_s > limit
+        ):
+            delta.verdict = "soft_fail"
+            delta.reasons.append(
+                f"wall clock {cur_s * 1e3:.2f} ms exceeds the "
+                f"{source} band ({limit * 1e3:.2f} ms)"
+            )
+    missing = sorted(set(base_by_name) - {d.name for d in report.deltas})
+    for name in missing:
+        report.deltas.append(
+            BenchDelta(
+                name=name,
+                verdict="skipped",
+                reasons=["present in baseline but not run (e.g. --only)"],
+            )
+        )
+    return report
+
+
+# -- serve comparison -------------------------------------------------------
+
+def compare_serve_reports(
+    baseline: dict,
+    current: dict,
+    *,
+    baseline_source: str = "baseline",
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+) -> CompareReport:
+    """Diff two ``repro-bench-serve`` reports.
+
+    Hard gates: failed requests and byte-identity (the serving
+    contract).  Soft gates: repeated-phase hit-rate drop and p50
+    latency drift per phase.
+    """
+    report = CompareReport(kind="serve", baseline_source=baseline_source)
+    overall = BenchDelta(name="serving_contract", verdict="ok")
+    report.deltas.append(overall)
+    if current.get("total_failures", 0):
+        overall.verdict = "hard_fail"
+        overall.reasons.append(
+            f"{current['total_failures']} failed request(s)"
+        )
+    if not current.get("byte_identical", True):
+        overall.verdict = "hard_fail"
+        overall.reasons.append(
+            "identical requests returned non-identical bytes"
+        )
+
+    base_phases = {p["name"]: p for p in baseline.get("phases", ())}
+    for phase in current.get("phases", ()):
+        name = phase["name"]
+        delta = BenchDelta(name=f"phase:{name}", verdict="ok")
+        report.deltas.append(delta)
+        base = base_phases.get(name)
+        cur_p50 = (phase.get("latency") or {}).get("p50_ms")
+        delta.current_seconds = (
+            cur_p50 / 1e3 if isinstance(cur_p50, (int, float)) else None
+        )
+        if base is None:
+            delta.reasons.append("phase absent from baseline")
+            continue
+        base_rate = base.get("cache_hit_rate")
+        cur_rate = phase.get("cache_hit_rate")
+        if (
+            name == "repeated"
+            and isinstance(base_rate, (int, float))
+            and isinstance(cur_rate, (int, float))
+            and cur_rate < base_rate - 0.2
+        ):
+            delta.verdict = "soft_fail"
+            delta.reasons.append(
+                f"repeated-phase hit rate fell {base_rate:.0%} -> {cur_rate:.0%}"
+            )
+        base_p50 = (base.get("latency") or {}).get("p50_ms")
+        if isinstance(base_p50, (int, float)) and isinstance(
+            cur_p50, (int, float)
+        ):
+            delta.baseline_seconds = base_p50 / 1e3
+            limit = base_p50 * (1.0 + wall_tolerance)
+            delta.wall_limit = limit / 1e3
+            delta.wall_source = "relative"
+            if delta.verdict == "ok" and cur_p50 > limit:
+                delta.verdict = "soft_fail"
+                delta.reasons.append(
+                    f"p50 latency {cur_p50:.1f} ms exceeds "
+                    f"{limit:.1f} ms ({wall_tolerance:.0%} over baseline)"
+                )
+    return report

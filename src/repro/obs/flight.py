@@ -1,0 +1,191 @@
+"""The perf flight recorder: always-on bounded capture + incident dumps.
+
+Metrics and spans (PR 7) are *opt-in* — off by default so the hot-path
+gates hold.  The flight recorder is the opposite: an **always-on**,
+bounded, cheap ring buffer of the last-N structured notes (request
+outcomes, stage transitions, errors), so that when something breaks in
+a process that never enabled observability there is still a recent
+history to dump.  A note is one immutable dict appended under a lock;
+capacity bounds memory; recording cost is one dict build plus a deque
+append.
+
+:func:`incident` assembles a **structured incident record** from the
+crash site: the reason, exception details, the trace/request IDs bound
+to the current context (contextvars propagate them even with metrics
+off), the request's recorded spans (or the most recent spans when no
+request ID is bound), and the recorder's recent notes.  The serving
+tier dumps one on every 500 (:mod:`repro.serve.service`), and session
+stage wrappers dump one on stage failure (:mod:`repro.api.handles`).
+Set ``REPRO_INCIDENT_DIR`` to also write each record to
+``incident-<id>.json`` in that directory (CI uploads them on failure).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import traceback as _traceback
+import uuid
+from collections import deque
+from typing import List, Optional
+
+__all__ = [
+    "FlightRecorder",
+    "INCIDENT_SCHEMA",
+    "flight_recorder",
+    "incident",
+    "note",
+]
+
+INCIDENT_SCHEMA = "repro-incident/1"
+
+#: environment variable naming a directory incident records are
+#: mirrored into as JSON files (unset = in-memory only)
+INCIDENT_DIR_ENV = "REPRO_INCIDENT_DIR"
+
+#: how many recent notes ride along inside one incident record
+_NOTES_PER_INCIDENT = 64
+#: how many recent spans ride along when no request ID filter applies
+_SPANS_PER_INCIDENT = 32
+
+
+class FlightRecorder:
+    """Bounded, thread-safe, always-on recorder of structured notes.
+
+    Notes are immutable once appended (the recorder stores the dict it
+    built, and readers get shallow copies), so a dumper racing N
+    writer threads sees only whole records — see
+    ``tests/obs/test_flight.py``.
+    """
+
+    def __init__(self, capacity: int = 512, incident_capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._notes: deque = deque(maxlen=self.capacity)
+        self._incidents: deque = deque(maxlen=int(incident_capacity))
+        self._seq = 0
+
+    # -- recording ---------------------------------------------------------
+    def note(self, kind: str, **fields) -> dict:
+        """Append one note; returns the stored record."""
+        with self._lock:
+            self._seq += 1
+            record = {
+                "seq": self._seq,
+                "t": time.time(),
+                "thread": threading.current_thread().name,
+                "kind": str(kind),
+                **fields,
+            }
+            self._notes.append(record)
+        return record
+
+    def notes(self, kind: str | None = None) -> List[dict]:
+        """Shallow copies of the recorded notes, oldest first."""
+        with self._lock:
+            records = list(self._notes)
+        if kind is not None:
+            records = [r for r in records if r.get("kind") == kind]
+        return [dict(r) for r in records]
+
+    # -- incidents ---------------------------------------------------------
+    def incident(
+        self,
+        reason: str,
+        *,
+        error: BaseException | None = None,
+        request_id: str | None = None,
+        trace_id: str | None = None,
+        attrs: dict | None = None,
+        dump_dir: str | None = None,
+    ) -> dict:
+        """Assemble, store, and (optionally) write one incident record.
+
+        ``request_id``/``trace_id`` default to the IDs bound to the
+        current context; ``dump_dir`` defaults to the
+        ``REPRO_INCIDENT_DIR`` environment variable.
+        """
+        from .tracing import finished_spans, get_request_id, get_trace_id
+
+        request_id = request_id or get_request_id()
+        trace_id = trace_id or get_trace_id()
+        if request_id:
+            spans = finished_spans(request_id=request_id)
+        else:
+            spans = finished_spans()[-_SPANS_PER_INCIDENT:]
+        error_info = None
+        if error is not None:
+            error_info = {
+                "type": type(error).__name__,
+                "message": str(error),
+                "traceback": "".join(
+                    _traceback.format_exception(
+                        type(error), error, error.__traceback__
+                    )
+                ),
+            }
+        record = {
+            "schema": INCIDENT_SCHEMA,
+            "incident_id": uuid.uuid4().hex[:16],
+            "recorded_at": time.time(),
+            "reason": str(reason),
+            "request_id": request_id,
+            "trace_id": trace_id,
+            "error": error_info,
+            "attrs": dict(attrs or {}),
+            "spans": [s.to_dict() for s in spans],
+            "recent_notes": self.notes()[-_NOTES_PER_INCIDENT:],
+        }
+        with self._lock:
+            self._incidents.append(record)
+        self.note(
+            "incident", incident_id=record["incident_id"], reason=reason,
+            request_id=request_id,
+        )
+        dump_dir = dump_dir or os.environ.get(INCIDENT_DIR_ENV)
+        if dump_dir:
+            try:
+                os.makedirs(dump_dir, exist_ok=True)
+                path = os.path.join(
+                    dump_dir, f"incident-{record['incident_id']}.json"
+                )
+                with open(path, "w", encoding="utf-8") as fh:
+                    json.dump(record, fh, indent=2, default=str)
+                record["dumped_to"] = path
+            except OSError:
+                pass  # incident capture must never raise at a crash site
+        return record
+
+    def incidents(self) -> List[dict]:
+        """Stored incident records, oldest first."""
+        with self._lock:
+            return list(self._incidents)
+
+    def last_incident(self) -> Optional[dict]:
+        with self._lock:
+            return self._incidents[-1] if self._incidents else None
+
+    # -- lifecycle ---------------------------------------------------------
+    def reset(self) -> None:
+        """Drop every note and incident (sequence numbers keep rising)."""
+        with self._lock:
+            self._notes.clear()
+            self._incidents.clear()
+
+
+#: the process-wide recorder every seam writes to
+flight_recorder = FlightRecorder()
+
+
+def note(kind: str, **fields) -> dict:
+    """Append a note to the process-wide :data:`flight_recorder`."""
+    return flight_recorder.note(kind, **fields)
+
+
+def incident(reason: str, **kwargs) -> dict:
+    """Record an incident on the process-wide :data:`flight_recorder`."""
+    return flight_recorder.incident(reason, **kwargs)

@@ -34,7 +34,7 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["run_harness", "BENCHES"]
+__all__ = ["run_harness", "BENCHES", "PERF_SCHEMA"]
 
 
 def _timed(fn: Callable[[], object]) -> tuple[float, object]:
@@ -313,20 +313,32 @@ BENCHES: dict[str, Callable[[bool], dict]] = {
 }
 
 
+#: schema of the BENCH_PERF.json document (v2: env provenance stamp)
+PERF_SCHEMA = "repro-bench-perf/2"
+
+
 def run_harness(
     smoke: bool = False,
     out: str | None = "BENCH_PERF.json",
     check: bool = False,
     benches: list[str] | None = None,
     quiet: bool = False,
+    trajectory: str | None = None,
 ) -> dict:
     """Run the perf benches; optionally write JSON and enforce the
     op-count gate.
 
     ``check=True`` raises ``SystemExit`` if any bench's vectorized op
     counts / results diverge from its reference — the CI regression
-    gate.  Wall-clock numbers are reported but never asserted.
+    gate.  Wall-clock numbers are reported but never asserted (the
+    wall-clock gate lives in the regression sentinel,
+    ``python -m repro bench --compare``).  ``trajectory`` names a JSONL
+    file the report is appended to as one
+    :class:`~repro.obs.trajectory.TrajectoryStore` entry, building the
+    queryable perf history the sentinel diffs against.
     """
+    from .obs.trajectory import TrajectoryStore, environment_fingerprint
+
     names = benches if benches is not None else list(BENCHES)
     unknown = [b for b in names if b not in BENCHES]
     if unknown:
@@ -343,8 +355,9 @@ def run_harness(
                 f"  ops-match {res['match']}"
             )
     report = {
-        "schema": "repro-bench-perf/1",
+        "schema": PERF_SCHEMA,
         "smoke": bool(smoke),
+        "env": environment_fingerprint(),
         "benches": results,
     }
     if out:
@@ -352,6 +365,11 @@ def run_harness(
             json.dump(report, fh, indent=2)
         if not quiet:
             print(f"  wrote {out}")
+    if trajectory:
+        entry = TrajectoryStore(trajectory).append("perf", report)
+        if not quiet:
+            print(f"  appended to {trajectory} "
+                  f"(env {entry['env_digest']})")
     if check:
         bad = [r["name"] for r in results if not r["match"]]
         if bad:

@@ -43,7 +43,10 @@ import numpy as np
 from ..api.registry import REGISTRY, WorkloadRegistry
 from ..defaults import DEFAULT_SEED
 
-__all__ = ["run_loadtest", "LoadtestError"]
+__all__ = ["run_loadtest", "LoadtestError", "SERVE_SCHEMA"]
+
+#: schema of the BENCH_SERVE.json document (v2: env provenance stamp)
+SERVE_SCHEMA = "repro-bench-serve/2"
 
 
 class LoadtestError(SystemExit):
@@ -255,6 +258,7 @@ def run_loadtest(
     seed: int = DEFAULT_SEED,
     out: str | None = "BENCH_SERVE.json",
     metrics_out: str | None = None,
+    trajectory: str | None = None,
     check: bool = False,
     quiet: bool = False,
     timeout: float = 120.0,
@@ -269,8 +273,13 @@ def run_loadtest(
     all three serving properties hold *and* the final ``/metrics``
     scrape contains samples for every series in :data:`REQUIRED_SERIES`.
     The raw Prometheus exposition is written to ``metrics_out`` (the
-    snapshot artifact CI uploads next to ``BENCH_SERVE.json``).
+    snapshot artifact CI uploads next to ``BENCH_SERVE.json``), and
+    ``trajectory`` names a JSONL file the report is appended to as one
+    :class:`~repro.obs.trajectory.TrajectoryStore` entry (kind
+    ``"serve"``) for the regression sentinel's history.
     """
+    from ..obs.trajectory import TrajectoryStore, environment_fingerprint
+
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
     if rounds < 1:
@@ -338,8 +347,9 @@ def run_loadtest(
         _phase_report("repeated", observations),
     ]
     report = {
-        "schema": "repro-bench-serve/1",
+        "schema": SERVE_SCHEMA,
         "smoke": bool(smoke),
+        "env": environment_fingerprint(),
         "base_url": base_url,
         "in_process_server": started_server is not None,
         "clients": clients,
@@ -381,6 +391,10 @@ def run_loadtest(
             fh.write(metrics["text"])
         if not quiet:
             print(f"  wrote {metrics_out}")
+    if trajectory:
+        entry = TrajectoryStore(trajectory).append("serve", report)
+        if not quiet:
+            print(f"  appended to {trajectory} (env {entry['env_digest']})")
 
     if check:
         problems = []

@@ -48,7 +48,9 @@ from ..api.registry import REGISTRY, WorkloadRegistry
 from ..api.results import _jsonable
 from ..defaults import DEFAULT_SEED
 from ..obs import metrics as _obs
+from ..obs.flight import flight_recorder
 from ..obs.tracing import request_scope, span as _span
+from ..obs.trajectory import environment_fingerprint
 from ..runtime.redistribute import PlanCache
 from .cache import ResponseCache, request_fingerprint
 from .pool import SessionPool
@@ -154,6 +156,9 @@ class PlanningService:
         self._requests: dict[str, int] = {}
         self._errors = 0
         self._started = time.monotonic()
+        #: version/git/python/numpy provenance served by /healthz (the
+        #: cheap half of the fingerprint — no timed machine probes)
+        self._env = environment_fingerprint(probe=False)
         #: a serving process wants its metrics recorded — flip the
         #: process-wide switch on construction unless told otherwise
         if observability:
@@ -218,6 +223,13 @@ class PlanningService:
             _HTTP_REQUESTS.inc(route=route, status=response.status,
                                cache=tier)
             _HTTP_SECONDS.observe(elapsed, route=route)
+            # the always-on flight recorder sees every request outcome
+            # (bounded; metrics may be off, this is not)
+            flight_recorder.note(
+                "serve.request", request_id=rid, route=route,
+                status=response.status, ms=round(elapsed * 1e3, 3),
+                cache=tier,
+            )
             _LOG.info(json.dumps(
                 {"event": "request", "request_id": rid, "route": route,
                  "status": response.status, "ms": round(elapsed * 1e3, 3),
@@ -269,9 +281,16 @@ class PlanningService:
         except (TypeError, ValueError) as exc:
             return self._count(path, _error(400, exc))
         except Exception as exc:  # a bug, not a bad request
-            return self._count(
-                path, _error(500, f"{type(exc).__name__}: {exc}")
+            # dump a structured incident record from the crash site:
+            # request/trace IDs (bound by dispatch's request_scope),
+            # the request's spans, and the recorder's recent notes
+            incident = flight_recorder.incident(
+                f"serve 500 on {path}", error=exc,
+                attrs={"route": path, "method": method},
             )
+            response = _error(500, f"{type(exc).__name__}: {exc}")
+            response.headers["X-Repro-Incident-Id"] = incident["incident_id"]
+            return self._count(path, response)
 
     def _count(self, path: str, response: ServeResponse) -> ServeResponse:
         with self._lock:
@@ -329,7 +348,11 @@ class PlanningService:
                 {
                     "ok": True,
                     "version": __version__,
+                    "git_sha": self._env.get("git_sha"),
+                    "python": self._env.get("python"),
+                    "numpy": self._env.get("numpy"),
                     "uptime_seconds": round(self.uptime_seconds(), 3),
+                    "incidents": len(flight_recorder.incidents()),
                 },
                 indent=2,
             ),

@@ -1,0 +1,120 @@
+"""Attribution: the per-phase table, the accounting identity, and the
+top-reasons ranking over simulated timelines and runtime spans."""
+
+import json
+
+import pytest
+
+from repro.obs import metrics as m
+from repro.obs.analyze import (
+    Attribution,
+    PhaseRow,
+    analyze_workload,
+    attribution,
+    span_breakdown,
+)
+from repro.obs.tracing import clear_spans, span
+
+
+@pytest.fixture(scope="module")
+def adi_attr():
+    """One traced adi workload, attributed (module-scoped: ~100 ms)."""
+    return analyze_workload("adi", nprocs=4, size=16, iterations=2)
+
+
+def test_rows_plus_idle_sum_to_makespan(adi_attr):
+    assert adi_attr.makespan > 0
+    assert adi_attr.accounted == pytest.approx(adi_attr.makespan, rel=1e-9)
+    assert adi_attr.idle >= 0
+
+
+def test_phases_carry_kernel_and_comm_tags(adi_attr):
+    phases = {row.phase for row in adi_attr.rows}
+    # adi's phase vocabulary: sweeps compute, redistributes communicate
+    assert any("sweep" in p for p in phases)
+    assert any("redistribute" in p for p in phases)
+    sweep = next(r for r in adi_attr.rows if "sweep" in r.phase)
+    redist = next(r for r in adi_attr.rows if "redistribute" in r.phase)
+    assert sweep.compute > 0
+    assert redist.comm > 0
+
+
+def test_table_renders_identity_footer(adi_attr):
+    table = adi_attr.table()
+    assert "= makespan" in table
+    assert "(idle)" in table
+    assert "adi on 4 procs" in table
+
+
+def test_top_reasons_ranked_by_cost(adi_attr):
+    reasons = adi_attr.top_reasons(3)
+    assert reasons, "a nontrivial workload must have at least one reason"
+    costs = [r.seconds for r in reasons]
+    assert costs == sorted(costs, reverse=True)
+    assert all(r.kind in ("imbalance", "wait", "comm", "idle")
+               for r in reasons)
+
+
+def test_to_json_roundtrip(adi_attr):
+    doc = json.loads(json.dumps(adi_attr.to_json()))
+    assert doc["schema"] == "repro-obs-attribution/1"
+    assert doc["workload"] == "adi"
+    total = sum(r["total_seconds"] for r in doc["rows"]) + doc["idle_seconds"]
+    assert total == pytest.approx(doc["makespan"], rel=1e-9)
+    assert doc["top_reasons"]
+
+
+def test_split_phase_attribution_also_balances():
+    attr = analyze_workload(
+        "adi", nprocs=4, size=16, iterations=2, overlap=True
+    )
+    assert attr.overlap is True
+    assert attr.accounted == pytest.approx(attr.makespan, rel=1e-9)
+
+
+def test_attribution_of_hand_built_timeline():
+    from repro.sim.clock import ProcClock, Timeline
+
+    tl = Timeline(nprocs=2, cost_model="Paragon", overlap=False,
+                  procs=[ProcClock(0), ProcClock(1)])
+    tl.procs[0].occupy(1.0, "compute", tag="kernel")
+    tl.procs[1].occupy(0.5, "wait", tag="kernel")
+    tl.procs[1].occupy(0.5, "comm", tag="exchange")
+    attr = attribution(tl, workload="toy")
+    rows = {r.phase: r for r in attr.rows}
+    # per-proc averages over 2 procs
+    assert rows["kernel"].compute == pytest.approx(0.5)
+    assert rows["kernel"].wait == pytest.approx(0.25)
+    assert rows["exchange"].comm == pytest.approx(0.25)
+    assert attr.accounted == pytest.approx(attr.makespan)
+
+
+def test_phase_row_total():
+    row = PhaseRow(phase="x", compute=1.0, comm=2.0, wait=3.0)
+    assert row.total == 6.0
+    assert row.to_json()["total_seconds"] == 6.0
+
+
+def test_span_breakdown_aggregates_by_name():
+    prev = m.set_enabled(True)
+    clear_spans()
+    try:
+        for _ in range(3):
+            with span("stage.a"):
+                pass
+        with span("stage.b"):
+            pass
+        rows = span_breakdown()
+    finally:
+        clear_spans()
+        m.set_enabled(prev)
+    by_name = {r["name"]: r for r in rows}
+    assert by_name["stage.a"]["count"] == 3
+    assert by_name["stage.b"]["count"] == 1
+    assert by_name["stage.a"]["total_seconds"] >= 0
+    assert by_name["stage.a"]["mean_seconds"] == pytest.approx(
+        by_name["stage.a"]["total_seconds"] / 3
+    )
+    # sorted by total time, descending
+    totals = [r["total_seconds"] for r in rows]
+    assert totals == sorted(totals, reverse=True)

@@ -18,7 +18,8 @@ def report(tmp_path_factory):
 
 def test_report_schema(report):
     rep, _ = report
-    assert rep["schema"] == "repro-bench-serve/1"
+    assert rep["schema"] == "repro-bench-serve/2"
+    assert rep["env"]["repro"]
     assert rep["smoke"] is True
     assert rep["clients"] == 4
     assert rep["rounds"] == 3

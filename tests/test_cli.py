@@ -62,7 +62,7 @@ def test_bench_json_roundtrip(tmp_path, capsys, monkeypatch):
     report = _run_json(
         capsys, ["bench", "--smoke", "--only", "forall", "--out", "", "--json"]
     )
-    assert report["schema"] == "repro-bench-perf/1"
+    assert report["schema"] == "repro-bench-perf/2"
     assert report["benches"][0]["name"] == "forall"
     assert report["benches"][0]["match"] is True
 
@@ -149,7 +149,7 @@ def test_serve_loadtest_json_roundtrip(tmp_path, capsys):
          "--out", str(out), "--metrics-out", str(metrics_out),
          "--check", "--json"],
     )
-    assert report["schema"] == "repro-bench-serve/1"
+    assert report["schema"] == "repro-bench-serve/2"
     assert report["total_failures"] == 0
     assert report["byte_identical"] is True
     assert report["latency"]["method"] == "linear_interpolation"
@@ -186,6 +186,100 @@ def test_obs_command_json_and_chrome_out(tmp_path, capsys):
     assert snapshot["repro_session_stages_total"]["type"] == "counter"
     doc = json.loads(chrome.read_text())
     assert any(e.get("name") == "session.trace" for e in doc["traceEvents"])
+
+
+def test_bench_compare_clean_then_injected_regression(tmp_path, capsys,
+                                                      monkeypatch):
+    """The sentinel's CI contract: a clean re-run exits 0; an injected
+    op-count drift in the baseline exits EXIT_HARD (2)."""
+    monkeypatch.chdir(tmp_path)
+    base = ["bench", "--smoke", "--only", "forall",
+            "--trajectory", "traj.jsonl"]
+    main(base + ["--out", "BP.json"])
+    capsys.readouterr()
+
+    # clean: compare against the explicit baseline just written
+    main(base + ["--compare", "--baseline", "BP.json", "--out", ""])
+    out = capsys.readouterr().out
+    assert "VERDICT: clean (exit 0)" in out
+
+    # the sentinel's trajectory now holds the compared run
+    from repro.obs.trajectory import TrajectoryStore
+
+    assert len(TrajectoryStore("traj.jsonl").entries(kind="perf")) == 2
+
+    # injected regression: perturb one op count in the baseline
+    doc = json.loads((tmp_path / "BP.json").read_text())
+    bench = doc["benches"][0]
+    key = next(iter(bench["vectorized_ops"]))
+    bench["vectorized_ops"][key] += 7
+    (tmp_path / "BP.json").write_text(json.dumps(doc))
+    with pytest.raises(SystemExit) as exc:
+        main(base + ["--compare", "--baseline", "BP.json", "--out", ""])
+    assert exc.value.code == 2
+    assert "hard_fail" in capsys.readouterr().out
+
+
+def test_bench_compare_never_baselines_itself(tmp_path, capsys, monkeypatch):
+    """The snapshot fallback must be read before the harness overwrites
+    --out (default BENCH_PERF.json): an op drift against the committed
+    snapshot still fails even though the file gets rewritten."""
+    monkeypatch.chdir(tmp_path)
+    main(["bench", "--smoke", "--only", "forall", "--out",
+          "BENCH_PERF.json", "--trajectory", ""])
+    capsys.readouterr()
+    doc = json.loads((tmp_path / "BENCH_PERF.json").read_text())
+    bench = doc["benches"][0]
+    key = next(iter(bench["vectorized_ops"]))
+    bench["vectorized_ops"][key] += 7
+    (tmp_path / "BENCH_PERF.json").write_text(json.dumps(doc))
+    # no --baseline, no trajectory: resolution falls back to the
+    # committed snapshot, which the compare run itself overwrites
+    with pytest.raises(SystemExit) as exc:
+        main(["bench", "--compare", "--smoke", "--only", "forall",
+              "--trajectory", ""])
+    assert exc.value.code == 2
+
+
+def test_bench_compare_refuses_smoke_baseline(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    main(["bench", "--smoke", "--only", "forall", "--out", "BP.json",
+          "--trajectory", ""])
+    capsys.readouterr()
+    with pytest.raises(SystemExit) as exc:
+        main(["bench", "--compare", "--only", "forall", "--out", "",
+              "--baseline", "BP.json", "--trajectory", ""])
+    assert "smoke-sized" in str(exc.value.code)
+
+
+def test_obs_analyze_table_sums_to_makespan(capsys):
+    main(["obs", "analyze", "--workload", "adi", "--size", "16",
+          "--iterations", "2"])
+    out = capsys.readouterr().out
+    assert "attribution: adi on 4 procs" in out
+    assert "= makespan" in out
+    assert "top reasons this plan is slow:" in out
+
+
+def test_obs_analyze_json_identity(capsys):
+    doc = _run_json(
+        capsys,
+        ["obs", "analyze", "--workload", "adi", "--size", "16",
+         "--iterations", "2", "--json"],
+    )
+    assert doc["schema"] == "repro-obs-attribution/1"
+    total = sum(r["total_seconds"] for r in doc["rows"]) + doc["idle_seconds"]
+    assert total == pytest.approx(doc["makespan"], rel=1e-9)
+
+
+def test_obs_compare_over_existing_reports(tmp_path, capsys, monkeypatch):
+    """obs compare re-runs nothing: it diffs two files on disk."""
+    monkeypatch.chdir(tmp_path)
+    main(["bench", "--smoke", "--only", "forall", "--out", "A.json",
+          "--trajectory", ""])
+    capsys.readouterr()
+    main(["obs", "compare", "--current", "A.json", "--baseline", "A.json"])
+    assert "VERDICT: clean" in capsys.readouterr().out
 
 
 def test_tour_still_runs(capsys):

@@ -27,7 +27,7 @@ SUBPACKAGES = [
 EXPORT_SNAPSHOT = sorted([
     "ALWAYS", "ANY", "AccessKind", "Aligned", "Alignment",
     "AllocationRecord", "AnalysisResult", "ArrayDescriptor", "ArrayLoad",
-    "ArrayRef", "Assign", "AxisMap", "BUSY_KINDS", "Backend",
+    "ArrayRef", "Assign", "Attribution", "AxisMap", "BUSY_KINDS", "Backend",
     "BackendError", "BatchedReadAccessor", "BenchResult", "Block",
     "BlockMeta", "BlockingReplay", "CFG", "CFGEdge", "CFGNode",
     "Calibration", "Call", "CommEstimate", "CommSchedule", "ConnectClass",
@@ -53,18 +53,21 @@ EXPORT_SNAPSHOT = sorted([
     "SessionClosedError",
     "SessionConfig", "SessionResult", "SharedSegmentAllocator",
     "SimulatedCostEngine", "StencilKernel", "Stmt", "TOP", "Timeline",
-    "TraceResult", "TranslationTable", "Transport", "TransportTimeout",
+    "TraceResult", "TrajectoryStore",
+    "TranslationTable", "Transport", "TransportTimeout",
     "TypePattern", "VFProgram", "VFSyntaxError", "WORKLOADS", "Wild",
     "Workload", "WorkloadHandle", "WorkloadRegistry", "WorkloadSpec",
     "ZERO_COST", "__version__", "adi_workload", "analyze", "api", "apps",
-    "attached_backend", "available_workloads", "backend", "bind_pattern",
+    "attached_backend", "attribution",
+    "available_workloads", "backend", "bind_pattern",
     "broadcast_from", "build_cfg", "calibrate", "classify_tag",
-    "clear_interning_caches", "communicate", "compiler",
-    "config_fingerprint", "construct",
+    "clear_interning_caches", "communicate", "compare_perf_reports",
+    "compiler", "config_fingerprint", "construct",
     "critical_path", "decide_pattern", "decide_querylist",
     "default_plan_cache", "dim_implies", "dim_menu", "dim_overlaps",
     "dist_type", "dp_schedule", "dump_json", "enumerate_layouts",
     "estimate_memory", "estimate_ref", "extract_phases", "fit_alpha_beta",
+    "flight_recorder",
     "forall", "forall_batched", "forall_gathered", "gantt", "gather_to",
     "get_generator", "get_request_id", "get_trace_id", "get_workload",
     "greedy_schedule", "grid_shapes",
@@ -165,7 +168,7 @@ def test_session_facade_reexported_from_root():
 def test_version():
     import repro
 
-    assert repro.__version__ == "1.7.0"
+    assert repro.__version__ == "1.8.0"
 
 
 def test_sim_reexported_from_root():
