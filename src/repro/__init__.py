@@ -45,6 +45,12 @@ Layers (bottom-up):
   tracing spans carrying request/trace IDs through every tier, and a
   Chrome-trace exporter that merges runtime spans with simulated
   timelines;
+- :mod:`repro.faults` — deterministic, seedable fault injection
+  (:class:`~repro.faults.FaultPlan`: worker crashes, transport
+  delays/drops, shm allocation failures, request faults) and the
+  resilience primitives built against it — fleet supervision with
+  restart-and-replay, circuit breakers, graceful degradation to the
+  serial backend;
 - :mod:`repro.api` — the session facade over all of the above: one
   :func:`session` owns the machine policy, backend, plan cache,
   event recording and RNG seeding, and hands out fluent workload
@@ -87,6 +93,7 @@ from . import api as api
 from . import apps as apps
 from . import backend as backend
 from . import compiler as compiler
+from . import faults as faults
 from . import lang as lang
 from . import obs as obs
 from . import perf as perf
@@ -114,10 +121,12 @@ from .backend import (
     Backend,
     BackendError,
     BlockMeta,
+    FleetSupervisor,
     MultiprocessBackend,
     SerialBackend,
     SharedSegmentAllocator,
     Transport,
+    TransportBroken,
     TransportTimeout,
     attached_backend,
     calibrate,
@@ -340,9 +349,10 @@ from .obs import (
     registry as metrics_registry,
     span,
 )
+from .faults import CircuitBreaker, FaultPlan
 from .serve import PlanningService, run_loadtest
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "__version__",
@@ -351,6 +361,7 @@ __all__ = [
     "apps",
     "backend",
     "compiler",
+    "faults",
     "lang",
     "obs",
     "perf",
@@ -367,6 +378,9 @@ __all__ = [
     # the serving tier (repro.serve)
     "PlanningService",
     "run_loadtest",
+    # fault injection + resilience (repro.faults)
+    "FaultPlan",
+    "CircuitBreaker",
     # observability (repro.obs)
     "MetricsRegistry",
     "metrics_registry",
@@ -561,6 +575,7 @@ __all__ = [
     "SerialBackend",
     "MultiprocessBackend",
     "BackendError",
+    "FleetSupervisor",
     "resolve_backend",
     "attached_backend",
     "calibrate",
@@ -571,6 +586,7 @@ __all__ = [
     "shift_plan",
     "Transport",
     "TransportTimeout",
+    "TransportBroken",
     "BlockMeta",
     "SharedSegmentAllocator",
     # discrete-event simulator (repro.sim)

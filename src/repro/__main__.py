@@ -300,17 +300,28 @@ def serve_command(args: argparse.Namespace) -> None:
     """Serve plan/run/trace/bench over HTTP, or load-test a server."""
     from .serve import PlanningService, run_loadtest, serve_forever
 
-    if args.loadtest or args.url:
+    if args.loadtest or args.url or args.chaos:
+        out = args.out
+        metrics_out = args.metrics_out
+        if args.chaos:
+            # chaos gets its own artifacts; never clobber the
+            # steady-state bench snapshot or metrics scrape
+            if out == "BENCH_SERVE.json":
+                out = "BENCH_CHAOS.json"
+            if metrics_out == "METRICS_SERVE.prom":
+                metrics_out = ""
         report = run_loadtest(
             url=args.url,
             clients=args.clients,
             rounds=args.rounds,
             smoke=args.smoke,
-            out=args.out,
-            metrics_out=args.metrics_out,
+            out=out,
+            metrics_out=metrics_out,
             trajectory=args.trajectory or None,
             check=args.check,
             quiet=args.json,
+            chaos=args.chaos,
+            chaos_seed=args.chaos_seed,
         )
         if args.json:
             print(json.dumps(report, indent=2))
@@ -353,6 +364,7 @@ def obs_command(args: argparse.Namespace) -> None:
 
     if args.action == "compare":
         from .obs.compare import (
+            compare_chaos_reports,
             compare_perf_reports,
             compare_serve_reports,
             load_report,
@@ -368,6 +380,11 @@ def obs_command(args: argparse.Namespace) -> None:
         )
         if args.kind == "serve":
             comparison = compare_serve_reports(
+                baseline, current, baseline_source=source,
+                wall_tolerance=args.wall_tolerance,
+            )
+        elif args.kind == "chaos":
+            comparison = compare_chaos_reports(
                 baseline, current, baseline_source=source,
                 wall_tolerance=args.wall_tolerance,
             )
@@ -553,10 +570,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="repeated-config phase replays per client")
     s.add_argument("--smoke", action="store_true",
                    help="CI-sized workload parameters")
+    s.add_argument("--chaos", action="store_true",
+                   help="load-test under a seeded fault plan (injected "
+                        "request faults + worker-crash recovery phase); "
+                        "writes BENCH_CHAOS.json (implies --loadtest; "
+                        "in-process server only)")
+    s.add_argument("--chaos-seed", type=int, default=None,
+                   help="fault-plan seed (defaults to the request seed)")
     s.add_argument("--check", action="store_true",
                    help="exit non-zero unless zero failures, "
                         "byte-identical responses, and > 50%% repeated-"
-                        "phase cache hit rate")
+                        "phase cache hit rate (under --chaos: zero "
+                        "byte-identity violations, incident IDs on "
+                        "every 5xx, and bitwise-identical recovery)")
     s.add_argument("--out", default="BENCH_SERVE.json",
                    help="load-test report path ('' to skip writing)")
     s.add_argument("--metrics-out", default="METRICS_SERVE.prom",
@@ -607,7 +633,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compare: the current report file")
     o.add_argument("--baseline", default=None,
                    help="compare: the baseline report or trajectory file")
-    o.add_argument("--kind", default="perf", choices=("perf", "serve"),
+    o.add_argument("--kind", default="perf",
+                   choices=("perf", "serve", "chaos"),
                    help="compare: which bench family the reports are")
     o.add_argument("--trajectory", default="BENCH_TRAJECTORY.jsonl",
                    help="compare: trajectory history for baseline "

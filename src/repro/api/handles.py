@@ -41,6 +41,11 @@ _STAGE_SECONDS = _obs.histogram(
     "Wall-clock seconds per workload-handle stage.",
     ("stage",),
 )
+_DEGRADATIONS = _obs.counter(
+    "repro_degradation_total",
+    "Graceful-degradation transitions, by tier and workload.",
+    ("tier", "workload"),
+)
 
 
 def _staged(stage: str):
@@ -129,15 +134,68 @@ class WorkloadHandle:
         self, ctx: WorkloadContext, log: "EventLog | None"
     ) -> ExecutionOutcome:
         """Run the spec on ``ctx.machine`` under the session backend,
-        optionally recording typed events into ``log``."""
+        optionally recording typed events into ``log``.
+
+        Degradation tier 2 (ISSUE 9): if the configured backend fails
+        unrecoverably — the fleet supervisor's restart budget is spent,
+        or a shared-memory allocation failed — and the session allows
+        degradation, rerun the stage from scratch on the
+        :class:`~repro.backend.base.SerialBackend`.  The rerun is
+        bitwise-identical to a healthy parallel run by the conformance
+        contract, so callers only notice the incident record and the
+        ``repro_degradation_total`` metric.
+        """
+        from ..backend.multiprocess import BackendError
         from ..sim.events import record
 
         machine: "Machine" = ctx.machine
-        with self._session.attach(machine):
+        try:
+            with self._session.attach(machine):
+                if log is not None:
+                    with record(machine, log):
+                        return self._spec.execute(ctx)
+                return self._spec.execute(ctx)
+        except (BackendError, MemoryError) as exc:
+            sess = self._session
+            backend_name = sess.config.backend_name
+            if not sess.degrade or backend_name in (None, "serial"):
+                raise
+            sess.mark_poisoned(f"{type(exc).__name__}: {exc}")
+            _DEGRADATIONS.inc(tier="serial_fallback", workload=self.name)
+            _flight.incident(
+                "degraded to serial backend", error=exc,
+                attrs={
+                    "tier": "serial_fallback",
+                    "workload": self.name,
+                    "from_backend": backend_name,
+                },
+            )
+            return self._execute_serial_fallback(ctx, log)
+
+    def _execute_serial_fallback(
+        self, ctx: WorkloadContext, log: "EventLog | None"
+    ) -> ExecutionOutcome:
+        """Rerun a failed stage on a fresh machine with the serial
+        backend.  The context is rebuilt (fresh machine, untouched
+        seed-derived state) and any half-recorded events are dropped,
+        so the rerun is indistinguishable from a run that was serial
+        from the start."""
+        from ..backend.base import SerialBackend
+        from ..sim.events import record
+
+        fresh = self._context()
+        ctx.machine = fresh.machine
+        if log is not None:
+            log.clear()
+        fallback = SerialBackend()
+        fallback.attach(ctx.machine)
+        try:
             if log is not None:
-                with record(machine, log):
+                with record(ctx.machine, log):
                     return self._spec.execute(ctx)
             return self._spec.execute(ctx)
+        finally:
+            fallback.close()
 
     # -- stages ------------------------------------------------------------
     @_staged("plan")

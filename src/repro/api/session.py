@@ -27,6 +27,7 @@ from typing import Sequence
 
 from ..backend.base import Backend, attached_backend, resolve_backend
 from ..defaults import DEFAULT_SEED
+from ..obs import flight as _flight
 from ..machine.cost_model import CostModel
 from ..machine.machine import Machine
 from ..machine.topology import ProcessorArray
@@ -70,6 +71,7 @@ class Session:
         registry: WorkloadRegistry | None = None,
         *,
         plan_cache: PlanCache | None = None,
+        degrade: bool = True,
     ):
         self.config = (config or SessionConfig()).validate()
         self.registry = registry if registry is not None else REGISTRY
@@ -78,13 +80,43 @@ class Session:
         #: memoized transfer plans shared by everything the session
         #: runs; pass one in to share it *across* sessions
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        #: graceful-degradation policy: when True, a stage whose
+        #: multiprocess fleet cannot be recovered falls back to the
+        #: serial backend (bitwise-identical by the conformance
+        #: contract) instead of raising.  A session-level knob, NOT
+        #: part of SessionConfig — it must not change config
+        #: fingerprints or pool keys.
+        self.degrade = bool(degrade)
         self._owned_backends: list[Backend] = []
         self._closed = False
+        self._poisoned = False
+        self._poison_reason: str | None = None
 
     # -- lifecycle ---------------------------------------------------------
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def poisoned(self) -> bool:
+        """True once a stage hit an unrecoverable backend fault.
+
+        A poisoned session still works (stages degrade to the serial
+        backend), but a pool should retire it rather than hand it to
+        the next request — see :meth:`repro.serve.pool.SessionPool.release`.
+        """
+        return self._poisoned
+
+    def mark_poisoned(self, reason: str) -> None:
+        """Record that this session's backend tier failed (idempotent;
+        first reason wins)."""
+        if not self._poisoned:
+            self._poisoned = True
+            self._poison_reason = str(reason)
+            _flight.note(
+                "session.poisoned", reason=self._poison_reason,
+                backend=self.config.backend_name,
+            )
 
     def _require_open(self) -> None:
         if self._closed:
@@ -202,8 +234,13 @@ def session(
     record_events: bool = False,
     seed: int = DEFAULT_SEED,
     registry: WorkloadRegistry | None = None,
+    degrade: bool = True,
 ) -> Session:
     """Open a :class:`Session` — the one public entry point.
+
+    ``degrade=False`` turns off the serial-backend fallback: an
+    unrecoverable multiprocess fault then raises instead of silently
+    completing on one process.
 
     >>> with repro.session(nprocs=4, cost_model="Paragon") as sess:
     ...     sess.workload("adi", size=64).run().summary()
@@ -217,4 +254,5 @@ def session(
             seed=seed,
         ),
         registry=registry,
+        degrade=degrade,
     )

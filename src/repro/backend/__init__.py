@@ -30,16 +30,17 @@ Attach a backend through the session facade::
 from . import calibrate  # noqa: F401  (the calibration namespace)
 from .base import Backend, SerialBackend, attached_backend, resolve_backend
 from .calibrate import fit_alpha_beta, measured_machine
-from .multiprocess import BackendError, MultiprocessBackend
+from .multiprocess import BackendError, FleetSupervisor, MultiprocessBackend
 from .plan import segment_moves, shift_plan, transfer_plan
 from .shm import BlockMeta, SharedSegmentAllocator
-from .transport import Transport, TransportTimeout
+from .transport import Transport, TransportBroken, TransportTimeout
 
 __all__ = [
     "Backend",
     "SerialBackend",
     "MultiprocessBackend",
     "BackendError",
+    "FleetSupervisor",
     "resolve_backend",
     "attached_backend",
     "calibrate",
@@ -50,6 +51,7 @@ __all__ = [
     "shift_plan",
     "Transport",
     "TransportTimeout",
+    "TransportBroken",
     "BlockMeta",
     "SharedSegmentAllocator",
 ]

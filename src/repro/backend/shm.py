@@ -23,6 +23,8 @@ from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
+from ..faults import plan as _faults
+
 __all__ = ["BlockMeta", "SharedSegmentAllocator", "attach"]
 
 #: Whether :func:`attach` should undo the resource-tracker
@@ -101,6 +103,16 @@ class SharedSegmentAllocator:
             # zero-size blocks hold no worker-visible data
             return np.empty(shape, dtype=dtype)
         self._counter += 1
+        plan = _faults.active_plan()
+        if plan is not None and plan.shm_failure(self._counter) is not None:
+            # injected allocation failure: surface it exactly as a real
+            # exhausted /dev/shm would (MemoryError keeps this module
+            # free of backend-layer imports); the degradation tier in
+            # repro.api.handles treats it as recoverable
+            raise MemoryError(
+                f"injected shm allocation failure "
+                f"(allocation #{self._counter}, block {name!r} rank {rank})"
+            )
         shm_name = f"{self._prefix}-{self._counter}"
         shm = shared_memory.SharedMemory(
             name=shm_name, create=True, size=nbytes
@@ -123,6 +135,18 @@ class SharedSegmentAllocator:
     def meta(self, rank: int, name: str) -> BlockMeta | None:
         """Worker-shippable handle for ``rank``'s block, if it exists."""
         return self._metas.get((rank, name))
+
+    def view(self, rank: int, name: str) -> np.ndarray | None:
+        """Master-side ndarray view of a live block (``None`` if the
+        block is unknown).  The backbone of op-boundary checkpoints:
+        the fleet supervisor snapshots every registered block through
+        this before an op and restores through it after a restart."""
+        key = (rank, name)
+        shm = self._blocks.get(key)
+        meta = self._metas.get(key)
+        if shm is None or meta is None:
+            return None
+        return np.ndarray(meta.shape, dtype=meta.np_dtype, buffer=shm.buf)
 
     def stash(
         self, rank: int, name: str

@@ -9,19 +9,31 @@ per-sender order, so a matching ``(src, tag)`` stream is FIFO).
 Collectives — :meth:`barrier` and :meth:`allgather` — are built from a
 ``multiprocessing.Barrier`` and point-to-point exchange.
 
+Failure taxonomy (ISSUE 9): a barrier can end two ways and they mean
+different things to the fleet supervisor.  A **timeout** (nobody
+aborted, the full wait elapsed) means a peer is *hung*; a **break**
+(some rank aborted, or the master tore the barrier down) means a peer
+*died or errored*.  The former raises :class:`TransportTimeout`, the
+latter the sharper :class:`TransportBroken` carrying the aborting
+ranks read off the shared *abort board* — a ``nprocs``-slot shared
+array each worker stamps before calling ``Barrier.abort()``.
+
 This is the layer the :mod:`~repro.backend.calibrate` microbenchmarks
 measure: a ``send``/``recv`` round trip *is* the machine's alpha/beta
-for this backend.
+for this backend.  Fault injection (:mod:`repro.faults`) hooks
+:meth:`send`: an active plan can delay or drop the nth message on a
+specific ``(src, dst)`` link.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any
 
 from ..obs import metrics as _obs
 
-__all__ = ["TransportTimeout", "Transport"]
+__all__ = ["TransportTimeout", "TransportBroken", "Transport"]
 
 # NOTE: a Transport lives inside its worker *process*, so these
 # instruments record into that process's registry — scrape them there
@@ -47,6 +59,17 @@ class TransportTimeout(RuntimeError):
     """A receive or barrier did not complete within the timeout."""
 
 
+class TransportBroken(TransportTimeout):
+    """A collective was *aborted* — a peer died or errored, as opposed
+    to silently running long.  ``aborted_ranks`` lists the ranks that
+    stamped the abort board before breaking the barrier (empty when
+    the break came from outside, e.g. a master-side teardown)."""
+
+    def __init__(self, message: str, aborted_ranks: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.aborted_ranks = tuple(aborted_ranks)
+
+
 class Transport:
     """One worker's endpoint of the backend interconnect.
 
@@ -62,6 +85,12 @@ class Transport:
         ``multiprocessing.Barrier`` over all ``nprocs`` workers.
     timeout:
         Seconds to wait in :meth:`recv`/:meth:`barrier`.
+    abort_board:
+        Optional shared ``nprocs``-slot int array; a worker stamps its
+        slot before aborting the barrier so peers can name the culprit.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` applied to outgoing
+        messages (link delay/drop).  ``None`` disables injection.
     """
 
     def __init__(
@@ -72,6 +101,9 @@ class Transport:
         outboxes,
         barrier_obj,
         timeout: float = DEFAULT_TIMEOUT,
+        *,
+        abort_board=None,
+        faults=None,
     ):
         self.rank = rank
         self.nprocs = nprocs
@@ -79,15 +111,47 @@ class Transport:
         self._outboxes = outboxes
         self._barrier = barrier_obj
         self.timeout = timeout
+        self._abort_board = abort_board
+        self._faults = faults
         self._stash: dict[tuple[int, Any], list[Any]] = {}
+        #: messages sent per destination rank (1-based ordinal stream
+        #: per link — the coordinate fault plans address links by)
+        self._link_sent: dict[int, int] = {}
         self.sent_messages = 0
         self.received_messages = 0
+        self.dropped_messages = 0
+
+    # -- failure signalling ----------------------------------------------
+    def mark_aborted(self) -> None:
+        """Stamp this rank on the abort board (call before
+        ``barrier.abort()`` so peers can tell who broke the collective)."""
+        if self._abort_board is not None:
+            self._abort_board[self.rank] = 1
+
+    def aborted_ranks(self) -> tuple[int, ...]:
+        if self._abort_board is None:
+            return ()
+        return tuple(
+            r for r in range(self.nprocs) if self._abort_board[r]
+        )
 
     # -- point to point --------------------------------------------------
     def send(self, dst: int, tag: Any, payload: Any) -> None:
         """Post ``payload`` to worker ``dst`` under ``tag``."""
         if not 0 <= dst < self.nprocs:
             raise IndexError(f"destination rank {dst} out of range")
+        nth = self._link_sent.get(dst, 0) + 1
+        self._link_sent[dst] = nth
+        if self._faults is not None:
+            delay = self._faults.link_delay(self.rank, dst, nth)
+            if delay > 0:
+                time.sleep(delay)
+            if self._faults.drops_message(self.rank, dst, nth):
+                # vanishes in flight: the sender believes it was sent
+                self.dropped_messages += 1
+                self.sent_messages += 1
+                _TRANSPORT_MESSAGES.inc(direction="dropped")
+                return
         if dst == self.rank:
             # local delivery without touching the queue
             self._stash.setdefault((dst, tag), []).append(payload)
@@ -124,11 +188,35 @@ class Transport:
 
     # -- collectives -----------------------------------------------------
     def barrier(self) -> None:
-        """Block until every worker reaches the barrier."""
+        """Block until every worker reaches the barrier.
+
+        Raises :class:`TransportBroken` when a peer aborted the
+        collective (died or errored — retryable by a fleet restart)
+        and :class:`TransportTimeout` when the full wait genuinely
+        elapsed with nobody aborting (a hung peer).
+        """
         t0 = time.perf_counter() if _obs.enabled() else None
+        start = time.monotonic()
         try:
             self._barrier.wait(timeout=self.timeout)
-        except Exception as exc:  # BrokenBarrierError and friends
+        except threading.BrokenBarrierError as exc:
+            elapsed = time.monotonic() - start
+            aborted = self.aborted_ranks()
+            if aborted or elapsed < self.timeout - 0.05:
+                # broken from within (peer aborted) or torn down from
+                # outside well before the deadline — not a slow peer
+                who = (f"aborted by rank(s) {list(aborted)}"
+                       if aborted else "aborted by a peer or the master")
+                raise TransportBroken(
+                    f"worker {self.rank}: barrier broken after "
+                    f"{elapsed:.3f}s ({who})",
+                    aborted_ranks=aborted,
+                ) from exc
+            raise TransportTimeout(
+                f"worker {self.rank}: barrier timed out after "
+                f"{self.timeout}s (no peer aborted — a rank is hung)"
+            ) from exc
+        except Exception as exc:  # pragma: no cover - unexpected failure
             raise TransportTimeout(
                 f"worker {self.rank}: barrier broken or timed out "
                 f"({exc})"

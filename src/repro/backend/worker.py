@@ -8,10 +8,23 @@ against its rank's shared-memory segments and the message-passing
 shared result queue.  Ops are module-level functions from
 :mod:`~repro.backend.ops` (picklable by reference), so the command
 stream works under both ``fork`` and ``spawn`` start methods.
+
+Liveness and fault hooks (ISSUE 9): the worker stamps a shared
+*heartbeat* slot at every command receipt and completion, which is
+what lets the master's :class:`~repro.backend.multiprocess.FleetSupervisor`
+tell a hung worker (stale heartbeat, process alive) from a dead one
+(exitcode set).  When a :class:`~repro.faults.FaultPlan` is threaded
+in, the loop consults it before each op: a matching
+:class:`~repro.faults.WorkerCrash` hard-exits the process
+(``os._exit`` — no goodbye, exactly like a segfaulted node), a
+matching :class:`~repro.faults.KernelStall` sleeps before executing
+(a slow node).  With no plan, the hooks are a ``None`` check.
 """
 
 from __future__ import annotations
 
+import os
+import time
 import traceback
 from typing import Any
 
@@ -65,13 +78,17 @@ def worker_main(
     barrier_obj,
     timeout: float,
     unregister_on_attach: bool = True,
+    heartbeat=None,
+    abort_board=None,
+    faults=None,
 ) -> None:
     """Command loop body of one worker process."""
     from . import shm as _shm
 
     _shm.unregister_on_attach = unregister_on_attach
     transport = Transport(
-        rank, nprocs, inbox, outboxes, barrier_obj, timeout=timeout
+        rank, nprocs, inbox, outboxes, barrier_obj, timeout=timeout,
+        abort_board=abort_board, faults=faults,
     )
     ctx = WorkerContext(rank, nprocs, transport)
     while True:
@@ -80,13 +97,26 @@ def worker_main(
             break
         op, kwargs, seq = cmd
         ctx.seq = seq
+        if heartbeat is not None:
+            heartbeat[rank] = time.monotonic()
+        if faults is not None:
+            crash = faults.crash_for(rank, seq)
+            if crash is not None:
+                # a hard node failure: no ack, no barrier abort, no
+                # cleanup — the master finds out from the exitcode
+                os._exit(crash.exit_code)
+            stall = faults.stall_for(rank, seq)
+            if stall is not None:
+                time.sleep(stall.seconds)
         try:
             payload: Any = op(ctx, **kwargs)
             result_queue.put((rank, seq, "ok", payload))
         except BaseException as exc:  # report, never wedge the master
             # break the collective barrier so peers waiting on this
-            # worker fail fast instead of riding out their timeout
-            # (the master resets the barrier after collecting acks)
+            # worker fail fast instead of riding out their timeout;
+            # stamp the abort board first so their TransportBroken
+            # names this rank (the master resets both after acks)
+            transport.mark_aborted()
             try:
                 barrier_obj.abort()
             except Exception:  # pragma: no cover
@@ -101,4 +131,6 @@ def worker_main(
                 )
             )
         finally:
+            if heartbeat is not None:
+                heartbeat[rank] = time.monotonic()
             ctx.release()

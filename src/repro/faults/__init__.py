@@ -1,0 +1,44 @@
+"""repro.faults — deterministic fault injection and recovery primitives.
+
+The injection half is :mod:`repro.faults.plan`: a seedable
+:class:`FaultPlan` of worker crashes, kernel stalls, transport
+delays/drops, shm allocation failures, and HTTP request faults,
+activated process-wide (off by default) and consulted by the backend,
+transport, allocator, and serving tiers.  The recovery half lives
+where the failures land — :class:`~repro.backend.multiprocess.FleetSupervisor`
+restarts worker fleets, :mod:`repro.api.handles` degrades to the
+serial backend, :mod:`repro.serve.service` sheds load through the
+:class:`CircuitBreaker` defined here.
+"""
+
+from .breaker import CircuitBreaker
+from .plan import (
+    FAULT_PLAN_SCHEMA,
+    FaultPlan,
+    KernelStall,
+    RequestFault,
+    ShmAllocFailure,
+    TransportDelay,
+    TransportDrop,
+    WorkerCrash,
+    activate,
+    active_plan,
+    deactivate,
+    injected,
+)
+
+__all__ = [
+    "FAULT_PLAN_SCHEMA",
+    "FaultPlan",
+    "WorkerCrash",
+    "KernelStall",
+    "TransportDelay",
+    "TransportDrop",
+    "ShmAllocFailure",
+    "RequestFault",
+    "CircuitBreaker",
+    "activate",
+    "deactivate",
+    "active_plan",
+    "injected",
+]

@@ -46,6 +46,7 @@ from .compare import (
     CompareReport,
     EXIT_HARD,
     EXIT_SOFT,
+    compare_chaos_reports,
     compare_perf_reports,
     compare_serve_reports,
     load_report,
@@ -108,6 +109,7 @@ __all__ = [
     "attribution",
     "chrome_trace",
     "clear_spans",
+    "compare_chaos_reports",
     "compare_perf_reports",
     "compare_serve_reports",
     "counter",

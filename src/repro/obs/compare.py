@@ -44,6 +44,7 @@ __all__ = [
     "EXIT_HARD",
     "EXIT_SOFT",
     "DEFAULT_WALL_TOLERANCE",
+    "compare_chaos_reports",
     "compare_perf_reports",
     "compare_serve_reports",
     "load_report",
@@ -176,7 +177,11 @@ def load_report(path: str) -> dict:
 def _check_baseline_compatible(
     baseline: dict, current: dict, source: str, kind: str
 ) -> None:
-    expected = {"perf": "repro-bench-perf", "serve": "repro-bench-serve"}[kind]
+    expected = {
+        "perf": "repro-bench-perf",
+        "serve": "repro-bench-serve",
+        "chaos": "repro-bench-chaos",
+    }[kind]
     schema = str(baseline.get("schema", ""))
     if not schema.startswith(expected):
         raise BaselineError(
@@ -216,7 +221,11 @@ def resolve_baseline(
             _check_baseline_compatible(entry["report"], current, source, kind)
             return entry["report"], source
 
-    fallback = {"perf": "BENCH_PERF.json", "serve": "BENCH_SERVE.json"}[kind]
+    fallback = {
+        "perf": "BENCH_PERF.json",
+        "serve": "BENCH_SERVE.json",
+        "chaos": "BENCH_CHAOS.json",
+    }[kind]
     if os.path.exists(fallback):
         report = load_report(fallback)
         _check_baseline_compatible(report, current, fallback, kind)
@@ -410,4 +419,57 @@ def compare_serve_reports(
                     f"p50 latency {cur_p50:.1f} ms exceeds "
                     f"{limit:.1f} ms ({wall_tolerance:.0%} over baseline)"
                 )
+    return report
+
+
+# -- chaos comparison -------------------------------------------------------
+
+def compare_chaos_reports(
+    baseline: dict,
+    current: dict,
+    *,
+    baseline_source: str = "baseline",
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+) -> CompareReport:
+    """Diff two ``repro-bench-chaos`` reports.
+
+    Injected failures are *expected* in chaos runs, so the serve
+    tier's zero-failure gate does not apply.  Hard gates here are the
+    robustness contract: byte-identity under faults, an incident ID on
+    every 5xx, and recovered multiprocess runs bitwise-identical to
+    the serial reference.  Soft gate: the crash fault must actually
+    have fired (at least one fleet restart observed).
+    """
+    del baseline, wall_tolerance  # chaos gates are absolute, not drifts
+    report = CompareReport(kind="chaos", baseline_source=baseline_source)
+    overall = BenchDelta(name="robustness_contract", verdict="ok")
+    report.deltas.append(overall)
+    if not current.get("byte_identical", True):
+        overall.verdict = "hard_fail"
+        overall.reasons.append(
+            "identical requests returned non-identical bytes under faults"
+        )
+    chaos = current.get("chaos") or {}
+    if chaos.get("uncovered_5xx"):
+        overall.verdict = "hard_fail"
+        overall.reasons.append(
+            f"{chaos['uncovered_5xx']} 5xx response(s) without an "
+            f"X-Repro-Incident-Id"
+        )
+    recovery = chaos.get("recovery") or {}
+    if recovery.get("failures"):
+        overall.verdict = "hard_fail"
+        overall.reasons.append(
+            f"{recovery['failures']} recovery-phase request(s) failed"
+        )
+    if not recovery.get("identical", True):
+        overall.verdict = "hard_fail"
+        overall.reasons.append(
+            "recovered runs diverged from the serial reference"
+        )
+    if overall.verdict == "ok" and recovery.get("fleet_restarts", 0) < 1:
+        overall.verdict = "soft_fail"
+        overall.reasons.append(
+            "no fleet restart observed — the crash fault never fired"
+        )
     return report

@@ -27,9 +27,13 @@ stdlib server is the supported default).
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from urllib.parse import urlsplit
 
+from ..faults import plan as _faults
+from ..obs.flight import flight_recorder
 from .service import PlanningService, ServeResponse
 
 __all__ = ["ServeServer", "ServerThread", "serve_forever"]
@@ -37,7 +41,7 @@ __all__ = ["ServeServer", "ServerThread", "serve_forever"]
 _PHRASES = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
-    500: "Internal Server Error",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 #: refuse request bodies beyond this (the service takes small JSON)
@@ -53,14 +57,23 @@ class ServeServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_workers: int = 8,
+        request_deadline: float | None = None,
     ):
         self.service = service
         self.host = host
         self.port = port  # 0 = ephemeral; rewritten by start()
+        #: per-request wall-clock budget in seconds (None = unlimited);
+        #: a dispatch that overruns answers 503 + Retry-After with an
+        #: incident ID (the executor thread finishes in the background
+        #: — threads cannot be cancelled — but the client is unblocked)
+        self.request_deadline = request_deadline
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
         self._server: asyncio.AbstractServer | None = None
+        #: requests seen per route (1-based ordinals, the coordinate
+        #: RequestFault specs address; event-loop-thread only)
+        self._route_requests: dict[str, int] = {}
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
@@ -113,9 +126,31 @@ class ServeServer:
                     break
                 body = await reader.readexactly(length) if length else b""
 
-                response = await loop.run_in_executor(
-                    self._executor, self.service.dispatch, method, target, body
-                )
+                # fault injection (off unless a FaultPlan is active):
+                # the nth request on a route can be delayed, answered
+                # 500 without dispatching, or dropped on the floor
+                route = urlsplit(target).path.rstrip("/") or "/"
+                fault = self._injected_fault(route)
+                if fault is not None:
+                    if fault.kind == "delay":
+                        await asyncio.sleep(fault.seconds)
+                    elif fault.kind == "error":
+                        self._write(writer, self._fault_response(route, fault))
+                        await writer.drain()
+                        break
+                    elif fault.kind == "drop":
+                        break  # connection closes with no response
+
+                try:
+                    response = await asyncio.wait_for(
+                        loop.run_in_executor(
+                            self._executor,
+                            self.service.dispatch, method, target, body,
+                        ),
+                        timeout=self.request_deadline,
+                    )
+                except asyncio.TimeoutError:
+                    response = self._deadline_response(route)
                 keep_alive = (
                     version != "HTTP/1.0"
                     and headers.get("connection", "").lower() != "close"
@@ -132,6 +167,49 @@ class ServeServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    # -- fault + deadline plumbing ----------------------------------------
+    def _injected_fault(self, route: str):
+        """The active plan's fault for this (route, ordinal), if any.
+        Counts every request per route; runs on the event-loop thread
+        only, so the counter needs no lock."""
+        plan = _faults.active_plan()
+        if plan is None:
+            return None
+        nth = self._route_requests.get(route, 0) + 1
+        self._route_requests[route] = nth
+        return plan.request_fault(route, nth)
+
+    @staticmethod
+    def _fault_response(route: str, fault) -> ServeResponse:
+        incident = flight_recorder.incident(
+            f"injected request fault on {route}",
+            attrs={"route": route, "kind": fault.kind,
+                   "at_request": fault.at_request},
+        )
+        return ServeResponse(
+            500,
+            json.dumps({"error": f"injected fault on {route}"}, indent=2),
+            {"X-Repro-Incident-Id": incident["incident_id"],
+             "X-Repro-Cache": "bypass"},
+        )
+
+    def _deadline_response(self, route: str) -> ServeResponse:
+        incident = flight_recorder.incident(
+            f"request deadline exceeded on {route}",
+            attrs={"route": route, "deadline": self.request_deadline},
+        )
+        return ServeResponse(
+            503,
+            json.dumps(
+                {"error": f"request exceeded the {self.request_deadline}s "
+                          f"deadline"},
+                indent=2,
+            ),
+            {"Retry-After": "1",
+             "X-Repro-Incident-Id": incident["incident_id"],
+             "X-Repro-Cache": "bypass"},
+        )
 
     @staticmethod
     def _write(
@@ -171,10 +249,12 @@ class ServerThread:
         host: str = "127.0.0.1",
         port: int = 0,
         max_workers: int = 8,
+        request_deadline: float | None = None,
     ):
         self.service = service if service is not None else PlanningService()
         self._server = ServeServer(
-            self.service, host=host, port=port, max_workers=max_workers
+            self.service, host=host, port=port, max_workers=max_workers,
+            request_deadline=request_deadline,
         )
         self._ready = threading.Event()
         self._startup_error: BaseException | None = None
@@ -239,6 +319,7 @@ def serve_forever(
     port: int = 8642,
     max_workers: int = 8,
     quiet: bool = False,
+    request_deadline: float | None = None,
 ) -> None:
     """Run the server until interrupted — ``python -m repro serve``."""
     import logging
@@ -254,7 +335,8 @@ def serve_forever(
 
     async def _run() -> None:
         server = ServeServer(
-            service, host=host, port=port, max_workers=max_workers
+            service, host=host, port=port, max_workers=max_workers,
+            request_deadline=request_deadline,
         )
         await server.start()
         if not quiet:

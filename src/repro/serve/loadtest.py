@@ -26,6 +26,18 @@ the byte-identity verdict land in ``BENCH_SERVE.json`` next to
 ``BENCH_PERF.json``; ``check=True`` turns the three properties into a
 CI gate.  Run via ``python -m repro serve --loadtest`` or
 ``benchmarks/bench_serve.py``.
+
+**Chaos mode** (``chaos=True`` / ``--chaos``) reruns the same phases
+with a seeded :class:`~repro.faults.FaultPlan` active — injected
+request delays, 500s, and dropped connections at the HTTP layer —
+then drives a *recovery* phase: multiprocess ``/run`` requests under
+a worker-crash + transport-delay plan, whose ``solution_sha256`` must
+match a serial run of the same config bit for bit (the fleet restarts
+mid-op and replays from the last barrier).  The report lands in
+``BENCH_CHAOS.json`` and the ``check`` gate flips to the robustness
+properties: zero byte-identity violations, every 5xx carrying an
+``X-Repro-Incident-Id``, and the recovered runs bitwise-identical
+with at least one fleet restart observed.
 """
 
 from __future__ import annotations
@@ -43,10 +55,13 @@ import numpy as np
 from ..api.registry import REGISTRY, WorkloadRegistry
 from ..defaults import DEFAULT_SEED
 
-__all__ = ["run_loadtest", "LoadtestError", "SERVE_SCHEMA"]
+__all__ = ["run_loadtest", "LoadtestError", "SERVE_SCHEMA", "CHAOS_SCHEMA"]
 
 #: schema of the BENCH_SERVE.json document (v2: env provenance stamp)
 SERVE_SCHEMA = "repro-bench-serve/2"
+
+#: schema of the BENCH_CHAOS.json document (chaos-mode load test)
+CHAOS_SCHEMA = "repro-bench-chaos/1"
 
 
 class LoadtestError(SystemExit):
@@ -65,6 +80,7 @@ class _Observation:
     cache: str        # X-Repro-Cache header: hit | miss | bypass
     digest: str       # sha256 of the body bytes
     error: str | None = None
+    incident: str | None = None  # X-Repro-Incident-Id header, if any
 
 
 #: series the /metrics scrape must contain at least one sample of for
@@ -216,6 +232,7 @@ def _run_phase(
                     cache=headers.get("X-Repro-Cache", "unknown"),
                     digest=hashlib.sha256(body).hexdigest(),
                     error=None if status == 200 else body.decode(errors="replace")[:200],
+                    incident=headers.get("X-Repro-Incident-Id"),
                 ))
             except Exception as exc:
                 out.append(_Observation(
@@ -247,6 +264,100 @@ def _phase_report(name: str, observations: list[_Observation]) -> dict:
     }
 
 
+def _recovery_plan(seed: int, nprocs: int = 4):
+    """The fault plan for the recovery phase: one worker crash early
+    enough that *every* multiprocess run hits it (op seq 3 is reached
+    by any run that redistributes), plus transport delays on two links
+    so recovery is exercised under perturbed message timing."""
+    import random
+
+    from ..faults import FaultPlan, TransportDelay, WorkerCrash
+
+    rng = random.Random(int(seed))
+    return FaultPlan(
+        faults=(
+            WorkerCrash(rank=rng.randrange(nprocs), at_op=3),
+            TransportDelay(src=0, dst=1, seconds=0.002, last=16),
+            TransportDelay(src=rng.randrange(1, nprocs), dst=0,
+                           seconds=0.001, last=16),
+        ),
+        seed=int(seed),
+    )
+
+
+def _run_recovery(
+    base_url: str,
+    registry: WorkloadRegistry,
+    smoke: bool,
+    seed: int,
+    timeout: float,
+) -> dict:
+    """The chaos acceptance property, executed over HTTP: a serial
+    ``/run`` and two multiprocess ``/run``s of the same config, where
+    the multiprocess fleet crashes mid-workload (per the active fault
+    plan), restarts, and replays.  Recovered runs must produce the
+    same ``solution_sha256`` as the uninterrupted serial run."""
+    name = "adi" if "adi" in registry.names() else registry.names()[0]
+    spec = registry.get(name)
+    params: dict = {}
+    if "size" in spec.defaults:
+        params["size"] = 12 if smoke else 16
+    if "iterations" in spec.defaults:
+        params["iterations"] = 1
+    if "steps" in spec.defaults:
+        params["steps"] = 2
+
+    probes = []
+    for probe_seed in (seed + 7701, seed + 7702):
+        probe: dict = {"workload": name, "seed": probe_seed, "params": params}
+        for backend in ("serial", "multiprocess"):
+            payload = dict(
+                params, workload=name, seed=probe_seed, backend=backend
+            )
+            t0 = time.perf_counter()
+            try:
+                status, headers, body = _http_post(
+                    f"{base_url}/run", payload, timeout
+                )
+                sha = None
+                if status == 200:
+                    try:
+                        sha = json.loads(body).get("solution_sha256")
+                    except (ValueError, AttributeError):
+                        sha = None
+                probe[backend] = {
+                    "status": status,
+                    "solution_sha256": sha,
+                    "seconds": round(time.perf_counter() - t0, 4),
+                    "incident": headers.get("X-Repro-Incident-Id"),
+                    "error": None if status == 200
+                             else body.decode(errors="replace")[:200],
+                }
+            except Exception as exc:
+                probe[backend] = {
+                    "status": 0, "solution_sha256": None,
+                    "seconds": round(time.perf_counter() - t0, 4),
+                    "incident": None, "error": str(exc),
+                }
+        probe["identical"] = (
+            probe["serial"]["solution_sha256"] is not None
+            and probe["serial"]["solution_sha256"]
+            == probe["multiprocess"]["solution_sha256"]
+        )
+        probes.append(probe)
+
+    failures = sum(
+        1 for p in probes for b in ("serial", "multiprocess")
+        if p[b]["status"] != 200
+    )
+    return {
+        "workload": name,
+        "probes": probes,
+        "failures": failures,
+        "identical": all(p["identical"] for p in probes),
+    }
+
+
 def run_loadtest(
     url: str | None = None,
     clients: int = 8,
@@ -262,6 +373,8 @@ def run_loadtest(
     check: bool = False,
     quiet: bool = False,
     timeout: float = 120.0,
+    chaos: bool = False,
+    chaos_seed: int | None = None,
 ) -> dict:
     """Run the two-phase load test; return (and optionally write) the report.
 
@@ -276,7 +389,15 @@ def run_loadtest(
     snapshot artifact CI uploads next to ``BENCH_SERVE.json``), and
     ``trajectory`` names a JSONL file the report is appended to as one
     :class:`~repro.obs.trajectory.TrajectoryStore` entry (kind
-    ``"serve"``) for the regression sentinel's history.
+    ``"serve"``, or ``"chaos"`` in chaos mode) for the regression
+    sentinel's history.
+
+    ``chaos=True`` activates a seeded :class:`~repro.faults.FaultPlan`
+    for the duration of the test (in-process server only — the plan
+    lives in this process), injects request-level faults during both
+    phases, and appends a *recovery* phase exercising worker-crash
+    fleet restarts; the ``check`` gate then asserts the robustness
+    properties instead of the steady-state ones (see module docstring).
     """
     from ..obs.trajectory import TrajectoryStore, environment_fingerprint
 
@@ -284,8 +405,23 @@ def run_loadtest(
         raise ValueError(f"clients must be >= 1, got {clients}")
     if rounds < 1:
         raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if chaos and url is not None:
+        raise ValueError(
+            "chaos mode needs the in-process server (url=None): the "
+            "fault plan is activated in this process and cannot reach "
+            "a remote one"
+        )
     registry = registry if registry is not None else REGISTRY
     items = _request_set(registry, workloads, smoke)
+
+    chaos_plan = recovery_plan = None
+    if chaos:
+        from ..faults import FaultPlan
+        from ..obs.flight import flight_recorder
+
+        cseed = int(chaos_seed if chaos_seed is not None else seed)
+        chaos_plan = FaultPlan.chaos(cseed)
+        recovery_plan = _recovery_plan(cseed)
 
     started_server = None
     if url is None:
@@ -317,8 +453,37 @@ def run_loadtest(
         ]
         repeated_lists = [list(repeated) * rounds for _ in range(clients)]
 
-        observations = _run_phase(base_url, "unique", unique_lists, timeout)
-        observations += _run_phase(base_url, "repeated", repeated_lists, timeout)
+        recovery = None
+        if chaos:
+            from ..faults import injected
+
+            def _restart_count() -> int:
+                return sum(
+                    1 for i in flight_recorder.incidents()
+                    if i.get("reason") == "backend fleet restart"
+                )
+
+            # phases run under the request-fault plan (delays / 500s /
+            # dropped connections at the HTTP layer)
+            with injected(chaos_plan):
+                observations = _run_phase(
+                    base_url, "unique", unique_lists, timeout
+                )
+                observations += _run_phase(
+                    base_url, "repeated", repeated_lists, timeout
+                )
+            # the recovery phase swaps in the worker-crash + transport-
+            # delay plan: every multiprocess run crashes a worker and
+            # must restart + replay to a bitwise-identical result
+            restarts_before = _restart_count()
+            with injected(recovery_plan):
+                recovery = _run_recovery(
+                    base_url, registry, smoke, seed, timeout
+                )
+            recovery["fleet_restarts"] = _restart_count() - restarts_before
+        else:
+            observations = _run_phase(base_url, "unique", unique_lists, timeout)
+            observations += _run_phase(base_url, "repeated", repeated_lists, timeout)
 
         # byte-identity: within each identical-request group, every
         # response body must hash the same
@@ -347,7 +512,7 @@ def run_loadtest(
         _phase_report("repeated", observations),
     ]
     report = {
-        "schema": SERVE_SCHEMA,
+        "schema": CHAOS_SCHEMA if chaos else SERVE_SCHEMA,
         "smoke": bool(smoke),
         "env": environment_fingerprint(),
         "base_url": base_url,
@@ -368,6 +533,24 @@ def run_loadtest(
         "server_stats": server_stats,
         "metrics": {k: v for k, v in metrics.items() if k != "text"},
     }
+    if chaos:
+        # injected failures are expected; what must hold is that every
+        # server-side failure is *attributable* — a 5xx without an
+        # incident ID is a hole in the post-mortem story
+        uncovered = [
+            o for o in observations if o.status >= 500 and not o.incident
+        ]
+        injected_failures = sum(
+            1 for o in observations if o.status >= 500 or o.status == 0
+        )
+        report["chaos"] = {
+            "seed": cseed,
+            "request_fault_plan": chaos_plan.to_json(),
+            "recovery_fault_plan": recovery_plan.to_json(),
+            "injected_failures": injected_failures,
+            "uncovered_5xx": len(uncovered),
+            "recovery": recovery,
+        }
 
     if not quiet:
         for p in phases:
@@ -380,7 +563,17 @@ def run_loadtest(
                 f"hit rate {'n/a' if rate is None else f'{rate:.0%}'}"
             )
         print(f"  byte-identical responses: {report['byte_identical']}")
+        if chaos:
+            c = report["chaos"]
+            print(
+                f"  chaos: {c['injected_failures']} injected failure(s), "
+                f"{c['uncovered_5xx']} uncovered 5xx, "
+                f"{c['recovery']['fleet_restarts']} fleet restart(s), "
+                f"recovery identical: {c['recovery']['identical']}"
+            )
 
+    if chaos and out == "BENCH_SERVE.json":
+        out = "BENCH_CHAOS.json"  # never clobber the steady-state bench
     if out:
         with open(out, "w") as fh:
             json.dump(report, fh, indent=2)
@@ -392,9 +585,53 @@ def run_loadtest(
         if not quiet:
             print(f"  wrote {metrics_out}")
     if trajectory:
-        entry = TrajectoryStore(trajectory).append("serve", report)
+        entry = TrajectoryStore(trajectory).append(
+            "chaos" if chaos else "serve", report
+        )
         if not quiet:
             print(f"  appended to {trajectory} (env {entry['env_digest']})")
+
+    if check and chaos:
+        problems = []
+        if not report["byte_identical"]:
+            problems.append(
+                f"non-identical responses for identical requests under "
+                f"chaos: {divergent[:2]}"
+            )
+        if report["chaos"]["uncovered_5xx"]:
+            problems.append(
+                f"{report['chaos']['uncovered_5xx']} 5xx response(s) "
+                f"without an X-Repro-Incident-Id header"
+            )
+        client_errors = sum(
+            1 for o in observations if 400 <= o.status < 500
+        )
+        if client_errors:
+            problems.append(
+                f"{client_errors} 4xx response(s) — injected faults must "
+                f"not surface as client errors"
+            )
+        rec = report["chaos"]["recovery"]
+        if rec["failures"]:
+            problems.append(
+                f"{rec['failures']} recovery-phase request(s) failed"
+            )
+        if not rec["identical"]:
+            problems.append(
+                "recovered multiprocess runs are not bitwise-identical "
+                "to the serial reference"
+            )
+        if rec["fleet_restarts"] < 1:
+            problems.append(
+                "no fleet restart observed — the crash fault never fired"
+            )
+        if not metrics["scraped"]:
+            problems.append(f"/metrics scrape failed: {metrics['error']}")
+        if problems:
+            raise LoadtestError(
+                "chaos load test failed: " + "; ".join(problems)
+            )
+        return report
 
     if check:
         problems = []

@@ -21,9 +21,17 @@ from ..api.config import SessionConfig
 from ..api.registry import WorkloadRegistry
 from ..api.results import config_fingerprint
 from ..api.session import Session
+from ..obs import flight as _flight
+from ..obs import metrics as _obs
 from ..runtime.redistribute import PlanCache
 
 __all__ = ["SessionPool"]
+
+_POOL_EVICTIONS = _obs.counter(
+    "repro_pool_evictions_total",
+    "Pooled sessions evicted instead of restacked, by cause.",
+    ("cause",),
+)
 
 
 class SessionPool:
@@ -53,6 +61,9 @@ class SessionPool:
         self.reused = 0
         self.discarded = 0
         self.active = 0
+        #: sessions retired on release because their backend tier was
+        #: poisoned (use-after-fleet-death protection, ISSUE 9)
+        self.evictions = 0
 
     @staticmethod
     def _key(config: SessionConfig) -> str:
@@ -80,16 +91,32 @@ class SessionPool:
 
     def release(self, session: Session) -> None:
         """Return a session to the pool (idempotent with close: a
-        closed session is discarded, not restacked)."""
+        closed session is discarded, not restacked).
+
+        A *poisoned* session — one whose backend fleet died during a
+        stage — is evicted rather than handed to the next request: it
+        still works (stages degrade to serial), but the next tenant
+        deserves a clean slate, not a session that will silently run
+        one-process.
+        """
         key = self._key(session.config)
+        poisoned = getattr(session, "poisoned", False)
         with self._lock:
             self.active = max(0, self.active - 1)
-            if not self._closed and not session.closed:
+            if not self._closed and not session.closed and not poisoned:
                 stack = self._idle.setdefault(key, [])
                 if len(stack) < self.max_idle:
                     stack.append(session)
                     return
             self.discarded += 1
+            if poisoned:
+                self.evictions += 1
+        if poisoned:
+            _POOL_EVICTIONS.inc(cause="poisoned")
+            _flight.note(
+                "pool.evicted", cause="poisoned",
+                backend=session.config.backend_name,
+            )
         session.close()
 
     # -- lifecycle ---------------------------------------------------------
@@ -116,6 +143,7 @@ class SessionPool:
                 "created": self.created,
                 "reused": self.reused,
                 "discarded": self.discarded,
+                "evictions": self.evictions,
                 "active": self.active,
                 "idle": idle,
                 "configs": len(self._idle),

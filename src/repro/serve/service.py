@@ -46,7 +46,10 @@ from urllib.parse import parse_qsl, urlsplit
 from ..api.config import BACKEND_NAMES, SessionConfig, resolve_cost_model
 from ..api.registry import REGISTRY, WorkloadRegistry
 from ..api.results import _jsonable
+from ..api.session import SessionClosedError
+from ..backend.multiprocess import BackendError
 from ..defaults import DEFAULT_SEED
+from ..faults.breaker import CircuitBreaker
 from ..obs import metrics as _obs
 from ..obs.flight import flight_recorder
 from ..obs.tracing import request_scope, span as _span
@@ -75,6 +78,21 @@ _HTTP_SECONDS = _obs.histogram(
     "Service request latency in seconds, by route.",
     ("route",),
 )
+_HTTP_RETRIES = _obs.counter(
+    "repro_http_retries_total",
+    "Idempotent-GET retries performed inside the service, by route.",
+    ("route",),
+)
+_CIRCUIT_TRANSITIONS = _obs.counter(
+    "repro_circuit_transitions_total",
+    "Per-route circuit-breaker state transitions.",
+    ("route", "state"),
+)
+
+#: exceptions a fleet restart / fresh session might cure — eligible
+#: for in-service retry (idempotent GETs) and mapped to 503 + Retry-After
+#: rather than 500 when retries are exhausted
+RECOVERABLE = (BackendError, MemoryError, SessionClosedError)
 
 #: stage endpoints whose responses are pure functions of the request
 #: fingerprint (bench is wall-clock, so it is never cached)
@@ -140,6 +158,11 @@ class PlanningService:
         default_nprocs: int = 4,
         default_cost_model: str = "Paragon",
         observability: bool = True,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 5.0,
+        get_retries: int = 2,
+        retry_backoff: float = 0.05,
+        retry_after_seconds: int = 1,
     ):
         self.registry = registry if registry is not None else REGISTRY
         #: the shared cross-session plan cache (``/stats`` proves reuse)
@@ -152,6 +175,15 @@ class PlanningService:
         self.responses = ResponseCache(capacity=response_cache_capacity)
         self.default_nprocs = int(default_nprocs)
         self.default_cost_model = str(default_cost_model)
+        #: resilience policy (ISSUE 9): bounded exponential-backoff
+        #: retry for idempotent GETs, then a per-route circuit breaker
+        #: shedding load with 503 + Retry-After while a route is sick
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = float(breaker_cooldown)
+        self.get_retries = int(get_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.retry_after_seconds = int(retry_after_seconds)
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._lock = threading.Lock()
         self._requests: dict[str, int] = {}
         self._errors = 0
@@ -270,7 +302,9 @@ class PlanningService:
             if path == "/metrics":
                 return self._count(path, self._metrics())
             if path in ("/plan", "/run", "/trace", "/bench"):
-                return self._count(path, self._stage(path.lstrip("/"), params))
+                return self._count(
+                    path, self._stage_guarded(path, params, method)
+                )
             return self._count(
                 path,
                 _error(404, f"no such endpoint {path!r} "
@@ -322,6 +356,7 @@ class PlanningService:
         with self._lock:
             requests = dict(sorted(self._requests.items()))
             errors = self._errors
+        breakers = self.breaker_stats()
         body = json.dumps(
             {
                 "schema": "repro-serve-stats/1",
@@ -330,6 +365,7 @@ class PlanningService:
                 "plan_cache": self.plan_cache.stats(),
                 "response_cache": self.responses.stats(),
                 "sessions": self.pool.stats(),
+                "breakers": breakers,
                 "requests": requests,
                 "errors": errors,
                 "workloads": list(self.registry.names()),
@@ -371,6 +407,102 @@ class PlanningService:
         )
 
     # -- stage endpoints ---------------------------------------------------
+    def _breaker(self, route: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(route)
+            if breaker is None:
+                def on_transition(old, new, route=route):
+                    _CIRCUIT_TRANSITIONS.inc(route=route, state=new)
+                    flight_recorder.note(
+                        "serve.circuit", route=route, old=old, new=new,
+                    )
+                breaker = CircuitBreaker(
+                    self.breaker_threshold, self.breaker_cooldown,
+                    on_transition=on_transition,
+                )
+                self._breakers[route] = breaker
+            return breaker
+
+    def breaker_stats(self) -> dict:
+        with self._lock:
+            return {
+                route: breaker.stats()
+                for route, breaker in sorted(self._breakers.items())
+            }
+
+    def _shed(
+        self, route: str, reason: str, retry_after: float,
+        error: BaseException | None = None,
+    ) -> ServeResponse:
+        """A 503 with Retry-After and an incident ID — the last
+        degradation tier (every shed is attributable, ISSUE 9)."""
+        incident = flight_recorder.incident(
+            f"serve 503 on {route}", error=error,
+            attrs={"route": route, "reason": reason},
+        )
+        response = _error(503, reason)
+        response.headers["Retry-After"] = str(
+            max(1, int(retry_after + 0.999))
+        )
+        response.headers["X-Repro-Incident-Id"] = incident["incident_id"]
+        return response
+
+    def _stage_guarded(
+        self, path: str, params: dict, method: str
+    ) -> ServeResponse:
+        """The resilience wrapper around :meth:`_stage`.
+
+        Order of defenses: (1) the route's circuit breaker sheds
+        immediately while open; (2) recoverable faults on idempotent
+        GETs are retried with bounded exponential backoff (a fresh
+        pooled session each attempt — the poisoned one was evicted on
+        release); (3) exhausted recoverable faults become 503 +
+        Retry-After with an incident ID; (4) everything else keeps the
+        existing 4xx/500 mapping, but still feeds the breaker.
+        """
+        breaker = self._breaker(path)
+        if not breaker.allow():
+            return self._shed(
+                path,
+                f"circuit open for {path} "
+                f"(recent failures reached {breaker.failure_threshold})",
+                breaker.retry_after() or self.retry_after_seconds,
+            )
+        endpoint = path.lstrip("/")
+        idempotent = method.upper() == "GET"
+        attempt = 0
+        while True:
+            try:
+                response = self._stage(endpoint, params)
+            except (KeyError, TypeError, ValueError):
+                # client errors (4xx upstream): breaker-neutral
+                raise
+            except RECOVERABLE as exc:
+                if idempotent and attempt < self.get_retries:
+                    delay = self.retry_backoff * (2 ** attempt)
+                    attempt += 1
+                    _HTTP_RETRIES.inc(route=path)
+                    flight_recorder.note(
+                        "serve.retry", route=path, attempt=attempt,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    time.sleep(delay)
+                    continue
+                breaker.record_failure()
+                return self._shed(
+                    path,
+                    f"backend unavailable: {type(exc).__name__}: {exc}",
+                    self.retry_after_seconds,
+                    error=exc,
+                )
+            except Exception:
+                # a bug: the caller's 500 path mints the incident, but
+                # the breaker must still see the failure
+                breaker.record_failure()
+                raise
+            breaker.record_success()
+            return response
+
     def _stage(self, endpoint: str, params: dict) -> ServeResponse:
         params = dict(params)
         workload = params.pop("workload", None)

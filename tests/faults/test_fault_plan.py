@@ -1,0 +1,168 @@
+"""FaultPlan: the registry — queries, serialization, activation."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_PLAN_SCHEMA,
+    FaultPlan,
+    KernelStall,
+    RequestFault,
+    ShmAllocFailure,
+    TransportDelay,
+    TransportDrop,
+    WorkerCrash,
+    activate,
+    active_plan,
+    deactivate,
+    injected,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_activation():
+    deactivate()
+    yield
+    deactivate()
+
+
+def _full_plan() -> FaultPlan:
+    return FaultPlan(
+        faults=(
+            WorkerCrash(rank=1, at_op=4),
+            KernelStall(rank=2, at_op=5, seconds=0.5),
+            TransportDelay(src=0, dst=3, seconds=0.01, first=2, last=6),
+            TransportDelay(src=0, dst=3, seconds=0.02, first=4),
+            TransportDrop(src=1, dst=2, at_message=3),
+            ShmAllocFailure(at_alloc=7),
+            RequestFault(route="/run", at_request=5, kind="error"),
+        ),
+        seed=42,
+    )
+
+
+class TestQueries:
+    def test_crash_for(self):
+        p = _full_plan()
+        assert p.crash_for(1, 4) == WorkerCrash(rank=1, at_op=4)
+        assert p.crash_for(1, 5) is None
+        assert p.crash_for(0, 4) is None
+
+    def test_stall_for(self):
+        p = _full_plan()
+        assert p.stall_for(2, 5).seconds == 0.5
+        assert p.stall_for(2, 4) is None
+
+    def test_link_delay_sums_matching_specs(self):
+        p = _full_plan()
+        assert p.link_delay(0, 3, 1) == 0.0          # before first
+        assert p.link_delay(0, 3, 2) == 0.01         # first spec only
+        assert p.link_delay(0, 3, 5) == pytest.approx(0.03)  # both
+        assert p.link_delay(0, 3, 7) == 0.02         # past last=6
+        assert p.link_delay(3, 0, 2) == 0.0          # wrong direction
+
+    def test_drops_message(self):
+        p = _full_plan()
+        assert p.drops_message(1, 2, 3)
+        assert not p.drops_message(1, 2, 2)
+        assert not p.drops_message(2, 1, 3)
+
+    def test_shm_failure(self):
+        p = _full_plan()
+        assert p.shm_failure(7) == ShmAllocFailure(at_alloc=7)
+        assert p.shm_failure(6) is None
+
+    def test_request_fault(self):
+        p = _full_plan()
+        assert p.request_fault("/run", 5).kind == "error"
+        assert p.request_fault("/run", 4) is None
+        assert p.request_fault("/plan", 5) is None
+
+    def test_of_type(self):
+        p = _full_plan()
+        assert len(p.of_type(TransportDelay)) == 2
+        assert len(p.of_type(WorkerCrash)) == 1
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(TypeError, match="unknown fault spec"):
+            FaultPlan(faults=("not-a-fault",))
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        p = _full_plan()
+        doc = p.to_json()
+        assert doc["schema"] == FAULT_PLAN_SCHEMA
+        assert doc["seed"] == 42
+        assert FaultPlan.from_json(doc) == p
+
+    def test_round_trips_through_json_text(self):
+        import json
+
+        p = _full_plan()
+        assert FaultPlan.from_json(json.loads(json.dumps(p.to_json()))) == p
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(ValueError, match="unknown fault type"):
+            FaultPlan.from_json({"faults": [{"type": "gamma_ray", "x": 1}]})
+
+    def test_summary_counts(self):
+        s = _full_plan().summary()
+        assert "transport_delay=2" in s
+        assert "worker_crash=1" in s
+        assert "seed=42" in s
+
+    def test_plans_are_picklable(self):
+        import pickle
+
+        p = _full_plan()
+        assert pickle.loads(pickle.dumps(p)) == p
+
+
+class TestChaosGeneration:
+    def test_deterministic_in_seed(self):
+        assert FaultPlan.chaos(7) == FaultPlan.chaos(7)
+        assert FaultPlan.chaos(7) != FaultPlan.chaos(8)
+
+    def test_has_every_advertised_ingredient(self):
+        p = FaultPlan.chaos(3, routes=("/run",))
+        assert len(p.of_type(WorkerCrash)) == 1
+        assert len(p.of_type(TransportDelay)) == 2
+        kinds = {f.kind for f in p.of_type(RequestFault)}
+        assert kinds == {"delay", "error"}
+
+    def test_crash_lands_past_the_health_check(self):
+        for seed in range(20):
+            (crash,) = FaultPlan.chaos(seed).of_type(WorkerCrash)
+            assert 3 <= crash.at_op <= 8
+            assert 0 <= crash.rank < 4
+
+    def test_round_trips(self):
+        p = FaultPlan.chaos(11)
+        assert FaultPlan.from_json(p.to_json()) == p
+
+
+class TestActivation:
+    def test_off_by_default(self):
+        assert active_plan() is None
+
+    def test_activate_deactivate(self):
+        p = _full_plan()
+        assert activate(p) is p
+        assert active_plan() is p
+        deactivate()
+        assert active_plan() is None
+        deactivate()  # idempotent
+
+    def test_activate_rejects_non_plans(self):
+        with pytest.raises(TypeError, match="expected a FaultPlan"):
+            activate({"faults": []})
+
+    def test_injected_scopes_and_restores_on_error(self):
+        p = _full_plan()
+        with injected(p):
+            assert active_plan() is p
+        assert active_plan() is None
+        with pytest.raises(RuntimeError, match="boom"):
+            with injected(p):
+                raise RuntimeError("boom")
+        assert active_plan() is None

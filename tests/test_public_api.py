@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.sim",
     "repro.serve",
     "repro.obs",
+    "repro.faults",
 ]
 
 # The root surface, pinned (ISSUE 5): changing what `from repro import *`
@@ -30,13 +31,15 @@ EXPORT_SNAPSHOT = sorted([
     "ArrayRef", "Assign", "Attribution", "AxisMap", "BUSY_KINDS", "Backend",
     "BackendError", "BatchedReadAccessor", "BenchResult", "Block",
     "BlockMeta", "BlockingReplay", "CFG", "CFGEdge", "CFGNode",
-    "Calibration", "Call", "CommEstimate", "CommSchedule", "ConnectClass",
+    "Calibration", "Call", "CircuitBreaker", "CommEstimate", "CommSchedule",
+    "ConnectClass",
     "Connection", "CostEngine", "CostModel", "CriticalPath", "Cyclic",
     "DCase", "DCaseStmt", "DEFAULT", "DEFAULT_SEED", "Declaration",
     "DimDist", "DimTranslationTable", "DistributeStmt", "DistributedArray",
     "Distribution", "DistributionGenerator", "DistributionType",
     "DistributionUndefinedError", "DynamicAttr", "Engine", "Event",
-    "EventArrays", "EventKind", "EventLog", "Extraction", "FormalArg",
+    "EventArrays", "EventKind", "EventLog", "Extraction", "FaultPlan",
+    "FleetSupervisor", "FormalArg",
     "GenBlock", "HandDistribute", "IPSC860", "IRProgram", "If",
     "IndexDomain", "Indirect", "Inspector", "Interval", "LineSweepKernel",
     "LocalMemory", "Loop", "MAYBE", "MODERN_CLUSTER", "Machine",
@@ -54,7 +57,7 @@ EXPORT_SNAPSHOT = sorted([
     "SessionConfig", "SessionResult", "SharedSegmentAllocator",
     "SimulatedCostEngine", "StencilKernel", "Stmt", "TOP", "Timeline",
     "TraceResult", "TrajectoryStore",
-    "TranslationTable", "Transport", "TransportTimeout",
+    "TranslationTable", "Transport", "TransportBroken", "TransportTimeout",
     "TypePattern", "VFProgram", "VFSyntaxError", "WORKLOADS", "Wild",
     "Workload", "WorkloadHandle", "WorkloadRegistry", "WorkloadSpec",
     "ZERO_COST", "__version__", "adi_workload", "analyze", "api", "apps",
@@ -66,7 +69,8 @@ EXPORT_SNAPSHOT = sorted([
     "critical_path", "decide_pattern", "decide_querylist",
     "default_plan_cache", "dim_implies", "dim_menu", "dim_overlaps",
     "dist_type", "dp_schedule", "dump_json", "enumerate_layouts",
-    "estimate_memory", "estimate_ref", "extract_phases", "fit_alpha_beta",
+    "estimate_memory", "estimate_ref", "extract_phases", "faults",
+    "fit_alpha_beta",
     "flight_recorder",
     "forall", "forall_batched", "forall_gathered", "gantt", "gather_to",
     "get_generator", "get_request_id", "get_trace_id", "get_workload",
@@ -168,7 +172,7 @@ def test_session_facade_reexported_from_root():
 def test_version():
     import repro
 
-    assert repro.__version__ == "1.8.0"
+    assert repro.__version__ == "1.9.0"
 
 
 def test_sim_reexported_from_root():
@@ -220,6 +224,25 @@ def test_obs_reexported_from_root():
     exec("from repro import *", ns)  # noqa: S102
     for required in ("MetricsRegistry", "metrics_registry", "span",
                      "get_request_id", "get_trace_id"):
+        assert required in ns
+
+
+def test_faults_reexported_from_root():
+    """The v1.9.0 surface: fault injection and resilience are one
+    import away (ISSUE 9)."""
+    import repro
+
+    assert repro.faults.__name__ == "repro.faults"
+    assert repro.FaultPlan is repro.faults.FaultPlan
+    assert repro.CircuitBreaker is repro.faults.CircuitBreaker
+    assert repro.FleetSupervisor is repro.backend.FleetSupervisor
+    assert repro.TransportBroken is repro.backend.TransportBroken
+    assert issubclass(repro.TransportBroken, repro.TransportTimeout)
+
+    ns: dict = {}
+    exec("from repro import *", ns)  # noqa: S102
+    for required in ("FaultPlan", "CircuitBreaker", "FleetSupervisor",
+                     "TransportBroken"):
         assert required in ns
 
 
