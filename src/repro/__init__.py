@@ -89,6 +89,7 @@ plan|run|trace|bench|calibrate`` (see ``python -m repro --help``).
 # with the BLOCK distribution intrinsic; reach it as
 # ``repro.compiler.Block``.)
 
+from . import adapt as adapt
 from . import api as api
 from . import apps as apps
 from . import backend as backend
@@ -100,7 +101,14 @@ from . import perf as perf
 from . import planner as planner
 from . import serve as serve
 from . import sim as sim
+from .adapt import (
+    AdaptiveController,
+    LoadMonitor,
+    PolicyLibrary,
+    run_adapt_bench,
+)
 from .api import (
+    AdaptResult,
     BenchResult,
     PlanResult,
     RunResult,
@@ -342,6 +350,7 @@ from .obs import (
     MetricsRegistry,
     TrajectoryStore,
     attribution,
+    compare_adapt_reports,
     compare_perf_reports,
     flight_recorder,
     get_request_id,
@@ -352,11 +361,12 @@ from .obs import (
 from .faults import CircuitBreaker, FaultPlan
 from .serve import PlanningService, run_loadtest
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "__version__",
     # subpackages
+    "adapt",
     "api",
     "apps",
     "backend",
@@ -390,13 +400,20 @@ __all__ = [
     "Attribution",
     "TrajectoryStore",
     "attribution",
+    "compare_adapt_reports",
     "compare_perf_reports",
     "flight_recorder",
+    # adaptive redistribution (repro.adapt)
+    "AdaptiveController",
+    "LoadMonitor",
+    "PolicyLibrary",
+    "run_adapt_bench",
     "SessionResult",
     "PlanResult",
     "RunResult",
     "TraceResult",
     "BenchResult",
+    "AdaptResult",
     "WorkloadHandle",
     "WorkloadRegistry",
     "WorkloadSpec",

@@ -335,6 +335,37 @@ def serve_command(args: argparse.Namespace) -> None:
     )
 
 
+def adapt_command(args: argparse.Namespace) -> None:
+    """Run the adaptive-redistribution bench (default) or, with
+    --workload, one adaptive run through the session facade."""
+    if args.workload:
+        with _session(args) as sess:
+            params = _workload_params(args)
+            if args.drift is not None:
+                params["drift"] = args.drift
+            handle = sess.workload(args.workload, seed=args.seed, **params)
+            result = handle.adapt(mode=args.mode, window=args.window)
+        if args.json:
+            print(result.json_str())
+        else:
+            print(result.summary())
+        return
+
+    from .adapt import run_adapt_bench
+
+    report = run_adapt_bench(
+        smoke=args.smoke,
+        out=args.out,
+        coverage_out=args.coverage_out,
+        check=args.check,
+        trajectory=args.trajectory or None,
+        quiet=args.json,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2))
+
+
 def obs_command(args: argparse.Namespace) -> None:
     """``obs dump`` (default): drive a workload stage with
     observability on and dump the metrics registry.  ``obs analyze``:
@@ -364,6 +395,7 @@ def obs_command(args: argparse.Namespace) -> None:
 
     if args.action == "compare":
         from .obs.compare import (
+            compare_adapt_reports,
             compare_chaos_reports,
             compare_perf_reports,
             compare_serve_reports,
@@ -385,6 +417,11 @@ def obs_command(args: argparse.Namespace) -> None:
             )
         elif args.kind == "chaos":
             comparison = compare_chaos_reports(
+                baseline, current, baseline_source=source,
+                wall_tolerance=args.wall_tolerance,
+            )
+        elif args.kind == "adapt":
+            comparison = compare_adapt_reports(
                 baseline, current, baseline_source=source,
                 wall_tolerance=args.wall_tolerance,
             )
@@ -594,6 +631,51 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--json", action="store_true",
                    help="emit the load-test report as JSON on stdout")
 
+    a = sub.add_parser(
+        "adapt",
+        help="online adaptive redistribution: bench the feedback "
+             "controller against static/balanced/offline layouts and "
+             "write BENCH_ADAPT.json + ADAPT_COVERAGE.json (--workload "
+             "for a single adaptive run instead)",
+    )
+    a.add_argument("--smoke", action="store_true",
+                   help="CI-sized drifting-load scenarios")
+    a.add_argument("--check", action="store_true",
+                   help="exit 2 unless every scenario's gates pass "
+                        "(adaptive beats static and offline, replans "
+                        "fired, bitwise-deterministic, identical "
+                        "solutions across modes)")
+    a.add_argument("--out", default="BENCH_ADAPT.json",
+                   help="bench report path ('' to skip writing)")
+    a.add_argument("--coverage-out", default="ADAPT_COVERAGE.json",
+                   help="policy-coverage sweep path ('' to skip)")
+    a.add_argument("--trajectory", default="BENCH_TRAJECTORY.jsonl",
+                   help="append the report to the JSONL trajectory "
+                        "history ('' to skip)")
+    a.add_argument("--json", action="store_true",
+                   help="emit the report / run as machine-readable JSON")
+    a.add_argument("--seed", type=int, default=0,
+                   help="bench and single-run seed")
+    a.add_argument("--workload", choices=workload_names, default=None,
+                   help="run one adaptive session stage instead of the "
+                        "bench (pic and irregular have drivers)")
+    a.add_argument("--mode", default="adaptive",
+                   choices=("static", "balanced", "offline", "adaptive"),
+                   help="layout policy for the single run")
+    a.add_argument("--window", type=int, default=None,
+                   help="steps per monitoring window (default: the "
+                        "workload's natural phase length)")
+    a.add_argument("--nprocs", type=int, default=4)
+    a.add_argument("--size", type=int, default=64,
+                   help="grid/cell/mesh extent for --workload")
+    a.add_argument("--steps", type=int, default=40,
+                   help="time steps / sweeps for --workload")
+    a.add_argument("--drift", type=float, default=None,
+                   help="per-step load drift for --workload "
+                        "(default: the registered workload default)")
+    a.add_argument("--cost-model", default="Paragon",
+                   choices=COST_MODEL_CHOICES)
+
     o = sub.add_parser(
         "obs",
         help="observability: dump the metrics registry (default), "
@@ -634,7 +716,7 @@ def build_parser() -> argparse.ArgumentParser:
     o.add_argument("--baseline", default=None,
                    help="compare: the baseline report or trajectory file")
     o.add_argument("--kind", default="perf",
-                   choices=("perf", "serve", "chaos"),
+                   choices=("perf", "serve", "chaos", "adapt"),
                    help="compare: which bench family the reports are")
     o.add_argument("--trajectory", default="BENCH_TRAJECTORY.jsonl",
                    help="compare: trajectory history for baseline "
@@ -652,6 +734,7 @@ COMMANDS = {
     "calibrate": calibrate_command,
     "bench": bench_command,
     "serve": serve_command,
+    "adapt": adapt_command,
     "obs": obs_command,
 }
 

@@ -1,0 +1,63 @@
+"""Online adaptive redistribution — closing the paper's open loop.
+
+Vienna Fortran's dynamic distributions make redistribution
+*expressible*; the planner (PR 1) makes it *schedulable* offline.
+This subpackage makes it *adaptive*: a feedback controller that
+measures per-processor load window by window while the program runs,
+detects drift, and redistributes through the ordinary ``DISTRIBUTE``
+path exactly when a tiered policy says the move pays for itself.
+
+- :class:`LoadMonitor` — windowed busy/imbalance signals with an EWMA
+  drift detector, hysteresis, and a post-replan cooldown;
+- :class:`PolicyLibrary` — versioned (``repro-adapt-policy/1``)
+  redistribution rules with tiered fallback: static -> sustained
+  threshold -> full planner pricing; plus the registry-wide
+  :meth:`~PolicyLibrary.coverage_report`;
+- :class:`AdaptiveController` — drives a workload in ``static`` /
+  ``balanced`` / ``offline`` / ``adaptive`` modes sharing one RNG
+  stream, checkpointing at window boundaries and logging every
+  decision to the flight recorder and the ``repro_adapt_*`` metrics;
+- :func:`run_adapt_bench` — bench E16: adaptive must beat the best
+  static layout *and* the offline plan on drifting load, bitwise
+  deterministically (``BENCH_ADAPT.json``, ``repro-bench-adapt/1``).
+"""
+
+from .bench import ADAPT_SCHEMA, run_adapt_bench
+from .controller import (
+    MODES,
+    AdaptiveController,
+    AdaptiveRun,
+    Checkpoint,
+    ReplanRecord,
+    supported_workloads,
+)
+from .monitor import LoadMonitor, WindowSample
+from .policies import (
+    COVERAGE_SCHEMA,
+    POLICY_SCHEMA,
+    TIER_NAMES,
+    Decision,
+    PolicyLibrary,
+    Rule,
+    dump_coverage,
+)
+
+__all__ = [
+    "LoadMonitor",
+    "WindowSample",
+    "PolicyLibrary",
+    "Rule",
+    "Decision",
+    "POLICY_SCHEMA",
+    "COVERAGE_SCHEMA",
+    "TIER_NAMES",
+    "dump_coverage",
+    "AdaptiveController",
+    "AdaptiveRun",
+    "Checkpoint",
+    "ReplanRecord",
+    "MODES",
+    "supported_workloads",
+    "ADAPT_SCHEMA",
+    "run_adapt_bench",
+]

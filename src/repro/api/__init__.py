@@ -30,6 +30,7 @@ from .registry import (
     register_workload,
 )
 from .results import (
+    AdaptResult,
     BenchResult,
     PlanResult,
     RunResult,
@@ -58,6 +59,7 @@ __all__ = [
     "RunResult",
     "TraceResult",
     "BenchResult",
+    "AdaptResult",
     "config_fingerprint",
     "WorkloadHandle",
     "Session",

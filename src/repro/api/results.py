@@ -7,7 +7,9 @@ Each :class:`~repro.api.WorkloadHandle` stage returns one of these:
   per-processor clocks, optional event log;
 - :class:`TraceResult` — ``handle.trace()``: the discrete-event
   simulator's blocking / split-phase timelines;
-- :class:`BenchResult` — ``handle.bench()``: wall-clock repetitions.
+- :class:`BenchResult` — ``handle.bench()``: wall-clock repetitions;
+- :class:`AdaptResult` — ``handle.adapt()``: the adaptive controller's
+  window-by-window decision record and modeled makespan.
 
 ``summary()`` renders a terminal-friendly report; ``to_json()`` returns
 a ``json.dumps``-able dict (numpy scalars normalized); ``json_str()``
@@ -24,6 +26,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 if TYPE_CHECKING:
+    from ..adapt.controller import AdaptiveRun
     from ..planner.search import Plan
     from ..sim.clock import Timeline
     from ..sim.events import EventLog
@@ -34,6 +37,7 @@ __all__ = [
     "RunResult",
     "TraceResult",
     "BenchResult",
+    "AdaptResult",
     "config_fingerprint",
 ]
 
@@ -355,5 +359,68 @@ class BenchResult(SessionResult):
                 "wall_mean_s": self.mean if self.wall_times else None,
                 "modeled_time_s": self.modeled_time,
                 "headline": self.headline,
+            }
+        )
+
+
+@dataclass
+class AdaptResult(SessionResult):
+    """Outcome of ``handle.adapt()`` — one adaptively-driven run.
+
+    Wraps the controller's :class:`~repro.adapt.AdaptiveRun`: the
+    modeled makespan under the selected layout mode plus the full
+    window-by-window record (samples, decisions, replans,
+    checkpoints).  Deterministic in the session config alone, like
+    every other stage — the serve tier caches it by fingerprint.
+    """
+
+    workload: str
+    nprocs: int
+    seed: int
+    cost_model: str
+    mode: str
+    window: int
+    params: dict = field(default_factory=dict)
+    run: "AdaptiveRun | None" = None
+
+    def summary(self) -> str:
+        r = self.run
+        assert r is not None
+        lines = [
+            f"adapt {self.workload} (mode={self.mode}, "
+            f"nprocs={self.nprocs}, window={self.window}, "
+            f"cost model {self.cost_model}, seed={self.seed})",
+            f"  modeled makespan: {r.makespan * 1e3:.3f} ms over "
+            f"{r.steps} step(s)",
+            f"  windows observed: {len(r.samples)}, mean imbalance "
+            f"{r.mean_imbalance:.3f}",
+        ]
+        if self.mode == "adaptive":
+            lines.append(
+                f"  decisions: {len(r.decisions)}, replans: "
+                f"{len(r.replans)}"
+            )
+            for rec in r.replans:
+                lines.append(
+                    f"    window {rec.window:2d} (step {rec.step:3d}) "
+                    f"tier {rec.tier} [{rec.rule}] imbalance "
+                    f"{rec.imbalance:.3f} -> {rec.transfer_bytes} bytes "
+                    f"moved"
+                )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        r = self.run
+        assert r is not None
+        return _jsonable(
+            {
+                "workload": self.workload,
+                "nprocs": self.nprocs,
+                "seed": self.seed,
+                "cost_model": self.cost_model,
+                "mode": self.mode,
+                "window": self.window,
+                "params": self.params,
+                "run": r.to_json(),
             }
         )

@@ -224,6 +224,7 @@ if _HAVE_NETWORKX:
             "steps": 10,      # relaxation sweeps
             "distribution": "partitioned",
             "kind": "geometric",
+            "drift": 0.0,     # hot-spot motion per sweep (0 = historical)
         },
         description="unstructured-mesh relaxation via INDIRECT (PARTI)",
     )
@@ -237,6 +238,7 @@ if _HAVE_NETWORKX:
             str(ctx.params["distribution"]),
             sweeps=int(ctx.params["steps"]),
             seed=ctx.seed,
+            drift=float(ctx.params["drift"]),
         )
         return ExecutionOutcome(
             solution=r.solution,

@@ -51,6 +51,7 @@ __all__ = [
     "RelaxationResult",
     "run_relaxation",
     "relaxation_reference",
+    "drifting_weights",
 ]
 
 
@@ -171,6 +172,32 @@ def partition_bfs(
     return owner
 
 
+def drifting_weights(
+    n: int,
+    sweep: int,
+    drift: float,
+    amp: float = 3.0,
+    width: float = 0.08,
+    center0: float = 0.2,
+) -> np.ndarray:
+    """Per-node compute weights under a drifting Gaussian hot spot.
+
+    Node ``i`` sits at normalized coordinate ``(i + 0.5) / n`` on a
+    periodic unit interval; a hot spot of relative amplitude ``amp``
+    and stddev ``width`` starts at ``center0`` and moves ``drift`` per
+    sweep (wrapping around).  With ``drift == 0`` every weight is
+    exactly 1.0 — the time-invariant load the historical relaxation
+    modeled — so callers can guard on it for bitwise parity.
+    """
+    if drift == 0.0:
+        return np.ones(n)
+    x = (np.arange(n, dtype=np.float64) + 0.5) / n
+    c = (center0 + drift * sweep) % 1.0
+    d = np.abs(x - c)
+    d = np.minimum(d, 1.0 - d)  # periodic distance
+    return 1.0 + amp * np.exp(-0.5 * (d / width) ** 2)
+
+
 def edge_cut(graph: nx.Graph, owner: np.ndarray) -> int:
     """Edges whose endpoints live on different processors — the
     per-sweep communication proxy."""
@@ -233,6 +260,7 @@ def run_relaxation(
     seed: int = DEFAULT_SEED,
     rng: np.random.Generator | None = None,
     backend: Backend | str | None = None,
+    drift: float = 0.0,
 ) -> RelaxationResult:
     """Edge-based Jacobi relaxation through the inspector/executor.
 
@@ -255,9 +283,15 @@ def run_relaxation(
     draw from a fresh ``default_rng(seed)`` (the historical streams,
     bit for bit); an explicit ``rng`` is used for both, making a run
     reproducible from generator state alone.
+
+    ``drift`` moves a Gaussian compute hot spot across the node ids at
+    ``drift`` per sweep (:func:`drifting_weights`) — per-sweep compute
+    cost becomes proportional to the summed weight of the owned nodes
+    while the solution arithmetic is untouched.  ``drift=0.0`` (the
+    default) takes exactly the historical code path, bit for bit.
     """
     with attached_backend(machine, backend):
-        return _relax(machine, graph, distribution, sweeps, seed, rng)
+        return _relax(machine, graph, distribution, sweeps, seed, rng, drift)
 
 
 def _relax(
@@ -267,6 +301,7 @@ def _relax(
     sweeps: int,
     seed: int,
     rng: np.random.Generator | None,
+    drift: float = 0.0,
 ) -> RelaxationResult:
     n = graph.number_of_nodes()
     p = machine.nprocs
@@ -306,7 +341,7 @@ def _relax(
 
     m0 = machine.stats()
     t0 = machine.time
-    for _ in range(sweeps):
+    for sweep in range(sweeps):
         gathered = inspector.gather(schedule)  # schedule reused
         update = partial(_relax_update, gathered, node_slices)
         backend = machine.backend
@@ -321,10 +356,18 @@ def _relax(
                 update(rank, arr.local(rank), arr.local_indices(rank))
         # accounting is identical regardless of which process executed
         # the update — the backend executes, the network accounts
-        for rank in arr.owning_ranks():
-            machine.network.compute(
-                rank, 4.0 * arr.local(rank).size, tag="relax:V"
-            )
+        if drift == 0.0:
+            for rank in arr.owning_ranks():
+                machine.network.compute(
+                    rank, 4.0 * arr.local(rank).size, tag="relax:V"
+                )
+        else:
+            weights = drifting_weights(n, sweep, drift)
+            for rank in arr.owning_ranks():
+                owned = arr.local_indices(rank)[0]
+                machine.network.compute(
+                    rank, 4.0 * float(weights[owned].sum()), tag="relax:V"
+                )
         machine.network.synchronize()
     m1 = machine.stats()
 

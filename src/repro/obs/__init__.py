@@ -46,6 +46,7 @@ from .compare import (
     CompareReport,
     EXIT_HARD,
     EXIT_SOFT,
+    compare_adapt_reports,
     compare_chaos_reports,
     compare_perf_reports,
     compare_serve_reports,
@@ -109,6 +110,7 @@ __all__ = [
     "attribution",
     "chrome_trace",
     "clear_spans",
+    "compare_adapt_reports",
     "compare_chaos_reports",
     "compare_perf_reports",
     "compare_serve_reports",

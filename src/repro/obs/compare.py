@@ -44,6 +44,7 @@ __all__ = [
     "EXIT_HARD",
     "EXIT_SOFT",
     "DEFAULT_WALL_TOLERANCE",
+    "compare_adapt_reports",
     "compare_chaos_reports",
     "compare_perf_reports",
     "compare_serve_reports",
@@ -181,6 +182,7 @@ def _check_baseline_compatible(
         "perf": "repro-bench-perf",
         "serve": "repro-bench-serve",
         "chaos": "repro-bench-chaos",
+        "adapt": "repro-bench-adapt",
     }[kind]
     schema = str(baseline.get("schema", ""))
     if not schema.startswith(expected):
@@ -225,6 +227,7 @@ def resolve_baseline(
         "perf": "BENCH_PERF.json",
         "serve": "BENCH_SERVE.json",
         "chaos": "BENCH_CHAOS.json",
+        "adapt": "BENCH_ADAPT.json",
     }[kind]
     if os.path.exists(fallback):
         report = load_report(fallback)
@@ -472,4 +475,58 @@ def compare_chaos_reports(
         overall.reasons.append(
             "no fleet restart observed — the crash fault never fired"
         )
+    return report
+
+
+# -- adapt comparison -------------------------------------------------------
+
+def compare_adapt_reports(
+    baseline: dict,
+    current: dict,
+    *,
+    baseline_source: str = "baseline",
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+) -> CompareReport:
+    """Diff two ``repro-bench-adapt`` reports.
+
+    Like the chaos gates, the adaptive contract is absolute, not a
+    drift band: every scenario's adaptive arm must beat both the best
+    static layout and the offline plan, must be bitwise-deterministic
+    across same-seed repeats, and must keep the solution identical
+    across layout modes.  Soft gate: the adaptive arm must actually
+    have replanned at least once (a loop that never fires is
+    indistinguishable from the static baseline it claims to beat).
+    """
+    del baseline, wall_tolerance  # adapt gates are absolute, not drifts
+    report = CompareReport(kind="adapt", baseline_source=baseline_source)
+    scenarios = current.get("scenarios") or []
+    if not scenarios:
+        overall = BenchDelta(name="adaptive_contract", verdict="hard_fail")
+        overall.reasons.append("report contains no scenarios")
+        report.deltas.append(overall)
+        return report
+    for scenario in scenarios:
+        name = str(scenario.get("name", "?"))
+        delta = BenchDelta(name=name, verdict="ok")
+        report.deltas.append(delta)
+        gates = scenario.get("gates") or {}
+        for gate, label in (
+            ("adaptive_beats_static",
+             "adaptive makespan does not beat the best static layout"),
+            ("adaptive_beats_offline",
+             "adaptive makespan does not beat the offline plan"),
+            ("deterministic",
+             "same-seed repeats diverged (solution or decision log)"),
+            ("solutions_identical",
+             "solutions differ across layout modes"),
+        ):
+            if not gates.get(gate, False):
+                delta.verdict = "hard_fail"
+                delta.reasons.append(label)
+        if delta.verdict == "ok" and not gates.get("adaptive_replanned", False):
+            delta.verdict = "soft_fail"
+            delta.reasons.append(
+                "the adaptive arm never redistributed — the feedback "
+                "loop did not fire"
+            )
     return report

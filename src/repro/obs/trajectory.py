@@ -43,7 +43,7 @@ DEFAULT_TRAJECTORY_PATH = "BENCH_TRAJECTORY.jsonl"
 TRAJECTORY_SCHEMA = "repro-trajectory/1"
 
 #: entry kinds the store accepts (one per bench JSON family)
-KINDS = ("perf", "serve", "chaos")
+KINDS = ("perf", "serve", "chaos", "adapt")
 
 _append_lock = threading.Lock()
 

@@ -34,7 +34,7 @@ from urllib.parse import urlsplit
 
 from ..faults import plan as _faults
 from ..obs.flight import flight_recorder
-from .service import PlanningService, ServeResponse
+from .service import ENDPOINTS, PlanningService, ServeResponse
 
 __all__ = ["ServeServer", "ServerThread", "serve_forever"]
 
@@ -341,8 +341,7 @@ def serve_forever(
         await server.start()
         if not quiet:
             print(f"repro.serve listening on {server.url}")
-            print("  endpoints: /workloads /plan /run /trace /bench "
-                  "/stats /healthz /metrics")
+            print("  endpoints: " + " ".join(ENDPOINTS))
             print(f"  try: curl '{server.url}/plan?workload=adi&size=32'")
         try:
             await asyncio.Event().wait()  # until cancelled

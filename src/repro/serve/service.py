@@ -13,6 +13,7 @@ path       verbs  meaning
 /run       GET/POST execute a workload; typed RunResult JSON
 /trace     GET/POST record + simulate; typed TraceResult JSON
 /bench     GET/POST wall-clock repetitions (never cached)
+/adapt     GET/POST online adaptive redistribution; typed AdaptResult
 /stats     GET    plan-cache, response-cache, pool and request counters
 /healthz   GET    liveness + version + uptime
 /metrics   GET    Prometheus text exposition of the obs registry
@@ -61,8 +62,8 @@ from .pool import SessionPool
 __all__ = ["PlanningService", "ServeResponse", "ENDPOINTS"]
 
 #: the service surface (stage endpoints enumerate the registry)
-ENDPOINTS = ("/workloads", "/plan", "/run", "/trace", "/bench", "/stats",
-             "/healthz", "/metrics")
+ENDPOINTS = ("/workloads", "/plan", "/run", "/trace", "/bench", "/adapt",
+             "/stats", "/healthz", "/metrics")
 
 #: one structured line per request lands here (serve_forever attaches a
 #: stderr handler; under test the logger stays silent unless configured)
@@ -96,7 +97,7 @@ RECOVERABLE = (BackendError, MemoryError, SessionClosedError)
 
 #: stage endpoints whose responses are pure functions of the request
 #: fingerprint (bench is wall-clock, so it is never cached)
-CACHEABLE = frozenset({"plan", "run", "trace"})
+CACHEABLE = frozenset({"plan", "run", "trace", "adapt"})
 
 #: per-stage option knobs (everything else must be a workload param)
 _STAGE_OPTIONS = {
@@ -104,6 +105,7 @@ _STAGE_OPTIONS = {
     "run": ("backend",),
     "trace": ("overlap", "compact"),
     "bench": ("backend", "repeats"),
+    "adapt": ("mode", "window"),
 }
 
 
@@ -301,7 +303,7 @@ class PlanningService:
                 return self._count(path, self._healthz())
             if path == "/metrics":
                 return self._count(path, self._metrics())
-            if path in ("/plan", "/run", "/trace", "/bench"):
+            if path in ("/plan", "/run", "/trace", "/bench", "/adapt"):
                 return self._count(
                     path, self._stage_guarded(path, params, method)
                 )
@@ -579,6 +581,13 @@ class PlanningService:
                     result.to_json(intervals=not options.get("compact", False)),
                     indent=2,
                 )
+            elif endpoint == "adapt":
+                window = options.get("window")
+                result = handle.adapt(
+                    mode=str(options.get("mode", "adaptive")),
+                    window=None if window is None else int(window),
+                )
+                body = result.json_str()
             else:  # bench
                 result = handle.bench(repeats=int(options.get("repeats", 3)))
                 body = result.json_str()

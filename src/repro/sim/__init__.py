@@ -29,7 +29,13 @@ from .events import Event, EventArrays, EventKind, EventLog, classify_tag, recor
 from .overlap import overlappable_phases, relaxed_barriers
 from .replay import BlockingReplay, replay_blocking, replay_split_exchange
 from .simulate import simulate
-from .trace import dump_json, gantt, to_chrome_trace, to_json
+from .trace import (
+    dump_json,
+    gantt,
+    to_chrome_trace,
+    to_json,
+    windowed_imbalance,
+)
 
 __all__ = [
     "Event",
@@ -54,4 +60,5 @@ __all__ = [
     "to_json",
     "dump_json",
     "to_chrome_trace",
+    "windowed_imbalance",
 ]

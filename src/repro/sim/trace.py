@@ -21,12 +21,18 @@ import json
 from bisect import bisect_right
 from typing import IO, TYPE_CHECKING
 
-from .clock import Timeline
+from .clock import BUSY_KINDS, Timeline
 
 if TYPE_CHECKING:
     from .critical_path import CriticalPath
 
-__all__ = ["gantt", "to_json", "dump_json", "to_chrome_trace"]
+__all__ = [
+    "gantt",
+    "to_json",
+    "dump_json",
+    "to_chrome_trace",
+    "windowed_imbalance",
+]
 
 #: Gantt glyph per interval kind ('.' is idle / no interval)
 _GLYPHS = {"compute": "#", "comm": "~", "post": "~", "wait": ":"}
@@ -63,6 +69,48 @@ def gantt(timeline: Timeline, width: int = 72) -> str:
     return "\n".join(lines)
 
 
+def windowed_imbalance(
+    timeline: Timeline,
+    windows: int = 8,
+    kinds: tuple[str, ...] = BUSY_KINDS,
+) -> list[dict]:
+    """Per-window busy vectors and load imbalance over equal time bins.
+
+    The makespan is split into ``windows`` equal bins; each bin
+    reports, per processor, the busy seconds overlapping it, plus the
+    ``max/mean`` imbalance of that vector (1.0 when the bin is empty,
+    matching :meth:`Timeline.imbalance`'s zero-load convention).  This
+    is the drift signal the adaptive controller's
+    :class:`~repro.adapt.LoadMonitor` watches — exposed here so
+    ``python -m repro trace --json`` shows load drift without the
+    adapt subsystem.
+    """
+    if windows < 1:
+        raise ValueError(f"windows must be >= 1, got {windows}")
+    span = timeline.makespan
+    out: list[dict] = []
+    width = span / windows
+    for w in range(windows):
+        lo, hi = w * width, (w + 1) * width
+        busy = []
+        for p in timeline.procs:
+            total = 0.0
+            for iv in p.intervals:
+                if iv.kind not in kinds:
+                    continue
+                overlap = min(iv.end, hi) - max(iv.start, lo)
+                if overlap > 0.0:
+                    total += overlap
+            busy.append(total)
+        mean = sum(busy) / len(busy) if busy else 0.0
+        imb = max(busy) / mean if mean > 0.0 else 1.0
+        out.append(
+            {"window": w, "start": lo, "end": hi, "busy": busy,
+             "imbalance": imb}
+        )
+    return out
+
+
 def to_json(
     timeline: Timeline,
     critical: "CriticalPath | None" = None,
@@ -73,7 +121,11 @@ def to_json(
     ``intervals=False`` keeps only the metrics (compact form for
     benches that just compare makespans).
     """
-    out: dict = {"metrics": timeline.metrics(), "barriers": timeline.barriers}
+    out: dict = {
+        "metrics": timeline.metrics(),
+        "barriers": timeline.barriers,
+        "windowed_imbalance": windowed_imbalance(timeline),
+    }
     if intervals:
         out["processors"] = [
             {

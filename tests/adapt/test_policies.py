@@ -1,0 +1,142 @@
+"""PolicyLibrary: tiers, serialization, and the registry coverage sweep."""
+
+import pytest
+
+from repro.adapt import LoadMonitor, PolicyLibrary
+from repro.adapt.policies import (
+    COVERAGE_SCHEMA,
+    POLICY_SCHEMA,
+    Rule,
+    TIER_PLANNER,
+    TIER_STATIC,
+    TIER_THRESHOLD,
+)
+from repro.api import REGISTRY
+
+
+def _monitor_at(busy_windows, **kwargs):
+    kwargs.setdefault("alpha", 1.0)
+    kwargs.setdefault("drift_threshold", 1.1)
+    mon = LoadMonitor(len(busy_windows[0]), **kwargs)
+    for busy in busy_windows:
+        mon.observe(busy)
+    return mon
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        Rule("bad-tier", 7)
+    with pytest.raises(ValueError):
+        Rule("bad-threshold", TIER_THRESHOLD, threshold=0.5)
+    with pytest.raises(ValueError):
+        Rule("bad-windows", TIER_THRESHOLD, windows=0)
+    with pytest.raises(ValueError):
+        Rule("bad-strong", TIER_THRESHOLD, strong_factor=0.9)
+
+
+def test_library_needs_static_tier_and_unique_tiers():
+    with pytest.raises(ValueError):
+        PolicyLibrary((Rule("t", TIER_THRESHOLD),))
+    with pytest.raises(ValueError):
+        PolicyLibrary((
+            Rule("s", TIER_STATIC), Rule("a", TIER_THRESHOLD),
+            Rule("b", TIER_THRESHOLD),
+        ))
+
+
+def test_json_round_trip_preserves_equality():
+    lib = PolicyLibrary()
+    doc = lib.to_json()
+    assert doc["schema"] == POLICY_SCHEMA
+    again = PolicyLibrary.from_json(doc)
+    assert again == lib
+    assert hash(again) == hash(lib)
+    with pytest.raises(ValueError):
+        PolicyLibrary.from_json({"schema": "nope/9", "rules": []})
+
+
+def test_static_policy_never_replans():
+    lib = PolicyLibrary.static()
+    mon = _monitor_at([[5.0, 1.0]] * 4)
+    decision = lib.decide(mon)
+    assert not decision.replan
+    assert decision.tier == TIER_STATIC
+    assert decision.reason == "static-only policy"
+
+
+def test_no_observations_holds_static():
+    decision = PolicyLibrary().decide(LoadMonitor(4))
+    assert not decision.replan
+    assert decision.reason == "no observations yet"
+
+
+def test_quiet_detector_holds():
+    decision = PolicyLibrary().decide(_monitor_at([[1.0, 1.0]] * 3))
+    assert not decision.replan
+    assert decision.reason == "drift detector quiet"
+
+
+def test_strong_signal_fires_tier_threshold_without_pricing():
+    # imbalance 10/5.5 ~ 1.82 >= 1.2 * 1.5: tier 1 fires even with an
+    # oracle available (strong signals skip the pricing tier)
+    lib = PolicyLibrary()
+    mon = _monitor_at([[10.0, 1.0]] * 2)
+    decision = lib.decide(mon, pricing=lambda: -1.0)
+    assert decision.replan
+    assert decision.tier == TIER_THRESHOLD
+    assert "strong signal" in decision.reason
+
+
+def test_gray_zone_consults_the_pricing_oracle():
+    # imbalance ~1.33: above 1.2 but below 1.2*1.5 -> tier 2 prices it
+    lib = PolicyLibrary()
+    mon = _monitor_at([[2.0, 1.0]] * 2)
+    go = lib.decide(mon, pricing=lambda: 5e-4)
+    assert go.replan and go.tier == TIER_PLANNER
+    assert go.plan_delta == pytest.approx(5e-4)
+    hold = lib.decide(mon, pricing=lambda: -5e-4)
+    assert not hold.replan and hold.tier == TIER_PLANNER
+    # without an oracle the confirmed tier-1 trigger fires directly
+    direct = lib.decide(mon)
+    assert direct.replan and direct.tier == TIER_THRESHOLD
+
+
+def test_streak_shorter_than_windows_holds():
+    rules = (
+        Rule("s", TIER_STATIC),
+        Rule("t", TIER_THRESHOLD, threshold=1.2, windows=3),
+    )
+    lib = PolicyLibrary(rules)
+    mon = _monitor_at([[1.0, 1.0], [2.0, 1.0], [2.0, 1.0]])
+    decision = lib.decide(mon)
+    assert not decision.replan
+    assert "streak 2/3" in decision.reason
+
+
+def test_decision_json_carries_tier_name():
+    doc = PolicyLibrary().decide(LoadMonitor(2)).to_json()
+    assert doc["tier_name"] == "static"
+    assert doc["replan"] is False
+
+
+def test_coverage_report_spans_the_whole_registry():
+    report = PolicyLibrary().coverage_report(seed=0)
+    assert report["schema"] == COVERAGE_SCHEMA
+    assert report["complete"] is True
+    assert report["workloads"] == list(REGISTRY.names())
+    covered = {(e["workload"], e["machine"]) for e in report["entries"]}
+    want = {
+        (n, m) for n in REGISTRY.names() for m in report["machines"]
+    }
+    assert covered == want
+    by_workload = {}
+    for entry in report["entries"]:
+        by_workload.setdefault(entry["workload"], []).append(entry)
+    # unsupported workloads are reported, not silently skipped
+    for name, entries in by_workload.items():
+        if entries[0]["supported"]:
+            continue
+        assert all(e["tier_name"] == "unsupported" for e in entries)
+    # the supported workloads exercised the controller under drift
+    pic = [e for e in by_workload["pic"] if e["drift_scenario"] == "fast"]
+    assert any(e["replans"] >= 1 for e in pic)

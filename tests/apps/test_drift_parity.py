@@ -1,0 +1,83 @@
+"""Satellite guarantee: ``drift=0`` is the historical code path, bitwise.
+
+The drifting-load knobs exist so the adaptive controller has something
+to chase; they must not perturb the established workloads when off.
+"""
+
+import numpy as np
+import pytest
+
+nx = pytest.importorskip("networkx")
+
+from repro.api import session
+from repro.apps.irregular import (
+    drifting_weights,
+    make_mesh,
+    run_relaxation,
+)
+from repro.machine import Machine, PARAGON, ProcessorArray
+
+
+def _machine(nprocs=4):
+    return Machine(ProcessorArray("P", (nprocs,)), cost_model=PARAGON)
+
+
+def test_irregular_drift_zero_is_bitwise_historical():
+    graph = make_mesh(48, seed=3)
+    baseline = run_relaxation(_machine(), graph, sweeps=6, seed=3)
+    explicit = run_relaxation(_machine(), graph, sweeps=6, seed=3, drift=0.0)
+    assert np.array_equal(baseline.solution, explicit.solution)
+    assert baseline.messages == explicit.messages
+    assert baseline.time == explicit.time
+    assert baseline.cut_edges == explicit.cut_edges
+
+
+def test_irregular_drift_changes_timing_not_values():
+    graph = make_mesh(48, seed=3)
+    still = run_relaxation(_machine(), graph, sweeps=6, seed=3)
+    moving = run_relaxation(_machine(), graph, sweeps=6, seed=3, drift=0.05)
+    # the hot spot is a cost-model effect: arithmetic is untouched
+    assert np.array_equal(still.solution, moving.solution)
+    assert moving.time != still.time
+
+
+def test_irregular_registry_path_honors_drift_parity():
+    with session(nprocs=4, cost_model="Paragon") as sess:
+        default = sess.workload("irregular", size=32, steps=5).run()
+        explicit = sess.workload(
+            "irregular", size=32, steps=5, drift=0.0
+        ).run()
+        drifting = sess.workload(
+            "irregular", size=32, steps=5, drift=0.05
+        ).run()
+    assert np.array_equal(default.solution, explicit.solution)
+    assert default.headline == explicit.headline
+    assert np.array_equal(default.solution, drifting.solution)
+    assert (
+        drifting.headline["modeled_time_ms"]
+        != default.headline["modeled_time_ms"]
+    )
+
+
+def test_drifting_weights_contract():
+    flat = drifting_weights(64, sweep=7, drift=0.0)
+    assert np.array_equal(flat, np.ones(64))
+    w0 = drifting_weights(64, sweep=0, drift=0.01)
+    w5 = drifting_weights(64, sweep=5, drift=0.01)
+    assert w0.shape == (64,)
+    assert (w0 >= 1.0).all()  # baseline load plus the hot spot
+    assert not np.array_equal(w0, w5)  # the spot moved
+    # deterministic: same sweep, same weights
+    assert np.array_equal(w0, drifting_weights(64, sweep=0, drift=0.01))
+
+
+def test_pic_registry_drift_default_is_historical():
+    with session(nprocs=4, cost_model="Paragon") as sess:
+        default = sess.workload("pic", size=32, steps=6).run()
+        explicit = sess.workload(
+            "pic", size=32, steps=6, drift=0.004
+        ).run()  # the PICConfig default, passed explicitly
+        faster = sess.workload("pic", size=32, steps=6, drift=0.02).run()
+    assert np.array_equal(default.solution, explicit.solution)
+    assert default.headline == explicit.headline
+    assert not np.array_equal(default.solution, faster.solution)

@@ -1,0 +1,154 @@
+"""Edge cases: windowed imbalance series + critical path on thin timelines."""
+
+import pytest
+
+from repro.sim import Timeline, critical_path
+from repro.sim.clock import ProcClock
+from repro.sim.trace import to_json, windowed_imbalance
+
+
+def _timeline(nprocs, build):
+    procs = [ProcClock(r) for r in range(nprocs)]
+    build(procs)
+    return Timeline(
+        nprocs=nprocs, cost_model="zero", overlap=False, procs=procs
+    )
+
+
+def test_handcrafted_two_phase_skew():
+    # rank 0: busy [0, 2); rank 1: busy [0, 1) then idle — the second
+    # half of the makespan is all rank 0
+    def build(procs):
+        procs[0].occupy(2.0, "compute")
+        procs[1].occupy(1.0, "compute")
+
+    tl = _timeline(2, build)
+    wins = windowed_imbalance(tl, windows=2)
+    assert len(wins) == 2
+    assert wins[0]["busy"] == pytest.approx([1.0, 1.0])
+    assert wins[0]["imbalance"] == pytest.approx(1.0)
+    assert wins[1]["busy"] == pytest.approx([1.0, 0.0])
+    assert wins[1]["imbalance"] == pytest.approx(2.0)
+    # window edges tile the makespan exactly
+    assert wins[0]["start"] == 0.0
+    assert wins[-1]["end"] == pytest.approx(tl.makespan)
+
+
+def test_interval_split_across_window_boundary():
+    # one 3s interval over 3 windows: each bin sees exactly its overlap
+    def build(procs):
+        procs[0].occupy(3.0, "compute")
+        procs[1].occupy(1.0, "compute")
+
+    wins = windowed_imbalance(_timeline(2, build), windows=3)
+    assert [w["busy"][0] for w in wins] == pytest.approx([1.0, 1.0, 1.0])
+    assert [w["busy"][1] for w in wins] == pytest.approx([1.0, 0.0, 0.0])
+
+
+def test_non_busy_kinds_are_excluded():
+    def build(procs):
+        procs[0].occupy(1.0, "compute")
+        procs[0].occupy(1.0, "wait")  # idle: not busy
+        procs[1].occupy(2.0, "comm")  # occupancy: busy
+
+    wins = windowed_imbalance(_timeline(2, build), windows=1)
+    assert wins[0]["busy"] == pytest.approx([1.0, 2.0])
+
+
+def test_single_proc_is_always_balanced():
+    def build(procs):
+        procs[0].occupy(1.0, "compute")
+        procs[0].occupy(2.0, "comm")
+
+    tl = _timeline(1, build)
+    wins = windowed_imbalance(tl, windows=4)
+    assert all(w["imbalance"] == pytest.approx(1.0) for w in wins)
+    assert tl.imbalance() == pytest.approx(1.0)
+
+
+def test_empty_timeline_yields_unit_imbalance_windows():
+    tl = _timeline(2, lambda procs: None)
+    assert tl.makespan == 0.0
+    assert tl.imbalance() == 1.0  # the zero-load convention
+    wins = windowed_imbalance(tl, windows=3)
+    assert len(wins) == 3
+    for w in wins:
+        assert w["busy"] == [0.0, 0.0]
+        assert w["imbalance"] == 1.0
+        assert w["start"] == w["end"] == 0.0
+
+
+def test_zero_duration_intervals_contribute_nothing():
+    def build(procs):
+        procs[0].occupy(0.0, "compute")  # degenerate
+        procs[0].occupy(1.0, "compute")
+        procs[1].occupy(0.0, "compute")
+        procs[1].occupy(1.0, "compute")
+
+    wins = windowed_imbalance(_timeline(2, build), windows=2)
+    assert wins[0]["busy"] == pytest.approx([0.5, 0.5])
+    assert wins[-1]["imbalance"] == pytest.approx(1.0)
+
+
+def test_windows_below_one_raise():
+    tl = _timeline(1, lambda procs: procs[0].occupy(1.0, "compute"))
+    with pytest.raises(ValueError):
+        windowed_imbalance(tl, windows=0)
+    with pytest.raises(ValueError):
+        windowed_imbalance(tl, windows=-3)
+
+
+def test_trace_json_exposes_the_series():
+    def build(procs):
+        procs[0].occupy(2.0, "compute")
+        procs[1].occupy(1.0, "compute")
+
+    doc = to_json(_timeline(2, build), intervals=False)
+    series = doc["windowed_imbalance"]
+    assert len(series) == 8  # the default window count
+    assert series[-1]["imbalance"] > 1.0
+    assert set(series[0]) == {"window", "start", "end", "busy", "imbalance"}
+
+
+def test_critical_path_on_empty_timeline():
+    cp = critical_path(_timeline(2, lambda procs: None))
+    assert len(cp) == 0
+    assert cp.makespan == 0.0
+    assert cp.breakdown() == {}
+    assert cp.to_dict()["steps"] == []
+    assert "0 intervals" in cp.summary()
+
+
+def test_critical_path_single_proc_chains_whole_history():
+    def build(procs):
+        procs[0].occupy(1.0, "compute")
+        procs[0].occupy(0.5, "comm")
+
+    cp = critical_path(_timeline(1, build))
+    assert cp.ranks() == [0, 0]
+    assert cp.breakdown() == pytest.approx({"compute": 1.0, "comm": 0.5})
+
+
+def test_critical_path_with_zero_duration_interval():
+    def build(procs):
+        procs[0].occupy(1.0, "compute")
+        procs[0].occupy(0.0, "comm")  # degenerate tail interval
+
+    cp = critical_path(_timeline(1, build))
+    assert len(cp) == 2
+    assert cp.makespan == pytest.approx(1.0)
+    assert cp.breakdown()["comm"] == 0.0
+
+
+def test_critical_path_follows_cross_proc_pred_links():
+    # rank 1 waits on rank 0's send: the path must hop processors
+    def build(procs):
+        send = procs[0].occupy(2.0, "comm", tag="send")
+        procs[1].occupy(0.5, "compute")
+        procs[1].advance_to(2.0, tag="blocked", pred=send)
+        procs[1].occupy(1.0, "compute")
+
+    cp = critical_path(_timeline(2, build))
+    assert cp.ranks()[0] == 0  # the chain starts at the blocking send
+    assert cp.ranks()[-1] == 1
+    assert cp.makespan == pytest.approx(3.0)

@@ -282,6 +282,64 @@ def test_obs_compare_over_existing_reports(tmp_path, capsys, monkeypatch):
     assert "VERDICT: clean" in capsys.readouterr().out
 
 
+def test_adapt_bench_json_roundtrip(capsys):
+    doc = _run_json(
+        capsys,
+        ["adapt", "--smoke", "--json", "--out", "", "--coverage-out", "",
+         "--trajectory", ""],
+    )
+    assert doc["schema"] == "repro-bench-adapt/1"
+    assert doc["pass"] is True
+    assert {s["name"] for s in doc["scenarios"]} == {
+        "pic-drift", "irregular-hotspot"
+    }
+
+
+def test_adapt_single_run_json_roundtrip(capsys):
+    doc = _run_json(
+        capsys,
+        ["adapt", "--workload", "pic", "--size", "32", "--steps", "12",
+         "--drift", "0.03", "--json"],
+    )
+    assert doc["workload"] == "pic"
+    assert doc["mode"] == "adaptive"
+    assert doc["run"]["solution_digest"]
+
+
+def test_adapt_unsupported_workload_exits_nonzero(capsys):
+    with pytest.raises(SystemExit):
+        main(["adapt", "--workload", "adi"])
+    assert "no adaptive driver" in capsys.readouterr().err
+
+
+def test_adapt_artifacts_and_obs_compare_kind(tmp_path, capsys, monkeypatch):
+    """The CI recipe end to end: bench with --check, artifacts on disk,
+    then the sentinel diffs the report under --kind adapt."""
+    monkeypatch.chdir(tmp_path)
+    main(["adapt", "--smoke", "--check", "--trajectory", "traj.jsonl"])
+    capsys.readouterr()
+    assert (tmp_path / "BENCH_ADAPT.json").exists()
+    assert (tmp_path / "ADAPT_COVERAGE.json").exists()
+
+    from repro.obs.trajectory import TrajectoryStore
+
+    assert len(TrajectoryStore("traj.jsonl").entries(kind="adapt")) == 1
+
+    main(["obs", "compare", "--kind", "adapt",
+          "--current", "BENCH_ADAPT.json", "--trajectory", "traj.jsonl"])
+    assert "VERDICT: clean" in capsys.readouterr().out
+
+    # a doctored gate flips the sentinel to a hard failure (exit 2)
+    doc = json.loads((tmp_path / "BENCH_ADAPT.json").read_text())
+    doc["scenarios"][0]["gates"]["deterministic"] = False
+    (tmp_path / "BENCH_ADAPT.json").write_text(json.dumps(doc))
+    with pytest.raises(SystemExit) as exc:
+        main(["obs", "compare", "--kind", "adapt",
+              "--current", "BENCH_ADAPT.json", "--trajectory", "traj.jsonl"])
+    assert exc.value.code == 2
+    assert "hard_fail" in capsys.readouterr().out
+
+
 def test_tour_still_runs(capsys):
     main(None)
     out = capsys.readouterr().out

@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.serve",
     "repro.obs",
     "repro.faults",
+    "repro.adapt",
 ]
 
 # The root surface, pinned (ISSUE 5): changing what `from repro import *`
@@ -26,7 +27,8 @@ SUBPACKAGES = [
 # subpackage's star-export.  Regenerate with
 #   python -c "import repro; print('\n'.join(sorted(repro.__all__)))"
 EXPORT_SNAPSHOT = sorted([
-    "ALWAYS", "ANY", "AccessKind", "Aligned", "Alignment",
+    "ALWAYS", "ANY", "AccessKind", "AdaptResult", "AdaptiveController",
+    "Aligned", "Alignment",
     "AllocationRecord", "AnalysisResult", "ArrayDescriptor", "ArrayLoad",
     "ArrayRef", "Assign", "Attribution", "AxisMap", "BUSY_KINDS", "Backend",
     "BackendError", "BatchedReadAccessor", "BenchResult", "Block",
@@ -42,14 +44,15 @@ EXPORT_SNAPSHOT = sorted([
     "FleetSupervisor", "FormalArg",
     "GenBlock", "HandDistribute", "IPSC860", "IRProgram", "If",
     "IndexDomain", "Indirect", "Inspector", "Interval", "LineSweepKernel",
-    "LocalMemory", "Loop", "MAYBE", "MODERN_CLUSTER", "Machine",
+    "LoadMonitor", "LocalMemory", "Loop", "MAYBE", "MODERN_CLUSTER",
+    "Machine",
     "MeasuredMachine", "MemoryError_", "MemoryEstimate", "MessageRecord",
     "MetricsRegistry",
     "MultiprocessBackend", "NEVER", "Network", "NetworkStats", "NoDist",
     "OptimizeStats", "OverlapManager", "PARAGON", "PRESETS", "Phase",
     "PhaseSequence", "Plan", "PlanCache", "PlanExecutor", "PlanResult",
     "PlanningService",
-    "PlausibleSet", "ProcClock", "ProcDef", "Procedure", "ProcessorArray",
+    "PlausibleSet", "PolicyLibrary", "ProcClock", "ProcDef", "Procedure", "ProcessorArray",
     "ProcessorSection", "QueryList", "Range", "ReachingDistributions",
     "ReadAccessor", "RedistributionReport", "Replicated", "RunResult",
     "SBlock", "ScheduleStep", "Scope", "SerialBackend", "Session",
@@ -60,11 +63,12 @@ EXPORT_SNAPSHOT = sorted([
     "TranslationTable", "Transport", "TransportBroken", "TransportTimeout",
     "TypePattern", "VFProgram", "VFSyntaxError", "WORKLOADS", "Wild",
     "Workload", "WorkloadHandle", "WorkloadRegistry", "WorkloadSpec",
-    "ZERO_COST", "__version__", "adi_workload", "analyze", "api", "apps",
+    "ZERO_COST", "__version__", "adapt", "adi_workload", "analyze", "api", "apps",
     "attached_backend", "attribution",
     "available_workloads", "backend", "bind_pattern",
     "broadcast_from", "build_cfg", "calibrate", "classify_tag",
-    "clear_interning_caches", "communicate", "compare_perf_reports",
+    "clear_interning_caches", "communicate", "compare_adapt_reports",
+    "compare_perf_reports",
     "compiler", "config_fingerprint", "construct",
     "critical_path", "decide_pattern", "decide_querylist",
     "default_plan_cache", "dim_implies", "dim_menu", "dim_overlaps",
@@ -85,6 +89,7 @@ EXPORT_SNAPSHOT = sorted([
     "pattern_overlaps", "per_processor_table", "perf", "pic_workload",
     "plan_array", "plan_program", "plan_workload", "planner", "record",
     "reduce_scalar", "refine_pattern", "register_generator",
+    "run_adapt_bench",
     "register_workload", "relaxed_barriers", "replay_blocking",
     "replay_split_exchange", "resolve_backend", "run_loadtest",
     "segment_moves", "serve",
@@ -172,7 +177,7 @@ def test_session_facade_reexported_from_root():
 def test_version():
     import repro
 
-    assert repro.__version__ == "1.9.0"
+    assert repro.__version__ == "1.10.0"
 
 
 def test_sim_reexported_from_root():
